@@ -1,0 +1,285 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// refinement factor (paper §6.1/§7), refinement patience, stream order,
+// architecture-aware partitioning vs post-hoc topology mapping (related
+// work, LibTopoMap), parallel restreaming (§8.2 future work), the network
+// model's overlap assumption, and machine heterogeneity. Each reports the
+// quality or speed consequence of the choice as a custom metric.
+package hyperpraw
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperpraw/internal/bench"
+	"hyperpraw/internal/core"
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/mapping"
+	"hyperpraw/internal/netsim"
+	"hyperpraw/internal/profile"
+	"hyperpraw/internal/topology"
+)
+
+// ablationSetup bundles the fixed machine/instance pair the ablations vary
+// around: a 64-core ARCHER-like machine and the 2cubes_sphere FEM instance
+// at 1% scale.
+type ablationSetup struct {
+	machine *topology.Machine
+	bwCost  [][]float64
+	uniCost [][]float64
+	h       *Hypergraph
+}
+
+func newAblationSetup(b *testing.B) *ablationSetup {
+	b.Helper()
+	machine := topology.MustNew(topology.Archer(), 64, 1)
+	bw := profile.RingProfile(machine, profile.DefaultConfig())
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.01), 1)
+	return &ablationSetup{
+		machine: machine,
+		bwCost:  profile.CostMatrix(bw),
+		uniCost: profile.UniformCost(64),
+		h:       h,
+	}
+}
+
+// BenchmarkAblationRefinementFactor sweeps the refinement-phase α update
+// factor; the paper picked 0.95 experimentally (§7). The metric is the final
+// PC(P) of the returned partition.
+func BenchmarkAblationRefinementFactor(b *testing.B) {
+	s := newAblationSetup(b)
+	for _, factor := range []float64{0.80, 0.90, 0.95, 1.00, 1.10} {
+		b.Run(fmt.Sprintf("factor=%.2f", factor), func(b *testing.B) {
+			var pc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(s.bwCost)
+				cfg.RefinementFactor = factor
+				pr, err := core.New(s.h, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pc = pr.Run().FinalCommCost
+			}
+			b.ReportMetric(pc, "final-PC")
+		})
+	}
+}
+
+// BenchmarkAblationPatience varies how many non-improving refinement
+// iterations are tolerated (the paper's Algorithm 1 is patience 1).
+func BenchmarkAblationPatience(b *testing.B) {
+	s := newAblationSetup(b)
+	for _, patience := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("patience=%d", patience), func(b *testing.B) {
+			var pc float64
+			var iters int
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(s.bwCost)
+				cfg.Patience = patience
+				pr, err := core.New(s.h, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := pr.Run()
+				pc = res.FinalCommCost
+				iters = res.Iterations
+			}
+			b.ReportMetric(pc, "final-PC")
+			b.ReportMetric(float64(iters), "iterations")
+		})
+	}
+}
+
+// BenchmarkAblationStreamOrder compares the paper's natural visiting order
+// with per-stream shuffling.
+func BenchmarkAblationStreamOrder(b *testing.B) {
+	s := newAblationSetup(b)
+	for _, shuffled := range []bool{false, true} {
+		name := "natural"
+		if shuffled {
+			name = "shuffled"
+		}
+		b.Run(name, func(b *testing.B) {
+			var pc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(s.bwCost)
+				cfg.ShuffledOrder = shuffled
+				cfg.Seed = 7
+				pr, err := core.New(s.h, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pc = pr.Run().FinalCommCost
+			}
+			b.ReportMetric(pc, "final-PC")
+		})
+	}
+}
+
+// BenchmarkAblationMappingVsAware pits architecture-aware *streaming*
+// against architecture-oblivious streaming followed by topology *mapping*
+// (the LibTopoMap strategy of the paper's related work). The metric is the
+// simulated benchmark runtime.
+func BenchmarkAblationMappingVsAware(b *testing.B) {
+	s := newAblationSetup(b)
+	cfg := bench.DefaultConfig()
+
+	runtimeOf := func(b *testing.B, parts []int32) float64 {
+		res, err := bench.Run(s.machine, s.h, parts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.MakespanSec
+	}
+
+	b.Run("basic+mapping", func(b *testing.B) {
+		var rt float64
+		for i := 0; i < b.N; i++ {
+			parts, err := core.Partition(s.h, core.DefaultConfig(s.uniCost))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mapped, err := mapping.MapPartition(s.h, parts, s.machine, s.bwCost, mapping.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt = runtimeOf(b, mapped)
+		}
+		b.ReportMetric(rt, "sim-runtime-s")
+	})
+	b.Run("aware", func(b *testing.B) {
+		var rt float64
+		for i := 0; i < b.N; i++ {
+			parts, err := core.Partition(s.h, core.DefaultConfig(s.bwCost))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt = runtimeOf(b, parts)
+		}
+		b.ReportMetric(rt, "sim-runtime-s")
+	})
+}
+
+// BenchmarkAblationParallelWorkers measures the parallel restreaming variant
+// (§8.2) at several worker counts; quality (final PC) is reported alongside
+// wall time so the speed/quality trade is visible.
+func BenchmarkAblationParallelWorkers(b *testing.B) {
+	s := newAblationSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var pc float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.PartitionParallel(s.h, core.DefaultConfig(s.bwCost), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pc = res.FinalCommCost
+			}
+			b.ReportMetric(pc, "final-PC")
+		})
+	}
+}
+
+// BenchmarkAblationOverlapModel varies the network model's send/receive
+// overlap assumption; rankings between partitioners must be insensitive to
+// it, absolute runtimes are not.
+func BenchmarkAblationOverlapModel(b *testing.B) {
+	s := newAblationSetup(b)
+	parts, err := core.Partition(s.h, core.DefaultConfig(s.bwCost))
+	if err != nil {
+		b.Fatal(err)
+	}
+	traffic, err := bench.BuildTraffic(s.h, parts, 64, bench.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, overlap := range []float64{0, 0.5, 1} {
+		b.Run(fmt.Sprintf("overlap=%.1f", overlap), func(b *testing.B) {
+			var rt float64
+			model := netsim.AggregateModel{Overlap: overlap}
+			for i := 0; i < b.N; i++ {
+				rt = model.Estimate(s.machine, traffic).MakespanSec
+			}
+			b.ReportMetric(rt, "sim-runtime-s")
+		})
+	}
+}
+
+// BenchmarkAblationHeterogeneity runs the aware-vs-basic comparison on a
+// flat (uniform-bandwidth) machine and on the tiered ARCHER model: on a
+// flat machine the aware variant has nothing to exploit and the runtime
+// ratio should approach 1.
+func BenchmarkAblationHeterogeneity(b *testing.B) {
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.01), 1)
+	cases := []struct {
+		name string
+		spec topology.Spec
+	}{
+		{"flat", topology.Uniform(2000)},
+		{"archer", topology.Archer()},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			machine := topology.MustNew(tc.spec, 64, 1)
+			bw := profile.RingProfile(machine, profile.DefaultConfig())
+			physCost := profile.CostMatrix(bw)
+			uniCost := profile.UniformCost(64)
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				basic, err := core.Partition(h, core.DefaultConfig(uniCost))
+				if err != nil {
+					b.Fatal(err)
+				}
+				aware, err := core.Partition(h, core.DefaultConfig(physCost))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rb, err := bench.Run(machine, h, basic, bench.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				ra, err := bench.Run(machine, h, aware, bench.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ra.MakespanSec > 0 {
+					ratio = rb.MakespanSec / ra.MakespanSec
+				}
+			}
+			b.ReportMetric(ratio, "basic/aware-speedup")
+		})
+	}
+}
+
+// BenchmarkPartitionerWallTime measures raw partitioning throughput of the
+// three algorithms (the timing ablation of §8.2: streaming approaches are
+// "frequently faster to execute").
+func BenchmarkPartitionerWallTime(b *testing.B) {
+	s := newAblationSetup(b)
+	b.Run("zoltan-multilevel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multilevelPartition(s.h, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hyperpraw-basic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Partition(s.h, core.DefaultConfig(s.uniCost)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hyperpraw-aware", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Partition(s.h, core.DefaultConfig(s.bwCost)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func multilevelPartition(h *Hypergraph, k int) ([]int32, error) {
+	return PartitionMultilevel(h, k, nil)
+}

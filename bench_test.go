@@ -1,0 +1,193 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+//
+// Each benchmark runs the corresponding experiment end to end at a reduced
+// scale (so `go test -bench=.` completes in minutes) and reports, next to
+// the usual ns/op, custom metrics carrying the experiment's headline
+// numbers — e.g. BenchmarkFig5Runtime reports the geometric-mean speedup of
+// HyperPRAW-aware over the Zoltan-style baseline, the paper's key result.
+//
+// To regenerate the CSV artefacts (paper-shaped data files) use
+// cmd/experiments instead; these benchmarks exercise identical code paths.
+package hyperpraw
+
+import (
+	"testing"
+
+	"hyperpraw/internal/experiments"
+	"hyperpraw/internal/stats"
+)
+
+// benchOptions is the scale used by all table/figure benchmarks.
+func benchOptions(outDir string) experiments.Options {
+	o := experiments.Default()
+	o.Scale = 0.003
+	o.Cores = 32
+	o.MaxIterations = 50
+	o.Steps = 5
+	o.OutDir = outDir
+	return o
+}
+
+func newBenchRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	r, err := experiments.NewRunner(benchOptions(b.TempDir()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTable1Catalog regenerates Table 1: the ten synthetic instances
+// and their structural statistics.
+func BenchmarkTable1Catalog(b *testing.B) {
+	r := newBenchRunner(b)
+	var pins int
+	for i := 0; i < b.N; i++ {
+		rows := r.Table1()
+		pins = 0
+		for _, row := range rows {
+			pins += row.Stats.TotalNNZ
+		}
+	}
+	b.ReportMetric(float64(pins), "pins")
+}
+
+// BenchmarkFig1BandwidthProfile regenerates Fig 1A: ring-profiling the
+// simulated ARCHER machine's peer-to-peer bandwidth.
+func BenchmarkFig1BandwidthProfile(b *testing.B) {
+	r := newBenchRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Bandwidth
+	}
+}
+
+// BenchmarkFig1TrafficPattern regenerates Fig 1B: the benchmark's traffic
+// matrix under a naive round-robin placement (the "mismatch" panel).
+func BenchmarkFig1TrafficPattern(b *testing.B) {
+	r := newBenchRunner(b)
+	h, err := r.Instance("sparsine")
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := r.PartitionWith(experiments.AlgoRoundRobin, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Traffic
+	}
+	_ = parts
+}
+
+// BenchmarkFig3Refinement regenerates Fig 3: restreaming histories under the
+// three refinement strategies on the four panel instances. The reported
+// metric is the mean relative PC improvement of refinement-0.95 over
+// no-refinement (paper: strictly positive on every panel).
+func BenchmarkFig3Refinement(b *testing.B) {
+	r := newBenchRunner(b)
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		series, err := r.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		final := map[string]map[string]float64{}
+		for _, s := range series {
+			if final[s.Instance] == nil {
+				final[s.Instance] = map[string]float64{}
+			}
+			final[s.Instance][s.Strategy] = s.FinalCommCost
+		}
+		var rels []float64
+		for _, m := range final {
+			if m["no-refinement"] > 0 {
+				rels = append(rels, 1-m["refinement-0.95"]/m["no-refinement"])
+			}
+		}
+		improvement = stats.Mean(rels)
+	}
+	b.ReportMetric(improvement*100, "%PC-improvement")
+}
+
+// BenchmarkFig4Quality regenerates Fig 4: hyperedge cut, SOED and
+// partitioning communication cost for all ten instances under the three
+// partitioners. Reported metric: the geometric-mean PC ratio of
+// HyperPRAW-aware over Zoltan (paper: < 1 on every instance).
+func BenchmarkFig4Quality(b *testing.B) {
+	r := newBenchRunner(b)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pc := map[string]map[string]float64{}
+		for _, row := range rows {
+			if pc[row.Hypergraph] == nil {
+				pc[row.Hypergraph] = map[string]float64{}
+			}
+			pc[row.Hypergraph][row.Algorithm] = row.CommCost
+		}
+		var ratios []float64
+		for _, m := range pc {
+			if m[experiments.AlgoZoltan] > 0 {
+				ratios = append(ratios, m[experiments.AlgoPRAWAware]/m[experiments.AlgoZoltan])
+			}
+		}
+		ratio = stats.GeoMean(ratios)
+	}
+	b.ReportMetric(ratio, "PC-ratio-aware/zoltan")
+}
+
+// BenchmarkFig5Runtime regenerates Fig 5: the synthetic benchmark's
+// simulated runtimes across three jobs and two iterations per job. Reported
+// metric: the geometric-mean speedup of HyperPRAW-aware over Zoltan (the
+// paper reports per-instance speedups of 1.3x–14x).
+func BenchmarkFig5Runtime(b *testing.B) {
+	r := newBenchRunner(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ss []float64
+		for _, s := range res.Summaries {
+			if s.Algorithm == experiments.AlgoPRAWAware && s.SpeedupVsZoltan > 0 {
+				ss = append(ss, s.SpeedupVsZoltan)
+			}
+		}
+		speedup = stats.GeoMean(ss)
+	}
+	b.ReportMetric(speedup, "geomean-speedup-vs-zoltan")
+}
+
+// BenchmarkFig6Patterns regenerates Fig 6: the benchmark traffic matrices of
+// sparsine under the three partitioners against the bandwidth map. Reported
+// metric: the mean physical cost per byte of the aware variant relative to
+// Zoltan (paper: aware exploits fast links, so the ratio is < 1).
+func BenchmarkFig6Patterns(b *testing.B) {
+	r := newBenchRunner(b)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		aware := experiments.MeanCostPerByte(res.Traffic[experiments.AlgoPRAWAware], r.PhysCost)
+		zoltan := experiments.MeanCostPerByte(res.Traffic[experiments.AlgoZoltan], r.PhysCost)
+		if zoltan > 0 {
+			ratio = aware / zoltan
+		}
+	}
+	b.ReportMetric(ratio, "costPerByte-aware/zoltan")
+}

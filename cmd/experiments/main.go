@@ -1,0 +1,238 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags] [table1|fig1|fig3|fig4|fig5|fig6|all]
+//
+// Artefacts (CSV series and PGM heatmaps) are written into -out. The
+// default scale reproduces the paper's shapes in minutes; -full uses the
+// paper's 576 cores and full-size instances (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hyperpraw/internal/experiments"
+	"hyperpraw/internal/heatmap"
+)
+
+func main() {
+	opts := experiments.Default()
+	full := flag.Bool("full", false, "paper scale: 576 cores, full-size instances (slow)")
+	flag.Float64Var(&opts.Scale, "scale", opts.Scale, "hypergraph scale factor (1.0 = paper size)")
+	flag.IntVar(&opts.Cores, "cores", opts.Cores, "simulated compute units (= partitions)")
+	flag.Uint64Var(&opts.Seed, "seed", opts.Seed, "master random seed")
+	flag.StringVar(&opts.OutDir, "out", opts.OutDir, "output directory for artefacts")
+	flag.IntVar(&opts.MaxIterations, "iters", opts.MaxIterations, "HyperPRAW restreaming iteration cap")
+	flag.Float64Var(&opts.ImbalanceTolerance, "tol", opts.ImbalanceTolerance, "imbalance tolerance (max/mean)")
+	flag.Parse()
+
+	if *full {
+		opts.Scale = 1.0
+		opts.Cores = 576
+	}
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine: archer-like, %d cores, seed %d; instances at scale %g\n",
+		opts.Cores, opts.Seed, opts.Scale)
+
+	run := map[string]func(*experiments.Runner) error{
+		"table1":    runTable1,
+		"fig1":      runFig1,
+		"fig3":      runFig3,
+		"fig4":      runFig4,
+		"fig5":      runFig5,
+		"fig6":      runFig6,
+		"ablations": runAblations,
+		"scaling":   runScaling,
+	}
+	if what == "all" {
+		for _, name := range []string{"table1", "fig1", "fig3", "fig4", "fig5", "fig6", "ablations", "scaling"} {
+			if err := run[name](runner); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+		return
+	}
+	fn, ok := run[what]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (want table1|fig1|fig3|fig4|fig5|fig6|ablations|scaling|all)", what))
+	}
+	if err := fn(runner); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func runTable1(r *experiments.Runner) error {
+	rows, err := r.WriteTable1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Table 1: hypergraphs used in this work (paper -> generated) ==")
+	fmt.Printf("%-34s %10s %10s %10s %8s %6s\n", "hypergraph", "vertices", "hyperedges", "NNZ", "avgCard", "E/V")
+	for _, row := range rows {
+		fmt.Printf("%-34s %10d %10d %10d %8.2f %6.2f\n",
+			row.Name, row.Stats.Vertices, row.Stats.Hyperedges, row.Stats.TotalNNZ,
+			row.Stats.AvgCardinality, row.Stats.EdgeVertexRate)
+	}
+	fmt.Println("wrote", r.Opts.OutDir+"/table1.csv")
+	return nil
+}
+
+func runFig1(r *experiments.Runner) error {
+	res, err := r.WriteFig1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Fig 1A: p2p bandwidth (log scale) ==")
+	fmt.Print(heatmap.ASCII(res.Bandwidth, 32, heatmap.Options{Log: true}))
+	fmt.Println("== Fig 1B: benchmark traffic under naive placement (log scale) ==")
+	fmt.Print(heatmap.ASCII(res.Traffic, 32, heatmap.Options{Log: true}))
+	fmt.Println("wrote fig1a_bandwidth.{csv,pgm}, fig1b_traffic.{csv,pgm} in", r.Opts.OutDir)
+	return nil
+}
+
+func runFig3(r *experiments.Runner) error {
+	series, err := r.WriteFig3()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Fig 3: refinement-phase histories (final PC per strategy) ==")
+	byInstance := map[string][]string{}
+	finals := map[string]map[string]float64{}
+	iters := map[string]map[string]int{}
+	for _, s := range series {
+		if finals[s.Instance] == nil {
+			finals[s.Instance] = map[string]float64{}
+			iters[s.Instance] = map[string]int{}
+		}
+		finals[s.Instance][s.Strategy] = s.FinalCommCost
+		iters[s.Instance][s.Strategy] = s.Iterations
+		byInstance[s.Instance] = append(byInstance[s.Instance], s.Strategy)
+	}
+	for _, inst := range experiments.Fig3Instances {
+		fmt.Printf("%-26s", inst)
+		for _, strat := range []string{"no-refinement", "refinement-1.0", "refinement-0.95"} {
+			fmt.Printf("  %s: PC=%.4g (%d iters)", strat, finals[inst][strat], iters[inst][strat])
+		}
+		fmt.Println()
+	}
+	fmt.Println("wrote", r.Opts.OutDir+"/fig3_history.csv")
+	return nil
+}
+
+func runFig4(r *experiments.Runner) error {
+	rows, err := r.WriteFig4()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Fig 4: partition quality (cut / SOED / PC under physical costs) ==")
+	fmt.Printf("%-34s %-20s %10s %12s %14s %7s\n", "hypergraph", "algorithm", "cut", "SOED", "commCost", "imbal")
+	for _, row := range rows {
+		fmt.Printf("%-34s %-20s %10d %12d %14.4g %7.3f\n",
+			row.Hypergraph, row.Algorithm, row.HyperedgeCut, row.SOED, row.CommCost, row.Imbalance)
+	}
+	fmt.Println("wrote", r.Opts.OutDir+"/fig4_quality.csv")
+	return nil
+}
+
+func runFig5(r *experiments.Runner) error {
+	res, err := r.WriteFig5()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Fig 5: synthetic benchmark runtime (mean over 3 jobs x 2 iterations) ==")
+	fmt.Printf("%-34s %-20s %14s %10s\n", "hypergraph", "algorithm", "runtime(s)", "speedup")
+	sorted := append([]experiments.Fig5Summary(nil), res.Summaries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Hypergraph != sorted[j].Hypergraph {
+			return sorted[i].Hypergraph < sorted[j].Hypergraph
+		}
+		return sorted[i].Algorithm < sorted[j].Algorithm
+	})
+	for _, s := range sorted {
+		fmt.Printf("%-34s %-20s %14.6g %9.2fx\n", s.Hypergraph, s.Algorithm, s.MeanRuntime, s.SpeedupVsZoltan)
+	}
+	fmt.Println("wrote fig5_runtime.csv and fig5_speedup.csv in", r.Opts.OutDir)
+	return nil
+}
+
+func runAblations(r *experiments.Runner) error {
+	mapRows, err := r.WriteMappingAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Ablation: aware streaming vs post-hoc topology mapping ==")
+	fmt.Printf("%-30s %-20s %14s %14s\n", "hypergraph", "algorithm", "commCost", "runtime(s)")
+	for _, row := range mapRows {
+		fmt.Printf("%-30s %-20s %14.4g %14.6g\n", row.Hypergraph, row.Algorithm, row.CommCost, row.RuntimeSec)
+	}
+
+	timing, err := r.WriteTimingAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Ablation: partitioning wall time ==")
+	fmt.Printf("%-34s %-20s %12s\n", "hypergraph", "algorithm", "seconds")
+	for _, row := range timing {
+		fmt.Printf("%-34s %-20s %12.4g\n", row.Hypergraph, row.Algorithm, row.WallSeconds)
+	}
+
+	sweep, err := r.WriteRefinementSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Ablation: refinement factor sweep (2cubes_sphere) ==")
+	fmt.Printf("%8s %14s %12s %10s\n", "factor", "commCost", "iterations", "imbalance")
+	for _, row := range sweep {
+		fmt.Printf("%8.2f %14.4g %12d %10.3f\n", row.Factor, row.CommCost, row.Iterations, row.Imbalance)
+	}
+	fmt.Println("wrote ablation_mapping.csv, ablation_timing.csv, ablation_refinement.csv in", r.Opts.OutDir)
+	return nil
+}
+
+func runScaling(r *experiments.Runner) error {
+	rows, err := r.WriteScalingSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Scaling sweep: aware advantage vs machine size (2cubes_sphere) ==")
+	fmt.Printf("%8s %14s %14s %14s %12s %12s\n", "cores", "zoltan(s)", "basic(s)", "aware(s)", "vs zoltan", "vs basic")
+	for _, row := range rows {
+		fmt.Printf("%8d %14.6g %14.6g %14.6g %11.2fx %11.2fx\n",
+			row.Cores, row.ZoltanRuntime, row.BasicRuntime, row.AwareRuntime,
+			row.SpeedupVsZoltan, row.SpeedupVsBasic)
+	}
+	fmt.Println("wrote", r.Opts.OutDir+"/scaling_sweep.csv")
+	return nil
+}
+
+func runFig6(r *experiments.Runner) error {
+	res, err := r.WriteFig6()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Fig 6: traffic patterns vs bandwidth (cost paid per byte) ==")
+	for _, algo := range experiments.Fig4Algorithms {
+		cost := experiments.MeanCostPerByte(res.Traffic[algo], r.PhysCost)
+		fmt.Printf("%-20s mean cost/byte = %.4f\n", algo, cost)
+	}
+	fmt.Println("wrote fig6[a-d]_*.{csv,pgm} in", r.Opts.OutDir)
+	return nil
+}

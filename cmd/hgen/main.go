@@ -1,0 +1,99 @@
+// Command hgen generates the synthetic Table 1 hypergraph instances (or any
+// custom instance) and writes them in hMetis format.
+//
+// Usage:
+//
+//	hgen -list                                  # show the catalog
+//	hgen -name sparsine -scale 0.01 -out s.hgr  # one catalog instance
+//	hgen -kind random -v 1000 -e 2000 -card 8 -out r.hgr  # custom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/hypergraph"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the Table 1 catalog and exit")
+	name := flag.String("name", "", "catalog instance name (see -list)")
+	scale := flag.Float64("scale", 1.0, "scale factor for catalog instances")
+	kind := flag.String("kind", "", "custom instance family: geometric|random|powerlaw|sat-primal|sat-dual")
+	vertices := flag.Int("v", 1000, "custom instance: vertex count")
+	edges := flag.Int("e", 1000, "custom instance: hyperedge count")
+	card := flag.Float64("card", 4, "custom instance: average cardinality")
+	skew := flag.Float64("skew", 0, "custom instance: power-law skew (0 = family default)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("out", "", "output path (hMetis format); required unless -list")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-34s %-12s %10s %10s %8s\n", "name", "family", "vertices", "hyperedges", "avgCard")
+		for _, s := range hgen.Catalog() {
+			fmt.Printf("%-34s %-12s %10d %10d %8.2f\n", s.Name, s.Kind, s.Vertices, s.Hyperedges, s.AvgCardinality)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "hgen: -out is required")
+		os.Exit(2)
+	}
+
+	var h *hypergraph.Hypergraph
+	switch {
+	case *name != "":
+		spec, ok := hgen.SpecByName(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown catalog instance %q (see -list)", *name))
+		}
+		h = hgen.Generate(spec.Scaled(*scale), *seed)
+	case *kind != "":
+		k, err := parseKind(*kind)
+		if err != nil {
+			fatal(err)
+		}
+		spec := hgen.Spec{
+			Name:           fmt.Sprintf("custom-%s-%d", *kind, *vertices),
+			Kind:           k,
+			Vertices:       *vertices,
+			Hyperedges:     *edges,
+			AvgCardinality: *card,
+			Skew:           *skew,
+		}
+		h = hgen.Generate(spec, *seed)
+	default:
+		fatal(fmt.Errorf("pass -name (catalog) or -kind (custom)"))
+	}
+
+	if err := hypergraph.SaveFile(*out, h); err != nil {
+		fatal(err)
+	}
+	s := h.ComputeStats()
+	fmt.Printf("wrote %s: %d vertices, %d hyperedges, %d pins (avg cardinality %.2f)\n",
+		*out, s.Vertices, s.Hyperedges, s.TotalNNZ, s.AvgCardinality)
+}
+
+func parseKind(s string) (hgen.Kind, error) {
+	switch s {
+	case "geometric":
+		return hgen.KindGeometric, nil
+	case "random":
+		return hgen.KindRandom, nil
+	case "powerlaw":
+		return hgen.KindPowerLaw, nil
+	case "sat-primal":
+		return hgen.KindSATPrimal, nil
+	case "sat-dual":
+		return hgen.KindSATDual, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgen:", err)
+	os.Exit(1)
+}

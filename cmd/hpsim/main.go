@@ -1,0 +1,109 @@
+// Command hpsim runs the paper's synthetic null-compute communication
+// benchmark (§5.3) for a hypergraph under one or more partitioners on a
+// simulated machine, reporting the simulated runtimes side by side.
+//
+// Usage:
+//
+//	hpsim -name sparsine -scale 0.01 -cores 64          # catalog instance
+//	hpsim -cores 64 input.hgr                           # file input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperpraw"
+)
+
+func main() {
+	name := flag.String("name", "", "catalog instance to generate (alternative to a file argument)")
+	scale := flag.Float64("scale", 0.01, "scale factor for the catalog instance")
+	cores := flag.Int("cores", 64, "simulated compute units (= partitions)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	steps := flag.Int("steps", 10, "benchmark time steps")
+	msgBytes := flag.Int64("msg", 4096, "bytes per pairwise message")
+	machineKind := flag.String("machine", "archer", "machine model: archer | cloud")
+	flag.Parse()
+
+	var h *hyperpraw.Hypergraph
+	var err error
+	switch {
+	case *name != "":
+		h = hyperpraw.GenerateInstance(*name, *scale, *seed)
+	case flag.NArg() == 1:
+		h, err = hyperpraw.LoadHypergraph(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hpsim [-name instance | input.hgr] [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var machine *hyperpraw.Machine
+	switch *machineKind {
+	case "archer":
+		machine = hyperpraw.NewArcherMachine(*cores, *seed)
+	case "cloud":
+		machine = hyperpraw.NewCloudMachine(*cores, *seed)
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineKind))
+	}
+	env := hyperpraw.Profile(machine)
+	bopts := &hyperpraw.BenchOptions{MessageBytes: *msgBytes, Steps: *steps}
+
+	s := h.ComputeStats()
+	fmt.Printf("%s: %d vertices, %d hyperedges, %d pins on %d cores (%s)\n",
+		h.Name(), s.Vertices, s.Hyperedges, s.TotalNNZ, *cores, *machineKind)
+	fmt.Printf("%-20s %12s %12s %14s %14s %8s\n",
+		"algorithm", "cut", "SOED", "commCost", "runtime(s)", "speedup")
+
+	type algoRun struct {
+		label string
+		parts func() ([]int32, error)
+	}
+	runs := []algoRun{
+		{"zoltan-multilevel", func() ([]int32, error) {
+			return hyperpraw.PartitionMultilevel(h, *cores, &hyperpraw.Options{Seed: *seed})
+		}},
+		{"hierarchical", func() ([]int32, error) {
+			return hyperpraw.PartitionHierarchical(h, machine, &hyperpraw.Options{Seed: *seed})
+		}},
+		{"hyperpraw-basic", func() ([]int32, error) {
+			p, _, err := hyperpraw.PartitionBasic(h, env, nil)
+			return p, err
+		}},
+		{"hyperpraw-aware", func() ([]int32, error) {
+			p, _, err := hyperpraw.PartitionAware(h, env, nil)
+			return p, err
+		}},
+	}
+
+	baseline := 0.0
+	for _, run := range runs {
+		parts, err := run.parts()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", run.label, err))
+		}
+		rep := hyperpraw.Evaluate(h, parts, env)
+		res, err := hyperpraw.SimulateBenchmark(machine, h, parts, bopts)
+		if err != nil {
+			fatal(err)
+		}
+		speedup := "-"
+		if baseline == 0 {
+			baseline = res.MakespanSec
+		} else if res.MakespanSec > 0 {
+			speedup = fmt.Sprintf("%.2fx", baseline/res.MakespanSec)
+		}
+		fmt.Printf("%-20s %12d %12d %14.4g %14.6g %8s\n",
+			run.label, rep.HyperedgeCut, rep.SOED, rep.CommCost, res.MakespanSec, speedup)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command hyperpraw partitions a hypergraph file and reports quality
+// metrics.
+//
+// Usage:
+//
+//	hyperpraw -k 64 [-algo aware|basic|zoltan] [-cores N] [-out parts.txt] input.hgr
+//
+// The input may be hMetis (.hgr) or MatrixMarket (.mtx). The simulated
+// machine used for profiling (aware mode) and evaluation is ARCHER-like with
+// -cores cores (default: k).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperpraw"
+)
+
+func main() {
+	k := flag.Int("k", 16, "number of partitions")
+	algo := flag.String("algo", "aware", "partitioner: aware | basic | zoltan")
+	seed := flag.Uint64("seed", 1, "random seed (machine noise, baseline tie-breaking)")
+	tol := flag.Float64("tol", 1.10, "imbalance tolerance (max/mean)")
+	iters := flag.Int("iters", 100, "HyperPRAW restreaming iteration cap")
+	outPath := flag.String("out", "", "write the partition vector (one line per vertex) to this file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hyperpraw [flags] input.hgr")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	h, err := hyperpraw.LoadHypergraph(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	stats := h.ComputeStats()
+	fmt.Printf("loaded %s: %d vertices, %d hyperedges, %d pins (avg cardinality %.2f)\n",
+		h.Name(), stats.Vertices, stats.Hyperedges, stats.TotalNNZ, stats.AvgCardinality)
+
+	machine := hyperpraw.NewArcherMachine(*k, *seed)
+	env := hyperpraw.Profile(machine)
+	opts := &hyperpraw.Options{ImbalanceTolerance: *tol, MaxIterations: *iters, Seed: *seed}
+
+	var parts []int32
+	switch *algo {
+	case "aware":
+		var res hyperpraw.PartitionResult
+		parts, res, err = hyperpraw.PartitionAware(h, env, opts)
+		if err == nil {
+			fmt.Printf("hyperpraw-aware: %d restreaming iterations (%s)\n", res.Iterations, res.Stopped)
+		}
+	case "basic":
+		var res hyperpraw.PartitionResult
+		parts, res, err = hyperpraw.PartitionBasic(h, env, opts)
+		if err == nil {
+			fmt.Printf("hyperpraw-basic: %d restreaming iterations (%s)\n", res.Iterations, res.Stopped)
+		}
+	case "zoltan":
+		parts, err = hyperpraw.PartitionMultilevel(h, *k, opts)
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := hyperpraw.Evaluate(h, parts, env)
+	fmt.Printf("quality: hyperedge cut %d, SOED %d, comm cost %.4g, imbalance %.3f\n",
+		rep.HyperedgeCut, rep.SOED, rep.CommCost, rep.Imbalance)
+
+	bres, err := hyperpraw.SimulateBenchmark(machine, h, parts, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated benchmark runtime: %.6g s (%d messages, %d bytes)\n",
+		bres.MakespanSec, bres.TotalMessages, bres.TotalBytes)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for _, p := range parts {
+			fmt.Fprintln(w, p)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote partition to", *outPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperpraw:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Quickstart: partition one hypergraph three ways and compare quality and
+// simulated benchmark runtime on an ARCHER-like machine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperpraw"
+)
+
+func main() {
+	// 1. A simulated 64-core HPC machine with a hierarchical interconnect.
+	machine := hyperpraw.NewArcherMachine(64, 1)
+
+	// 2. Profile it: ring-based p2p bandwidth measurement, then the paper's
+	//    normalised cost matrix C(i,j) ∈ [1,2].
+	env := hyperpraw.Profile(machine)
+
+	// 3. A workload: the "2cubes_sphere" FEM instance from the paper's
+	//    Table 1, scaled to 2% so this demo runs in seconds.
+	h := hyperpraw.GenerateInstance("2cubes_sphere", 0.02, 1)
+	s := h.ComputeStats()
+	fmt.Printf("workload: %s (%d vertices, %d hyperedges, %d pins)\n\n",
+		s.Name, s.Vertices, s.Hyperedges, s.TotalNNZ)
+
+	// 4. Partition with the multilevel baseline and both HyperPRAW modes.
+	zoltan, err := hyperpraw.PartitionMultilevel(h, machine.NumCores(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	basic, _, err := hyperpraw.PartitionBasic(h, env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aware, res, err := hyperpraw.PartitionAware(h, env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hyperpraw-aware converged after %d restreaming iterations (%s)\n\n",
+		res.Iterations, res.Stopped)
+
+	// 5. Compare: quality metrics plus the synthetic benchmark's simulated
+	//    runtime (the paper's headline comparison, Fig 5).
+	fmt.Printf("%-20s %10s %12s %14s %12s\n", "algorithm", "cut", "SOED", "commCost", "runtime(s)")
+	base := 0.0
+	for _, entry := range []struct {
+		name  string
+		parts []int32
+	}{
+		{"zoltan-multilevel", zoltan},
+		{"hyperpraw-basic", basic},
+		{"hyperpraw-aware", aware},
+	} {
+		rep := hyperpraw.Evaluate(h, entry.parts, env)
+		sim, err := hyperpraw.SimulateBenchmark(machine, h, entry.parts, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suffix := ""
+		if base == 0 {
+			base = sim.MakespanSec
+		} else if sim.MakespanSec > 0 {
+			suffix = fmt.Sprintf("  (%.2fx vs zoltan)", base/sim.MakespanSec)
+		}
+		fmt.Printf("%-20s %10d %12d %14.4g %12.6g%s\n",
+			entry.name, rep.HyperedgeCut, rep.SOED, rep.CommCost, sim.MakespanSec, suffix)
+	}
+}

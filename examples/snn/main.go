@@ -1,0 +1,185 @@
+// Spiking neural network placement: the paper's motivating domain ([12],
+// Fernandez-Musoles et al., Frontiers in Neuroinformatics 2019).
+//
+// A recurrent network of leaky integrate-and-fire (LIF) neurons is modelled
+// as a hypergraph: each neuron's axonal projection (the neuron plus all of
+// its postsynaptic targets) is one hyperedge, so a hyperedge cut corresponds
+// exactly to a spike that must cross partitions. The network is partitioned
+// with the Zoltan-style baseline, HyperPRAW-basic and HyperPRAW-aware; then
+// an actual LIF simulation runs and every spike whose targets live on other
+// ranks becomes a message on the simulated machine.
+//
+//	go run ./examples/snn [-neurons 2000] [-cores 64] [-steps 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hyperpraw"
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/netsim"
+)
+
+type network struct {
+	n       int
+	targets [][]int32 // postsynaptic targets per neuron
+}
+
+// buildNetwork wires a clustered recurrent network: neurons live in
+// communities of ~communitySize with mostly local synapses plus a fraction
+// of long-range projections — the connectivity structure cortical models
+// use, and the reason partitioning pays off.
+func buildNetwork(n, fanout, communitySize int, localFrac float64, rng *rand.Rand) *network {
+	net := &network{n: n, targets: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		community := i / communitySize
+		base := community * communitySize
+		seen := map[int32]bool{int32(i): true}
+		for len(net.targets[i]) < fanout {
+			var t int32
+			if rng.Float64() < localFrac {
+				t = int32(base + rng.Intn(communitySize))
+				if int(t) >= n {
+					continue
+				}
+			} else {
+				t = int32(rng.Intn(n))
+			}
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			net.targets[i] = append(net.targets[i], t)
+		}
+	}
+	return net
+}
+
+// toHypergraph converts the network to the paper's communication model: one
+// hyperedge per neuron containing the neuron and its postsynaptic targets.
+func (net *network) toHypergraph() *hyperpraw.Hypergraph {
+	b := hypergraph.NewBuilder(net.n)
+	for i := 0; i < net.n; i++ {
+		pins := make([]int, 0, len(net.targets[i])+1)
+		pins = append(pins, i)
+		for _, t := range net.targets[i] {
+			pins = append(pins, int(t))
+		}
+		b.AddEdge(pins...)
+	}
+	h := b.Build()
+	h.SetName("snn")
+	return h
+}
+
+// simulate runs a LIF simulation and accumulates the spike traffic each
+// partitioning would generate: when neuron i spikes, one message goes to
+// every *other* partition hosting at least one of its targets (spikes are
+// batched per destination rank, as real SNN engines do).
+func simulate(net *network, parts []int32, cores, steps int, seed int64) (*netsim.Traffic, int) {
+	rng := rand.New(rand.NewSource(seed))
+	potential := make([]float64, net.n)
+	const (
+		threshold  = 1.0
+		leak       = 0.92
+		synWeight  = 0.12
+		inputRate  = 0.08
+		spikeBytes = 512 // a batched spike packet (ids + timestamps), not a single spike
+	)
+	traffic := netsim.NewTraffic(cores)
+	spikes := 0
+	touched := make([]bool, cores)
+	for step := 0; step < steps; step++ {
+		var fired []int32
+		for i := 0; i < net.n; i++ {
+			potential[i] *= leak
+			if rng.Float64() < inputRate {
+				potential[i] += 0.5
+			}
+			if potential[i] >= threshold {
+				potential[i] = 0
+				fired = append(fired, int32(i))
+			}
+		}
+		for _, i := range fired {
+			spikes++
+			src := parts[i]
+			for c := range touched {
+				touched[c] = false
+			}
+			for _, t := range net.targets[i] {
+				potential[t] += synWeight
+				dst := parts[t]
+				if dst != src && !touched[dst] {
+					touched[dst] = true
+					traffic.Add(int(src), int(dst), 1, spikeBytes)
+				}
+			}
+		}
+	}
+	return traffic, spikes
+}
+
+func main() {
+	neurons := flag.Int("neurons", 3000, "number of LIF neurons")
+	fanout := flag.Int("fanout", 40, "postsynaptic targets per neuron")
+	cores := flag.Int("cores", 64, "simulated compute units")
+	steps := flag.Int("steps", 200, "simulation time steps")
+	community := flag.Int("community", 120, "neurons per community")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	net := buildNetwork(*neurons, *fanout, *community, 0.85, rng)
+	h := net.toHypergraph()
+	s := h.ComputeStats()
+	fmt.Printf("SNN: %d neurons, fanout %d -> hypergraph with %d hyperedges, %d pins\n\n",
+		*neurons, *fanout, s.Hyperedges, s.TotalNNZ)
+
+	machine := hyperpraw.NewArcherMachine(*cores, uint64(*seed))
+	env := hyperpraw.Profile(machine)
+	model := netsim.AggregateModel{Overlap: 0.5}
+
+	zoltan, err := hyperpraw.PartitionMultilevel(h, *cores, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	basic, _, err := hyperpraw.PartitionBasic(h, env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aware, _, err := hyperpraw.PartitionAware(h, env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-20s %12s %14s %14s %12s\n", "algorithm", "spike msgs", "bytes", "sim time (s)", "speedup")
+	base := 0.0
+	for _, entry := range []struct {
+		name  string
+		parts []int32
+	}{
+		{"zoltan-multilevel", zoltan},
+		{"hyperpraw-basic", basic},
+		{"hyperpraw-aware", aware},
+	} {
+		traffic, spikes := simulate(net, entry.parts, *cores, *steps, *seed)
+		res := model.Estimate(machine, traffic)
+		speedup := "-"
+		if base == 0 {
+			base = res.MakespanSec
+		} else if res.MakespanSec > 0 {
+			speedup = fmt.Sprintf("%.2fx", base/res.MakespanSec)
+		}
+		fmt.Printf("%-20s %12d %14d %14.6g %12s\n",
+			entry.name, res.TotalMessages, res.TotalBytes, res.MakespanSec, speedup)
+		_ = spikes
+	}
+	fmt.Println("\nSpike traffic follows the hyperedge structure. On strongly clustered")
+	fmt.Println("networks the multilevel baseline finds excellent cuts; HyperPRAW-aware")
+	fmt.Println("compensates by placing the unavoidable cross-partition spike routes on")
+	fmt.Println("fast links — the effect that grows with machine size (paper Fig 5).")
+}

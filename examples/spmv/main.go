@@ -1,0 +1,188 @@
+// Distributed sparse matrix–vector multiplication, the second application
+// domain the paper identifies (Catalyurek & Aykanat's row-net model [4]).
+//
+// A square sparse matrix A is distributed row-wise: partition k owns the
+// rows assigned to it and the matching entries of x and y. Computing
+// y = A·x requires, for every non-zero A[i][j] with owner(i) != owner(j),
+// fetching x[j] from the remote rank — exactly the communication the
+// row-net hypergraph models (row i's hyperedge pins the columns with
+// non-zeros in row i).
+//
+// The example builds a banded sparse matrix, verifies the distributed SpMV
+// against a serial reference, and compares the remote-fetch volume and
+// simulated communication time across the three partitioners.
+//
+//	go run ./examples/spmv [-n 4000] [-cores 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"hyperpraw"
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/netsim"
+)
+
+// sparseMatrix is a CSR square matrix.
+type sparseMatrix struct {
+	n      int
+	rowPtr []int
+	colIdx []int32
+	values []float64
+}
+
+// buildBanded creates a banded matrix with bandwidth w plus a sprinkling of
+// random off-band entries (the structure of the paper's FEM instances).
+func buildBanded(n, w int, offBandFrac float64, rng *rand.Rand) *sparseMatrix {
+	m := &sparseMatrix{n: n, rowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		cols := map[int32]bool{int32(i): true}
+		for k := 0; k < w; k++ {
+			j := i + rng.Intn(2*w+1) - w
+			if j >= 0 && j < n {
+				cols[int32(j)] = true
+			}
+		}
+		if rng.Float64() < offBandFrac {
+			cols[int32(rng.Intn(n))] = true
+		}
+		for j := range cols {
+			m.colIdx = append(m.colIdx, j)
+			m.values = append(m.values, rng.Float64()*2-1)
+		}
+		m.rowPtr[i+1] = len(m.colIdx)
+	}
+	return m
+}
+
+// toHypergraph applies the row-net model: row i becomes a hyperedge whose
+// pins are the columns with non-zeros in row i.
+func (m *sparseMatrix) toHypergraph() *hyperpraw.Hypergraph {
+	b := hypergraph.NewBuilder(m.n)
+	for i := 0; i < m.n; i++ {
+		pins := make([]int, 0, m.rowPtr[i+1]-m.rowPtr[i])
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			pins = append(pins, int(m.colIdx[k]))
+		}
+		b.AddEdge(pins...)
+	}
+	h := b.Build()
+	h.SetName("spmv")
+	return h
+}
+
+// serialSpMV computes y = A·x on one rank (the reference).
+func (m *sparseMatrix) serialSpMV(x []float64) []float64 {
+	y := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		sum := 0.0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			sum += m.values[k] * x[m.colIdx[k]]
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+// distributedSpMV computes y = A·x under a row distribution, accounting each
+// remote x-entry fetch as a message. Vector entry x[j] lives with row j's
+// owner; a rank fetches each remote entry once per SpMV (with caching), as
+// real implementations do.
+func distributedSpMV(m *sparseMatrix, x []float64, parts []int32, cores int) ([]float64, *netsim.Traffic) {
+	const entryBytes = 8
+	traffic := netsim.NewTraffic(cores)
+	y := make([]float64, m.n)
+	// fetched[rank] records which x entries rank already pulled this SpMV.
+	fetched := make([]map[int32]bool, cores)
+	for r := range fetched {
+		fetched[r] = map[int32]bool{}
+	}
+	for i := 0; i < m.n; i++ {
+		owner := parts[i]
+		sum := 0.0
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			jOwner := parts[j]
+			if jOwner != owner && !fetched[owner][j] {
+				fetched[owner][j] = true
+				traffic.Add(int(jOwner), int(owner), 1, entryBytes)
+			}
+			sum += m.values[k] * x[j]
+		}
+		y[i] = sum
+	}
+	return y, traffic
+}
+
+func main() {
+	n := flag.Int("n", 4000, "matrix dimension")
+	band := flag.Int("band", 12, "matrix band half-width")
+	cores := flag.Int("cores", 64, "simulated compute units")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	A := buildBanded(*n, *band, 0.2, rng)
+	h := A.toHypergraph()
+	s := h.ComputeStats()
+	fmt.Printf("SpMV: %dx%d matrix, %d non-zeros (avg %0.1f per row)\n\n",
+		*n, *n, s.TotalNNZ, s.AvgCardinality)
+
+	x := make([]float64, *n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	ref := A.serialSpMV(x)
+
+	machine := hyperpraw.NewArcherMachine(*cores, uint64(*seed))
+	env := hyperpraw.Profile(machine)
+	model := netsim.AggregateModel{Overlap: 0.5}
+
+	zoltan, err := hyperpraw.PartitionMultilevel(h, *cores, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	basic, _, err := hyperpraw.PartitionBasic(h, env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aware, _, err := hyperpraw.PartitionAware(h, env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-20s %14s %14s %12s\n", "algorithm", "remote fetches", "comm time (s)", "speedup")
+	base := 0.0
+	for _, entry := range []struct {
+		name  string
+		parts []int32
+	}{
+		{"zoltan-multilevel", zoltan},
+		{"hyperpraw-basic", basic},
+		{"hyperpraw-aware", aware},
+	} {
+		y, traffic := distributedSpMV(A, x, entry.parts, *cores)
+		for i := range y {
+			if math.Abs(y[i]-ref[i]) > 1e-9 {
+				log.Fatalf("%s: distributed SpMV diverged from serial at row %d", entry.name, i)
+			}
+		}
+		res := model.Estimate(machine, traffic)
+		speedup := "-"
+		if base == 0 {
+			base = res.MakespanSec
+		} else if res.MakespanSec > 0 {
+			speedup = fmt.Sprintf("%.2fx", base/res.MakespanSec)
+		}
+		fmt.Printf("%-20s %14d %14.6g %12s\n", entry.name, res.TotalMessages, res.MakespanSec, speedup)
+	}
+	fmt.Println("\nAll three distributions produce the exact serial result; they differ only")
+	fmt.Println("in where the x-vector entries travel. A banded matrix is recursive")
+	fmt.Println("bisection's best case (contiguous blocks are optimal), so the baseline")
+	fmt.Println("wins the fetch count — note how architecture-awareness still recovers")
+	fmt.Println("most of the runtime gap for the streaming partitioner.")
+}

@@ -1,0 +1,106 @@
+package hyperpraw
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestMapToTopologyPreservesCut(t *testing.T) {
+	m, env := testEnv(t)
+	h := GenerateInstance("ABACUS_shell_hd", 0.02, 9)
+	parts, err := PartitionMultilevel(h, m.NumCores(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := MapToTopology(h, parts, m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Evaluate(h, parts, env)
+	after := Evaluate(h, mapped, env)
+	if before.HyperedgeCut != after.HyperedgeCut || before.SOED != after.SOED {
+		t.Fatal("mapping changed cut metrics")
+	}
+	if after.CommCost > before.CommCost*1.001 {
+		t.Fatalf("mapping increased PC %g -> %g", before.CommCost, after.CommCost)
+	}
+}
+
+func TestPartitionAwareParallelFacade(t *testing.T) {
+	_, env := testEnv(t)
+	h := GenerateInstance("2cubes_sphere", 0.005, 10)
+	parts, res, err := PartitionAwareParallel(h, env, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != h.NumVertices() || res.Iterations < 1 {
+		t.Fatal("parallel facade returned malformed result")
+	}
+}
+
+func TestRepartitionFacade(t *testing.T) {
+	_, env := testEnv(t)
+	h := GenerateInstance("ABACUS_shell_hd", 0.02, 11)
+	first, _, err := PartitionAware(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := Repartition(h, first, env, 1e12, &Options{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range first {
+		if first[v] != second[v] {
+			t.Fatal("huge migration penalty still moved vertices")
+		}
+	}
+	// Zero penalty warm start must stay valid.
+	third, _, err := Repartition(h, first, env, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != h.NumVertices() {
+		t.Fatal("repartition returned wrong length")
+	}
+}
+
+func TestPartitionHierarchicalFacade(t *testing.T) {
+	m, env := testEnv(t)
+	h := GenerateInstance("2cubes_sphere", 0.01, 13)
+	parts, err := PartitionHierarchical(h, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(h, parts, env)
+	if rep.Imbalance > 1.35 {
+		t.Fatalf("hierarchical imbalance %g", rep.Imbalance)
+	}
+	if rep.CommCost <= 0 {
+		t.Fatal("degenerate hierarchical partition")
+	}
+}
+
+func TestPartitionVectorFileRoundTrip(t *testing.T) {
+	_, env := testEnv(t)
+	h := GenerateInstance("sparsine", 0.002, 12)
+	parts, _, err := PartitionBasic(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "parts.txt")
+	if err := SavePartitionVector(path, parts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPartitionVector(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(parts) {
+		t.Fatal("length mismatch")
+	}
+	for v := range parts {
+		if got[v] != parts[v] {
+			t.Fatal("round trip corrupted assignments")
+		}
+	}
+}

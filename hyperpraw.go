@@ -1,0 +1,253 @@
+// Package hyperpraw is the public API of the HyperPRAW reproduction: an
+// architecture-aware restreaming hypergraph partitioner (Fernandez Musoles,
+// Coca, Richmond — ICPP 2019) together with every substrate the paper's
+// evaluation needs: a Zoltan-style multilevel baseline, a simulated
+// hierarchical HPC machine with bandwidth profiling, quality metrics and the
+// synthetic communication benchmark.
+//
+// # Quickstart
+//
+//	machine := hyperpraw.NewArcherMachine(64, 1)
+//	env := hyperpraw.Profile(machine)          // p2p bandwidth → cost matrix
+//	h := hyperpraw.GenerateInstance("sparsine", 0.01, 1)
+//	parts, res, _ := hyperpraw.PartitionAware(h, env, nil)
+//	report := hyperpraw.Evaluate(h, parts, env)
+//	runtime, _ := hyperpraw.SimulateBenchmark(machine, h, parts, nil)
+//
+// The internal packages remain importable by this module's commands and
+// examples; external users interact through this facade.
+package hyperpraw
+
+import (
+	"fmt"
+
+	"hyperpraw/internal/bench"
+	"hyperpraw/internal/core"
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/metrics"
+	"hyperpraw/internal/multilevel"
+	"hyperpraw/internal/netsim"
+	"hyperpraw/internal/profile"
+	"hyperpraw/internal/topology"
+)
+
+// Hypergraph re-exports the immutable hypergraph type.
+type Hypergraph = hypergraph.Hypergraph
+
+// Machine re-exports the simulated HPC machine.
+type Machine = topology.Machine
+
+// QualityReport re-exports the quality metrics bundle.
+type QualityReport = metrics.QualityReport
+
+// PartitionResult re-exports HyperPRAW's run result (iteration history,
+// stopping reason, final metrics).
+type PartitionResult = core.Result
+
+// BenchResult re-exports the simulated benchmark outcome.
+type BenchResult = netsim.Result
+
+// Environment bundles a machine's profiled bandwidth and the two cost
+// matrices the algorithms consume.
+type Environment struct {
+	// Bandwidth is the profiled peer-to-peer bandwidth matrix in MB/s.
+	Bandwidth [][]float64
+	// PhysCost is the paper's normalised cost matrix C(i,j) ∈ [1,2].
+	PhysCost [][]float64
+	// UniformCost is the architecture-oblivious matrix (1 off-diagonal).
+	UniformCost [][]float64
+}
+
+// NewArcherMachine builds an ARCHER-like hierarchical machine with the given
+// number of cores; noise is deterministic in seed.
+func NewArcherMachine(cores int, seed uint64) *Machine {
+	return topology.MustNew(topology.Archer(), cores, seed)
+}
+
+// NewCloudMachine builds an opaque cloud-like machine with scattered ranks,
+// the scenario where profiling-based discovery is essential.
+func NewCloudMachine(cores int, seed uint64) *Machine {
+	return topology.MustNew(topology.Cloud(), cores, seed)
+}
+
+// Profile measures the machine's peer-to-peer bandwidth with the ring
+// profiler (the mpiGraph analog of §4.2) and derives both cost matrices.
+func Profile(m *Machine) Environment {
+	bw := profile.RingProfile(m, profile.DefaultConfig())
+	return Environment{
+		Bandwidth:   bw,
+		PhysCost:    profile.CostMatrix(bw),
+		UniformCost: profile.UniformCost(m.NumCores()),
+	}
+}
+
+// LoadHypergraph reads a hypergraph from disk (hMetis .hgr or MatrixMarket
+// .mtx, selected by extension).
+func LoadHypergraph(path string) (*Hypergraph, error) {
+	return hypergraph.LoadFile(path)
+}
+
+// SaveHypergraph writes h to path in hMetis format.
+func SaveHypergraph(path string, h *Hypergraph) error {
+	return hypergraph.SaveFile(path, h)
+}
+
+// GenerateInstance synthesises one of the paper's Table 1 instances at the
+// given scale (1.0 = paper size). It panics on unknown names; use
+// InstanceNames for the valid set.
+func GenerateInstance(name string, scale float64, seed uint64) *Hypergraph {
+	spec, ok := hgen.SpecByName(name)
+	if !ok {
+		panic(fmt.Sprintf("hyperpraw: unknown instance %q", name))
+	}
+	return hgen.Generate(spec.Scaled(scale), seed)
+}
+
+// InstanceNames lists the Table 1 instance names in the paper's order.
+func InstanceNames() []string {
+	specs := hgen.Catalog()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Options tunes the partitioners; the zero value (or nil pointer) uses the
+// paper's defaults.
+type Options struct {
+	// ImbalanceTolerance is the acceptable max/mean load ratio (default 1.10).
+	ImbalanceTolerance float64
+	// MaxIterations caps HyperPRAW's restreaming (default 100).
+	MaxIterations int
+	// RefinementFactor is the α update during refinement (default 0.95).
+	RefinementFactor float64
+	// DisableRefinement stops restreaming at the imbalance tolerance, as
+	// GRaSP does (the paper's "no refinement" baseline).
+	DisableRefinement bool
+	// RecordHistory retains per-iteration statistics in PartitionResult.
+	RecordHistory bool
+	// Seed drives the multilevel baseline's randomness (default 1).
+	Seed uint64
+}
+
+func (o *Options) orDefault() Options {
+	out := Options{ImbalanceTolerance: 1.10, MaxIterations: 100, RefinementFactor: 0.95, Seed: 1}
+	if o == nil {
+		return out
+	}
+	if o.ImbalanceTolerance > 1 {
+		out.ImbalanceTolerance = o.ImbalanceTolerance
+	}
+	if o.MaxIterations > 0 {
+		out.MaxIterations = o.MaxIterations
+	}
+	if o.RefinementFactor > 0 {
+		out.RefinementFactor = o.RefinementFactor
+	}
+	out.DisableRefinement = o.DisableRefinement
+	out.RecordHistory = o.RecordHistory
+	if o.Seed != 0 {
+		out.Seed = o.Seed
+	}
+	return out
+}
+
+func prawConfig(cost [][]float64, o Options) core.Config {
+	cfg := core.DefaultConfig(cost)
+	cfg.ImbalanceTolerance = o.ImbalanceTolerance
+	cfg.MaxIterations = o.MaxIterations
+	cfg.RefinementFactor = o.RefinementFactor
+	if o.DisableRefinement {
+		cfg.RefinementPolicy = core.StopAtTolerance
+	}
+	cfg.RecordHistory = o.RecordHistory
+	return cfg
+}
+
+// PartitionAware runs HyperPRAW with the profiled physical cost matrix
+// (HyperPRAW-aware). The partition has len(env.PhysCost) parts.
+func PartitionAware(h *Hypergraph, env Environment, opts *Options) ([]int32, PartitionResult, error) {
+	o := opts.orDefault()
+	pr, err := core.New(h, prawConfig(env.PhysCost, o))
+	if err != nil {
+		return nil, PartitionResult{}, err
+	}
+	res := pr.Run()
+	return res.Parts, res, nil
+}
+
+// PartitionBasic runs HyperPRAW with the uniform cost matrix
+// (HyperPRAW-basic).
+func PartitionBasic(h *Hypergraph, env Environment, opts *Options) ([]int32, PartitionResult, error) {
+	o := opts.orDefault()
+	pr, err := core.New(h, prawConfig(env.UniformCost, o))
+	if err != nil {
+		return nil, PartitionResult{}, err
+	}
+	res := pr.Run()
+	return res.Parts, res, nil
+}
+
+// PartitionMultilevel runs the Zoltan-style multilevel recursive-bisection
+// baseline into k parts.
+func PartitionMultilevel(h *Hypergraph, k int, opts *Options) ([]int32, error) {
+	o := opts.orDefault()
+	cfg := multilevel.DefaultConfig(k)
+	cfg.ImbalanceTolerance = o.ImbalanceTolerance
+	cfg.Seed = o.Seed
+	return multilevel.Partition(h, cfg)
+}
+
+// Evaluate computes the paper's quality metrics (hyperedge cut, SOED,
+// partitioning communication cost under the physical matrix, imbalance).
+func Evaluate(h *Hypergraph, parts []int32, env Environment) QualityReport {
+	return metrics.Evaluate(h, parts, env.PhysCost)
+}
+
+// BenchOptions tunes the synthetic benchmark; nil uses the defaults
+// (1 KiB messages, 10 steps, 50% send/receive overlap).
+type BenchOptions struct {
+	MessageBytes int64
+	Steps        int
+	Overlap      float64
+}
+
+// SimulateBenchmark runs the paper's null-compute communication benchmark
+// (§5.3) for the partitioned hypergraph on the machine, returning the
+// simulated result (MakespanSec is the headline runtime of Fig 5).
+func SimulateBenchmark(m *Machine, h *Hypergraph, parts []int32, opts *BenchOptions) (BenchResult, error) {
+	cfg := bench.DefaultConfig()
+	if opts != nil {
+		if opts.MessageBytes > 0 {
+			cfg.MessageBytes = opts.MessageBytes
+		}
+		if opts.Steps > 0 {
+			cfg.Steps = opts.Steps
+		}
+		if opts.Overlap > 0 {
+			cfg.Overlap = opts.Overlap
+		}
+	}
+	return bench.Run(m, h, parts, cfg)
+}
+
+// TrafficMatrix returns the benchmark's per-rank bytes-sent matrix for the
+// partitioned hypergraph — the quantity plotted in Fig 1B and Fig 6B–D.
+func TrafficMatrix(m *Machine, h *Hypergraph, parts []int32, opts *BenchOptions) ([][]float64, error) {
+	cfg := bench.DefaultConfig()
+	if opts != nil {
+		if opts.MessageBytes > 0 {
+			cfg.MessageBytes = opts.MessageBytes
+		}
+		if opts.Steps > 0 {
+			cfg.Steps = opts.Steps
+		}
+	}
+	traffic, err := bench.BuildTraffic(h, parts, m.NumCores(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.BytesMatrix(), nil
+}

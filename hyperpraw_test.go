@@ -1,0 +1,223 @@
+package hyperpraw
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testEnv(t *testing.T) (*Machine, Environment) {
+	t.Helper()
+	m := NewArcherMachine(16, 1)
+	return m, Profile(m)
+}
+
+func TestProfileShapes(t *testing.T) {
+	m, env := testEnv(t)
+	p := m.NumCores()
+	if len(env.Bandwidth) != p || len(env.PhysCost) != p || len(env.UniformCost) != p {
+		t.Fatal("environment matrices sized wrong")
+	}
+	for i := 0; i < p; i++ {
+		if env.PhysCost[i][i] != 0 || env.UniformCost[i][i] != 0 {
+			t.Fatal("cost diagonals must be zero")
+		}
+	}
+}
+
+func TestGenerateInstanceAndNames(t *testing.T) {
+	names := InstanceNames()
+	if len(names) != 10 {
+		t.Fatalf("%d instance names", len(names))
+	}
+	h := GenerateInstance(names[0], 0.005, 1)
+	if h.NumVertices() == 0 {
+		t.Fatal("empty instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown instance did not panic")
+		}
+	}()
+	GenerateInstance("bogus", 1, 1)
+}
+
+func TestEndToEndAware(t *testing.T) {
+	m, env := testEnv(t)
+	h := GenerateInstance("ABACUS_shell_hd", 0.01, 1)
+	parts, res, err := PartitionAware(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != h.NumVertices() {
+		t.Fatal("partition length mismatch")
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+	report := Evaluate(h, parts, env)
+	if report.CommCost < 0 || report.Imbalance < 1 {
+		t.Fatalf("bad report %+v", report)
+	}
+	bres, err := SimulateBenchmark(m, h, parts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.MakespanSec <= 0 {
+		t.Fatal("benchmark simulated nothing")
+	}
+}
+
+func TestAwareBeatsBasicOnPhysicalCost(t *testing.T) {
+	_, env := testEnv(t)
+	h := GenerateInstance("2cubes_sphere", 0.01, 2)
+	aware, _, err := PartitionAware(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, _, err := PartitionBasic(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Evaluate(h, aware, env).CommCost >= Evaluate(h, basic, env).CommCost {
+		t.Fatal("aware did not beat basic under physical cost")
+	}
+}
+
+func TestMultilevelFacade(t *testing.T) {
+	_, env := testEnv(t)
+	h := GenerateInstance("sparsine", 0.005, 3)
+	parts, err := PartitionMultilevel(h, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(h, parts, env)
+	if rep.Imbalance > 1.35 {
+		t.Fatalf("multilevel imbalance %g", rep.Imbalance)
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	_, env := testEnv(t)
+	h := GenerateInstance("ABACUS_shell_hd", 0.005, 4)
+	opts := &Options{MaxIterations: 5, RecordHistory: true, DisableRefinement: true}
+	_, res, err := PartitionAware(h, env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 5 {
+		t.Fatalf("iterations %d exceed cap", res.Iterations)
+	}
+	if len(res.History) != res.Iterations {
+		t.Fatal("history not recorded")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	h := GenerateInstance("webbase-1M", 0.001, 5)
+	path := filepath.Join(t.TempDir(), "wb.hgr")
+	if err := SaveHypergraph(path, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := LoadHypergraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumVertices() != h.NumVertices() || h2.NumPins() != h.NumPins() {
+		t.Fatal("round trip lost structure")
+	}
+}
+
+func TestTrafficMatrix(t *testing.T) {
+	m, env := testEnv(t)
+	h := GenerateInstance("sparsine", 0.005, 6)
+	parts, _, err := PartitionBasic(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic, err := TrafficMatrix(m, h, parts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traffic) != m.NumCores() {
+		t.Fatal("traffic matrix sized wrong")
+	}
+	total := 0.0
+	for i := range traffic {
+		if traffic[i][i] != 0 {
+			t.Fatal("self traffic recorded")
+		}
+		for _, v := range traffic[i] {
+			total += v
+		}
+	}
+	if total == 0 {
+		t.Fatal("no traffic at all")
+	}
+}
+
+func TestCloudMachine(t *testing.T) {
+	m := NewCloudMachine(32, 7)
+	if m.NumCores() != 32 {
+		t.Fatal("core count wrong")
+	}
+	env := Profile(m)
+	if len(env.PhysCost) != 32 {
+		t.Fatal("profile dimension wrong")
+	}
+}
+
+func TestAwareDiscoversCloudLocality(t *testing.T) {
+	// On a scattered-rank cloud machine only profiling reveals which rank
+	// pairs share a host; the aware variant must turn that into lower
+	// physical communication cost than the oblivious variant.
+	m := NewCloudMachine(32, 3)
+	env := Profile(m)
+	h := GenerateInstance("ABACUS_shell_hd", 0.03, 3)
+	aware, _, err := PartitionAware(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, _, err := PartitionBasic(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awarePC := Evaluate(h, aware, env).CommCost
+	basicPC := Evaluate(h, basic, env).CommCost
+	if awarePC >= basicPC {
+		t.Fatalf("aware PC %g not below basic PC %g on the cloud machine", awarePC, basicPC)
+	}
+}
+
+func TestEvaluateConsistentAcrossCalls(t *testing.T) {
+	_, env := testEnv(t)
+	h := GenerateInstance("sparsine", 0.003, 8)
+	parts, _, err := PartitionBasic(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Evaluate(h, parts, env)
+	b := Evaluate(h, parts, env)
+	if a != b {
+		t.Fatal("Evaluate is not a pure function of its inputs")
+	}
+}
+
+func TestBenchOptionsPlumbing(t *testing.T) {
+	m, env := testEnv(t)
+	h := GenerateInstance("ABACUS_shell_hd", 0.01, 9)
+	parts, _, err := PartitionBasic(h, env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := SimulateBenchmark(m, h, parts, &BenchOptions{Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := SimulateBenchmark(m, h, parts, &BenchOptions{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.TotalBytes != 10*one.TotalBytes {
+		t.Fatalf("steps option ignored: %d vs %d bytes", ten.TotalBytes, one.TotalBytes)
+	}
+}

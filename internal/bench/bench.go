@@ -1,0 +1,153 @@
+// Package bench implements the paper's synthetic runtime benchmark (§5.3).
+//
+// The benchmark is a null-compute, purely communication-bound simulation:
+// on every time step, for each hyperedge, a message is exchanged (both
+// directions) between every pair of its vertices that live in different
+// partitions. Partition k runs on rank k of the simulated machine, so a
+// partitioning that lands heavy-communicating vertex groups on
+// high-bandwidth links finishes sooner — the effect Fig 5 measures.
+//
+// Message volumes are accumulated at partition-pair granularity (for a
+// hyperedge with n_q pins in partition q and n_r in partition r, n_q·n_r
+// messages flow each way), which reproduces exactly the per-pair traffic the
+// paper's benchmark generates while staying tractable for millions of pins.
+package bench
+
+import (
+	"fmt"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/netsim"
+	"hyperpraw/internal/topology"
+)
+
+// Config parameterises the synthetic benchmark.
+type Config struct {
+	// MessageBytes is the payload of each pairwise message (default 4096;
+	// large enough that transfers are bandwidth- rather than
+	// latency-dominated, as in the paper's communication-bound setting).
+	MessageBytes int64
+	// Steps is the number of simulated time steps; traffic scales linearly
+	// (default 10).
+	Steps int
+	// Overlap is passed to netsim.AggregateModel (default 0.5).
+	Overlap float64
+}
+
+// DefaultConfig returns the configuration used in the experiments.
+func DefaultConfig() Config {
+	return Config{MessageBytes: 4096, Steps: 10, Overlap: 0.5}
+}
+
+func (c *Config) fillDefaults() {
+	if c.MessageBytes <= 0 {
+		c.MessageBytes = 4096
+	}
+	if c.Steps <= 0 {
+		c.Steps = 10
+	}
+	if c.Overlap == 0 {
+		c.Overlap = 0.5
+	}
+}
+
+// BuildTraffic computes the benchmark's traffic account for one partitioned
+// hypergraph on p ranks. parts must assign every vertex to [0, p).
+func BuildTraffic(h *hypergraph.Hypergraph, parts []int32, p int, cfg Config) (*netsim.Traffic, error) {
+	cfg.fillDefaults()
+	if len(parts) != h.NumVertices() {
+		return nil, fmt.Errorf("bench: partition length %d, want %d", len(parts), h.NumVertices())
+	}
+	traffic := netsim.NewTraffic(p)
+
+	// Per-edge partition pin counts with epoch stamping.
+	counts := make([]int64, p)
+	stamp := make([]int, p)
+	touched := make([]int32, 0, p)
+	epoch := 0
+
+	for e := 0; e < h.NumEdges(); e++ {
+		epoch++
+		touched = touched[:0]
+		for _, v := range h.Pins(e) {
+			q := parts[v]
+			if int(q) >= p || q < 0 {
+				return nil, fmt.Errorf("bench: vertex %d in partition %d, want [0,%d)", v, q, p)
+			}
+			if stamp[q] != epoch {
+				stamp[q] = epoch
+				counts[q] = 0
+				touched = append(touched, q)
+			}
+			counts[q]++
+		}
+		if len(touched) < 2 {
+			continue // fully internal hyperedge: no messages
+		}
+		for a := 0; a < len(touched); a++ {
+			for b := a + 1; b < len(touched); b++ {
+				q, r := touched[a], touched[b]
+				pairs := counts[q] * counts[r] * int64(cfg.Steps)
+				traffic.Add(int(q), int(r), pairs, cfg.MessageBytes)
+				traffic.Add(int(r), int(q), pairs, cfg.MessageBytes)
+			}
+		}
+	}
+	return traffic, nil
+}
+
+// Run executes the benchmark on machine using the aggregate network model
+// and returns the simulated result. The machine must have at least as many
+// cores as partitions; partition k maps to rank k.
+func Run(machine *topology.Machine, h *hypergraph.Hypergraph, parts []int32, cfg Config) (netsim.Result, error) {
+	cfg.fillDefaults()
+	p := machine.NumCores()
+	traffic, err := BuildTraffic(h, parts, p, cfg)
+	if err != nil {
+		return netsim.Result{}, err
+	}
+	model := netsim.AggregateModel{Overlap: cfg.Overlap}
+	return model.Estimate(machine, traffic), nil
+}
+
+// RunEventLevel executes the benchmark through the message-level
+// discrete-event simulator. Intended for small instances (the message count
+// is Steps·Σ_e cross-partition pairs); it validates the aggregate model's
+// ranking of partitioners.
+func RunEventLevel(machine *topology.Machine, h *hypergraph.Hypergraph, parts []int32, cfg Config) (netsim.Result, error) {
+	cfg.fillDefaults()
+	p := machine.NumCores()
+	if err := checkParts(h, parts, p); err != nil {
+		return netsim.Result{}, err
+	}
+	sim := netsim.NewEventSim(machine)
+	for step := 0; step < cfg.Steps; step++ {
+		for e := 0; e < h.NumEdges(); e++ {
+			pins := h.Pins(e)
+			for a := 0; a < len(pins); a++ {
+				for b := a + 1; b < len(pins); b++ {
+					u, v := pins[a], pins[b]
+					pu, pv := parts[u], parts[v]
+					if pu == pv {
+						continue
+					}
+					sim.Submit(netsim.Message{Src: int(pu), Dst: int(pv), Bytes: cfg.MessageBytes})
+					sim.Submit(netsim.Message{Src: int(pv), Dst: int(pu), Bytes: cfg.MessageBytes})
+				}
+			}
+		}
+	}
+	return sim.Run(), nil
+}
+
+func checkParts(h *hypergraph.Hypergraph, parts []int32, p int) error {
+	if len(parts) != h.NumVertices() {
+		return fmt.Errorf("bench: partition length %d, want %d", len(parts), h.NumVertices())
+	}
+	for v, q := range parts {
+		if q < 0 || int(q) >= p {
+			return fmt.Errorf("bench: vertex %d in partition %d, want [0,%d)", v, q, p)
+		}
+	}
+	return nil
+}

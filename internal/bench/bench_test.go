@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/netsim"
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+func pair(t *testing.T) (*topology.Machine, *hypergraph.Hypergraph) {
+	t.Helper()
+	m := topology.MustNew(topology.Archer(), 4, 1)
+	b := hypergraph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2, 3)
+	h := b.Build()
+	return m, h
+}
+
+func TestBuildTrafficPairwise(t *testing.T) {
+	_, h := pair(t)
+	// Vertices 0,1 in partition 0; 2,3 in partition 1.
+	parts := []int32{0, 0, 1, 1}
+	cfg := Config{MessageBytes: 100, Steps: 1}
+	tr, err := BuildTraffic(h, parts, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge {0,1} internal: no traffic. Edge {1,2,3}: vertex 1 (part 0) pairs
+	// with 2 and 3 (part 1) → 2 messages each way.
+	if tr.Messages(0, 1) != 2 || tr.Messages(1, 0) != 2 {
+		t.Fatalf("messages %d %d, want 2 2", tr.Messages(0, 1), tr.Messages(1, 0))
+	}
+	if tr.Bytes(0, 1) != 200 {
+		t.Fatalf("bytes %d", tr.Bytes(0, 1))
+	}
+	if tr.TotalMessages() != 4 {
+		t.Fatalf("total %d", tr.TotalMessages())
+	}
+}
+
+func TestBuildTrafficStepsScale(t *testing.T) {
+	_, h := pair(t)
+	parts := []int32{0, 0, 1, 1}
+	one, _ := BuildTraffic(h, parts, 4, Config{MessageBytes: 100, Steps: 1})
+	ten, _ := BuildTraffic(h, parts, 4, Config{MessageBytes: 100, Steps: 10})
+	if ten.TotalBytes() != 10*one.TotalBytes() {
+		t.Fatalf("steps scaling wrong: %d vs %d", ten.TotalBytes(), one.TotalBytes())
+	}
+}
+
+func TestBuildTrafficAllInternal(t *testing.T) {
+	_, h := pair(t)
+	parts := []int32{0, 0, 0, 0}
+	tr, err := BuildTraffic(h, parts, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalMessages() != 0 {
+		t.Fatalf("internal partitioning produced %d messages", tr.TotalMessages())
+	}
+}
+
+func TestBuildTrafficErrors(t *testing.T) {
+	_, h := pair(t)
+	if _, err := BuildTraffic(h, []int32{0, 0}, 4, DefaultConfig()); err == nil {
+		t.Fatal("short partition accepted")
+	}
+	if _, err := BuildTraffic(h, []int32{0, 0, 9, 0}, 4, DefaultConfig()); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	m, h := pair(t)
+	parts := []int32{0, 0, 1, 1}
+	res, err := Run(m, h, parts, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec <= 0 {
+		t.Fatalf("makespan %g", res.MakespanSec)
+	}
+	if res.TotalMessages == 0 {
+		t.Fatal("no traffic simulated")
+	}
+}
+
+func TestRunZeroCommWhenColocated(t *testing.T) {
+	m, h := pair(t)
+	res, err := Run(m, h, []int32{0, 0, 0, 0}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec != 0 {
+		t.Fatalf("colocated makespan %g", res.MakespanSec)
+	}
+}
+
+func TestRunEventLevelMatchesTrafficVolume(t *testing.T) {
+	m, h := pair(t)
+	parts := []int32{0, 0, 1, 1}
+	cfg := Config{MessageBytes: 64, Steps: 2}
+	tr, err := BuildTraffic(h, parts, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := RunEventLevel(m, h, parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TotalBytes != tr.TotalBytes() || ev.TotalMessages != tr.TotalMessages() {
+		t.Fatalf("event level volume %d/%d vs aggregate %d/%d",
+			ev.TotalBytes, ev.TotalMessages, tr.TotalBytes(), tr.TotalMessages())
+	}
+}
+
+func TestRunEventLevelErrors(t *testing.T) {
+	m, h := pair(t)
+	if _, err := RunEventLevel(m, h, []int32{0}, DefaultConfig()); err == nil {
+		t.Fatal("short partition accepted")
+	}
+	if _, err := RunEventLevel(m, h, []int32{0, 0, -1, 0}, DefaultConfig()); err == nil {
+		t.Fatal("negative partition accepted")
+	}
+}
+
+func TestBetterPlacementRunsFaster(t *testing.T) {
+	// Heavy communication between partitions 0 and 1. Placing them on the
+	// same socket (ranks 0,1) must beat placing them across blades.
+	m := topology.MustNew(topology.Archer(), 96, 1)
+	b := hypergraph.NewBuilder(40)
+	for i := 0; i < 20; i++ {
+		b.AddEdge(i, 20+i)
+	}
+	h := b.Build()
+
+	near := make([]int32, 40)
+	far := make([]int32, 40)
+	for i := 0; i < 20; i++ {
+		near[i], near[20+i] = 0, 1 // ranks 0 and 1: same socket
+		far[i], far[20+i] = 0, 95  // ranks 0 and 95: cross-blade
+	}
+	cfg := DefaultConfig()
+	rNear, err := Run(m, h, near, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFar, err := Run(m, h, far, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rNear.MakespanSec >= rFar.MakespanSec {
+		t.Fatalf("near placement %g not faster than far %g", rNear.MakespanSec, rFar.MakespanSec)
+	}
+}
+
+// Property: traffic is symmetric (messages go both ways) and proportional to
+// message size.
+func TestQuickTrafficSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nv := rng.Intn(40) + 4
+		ne := rng.Intn(60) + 1
+		p := rng.Intn(6) + 2
+		b := hypergraph.NewBuilder(nv)
+		for e := 0; e < ne; e++ {
+			card := rng.Intn(5) + 1
+			pins := make([]int, card)
+			for i := range pins {
+				pins[i] = rng.Intn(nv)
+			}
+			b.AddEdge(pins...)
+		}
+		h := b.Build()
+		parts := make([]int32, nv)
+		for v := range parts {
+			parts[v] = int32(rng.Intn(p))
+		}
+		tr, err := BuildTraffic(h, parts, p, Config{MessageBytes: 8, Steps: 1})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if tr.Messages(i, j) != tr.Messages(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregate and event-level benchmarks simulate identical volumes.
+func TestQuickVolumesAgree(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 6, 1)
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nv := rng.Intn(20) + 3
+		ne := rng.Intn(20) + 1
+		b := hypergraph.NewBuilder(nv)
+		for e := 0; e < ne; e++ {
+			card := rng.Intn(4) + 1
+			pins := make([]int, card)
+			for i := range pins {
+				pins[i] = rng.Intn(nv)
+			}
+			b.AddEdge(pins...)
+		}
+		h := b.Build()
+		parts := make([]int32, nv)
+		for v := range parts {
+			parts[v] = int32(rng.Intn(6))
+		}
+		cfg := Config{MessageBytes: 16, Steps: 1}
+		tr, err := BuildTraffic(h, parts, 6, cfg)
+		if err != nil {
+			return false
+		}
+		ev, err := RunEventLevel(m, h, parts, cfg)
+		if err != nil {
+			return false
+		}
+		return ev.TotalBytes == tr.TotalBytes() && ev.TotalMessages == tr.TotalMessages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = netsim.Result{} // keep the import explicit for documentation purposes

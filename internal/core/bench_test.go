@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/profile"
+)
+
+func benchInstance() (*Partitioner, error) {
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.005), 1)
+	cfg := DefaultConfig(profile.UniformCost(32))
+	cfg.MaxIterations = 10
+	return New(h, cfg)
+}
+
+// BenchmarkRun measures a bounded full restreaming run (10 streams max).
+func BenchmarkRun(b *testing.B) {
+	pr, err := benchInstance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Run()
+	}
+}
+
+// BenchmarkSingleStream isolates one stream pass over all vertices.
+func BenchmarkSingleStream(b *testing.B) {
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.005), 1)
+	cfg := DefaultConfig(profile.UniformCost(32))
+	cfg.MaxIterations = 1
+	pr, err := New(h, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Run()
+	}
+}
+
+// BenchmarkPartitionParallel4 measures the parallel variant at 4 workers.
+func BenchmarkPartitionParallel4(b *testing.B) {
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.005), 1)
+	cfg := DefaultConfig(profile.UniformCost(32))
+	cfg.MaxIterations = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartitionParallel(h, cfg, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

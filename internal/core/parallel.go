@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/metrics"
+)
+
+// PartitionParallel is the parallel restreaming variant the paper's §8.2
+// identifies as future work, following Battaglino et al. (GraSP): the vertex
+// set is sharded across workers, every worker streams its shard concurrently
+// against a shared assignment, and workload/assignment state synchronises
+// through atomics after every move. Decisions read slightly stale peer
+// assignments — exactly the relaxation GraSP shows costs little quality —
+// so results are valid but not bit-for-bit deterministic across runs.
+//
+// workers <= 0 selects GOMAXPROCS. The configuration semantics match Run.
+func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Result, error) {
+	pr, err := New(h, cfg) // reuse validation and α defaulting
+	if err != nil {
+		return Result{}, err
+	}
+	cfg = pr.cfg
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nv := h.NumVertices()
+	if workers > nv && nv > 0 {
+		workers = nv
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := pr.p
+
+	state := &parallelState{
+		h:     h,
+		cfg:   cfg,
+		p:     p,
+		parts: make([]atomic.Int32, nv),
+		loads: make([]atomic.Int64, p),
+	}
+	var totalW int64
+	for v := 0; v < nv; v++ {
+		part := int32(v % p)
+		state.parts[v].Store(part)
+		w := h.VertexWeight(v)
+		state.loads[part].Add(w)
+		totalW += w
+	}
+	expected := expectedLoadsFor(cfg, p, totalW)
+
+	scratch := make([]*workerScratch, workers)
+	for w := range scratch {
+		scratch[w] = newWorkerScratch(nv, p)
+	}
+
+	alpha := cfg.Alpha0
+	patience := cfg.Patience
+	if patience <= 0 {
+		patience = 1
+	}
+	res := Result{Stopped: StoppedMaxIterations}
+	bestParts := make([]int32, nv)
+	bestCost := math.Inf(1)
+	haveBest := false
+	badStreak := 0
+	snapshot := make([]int32, nv)
+
+	for n := 1; n <= cfg.MaxIterations; n++ {
+		var wg sync.WaitGroup
+		chunk := (nv + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > nv {
+				hi = nv
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int, sc *workerScratch) {
+				defer wg.Done()
+				state.streamRange(lo, hi, alpha, expected, sc)
+			}(lo, hi, scratch[w])
+		}
+		wg.Wait()
+		res.Iterations = n
+
+		for v := 0; v < nv; v++ {
+			snapshot[v] = state.parts[v].Load()
+		}
+		loads := metrics.Loads(h, snapshot, p)
+		imb := imbalanceFor(cfg, loads, expected)
+		inTol := imb <= cfg.ImbalanceTolerance
+		cost := commCostFor(cfg, h, snapshot)
+
+		if cfg.RecordHistory {
+			res.History = append(res.History, IterationStats{
+				Iteration: n, CommCost: cost, Imbalance: imb, Alpha: alpha, InTolerance: inTol,
+			})
+		}
+
+		if !inTol {
+			alpha *= cfg.TemperFactor
+			continue
+		}
+		if cfg.RefinementPolicy == StopAtTolerance {
+			res.Stopped = StoppedAtTolerance
+			break
+		}
+		if !haveBest || cost < bestCost {
+			bestCost = cost
+			copy(bestParts, snapshot)
+			haveBest = true
+			badStreak = 0
+		} else {
+			badStreak++
+			if badStreak >= patience {
+				res.Stopped = StoppedNoImprovement
+				break
+			}
+		}
+		alpha *= cfg.RefinementFactor
+	}
+
+	final := snapshot
+	if haveBest {
+		final = bestParts
+	}
+	res.Parts = append([]int32(nil), final...)
+	res.FinalCommCost = commCostFor(cfg, h, res.Parts)
+	res.FinalImbalance = metrics.Imbalance(metrics.Loads(h, res.Parts, p))
+	return res, nil
+}
+
+func expectedLoadsFor(cfg Config, p int, totalW int64) []float64 {
+	expected := make([]float64, p)
+	if cfg.Capacities == nil {
+		e := float64(totalW) / float64(p)
+		if e == 0 {
+			e = 1
+		}
+		for i := range expected {
+			expected[i] = e
+		}
+		return expected
+	}
+	var capTotal float64
+	for _, c := range cfg.Capacities {
+		capTotal += c
+	}
+	for i, c := range cfg.Capacities {
+		e := float64(totalW) * c / capTotal
+		if e <= 0 {
+			e = 1
+		}
+		expected[i] = e
+	}
+	return expected
+}
+
+func imbalanceFor(cfg Config, loads []int64, expected []float64) float64 {
+	if cfg.Capacities == nil {
+		return metrics.Imbalance(loads)
+	}
+	worst := 0.0
+	for i, l := range loads {
+		if r := float64(l) / expected[i]; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func commCostFor(cfg Config, h *hypergraph.Hypergraph, parts []int32) float64 {
+	if cfg.UseEdgeWeights {
+		return metrics.WeightedCommCost(h, parts, cfg.CostMatrix)
+	}
+	return metrics.CommCost(h, parts, cfg.CostMatrix)
+}
+
+// parallelState is the shared state of one parallel restreaming run.
+type parallelState struct {
+	h     *hypergraph.Hypergraph
+	cfg   Config
+	p     int
+	parts []atomic.Int32
+	loads []atomic.Int64
+}
+
+// workerScratch is the per-worker gather state (same epoch-stamp scheme as
+// the serial Partitioner).
+type workerScratch struct {
+	vstamp  []int32
+	pstamp  []int32
+	epoch   int32
+	xCounts []float64
+	touched []int32
+}
+
+func newWorkerScratch(nv, p int) *workerScratch {
+	return &workerScratch{
+		vstamp:  make([]int32, nv),
+		pstamp:  make([]int32, p),
+		xCounts: make([]float64, p),
+		touched: make([]int32, 0, p),
+	}
+}
+
+// streamRange greedily reassigns vertices [lo, hi) against the live shared
+// state.
+func (s *parallelState) streamRange(lo, hi int, alpha float64, expected []float64, sc *workerScratch) {
+	h, p := s.h, s.p
+	cost := s.cfg.CostMatrix
+	weighted := s.cfg.UseEdgeWeights
+	for v := lo; v < hi; v++ {
+		sc.epoch++
+		if sc.epoch == math.MaxInt32 {
+			for i := range sc.vstamp {
+				sc.vstamp[i] = 0
+			}
+			for i := range sc.pstamp {
+				sc.pstamp[i] = 0
+			}
+			sc.epoch = 1
+		}
+		epoch := sc.epoch
+		sc.vstamp[v] = epoch
+		sc.touched = sc.touched[:0]
+		for _, e := range h.IncidentEdges(v) {
+			w := 1.0
+			if weighted {
+				w = float64(h.EdgeWeight(int(e)))
+			}
+			for _, u := range h.Pins(int(e)) {
+				if weighted {
+					if int(u) == v {
+						continue
+					}
+				} else if sc.vstamp[u] == epoch {
+					continue
+				} else {
+					sc.vstamp[u] = epoch
+				}
+				part := s.parts[u].Load()
+				if sc.pstamp[part] != epoch {
+					sc.pstamp[part] = epoch
+					sc.xCounts[part] = 0
+					sc.touched = append(sc.touched, part)
+				}
+				sc.xCounts[part] += w
+			}
+		}
+
+		nbrParts := float64(len(sc.touched))
+		bestPart := int32(0)
+		bestVal := math.Inf(-1)
+		cur := s.parts[v].Load()
+		for i := 0; i < p; i++ {
+			t := 0.0
+			ci := cost[i]
+			for _, j := range sc.touched {
+				t += sc.xCounts[j] * ci[j]
+			}
+			ni := nbrParts
+			if sc.pstamp[i] == epoch {
+				ni--
+			}
+			ni /= float64(p)
+			val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+			if val > bestVal || (val == bestVal && int32(i) == cur) {
+				bestVal = val
+				bestPart = int32(i)
+			}
+		}
+		if bestPart != cur {
+			w := h.VertexWeight(v)
+			s.loads[cur].Add(-w)
+			s.loads[bestPart].Add(w)
+			s.parts[v].Store(bestPart)
+		}
+	}
+}

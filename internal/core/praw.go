@@ -1,0 +1,574 @@
+// Package core implements HyperPRAW, the paper's contribution: an
+// architecture-aware restreaming hypergraph partitioner.
+//
+// The algorithm (paper Algorithm 1) starts from a round-robin assignment and
+// repeatedly streams the vertex set. For each vertex it evaluates, for every
+// candidate partition i, the value function of eq 1:
+//
+//	V_i(v) = −N_i(v)·T_i(v) − α·W(i)/E(i)
+//
+// where N_i(v) is the (normalised) number of *other* partitions holding
+// neighbours of v, T_i(v) = Σ_j X_j(v)·C(i,j) is the physical cost of the
+// communication v would incur from partition i, W(i) is partition i's
+// current load and E(i) its expected share. The vertex moves to the argmax.
+//
+// α tempering follows FENNEL/GRaSP: α starts low (communication dominates),
+// is multiplied by tα = 1.7 after each stream while the workload imbalance
+// exceeds the tolerance, and — the paper's refinement contribution — once
+// within tolerance the update factor switches to the refinement factor
+// (0.95 decays α, trading a little balance for better communication) and the
+// restreaming continues until the partitioning communication cost PC(P)
+// stops improving.
+//
+// HyperPRAW-aware passes the profiled cost matrix as C; HyperPRAW-basic
+// passes the uniform matrix. Nothing else differs between the two modes.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/metrics"
+)
+
+// Config parameterises a HyperPRAW run. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// CostMatrix is C(i,j): square, one row per partition, zero diagonal.
+	// Its dimension determines the number of partitions. Use
+	// profile.UniformCost for HyperPRAW-basic and profile.CostMatrix of a
+	// profiled bandwidth matrix for HyperPRAW-aware.
+	CostMatrix [][]float64
+	// Alpha0 is the starting workload-balance weight. Zero selects FENNEL's
+	// recommendation sqrt(p)·|E|/sqrt(|V|) (paper §4).
+	Alpha0 float64
+	// TemperFactor is tα, the α multiplier applied after each stream while
+	// imbalance exceeds the tolerance. The paper uses 1.7.
+	TemperFactor float64
+	// RefinementPolicy selects the behaviour once within tolerance.
+	RefinementPolicy RefinementPolicy
+	// RefinementFactor is the α multiplier during the refinement phase
+	// (paper: 0.95 best, 1.0 keeps α constant). Only used with
+	// RefineUntilNoImprovement.
+	RefinementFactor float64
+	// ImbalanceTolerance is the acceptable max/mean load ratio (> 1).
+	ImbalanceTolerance float64
+	// MaxIterations caps the number of streams (paper's N).
+	MaxIterations int
+	// Patience is how many consecutive non-improving refinement iterations
+	// are tolerated before stopping and returning the best partition seen.
+	// The paper's Algorithm 1 stops at the first worsening (Patience = 1);
+	// its Fig 3 histories, however, show refinement running 50–100
+	// iterations through local fluctuations, which a patience of a few
+	// iterations reproduces on small noisy instances. Default 3.
+	Patience int
+	// ShuffledOrder visits vertices in a per-stream random order instead of
+	// the natural order. Natural order matches the paper; shuffling is an
+	// ablation knob (see the ablation benchmarks).
+	ShuffledOrder bool
+	// Seed drives the shuffled order (unused otherwise).
+	Seed uint64
+	// RecordHistory stores per-iteration statistics in the result (used for
+	// Fig 3).
+	RecordHistory bool
+	// UseEdgeWeights switches the neighbour count X_j(v) from distinct
+	// neighbours to hyperedge-weighted pin incidences, implementing the
+	// paper's §8.2 extension for asymmetric communication patterns ("weighing
+	// the cost of communications in the vertex assignment objective function
+	// with the hyperedge weight"). With all weights 1 this counts each
+	// shared hyperedge separately rather than each distinct neighbour once.
+	UseEdgeWeights bool
+	// Capacities optionally gives each partition a relative work capacity
+	// (paper §4.1: "the algorithm can easily account for heterogeneous
+	// computation and work capacities"). nil means homogeneous. When set,
+	// the expected load E(i) becomes totalW·cap_i/Σcap and the imbalance is
+	// max_i W(i)/E(i).
+	Capacities []float64
+	// MigrationPenalty, when positive, subtracts penalty·w(v) from the value
+	// of every partition other than the vertex's current one, discouraging
+	// data movement. This implements the repartitioning-with-migration-cost
+	// model of the paper's related work (Catalyurek et al. [6,7]) within the
+	// restreaming framework: useful when the partition is being *re*computed
+	// for an application whose data already lives somewhere. 0 disables it.
+	MigrationPenalty float64
+	// InitialParts optionally seeds the stream with an existing assignment
+	// instead of round-robin (the repartitioning scenario). Must assign
+	// every vertex to [0, p) when set.
+	InitialParts []int32
+}
+
+// RefinementPolicy is the stopping behaviour once the partition is within
+// the imbalance tolerance.
+type RefinementPolicy int
+
+const (
+	// RefineUntilNoImprovement continues restreaming until PC(P) stops
+	// improving (the paper's refinement phase).
+	RefineUntilNoImprovement RefinementPolicy = iota
+	// StopAtTolerance halts as soon as the imbalance tolerance is met
+	// (the paper's "no refinement" baseline, as in GRaSP).
+	StopAtTolerance
+)
+
+// DefaultConfig returns the paper's configuration for p partitions with the
+// given cost matrix: FENNEL α start, tα = 1.7, refinement 0.95, 10%
+// imbalance tolerance, 100 iteration cap.
+func DefaultConfig(cost [][]float64) Config {
+	return Config{
+		CostMatrix:         cost,
+		TemperFactor:       1.7,
+		RefinementPolicy:   RefineUntilNoImprovement,
+		RefinementFactor:   0.95,
+		ImbalanceTolerance: 1.10,
+		MaxIterations:      100,
+		Patience:           3,
+	}
+}
+
+// IterationStats records the state after one full stream.
+type IterationStats struct {
+	Iteration int
+	// CommCost is PC(P) measured with the algorithm's own cost matrix.
+	CommCost  float64
+	Imbalance float64
+	// Alpha is the balance weight used during this stream.
+	Alpha float64
+	// Moves is how many vertices changed partition during the stream.
+	Moves int
+	// InTolerance reports whether the stream ended within the imbalance
+	// tolerance (i.e. whether the next stream runs in refinement mode).
+	InTolerance bool
+}
+
+// Result is the outcome of a HyperPRAW run.
+type Result struct {
+	// Parts assigns each vertex its partition.
+	Parts []int32
+	// Iterations is the number of streams executed.
+	Iterations int
+	// Stopped explains why the run ended.
+	Stopped StopReason
+	// History holds per-iteration statistics when Config.RecordHistory is
+	// set.
+	History []IterationStats
+	// FinalCommCost is PC(P) of Parts under the algorithm's cost matrix.
+	FinalCommCost float64
+	// FinalImbalance is the max/mean load ratio of Parts.
+	FinalImbalance float64
+}
+
+// StopReason explains termination.
+type StopReason int
+
+const (
+	// StoppedNoImprovement: the refinement phase saw PC(P) worsen and
+	// returned the previous (best) partition.
+	StoppedNoImprovement StopReason = iota
+	// StoppedAtTolerance: StopAtTolerance policy hit the tolerance.
+	StoppedAtTolerance
+	// StoppedMaxIterations: the iteration cap was reached.
+	StoppedMaxIterations
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StoppedNoImprovement:
+		return "no-improvement"
+	case StoppedAtTolerance:
+		return "at-tolerance"
+	case StoppedMaxIterations:
+		return "max-iterations"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// Partitioner holds the streaming state for one hypergraph/machine pair.
+// Create with New, run with Run. A Partitioner is not safe for concurrent
+// use.
+type Partitioner struct {
+	h   *hypergraph.Hypergraph
+	cfg Config
+	p   int
+
+	parts  []int32
+	loads  []int64
+	totalW int64
+
+	// Scratch for distinct-neighbour gathering.
+	vstamp  []int32
+	pstamp  []int32
+	epoch   int32
+	xCounts []float64 // X_j(v) for touched partitions
+	touched []int32
+}
+
+// New validates the configuration and prepares a Partitioner.
+func New(h *hypergraph.Hypergraph, cfg Config) (*Partitioner, error) {
+	p := len(cfg.CostMatrix)
+	if p == 0 {
+		return nil, fmt.Errorf("core: empty cost matrix")
+	}
+	for i, row := range cfg.CostMatrix {
+		if len(row) != p {
+			return nil, fmt.Errorf("core: cost matrix row %d has %d entries, want %d", i, len(row), p)
+		}
+		if row[i] != 0 {
+			return nil, fmt.Errorf("core: cost matrix diagonal must be zero (row %d is %g)", i, row[i])
+		}
+	}
+	if cfg.ImbalanceTolerance <= 1 {
+		return nil, fmt.Errorf("core: imbalance tolerance must exceed 1, got %g", cfg.ImbalanceTolerance)
+	}
+	if cfg.MaxIterations <= 0 {
+		return nil, fmt.Errorf("core: max iterations must be positive, got %d", cfg.MaxIterations)
+	}
+	if cfg.TemperFactor <= 0 {
+		return nil, fmt.Errorf("core: temper factor must be positive, got %g", cfg.TemperFactor)
+	}
+	if cfg.RefinementPolicy == RefineUntilNoImprovement && cfg.RefinementFactor <= 0 {
+		return nil, fmt.Errorf("core: refinement factor must be positive, got %g", cfg.RefinementFactor)
+	}
+	if cfg.Capacities != nil {
+		if len(cfg.Capacities) != p {
+			return nil, fmt.Errorf("core: %d capacities for %d partitions", len(cfg.Capacities), p)
+		}
+		for i, c := range cfg.Capacities {
+			if c <= 0 {
+				return nil, fmt.Errorf("core: capacity %d is non-positive (%g)", i, c)
+			}
+		}
+	}
+	if cfg.InitialParts != nil {
+		if len(cfg.InitialParts) != h.NumVertices() {
+			return nil, fmt.Errorf("core: initial partition length %d, want %d", len(cfg.InitialParts), h.NumVertices())
+		}
+		for v, q := range cfg.InitialParts {
+			if q < 0 || int(q) >= p {
+				return nil, fmt.Errorf("core: initial partition assigns vertex %d to %d, want [0,%d)", v, q, p)
+			}
+		}
+	}
+	if cfg.MigrationPenalty < 0 {
+		return nil, fmt.Errorf("core: negative migration penalty %g", cfg.MigrationPenalty)
+	}
+	if cfg.Alpha0 == 0 {
+		cfg.Alpha0 = FennelAlpha(p, h.NumEdges(), h.NumVertices())
+	}
+	pr := &Partitioner{
+		h:       h,
+		cfg:     cfg,
+		p:       p,
+		parts:   make([]int32, h.NumVertices()),
+		loads:   make([]int64, p),
+		vstamp:  make([]int32, h.NumVertices()),
+		pstamp:  make([]int32, p),
+		xCounts: make([]float64, p),
+		touched: make([]int32, 0, p),
+	}
+	return pr, nil
+}
+
+// FennelAlpha returns the FENNEL starting value sqrt(p)·|E|/sqrt(|V|)
+// (Tsourakakis et al., adopted by the paper in §4).
+func FennelAlpha(p, numEdges, numVertices int) float64 {
+	if numVertices == 0 {
+		return 1
+	}
+	return math.Sqrt(float64(p)) * float64(numEdges) / math.Sqrt(float64(numVertices))
+}
+
+// Run executes Algorithm 1 and returns the resulting partition.
+func (pr *Partitioner) Run() Result {
+	h, p := pr.h, pr.p
+	nv := h.NumVertices()
+
+	// Round-robin initial assignment (or the caller's, when repartitioning).
+	if pr.cfg.InitialParts != nil {
+		copy(pr.parts, pr.cfg.InitialParts)
+	} else {
+		for v := 0; v < nv; v++ {
+			pr.parts[v] = int32(v % p)
+		}
+	}
+	for i := range pr.loads {
+		pr.loads[i] = 0
+	}
+	pr.totalW = 0
+	for v := 0; v < nv; v++ {
+		w := h.VertexWeight(v)
+		pr.loads[pr.parts[v]] += w
+		pr.totalW += w
+	}
+	expected := pr.expectedLoads()
+
+	alpha := pr.cfg.Alpha0
+	patience := pr.cfg.Patience
+	if patience <= 0 {
+		patience = 1
+	}
+	res := Result{Stopped: StoppedMaxIterations}
+	// bestParts is the lowest-cost in-tolerance partition seen so far; it is
+	// what a stop in the refinement phase returns (the paper's "return
+	// P^{n-1}" generalised to patience > 1).
+	bestParts := make([]int32, nv)
+	bestCost := math.Inf(1)
+	haveBest := false
+	badStreak := 0
+
+	var order []int32
+	var orderRNG *splitMix
+	if pr.cfg.ShuffledOrder {
+		order = make([]int32, nv)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		orderRNG = &splitMix{state: pr.cfg.Seed ^ 0x5eed}
+	}
+
+	for n := 1; n <= pr.cfg.MaxIterations; n++ {
+		if pr.cfg.ShuffledOrder {
+			orderRNG.shuffle(order)
+		}
+		moves := pr.stream(alpha, expected, order)
+		res.Iterations = n
+
+		imb := pr.imbalance(expected)
+		inTol := imb <= pr.cfg.ImbalanceTolerance
+		cost := pr.monitoredCost()
+
+		if pr.cfg.RecordHistory {
+			res.History = append(res.History, IterationStats{
+				Iteration:   n,
+				CommCost:    cost,
+				Imbalance:   imb,
+				Alpha:       alpha,
+				Moves:       moves,
+				InTolerance: inTol,
+			})
+		}
+
+		if !inTol {
+			// Outside tolerance: keep tempering up.
+			alpha *= pr.cfg.TemperFactor
+			continue
+		}
+
+		if pr.cfg.RefinementPolicy == StopAtTolerance {
+			res.Stopped = StoppedAtTolerance
+			break
+		}
+
+		// Refinement phase: track the best in-tolerance partition and stop
+		// once the monitored metric has failed to improve for `patience`
+		// consecutive streams.
+		if !haveBest || cost < bestCost {
+			bestCost = cost
+			copy(bestParts, pr.parts)
+			haveBest = true
+			badStreak = 0
+		} else {
+			badStreak++
+			if badStreak >= patience {
+				res.Stopped = StoppedNoImprovement
+				break
+			}
+		}
+		alpha *= pr.cfg.RefinementFactor
+	}
+	if haveBest {
+		copy(pr.parts, bestParts)
+	}
+
+	res.Parts = append([]int32(nil), pr.parts...)
+	res.FinalCommCost = pr.monitoredCost()
+	res.FinalImbalance = metrics.Imbalance(metrics.Loads(h, res.Parts, p))
+	return res
+}
+
+// expectedLoads returns E(i) per partition: totalW/p for homogeneous
+// machines, or proportional to the configured capacities.
+func (pr *Partitioner) expectedLoads() []float64 {
+	expected := make([]float64, pr.p)
+	if pr.cfg.Capacities == nil {
+		e := float64(pr.totalW) / float64(pr.p)
+		if e == 0 {
+			e = 1
+		}
+		for i := range expected {
+			expected[i] = e
+		}
+		return expected
+	}
+	var capTotal float64
+	for _, c := range pr.cfg.Capacities {
+		capTotal += c
+	}
+	for i, c := range pr.cfg.Capacities {
+		e := float64(pr.totalW) * c / capTotal
+		if e <= 0 {
+			e = 1
+		}
+		expected[i] = e
+	}
+	return expected
+}
+
+// imbalance returns the workload imbalance: the paper's max/mean ratio for
+// homogeneous partitions, or max_i W(i)/E(i) under heterogeneous capacities.
+func (pr *Partitioner) imbalance(expected []float64) float64 {
+	if pr.cfg.Capacities == nil {
+		return metrics.Imbalance(pr.loads)
+	}
+	worst := 0.0
+	for i, l := range pr.loads {
+		if r := float64(l) / expected[i]; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// monitoredCost is the refinement-phase quality metric: PC(P) with the
+// algorithm's own cost matrix, hyperedge-weighted when UseEdgeWeights.
+func (pr *Partitioner) monitoredCost() float64 {
+	if pr.cfg.UseEdgeWeights {
+		return metrics.WeightedCommCost(pr.h, pr.parts, pr.cfg.CostMatrix)
+	}
+	return metrics.CommCost(pr.h, pr.parts, pr.cfg.CostMatrix)
+}
+
+// splitMix is a tiny local PRNG for the optional shuffled stream order
+// (avoids importing internal/stats into the hot core package).
+type splitMix struct{ state uint64 }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) shuffle(xs []int32) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := int(s.next() % uint64(i+1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// stream performs one pass over all vertices, reassigning each greedily, and
+// returns the number of vertices that moved. order, when non-nil, gives the
+// visiting sequence; nil means natural order.
+func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32) int {
+	h, p := pr.h, pr.p
+	nv := h.NumVertices()
+	cost := pr.cfg.CostMatrix
+	moves := 0
+
+	for idx := 0; idx < nv; idx++ {
+		v := idx
+		if order != nil {
+			v = int(order[idx])
+		}
+		pr.gatherNeighbourCounts(v)
+
+		// Number of partitions holding neighbours of v; A_i(v) per eq 3.
+		nbrParts := float64(len(pr.touched))
+
+		bestPart := int32(0)
+		bestVal := math.Inf(-1)
+		for i := 0; i < p; i++ {
+			// T_i(v) = Σ_j X_j(v)·C(i,j); C(i,i)=0 removes the self term.
+			t := 0.0
+			ci := cost[i]
+			for _, j := range pr.touched {
+				t += pr.xCounts[j] * ci[j]
+			}
+			// N_i(v): neighbour partitions other than i, normalised by p.
+			ni := nbrParts
+			if pr.pstamp[i] == pr.epoch {
+				ni-- // v has neighbours in i itself; those don't count
+			}
+			ni /= float64(p)
+
+			val := -ni*t - alpha*float64(pr.loads[i])/expected[i]
+			if pr.cfg.MigrationPenalty > 0 && int32(i) != pr.parts[v] {
+				val -= pr.cfg.MigrationPenalty * float64(h.VertexWeight(v))
+			}
+			if val > bestVal || (val == bestVal && int32(i) == pr.parts[v]) {
+				bestVal = val
+				bestPart = int32(i)
+			}
+		}
+
+		if old := pr.parts[v]; bestPart != old {
+			w := h.VertexWeight(v)
+			pr.loads[old] -= w
+			pr.loads[bestPart] += w
+			pr.parts[v] = bestPart
+			moves++
+		}
+	}
+	return moves
+}
+
+// gatherNeighbourCounts fills xCounts/touched with X_j(v): the number of
+// distinct neighbours of v in each partition j (paper eq 4). Distinctness is
+// enforced with epoch stamps so a neighbour shared by several hyperedges
+// counts once, and v itself never counts. With UseEdgeWeights the semantics
+// switch to hyperedge-weighted pin incidences: every (edge, neighbour) pair
+// contributes w(e), modelling per-edge communication volume (§8.2).
+func (pr *Partitioner) gatherNeighbourCounts(v int) {
+	h := pr.h
+	pr.epoch++
+	if pr.epoch == math.MaxInt32 {
+		// Extremely long runs: reset stamps once per 2^31 gathers.
+		for i := range pr.vstamp {
+			pr.vstamp[i] = 0
+		}
+		for i := range pr.pstamp {
+			pr.pstamp[i] = 0
+		}
+		pr.epoch = 1
+	}
+	epoch := pr.epoch
+	pr.vstamp[v] = epoch
+	pr.touched = pr.touched[:0]
+	weighted := pr.cfg.UseEdgeWeights
+	for _, e := range h.IncidentEdges(v) {
+		w := 1.0
+		if weighted {
+			w = float64(h.EdgeWeight(int(e)))
+		}
+		for _, u := range h.Pins(int(e)) {
+			if weighted {
+				if int(u) == v {
+					continue
+				}
+			} else if pr.vstamp[u] == epoch {
+				continue
+			} else {
+				pr.vstamp[u] = epoch
+			}
+			part := pr.parts[u]
+			if pr.pstamp[part] != epoch {
+				pr.pstamp[part] = epoch
+				pr.xCounts[part] = 0
+				pr.touched = append(pr.touched, part)
+			}
+			pr.xCounts[part] += w
+		}
+	}
+}
+
+// Partition is the one-call convenience wrapper: configure, run, return the
+// partition vector.
+func Partition(h *hypergraph.Hypergraph, cfg Config) ([]int32, error) {
+	pr, err := New(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Run().Parts, nil
+}

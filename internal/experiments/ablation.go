@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"time"
+
+	"hyperpraw/internal/bench"
+	"hyperpraw/internal/core"
+	"hyperpraw/internal/hier"
+	"hyperpraw/internal/mapping"
+	"hyperpraw/internal/metrics"
+)
+
+// Ablation experiments probe the design choices the paper makes (and the
+// alternatives its related-work section discusses) beyond the headline
+// figures:
+//
+//   - MappingAblation: is architecture-aware *partitioning* better than
+//     architecture-oblivious partitioning followed by topology *mapping*
+//     (the LibTopoMap strategy of §2)?
+//   - TimingAblation: how does restreaming's partitioning wall time compare
+//     with multilevel's (§8.2: streaming is "frequently faster to execute")?
+//   - RefinementSweep: how sensitive is partition quality to the refinement
+//     factor (the paper picks 0.95 "experimentally", §7)?
+
+// AlgoZoltanMapped identifies the Zoltan + topology-mapping pipeline.
+const AlgoZoltanMapped = "zoltan+mapping"
+
+// AlgoHierarchical identifies Zoltan-style hierarchical partitioning
+// (coarse inter-node phase, fine intra-node phase; related work §2).
+const AlgoHierarchical = "hierarchical"
+
+// MappingRow is one instance × algorithm outcome of the mapping ablation.
+type MappingRow struct {
+	Hypergraph string
+	Algorithm  string
+	CommCost   float64
+	RuntimeSec float64
+}
+
+// MappingAblationInstances are the instances used (a geometric, a SAT dual
+// and the unstructured sparsine — the three structural regimes).
+var MappingAblationInstances = []string{"2cubes_sphere", "sat14_itox_vc1130_dual", "sparsine"}
+
+// MappingAblation compares Zoltan, Zoltan+mapping, HyperPRAW-basic and
+// HyperPRAW-aware on PC and simulated runtime.
+func (r *Runner) MappingAblation() ([]MappingRow, error) {
+	var rows []MappingRow
+	cfg := bench.Config{MessageBytes: r.Opts.MessageBytes, Steps: r.Opts.Steps}
+	for _, name := range MappingAblationInstances {
+		h, err := r.Instance(name)
+		if err != nil {
+			return nil, err
+		}
+		zoltanParts, err := r.PartitionWith(AlgoZoltan, h)
+		if err != nil {
+			return nil, err
+		}
+		mappedParts, err := mapping.MapPartition(h, zoltanParts, r.Machine, r.PhysCost, mapping.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		basicParts, err := r.PartitionWith(AlgoPRAWBasic, h)
+		if err != nil {
+			return nil, err
+		}
+		awareParts, err := r.PartitionWith(AlgoPRAWAware, h)
+		if err != nil {
+			return nil, err
+		}
+		hierCfg := hier.DefaultConfig()
+		hierCfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		hierCfg.Seed = r.Opts.Seed
+		hierParts, err := hier.Partition(h, r.Machine, hierCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, entry := range []struct {
+			algo  string
+			parts []int32
+		}{
+			{AlgoZoltan, zoltanParts},
+			{AlgoZoltanMapped, mappedParts},
+			{AlgoHierarchical, hierParts},
+			{AlgoPRAWBasic, basicParts},
+			{AlgoPRAWAware, awareParts},
+		} {
+			res, err := bench.Run(r.Machine, h, entry.parts, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, MappingRow{
+				Hypergraph: name,
+				Algorithm:  entry.algo,
+				CommCost:   metrics.CommCost(h, entry.parts, r.PhysCost),
+				RuntimeSec: res.MakespanSec,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteMappingAblation runs MappingAblation and writes ablation_mapping.csv.
+func (r *Runner) WriteMappingAblation() ([]MappingRow, error) {
+	rows, err := r.MappingAblation()
+	if err != nil {
+		return nil, err
+	}
+	path, err := r.outPath("ablation_mapping.csv")
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "hypergraph,algorithm,comm_cost,runtime_sec")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s,%s,%.6g,%.6g\n", row.Hypergraph, row.Algorithm, row.CommCost, row.RuntimeSec)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// TimingRow records the wall-clock partitioning time of one algorithm on
+// one instance.
+type TimingRow struct {
+	Hypergraph  string
+	Algorithm   string
+	WallSeconds float64
+	Iterations  int // restreaming iterations (0 for multilevel)
+}
+
+// TimingAblation measures partitioning wall time for every catalog instance
+// under the three partitioners.
+func (r *Runner) TimingAblation() ([]TimingRow, error) {
+	var rows []TimingRow
+	for _, h := range r.Instances() {
+		for _, algo := range Fig4Algorithms {
+			start := time.Now()
+			parts, err := r.PartitionWith(algo, h)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start).Seconds()
+			_ = parts
+			rows = append(rows, TimingRow{
+				Hypergraph:  h.Name(),
+				Algorithm:   algo,
+				WallSeconds: elapsed,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteTimingAblation runs TimingAblation and writes ablation_timing.csv.
+func (r *Runner) WriteTimingAblation() ([]TimingRow, error) {
+	rows, err := r.TimingAblation()
+	if err != nil {
+		return nil, err
+	}
+	path, err := r.outPath("ablation_timing.csv")
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "hypergraph,algorithm,wall_seconds")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s,%s,%.6g\n", row.Hypergraph, row.Algorithm, row.WallSeconds)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// SweepRow is one refinement-factor outcome.
+type SweepRow struct {
+	Hypergraph string
+	Factor     float64
+	CommCost   float64
+	Iterations int
+	Imbalance  float64
+}
+
+// RefinementSweepFactors spans the paper's discussion: values below 0.95
+// fluctuate in and out of tolerance, 1.0 keeps α constant, above 1 keeps
+// tightening balance.
+var RefinementSweepFactors = []float64{0.80, 0.90, 0.95, 1.00, 1.10}
+
+// RefinementSweep reruns HyperPRAW-aware on 2cubes_sphere across refinement
+// factors.
+func (r *Runner) RefinementSweep() ([]SweepRow, error) {
+	h, err := r.Instance("2cubes_sphere")
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for _, factor := range RefinementSweepFactors {
+		cfg := core.DefaultConfig(r.PhysCost)
+		cfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		cfg.MaxIterations = r.Opts.MaxIterations
+		cfg.RefinementFactor = factor
+		pr, err := core.New(h, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res := pr.Run()
+		rows = append(rows, SweepRow{
+			Hypergraph: h.Name(),
+			Factor:     factor,
+			CommCost:   res.FinalCommCost,
+			Iterations: res.Iterations,
+			Imbalance:  res.FinalImbalance,
+		})
+	}
+	return rows, nil
+}
+
+// WriteRefinementSweep runs RefinementSweep and writes ablation_refinement.csv.
+func (r *Runner) WriteRefinementSweep() ([]SweepRow, error) {
+	rows, err := r.RefinementSweep()
+	if err != nil {
+		return nil, err
+	}
+	path, err := r.outPath("ablation_refinement.csv")
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "hypergraph,refinement_factor,comm_cost,iterations,imbalance")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s,%.2f,%.6g,%d,%.4f\n", row.Hypergraph, row.Factor, row.CommCost, row.Iterations, row.Imbalance)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestMappingAblationShape(t *testing.T) {
+	r := newTestRunner(t)
+	rows, err := r.WriteMappingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "ablation_mapping.csv"))
+	if len(rows) != len(MappingAblationInstances)*5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byAlgo := map[string]map[string]MappingRow{}
+	for _, row := range rows {
+		if byAlgo[row.Hypergraph] == nil {
+			byAlgo[row.Hypergraph] = map[string]MappingRow{}
+		}
+		byAlgo[row.Hypergraph][row.Algorithm] = row
+	}
+	for hg, m := range byAlgo {
+		// Mapping can only relabel partitions, never worsen PC.
+		if m[AlgoZoltanMapped].CommCost > m[AlgoZoltan].CommCost*1.001 {
+			t.Errorf("%s: mapping worsened PC %g -> %g", hg, m[AlgoZoltan].CommCost, m[AlgoZoltanMapped].CommCost)
+		}
+	}
+}
+
+func TestTimingAblationShape(t *testing.T) {
+	r := newTestRunner(t)
+	rows, err := r.WriteTimingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "ablation_timing.csv"))
+	if len(rows) != 30 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.WallSeconds <= 0 {
+			t.Errorf("%s/%s: non-positive wall time", row.Hypergraph, row.Algorithm)
+		}
+	}
+}
+
+func TestRefinementSweepShape(t *testing.T) {
+	r := newTestRunner(t)
+	rows, err := r.WriteRefinementSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "ablation_refinement.csv"))
+	if len(rows) != len(RefinementSweepFactors) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.CommCost <= 0 || row.Iterations < 1 {
+			t.Errorf("factor %.2f: degenerate row %+v", row.Factor, row)
+		}
+		// Every returned partition must be within (or very near) tolerance.
+		if row.Imbalance > r.Opts.ImbalanceTolerance*1.1 {
+			t.Errorf("factor %.2f: imbalance %g", row.Factor, row.Imbalance)
+		}
+	}
+}

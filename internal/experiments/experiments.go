@@ -1,0 +1,171 @@
+// Package experiments orchestrates the reproduction of every table and
+// figure in the paper's evaluation (§5–6): Table 1 (instance statistics),
+// Fig 1 (bandwidth vs traffic mismatch), Fig 3 (refinement phase), Fig 4
+// (partitioning quality), Fig 5 (synthetic benchmark runtime) and Fig 6
+// (communication patterns).
+//
+// Each experiment returns a structured result (consumed by tests and the
+// root-level benchmarks) and can write CSV/PGM artefacts into an output
+// directory via the Write* methods. cmd/experiments is the CLI front end.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hyperpraw/internal/core"
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/multilevel"
+	"hyperpraw/internal/profile"
+	"hyperpraw/internal/topology"
+)
+
+// Options configures a reproduction run. The defaults reproduce the paper's
+// shapes at laptop scale; Full() uses the paper's 576 cores and full-size
+// instances (very slow).
+type Options struct {
+	// Scale shrinks every Table 1 instance (1.0 = paper size).
+	Scale float64
+	// Cores is the number of simulated compute units (= partitions). The
+	// paper uses 576; the scaled default is 64.
+	Cores int
+	// Seed drives every stochastic component.
+	Seed uint64
+	// OutDir receives CSV/PGM artefacts (created on demand).
+	OutDir string
+	// ImbalanceTolerance for all partitioners.
+	ImbalanceTolerance float64
+	// MaxIterations caps HyperPRAW restreaming.
+	MaxIterations int
+	// MessageBytes is the synthetic benchmark's per-message payload.
+	MessageBytes int64
+	// Steps is the synthetic benchmark's time step count.
+	Steps int
+}
+
+// Default returns the laptop-scale options used throughout tests and
+// benchmarks.
+func Default() Options {
+	return Options{
+		Scale:              0.01,
+		Cores:              64,
+		Seed:               1,
+		OutDir:             "results",
+		ImbalanceTolerance: 1.10,
+		MaxIterations:      100,
+		MessageBytes:       4096,
+		Steps:              10,
+	}
+}
+
+// Full returns the paper-scale options (576 cores, full instances). Running
+// the whole suite at this scale takes a long time.
+func Full() Options {
+	o := Default()
+	o.Scale = 1.0
+	o.Cores = 576
+	return o
+}
+
+// Runner caches the simulated machine, its profiled bandwidth and the
+// derived cost matrices across experiments.
+type Runner struct {
+	Opts Options
+	// Machine is the simulated cluster.
+	Machine *topology.Machine
+	// Bandwidth is the profiled (measured, noisy) bandwidth matrix.
+	Bandwidth [][]float64
+	// PhysCost is the architecture-aware cost matrix from Bandwidth.
+	PhysCost [][]float64
+	// UniformCost is the architecture-oblivious cost matrix.
+	UniformCost [][]float64
+}
+
+// NewRunner builds the machine, profiles it and derives the cost matrices,
+// mirroring the paper's per-job setup phase (§4.2: "the cost matrix must be
+// calculated every time a new allocation of computing nodes is presented").
+func NewRunner(opts Options) (*Runner, error) {
+	if opts.Scale <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive scale %g", opts.Scale)
+	}
+	if opts.Cores < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 cores, got %d", opts.Cores)
+	}
+	machine, err := topology.New(topology.Archer(), opts.Cores, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := profile.DefaultConfig()
+	pcfg.Seed = opts.Seed
+	bw := profile.RingProfile(machine, pcfg)
+	return &Runner{
+		Opts:        opts,
+		Machine:     machine,
+		Bandwidth:   bw,
+		PhysCost:    profile.CostMatrix(bw),
+		UniformCost: profile.UniformCost(opts.Cores),
+	}, nil
+}
+
+// Instance materialises one catalog entry at the configured scale.
+func (r *Runner) Instance(name string) (*hypergraph.Hypergraph, error) {
+	spec, ok := hgen.SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown instance %q", name)
+	}
+	return hgen.Generate(spec.Scaled(r.Opts.Scale), r.Opts.Seed), nil
+}
+
+// Instances materialises the full Table 1 catalog at the configured scale.
+func (r *Runner) Instances() []*hypergraph.Hypergraph {
+	return hgen.GenerateCatalog(r.Opts.Scale, r.Opts.Seed)
+}
+
+// Algorithm names used across result tables.
+const (
+	AlgoZoltan     = "zoltan-multilevel"
+	AlgoPRAWBasic  = "hyperpraw-basic"
+	AlgoPRAWAware  = "hyperpraw-aware"
+	AlgoRoundRobin = "round-robin"
+)
+
+// PartitionWith runs the named algorithm on h and returns the partition
+// vector over r.Opts.Cores partitions.
+func (r *Runner) PartitionWith(algo string, h *hypergraph.Hypergraph) ([]int32, error) {
+	switch algo {
+	case AlgoZoltan:
+		cfg := multilevel.DefaultConfig(r.Opts.Cores)
+		cfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		cfg.Seed = r.Opts.Seed
+		return multilevel.Partition(h, cfg)
+	case AlgoPRAWBasic:
+		cfg := core.DefaultConfig(r.UniformCost)
+		cfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		cfg.MaxIterations = r.Opts.MaxIterations
+		return core.Partition(h, cfg)
+	case AlgoPRAWAware:
+		cfg := core.DefaultConfig(r.PhysCost)
+		cfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		cfg.MaxIterations = r.Opts.MaxIterations
+		return core.Partition(h, cfg)
+	case AlgoRoundRobin:
+		parts := make([]int32, h.NumVertices())
+		for v := range parts {
+			parts[v] = int32(v % r.Opts.Cores)
+		}
+		return parts, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+}
+
+// ensureOutDir creates the output directory if needed and returns the path
+// joined with name.
+func (r *Runner) outPath(name string) (string, error) {
+	if err := os.MkdirAll(r.Opts.OutDir, 0o755); err != nil {
+		return "", err
+	}
+	return filepath.Join(r.Opts.OutDir, name), nil
+}

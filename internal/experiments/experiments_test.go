@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyperpraw/internal/bench"
+	"hyperpraw/internal/hypergraph"
+)
+
+// benchTraffic builds the synthetic benchmark's traffic matrix for a
+// partitioned instance under the runner's options.
+func benchTraffic(r *Runner, h *hypergraph.Hypergraph, parts []int32) ([][]float64, error) {
+	cfg := bench.Config{MessageBytes: r.Opts.MessageBytes, Steps: r.Opts.Steps}
+	traffic, err := bench.BuildTraffic(h, parts, r.Opts.Cores, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.BytesMatrix(), nil
+}
+
+// testOptions returns small-scale options so the whole suite runs in
+// seconds. The paper's *shapes* must already be visible at this scale.
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	o := Default()
+	o.Scale = 0.004
+	o.Cores = 32
+	o.MaxIterations = 50
+	o.Steps = 5
+	o.OutDir = t.TempDir()
+	return o
+}
+
+func newTestRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	o := Default()
+	o.Scale = 0
+	if _, err := NewRunner(o); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	o = Default()
+	o.Cores = 1
+	if _, err := NewRunner(o); err == nil {
+		t.Fatal("single core accepted")
+	}
+}
+
+func TestRunnerCostMatrices(t *testing.T) {
+	r := newTestRunner(t)
+	if len(r.PhysCost) != r.Opts.Cores || len(r.UniformCost) != r.Opts.Cores {
+		t.Fatal("cost matrix dimensions wrong")
+	}
+	// Physical costs must span a real range on ARCHER (tiered bandwidths).
+	lo, hi := 3.0, 0.0
+	for i := range r.PhysCost {
+		for j := range r.PhysCost[i] {
+			if i == j {
+				continue
+			}
+			c := r.PhysCost[i][j]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+	}
+	if hi-lo < 0.5 {
+		t.Fatalf("physical cost range [%g,%g] too flat for a tiered machine", lo, hi)
+	}
+}
+
+func TestInstanceLookup(t *testing.T) {
+	r := newTestRunner(t)
+	h, err := r.Instance("sparsine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "sparsine" {
+		t.Fatalf("name %q", h.Name())
+	}
+	if _, err := r.Instance("nope"); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestPartitionWithUnknownAlgo(t *testing.T) {
+	r := newTestRunner(t)
+	h, _ := r.Instance("ABACUS_shell_hd")
+	if _, err := r.PartitionWith("nope", h); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestTable1ShapePreserved(t *testing.T) {
+	r := newTestRunner(t)
+	rows := r.Table1()
+	if len(rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(rows))
+	}
+	for _, row := range rows {
+		// E/V ratio at scale must stay within 2x of the paper's (min-size
+		// clamping distorts the smallest instances slightly).
+		gen := row.Stats.EdgeVertexRate
+		paper := row.PaperEVRatio
+		if gen < paper/2.5 || gen > paper*2.5 {
+			t.Errorf("%s: E/V %.2f drifted from paper %.2f", row.Name, gen, paper)
+		}
+		// Cardinality within 40% of the scaled target (pin dedup shifts it
+		// down at tiny scale; huge-cardinality instances are clamped by
+		// Scaled, which ScaledAvgCard accounts for).
+		if row.Stats.AvgCardinality < row.ScaledAvgCard*0.6 || row.Stats.AvgCardinality > row.ScaledAvgCard*1.4 {
+			t.Errorf("%s: cardinality %.2f vs scaled target %.2f", row.Name, row.Stats.AvgCardinality, row.ScaledAvgCard)
+		}
+	}
+}
+
+func TestWriteTable1CreatesCSV(t *testing.T) {
+	r := newTestRunner(t)
+	if _, err := r.WriteTable1(); err != nil {
+		t.Fatal(err)
+	}
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "table1.csv"))
+}
+
+func TestFig1Matrices(t *testing.T) {
+	r := newTestRunner(t)
+	res, err := r.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bandwidth) != r.Opts.Cores || len(res.Traffic) != r.Opts.Cores {
+		t.Fatal("matrix dimensions wrong")
+	}
+	// The traffic of a round-robin placement must be spread out (the
+	// mismatch of Fig 1): diagonal affinity should be low.
+	if aff := DiagonalAffinity(res.Traffic, 4); aff > 0.6 {
+		t.Fatalf("round-robin traffic suspiciously local: affinity %g", aff)
+	}
+}
+
+func TestWriteFig1CreatesArtefacts(t *testing.T) {
+	r := newTestRunner(t)
+	if _, err := r.WriteFig1(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig1a_bandwidth.csv", "fig1a_bandwidth.pgm", "fig1b_traffic.csv", "fig1b_traffic.pgm"} {
+		assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, f))
+	}
+}
+
+func TestFig3RefinementShape(t *testing.T) {
+	r := newTestRunner(t)
+	series, err := r.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Fig3Instances)*3 {
+		t.Fatalf("%d series", len(series))
+	}
+	final := map[string]map[string]float64{}
+	iters := map[string]map[string]int{}
+	for _, s := range series {
+		if final[s.Instance] == nil {
+			final[s.Instance] = map[string]float64{}
+			iters[s.Instance] = map[string]int{}
+		}
+		final[s.Instance][s.Strategy] = s.FinalCommCost
+		iters[s.Instance][s.Strategy] = s.Iterations
+		if len(s.CommCost) != s.Iterations {
+			t.Fatalf("%s/%s: history %d vs iterations %d", s.Instance, s.Strategy, len(s.CommCost), s.Iterations)
+		}
+	}
+	// Paper's Fig 3 claims: refinement beats no-refinement; 0.95 is best or
+	// tied. Tiny instances are noisy, so require the claims on a majority.
+	refineWins, bestWins := 0, 0
+	for _, inst := range Fig3Instances {
+		if final[inst]["refinement-0.95"] <= final[inst]["no-refinement"] {
+			refineWins++
+		}
+		if final[inst]["refinement-0.95"] <= final[inst]["refinement-1.0"]*1.05 {
+			bestWins++
+		}
+		if iters[inst]["refinement-0.95"] < iters[inst]["no-refinement"] {
+			t.Errorf("%s: refinement ran fewer iterations than no-refinement", inst)
+		}
+	}
+	if refineWins < 3 {
+		t.Errorf("refinement 0.95 beat no-refinement on only %d/4 instances", refineWins)
+	}
+	if bestWins < 3 {
+		t.Errorf("refinement 0.95 competitive with 1.0 on only %d/4 instances", bestWins)
+	}
+}
+
+func TestWriteFig3CreatesCSV(t *testing.T) {
+	r := newTestRunner(t)
+	if _, err := r.WriteFig3(); err != nil {
+		t.Fatal(err)
+	}
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "fig3_history.csv"))
+	for _, inst := range Fig3Instances {
+		assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "fig3_"+inst+".svg"))
+	}
+}
+
+func TestFig4QualityShape(t *testing.T) {
+	r := newTestRunner(t)
+	rows, err := r.WriteFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "fig4_quality.csv"))
+	for _, f := range []string{"fig4a_cut.svg", "fig4b_soed.svg", "fig4c_commcost.svg"} {
+		assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, f))
+	}
+	if len(rows) != 30 {
+		t.Fatalf("%d rows, want 30", len(rows))
+	}
+	pc := map[string]map[string]float64{}
+	for _, row := range rows {
+		if pc[row.Hypergraph] == nil {
+			pc[row.Hypergraph] = map[string]float64{}
+		}
+		pc[row.Hypergraph][row.Algorithm] = row.CommCost
+		if row.Imbalance > 1.6 {
+			t.Errorf("%s/%s: imbalance %g", row.Hypergraph, row.Algorithm, row.Imbalance)
+		}
+	}
+	// Fig 4C: both PRAW variants beat Zoltan on PC, aware <= basic.
+	awareBeatsZoltan, awareBeatsBasic := 0, 0
+	for hg, m := range pc {
+		if m[AlgoPRAWAware] < m[AlgoZoltan] {
+			awareBeatsZoltan++
+		}
+		if m[AlgoPRAWAware] <= m[AlgoPRAWBasic]*1.02 {
+			awareBeatsBasic++
+		}
+		_ = hg
+	}
+	if awareBeatsZoltan < 7 {
+		t.Errorf("aware beat Zoltan on PC on only %d/10 instances", awareBeatsZoltan)
+	}
+	if awareBeatsBasic < 6 {
+		t.Errorf("aware beat basic on PC on only %d/10 instances", awareBeatsBasic)
+	}
+}
+
+func TestFig5RuntimeShape(t *testing.T) {
+	r := newTestRunner(t)
+	res, err := r.WriteFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "fig5_runtime.csv"))
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "fig5_speedup.csv"))
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "fig5_runtime.svg"))
+	wantSamples := 10 * 3 * Fig5Jobs * Fig5IterationsPerJob
+	if len(res.Samples) != wantSamples {
+		t.Fatalf("%d samples, want %d", len(res.Samples), wantSamples)
+	}
+	speedup := map[string]float64{}
+	for _, s := range res.Summaries {
+		if s.Algorithm == AlgoPRAWAware {
+			speedup[s.Hypergraph] = s.SpeedupVsZoltan
+		}
+	}
+	wins := 0
+	for _, v := range speedup {
+		if v > 1 {
+			wins++
+		}
+	}
+	// Paper: aware beats Zoltan on 9-10/10 (1.3x–14x). Small scale is
+	// noisier; require a clear majority.
+	if wins < 7 {
+		t.Errorf("aware faster than Zoltan on only %d/10 instances: %v", wins, speedup)
+	}
+}
+
+func TestFig6PatternShape(t *testing.T) {
+	// Fig 6 needs partitions ≫ hyperedge cardinality for the traffic
+	// pattern to be shapeable at all (the paper: 576 partitions vs sparsine
+	// cardinality 31). At 32 cores every sparsine edge touches every
+	// partition and all partitioners are forced into the same all-to-all
+	// pattern, so this test uses its own 96-core geometry.
+	o := testOptions(t)
+	o.Cores = 96
+	o.Scale = 0.008
+	r, err := NewRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traffic) != 3 {
+		t.Fatalf("%d traffic matrices", len(res.Traffic))
+	}
+	// At test scale sparsine's neighbour graph is nearly complete (each
+	// vertex shares an edge with almost every other), so no partitioner can
+	// shape the traffic; require only that the aware variant is not *worse*
+	// on cost per byte. The strict mechanism claim is asserted on a
+	// shapeable instance in TestAwareTrafficExploitsFastLinks.
+	awareCost := MeanCostPerByte(res.Traffic[AlgoPRAWAware], r.PhysCost)
+	zoltanCost := MeanCostPerByte(res.Traffic[AlgoZoltan], r.PhysCost)
+	basicCost := MeanCostPerByte(res.Traffic[AlgoPRAWBasic], r.PhysCost)
+	if awareCost > zoltanCost*1.02 {
+		t.Errorf("aware cost/byte %g clearly above Zoltan %g", awareCost, zoltanCost)
+	}
+	if awareCost > basicCost*1.02 {
+		t.Errorf("aware cost/byte %g clearly above basic %g", awareCost, basicCost)
+	}
+}
+
+func TestAwareTrafficExploitsFastLinks(t *testing.T) {
+	// The Fig 6 mechanism on an instance with exploitable structure:
+	// 2cubes_sphere is geometric (local neighbourhoods), so the aware
+	// variant can both co-locate neighbours and place residual
+	// cross-partition traffic on cheap links. Its traffic must pay strictly
+	// less per byte than Zoltan's.
+	o := testOptions(t)
+	o.Cores = 96
+	o.Scale = 0.01
+	r, err := NewRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Instance("2cubes_sphere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	costPerByte := func(algo string) float64 {
+		parts, err := r.PartitionWith(algo, h)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		traffic, err := benchTraffic(r, h, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MeanCostPerByte(traffic, r.PhysCost)
+	}
+	aware := costPerByte(AlgoPRAWAware)
+	zoltan := costPerByte(AlgoZoltan)
+	if aware >= zoltan {
+		t.Errorf("aware cost/byte %g not below Zoltan %g on a shapeable instance", aware, zoltan)
+	}
+}
+
+func TestWriteFig6CreatesArtefacts(t *testing.T) {
+	r := newTestRunner(t)
+	if _, err := r.WriteFig6(); err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []string{"fig6a_bandwidth", "fig6b_traffic_zoltan", "fig6c_traffic_praw_basic", "fig6d_traffic_praw_aware"} {
+		assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, base+".csv"))
+		assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, base+".pgm"))
+	}
+}
+
+func TestDiagonalAffinity(t *testing.T) {
+	diag := [][]float64{{0, 1, 0}, {1, 0, 1}, {0, 1, 0}}
+	if a := DiagonalAffinity(diag, 2); a != 1 {
+		t.Fatalf("diagonal matrix affinity %g", a)
+	}
+	anti := [][]float64{{0, 0, 1}, {0, 0, 0}, {1, 0, 0}}
+	if a := DiagonalAffinity(anti, 2); a != 0 {
+		t.Fatalf("anti-diagonal affinity %g", a)
+	}
+	if a := DiagonalAffinity([][]float64{{0}}, 1); a != 0 {
+		t.Fatalf("empty traffic affinity %g", a)
+	}
+}
+
+func assertFileNonEmpty(t *testing.T, path string) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("missing artefact: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatalf("empty artefact %s", path)
+	}
+}

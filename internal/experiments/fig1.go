@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"hyperpraw/internal/bench"
+	"hyperpraw/internal/heatmap"
+)
+
+// Fig1Result holds the two panels of Fig 1: the machine's peer-to-peer
+// bandwidth heatmap (A) and the peer-to-peer traffic pattern of the
+// synthetic benchmark under a naive partitioning (B, sparsine instance).
+type Fig1Result struct {
+	// Bandwidth is the profiled p2p bandwidth matrix (MB/s).
+	Bandwidth [][]float64
+	// Traffic is the bytes-sent matrix of the benchmark run.
+	Traffic [][]float64
+}
+
+// Fig1 reproduces both panels. Panel B uses the round-robin (naive)
+// placement that Fig 1B's "typical distributed application" exhibits.
+func (r *Runner) Fig1() (Fig1Result, error) {
+	h, err := r.Instance("sparsine")
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	parts, err := r.PartitionWith(AlgoRoundRobin, h)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	cfg := bench.Config{MessageBytes: r.Opts.MessageBytes, Steps: r.Opts.Steps}
+	traffic, err := bench.BuildTraffic(h, parts, r.Opts.Cores, cfg)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return Fig1Result{
+		Bandwidth: r.Bandwidth,
+		Traffic:   traffic.BytesMatrix(),
+	}, nil
+}
+
+// WriteFig1 runs Fig1 and writes the four artefacts
+// (fig1a_bandwidth.{csv,pgm}, fig1b_traffic.{csv,pgm}).
+func (r *Runner) WriteFig1() (Fig1Result, error) {
+	res, err := r.Fig1()
+	if err != nil {
+		return res, err
+	}
+	files := []struct {
+		name string
+		m    [][]float64
+		opts heatmap.Options
+	}{
+		{"fig1a_bandwidth.csv", res.Bandwidth, heatmap.Options{Log: true, Title: "Fig 1A: p2p bandwidth log(MB/s)"}},
+		{"fig1a_bandwidth.pgm", res.Bandwidth, heatmap.Options{Log: true, Title: "Fig 1A"}},
+		{"fig1b_traffic.csv", res.Traffic, heatmap.Options{Log: true, Title: "Fig 1B: p2p bytes sent (log)"}},
+		{"fig1b_traffic.pgm", res.Traffic, heatmap.Options{Log: true, Title: "Fig 1B"}},
+	}
+	for _, f := range files {
+		path, err := r.outPath(f.name)
+		if err != nil {
+			return res, err
+		}
+		var werr error
+		if len(f.name) > 4 && f.name[len(f.name)-4:] == ".pgm" {
+			werr = heatmap.SavePGM(path, f.m, f.opts)
+		} else {
+			werr = heatmap.SaveCSV(path, f.m, f.opts)
+		}
+		if werr != nil {
+			return res, werr
+		}
+	}
+	return res, nil
+}

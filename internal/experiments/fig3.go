@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"hyperpraw/internal/core"
+)
+
+// Fig3Instances are the four hypergraphs the paper shows refinement
+// histories for (panels A–D).
+var Fig3Instances = []string{
+	"2cubes_sphere",
+	"sat14_itox_vc1130_dual",
+	"sparsine",
+	"ABACUS_shell_hd",
+}
+
+// Fig3Strategy is one of the three restreaming stopping/tempering variants
+// compared in Fig 3.
+type Fig3Strategy struct {
+	// Label as used in the paper's legend.
+	Label string
+	// Policy and Factor configure HyperPRAW's refinement phase.
+	Policy core.RefinementPolicy
+	Factor float64
+}
+
+// Fig3Strategies returns the paper's three variants: no refinement,
+// refinement 1.0 and refinement 0.95.
+func Fig3Strategies() []Fig3Strategy {
+	return []Fig3Strategy{
+		{Label: "no-refinement", Policy: core.StopAtTolerance, Factor: 1.0},
+		{Label: "refinement-1.0", Policy: core.RefineUntilNoImprovement, Factor: 1.0},
+		{Label: "refinement-0.95", Policy: core.RefineUntilNoImprovement, Factor: 0.95},
+	}
+}
+
+// Fig3Series is one curve: PC(P) per iteration for one instance/strategy.
+type Fig3Series struct {
+	Instance string
+	Strategy string
+	// CommCost[i] is PC(P) after iteration i+1.
+	CommCost []float64
+	// Imbalance[i] tracks the balance trajectory.
+	Imbalance []float64
+	// FinalCommCost is the cost of the returned partition.
+	FinalCommCost float64
+	Iterations    int
+}
+
+// Fig3 reruns HyperPRAW-aware under each refinement strategy on the four
+// panel instances, recording the partitioning-communication-cost history.
+func (r *Runner) Fig3() ([]Fig3Series, error) {
+	var out []Fig3Series
+	for _, name := range Fig3Instances {
+		h, err := r.Instance(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range Fig3Strategies() {
+			cfg := core.DefaultConfig(r.PhysCost)
+			cfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+			cfg.MaxIterations = r.Opts.MaxIterations
+			cfg.RefinementPolicy = strat.Policy
+			cfg.RefinementFactor = strat.Factor
+			cfg.RecordHistory = true
+			pr, err := core.New(h, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res := pr.Run()
+			series := Fig3Series{
+				Instance:      name,
+				Strategy:      strat.Label,
+				FinalCommCost: res.FinalCommCost,
+				Iterations:    res.Iterations,
+			}
+			for _, st := range res.History {
+				series.CommCost = append(series.CommCost, st.CommCost)
+				series.Imbalance = append(series.Imbalance, st.Imbalance)
+			}
+			out = append(out, series)
+		}
+	}
+	return out, nil
+}
+
+// WriteFig3 runs Fig3 and writes fig3_history.csv (long format: one row per
+// instance/strategy/iteration).
+func (r *Runner) WriteFig3() ([]Fig3Series, error) {
+	series, err := r.Fig3()
+	if err != nil {
+		return nil, err
+	}
+	path, err := r.outPath("fig3_history.csv")
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "hypergraph,strategy,iteration,comm_cost,imbalance")
+	for _, s := range series {
+		for i := range s.CommCost {
+			fmt.Fprintf(w, "%s,%s,%d,%.6g,%.4f\n", s.Instance, s.Strategy, i+1, s.CommCost[i], s.Imbalance[i])
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := r.RenderFig3SVG(series); err != nil {
+		return nil, err
+	}
+	return series, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"hyperpraw/internal/metrics"
+)
+
+// Fig4Algorithms are the three partitioners compared in Fig 4 and Fig 5.
+var Fig4Algorithms = []string{AlgoZoltan, AlgoPRAWBasic, AlgoPRAWAware}
+
+// Fig4Row holds the quality metrics of one instance under one algorithm.
+// CommCost is always computed with the physical cost matrix (paper §6.2:
+// Zoltan and HyperPRAW-basic "only use the physical cost of communication to
+// calculate the final partitioning cost").
+type Fig4Row struct {
+	metrics.QualityReport
+	// Parts retains the partition for downstream experiments (Fig 5/6 reuse
+	// partitions so runtime differences trace back to quality differences).
+	Parts []int32
+}
+
+// Fig4 partitions all ten instances with the three algorithms and evaluates
+// hyperedge cut (panel A), SOED (panel B) and partitioning communication
+// cost (panel C).
+func (r *Runner) Fig4() ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, h := range r.Instances() {
+		for _, algo := range Fig4Algorithms {
+			parts, err := r.PartitionWith(algo, h)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", algo, h.Name(), err)
+			}
+			rep := metrics.Evaluate(h, parts, r.PhysCost)
+			rep.Algorithm = algo
+			rows = append(rows, Fig4Row{QualityReport: rep, Parts: parts})
+		}
+	}
+	return rows, nil
+}
+
+// WriteFig4 runs Fig4 and writes fig4_quality.csv.
+func (r *Runner) WriteFig4() ([]Fig4Row, error) {
+	rows, err := r.Fig4()
+	if err != nil {
+		return nil, err
+	}
+	path, err := r.outPath("fig4_quality.csv")
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "hypergraph,algorithm,hyperedge_cut,soed,lambda_minus_one,comm_cost,imbalance")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.6g,%.4f\n",
+			row.Hypergraph, row.Algorithm, row.HyperedgeCut, row.SOED,
+			row.LambdaMinusOne, row.CommCost, row.Imbalance)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := r.RenderFig4SVG(rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

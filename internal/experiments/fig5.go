@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"hyperpraw/internal/bench"
+	"hyperpraw/internal/core"
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/multilevel"
+	"hyperpraw/internal/profile"
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+// Fig5Jobs and Fig5IterationsPerJob mirror the paper's protocol (§5.3):
+// three scheduler jobs — each with a different node allocation, hence a
+// different bandwidth matrix — and two benchmark iterations per job, for six
+// simulations per instance/algorithm pair.
+const (
+	Fig5Jobs             = 3
+	Fig5IterationsPerJob = 2
+)
+
+// Fig5Sample is a single simulated benchmark run.
+type Fig5Sample struct {
+	Hypergraph string
+	Algorithm  string
+	Job        int
+	Iteration  int
+	RuntimeSec float64
+}
+
+// Fig5Summary aggregates one instance/algorithm pair across all samples.
+type Fig5Summary struct {
+	Hypergraph  string
+	Algorithm   string
+	MeanRuntime float64
+	StdDev      float64
+	// SpeedupVsZoltan = zoltan mean runtime / this algorithm's mean runtime
+	// (the annotation on Fig 5; >1 means faster than Zoltan).
+	SpeedupVsZoltan float64
+}
+
+// Fig5Result bundles raw samples and per-pair summaries.
+type Fig5Result struct {
+	Samples   []Fig5Sample
+	Summaries []Fig5Summary
+}
+
+// Fig5 reproduces the runtime experiment: for each of the three jobs a new
+// machine is allocated and profiled, each algorithm repartitions against
+// that job's cost matrix, and the synthetic benchmark is simulated twice.
+func (r *Runner) Fig5() (Fig5Result, error) {
+	instances := r.Instances()
+	var samples []Fig5Sample
+
+	for job := 0; job < Fig5Jobs; job++ {
+		jobSeed := r.Opts.Seed + uint64(job)*7919
+		machine, err := topology.New(topology.Archer(), r.Opts.Cores, jobSeed)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		pcfg := profile.DefaultConfig()
+		pcfg.Seed = jobSeed
+		bw := profile.RingProfile(machine, pcfg)
+		physCost := profile.CostMatrix(bw)
+		uniCost := profile.UniformCost(r.Opts.Cores)
+		noise := stats.NewRNG(jobSeed ^ 0xF16)
+
+		for _, h := range instances {
+			for _, algo := range Fig4Algorithms {
+				parts, err := r.partitionForJob(algo, h, physCost, uniCost, jobSeed)
+				if err != nil {
+					return Fig5Result{}, fmt.Errorf("%s on %s (job %d): %w", algo, h.Name(), job, err)
+				}
+				cfg := bench.Config{MessageBytes: r.Opts.MessageBytes, Steps: r.Opts.Steps}
+				res, err := bench.Run(machine, h, parts, cfg)
+				if err != nil {
+					return Fig5Result{}, err
+				}
+				for iter := 0; iter < Fig5IterationsPerJob; iter++ {
+					// Run-to-run variance of a real cluster (network
+					// contention, OS jitter): ~2% log-normal noise.
+					runtime := res.MakespanSec * noise.LogNormal(0, 0.02)
+					samples = append(samples, Fig5Sample{
+						Hypergraph: h.Name(),
+						Algorithm:  algo,
+						Job:        job,
+						Iteration:  iter,
+						RuntimeSec: runtime,
+					})
+				}
+			}
+		}
+	}
+
+	return Fig5Result{Samples: samples, Summaries: summariseFig5(samples)}, nil
+}
+
+// partitionForJob mirrors PartitionWith but against a specific job's cost
+// matrices (each job has its own node allocation and bandwidth profile).
+func (r *Runner) partitionForJob(algo string, h *hypergraph.Hypergraph, physCost, uniCost [][]float64, seed uint64) ([]int32, error) {
+	switch algo {
+	case AlgoZoltan:
+		cfg := multilevel.DefaultConfig(r.Opts.Cores)
+		cfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		cfg.Seed = seed
+		return multilevel.Partition(h, cfg)
+	case AlgoPRAWBasic:
+		cfg := core.DefaultConfig(uniCost)
+		cfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		cfg.MaxIterations = r.Opts.MaxIterations
+		return core.Partition(h, cfg)
+	case AlgoPRAWAware:
+		cfg := core.DefaultConfig(physCost)
+		cfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		cfg.MaxIterations = r.Opts.MaxIterations
+		return core.Partition(h, cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+}
+
+func summariseFig5(samples []Fig5Sample) []Fig5Summary {
+	type key struct{ hg, algo string }
+	groups := map[key][]float64{}
+	var order []key
+	for _, s := range samples {
+		k := key{s.Hypergraph, s.Algorithm}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], s.RuntimeSec)
+	}
+	zoltanMean := map[string]float64{}
+	for k, xs := range groups {
+		if k.algo == AlgoZoltan {
+			zoltanMean[k.hg] = stats.Mean(xs)
+		}
+	}
+	var out []Fig5Summary
+	for _, k := range order {
+		xs := groups[k]
+		mean := stats.Mean(xs)
+		sum := Fig5Summary{
+			Hypergraph:  k.hg,
+			Algorithm:   k.algo,
+			MeanRuntime: mean,
+			StdDev:      stats.StdDev(xs),
+		}
+		if zm, ok := zoltanMean[k.hg]; ok && mean > 0 {
+			sum.SpeedupVsZoltan = zm / mean
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// WriteFig5 runs Fig5 and writes fig5_runtime.csv (raw samples) and
+// fig5_speedup.csv (summaries with the speedup annotations of the figure).
+func (r *Runner) WriteFig5() (Fig5Result, error) {
+	res, err := r.Fig5()
+	if err != nil {
+		return res, err
+	}
+	path, err := r.outPath("fig5_runtime.csv")
+	if err != nil {
+		return res, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return res, err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "hypergraph,algorithm,job,iteration,runtime_sec")
+	for _, s := range res.Samples {
+		fmt.Fprintf(w, "%s,%s,%d,%d,%.6g\n", s.Hypergraph, s.Algorithm, s.Job, s.Iteration, s.RuntimeSec)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return res, err
+	}
+	if err := f.Close(); err != nil {
+		return res, err
+	}
+
+	path, err = r.outPath("fig5_speedup.csv")
+	if err != nil {
+		return res, err
+	}
+	f, err = os.Create(path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	w = bufio.NewWriter(f)
+	fmt.Fprintln(w, "hypergraph,algorithm,mean_runtime_sec,stddev_sec,speedup_vs_zoltan")
+	for _, s := range res.Summaries {
+		fmt.Fprintf(w, "%s,%s,%.6g,%.6g,%.2f\n", s.Hypergraph, s.Algorithm, s.MeanRuntime, s.StdDev, s.SpeedupVsZoltan)
+	}
+	if err := w.Flush(); err != nil {
+		return res, err
+	}
+	if err := r.RenderFig5SVG(res); err != nil {
+		return res, err
+	}
+	return res, nil
+}

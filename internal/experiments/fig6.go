@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperpraw/internal/bench"
+	"hyperpraw/internal/heatmap"
+)
+
+// Fig6Result holds the four panels of Fig 6 for the sparsine hypergraph:
+// the machine's bandwidth (A) and the benchmark's traffic matrix under
+// Zoltan (B), HyperPRAW-basic (C) and HyperPRAW-aware (D).
+type Fig6Result struct {
+	Bandwidth [][]float64
+	// Traffic maps algorithm name → bytes-sent matrix.
+	Traffic map[string][][]float64
+}
+
+// Fig6 reproduces the communication-pattern comparison: only the aware
+// variant should concentrate traffic on the high-bandwidth diagonal band.
+func (r *Runner) Fig6() (Fig6Result, error) {
+	h, err := r.Instance("sparsine")
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	out := Fig6Result{
+		Bandwidth: r.Bandwidth,
+		Traffic:   map[string][][]float64{},
+	}
+	cfg := bench.Config{MessageBytes: r.Opts.MessageBytes, Steps: r.Opts.Steps}
+	for _, algo := range Fig4Algorithms {
+		parts, err := r.PartitionWith(algo, h)
+		if err != nil {
+			return Fig6Result{}, fmt.Errorf("%s: %w", algo, err)
+		}
+		traffic, err := bench.BuildTraffic(h, parts, r.Opts.Cores, cfg)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		out.Traffic[algo] = traffic.BytesMatrix()
+	}
+	return out, nil
+}
+
+// WriteFig6 runs Fig6 and writes the four panels as CSV and PGM files.
+func (r *Runner) WriteFig6() (Fig6Result, error) {
+	res, err := r.Fig6()
+	if err != nil {
+		return res, err
+	}
+	panels := []struct {
+		base string
+		m    [][]float64
+	}{
+		{"fig6a_bandwidth", res.Bandwidth},
+		{"fig6b_traffic_zoltan", res.Traffic[AlgoZoltan]},
+		{"fig6c_traffic_praw_basic", res.Traffic[AlgoPRAWBasic]},
+		{"fig6d_traffic_praw_aware", res.Traffic[AlgoPRAWAware]},
+	}
+	for _, p := range panels {
+		opts := heatmap.Options{Log: true, Title: p.base}
+		csvPath, err := r.outPath(p.base + ".csv")
+		if err != nil {
+			return res, err
+		}
+		if err := heatmap.SaveCSV(csvPath, p.m, opts); err != nil {
+			return res, err
+		}
+		pgmPath, err := r.outPath(p.base + ".pgm")
+		if err != nil {
+			return res, err
+		}
+		if err := heatmap.SavePGM(pgmPath, p.m, opts); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// DiagonalAffinity quantifies how much of a traffic matrix's volume flows
+// between nearby ranks (|i−j| < window). Fig 6's qualitative claim — the
+// aware variant concentrates traffic near the diagonal where ARCHER's fast
+// links live — becomes measurable through this statistic.
+// MeanCostPerByte returns Σ traffic[i][j]·cost[i][j] / Σ traffic[i][j]: the
+// average link cost paid per byte sent. The paper's Fig 6 claim — the aware
+// variant "better exploits fast interconnections" — means its traffic pays a
+// lower average cost per byte than Zoltan's or basic's, regardless of how
+// spread out the pattern looks.
+func MeanCostPerByte(traffic, cost [][]float64) float64 {
+	var weighted, total float64
+	for i := range traffic {
+		for j := range traffic[i] {
+			weighted += traffic[i][j] * cost[i][j]
+			total += traffic[i][j]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+func DiagonalAffinity(m [][]float64, window int) float64 {
+	var near, total float64
+	n := len(m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := m[i][j]
+			total += v
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d < window {
+				near += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return near / total
+}

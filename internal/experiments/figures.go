@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"hyperpraw/internal/plot"
+)
+
+// SVG figure rendering: turns the experiment results into the actual figure
+// panels of the paper (line charts for Fig 3, grouped bars for Fig 4 and
+// Fig 5), written next to the CSV artefacts.
+
+// RenderFig3SVG writes one line-chart SVG per Fig 3 panel
+// (fig3_<instance>.svg) from the given histories.
+func (r *Runner) RenderFig3SVG(series []Fig3Series) error {
+	byInstance := map[string][]plot.Series{}
+	for _, s := range series {
+		xs := make([]float64, len(s.CommCost))
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		byInstance[s.Instance] = append(byInstance[s.Instance], plot.Series{
+			Label: s.Strategy,
+			X:     xs,
+			Y:     s.CommCost,
+		})
+	}
+	for instance, ss := range byInstance {
+		svg := plot.LineChart(ss, plot.Options{
+			Title:  "Fig 3: refinement history — " + instance,
+			XLabel: "iteration",
+			YLabel: "partitioning comm cost",
+		})
+		path, err := r.outPath("fig3_" + instance + ".svg")
+		if err != nil {
+			return err
+		}
+		if err := plot.Save(path, svg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFig4SVG writes the three quality panels (fig4a_cut.svg,
+// fig4b_soed.svg, fig4c_commcost.svg) from Fig 4 rows. SOED and comm cost
+// use log scale, as in the paper.
+func (r *Runner) RenderFig4SVG(rows []Fig4Row) error {
+	panels := []struct {
+		file  string
+		title string
+		logY  bool
+		value func(Fig4Row) float64
+	}{
+		{"fig4a_cut.svg", "Fig 4A: hyperedge cut", false, func(r Fig4Row) float64 { return float64(r.HyperedgeCut) }},
+		{"fig4b_soed.svg", "Fig 4B: SOED (log)", true, func(r Fig4Row) float64 { return float64(r.SOED) }},
+		{"fig4c_commcost.svg", "Fig 4C: partitioning comm cost (log)", true, func(r Fig4Row) float64 { return r.CommCost }},
+	}
+	for _, panel := range panels {
+		groups, labels := fig4Groups(rows, panel.value)
+		svg := plot.GroupedBarChart(labels, groups, plot.Options{
+			Title: panel.title,
+			LogY:  panel.logY,
+		})
+		path, err := r.outPath(panel.file)
+		if err != nil {
+			return err
+		}
+		if err := plot.Save(path, svg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig4Groups(rows []Fig4Row, value func(Fig4Row) float64) ([]plot.BarGroup, []string) {
+	labels := Fig4Algorithms
+	index := map[string]int{}
+	var groups []plot.BarGroup
+	for _, row := range rows {
+		gi, ok := index[row.Hypergraph]
+		if !ok {
+			gi = len(groups)
+			index[row.Hypergraph] = gi
+			groups = append(groups, plot.BarGroup{Label: row.Hypergraph, Values: make([]float64, len(labels))})
+		}
+		for si, algo := range labels {
+			if algo == row.Algorithm {
+				groups[gi].Values[si] = value(row)
+			}
+		}
+	}
+	return groups, labels
+}
+
+// RenderFig5SVG writes fig5_runtime.svg (log-scale grouped bars with one
+// group per instance) from Fig 5 summaries.
+func (r *Runner) RenderFig5SVG(res Fig5Result) error {
+	labels := Fig4Algorithms
+	index := map[string]int{}
+	var groups []plot.BarGroup
+	for _, s := range res.Summaries {
+		gi, ok := index[s.Hypergraph]
+		if !ok {
+			gi = len(groups)
+			index[s.Hypergraph] = gi
+			groups = append(groups, plot.BarGroup{Label: s.Hypergraph, Values: make([]float64, len(labels))})
+		}
+		for si, algo := range labels {
+			if algo == s.Algorithm {
+				groups[gi].Values[si] = s.MeanRuntime
+			}
+		}
+	}
+	svg := plot.GroupedBarChart(labels, groups, plot.Options{
+		Title: "Fig 5: synthetic benchmark runtime (log scale)",
+		LogY:  true,
+	})
+	path, err := r.outPath("fig5_runtime.svg")
+	if err != nil {
+		return err
+	}
+	return plot.Save(path, svg)
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"hyperpraw/internal/bench"
+	"hyperpraw/internal/core"
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/multilevel"
+	"hyperpraw/internal/profile"
+	"hyperpraw/internal/topology"
+)
+
+// ScalingRow records the aware-vs-zoltan and aware-vs-basic runtime ratios
+// at one machine size.
+type ScalingRow struct {
+	Cores           int
+	Hypergraph      string
+	ZoltanRuntime   float64
+	BasicRuntime    float64
+	AwareRuntime    float64
+	SpeedupVsZoltan float64
+	SpeedupVsBasic  float64
+}
+
+// ScalingSweep reruns the headline comparison at increasing simulated
+// machine sizes. The paper's large speedups (up to 14x) come from 576-core
+// runs; this sweep shows the aware advantage growing with core count — more
+// tiers are in play and a larger fraction of links are slow — connecting the
+// laptop-scale factors to the paper's.
+func (r *Runner) ScalingSweep(coreCounts []int, instance string) ([]ScalingRow, error) {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{24, 48, 96, 144}
+	}
+	var rows []ScalingRow
+	for _, cores := range coreCounts {
+		machine, err := topology.New(topology.Archer(), cores, r.Opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := profile.DefaultConfig()
+		pcfg.Seed = r.Opts.Seed
+		bw := profile.RingProfile(machine, pcfg)
+		physCost := profile.CostMatrix(bw)
+		uniCost := profile.UniformCost(cores)
+
+		// Keep vertices-per-partition roughly constant across the sweep so
+		// only the machine size varies: scale the instance with the cores.
+		spec, ok := hgen.SpecByName(instance)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown instance %q", instance)
+		}
+		scale := r.Opts.Scale * float64(cores) / float64(r.Opts.Cores)
+		h := hgen.Generate(spec.Scaled(scale), r.Opts.Seed)
+
+		mlCfg := multilevel.DefaultConfig(cores)
+		mlCfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		mlCfg.Seed = r.Opts.Seed
+		zoltanParts, err := multilevel.Partition(h, mlCfg)
+		if err != nil {
+			return nil, err
+		}
+		basicCfg := core.DefaultConfig(uniCost)
+		basicCfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		basicCfg.MaxIterations = r.Opts.MaxIterations
+		basicParts, err := core.Partition(h, basicCfg)
+		if err != nil {
+			return nil, err
+		}
+		awareCfg := core.DefaultConfig(physCost)
+		awareCfg.ImbalanceTolerance = r.Opts.ImbalanceTolerance
+		awareCfg.MaxIterations = r.Opts.MaxIterations
+		awareParts, err := core.Partition(h, awareCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		bcfg := bench.Config{MessageBytes: r.Opts.MessageBytes, Steps: r.Opts.Steps}
+		runtimeOf := func(parts []int32) (float64, error) {
+			res, err := bench.Run(machine, h, parts, bcfg)
+			return res.MakespanSec, err
+		}
+		zr, err := runtimeOf(zoltanParts)
+		if err != nil {
+			return nil, err
+		}
+		br, err := runtimeOf(basicParts)
+		if err != nil {
+			return nil, err
+		}
+		ar, err := runtimeOf(awareParts)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{
+			Cores:         cores,
+			Hypergraph:    instance,
+			ZoltanRuntime: zr,
+			BasicRuntime:  br,
+			AwareRuntime:  ar,
+		}
+		if ar > 0 {
+			row.SpeedupVsZoltan = zr / ar
+			row.SpeedupVsBasic = br / ar
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteScalingSweep runs ScalingSweep with defaults and writes
+// scaling_sweep.csv.
+func (r *Runner) WriteScalingSweep() ([]ScalingRow, error) {
+	rows, err := r.ScalingSweep(nil, "2cubes_sphere")
+	if err != nil {
+		return nil, err
+	}
+	path, err := r.outPath("scaling_sweep.csv")
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "cores,hypergraph,zoltan_runtime,basic_runtime,aware_runtime,speedup_vs_zoltan,speedup_vs_basic")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%d,%s,%.6g,%.6g,%.6g,%.3f,%.3f\n",
+			row.Cores, row.Hypergraph, row.ZoltanRuntime, row.BasicRuntime, row.AwareRuntime,
+			row.SpeedupVsZoltan, row.SpeedupVsBasic)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestScalingSweepShape(t *testing.T) {
+	r := newTestRunner(t)
+	rows, err := r.ScalingSweep([]int{24, 48}, "2cubes_sphere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.ZoltanRuntime <= 0 || row.AwareRuntime <= 0 {
+			t.Fatalf("degenerate runtimes %+v", row)
+		}
+		// At every size the aware variant should at least roughly match the
+		// baseline (strict dominance is asserted at fixed scale elsewhere).
+		if row.SpeedupVsZoltan < 0.85 {
+			t.Errorf("cores=%d: aware clearly slower than zoltan (%.2fx)", row.Cores, row.SpeedupVsZoltan)
+		}
+	}
+}
+
+func TestScalingSweepUnknownInstance(t *testing.T) {
+	r := newTestRunner(t)
+	if _, err := r.ScalingSweep([]int{16}, "nope"); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestWriteScalingSweep(t *testing.T) {
+	r := newTestRunner(t)
+	// Shrink the default sweep via options: WriteScalingSweep uses the
+	// default core counts, which is fine at the tiny test scale.
+	if _, err := r.WriteScalingSweep(); err != nil {
+		t.Fatal(err)
+	}
+	assertFileNonEmpty(t, filepath.Join(r.Opts.OutDir, "scaling_sweep.csv"))
+}

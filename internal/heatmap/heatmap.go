@@ -1,0 +1,210 @@
+// Package heatmap renders square matrices (bandwidth, traffic) to CSV, PGM
+// images and ASCII previews, reproducing the heatmap figures of the paper
+// (Fig 1 and Fig 6). Rendering is typically done in log scale, matching the
+// paper's log(MB/s) and log(bytes sent) colour bars.
+package heatmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Log applies log10 to strictly positive values; zeros map to the
+	// minimum of the scale (the paper's heatmaps are log-scaled).
+	Log bool
+	// Title is included as a comment where the format allows it.
+	Title string
+}
+
+// WriteCSV writes the matrix as comma-separated values, one row per line.
+// When opts.Log is set, values are log10-transformed (zeros become empty
+// cells).
+func WriteCSV(w io.Writer, m [][]float64, opts Options) error {
+	bw := bufio.NewWriter(w)
+	if opts.Title != "" {
+		fmt.Fprintf(bw, "# %s\n", opts.Title)
+	}
+	for _, row := range m {
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			if opts.Log {
+				if v > 0 {
+					fmt.Fprintf(bw, "%.4f", math.Log10(v))
+				}
+				// zero: empty cell
+			} else {
+				fmt.Fprintf(bw, "%.6g", v)
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WritePGM writes the matrix as a portable graymap (P2), normalising values
+// (after optional log transform) to 0–255. Any viewer or converter renders
+// it directly; the output is the reproduction of the paper's heatmap panels.
+func WritePGM(w io.Writer, m [][]float64, opts Options) error {
+	n := len(m)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P2\n")
+	if opts.Title != "" {
+		fmt.Fprintf(bw, "# %s\n", opts.Title)
+	}
+	fmt.Fprintf(bw, "%d %d\n255\n", n, n)
+	lo, hi := transformRange(m, opts.Log)
+	span := hi - lo
+	for _, row := range m {
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte(' ')
+			}
+			g := 0
+			if span > 0 {
+				t := transform(v, opts.Log, lo)
+				g = int(255 * (t - lo) / span)
+				if g < 0 {
+					g = 0
+				}
+				if g > 255 {
+					g = 255
+				}
+			}
+			fmt.Fprintf(bw, "%d", g)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ASCII renders a coarse size×size character preview of the matrix using a
+// luminance ramp, for terminal inspection. The matrix is block-averaged down
+// to the requested size.
+func ASCII(m [][]float64, size int, opts Options) string {
+	n := len(m)
+	if n == 0 {
+		return ""
+	}
+	if size <= 0 || size > n {
+		size = n
+	}
+	ramp := " .:-=+*#%@"
+	down := make([][]float64, size)
+	block := float64(n) / float64(size)
+	for bi := 0; bi < size; bi++ {
+		down[bi] = make([]float64, size)
+		for bj := 0; bj < size; bj++ {
+			iLo, iHi := int(float64(bi)*block), int(float64(bi+1)*block)
+			jLo, jHi := int(float64(bj)*block), int(float64(bj+1)*block)
+			if iHi <= iLo {
+				iHi = iLo + 1
+			}
+			if jHi <= jLo {
+				jHi = jLo + 1
+			}
+			sum, cnt := 0.0, 0
+			for i := iLo; i < iHi && i < n; i++ {
+				for j := jLo; j < jHi && j < n; j++ {
+					sum += m[i][j]
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				down[bi][bj] = sum / float64(cnt)
+			}
+		}
+	}
+	lo, hi := transformRange(down, opts.Log)
+	span := hi - lo
+	var sb strings.Builder
+	if opts.Title != "" {
+		sb.WriteString(opts.Title)
+		sb.WriteByte('\n')
+	}
+	for _, row := range down {
+		for _, v := range row {
+			idx := 0
+			if span > 0 {
+				t := transform(v, opts.Log, lo)
+				idx = int(float64(len(ramp)-1) * (t - lo) / span)
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SaveCSV writes the matrix to a CSV file at path.
+func SaveCSV(path string, m [][]float64, opts Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteCSV(f, m, opts)
+}
+
+// SavePGM writes the matrix to a PGM image at path.
+func SavePGM(path string, m [][]float64, opts Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WritePGM(f, m, opts)
+}
+
+func transform(v float64, logScale bool, lo float64) float64 {
+	if !logScale {
+		return v
+	}
+	if v <= 0 {
+		return lo
+	}
+	return math.Log10(v)
+}
+
+// transformRange returns the min and max of the (optionally log-scaled)
+// positive entries. With log scaling, zero entries are excluded from the
+// range and later clamp to the minimum.
+func transformRange(m [][]float64, logScale bool) (lo, hi float64) {
+	first := true
+	for _, row := range m {
+		for _, v := range row {
+			if logScale && v <= 0 {
+				continue
+			}
+			t := v
+			if logScale {
+				t = math.Log10(v)
+			}
+			if first {
+				lo, hi = t, t
+				first = false
+				continue
+			}
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+	}
+	return lo, hi
+}

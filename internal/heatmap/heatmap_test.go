@@ -1,0 +1,136 @@
+package heatmap
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() [][]float64 {
+	return [][]float64{
+		{0, 10, 100},
+		{10, 0, 1000},
+		{100, 1000, 0},
+	}
+}
+
+func TestWriteCSVLinear(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, sample(), Options{Title: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# test\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[1] != "0,10,100" {
+		t.Fatalf("row 0: %q", lines[1])
+	}
+}
+
+func TestWriteCSVLog(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, sample(), Options{Log: true}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// log10(10) = 1; zeros are empty cells.
+	if !strings.HasPrefix(lines[0], ",1.0000,2.0000") {
+		t.Fatalf("log row: %q", lines[0])
+	}
+}
+
+func TestWritePGMValid(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePGM(&sb, sample(), Options{Log: true, Title: "hm"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "P2\n") {
+		t.Fatalf("not a PGM: %q", out[:10])
+	}
+	if !strings.Contains(out, "3 3\n255\n") {
+		t.Fatal("missing dimensions")
+	}
+	// Largest value (1000) must map to 255 somewhere.
+	if !strings.Contains(out, "255") {
+		t.Fatal("no max gray value")
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	out := ASCII(sample(), 3, Options{Log: true, Title: "t"})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 3 rows
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 3 {
+			t.Fatalf("row width %d: %q", len(l), l)
+		}
+	}
+}
+
+func TestASCIIDownsamples(t *testing.T) {
+	big := make([][]float64, 20)
+	for i := range big {
+		big[i] = make([]float64, 20)
+		for j := range big[i] {
+			big[i][j] = float64(i * j)
+		}
+	}
+	out := ASCII(big, 5, Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	if out := ASCII(nil, 4, Options{}); out != "" {
+		t.Fatalf("empty matrix rendered %q", out)
+	}
+}
+
+func TestASCIIConstantMatrix(t *testing.T) {
+	m := [][]float64{{5, 5}, {5, 5}}
+	out := ASCII(m, 2, Options{})
+	if out == "" {
+		t.Fatal("constant matrix rendered nothing")
+	}
+}
+
+func TestSaveFiles(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "m.csv")
+	pgmPath := filepath.Join(dir, "m.pgm")
+	if err := SaveCSV(csvPath, sample(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePGM(pgmPath, sample(), Options{Log: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{csvPath, pgmPath} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	if err := SaveCSV("/nonexistent/dir/x.csv", sample(), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := SavePGM("/nonexistent/dir/x.pgm", sample(), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,55 @@
+package hgen
+
+import "hyperpraw/internal/hypergraph"
+
+// Catalog returns specs for the 10 hypergraphs of Table 1, in the paper's
+// order. Vertex/hyperedge counts and average cardinalities are the paper's;
+// the Kind assignments reflect each instance's provenance:
+//
+//	sat14_itox_vc1130_dual            SAT dual        (E/V = 0.34)
+//	2cubes_sphere                     FEM mesh        (electromagnetics)
+//	ABACUS_shell_hd                    FEM shell model
+//	sparsine                          unstructured sparse matrix
+//	pdb1HYS                           protein matrix (dense local blocks)
+//	sat14_10pipe_q0_k_primal          SAT primal      (E/V = 26.8)
+//	sat14_E02F22                      SAT primal      (E/V = 47.9)
+//	webbase-1M                        web graph       (power law)
+//	ship_001                          FEM ship structure (cardinality 133)
+//	sat14_atco_enc1_opt1_05_21_dual   SAT dual        (E/V = 0.11)
+func Catalog() []Spec {
+	return []Spec{
+		{Name: "sat14_itox_vc1130_dual", Kind: KindSATDual, Vertices: 441729, Hyperedges: 152256, AvgCardinality: 7.51},
+		{Name: "2cubes_sphere", Kind: KindGeometric, Vertices: 101492, Hyperedges: 101492, AvgCardinality: 16.23, Locality: 0.92},
+		{Name: "ABACUS_shell_hd", Kind: KindGeometric, Vertices: 23412, Hyperedges: 23412, AvgCardinality: 9.33, Locality: 0.95},
+		{Name: "sparsine", Kind: KindRandom, Vertices: 50000, Hyperedges: 50000, AvgCardinality: 30.98},
+		{Name: "pdb1HYS", Kind: KindGeometric, Vertices: 36417, Hyperedges: 36417, AvgCardinality: 119.31, Locality: 0.9},
+		{Name: "sat14_10pipe_q0_k_primal", Kind: KindSATPrimal, Vertices: 77639, Hyperedges: 2082017, AvgCardinality: 2.96, Skew: 0.8},
+		{Name: "sat14_E02F22", Kind: KindSATPrimal, Vertices: 27148, Hyperedges: 1301188, AvgCardinality: 8.81, Skew: 0.8},
+		{Name: "webbase-1M", Kind: KindPowerLaw, Vertices: 1000005, Hyperedges: 1000005, AvgCardinality: 3.11, Skew: 1.3},
+		{Name: "ship_001", Kind: KindGeometric, Vertices: 34920, Hyperedges: 34920, AvgCardinality: 133, Locality: 0.9},
+		{Name: "sat14_atco_enc1_opt1_05_21_dual", Kind: KindSATDual, Vertices: 561784, Hyperedges: 59517, AvgCardinality: 36.41},
+	}
+}
+
+// SpecByName returns the catalog spec with the given name, or false.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// GenerateCatalog materialises all catalog instances at the given scale,
+// deterministically in seed. scale = 1 reproduces the paper's sizes (hundreds
+// of millions of pins across the set); the experiment defaults use smaller
+// scales.
+func GenerateCatalog(scale float64, seed uint64) []*hypergraph.Hypergraph {
+	specs := Catalog()
+	out := make([]*hypergraph.Hypergraph, len(specs))
+	for i, s := range specs {
+		out[i] = Generate(s.Scaled(scale), seed)
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+// Package hgen generates synthetic hypergraphs whose structural statistics
+// match the 10 public instances the paper evaluates (Table 1).
+//
+// The original instances come from the Schlag multilevel-partitioning
+// benchmark set hosted on Zenodo; this module is built offline, so instead of
+// shipping the files we synthesise hypergraphs from the same structural
+// families (FEM meshes, unstructured sparse matrices, web graphs, SAT primal
+// and dual models) parameterised to hit each instance's vertex count,
+// hyperedge count, average cardinality and hyperedge/vertex ratio. A Scale
+// parameter shrinks instances proportionally so the full experiment suite
+// runs on one machine; the E/V ratio and average cardinality — the properties
+// that drive partitioner behaviour — are preserved at every scale.
+package hgen
+
+import (
+	"fmt"
+	"math"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/stats"
+)
+
+// Kind identifies the structural family a generator draws from.
+type Kind int
+
+const (
+	// KindGeometric models FEM/mesh sparse matrices (2cubes_sphere,
+	// ABACUS_shell_hd, pdb1HYS, ship_001): square row-net hypergraphs whose
+	// hyperedges connect geometrically local vertices.
+	KindGeometric Kind = iota
+	// KindRandom models unstructured sparse matrices (sparsine): square
+	// row-net hypergraphs with near-uniform random pins.
+	KindRandom
+	// KindPowerLaw models web-like graphs (webbase-1M): pin selection follows
+	// a Zipf distribution, producing hub vertices with very high degree.
+	KindPowerLaw
+	// KindSATPrimal models primal SAT instances: vertices are variables,
+	// hyperedges are clauses (small cardinality, many more edges than
+	// vertices, power-law variable occurrence).
+	KindSATPrimal
+	// KindSATDual models dual SAT instances: vertices are clauses, hyperedges
+	// are variables (fewer edges than vertices, moderate cardinality).
+	KindSATDual
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case KindGeometric:
+		return "geometric"
+	case KindRandom:
+		return "random"
+	case KindPowerLaw:
+		return "powerlaw"
+	case KindSATPrimal:
+		return "sat-primal"
+	case KindSATDual:
+		return "sat-dual"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one synthetic instance: the target statistics from Table 1
+// plus the structural family used to realise them.
+type Spec struct {
+	Name           string
+	Kind           Kind
+	Vertices       int
+	Hyperedges     int
+	AvgCardinality float64
+	// Skew is the Zipf exponent for power-law pin selection (0 = uniform).
+	Skew float64
+	// Locality, for KindGeometric, is the fraction of each hyperedge's pins
+	// drawn from the immediate geometric neighbourhood (the rest are random
+	// long-range pins, as FEM matrices have occasional far couplings).
+	Locality float64
+}
+
+// Scaled returns a copy of the spec with vertex and hyperedge counts scaled
+// by factor (minimums keep tiny scales usable). Cardinality, skew and
+// locality are preserved — they are scale-free.
+func (s Spec) Scaled(factor float64) Spec {
+	if factor <= 0 {
+		panic("hgen: non-positive scale factor")
+	}
+	out := s
+	out.Vertices = maxInt(32, int(math.Round(float64(s.Vertices)*factor)))
+	out.Hyperedges = maxInt(16, int(math.Round(float64(s.Hyperedges)*factor)))
+	// Keep cardinality no larger than the shrunken vertex set allows.
+	if out.AvgCardinality > float64(out.Vertices)/2 {
+		out.AvgCardinality = float64(out.Vertices) / 2
+	}
+	return out
+}
+
+// Generate realises the spec into a concrete hypergraph, deterministically in
+// seed.
+func Generate(spec Spec, seed uint64) *hypergraph.Hypergraph {
+	rng := stats.NewRNG(seed ^ hashName(spec.Name))
+	var h *hypergraph.Hypergraph
+	switch spec.Kind {
+	case KindGeometric:
+		h = genGeometric(spec, rng)
+	case KindRandom:
+		h = genRandom(spec, rng)
+	case KindPowerLaw:
+		h = genPowerLaw(spec, rng)
+	case KindSATPrimal:
+		h = genSATPrimal(spec, rng)
+	case KindSATDual:
+		h = genSATDual(spec, rng)
+	default:
+		panic(fmt.Sprintf("hgen: unknown kind %v", spec.Kind))
+	}
+	h.SetName(spec.Name)
+	return h
+}
+
+func hashName(name string) uint64 {
+	var x uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		x ^= uint64(name[i])
+		x *= 1099511628211
+	}
+	return x
+}
+
+// cardinality draws a hyperedge cardinality with the spec's mean: a clipped
+// log-normal centred on the mean, which mimics the long-but-light tails of
+// the benchmark instances. Minimum 1 (some instances have singleton rows);
+// the realised average stays within a few percent of the target.
+func cardinality(rng *stats.RNG, mean float64, maxCard int) int {
+	if mean <= 1 {
+		return 1
+	}
+	sigma := 0.45
+	mu := math.Log(mean) - sigma*sigma/2
+	c := int(math.Round(rng.LogNormal(mu, sigma)))
+	if c < 1 {
+		c = 1
+	}
+	if c > maxCard {
+		c = maxCard
+	}
+	return c
+}
+
+func genGeometric(spec Spec, rng *stats.RNG) *hypergraph.Hypergraph {
+	n := spec.Vertices
+	// Embed vertices on a 3D lattice; hyperedge e is centred on vertex
+	// (e mod n) and picks pins from a geometric ball with jitter, plus a
+	// fraction of long-range pins.
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	if side < 2 {
+		side = 2
+	}
+	loc := spec.Locality
+	if loc <= 0 {
+		loc = 0.9
+	}
+	b := hypergraph.NewBuilder(n)
+	for e := 0; e < spec.Hyperedges; e++ {
+		center := e % n
+		card := cardinality(rng, spec.AvgCardinality, n)
+		pins := make([]int, 0, card+1)
+		pins = append(pins, center) // diagonal of the sparse matrix
+		cx, cy, cz := center%side, (center/side)%side, center/(side*side)
+		// Ball radius just large enough to hold card local pins.
+		radius := int(math.Ceil(math.Cbrt(float64(card)))) + 1
+		for len(pins) < card {
+			if rng.Float64() < loc {
+				dx := rng.Intn(2*radius+1) - radius
+				dy := rng.Intn(2*radius+1) - radius
+				dz := rng.Intn(2*radius+1) - radius
+				x, y, z := cx+dx, cy+dy, cz+dz
+				if x < 0 || y < 0 || z < 0 || x >= side || y >= side || z >= side {
+					continue
+				}
+				v := x + y*side + z*side*side
+				if v < n {
+					pins = append(pins, v)
+				}
+			} else {
+				pins = append(pins, rng.Intn(n))
+			}
+		}
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}
+
+func genRandom(spec Spec, rng *stats.RNG) *hypergraph.Hypergraph {
+	n := spec.Vertices
+	b := hypergraph.NewBuilder(n)
+	for e := 0; e < spec.Hyperedges; e++ {
+		card := cardinality(rng, spec.AvgCardinality, n)
+		pins := make([]int, 0, card)
+		for len(pins) < card {
+			pins = append(pins, rng.Intn(n))
+		}
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}
+
+func genPowerLaw(spec Spec, rng *stats.RNG) *hypergraph.Hypergraph {
+	n := spec.Vertices
+	skew := spec.Skew
+	if skew <= 0 {
+		skew = 1.1
+	}
+	zipf := stats.NewZipf(rng, n, skew)
+	perm := rng.Perm(n) // decouple popularity rank from vertex index
+	b := hypergraph.NewBuilder(n)
+	for e := 0; e < spec.Hyperedges; e++ {
+		card := cardinality(rng, spec.AvgCardinality, n)
+		pins := make([]int, 0, card+1)
+		pins = append(pins, e%n) // row-net diagonal
+		for len(pins) < card {
+			pins = append(pins, perm[zipf.Draw()])
+		}
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}
+
+func genSATPrimal(spec Spec, rng *stats.RNG) *hypergraph.Hypergraph {
+	// Vertices = variables, hyperedges = clauses. Clause length clusters
+	// around the small average; variable occurrence is power-law (community
+	// structure approximated by block-local selection).
+	n := spec.Vertices
+	skew := spec.Skew
+	if skew <= 0 {
+		skew = 0.8
+	}
+	zipf := stats.NewZipf(rng, n, skew)
+	perm := rng.Perm(n)
+	blocks := maxInt(1, n/64)
+	b := hypergraph.NewBuilder(n)
+	for e := 0; e < spec.Hyperedges; e++ {
+		card := cardinality(rng, spec.AvgCardinality, n)
+		if card < 2 && n >= 2 {
+			card = 2
+		}
+		pins := make([]int, 0, card)
+		block := rng.Intn(blocks)
+		for len(pins) < card {
+			if rng.Float64() < 0.6 {
+				// Local pick inside a community block.
+				v := block*64 + rng.Intn(minInt(64, n-block*64))
+				pins = append(pins, v)
+			} else {
+				pins = append(pins, perm[zipf.Draw()])
+			}
+		}
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}
+
+func genSATDual(spec Spec, rng *stats.RNG) *hypergraph.Hypergraph {
+	// Vertices = clauses, hyperedges = variables; a variable's hyperedge pins
+	// the clauses it occurs in. Occurrences cluster: consecutive clauses tend
+	// to share variables.
+	n := spec.Vertices
+	b := hypergraph.NewBuilder(n)
+	for e := 0; e < spec.Hyperedges; e++ {
+		card := cardinality(rng, spec.AvgCardinality, n)
+		pins := make([]int, 0, card)
+		anchor := rng.Intn(n)
+		spread := maxInt(4, card*8)
+		for len(pins) < card {
+			if rng.Float64() < 0.7 {
+				v := anchor + rng.Intn(2*spread+1) - spread
+				if v < 0 || v >= n {
+					continue
+				}
+				pins = append(pins, v)
+			} else {
+				pins = append(pins, rng.Intn(n))
+			}
+		}
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,214 @@
+package hgen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogHasTenInstances(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 10 {
+		t.Fatalf("catalog has %d instances, want 10 (Table 1)", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.Vertices <= 0 || s.Hyperedges <= 0 || s.AvgCardinality <= 0 {
+			t.Fatalf("invalid spec %+v", s)
+		}
+	}
+}
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	// Spot-check the paper's Table 1 numbers.
+	want := map[string]struct {
+		v, e int
+		card float64
+	}{
+		"sparsine":     {50000, 50000, 30.98},
+		"webbase-1M":   {1000005, 1000005, 3.11},
+		"ship_001":     {34920, 34920, 133},
+		"sat14_E02F22": {27148, 1301188, 8.81},
+	}
+	for name, w := range want {
+		s, ok := SpecByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if s.Vertices != w.v || s.Hyperedges != w.e || s.AvgCardinality != w.card {
+			t.Fatalf("%s: got %+v, want %+v", name, s, w)
+		}
+	}
+}
+
+func TestSpecByNameMissing(t *testing.T) {
+	if _, ok := SpecByName("nope"); ok {
+		t.Fatal("found nonexistent spec")
+	}
+}
+
+func TestScaledPreservesRatios(t *testing.T) {
+	s, _ := SpecByName("sparsine")
+	sc := s.Scaled(0.01)
+	if sc.Vertices < 400 || sc.Vertices > 600 {
+		t.Fatalf("scaled vertices %d", sc.Vertices)
+	}
+	if sc.AvgCardinality != s.AvgCardinality {
+		t.Fatalf("cardinality changed: %g", sc.AvgCardinality)
+	}
+	ratio := float64(sc.Hyperedges) / float64(sc.Vertices)
+	if math.Abs(ratio-1) > 0.05 {
+		t.Fatalf("E/V ratio drifted to %g", ratio)
+	}
+}
+
+func TestScaledMinimums(t *testing.T) {
+	s := Spec{Name: "tiny", Kind: KindRandom, Vertices: 100, Hyperedges: 100, AvgCardinality: 5}
+	sc := s.Scaled(0.0001)
+	if sc.Vertices < 32 || sc.Hyperedges < 16 {
+		t.Fatalf("scaled below minimums: %+v", sc)
+	}
+}
+
+func TestScaledPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Spec{Vertices: 10, Hyperedges: 10}.Scaled(0)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "d", Kind: KindRandom, Vertices: 200, Hyperedges: 300, AvgCardinality: 4}
+	a := Generate(spec, 7)
+	b := Generate(spec, 7)
+	if a.NumPins() != b.NumPins() {
+		t.Fatalf("pin counts differ: %d vs %d", a.NumPins(), b.NumPins())
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		pa, pb := a.Pins(e), b.Pins(e)
+		if len(pa) != len(pb) {
+			t.Fatalf("edge %d cardinality differs", e)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("edge %d pin %d differs", e, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	spec := Spec{Name: "s", Kind: KindRandom, Vertices: 200, Hyperedges: 300, AvgCardinality: 4}
+	a := Generate(spec, 1)
+	b := Generate(spec, 2)
+	if a.NumPins() == b.NumPins() {
+		// Weak check, so compare pins of a few edges too.
+		same := true
+		for e := 0; e < 10 && same; e++ {
+			pa, pb := a.Pins(e), b.Pins(e)
+			if len(pa) != len(pb) {
+				same = false
+				break
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical hypergraphs")
+		}
+	}
+}
+
+func TestGenerateAllKindsValid(t *testing.T) {
+	kinds := []Kind{KindGeometric, KindRandom, KindPowerLaw, KindSATPrimal, KindSATDual}
+	for _, k := range kinds {
+		spec := Spec{Name: "k" + k.String(), Kind: k, Vertices: 300, Hyperedges: 400, AvgCardinality: 6}
+		h := Generate(spec, 3)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if h.NumVertices() != 300 || h.NumEdges() != 400 {
+			t.Fatalf("%v: sizes %d %d", k, h.NumVertices(), h.NumEdges())
+		}
+		if h.Name() != spec.Name {
+			t.Fatalf("%v: name %q", k, h.Name())
+		}
+	}
+}
+
+func TestGeneratedCardinalityNearTarget(t *testing.T) {
+	for _, kind := range []Kind{KindGeometric, KindRandom, KindSATDual} {
+		spec := Spec{Name: "c", Kind: kind, Vertices: 2000, Hyperedges: 3000, AvgCardinality: 10}
+		h := Generate(spec, 5)
+		avg := float64(h.NumPins()) / float64(h.NumEdges())
+		// Dedup of random pins drags the realised average slightly below the
+		// target; allow 25%.
+		if avg < 7.5 || avg > 12.5 {
+			t.Fatalf("%v: realised avg cardinality %g, target 10", kind, avg)
+		}
+	}
+}
+
+func TestPowerLawProducesHubs(t *testing.T) {
+	spec := Spec{Name: "p", Kind: KindPowerLaw, Vertices: 2000, Hyperedges: 4000, AvgCardinality: 4, Skew: 1.3}
+	h := Generate(spec, 9)
+	maxDeg := 0
+	for v := 0; v < h.NumVertices(); v++ {
+		if d := h.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avgDeg := float64(h.NumPins()) / float64(h.NumVertices())
+	if float64(maxDeg) < 10*avgDeg {
+		t.Fatalf("no hubs: max degree %d vs avg %g", maxDeg, avgDeg)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindGeometric.String() != "geometric" || KindSATDual.String() != "sat-dual" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still print")
+	}
+}
+
+func TestGenerateCatalogSmallScale(t *testing.T) {
+	hs := GenerateCatalog(0.002, 1)
+	if len(hs) != 10 {
+		t.Fatalf("%d instances", len(hs))
+	}
+	for _, h := range hs {
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if h.NumVertices() < 32 {
+			t.Fatalf("%s too small: %d vertices", h.Name(), h.NumVertices())
+		}
+	}
+}
+
+// Property: every kind generates valid hypergraphs at arbitrary small sizes.
+func TestQuickGenerateValid(t *testing.T) {
+	f := func(seed uint64, kindRaw uint8, nvRaw, neRaw uint8) bool {
+		kind := Kind(int(kindRaw) % 5)
+		nv := int(nvRaw)%200 + 16
+		ne := int(neRaw)%200 + 8
+		spec := Spec{Name: "q", Kind: kind, Vertices: nv, Hyperedges: ne, AvgCardinality: 3}
+		h := Generate(spec, seed)
+		return h.Validate() == nil && h.NumVertices() == nv && h.NumEdges() == ne
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

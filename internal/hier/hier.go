@@ -1,0 +1,150 @@
+// Package hier implements hierarchical hypergraph partitioning in the style
+// of Zoltan's hierarchical mode, discussed in the paper's related work (§2):
+// the hypergraph is first partitioned across coarse architecture units
+// (nodes), then each unit's share is partitioned across its cores, so the
+// expensive inter-node cut is minimised first and the cheap intra-node cut
+// second.
+//
+// The paper argues this approach "only establishes qualitative differences
+// between architecture levels and does not model well the cost of
+// communication between computing units" — this package exists so that
+// claim can be tested: the ablation suite compares hierarchical partitioning
+// against HyperPRAW-aware on the same simulated machines.
+package hier
+
+import (
+	"fmt"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/multilevel"
+	"hyperpraw/internal/topology"
+)
+
+// Config tunes the hierarchical partitioner.
+type Config struct {
+	// Level is the machine hierarchy tier used for the coarse phase
+	// (1 = node on the ARCHER preset). Negative selects the second tier
+	// automatically when the machine has more than one.
+	Level int
+	// ImbalanceTolerance is split across the two phases (sqrt at each).
+	ImbalanceTolerance float64
+	// Seed drives the underlying multilevel partitioners.
+	Seed uint64
+}
+
+// DefaultConfig returns the settings used by the ablations.
+func DefaultConfig() Config {
+	return Config{Level: -1, ImbalanceTolerance: 1.10, Seed: 1}
+}
+
+// Partition assigns each vertex of h to a rank of m: first a multilevel
+// partition into the machine's units at the configured level, then a
+// multilevel partition of each unit's induced sub-hypergraph across the
+// unit's ranks.
+func Partition(h *hypergraph.Hypergraph, m *topology.Machine, cfg Config) ([]int32, error) {
+	if cfg.ImbalanceTolerance < 1.02 {
+		cfg.ImbalanceTolerance = 1.02
+	}
+	level := cfg.Level
+	if level < 0 {
+		level = 0
+		if m.NumLevels() > 1 {
+			level = 1
+		}
+	}
+	units := m.UnitsAtLevel(level)
+	if len(units) == 0 {
+		return nil, fmt.Errorf("hier: machine has no units at level %d", level)
+	}
+	nv := h.NumVertices()
+	parts := make([]int32, nv)
+	if nv == 0 {
+		return parts, nil
+	}
+
+	// Phase tolerance: the two phases compose multiplicatively.
+	phaseTol := 1 + (cfg.ImbalanceTolerance-1)/2
+
+	// Coarse phase: one partition per unit. Units can have different sizes
+	// (the last node may be partially used); weight the coarse targets by
+	// unit size via vertex-count proportionality — multilevel's recursive
+	// bisection splits proportionally for non-power-of-two k, which is a
+	// good-enough approximation when unit sizes are near-equal; exact
+	// proportional targets are future work documented in DESIGN.md.
+	coarseCfg := multilevel.DefaultConfig(len(units))
+	coarseCfg.ImbalanceTolerance = phaseTol
+	coarseCfg.Seed = cfg.Seed
+	coarse, err := multilevel.Partition(h, coarseCfg)
+	if err != nil {
+		return nil, fmt.Errorf("hier: coarse phase: %w", err)
+	}
+
+	// Fine phase: split each unit's vertex set across the unit's ranks.
+	for u, ranks := range units {
+		var vertices []int32
+		for v := 0; v < nv; v++ {
+			if int(coarse[v]) == u {
+				vertices = append(vertices, int32(v))
+			}
+		}
+		if len(vertices) == 0 {
+			continue
+		}
+		if len(ranks) == 1 {
+			for _, v := range vertices {
+				parts[v] = int32(ranks[0])
+			}
+			continue
+		}
+		sub, err := induce(h, vertices)
+		if err != nil {
+			return nil, err
+		}
+		fineCfg := multilevel.DefaultConfig(len(ranks))
+		fineCfg.ImbalanceTolerance = phaseTol
+		fineCfg.Seed = cfg.Seed + uint64(u) + 1
+		fine, err := multilevel.Partition(sub, fineCfg)
+		if err != nil {
+			return nil, fmt.Errorf("hier: fine phase unit %d: %w", u, err)
+		}
+		for i, v := range vertices {
+			parts[v] = int32(ranks[fine[i]])
+		}
+	}
+	return parts, nil
+}
+
+// induce builds the sub-hypergraph on the given vertices (edges keep only
+// pins inside the subset; sub-single-pin edges are dropped). Vertex weights
+// carry over.
+func induce(h *hypergraph.Hypergraph, vertices []int32) (*hypergraph.Hypergraph, error) {
+	remap := make(map[int32]int, len(vertices))
+	for i, v := range vertices {
+		remap[v] = i
+	}
+	b := hypergraph.NewBuilder(len(vertices))
+	for i, v := range vertices {
+		if w := h.VertexWeight(int(v)); w != 1 {
+			b.SetVertexWeight(i, w)
+		}
+	}
+	seen := make(map[int32]bool)
+	for _, v := range vertices {
+		for _, e := range h.IncidentEdges(int(v)) {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			var pins []int
+			for _, u := range h.Pins(int(e)) {
+				if nu, ok := remap[u]; ok {
+					pins = append(pins, nu)
+				}
+			}
+			if len(pins) >= 2 {
+				b.AddWeightedEdge(h.EdgeWeight(int(e)), pins...)
+			}
+		}
+	}
+	return b.Build(), nil
+}

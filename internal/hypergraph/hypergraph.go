@@ -1,0 +1,300 @@
+// Package hypergraph implements the immutable hypergraph data structure used
+// by every partitioner in this repository, together with readers and writers
+// for the common on-disk formats (hMetis .hgr and MatrixMarket coordinate).
+//
+// A hypergraph H = (V, E) is a set of vertices V and a set of hyperedges E,
+// where each hyperedge is an arbitrary subset of V (its "pins"). Following
+// the sparse-matrix vocabulary of the paper, the total number of pins is
+// referred to as NNZ, and the size of a hyperedge as its cardinality.
+//
+// The representation is CSR-style in both directions: edge → pins and
+// vertex → incident edges, giving O(1) access to either adjacency with no
+// per-edge allocations, which matters for the streaming partitioner's inner
+// loop.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hypergraph is an immutable hypergraph with optional integer vertex and
+// hyperedge weights. Construct one with a Builder or a reader; the zero value
+// is an empty hypergraph.
+type Hypergraph struct {
+	name string
+
+	numVertices int
+	numEdges    int
+
+	// CSR edge → pins.
+	edgePtr  []int32 // len numEdges+1
+	edgePins []int32 // len NNZ
+
+	// CSR vertex → incident edges.
+	vtxPtr   []int32 // len numVertices+1
+	vtxEdges []int32 // len NNZ
+
+	// Weights; nil means uniform weight 1.
+	vertexWeights []int64
+	edgeWeights   []int64
+}
+
+// Name returns the label attached to the hypergraph (e.g. the Table 1
+// instance name); it may be empty.
+func (h *Hypergraph) Name() string { return h.name }
+
+// SetName attaches a human-readable label. It is the only mutation the type
+// allows and exists purely for reporting.
+func (h *Hypergraph) SetName(name string) { h.name = name }
+
+// NumVertices returns |V|.
+func (h *Hypergraph) NumVertices() int { return h.numVertices }
+
+// NumEdges returns |E|.
+func (h *Hypergraph) NumEdges() int { return h.numEdges }
+
+// NumPins returns the total number of pins (the NNZ of the incidence
+// matrix).
+func (h *Hypergraph) NumPins() int { return len(h.edgePins) }
+
+// Pins returns the vertices of hyperedge e. The returned slice aliases
+// internal storage and must not be modified.
+func (h *Hypergraph) Pins(e int) []int32 {
+	return h.edgePins[h.edgePtr[e]:h.edgePtr[e+1]]
+}
+
+// Cardinality returns the number of pins of hyperedge e.
+func (h *Hypergraph) Cardinality(e int) int {
+	return int(h.edgePtr[e+1] - h.edgePtr[e])
+}
+
+// IncidentEdges returns the hyperedges incident on vertex v. The returned
+// slice aliases internal storage and must not be modified.
+func (h *Hypergraph) IncidentEdges(v int) []int32 {
+	return h.vtxEdges[h.vtxPtr[v]:h.vtxPtr[v+1]]
+}
+
+// Degree returns the number of hyperedges incident on vertex v.
+func (h *Hypergraph) Degree(v int) int {
+	return int(h.vtxPtr[v+1] - h.vtxPtr[v])
+}
+
+// VertexWeight returns the weight of vertex v (1 when unweighted).
+func (h *Hypergraph) VertexWeight(v int) int64 {
+	if h.vertexWeights == nil {
+		return 1
+	}
+	return h.vertexWeights[v]
+}
+
+// EdgeWeight returns the weight of hyperedge e (1 when unweighted).
+func (h *Hypergraph) EdgeWeight(e int) int64 {
+	if h.edgeWeights == nil {
+		return 1
+	}
+	return h.edgeWeights[e]
+}
+
+// HasVertexWeights reports whether explicit vertex weights were provided.
+func (h *Hypergraph) HasVertexWeights() bool { return h.vertexWeights != nil }
+
+// HasEdgeWeights reports whether explicit hyperedge weights were provided.
+func (h *Hypergraph) HasEdgeWeights() bool { return h.edgeWeights != nil }
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (h *Hypergraph) TotalVertexWeight() int64 {
+	if h.vertexWeights == nil {
+		return int64(h.numVertices)
+	}
+	var t int64
+	for _, w := range h.vertexWeights {
+		t += w
+	}
+	return t
+}
+
+// Validate checks internal consistency: monotone CSR pointers, pin indices in
+// range, and agreement between the two adjacency directions. It is used by
+// tests and after file loads; a hypergraph built by Builder always validates.
+func (h *Hypergraph) Validate() error {
+	if len(h.edgePtr) != h.numEdges+1 {
+		return fmt.Errorf("hypergraph: edgePtr length %d, want %d", len(h.edgePtr), h.numEdges+1)
+	}
+	if len(h.vtxPtr) != h.numVertices+1 {
+		return fmt.Errorf("hypergraph: vtxPtr length %d, want %d", len(h.vtxPtr), h.numVertices+1)
+	}
+	for e := 0; e < h.numEdges; e++ {
+		if h.edgePtr[e] > h.edgePtr[e+1] {
+			return fmt.Errorf("hypergraph: edgePtr not monotone at edge %d", e)
+		}
+		for _, v := range h.Pins(e) {
+			if v < 0 || int(v) >= h.numVertices {
+				return fmt.Errorf("hypergraph: edge %d has out-of-range pin %d", e, v)
+			}
+		}
+	}
+	for v := 0; v < h.numVertices; v++ {
+		if h.vtxPtr[v] > h.vtxPtr[v+1] {
+			return fmt.Errorf("hypergraph: vtxPtr not monotone at vertex %d", v)
+		}
+		for _, e := range h.IncidentEdges(v) {
+			if e < 0 || int(e) >= h.numEdges {
+				return fmt.Errorf("hypergraph: vertex %d has out-of-range edge %d", v, e)
+			}
+		}
+	}
+	if len(h.edgePins) != len(h.vtxEdges) {
+		return fmt.Errorf("hypergraph: pin count mismatch: %d edge pins vs %d vertex-edge entries",
+			len(h.edgePins), len(h.vtxEdges))
+	}
+	// Cross-check: every (e, v) pin appears exactly once in the reverse map.
+	count := make(map[[2]int32]int, len(h.edgePins))
+	for e := 0; e < h.numEdges; e++ {
+		for _, v := range h.Pins(e) {
+			count[[2]int32{int32(e), v}]++
+		}
+	}
+	for v := 0; v < h.numVertices; v++ {
+		for _, e := range h.IncidentEdges(v) {
+			count[[2]int32{e, int32(v)}]--
+		}
+	}
+	for k, c := range count {
+		if c != 0 {
+			return fmt.Errorf("hypergraph: adjacency mismatch for edge %d vertex %d (delta %d)", k[0], k[1], c)
+		}
+	}
+	if h.vertexWeights != nil && len(h.vertexWeights) != h.numVertices {
+		return fmt.Errorf("hypergraph: vertex weight length %d, want %d", len(h.vertexWeights), h.numVertices)
+	}
+	if h.edgeWeights != nil && len(h.edgeWeights) != h.numEdges {
+		return fmt.Errorf("hypergraph: edge weight length %d, want %d", len(h.edgeWeights), h.numEdges)
+	}
+	return nil
+}
+
+// Builder accumulates hyperedges and produces an immutable Hypergraph.
+// Vertices are implicit 0-based indices; adding an edge with a pin v extends
+// the vertex set to at least v+1, and NumVertices can force a larger set
+// (isolated vertices are allowed, as in several Table 1 instances).
+type Builder struct {
+	numVertices int
+	edges       [][]int32
+	edgeWeights []int64
+	vtxWeights  []int64
+	weighted    bool
+	vweighted   bool
+}
+
+// NewBuilder returns a Builder expecting at least numVertices vertices.
+// Pass 0 if the vertex count should be inferred from the pins.
+func NewBuilder(numVertices int) *Builder {
+	return &Builder{numVertices: numVertices}
+}
+
+// AddEdge appends a hyperedge with unit weight. Duplicate pins within an edge
+// are removed; the pin order is normalised to ascending. Empty edges are
+// kept (they simply never contribute to any cut metric).
+func (b *Builder) AddEdge(pins ...int) {
+	b.AddWeightedEdge(1, pins...)
+}
+
+// AddWeightedEdge appends a hyperedge with the given weight.
+func (b *Builder) AddWeightedEdge(weight int64, pins ...int) {
+	ps := make([]int32, 0, len(pins))
+	for _, p := range pins {
+		if p < 0 {
+			panic(fmt.Sprintf("hypergraph: negative pin %d", p))
+		}
+		if p+1 > b.numVertices {
+			b.numVertices = p + 1
+		}
+		ps = append(ps, int32(p))
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	// Deduplicate.
+	out := ps[:0]
+	var prev int32 = -1
+	for _, p := range ps {
+		if p != prev {
+			out = append(out, p)
+			prev = p
+		}
+	}
+	b.edges = append(b.edges, out)
+	b.edgeWeights = append(b.edgeWeights, weight)
+	if weight != 1 {
+		b.weighted = true
+	}
+}
+
+// SetVertexWeight records an explicit weight for vertex v, extending the
+// vertex set if necessary.
+func (b *Builder) SetVertexWeight(v int, w int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("hypergraph: negative vertex %d", v))
+	}
+	if v+1 > b.numVertices {
+		b.numVertices = v + 1
+	}
+	for len(b.vtxWeights) < v+1 {
+		b.vtxWeights = append(b.vtxWeights, 1)
+	}
+	b.vtxWeights[v] = w
+	b.vweighted = true
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build freezes the accumulated edges into an immutable Hypergraph.
+// The Builder may not be reused afterwards.
+func (b *Builder) Build() *Hypergraph {
+	h := &Hypergraph{
+		numVertices: b.numVertices,
+		numEdges:    len(b.edges),
+	}
+	nnz := 0
+	for _, e := range b.edges {
+		nnz += len(e)
+	}
+	h.edgePtr = make([]int32, h.numEdges+1)
+	h.edgePins = make([]int32, 0, nnz)
+	deg := make([]int32, h.numVertices)
+	for i, e := range b.edges {
+		h.edgePtr[i] = int32(len(h.edgePins))
+		h.edgePins = append(h.edgePins, e...)
+		for _, v := range e {
+			deg[v]++
+		}
+	}
+	h.edgePtr[h.numEdges] = int32(len(h.edgePins))
+
+	h.vtxPtr = make([]int32, h.numVertices+1)
+	for v := 0; v < h.numVertices; v++ {
+		h.vtxPtr[v+1] = h.vtxPtr[v] + deg[v]
+	}
+	h.vtxEdges = make([]int32, nnz)
+	cursor := make([]int32, h.numVertices)
+	copy(cursor, h.vtxPtr[:h.numVertices])
+	for e := 0; e < h.numEdges; e++ {
+		for _, v := range h.Pins(e) {
+			h.vtxEdges[cursor[v]] = int32(e)
+			cursor[v]++
+		}
+	}
+
+	if b.weighted {
+		h.edgeWeights = append([]int64(nil), b.edgeWeights...)
+	}
+	if b.vweighted {
+		ws := make([]int64, h.numVertices)
+		for i := range ws {
+			ws[i] = 1
+		}
+		copy(ws, b.vtxWeights)
+		h.vertexWeights = ws
+	}
+	return h
+}

@@ -1,0 +1,201 @@
+package hypergraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperpraw/internal/stats"
+)
+
+func buildTriangle(t *testing.T) *Hypergraph {
+	t.Helper()
+	b := NewBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 1, 2)
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	h := buildTriangle(t)
+	if h.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d", h.NumVertices())
+	}
+	if h.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d", h.NumEdges())
+	}
+	if h.NumPins() != 7 {
+		t.Fatalf("NumPins = %d", h.NumPins())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinsSortedDeduped(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(3, 1, 2, 1, 3, 3)
+	h := b.Build()
+	pins := h.Pins(0)
+	want := []int32{1, 2, 3}
+	if len(pins) != len(want) {
+		t.Fatalf("pins = %v", pins)
+	}
+	for i := range want {
+		if pins[i] != want[i] {
+			t.Fatalf("pins = %v, want %v", pins, want)
+		}
+	}
+}
+
+func TestIncidentEdges(t *testing.T) {
+	h := buildTriangle(t)
+	inc := h.IncidentEdges(1)
+	if len(inc) != 3 {
+		t.Fatalf("vertex 1 incident edges = %v", inc)
+	}
+	if h.Degree(0) != 2 || h.Degree(2) != 2 {
+		t.Fatalf("degrees: %d %d", h.Degree(0), h.Degree(2))
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	b := NewBuilder(10)
+	b.AddEdge(0, 1)
+	h := b.Build()
+	if h.NumVertices() != 10 {
+		t.Fatalf("NumVertices = %d, want 10", h.NumVertices())
+	}
+	if h.Degree(9) != 0 {
+		t.Fatalf("isolated vertex has degree %d", h.Degree(9))
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddWeightedEdge(5, 0, 1)
+	b.AddEdge(1, 2)
+	b.SetVertexWeight(2, 7)
+	h := b.Build()
+	if !h.HasEdgeWeights() || !h.HasVertexWeights() {
+		t.Fatal("weights not recorded")
+	}
+	if h.EdgeWeight(0) != 5 || h.EdgeWeight(1) != 1 {
+		t.Fatalf("edge weights %d %d", h.EdgeWeight(0), h.EdgeWeight(1))
+	}
+	if h.VertexWeight(2) != 7 || h.VertexWeight(0) != 1 {
+		t.Fatalf("vertex weights %d %d", h.VertexWeight(2), h.VertexWeight(0))
+	}
+	if h.TotalVertexWeight() != 1+1+7 {
+		t.Fatalf("total vertex weight %d", h.TotalVertexWeight())
+	}
+}
+
+func TestUnweightedDefaults(t *testing.T) {
+	h := buildTriangle(t)
+	if h.HasEdgeWeights() || h.HasVertexWeights() {
+		t.Fatal("unexpected weights")
+	}
+	if h.EdgeWeight(0) != 1 || h.VertexWeight(0) != 1 {
+		t.Fatal("default weights should be 1")
+	}
+	if h.TotalVertexWeight() != 3 {
+		t.Fatalf("total weight %d", h.TotalVertexWeight())
+	}
+}
+
+func TestEmptyHypergraph(t *testing.T) {
+	h := NewBuilder(0).Build()
+	if h.NumVertices() != 0 || h.NumEdges() != 0 || h.NumPins() != 0 {
+		t.Fatal("empty hypergraph not empty")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyEdgeAllowed(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge()
+	b.AddEdge(0, 2)
+	h := b.Build()
+	if h.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", h.NumEdges())
+	}
+	if h.Cardinality(0) != 0 {
+		t.Fatalf("empty edge cardinality %d", h.Cardinality(0))
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	h := buildTriangle(t)
+	h.SetName("tri")
+	s := h.ComputeStats()
+	if s.Name != "tri" || s.Vertices != 3 || s.Hyperedges != 3 || s.TotalNNZ != 7 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.AvgCardinality < 2.3 || s.AvgCardinality > 2.4 {
+		t.Fatalf("avg cardinality %g", s.AvgCardinality)
+	}
+	if s.EdgeVertexRate != 1 {
+		t.Fatalf("E/V = %g", s.EdgeVertexRate)
+	}
+	if s.MaxCardinality != 3 || s.MaxDegree != 3 {
+		t.Fatalf("max card %d max deg %d", s.MaxCardinality, s.MaxDegree)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestBuilderPanicsOnNegativePin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative pin did not panic")
+		}
+	}()
+	NewBuilder(0).AddEdge(-1)
+}
+
+// Property: random builders always produce hypergraphs that validate and
+// have consistent adjacency in both directions.
+func TestQuickBuildValidates(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		nv := rng.Intn(30) + 1
+		ne := rng.Intn(50)
+		b := NewBuilder(nv)
+		for e := 0; e < ne; e++ {
+			card := rng.Intn(6) + 1
+			pins := make([]int, card)
+			for i := range pins {
+				pins[i] = rng.Intn(nv)
+			}
+			b.AddEdge(pins...)
+		}
+		h := b.Build()
+		if err := h.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		// Pin count symmetry.
+		sumDeg := 0
+		for v := 0; v < h.NumVertices(); v++ {
+			sumDeg += h.Degree(v)
+		}
+		sumCard := 0
+		for e := 0; e < h.NumEdges(); e++ {
+			sumCard += h.Cardinality(e)
+		}
+		return sumDeg == sumCard && sumCard == h.NumPins()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

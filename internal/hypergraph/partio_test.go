@@ -1,0 +1,131 @@
+package hypergraph
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPartitionRoundTrip(t *testing.T) {
+	parts := []int32{0, 3, 1, 1, 2, 0}
+	var sb strings.Builder
+	if err := WritePartition(&sb, parts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range parts {
+		if got[i] != parts[i] {
+			t.Fatalf("index %d: %d != %d", i, got[i], parts[i])
+		}
+	}
+}
+
+func TestReadPartitionSkipsComments(t *testing.T) {
+	in := "% header\n0\n\n1\n% mid comment\n2\n"
+	got, err := ReadPartition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadPartitionErrors(t *testing.T) {
+	if _, err := ReadPartition(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	if _, err := ReadPartition(strings.NewReader("-1\n")); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestSaveLoadPartition(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.txt")
+	parts := []int32{1, 0, 2}
+	if err := SavePartition(path, parts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPartition(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := LoadPartition("/nonexistent/p.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPaToHRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 4)
+	b.AddEdge(2, 3)
+	h := b.Build()
+	var sb strings.Builder
+	if err := WritePaToH(&sb, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadPaToH(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualHG(t, h, h2)
+}
+
+func TestPaToHRoundTripWeighted(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddWeightedEdge(7, 0, 1)
+	b.AddWeightedEdge(2, 2, 3)
+	h := b.Build()
+	var sb strings.Builder
+	if err := WritePaToH(&sb, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadPaToH(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.EdgeWeight(0) != 7 || h2.EdgeWeight(1) != 2 {
+		t.Fatal("weights lost")
+	}
+}
+
+func TestReadPaToHBaseOne(t *testing.T) {
+	in := "1 3 2 4\n1 2\n2 3\n"
+	h, err := ReadPaToH(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 3 || h.NumEdges() != 2 {
+		t.Fatalf("%d vertices %d edges", h.NumVertices(), h.NumEdges())
+	}
+	pins := h.Pins(0)
+	if pins[0] != 0 || pins[1] != 1 {
+		t.Fatalf("pins %v", pins)
+	}
+}
+
+func TestReadPaToHErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"0 3 2\n",            // short header
+		"2 3 1 2\n1 2\n",     // bad base
+		"0 3 1 2 9\n1 2\n",   // unsupported scheme
+		"0 3 1 2\n1 9\n",     // pin out of range
+		"0 3 1 5\n0 1\n",     // pin count mismatch
+		"0 3 1 2 1\nx 0 1\n", // bad weight
+	}
+	for i, in := range cases {
+		if _, err := ReadPaToH(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

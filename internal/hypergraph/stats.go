@@ -1,0 +1,48 @@
+package hypergraph
+
+import "fmt"
+
+// Stats summarises the structural statistics the paper reports in Table 1.
+type Stats struct {
+	Name           string
+	Vertices       int
+	Hyperedges     int
+	TotalNNZ       int     // total pins
+	AvgCardinality float64 // TotalNNZ / Hyperedges
+	EdgeVertexRate float64 // Hyperedges / Vertices
+	MaxCardinality int
+	MaxDegree      int
+}
+
+// ComputeStats derives the Table 1 statistics of h.
+func (h *Hypergraph) ComputeStats() Stats {
+	s := Stats{
+		Name:       h.name,
+		Vertices:   h.numVertices,
+		Hyperedges: h.numEdges,
+		TotalNNZ:   h.NumPins(),
+	}
+	if h.numEdges > 0 {
+		s.AvgCardinality = float64(s.TotalNNZ) / float64(h.numEdges)
+	}
+	if h.numVertices > 0 {
+		s.EdgeVertexRate = float64(h.numEdges) / float64(h.numVertices)
+	}
+	for e := 0; e < h.numEdges; e++ {
+		if c := h.Cardinality(e); c > s.MaxCardinality {
+			s.MaxCardinality = c
+		}
+	}
+	for v := 0; v < h.numVertices; v++ {
+		if d := h.Degree(v); d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	return s
+}
+
+// String renders the statistics as a Table 1-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: |V|=%d |E|=%d NNZ=%d avgCard=%.2f E/V=%.2f",
+		s.Name, s.Vertices, s.Hyperedges, s.TotalNNZ, s.AvgCardinality, s.EdgeVertexRate)
+}

@@ -1,0 +1,275 @@
+// Package mapping implements topology-aware process mapping in the style of
+// LibTopoMap (Hoefler & Snir, ICS'11), the alternative strategy the paper's
+// related-work section contrasts HyperPRAW against: instead of
+// redistributing work, keep the partition contents fixed and *relabel*
+// partitions onto ranks so that heavily-communicating partition pairs land
+// on high-bandwidth links.
+//
+// Mapping composes with any architecture-oblivious partitioner, which makes
+// it the natural "Zoltan + mapping" middle ground between the paper's
+// baseline and HyperPRAW-aware; the ablation benchmarks compare all three.
+package mapping
+
+import (
+	"fmt"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/netsim"
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+// Config tunes the mapper.
+type Config struct {
+	// Rounds bounds the greedy-swap improvement rounds (default 20; the
+	// mapper also stops at the first round with no improving swap).
+	Rounds int
+	// Seed drives the simulated-annealing-free randomised restarts of the
+	// initial greedy construction.
+	Seed uint64
+	// Restarts is how many greedy constructions are tried (default 4).
+	Restarts int
+}
+
+// DefaultConfig returns the settings used by the ablation benchmarks.
+func DefaultConfig() Config {
+	return Config{Rounds: 20, Seed: 1, Restarts: 4}
+}
+
+// CommVolume extracts the partition-to-partition communication volume of a
+// partitioned hypergraph: volume[q][r] is the number of cross-partition
+// vertex-pair relations between q and r (the quantity the synthetic
+// benchmark turns into messages).
+func CommVolume(h *hypergraph.Hypergraph, parts []int32, p int) ([][]float64, error) {
+	cfgTraffic, err := benchTraffic(h, parts, p)
+	if err != nil {
+		return nil, err
+	}
+	vol := make([][]float64, p)
+	for q := range vol {
+		vol[q] = make([]float64, p)
+		for r := 0; r < p; r++ {
+			vol[q][r] = float64(cfgTraffic.Messages(q, r))
+		}
+	}
+	return vol, nil
+}
+
+// benchTraffic mirrors bench.BuildTraffic's pairwise counting without
+// importing the bench package (which would create an import cycle once bench
+// uses mapping in its ablations). One unit per cross-partition vertex pair
+// per direction.
+func benchTraffic(h *hypergraph.Hypergraph, parts []int32, p int) (*netsim.Traffic, error) {
+	if len(parts) != h.NumVertices() {
+		return nil, fmt.Errorf("mapping: partition length %d, want %d", len(parts), h.NumVertices())
+	}
+	traffic := netsim.NewTraffic(p)
+	counts := make([]int64, p)
+	stamp := make([]int, p)
+	touched := make([]int32, 0, p)
+	epoch := 0
+	for e := 0; e < h.NumEdges(); e++ {
+		epoch++
+		touched = touched[:0]
+		for _, v := range h.Pins(e) {
+			q := parts[v]
+			if q < 0 || int(q) >= p {
+				return nil, fmt.Errorf("mapping: vertex %d in partition %d, want [0,%d)", v, q, p)
+			}
+			if stamp[q] != epoch {
+				stamp[q] = epoch
+				counts[q] = 0
+				touched = append(touched, q)
+			}
+			counts[q]++
+		}
+		for a := 0; a < len(touched); a++ {
+			for b := a + 1; b < len(touched); b++ {
+				q, r := touched[a], touched[b]
+				traffic.Add(int(q), int(r), counts[q]*counts[r], 1)
+				traffic.Add(int(r), int(q), counts[q]*counts[r], 1)
+			}
+		}
+	}
+	return traffic, nil
+}
+
+// MapCost is the objective the mapper minimises: Σ volume[q][r] ·
+// cost[rank(q)][rank(r)] over all partition pairs, where rank is the
+// candidate assignment of partitions to machine ranks.
+func MapCost(volume, cost [][]float64, rank []int) float64 {
+	total := 0.0
+	for q := range volume {
+		rq := rank[q]
+		for r, v := range volume[q] {
+			if v == 0 {
+				continue
+			}
+			total += v * cost[rq][rank[r]]
+		}
+	}
+	return total
+}
+
+// Map computes a partition→rank assignment minimising MapCost with greedy
+// construction plus pairwise-swap refinement. The returned slice maps
+// partition index → machine rank and is always a permutation of [0, p).
+func Map(volume, cost [][]float64, cfg Config) []int {
+	p := len(volume)
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 20
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x3a9)
+
+	// The refined identity permutation is always a candidate, so mapping can
+	// never return something worse than "no mapping".
+	best := make([]int, p)
+	for i := range best {
+		best[i] = i
+	}
+	swapRefine(volume, cost, best, cfg.Rounds)
+	bestCost := MapCost(volume, cost, best)
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		rank := greedyConstruct(volume, cost, rng)
+		swapRefine(volume, cost, rank, cfg.Rounds)
+		if c := MapCost(volume, cost, rank); c < bestCost {
+			bestCost = c
+			copy(best, rank)
+		}
+	}
+	return best
+}
+
+// greedyConstruct seeds with the heaviest-communicating partition on a
+// random rank, then repeatedly places the unplaced partition with the
+// largest volume to already-placed partitions onto the free rank with the
+// cheapest connection to them.
+func greedyConstruct(volume, cost [][]float64, rng *stats.RNG) []int {
+	p := len(volume)
+	rank := make([]int, p)
+	for i := range rank {
+		rank[i] = -1
+	}
+	usedRank := make([]bool, p)
+	placed := make([]int32, 0, p)
+
+	// Total volume per partition to pick the seed.
+	seed, seedVol := 0, -1.0
+	for q := range volume {
+		t := 0.0
+		for _, v := range volume[q] {
+			t += v
+		}
+		if t > seedVol {
+			seedVol = t
+			seed = q
+		}
+	}
+	r0 := rng.Intn(p)
+	rank[seed] = r0
+	usedRank[r0] = true
+	placed = append(placed, int32(seed))
+
+	for len(placed) < p {
+		// Next partition: max volume to placed set.
+		next, nextVol := -1, -1.0
+		for q := range volume {
+			if rank[q] >= 0 {
+				continue
+			}
+			t := 0.0
+			for _, pq := range placed {
+				t += volume[q][pq] + volume[pq][q]
+			}
+			if t > nextVol {
+				nextVol = t
+				next = q
+			}
+		}
+		// Best free rank: min Σ volume(next, placed)·cost(rank, rank(placed)).
+		bestRank, bestCost := -1, 0.0
+		for r := 0; r < p; r++ {
+			if usedRank[r] {
+				continue
+			}
+			c := 0.0
+			for _, pq := range placed {
+				c += (volume[next][pq] + volume[pq][next]) * cost[r][rank[pq]]
+			}
+			if bestRank < 0 || c < bestCost {
+				bestCost = c
+				bestRank = r
+			}
+		}
+		rank[next] = bestRank
+		usedRank[bestRank] = true
+		placed = append(placed, int32(next))
+	}
+	return rank
+}
+
+// swapRefine hill-climbs by swapping the ranks of partition pairs while any
+// swap improves the objective, up to `rounds` full sweeps.
+func swapRefine(volume, cost [][]float64, rank []int, rounds int) {
+	p := len(rank)
+	for round := 0; round < rounds; round++ {
+		improved := false
+		for a := 0; a < p; a++ {
+			for b := a + 1; b < p; b++ {
+				delta := swapDelta(volume, cost, rank, a, b)
+				if delta < -1e-12 {
+					rank[a], rank[b] = rank[b], rank[a]
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// swapDelta returns the objective change of swapping partitions a and b's
+// ranks (negative = improvement). Computed in O(p).
+func swapDelta(volume, cost [][]float64, rank []int, a, b int) float64 {
+	ra, rb := rank[a], rank[b]
+	delta := 0.0
+	for q := 0; q < len(rank); q++ {
+		if q == a || q == b {
+			continue
+		}
+		rq := rank[q]
+		va := volume[a][q] + volume[q][a]
+		vb := volume[b][q] + volume[q][b]
+		delta += va*(cost[rb][rq]-cost[ra][rq]) + vb*(cost[ra][rq]-cost[rb][rq])
+	}
+	// a-b flows keep the same pair of ranks (symmetric costs assumed in the
+	// profiled matrix), so they do not change the objective.
+	return delta
+}
+
+// Apply relabels a partition vector through the rank map: vertex v moves
+// from partition q to rank[q].
+func Apply(parts []int32, rank []int) []int32 {
+	out := make([]int32, len(parts))
+	for v, q := range parts {
+		out[v] = int32(rank[q])
+	}
+	return out
+}
+
+// MapPartition is the one-call pipeline: extract the communication volume of
+// a partitioned hypergraph, map partitions onto the machine's ranks using
+// the cost matrix, and return the relabelled partition.
+func MapPartition(h *hypergraph.Hypergraph, parts []int32, m *topology.Machine, cost [][]float64, cfg Config) ([]int32, error) {
+	p := m.NumCores()
+	volume, err := CommVolume(h, parts, p)
+	if err != nil {
+		return nil, err
+	}
+	rank := Map(volume, cost, cfg)
+	return Apply(parts, rank), nil
+}

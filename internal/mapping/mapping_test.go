@@ -1,0 +1,214 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/metrics"
+	"hyperpraw/internal/multilevel"
+	"hyperpraw/internal/profile"
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+func TestMapIsPermutation(t *testing.T) {
+	p := 16
+	rng := stats.NewRNG(1)
+	volume := randomVolume(p, rng)
+	cost := profile.UniformCost(p)
+	rank := Map(volume, cost, DefaultConfig())
+	seen := make([]bool, p)
+	for _, r := range rank {
+		if r < 0 || r >= p || seen[r] {
+			t.Fatalf("rank map not a permutation: %v", rank)
+		}
+		seen[r] = true
+	}
+}
+
+func TestMapImprovesOverIdentityOnTieredMachine(t *testing.T) {
+	// Two heavy-communicating partition pairs; identity placement puts them
+	// on slow cross-blade links, the mapper should pull each pair onto a
+	// socket.
+	p := 48
+	m := topology.MustNew(topology.Archer(), p, 1)
+	cost := profile.CostMatrix(profile.RingProfile(m, profile.DefaultConfig()))
+	volume := make([][]float64, p)
+	for q := range volume {
+		volume[q] = make([]float64, p)
+	}
+	// Partitions 0<->47 and 13<->34 talk heavily; identity lands both pairs
+	// on slow links.
+	volume[0][47], volume[47][0] = 1000, 1000
+	volume[13][34], volume[34][13] = 800, 800
+
+	identity := make([]int, p)
+	for i := range identity {
+		identity[i] = i
+	}
+	idCost := MapCost(volume, cost, identity)
+	rank := Map(volume, cost, DefaultConfig())
+	mapped := MapCost(volume, cost, rank)
+	if mapped >= idCost {
+		t.Fatalf("mapping %g did not improve identity %g", mapped, idCost)
+	}
+	if mapped > 0.7*idCost {
+		t.Fatalf("mapping %g too weak vs identity %g (heavy pairs should land on sockets)", mapped, idCost)
+	}
+}
+
+func TestSwapDeltaMatchesRecompute(t *testing.T) {
+	p := 12
+	rng := stats.NewRNG(3)
+	volume := randomVolume(p, rng)
+	m := topology.MustNew(topology.Archer(), p, 2)
+	cost := profile.CostMatrix(profile.RingProfile(m, profile.DefaultConfig()))
+	rank := rng.Perm(p)
+	base := MapCost(volume, cost, rank)
+	for a := 0; a < p; a++ {
+		for b := a + 1; b < p; b++ {
+			delta := swapDelta(volume, cost, rank, a, b)
+			rank[a], rank[b] = rank[b], rank[a]
+			after := MapCost(volume, cost, rank)
+			rank[a], rank[b] = rank[b], rank[a]
+			want := after - base
+			if diff := delta - want; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("swapDelta(%d,%d) = %g, recompute %g", a, b, delta, want)
+			}
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	parts := []int32{0, 1, 2, 0}
+	rank := []int{5, 3, 1}
+	out := Apply(parts, rank)
+	want := []int32{5, 3, 1, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestCommVolumeSymmetric(t *testing.T) {
+	h := hgen.Generate(hgen.Spec{Name: "cv", Kind: hgen.KindRandom, Vertices: 100, Hyperedges: 120, AvgCardinality: 4}, 1)
+	parts := make([]int32, 100)
+	rng := stats.NewRNG(2)
+	for v := range parts {
+		parts[v] = int32(rng.Intn(8))
+	}
+	vol, err := CommVolume(h, parts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 8; q++ {
+		for r := 0; r < 8; r++ {
+			if vol[q][r] != vol[r][q] {
+				t.Fatalf("volume asymmetric at (%d,%d)", q, r)
+			}
+		}
+		if vol[q][q] != 0 {
+			t.Fatalf("self volume %g", vol[q][q])
+		}
+	}
+}
+
+func TestCommVolumeErrors(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	h := b.Build()
+	if _, err := CommVolume(h, []int32{0, 1}, 4); err == nil {
+		t.Fatal("short partition accepted")
+	}
+	if _, err := CommVolume(h, []int32{0, 1, 9}, 4); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}
+
+func TestMapPartitionEndToEnd(t *testing.T) {
+	p := 32
+	m := topology.MustNew(topology.Archer(), p, 1)
+	cost := profile.CostMatrix(profile.RingProfile(m, profile.DefaultConfig()))
+	h := hgen.Generate(hgen.Spec{Name: "e2e", Kind: hgen.KindGeometric, Vertices: 400, Hyperedges: 400, AvgCardinality: 6, Locality: 0.95}, 4)
+	parts, err := multilevel.Partition(h, multilevel.DefaultConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := MapPartition(h, parts, m, cost, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidatePartition(h, mapped, p); err != nil {
+		t.Fatal(err)
+	}
+	// Relabelling never changes cut metrics, only placement.
+	if metrics.HyperedgeCut(h, parts, p) != metrics.HyperedgeCut(h, mapped, p) {
+		t.Fatal("mapping changed the cut")
+	}
+	if metrics.SOED(h, parts, p) != metrics.SOED(h, mapped, p) {
+		t.Fatal("mapping changed SOED")
+	}
+	// ... and must not increase the physical communication cost.
+	before := metrics.CommCost(h, parts, cost)
+	after := metrics.CommCost(h, mapped, cost)
+	if after > before*1.001 {
+		t.Fatalf("mapping increased PC: %g -> %g", before, after)
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	p := 16
+	rng := stats.NewRNG(7)
+	volume := randomVolume(p, rng)
+	m := topology.MustNew(topology.Archer(), p, 3)
+	cost := profile.CostMatrix(profile.RingProfile(m, profile.DefaultConfig()))
+	a := Map(volume, cost, DefaultConfig())
+	b := Map(volume, cost, DefaultConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("mapping not deterministic")
+		}
+	}
+}
+
+// Property: Map always returns a permutation and never worsens the identity
+// assignment's cost by more than numerical noise (greedy + refine can only
+// return the best restart, and a restart can reproduce identity-quality).
+func TestQuickMapInvariants(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 12, 5)
+	cost := profile.CostMatrix(profile.RingProfile(m, profile.DefaultConfig()))
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		volume := randomVolume(12, rng)
+		rank := Map(volume, cost, Config{Rounds: 10, Seed: seed, Restarts: 2})
+		seen := make([]bool, 12)
+		for _, r := range rank {
+			if r < 0 || r >= 12 || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		identity := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+		return MapCost(volume, cost, rank) <= MapCost(volume, cost, identity)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomVolume(p int, rng *stats.RNG) [][]float64 {
+	volume := make([][]float64, p)
+	for q := range volume {
+		volume[q] = make([]float64, p)
+	}
+	for q := 0; q < p; q++ {
+		for r := q + 1; r < p; r++ {
+			v := float64(rng.Intn(100))
+			volume[q][r], volume[r][q] = v, v
+		}
+	}
+	return volume
+}

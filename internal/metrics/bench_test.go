@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"testing"
+
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/profile"
+	"hyperpraw/internal/stats"
+)
+
+func BenchmarkHyperedgeCut(b *testing.B) {
+	spec, _ := hgen.SpecByName("sparsine")
+	h := hgen.Generate(spec.Scaled(0.01), 1)
+	rng := stats.NewRNG(1)
+	parts := make([]int32, h.NumVertices())
+	for v := range parts {
+		parts[v] = int32(rng.Intn(64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HyperedgeCut(h, parts, 64)
+	}
+}
+
+func BenchmarkSOED(b *testing.B) {
+	spec, _ := hgen.SpecByName("sparsine")
+	h := hgen.Generate(spec.Scaled(0.01), 1)
+	rng := stats.NewRNG(1)
+	parts := make([]int32, h.NumVertices())
+	for v := range parts {
+		parts[v] = int32(rng.Intn(64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SOED(h, parts, 64)
+	}
+}
+
+func BenchmarkCommCost(b *testing.B) {
+	spec, _ := hgen.SpecByName("sparsine")
+	h := hgen.Generate(spec.Scaled(0.01), 1)
+	rng := stats.NewRNG(1)
+	parts := make([]int32, h.NumVertices())
+	for v := range parts {
+		parts[v] = int32(rng.Intn(64))
+	}
+	cost := profile.UniformCost(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CommCost(h, parts, cost)
+	}
+}
+
+func BenchmarkWeightedCommCost(b *testing.B) {
+	spec, _ := hgen.SpecByName("sparsine")
+	h := hgen.Generate(spec.Scaled(0.01), 1)
+	rng := stats.NewRNG(1)
+	parts := make([]int32, h.NumVertices())
+	for v := range parts {
+		parts[v] = int32(rng.Intn(64))
+	}
+	cost := profile.UniformCost(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WeightedCommCost(h, parts, cost)
+	}
+}

@@ -1,0 +1,47 @@
+package multilevel
+
+import (
+	"testing"
+
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/stats"
+)
+
+func BenchmarkPartitionK32(b *testing.B) {
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.005), 1)
+	cfg := DefaultConfig(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(h, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoarsen(b *testing.B) {
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.01), 1)
+	g := fromHypergraph(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := stats.NewRNG(uint64(i))
+		coarsen(g, rng)
+	}
+}
+
+func BenchmarkFMRefine(b *testing.B) {
+	spec, _ := hgen.SpecByName("ABACUS_shell_hd")
+	h := hgen.Generate(spec.Scaled(0.05), 1)
+	g := fromHypergraph(h)
+	side := make([]int32, g.nv)
+	for v := range side {
+		side[v] = int32(v % 2)
+	}
+	work := make([]int32, g.nv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, side)
+		fmRefine(g, work, g.totalW/2, 1.1, 2, stats.NewRNG(1))
+	}
+}

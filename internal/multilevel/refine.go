@@ -1,0 +1,298 @@
+package multilevel
+
+import (
+	"container/heap"
+
+	"hyperpraw/internal/stats"
+)
+
+// cutOf returns the weighted bisection cut of side over g.
+func cutOf(g *subHG, side []int32) int64 {
+	var cut int64
+	for e := 0; e < g.numEdges(); e++ {
+		pins := g.edgePins(e)
+		first := side[pins[0]]
+		for _, v := range pins[1:] {
+			if side[v] != first {
+				cut += g.ewt[e]
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// sideWeights returns the total vertex weight on each side.
+func sideWeights(g *subHG, side []int32) [2]int64 {
+	var w [2]int64
+	for v := 0; v < g.nv; v++ {
+		w[side[v]] += g.vwt[v]
+	}
+	return w
+}
+
+// initialBisect grows side 0 by BFS from random seeds until it holds
+// targetLeft weight, over several trials, and returns the lowest-cut result.
+func initialBisect(g *subHG, targetLeft int64, trials int, rng *stats.RNG) []int32 {
+	best := make([]int32, g.nv)
+	bestCut := int64(-1)
+	side := make([]int32, g.nv)
+	for t := 0; t < trials; t++ {
+		for i := range side {
+			side[i] = 1
+		}
+		var w0 int64
+		visited := make([]bool, g.nv)
+		queue := make([]int32, 0, g.nv)
+		for w0 < targetLeft {
+			if len(queue) == 0 {
+				// Seed (or re-seed after exhausting a component).
+				seed := int32(rng.Intn(g.nv))
+				tries := 0
+				for visited[seed] && tries < 64 {
+					seed = int32(rng.Intn(g.nv))
+					tries++
+				}
+				if visited[seed] {
+					// Fall back to a linear scan for an unvisited vertex.
+					seed = -1
+					for v := 0; v < g.nv; v++ {
+						if !visited[v] {
+							seed = int32(v)
+							break
+						}
+					}
+					if seed < 0 {
+						break // everything visited; weights force a stop
+					}
+				}
+				visited[seed] = true
+				queue = append(queue, seed)
+			}
+			v := queue[0]
+			queue = queue[1:]
+			side[v] = 0
+			w0 += g.vwt[v]
+			for _, e := range g.incident(int(v)) {
+				for _, u := range g.edgePins(int(e)) {
+					if !visited[u] {
+						visited[u] = true
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+		cut := cutOf(g, side)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			copy(best, side)
+		}
+	}
+	return best
+}
+
+// --- FM refinement ---
+
+type gainEntry struct {
+	gain    int64
+	vertex  int32
+	version uint32
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain // max-heap on gain
+	}
+	return h[i].vertex < h[j].vertex
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// fmState carries the mutable state of one FM pass.
+type fmState struct {
+	g       *subHG
+	side    []int32
+	cnt     [][2]int32 // per-edge pin counts on each side
+	gain    []int64
+	version []uint32
+	locked  []bool
+	heap    gainHeap
+	weights [2]int64
+}
+
+func newFMState(g *subHG, side []int32) *fmState {
+	s := &fmState{
+		g:       g,
+		side:    side,
+		cnt:     make([][2]int32, g.numEdges()),
+		gain:    make([]int64, g.nv),
+		version: make([]uint32, g.nv),
+		locked:  make([]bool, g.nv),
+	}
+	for e := 0; e < g.numEdges(); e++ {
+		for _, v := range g.edgePins(e) {
+			s.cnt[e][side[v]]++
+		}
+	}
+	s.weights = sideWeights(g, side)
+	for v := 0; v < g.nv; v++ {
+		s.gain[v] = s.computeGain(int32(v))
+		heap.Push(&s.heap, gainEntry{gain: s.gain[v], vertex: int32(v), version: 0})
+	}
+	return s
+}
+
+// computeGain returns the cut reduction of moving v to the other side.
+func (s *fmState) computeGain(v int32) int64 {
+	from := s.side[v]
+	to := 1 - from
+	var gain int64
+	for _, e := range s.g.incident(int(v)) {
+		c := s.cnt[e]
+		if c[from] == 1 {
+			gain += s.g.ewt[e] // v is the last pin on its side: edge uncuts
+		}
+		if c[to] == 0 {
+			gain -= s.g.ewt[e] // edge currently uncut: moving v cuts it
+		}
+	}
+	return gain
+}
+
+// edgeGainContrib returns edge e's contribution to gain(u) given current
+// counts.
+func (s *fmState) edgeGainContrib(e int32, u int32) int64 {
+	from := s.side[u]
+	to := 1 - from
+	c := s.cnt[e]
+	var g int64
+	if c[from] == 1 {
+		g += s.g.ewt[e]
+	}
+	if c[to] == 0 {
+		g -= s.g.ewt[e]
+	}
+	return g
+}
+
+// move relocates v to the other side, updating counts, weights and the gains
+// of affected free vertices.
+func (s *fmState) move(v int32) {
+	from := s.side[v]
+	to := 1 - from
+	for _, e := range s.g.incident(int(v)) {
+		// Adjust gains of free pins: subtract old contribution, apply count
+		// change, then add the new contribution.
+		pins := s.g.edgePins(int(e))
+		for _, u := range pins {
+			if u == v || s.locked[u] {
+				continue
+			}
+			s.gain[u] -= s.edgeGainContrib(e, u)
+		}
+		s.cnt[e][from]--
+		s.cnt[e][to]++
+		for _, u := range pins {
+			if u == v || s.locked[u] {
+				continue
+			}
+			s.gain[u] += s.edgeGainContrib(e, u)
+			s.version[u]++
+			heap.Push(&s.heap, gainEntry{gain: s.gain[u], vertex: u, version: s.version[u]})
+		}
+	}
+	s.side[v] = to
+	s.weights[from] -= s.g.vwt[v]
+	s.weights[to] += s.g.vwt[v]
+}
+
+// fmRefine runs up to maxPasses FM passes on side, respecting the balance
+// caps tol·targetLeft / tol·targetRight. It mutates side in place.
+func fmRefine(g *subHG, side []int32, targetLeft int64, tol float64, maxPasses int, rng *stats.RNG) {
+	_ = rng // tie-breaking is deterministic via vertex ids
+	total := g.totalW
+	targetRight := total - targetLeft
+	cap0 := int64(tol * float64(targetLeft))
+	cap1 := int64(tol * float64(targetRight))
+	if cap0 <= 0 {
+		cap0 = targetLeft
+	}
+	if cap1 <= 0 {
+		cap1 = targetRight
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		s := newFMState(g, side)
+		type moveRec struct {
+			vertex int32
+			gain   int64
+		}
+		var moves []moveRec
+		var deferred []gainEntry
+		cumGain := int64(0)
+		bestGain := int64(0)
+		bestPrefix := 0
+
+		for s.heap.Len() > 0 {
+			entry := heap.Pop(&s.heap).(gainEntry)
+			v := entry.vertex
+			if s.locked[v] || entry.version != s.version[v] {
+				continue
+			}
+			from := s.side[v]
+			to := 1 - from
+			newToWeight := s.weights[to] + g.vwt[v]
+			capTo := cap1
+			if to == 0 {
+				capTo = cap0
+			}
+			if newToWeight > capTo {
+				// Balance-infeasible now; retry after the next success.
+				deferred = append(deferred, entry)
+				continue
+			}
+			gainNow := s.gain[v]
+			s.locked[v] = true
+			s.move(v)
+			cumGain += gainNow
+			moves = append(moves, moveRec{vertex: v, gain: gainNow})
+			if cumGain > bestGain {
+				bestGain = cumGain
+				bestPrefix = len(moves)
+			}
+			// Early exit: a long run of non-improving moves rarely recovers
+			// and keeps the pass O(n) in practice.
+			if len(moves)-bestPrefix > 512 {
+				break
+			}
+			if len(deferred) > 0 {
+				for _, d := range deferred {
+					if !s.locked[d.vertex] && d.version == s.version[d.vertex] {
+						heap.Push(&s.heap, d)
+					}
+				}
+				deferred = deferred[:0]
+			}
+		}
+
+		// Roll back moves beyond the best prefix.
+		for i := len(moves) - 1; i >= bestPrefix; i-- {
+			v := moves[i].vertex
+			side[v] = 1 - side[v]
+		}
+		if bestGain <= 0 {
+			// The pass found nothing; side has been restored to its start.
+			return
+		}
+	}
+}

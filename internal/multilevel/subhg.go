@@ -1,0 +1,222 @@
+package multilevel
+
+import (
+	"sort"
+
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/stats"
+)
+
+// subHG is the mutable CSR hypergraph used inside the multilevel pipeline.
+// Unlike hypergraph.Hypergraph it carries accumulated vertex weights from
+// contraction and drops hyperedges that can no longer affect any cut
+// (fewer than two pins).
+type subHG struct {
+	nv      int
+	edgePtr []int32
+	pins    []int32
+	vwt     []int64
+	ewt     []int64
+	vtxPtr  []int32
+	vtxEdge []int32
+	totalW  int64
+}
+
+func (g *subHG) numEdges() int { return len(g.edgePtr) - 1 }
+
+func (g *subHG) edgePins(e int) []int32 { return g.pins[g.edgePtr[e]:g.edgePtr[e+1]] }
+
+func (g *subHG) incident(v int) []int32 { return g.vtxEdge[g.vtxPtr[v]:g.vtxPtr[v+1]] }
+
+// buildSubHG assembles CSR arrays from edge pin lists. Pins must be valid
+// vertex ids in [0, nv); edges with fewer than 2 pins are dropped.
+func buildSubHG(nv int, edges [][]int32, ewts []int64, vwt []int64) *subHG {
+	g := &subHG{nv: nv, vwt: vwt}
+	for _, w := range vwt {
+		g.totalW += w
+	}
+	nnz := 0
+	kept := 0
+	for _, e := range edges {
+		if len(e) >= 2 {
+			nnz += len(e)
+			kept++
+		}
+	}
+	g.edgePtr = make([]int32, 0, kept+1)
+	g.edgePtr = append(g.edgePtr, 0)
+	g.pins = make([]int32, 0, nnz)
+	g.ewt = make([]int64, 0, kept)
+	deg := make([]int32, nv)
+	for i, e := range edges {
+		if len(e) < 2 {
+			continue
+		}
+		g.pins = append(g.pins, e...)
+		g.edgePtr = append(g.edgePtr, int32(len(g.pins)))
+		g.ewt = append(g.ewt, ewts[i])
+		for _, v := range e {
+			deg[v]++
+		}
+	}
+	g.vtxPtr = make([]int32, nv+1)
+	for v := 0; v < nv; v++ {
+		g.vtxPtr[v+1] = g.vtxPtr[v] + deg[v]
+	}
+	g.vtxEdge = make([]int32, len(g.pins))
+	cursor := make([]int32, nv)
+	copy(cursor, g.vtxPtr[:nv])
+	for e := 0; e < g.numEdges(); e++ {
+		for _, v := range g.edgePins(e) {
+			g.vtxEdge[cursor[v]] = int32(e)
+			cursor[v]++
+		}
+	}
+	return g
+}
+
+// fromHypergraph converts the immutable input hypergraph into the internal
+// representation.
+func fromHypergraph(h *hypergraph.Hypergraph) *subHG {
+	edges := make([][]int32, h.NumEdges())
+	ewts := make([]int64, h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		edges[e] = h.Pins(e) // safe: buildSubHG only reads
+		ewts[e] = h.EdgeWeight(e)
+	}
+	vwt := make([]int64, h.NumVertices())
+	for v := range vwt {
+		vwt[v] = h.VertexWeight(v)
+	}
+	return buildSubHG(h.NumVertices(), edges, ewts, vwt)
+}
+
+// induce extracts the sub-hypergraph on the given vertex ids (ids index g's
+// vertices). Pins outside the subset are dropped; edges left with < 2 pins
+// disappear.
+func (g *subHG) induce(ids []int32) *subHG {
+	remap := make([]int32, g.nv)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, old := range ids {
+		remap[old] = int32(newID)
+	}
+	vwt := make([]int64, len(ids))
+	for newID, old := range ids {
+		vwt[newID] = g.vwt[old]
+	}
+	var edges [][]int32
+	var ewts []int64
+	for e := 0; e < g.numEdges(); e++ {
+		var pins []int32
+		for _, v := range g.edgePins(e) {
+			if nv := remap[v]; nv >= 0 {
+				pins = append(pins, nv)
+			}
+		}
+		if len(pins) >= 2 {
+			edges = append(edges, pins)
+			ewts = append(ewts, g.ewt[e])
+		}
+	}
+	return buildSubHG(len(ids), edges, ewts, vwt)
+}
+
+// coarsen contracts a heavy-connectivity matching and returns the coarse
+// hypergraph plus the fine→coarse vertex map.
+func coarsen(g *subHG, rng *stats.RNG) (*subHG, []int32) {
+	match := make([]int32, g.nv)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(g.nv)
+
+	// Scratch for connectivity scoring with epoch stamping.
+	score := make([]float64, g.nv)
+	stamp := make([]int, g.nv)
+	epoch := 0
+
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		epoch++
+		best := int32(-1)
+		bestScore := 0.0
+		for _, e := range g.incident(int(v)) {
+			pins := g.edgePins(int(e))
+			if len(pins) > 64 {
+				continue // huge hyperedges carry little matching signal and cost O(|e|)
+			}
+			w := float64(g.ewt[e]) / float64(len(pins)-1)
+			for _, u := range pins {
+				if u == v || match[u] >= 0 {
+					continue
+				}
+				if stamp[u] != epoch {
+					stamp[u] = epoch
+					score[u] = 0
+				}
+				score[u] += w
+				if score[u] > bestScore {
+					bestScore = score[u]
+					best = u
+				}
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		}
+	}
+
+	// Assign coarse ids: matched pairs share one id.
+	cmap := make([]int32, g.nv)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < g.nv; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = next
+		if m := match[v]; m >= 0 && cmap[m] < 0 {
+			cmap[m] = next
+		}
+		next++
+	}
+	cnv := int(next)
+
+	cvwt := make([]int64, cnv)
+	for v := 0; v < g.nv; v++ {
+		cvwt[cmap[v]] += g.vwt[v]
+	}
+
+	// Project edges, deduplicating pins within each edge.
+	var edges [][]int32
+	var ewts []int64
+	for e := 0; e < g.numEdges(); e++ {
+		raw := g.edgePins(e)
+		pins := make([]int32, 0, len(raw))
+		for _, v := range raw {
+			pins = append(pins, cmap[v])
+		}
+		sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
+		out := pins[:0]
+		var prev int32 = -1
+		for _, p := range pins {
+			if p != prev {
+				out = append(out, p)
+				prev = p
+			}
+		}
+		if len(out) >= 2 {
+			edges = append(edges, out)
+			ewts = append(ewts, g.ewt[e])
+		}
+	}
+	return buildSubHG(cnv, edges, ewts, cvwt), cmap
+}

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+func benchTraffic(n int, flows int) *Traffic {
+	rng := stats.NewRNG(9)
+	tr := NewTraffic(n)
+	for i := 0; i < flows; i++ {
+		tr.Add(rng.Intn(n), rng.Intn(n), int64(rng.Intn(20)+1), 4096)
+	}
+	return tr
+}
+
+func BenchmarkAggregateEstimate(b *testing.B) {
+	m := topology.MustNew(topology.Archer(), 128, 1)
+	tr := benchTraffic(128, 5000)
+	model := AggregateModel{Overlap: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Estimate(m, tr)
+	}
+}
+
+func BenchmarkEventSim(b *testing.B) {
+	m := topology.MustNew(topology.Archer(), 32, 1)
+	rng := stats.NewRNG(3)
+	msgs := make([]Message, 5000)
+	for i := range msgs {
+		src := rng.Intn(32)
+		dst := (src + 1 + rng.Intn(31)) % 32
+		msgs[i] = Message{Src: src, Dst: dst, Bytes: 4096}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := NewEventSim(m)
+		for _, msg := range msgs {
+			sim.Submit(msg)
+		}
+		sim.Run()
+	}
+}
+
+func BenchmarkTrafficAdd(b *testing.B) {
+	tr := NewTraffic(64)
+	for i := 0; i < b.N; i++ {
+		tr.Add(i%64, (i+7)%64, 3, 4096)
+	}
+}

@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hyperpraw/internal/topology"
+)
+
+// Message is a single point-to-point transfer for the event simulator.
+type Message struct {
+	Src   int
+	Dst   int
+	Bytes int64
+}
+
+// EventSim is a message-level discrete-event simulator. Each core serialises
+// its sends in submission order and serialises its receives; a transfer
+// starts when both endpoints are free (a rendezvous-style MPI send) and lasts
+// latency + bytes/bandwidth. The simulator is deterministic: ties are broken
+// by sender rank.
+//
+// EventSim is O(M log p) in the number of messages and exists for small
+// workloads and for validating AggregateModel trends; the benchmark harness
+// uses AggregateModel for full runs.
+type EventSim struct {
+	machine *topology.Machine
+	queues  [][]Message // per-sender FIFO
+	count   int
+}
+
+// NewEventSim returns an empty simulator over machine.
+func NewEventSim(machine *topology.Machine) *EventSim {
+	return &EventSim{
+		machine: machine,
+		queues:  make([][]Message, machine.NumCores()),
+	}
+}
+
+// Submit appends a message to its sender's queue. Self-sends are ignored.
+func (s *EventSim) Submit(msg Message) {
+	if msg.Src == msg.Dst {
+		return
+	}
+	n := s.machine.NumCores()
+	if msg.Src < 0 || msg.Src >= n || msg.Dst < 0 || msg.Dst >= n {
+		panic(fmt.Sprintf("netsim: message rank out of range: %d -> %d (n=%d)", msg.Src, msg.Dst, n))
+	}
+	s.queues[msg.Src] = append(s.queues[msg.Src], msg)
+	s.count++
+}
+
+// Pending returns the number of messages submitted but not yet simulated.
+func (s *EventSim) Pending() int { return s.count }
+
+type senderItem struct {
+	sender int
+	start  float64 // candidate start time of the sender's next message
+}
+
+type senderHeap []senderItem
+
+func (h senderHeap) Len() int { return len(h) }
+func (h senderHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	return h[i].sender < h[j].sender
+}
+func (h senderHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *senderHeap) Push(x any)   { *h = append(*h, x.(senderItem)) }
+func (h *senderHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func candidateStart(sendFree, recvFree []float64, msg Message) float64 {
+	st := sendFree[msg.Src]
+	if recvFree[msg.Dst] > st {
+		st = recvFree[msg.Dst]
+	}
+	return st
+}
+
+// Run simulates all submitted messages and resets the queues. The returned
+// Result's MakespanSec is the time the last transfer completes; PerCoreSec is
+// each core's accumulated busy time (send plus receive occupancy).
+func (s *EventSim) Run() Result {
+	n := s.machine.NumCores()
+	sendFree := make([]float64, n)
+	recvFree := make([]float64, n)
+	busy := make([]float64, n)
+	next := make([]int, n)
+	var totalBytes, totalMsgs int64
+
+	h := &senderHeap{}
+	for i := 0; i < n; i++ {
+		if len(s.queues[i]) > 0 {
+			heap.Push(h, senderItem{sender: i, start: candidateStart(sendFree, recvFree, s.queues[i][0])})
+		}
+	}
+
+	makespan := 0.0
+	for h.Len() > 0 {
+		it := heap.Pop(h).(senderItem)
+		msg := s.queues[it.sender][next[it.sender]]
+		// The queued candidate start may be stale: the receiver can have
+		// become busier since this item was pushed. If the fresh start is
+		// later than another sender's candidate, requeue and retry.
+		start := candidateStart(sendFree, recvFree, msg)
+		if h.Len() > 0 && start > (*h)[0].start {
+			heap.Push(h, senderItem{sender: it.sender, start: start})
+			continue
+		}
+		dur := s.machine.Latency(msg.Src, msg.Dst) + float64(msg.Bytes)/(s.machine.Bandwidth(msg.Src, msg.Dst)*1e6)
+		end := start + dur
+		sendFree[msg.Src] = end
+		recvFree[msg.Dst] = end
+		busy[msg.Src] += dur
+		busy[msg.Dst] += dur
+		totalBytes += msg.Bytes
+		totalMsgs++
+		if end > makespan {
+			makespan = end
+		}
+		next[it.sender]++
+		if next[it.sender] < len(s.queues[it.sender]) {
+			nm := s.queues[it.sender][next[it.sender]]
+			heap.Push(h, senderItem{sender: it.sender, start: candidateStart(sendFree, recvFree, nm)})
+		}
+	}
+
+	// Reset for reuse.
+	for i := range s.queues {
+		s.queues[i] = s.queues[i][:0]
+	}
+	s.count = 0
+
+	return Result{
+		MakespanSec:   makespan,
+		PerCoreSec:    busy,
+		TotalBytes:    totalBytes,
+		TotalMessages: totalMsgs,
+	}
+}

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+func TestEventSimDeterministic(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 16, 1)
+	rng := stats.NewRNG(11)
+	msgs := make([]Message, 500)
+	for i := range msgs {
+		src := rng.Intn(16)
+		msgs[i] = Message{Src: src, Dst: (src + 1 + rng.Intn(15)) % 16, Bytes: int64(rng.Intn(9000) + 1)}
+	}
+	run := func() Result {
+		sim := NewEventSim(m)
+		for _, msg := range msgs {
+			sim.Submit(msg)
+		}
+		return sim.Run()
+	}
+	a, b := run(), run()
+	if a.MakespanSec != b.MakespanSec || a.TotalBytes != b.TotalBytes {
+		t.Fatal("event simulation not deterministic")
+	}
+	for i := range a.PerCoreSec {
+		if a.PerCoreSec[i] != b.PerCoreSec[i] {
+			t.Fatalf("per-core time differs at %d", i)
+		}
+	}
+}
+
+func TestEventSimMakespanAtLeastCriticalPath(t *testing.T) {
+	// The makespan can never be below the busiest single endpoint's total
+	// transfer time.
+	m := topology.MustNew(topology.Archer(), 8, 1)
+	sim := NewEventSim(m)
+	var senderTotal float64
+	for i := 0; i < 20; i++ {
+		dst := 1 + i%7
+		sim.Submit(Message{Src: 0, Dst: dst, Bytes: 10000})
+		senderTotal += m.Latency(0, dst) + 10000/(m.Bandwidth(0, dst)*1e6)
+	}
+	res := sim.Run()
+	if res.MakespanSec < senderTotal-1e-12 {
+		t.Fatalf("makespan %g below sender serialisation bound %g", res.MakespanSec, senderTotal)
+	}
+}
+
+func TestAggregatePerCoreConsistent(t *testing.T) {
+	// The makespan must equal the max of the per-core times.
+	m := topology.MustNew(topology.Archer(), 12, 2)
+	rng := stats.NewRNG(4)
+	tr := NewTraffic(12)
+	for i := 0; i < 50; i++ {
+		tr.Add(rng.Intn(12), rng.Intn(12), int64(rng.Intn(9)+1), int64(rng.Intn(5000)+1))
+	}
+	res := AggregateModel{Overlap: 0.5}.Estimate(m, tr)
+	maxCore := 0.0
+	for _, c := range res.PerCoreSec {
+		maxCore = math.Max(maxCore, c)
+	}
+	if res.MakespanSec != maxCore {
+		t.Fatalf("makespan %g != max per-core %g", res.MakespanSec, maxCore)
+	}
+}
+
+func TestAggregateOverlapClamped(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 4, 1)
+	tr := NewTraffic(4)
+	tr.Add(0, 1, 5, 1000)
+	tr.Add(1, 0, 5, 1000)
+	under := AggregateModel{Overlap: -3}.Estimate(m, tr)
+	zero := AggregateModel{Overlap: 0}.Estimate(m, tr)
+	over := AggregateModel{Overlap: 7}.Estimate(m, tr)
+	one := AggregateModel{Overlap: 1}.Estimate(m, tr)
+	if under.MakespanSec != zero.MakespanSec {
+		t.Fatal("negative overlap not clamped to 0")
+	}
+	if over.MakespanSec != one.MakespanSec {
+		t.Fatal("overlap > 1 not clamped to 1")
+	}
+}
+
+func TestTrafficAddNegativeRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTraffic(4).Add(-1, 2, 1, 1)
+}

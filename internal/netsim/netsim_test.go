@@ -1,0 +1,277 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+func testMachine(t *testing.T, cores int) *topology.Machine {
+	t.Helper()
+	return topology.MustNew(topology.Archer(), cores, 1)
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	tr := NewTraffic(4)
+	tr.Add(0, 1, 3, 100)
+	tr.Add(1, 0, 1, 50)
+	tr.Add(2, 2, 9, 999) // self-send ignored
+	if tr.Bytes(0, 1) != 300 || tr.Messages(0, 1) != 3 {
+		t.Fatalf("0->1: %d bytes %d msgs", tr.Bytes(0, 1), tr.Messages(0, 1))
+	}
+	if tr.Bytes(1, 0) != 50 {
+		t.Fatalf("1->0: %d", tr.Bytes(1, 0))
+	}
+	if tr.Bytes(2, 2) != 0 {
+		t.Fatal("self-send recorded")
+	}
+	if tr.TotalBytes() != 350 || tr.TotalMessages() != 4 {
+		t.Fatalf("totals %d %d", tr.TotalBytes(), tr.TotalMessages())
+	}
+}
+
+func TestTrafficMerge(t *testing.T) {
+	a := NewTraffic(3)
+	a.Add(0, 1, 1, 10)
+	b := NewTraffic(3)
+	b.Add(0, 1, 2, 10)
+	b.Add(2, 0, 1, 5)
+	a.Merge(b)
+	if a.Bytes(0, 1) != 30 || a.Bytes(2, 0) != 5 {
+		t.Fatalf("merge wrong: %d %d", a.Bytes(0, 1), a.Bytes(2, 0))
+	}
+}
+
+func TestTrafficMergeSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTraffic(2).Merge(NewTraffic(3))
+}
+
+func TestTrafficBytesMatrix(t *testing.T) {
+	tr := NewTraffic(2)
+	tr.Add(0, 1, 2, 25)
+	m := tr.BytesMatrix()
+	if m[0][1] != 50 || m[1][0] != 0 {
+		t.Fatalf("matrix %v", m)
+	}
+}
+
+func TestAggregateEmptyTraffic(t *testing.T) {
+	m := testMachine(t, 8)
+	res := AggregateModel{Overlap: 0.5}.Estimate(m, NewTraffic(8))
+	if res.MakespanSec != 0 {
+		t.Fatalf("empty traffic makespan %g", res.MakespanSec)
+	}
+}
+
+func TestAggregateSingleFlow(t *testing.T) {
+	m := testMachine(t, 8)
+	tr := NewTraffic(8)
+	tr.Add(0, 1, 10, 1000)
+	res := AggregateModel{Overlap: 0}.Estimate(m, tr)
+	want := 10*m.Latency(0, 1) + 10000/(m.Bandwidth(0, 1)*1e6)
+	// Overlap 0: sender cost = receiver cost = want; makespan is max over
+	// cores of send+recv, and core 0 only sends, core 1 only receives.
+	if math.Abs(res.MakespanSec-want)/want > 1e-9 {
+		t.Fatalf("makespan %g, want %g", res.MakespanSec, want)
+	}
+	if res.TotalBytes != 10000 || res.TotalMessages != 10 {
+		t.Fatalf("totals %d %d", res.TotalBytes, res.TotalMessages)
+	}
+}
+
+func TestAggregateSlowLinkCostsMore(t *testing.T) {
+	m := testMachine(t, 96)
+	fast := NewTraffic(96)
+	fast.Add(0, 1, 100, 100000) // intra-socket
+	slow := NewTraffic(96)
+	slow.Add(0, 95, 100, 100000) // cross-blade
+	model := AggregateModel{Overlap: 0.5}
+	rFast := model.Estimate(m, fast)
+	rSlow := model.Estimate(m, slow)
+	if rFast.MakespanSec >= rSlow.MakespanSec {
+		t.Fatalf("fast link %g not faster than slow link %g", rFast.MakespanSec, rSlow.MakespanSec)
+	}
+}
+
+func TestAggregateOverlapReducesTime(t *testing.T) {
+	m := testMachine(t, 8)
+	tr := NewTraffic(8)
+	tr.Add(0, 1, 10, 100000)
+	tr.Add(1, 0, 10, 100000)
+	half := AggregateModel{Overlap: 0}.Estimate(m, tr)
+	full := AggregateModel{Overlap: 1}.Estimate(m, tr)
+	if full.MakespanSec >= half.MakespanSec {
+		t.Fatalf("overlap did not reduce time: %g vs %g", full.MakespanSec, half.MakespanSec)
+	}
+}
+
+func TestAggregateRankMismatchPanics(t *testing.T) {
+	m := testMachine(t, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	AggregateModel{}.Estimate(m, NewTraffic(4))
+}
+
+func TestEventSimSingleMessage(t *testing.T) {
+	m := testMachine(t, 4)
+	sim := NewEventSim(m)
+	sim.Submit(Message{Src: 0, Dst: 1, Bytes: 1000})
+	res := sim.Run()
+	want := m.Latency(0, 1) + 1000/(m.Bandwidth(0, 1)*1e6)
+	if math.Abs(res.MakespanSec-want)/want > 1e-9 {
+		t.Fatalf("makespan %g, want %g", res.MakespanSec, want)
+	}
+}
+
+func TestEventSimSerialisesSender(t *testing.T) {
+	m := testMachine(t, 4)
+	sim := NewEventSim(m)
+	sim.Submit(Message{Src: 0, Dst: 1, Bytes: 1000})
+	sim.Submit(Message{Src: 0, Dst: 2, Bytes: 1000})
+	res := sim.Run()
+	t1 := m.Latency(0, 1) + 1000/(m.Bandwidth(0, 1)*1e6)
+	t2 := m.Latency(0, 2) + 1000/(m.Bandwidth(0, 2)*1e6)
+	want := t1 + t2
+	if math.Abs(res.MakespanSec-want)/want > 1e-9 {
+		t.Fatalf("sender not serialised: %g, want %g", res.MakespanSec, want)
+	}
+}
+
+func TestEventSimParallelSendersOverlap(t *testing.T) {
+	m := testMachine(t, 4)
+	sim := NewEventSim(m)
+	sim.Submit(Message{Src: 0, Dst: 1, Bytes: 100000})
+	sim.Submit(Message{Src: 2, Dst: 3, Bytes: 100000})
+	res := sim.Run()
+	t1 := m.Latency(0, 1) + 100000/(m.Bandwidth(0, 1)*1e6)
+	t2 := m.Latency(2, 3) + 100000/(m.Bandwidth(2, 3)*1e6)
+	want := math.Max(t1, t2)
+	if math.Abs(res.MakespanSec-want)/want > 1e-9 {
+		t.Fatalf("independent transfers did not overlap: %g, want %g", res.MakespanSec, want)
+	}
+}
+
+func TestEventSimSelfSendIgnored(t *testing.T) {
+	m := testMachine(t, 4)
+	sim := NewEventSim(m)
+	sim.Submit(Message{Src: 1, Dst: 1, Bytes: 1e6})
+	if sim.Pending() != 0 {
+		t.Fatal("self-send queued")
+	}
+	if res := sim.Run(); res.MakespanSec != 0 {
+		t.Fatal("self-send simulated")
+	}
+}
+
+func TestEventSimResetsAfterRun(t *testing.T) {
+	m := testMachine(t, 4)
+	sim := NewEventSim(m)
+	sim.Submit(Message{Src: 0, Dst: 1, Bytes: 500})
+	first := sim.Run()
+	if sim.Pending() != 0 {
+		t.Fatal("queues not reset")
+	}
+	sim.Submit(Message{Src: 0, Dst: 1, Bytes: 500})
+	second := sim.Run()
+	if first.MakespanSec != second.MakespanSec {
+		t.Fatal("runs not independent")
+	}
+}
+
+func TestEventSimOutOfRangePanics(t *testing.T) {
+	m := testMachine(t, 4)
+	sim := NewEventSim(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	sim.Submit(Message{Src: 0, Dst: 9, Bytes: 1})
+}
+
+func TestEventAndAggregateAgreeOnRanking(t *testing.T) {
+	// Build two traffic patterns — one over fast links, one over slow — and
+	// verify both simulators rank them the same way.
+	m := testMachine(t, 96)
+	mkMessages := func(dst int) ([]Message, *Traffic) {
+		var msgs []Message
+		tr := NewTraffic(96)
+		for k := 0; k < 50; k++ {
+			msgs = append(msgs, Message{Src: 0, Dst: dst, Bytes: 50000})
+			tr.Add(0, dst, 1, 50000)
+		}
+		return msgs, tr
+	}
+	run := func(msgs []Message) float64 {
+		sim := NewEventSim(m)
+		for _, msg := range msgs {
+			sim.Submit(msg)
+		}
+		return sim.Run().MakespanSec
+	}
+	model := AggregateModel{Overlap: 0.5}
+	fastMsgs, fastTr := mkMessages(1)
+	slowMsgs, slowTr := mkMessages(95)
+	evFast, evSlow := run(fastMsgs), run(slowMsgs)
+	agFast, agSlow := model.Estimate(m, fastTr).MakespanSec, model.Estimate(m, slowTr).MakespanSec
+	if (evFast < evSlow) != (agFast < agSlow) {
+		t.Fatalf("simulators disagree: event %g/%g aggregate %g/%g", evFast, evSlow, agFast, agSlow)
+	}
+}
+
+// Property: aggregate makespan is monotone under added traffic.
+func TestQuickAggregateMonotone(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 16, 1)
+	model := AggregateModel{Overlap: 0.5}
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		tr := NewTraffic(16)
+		for k := 0; k < 20; k++ {
+			tr.Add(rng.Intn(16), rng.Intn(16), int64(rng.Intn(5)+1), int64(rng.Intn(10000)+1))
+		}
+		before := model.Estimate(m, tr).MakespanSec
+		tr.Add(rng.Intn(16), (rng.Intn(15)+1+rng.Intn(16))%16, 10, 100000)
+		// ensure src != dst for the added flow
+		tr.Add(0, 1, 10, 100000)
+		after := model.Estimate(m, tr).MakespanSec
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: event sim conserves bytes and message counts.
+func TestQuickEventSimConservation(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 8, 1)
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		sim := NewEventSim(m)
+		var wantBytes, wantMsgs int64
+		for k := 0; k < 30; k++ {
+			src, dst := rng.Intn(8), rng.Intn(8)
+			b := int64(rng.Intn(5000) + 1)
+			sim.Submit(Message{Src: src, Dst: dst, Bytes: b})
+			if src != dst {
+				wantBytes += b
+				wantMsgs++
+			}
+		}
+		res := sim.Run()
+		return res.TotalBytes == wantBytes && res.TotalMessages == wantMsgs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

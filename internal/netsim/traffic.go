@@ -1,0 +1,101 @@
+// Package netsim simulates point-to-point message traffic over a topology.Machine.
+//
+// It stands in for the MPI runtime of the original work. Two complementary
+// models are provided:
+//
+//   - AggregateModel: a closed-form LogP-style cost estimate over a traffic
+//     matrix. Each core serialises its sends and its receives; the cost of a
+//     (src → dst) flow is nmsg·latency + bytes/bandwidth, and the simulated
+//     makespan is the busiest core's total. This scales to the paper's full
+//     workloads (hundreds of millions of messages) because it works on
+//     partition-pair aggregates.
+//
+//   - EventSim: a message-level discrete-event simulation with sender and
+//     receiver serialisation, for small workloads and for validating the
+//     aggregate model's trends.
+//
+// Both consume the ground-truth machine matrices, so a partitioner that
+// places heavy-communicating work on high-bandwidth links yields lower
+// simulated runtimes — the paper's central effect.
+package netsim
+
+import "fmt"
+
+// Traffic accumulates per-pair message counts and byte volumes between ranks.
+// The zero value is unusable; create one with NewTraffic.
+type Traffic struct {
+	n     int
+	bytes []int64 // n*n, row-major, [src*n+dst]
+	msgs  []int64
+}
+
+// NewTraffic returns an empty traffic account over n ranks.
+func NewTraffic(n int) *Traffic {
+	return &Traffic{n: n, bytes: make([]int64, n*n), msgs: make([]int64, n*n)}
+}
+
+// NumRanks returns the number of ranks the account covers.
+func (t *Traffic) NumRanks() int { return t.n }
+
+// Add records count messages of size bytesEach from src to dst. Self-sends
+// (src == dst) are ignored: they model intra-partition traffic, which costs
+// nothing in the paper's benchmark.
+func (t *Traffic) Add(src, dst int, count, bytesEach int64) {
+	if src == dst {
+		return
+	}
+	if src < 0 || src >= t.n || dst < 0 || dst >= t.n {
+		panic(fmt.Sprintf("netsim: rank out of range: %d -> %d (n=%d)", src, dst, t.n))
+	}
+	idx := src*t.n + dst
+	t.msgs[idx] += count
+	t.bytes[idx] += count * bytesEach
+}
+
+// Bytes returns the byte volume sent from src to dst.
+func (t *Traffic) Bytes(src, dst int) int64 { return t.bytes[src*t.n+dst] }
+
+// Messages returns the message count from src to dst.
+func (t *Traffic) Messages(src, dst int) int64 { return t.msgs[src*t.n+dst] }
+
+// TotalBytes returns the total byte volume over all pairs.
+func (t *Traffic) TotalBytes() int64 {
+	var s int64
+	for _, b := range t.bytes {
+		s += b
+	}
+	return s
+}
+
+// TotalMessages returns the total message count over all pairs.
+func (t *Traffic) TotalMessages() int64 {
+	var s int64
+	for _, m := range t.msgs {
+		s += m
+	}
+	return s
+}
+
+// BytesMatrix returns the byte volumes as a dense matrix (rows = senders).
+func (t *Traffic) BytesMatrix() [][]float64 {
+	out := make([][]float64, t.n)
+	for i := range out {
+		out[i] = make([]float64, t.n)
+		for j := 0; j < t.n; j++ {
+			out[i][j] = float64(t.bytes[i*t.n+j])
+		}
+	}
+	return out
+}
+
+// Merge adds other's traffic into t. Both accounts must cover the same
+// number of ranks.
+func (t *Traffic) Merge(other *Traffic) {
+	if other.n != t.n {
+		panic(fmt.Sprintf("netsim: merging traffic over %d ranks into %d ranks", other.n, t.n))
+	}
+	for i := range t.bytes {
+		t.bytes[i] += other.bytes[i]
+		t.msgs[i] += other.msgs[i]
+	}
+}

@@ -1,0 +1,284 @@
+// Package plot renders the paper's figure types — iteration-history line
+// charts (Fig 3) and grouped bar charts over instances × algorithms
+// (Fig 4, Fig 5) — as standalone SVG documents, using only the standard
+// library. The experiment runner writes these next to its CSV artefacts so
+// the reproduction produces actual figures, not just data files.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one polyline of a line chart.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// BarGroup is one cluster of a grouped bar chart (e.g. one hypergraph with
+// one bar per algorithm).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// Options control chart geometry and scaling.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots log10 of the values (the paper's Fig 4B/4C/5 are log
+	// scale). Non-positive values clamp to the smallest positive value.
+	LogY bool
+	// Width and Height of the SVG canvas (defaults 720×480).
+	Width  int
+	Height int
+}
+
+func (o *Options) fill() {
+	if o.Width <= 0 {
+		o.Width = 720
+	}
+	if o.Height <= 0 {
+		o.Height = 480
+	}
+}
+
+// palette follows the paper's figures: black (Zoltan), orange (basic),
+// gold (aware), plus extras for additional series.
+var palette = []string{"#222222", "#e66101", "#fdb863", "#5e3c99", "#b2abd2", "#008837"}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 55
+)
+
+// LineChart renders the series as an SVG line chart.
+func LineChart(series []Series, opts Options) string {
+	opts.fill()
+	var sb strings.Builder
+	openSVG(&sb, opts)
+
+	// Data range.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			y := transformY(s.Y[i], opts.LogY)
+			if math.IsNaN(y) {
+				continue
+			}
+			any = true
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if !any {
+		xMin, xMax, yMin, yMax = 0, 1, 0, 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	plotW := float64(opts.Width - marginLeft - marginRight)
+	plotH := float64(opts.Height - marginTop - marginBottom)
+	px := func(x float64) float64 { return marginLeft + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return marginTop + (1-(y-yMin)/(yMax-yMin))*plotH }
+
+	axes(&sb, opts, xMin, xMax, yMin, yMax, px, py)
+
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			y := transformY(s.Y[i], opts.LogY)
+			if math.IsNaN(y) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(y)))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+				color, strings.Join(pts, " "))
+		}
+		// Legend entry.
+		ly := marginTop + 18*si
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			opts.Width-marginRight-150, ly, opts.Width-marginRight-130, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			opts.Width-marginRight-124, ly+4, escape(s.Label))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// GroupedBarChart renders one bar per (group, series) pair; seriesLabels
+// names the bars within each group.
+func GroupedBarChart(seriesLabels []string, groups []BarGroup, opts Options) string {
+	opts.fill()
+	var sb strings.Builder
+	openSVG(&sb, opts)
+
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, g := range groups {
+		for _, v := range g.Values {
+			y := transformY(v, opts.LogY)
+			if math.IsNaN(y) {
+				continue
+			}
+			any = true
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if !any {
+		yMin, yMax = 0, 1
+	}
+	if !opts.LogY && yMin > 0 {
+		yMin = 0 // bars grow from zero on a linear scale
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	plotW := float64(opts.Width - marginLeft - marginRight)
+	plotH := float64(opts.Height - marginTop - marginBottom)
+	py := func(y float64) float64 { return marginTop + (1-(y-yMin)/(yMax-yMin))*plotH }
+	axes(&sb, opts, 0, 1, yMin, yMax, nil, py)
+
+	nG := len(groups)
+	if nG == 0 {
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
+	groupW := plotW / float64(nG)
+	nS := len(seriesLabels)
+	barW := groupW * 0.8 / float64(maxInt(nS, 1))
+
+	for gi, g := range groups {
+		gx := marginLeft + groupW*float64(gi)
+		for si, v := range g.Values {
+			y := transformY(v, opts.LogY)
+			if math.IsNaN(y) {
+				continue
+			}
+			x := gx + groupW*0.1 + barW*float64(si)
+			top := py(y)
+			base := py(yMin)
+			if top > base {
+				top, base = base, top
+			}
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, top, barW*0.92, base-top, palette[si%len(palette)])
+		}
+		// Rotated group label.
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+			gx+groupW/2, opts.Height-marginBottom+14, gx+groupW/2, opts.Height-marginBottom+14, escape(g.Label))
+	}
+	for si, label := range seriesLabels {
+		ly := marginTop + 18*si
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			opts.Width-marginRight-160, ly-9, palette[si%len(palette)])
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			opts.Width-marginRight-143, ly+2, escape(label))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// Save writes an SVG document to path.
+func Save(path, svg string) error {
+	return os.WriteFile(path, []byte(svg), 0o644)
+}
+
+func openSVG(sb *strings.Builder, opts Options) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	if opts.Title != "" {
+		fmt.Fprintf(sb, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n",
+			marginLeft, escape(opts.Title))
+	}
+}
+
+// axes draws the frame, y ticks and labels. px may be nil (bar charts label
+// groups instead of numeric x ticks).
+func axes(sb *strings.Builder, opts Options, xMin, xMax, yMin, yMax float64,
+	px func(float64) float64, py func(float64) float64) {
+	fmt.Fprintf(sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`+"\n",
+		marginLeft, marginTop, opts.Width-marginLeft-marginRight, opts.Height-marginTop-marginBottom)
+	for i := 0; i <= 4; i++ {
+		y := yMin + (yMax-yMin)*float64(i)/4
+		label := y
+		if opts.LogY {
+			label = math.Pow(10, y)
+		}
+		fmt.Fprintf(sb, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py(y)+3, formatTick(label))
+		fmt.Fprintf(sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, py(y), opts.Width-marginRight, py(y))
+	}
+	if px != nil {
+		for i := 0; i <= 4; i++ {
+			x := xMin + (xMax-xMin)*float64(i)/4
+			fmt.Fprintf(sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				px(x), opts.Height-marginBottom+16, formatTick(x))
+		}
+	}
+	if opts.XLabel != "" {
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			(marginLeft+opts.Width-marginRight)/2, opts.Height-10, escape(opts.XLabel))
+	}
+	if opts.YLabel != "" {
+		midY := (marginTop + opts.Height - marginBottom) / 2
+		fmt.Fprintf(sb, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			midY, midY, escape(opts.YLabel))
+	}
+}
+
+func transformY(v float64, logY bool) float64 {
+	if !logY {
+		return v
+	}
+	if v <= 0 {
+		return math.NaN()
+	}
+	return math.Log10(v)
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6 || (a < 1e-2 && a > 0):
+		return fmt.Sprintf("%.1e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+package plot
+
+import (
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func assertWellFormedSVG(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestLineChartBasics(t *testing.T) {
+	svg := LineChart([]Series{
+		{Label: "refinement-0.95", X: []float64{1, 2, 3}, Y: []float64{9, 7, 6}},
+		{Label: "no-refinement", X: []float64{1, 2}, Y: []float64{9, 8}},
+	}, Options{Title: "Fig 3", XLabel: "iteration", YLabel: "PC"})
+	assertWellFormedSVG(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("no polylines rendered")
+	}
+	if !strings.Contains(svg, "refinement-0.95") || !strings.Contains(svg, "Fig 3") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestLineChartLogScale(t *testing.T) {
+	svg := LineChart([]Series{
+		{Label: "a", X: []float64{1, 2, 3}, Y: []float64{10, 100, 1000}},
+	}, Options{LogY: true})
+	assertWellFormedSVG(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("log-scale series dropped")
+	}
+}
+
+func TestLineChartHandlesNonPositiveOnLog(t *testing.T) {
+	svg := LineChart([]Series{
+		{Label: "a", X: []float64{1, 2, 3}, Y: []float64{0, -1, 100}},
+	}, Options{LogY: true})
+	assertWellFormedSVG(t, svg)
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	svg := LineChart(nil, Options{Title: "empty"})
+	assertWellFormedSVG(t, svg)
+}
+
+func TestGroupedBarChartBasics(t *testing.T) {
+	svg := GroupedBarChart(
+		[]string{"zoltan", "basic", "aware"},
+		[]BarGroup{
+			{Label: "sparsine", Values: []float64{3, 2, 1}},
+			{Label: "webbase", Values: []float64{5, 4, 3}},
+		},
+		Options{Title: "Fig 5", YLabel: "runtime"},
+	)
+	assertWellFormedSVG(t, svg)
+	if strings.Count(svg, "<rect") < 6 { // frame + background + 6 bars
+		t.Fatalf("expected at least 6 bars: %d rects", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "sparsine") || !strings.Contains(svg, "aware") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestGroupedBarChartLog(t *testing.T) {
+	svg := GroupedBarChart(
+		[]string{"a"},
+		[]BarGroup{{Label: "g", Values: []float64{1e3}}, {Label: "h", Values: []float64{1e6}}},
+		Options{LogY: true},
+	)
+	assertWellFormedSVG(t, svg)
+}
+
+func TestGroupedBarChartEmpty(t *testing.T) {
+	assertWellFormedSVG(t, GroupedBarChart(nil, nil, Options{}))
+}
+
+func TestBarHeightsOrdered(t *testing.T) {
+	// A larger value must render a taller bar (smaller y for the top edge).
+	svg := GroupedBarChart([]string{"x"}, []BarGroup{
+		{Label: "small", Values: []float64{1}},
+		{Label: "big", Values: []float64{10}},
+	}, Options{})
+	// Extract bar rect heights: both bars use fill from the palette.
+	var heights []float64
+	for _, line := range strings.Split(svg, "\n") {
+		if strings.HasPrefix(line, "<rect") && strings.Contains(line, palette[0]) &&
+			!strings.Contains(line, `width="12" height="12"`) { // skip legend swatches
+			var x, y, w, h float64
+			if _, err := fmtSscanRect(line, &x, &y, &w, &h); err == nil {
+				heights = append(heights, h)
+			}
+		}
+	}
+	if len(heights) != 2 {
+		t.Fatalf("found %d data bars", len(heights))
+	}
+	if heights[1] <= heights[0] {
+		t.Fatalf("bar for 10 (%.1f) not taller than bar for 1 (%.1f)", heights[1], heights[0])
+	}
+}
+
+func fmtSscanRect(line string, x, y, w, h *float64) (int, error) {
+	// line looks like: <rect x="..." y="..." width="..." height="..." fill="..."/>
+	get := func(attr string) (float64, error) {
+		i := strings.Index(line, attr+`="`)
+		if i < 0 {
+			return 0, os.ErrNotExist
+		}
+		rest := line[i+len(attr)+2:]
+		j := strings.IndexByte(rest, '"')
+		return strconv.ParseFloat(rest[:j], 64)
+	}
+	var err error
+	if *x, err = get("x"); err != nil {
+		return 0, err
+	}
+	if *y, err = get("y"); err != nil {
+		return 0, err
+	}
+	if *w, err = get("width"); err != nil {
+		return 0, err
+	}
+	if *h, err = get("height"); err != nil {
+		return 0, err
+	}
+	return 4, nil
+}
+
+func TestSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chart.svg")
+	if err := Save(path, LineChart(nil, Options{})); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("saved file is not an SVG")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape = %q", got)
+	}
+}

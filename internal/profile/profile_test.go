@@ -1,0 +1,204 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+func TestRingProfileApproximatesGroundTruth(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 48, 1)
+	bw := RingProfile(m, Config{MessageBytes: 1 << 20, Repeats: 3, NoiseSigma: 0.02, Seed: 7})
+	// With large probes the measured bandwidth should be within ~15% of the
+	// ground truth for every pair.
+	for i := 0; i < 48; i++ {
+		for j := 0; j < 48; j++ {
+			if i == j {
+				if bw[i][j] != 0 {
+					t.Fatalf("diagonal not zero at %d", i)
+				}
+				continue
+			}
+			truth := m.Bandwidth(i, j)
+			if rel := math.Abs(bw[i][j]-truth) / truth; rel > 0.15 {
+				t.Fatalf("pair (%d,%d): measured %g, truth %g (rel %g)", i, j, bw[i][j], truth, rel)
+			}
+		}
+	}
+}
+
+func TestRingProfileSymmetric(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 24, 2)
+	bw := RingProfile(m, DefaultConfig())
+	for i := 0; i < 24; i++ {
+		for j := 0; j < 24; j++ {
+			if bw[i][j] != bw[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRingProfilePreservesTierOrdering(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 96, 3)
+	bw := RingProfile(m, DefaultConfig())
+	// Intra-socket must profile faster than cross-blade.
+	if bw[0][1] <= bw[0][95] {
+		t.Fatalf("tier ordering lost: socket %g vs blade %g", bw[0][1], bw[0][95])
+	}
+}
+
+func TestRingProfileDeterministic(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 16, 4)
+	cfg := DefaultConfig()
+	a := RingProfile(m, cfg)
+	b := RingProfile(m, cfg)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("profiling not deterministic")
+			}
+		}
+	}
+}
+
+func TestRingProfileNoiseless(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 8, 5)
+	bw := RingProfile(m, Config{MessageBytes: 1 << 22, Repeats: 1, NoiseSigma: 0, Seed: 1})
+	// Without noise and with huge probes, latency is negligible and the
+	// measurement should be nearly exact.
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			truth := m.Bandwidth(i, j)
+			if rel := math.Abs(bw[i][j]-truth) / truth; rel > 0.02 {
+				t.Fatalf("noiseless profile off by %g at (%d,%d)", rel, i, j)
+			}
+		}
+	}
+}
+
+func TestCostMatrixBounds(t *testing.T) {
+	m := topology.MustNew(topology.Archer(), 48, 6)
+	bw := RingProfile(m, DefaultConfig())
+	cost := CostMatrix(bw)
+	minC, maxC := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 48; i++ {
+		if cost[i][i] != 0 {
+			t.Fatalf("diagonal cost %g at %d", cost[i][i], i)
+		}
+		for j := 0; j < 48; j++ {
+			if i == j {
+				continue
+			}
+			c := cost[i][j]
+			if c < 1 || c > 2 {
+				t.Fatalf("cost %g out of [1,2] at (%d,%d)", c, i, j)
+			}
+			minC = math.Min(minC, c)
+			maxC = math.Max(maxC, c)
+		}
+	}
+	if math.Abs(minC-1) > 1e-9 || math.Abs(maxC-2) > 1e-9 {
+		t.Fatalf("cost range [%g,%g], want exactly [1,2]", minC, maxC)
+	}
+}
+
+func TestCostMatrixInvertsBandwidth(t *testing.T) {
+	// Higher bandwidth must map to lower cost.
+	bw := [][]float64{
+		{0, 100, 10},
+		{100, 0, 50},
+		{10, 50, 0},
+	}
+	cost := CostMatrix(bw)
+	if cost[0][1] >= cost[0][2] {
+		t.Fatalf("fast link cost %g not below slow link cost %g", cost[0][1], cost[0][2])
+	}
+	if cost[0][1] != 1 {
+		t.Fatalf("fastest link cost %g, want 1", cost[0][1])
+	}
+	if cost[0][2] != 2 {
+		t.Fatalf("slowest link cost %g, want 2", cost[0][2])
+	}
+}
+
+func TestCostMatrixFlat(t *testing.T) {
+	bw := [][]float64{
+		{0, 5, 5},
+		{5, 0, 5},
+		{5, 5, 0},
+	}
+	cost := CostMatrix(bw)
+	for i := range cost {
+		for j := range cost[i] {
+			want := 1.0
+			if i == j {
+				want = 0
+			}
+			if cost[i][j] != want {
+				t.Fatalf("flat cost[%d][%d] = %g, want %g", i, j, cost[i][j], want)
+			}
+		}
+	}
+}
+
+func TestCostMatrixRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	CostMatrix([][]float64{{0, 1}, {0}})
+}
+
+func TestUniformCost(t *testing.T) {
+	c := UniformCost(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 1.0
+			if i == j {
+				want = 0
+			}
+			if c[i][j] != want {
+				t.Fatalf("uniform cost[%d][%d] = %g", i, j, c[i][j])
+			}
+		}
+	}
+}
+
+// Property: CostMatrix always yields zero diagonal and off-diagonal values
+// in [1,2] for arbitrary positive bandwidth matrices.
+func TestQuickCostMatrixInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%10 + 2
+		rng := stats.NewRNG(seed)
+		bw := make([][]float64, n)
+		for i := range bw {
+			bw[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := rng.Float64()*1000 + 1
+				bw[i][j], bw[j][i] = v, v
+			}
+		}
+		cost := CostMatrix(bw)
+		for i := 0; i < n; i++ {
+			if cost[i][i] != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if i != j && (cost[i][j] < 1-1e-12 || cost[i][j] > 2+1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package stats provides deterministic pseudo-random number generation and
+// descriptive statistics used throughout the HyperPRAW reproduction.
+//
+// All stochastic components of the repository (hypergraph generators,
+// topology noise, profiling noise, tie-breaking) draw from RNG so that a
+// single uint64 seed fully determines every experiment.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator based on
+// splitmix64. It is NOT cryptographically secure; it exists to make
+// simulations reproducible across platforms without depending on math/rand's
+// version-dependent stream.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds give
+// independent-looking streams; seed 0 is valid.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split returns a new RNG whose stream is decorrelated from r's by mixing in
+// salt. Use it to hand child components independent streams derived from one
+// master seed.
+func (r *RNG) Split(salt uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (salt * 0x9e3779b97f4a7c15))
+}
+
+// Uint64 returns the next value of the splitmix64 sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire-style bounded generation without modulo bias for practical
+	// purposes (the bias of plain modulo is negligible for n << 2^64, but the
+	// rejection loop keeps the stream exactly uniform).
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Int63n returns a uniformly distributed int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	// Marsaglia polar method; rejection keeps determinism since it only
+	// consumes from this RNG.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// LogNormal returns exp(mu + sigma*N(0,1)). Useful for multiplicative noise
+// on bandwidths and timings.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes s in place.
+func (r *RNG) Shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Zipf returns a value in [0, n) drawn from a truncated power-law
+// distribution with exponent alpha > 0 (larger alpha = more skew toward 0).
+// It uses inverse-CDF sampling over precomputed weights when called through
+// NewZipf; this method is a convenience for one-off draws and is O(n).
+func (r *RNG) Zipf(n int, alpha float64) int {
+	z := NewZipf(r, n, alpha)
+	return z.Draw()
+}
+
+// Zipf samples from a truncated discrete power law P(k) ∝ 1/(k+1)^alpha for
+// k in [0, n). The cumulative table is built once so repeated draws are
+// O(log n).
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a sampler over [0, n) with exponent alpha. Panics if n <= 0.
+func NewZipf(rng *RNG, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -alpha)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Draw returns the next sample.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,320 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64MeanNearHalf(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %g, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %g, want ~1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(15)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 0.5); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid entry %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := NewRNG(19)
+	s := []int{5, 6, 7, 8, 9}
+	r.Shuffle(s)
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 35 {
+		t.Fatalf("shuffle changed elements: %v", s)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	master := NewRNG(21)
+	a := master.Split(1)
+	b := master.Split(2)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams start identically")
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := NewRNG(23)
+	z := NewZipf(r, 100, 1.5)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("StdDev = %g, want ~2.138", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Fatal("StdDev of single element != 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 {
+		t.Fatalf("Min = %g", Min(xs))
+	}
+	if Max(xs) != 5 {
+		t.Fatalf("Max = %g", Max(xs))
+	}
+	if Sum(xs) != 12 {
+		t.Fatalf("Sum = %g", Sum(xs))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("GeoMean = %g, want 10", g)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd Median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even Median = %g", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("P0 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("P100 = %g", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("P50 = %g", p)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(edges) != 6 || len(counts) != 5 {
+		t.Fatalf("bad sizes %d %d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost samples: %d", total)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	_, counts := Histogram([]float64{5, 5, 5}, 3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("degenerate histogram lost samples: %d", total)
+	}
+}
+
+// Property: Intn is always within range for arbitrary seeds and bounds.
+func TestQuickIntnBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Perm always yields a permutation.
+func TestQuickPerm(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package topology models the hierarchical interconnect of an HPC machine.
+//
+// The paper profiles ARCHER, whose compute units form a hierarchy (12-core
+// socket → 2-socket node → 4-node blade/Aries router → 188-node cabinet →
+// 2-cabinet group) with markedly different point-to-point bandwidth at each
+// level (Fig 1A / 6A). HyperPRAW never reads the machine's structure
+// directly — it only consumes a profiled peer-to-peer bandwidth matrix — so
+// reproducing the paper requires a substrate that yields realistic tiered
+// bandwidth matrices. This package provides that substrate: a Machine is
+// built from a stack of levels, each with a nominal bandwidth and latency,
+// plus deterministic multiplicative noise so no two links are exactly alike
+// (as in real measurements).
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"hyperpraw/internal/stats"
+)
+
+// Level describes one tier of the interconnect hierarchy, from the innermost
+// (e.g. cores sharing a socket) outward.
+type Level struct {
+	// Name labels the tier ("socket", "node", "blade", "group").
+	Name string
+	// Fanout is how many units of the previous tier one unit of this tier
+	// contains (cores per socket, sockets per node, ...).
+	Fanout int
+	// BandwidthMBs is the nominal point-to-point bandwidth, in MB/s, between
+	// two cores whose lowest common tier is this one.
+	BandwidthMBs float64
+	// LatencySec is the nominal one-way message latency at this tier.
+	LatencySec float64
+	// NoiseSigma is the sigma of the log-normal multiplicative noise applied
+	// per link at this tier (0 = exact nominal values).
+	NoiseSigma float64
+}
+
+// Spec is a full machine description: an ordered list of levels, innermost
+// first. Cores beyond the outermost level communicate at the outermost
+// level's parameters.
+type Spec struct {
+	Name   string
+	Levels []Level
+	// ScatterRanks, when true, assigns MPI-style ranks to cores through a
+	// pseudo-random permutation instead of linearly. This models cloud or
+	// batch-scheduler placements where rank adjacency says nothing about
+	// physical adjacency, the motivating case for profiling-based discovery
+	// (paper §4.2).
+	ScatterRanks bool
+}
+
+// Archer returns a Spec modelled on the ARCHER XC30 hierarchy described in
+// the paper's introduction: two 12-core Ivy Bridge sockets per node, four
+// nodes per blade (Aries router), blades grouped into cabinets/groups with
+// all-to-all links. Nominal bandwidths follow the ordering visible in
+// Fig 1A: intra-socket ≫ intra-node ≫ everything else, with mild further
+// tiers for blade and group.
+func Archer() Spec {
+	return Spec{
+		Name: "archer",
+		Levels: []Level{
+			// The bandwidth ratios follow Fig 1A's heatmap, which spans
+			// roughly an order of magnitude between intra-socket and
+			// inter-blade links.
+			{Name: "socket", Fanout: 12, BandwidthMBs: 8000, LatencySec: 0.4e-6, NoiseSigma: 0.04},
+			{Name: "node", Fanout: 2, BandwidthMBs: 4200, LatencySec: 0.9e-6, NoiseSigma: 0.05},
+			{Name: "blade", Fanout: 4, BandwidthMBs: 1100, LatencySec: 1.8e-6, NoiseSigma: 0.08},
+			{Name: "group", Fanout: 96, BandwidthMBs: 650, LatencySec: 2.5e-6, NoiseSigma: 0.10},
+		},
+	}
+}
+
+// Cloud returns a deliberately opaque two-tier machine with scattered ranks
+// and heavy noise, standing in for a shared cloud environment where the
+// physical architecture is unknown and only profiling can reveal locality.
+func Cloud() Spec {
+	return Spec{
+		Name: "cloud",
+		Levels: []Level{
+			{Name: "host", Fanout: 8, BandwidthMBs: 6000, LatencySec: 0.6e-6, NoiseSigma: 0.06},
+			{Name: "zone", Fanout: 64, BandwidthMBs: 700, LatencySec: 12e-6, NoiseSigma: 0.25},
+		},
+		ScatterRanks: true,
+	}
+}
+
+// Uniform returns a flat machine where every pair of cores communicates at
+// the same nominal bandwidth. Useful as a control: on a uniform machine,
+// HyperPRAW-aware and HyperPRAW-basic should behave identically (up to
+// profiling noise).
+func Uniform(bandwidthMBs float64) Spec {
+	return Spec{
+		Name: "uniform",
+		Levels: []Level{
+			{Name: "flat", Fanout: 1 << 30, BandwidthMBs: bandwidthMBs, LatencySec: 1e-6, NoiseSigma: 0},
+		},
+	}
+}
+
+// Machine is a concrete machine instance: a Spec realised for a given core
+// count and noise seed, with ground-truth bandwidth and latency matrices.
+type Machine struct {
+	spec  Spec
+	cores int
+	// rankToCore maps application rank → physical core (identity unless
+	// ScatterRanks).
+	rankToCore []int
+	bw         [][]float64 // ground truth, MB/s, symmetric, diag 0
+	lat        [][]float64 // seconds, symmetric, diag 0
+}
+
+// New realises spec for the given number of cores. Link noise and rank
+// scattering are deterministic in seed.
+func New(spec Spec, cores int, seed uint64) (*Machine, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("topology: core count must be positive, got %d", cores)
+	}
+	if len(spec.Levels) == 0 {
+		return nil, fmt.Errorf("topology: spec %q has no levels", spec.Name)
+	}
+	for i, l := range spec.Levels {
+		if l.Fanout <= 0 {
+			return nil, fmt.Errorf("topology: level %d (%s) has non-positive fanout", i, l.Name)
+		}
+		if l.BandwidthMBs <= 0 {
+			return nil, fmt.Errorf("topology: level %d (%s) has non-positive bandwidth", i, l.Name)
+		}
+	}
+	m := &Machine{spec: spec, cores: cores}
+
+	m.rankToCore = make([]int, cores)
+	for i := range m.rankToCore {
+		m.rankToCore[i] = i
+	}
+	if spec.ScatterRanks {
+		rng := stats.NewRNG(seed ^ 0xA5C3)
+		rng.Shuffle(m.rankToCore)
+	}
+
+	m.bw = make([][]float64, cores)
+	m.lat = make([][]float64, cores)
+	for i := range m.bw {
+		m.bw[i] = make([]float64, cores)
+		m.lat[i] = make([]float64, cores)
+	}
+	rng := stats.NewRNG(seed)
+	for i := 0; i < cores; i++ {
+		for j := i + 1; j < cores; j++ {
+			ci, cj := m.rankToCore[i], m.rankToCore[j]
+			lvl := spec.levelOf(ci, cj)
+			l := spec.Levels[lvl]
+			noise := 1.0
+			if l.NoiseSigma > 0 {
+				// Centre the log-normal so E[noise] ≈ 1.
+				noise = rng.LogNormal(-l.NoiseSigma*l.NoiseSigma/2, l.NoiseSigma)
+			}
+			b := l.BandwidthMBs * noise
+			m.bw[i][j], m.bw[j][i] = b, b
+			lt := l.LatencySec * (2 - noise*0.5) // slower links also tend to have higher latency
+			if lt < 0 {
+				lt = l.LatencySec
+			}
+			m.lat[i][j], m.lat[j][i] = lt, lt
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error; for presets known to be valid.
+func MustNew(spec Spec, cores int, seed uint64) *Machine {
+	m, err := New(spec, cores, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// levelOf returns the index of the lowest common tier of physical cores
+// ci and cj (0 = innermost).
+func (s Spec) levelOf(ci, cj int) int {
+	unit := 1
+	for lvl, l := range s.Levels {
+		// Guard against fanout products overflowing for sentinel fanouts.
+		if l.Fanout > (1<<62)/unit {
+			return lvl
+		}
+		unit *= l.Fanout
+		if ci/unit == cj/unit {
+			return lvl
+		}
+	}
+	return len(s.Levels) - 1
+}
+
+// Spec returns the machine's specification.
+func (m *Machine) Spec() Spec { return m.spec }
+
+// NumCores returns the number of cores (application ranks).
+func (m *Machine) NumCores() int { return m.cores }
+
+// Bandwidth returns the ground-truth bandwidth between ranks i and j in
+// MB/s. Bandwidth(i, i) is 0 by convention (no self-communication cost).
+func (m *Machine) Bandwidth(i, j int) float64 { return m.bw[i][j] }
+
+// Latency returns the ground-truth one-way latency between ranks i and j in
+// seconds.
+func (m *Machine) Latency(i, j int) float64 { return m.lat[i][j] }
+
+// Level returns the lowest common hierarchy tier of ranks i and j
+// (0 = innermost). For i == j it returns -1.
+func (m *Machine) Level(i, j int) int {
+	if i == j {
+		return -1
+	}
+	return m.spec.levelOf(m.rankToCore[i], m.rankToCore[j])
+}
+
+// BandwidthMatrix returns a copy of the ground-truth bandwidth matrix.
+func (m *Machine) BandwidthMatrix() [][]float64 {
+	return copyMatrix(m.bw)
+}
+
+// LatencyMatrix returns a copy of the ground-truth latency matrix.
+func (m *Machine) LatencyMatrix() [][]float64 {
+	return copyMatrix(m.lat)
+}
+
+// UnitsAtLevel groups the machine's ranks by their physical unit at the
+// given hierarchy level: level 0 groups ranks sharing the innermost tier
+// (socket), level 1 the next (node), and so on. Groups are returned in
+// physical-unit order; with scattered ranks a group still contains exactly
+// the ranks that are physically co-located. Used by hierarchical
+// partitioning (Zoltan's approach in the paper's related work).
+func (m *Machine) UnitsAtLevel(level int) [][]int {
+	if level < 0 || level >= len(m.spec.Levels) {
+		level = len(m.spec.Levels) - 1
+	}
+	unitSize := 1
+	for l := 0; l <= level; l++ {
+		f := m.spec.Levels[l].Fanout
+		if f > (1<<62)/unitSize {
+			unitSize = 1 << 62
+			break
+		}
+		unitSize *= f
+	}
+	groups := map[int][]int{}
+	var order []int
+	for rank, core := range m.rankToCore {
+		unit := core / unitSize
+		if _, seen := groups[unit]; !seen {
+			order = append(order, unit)
+		}
+		groups[unit] = append(groups[unit], rank)
+	}
+	// Deterministic ordering by physical unit id.
+	out := make([][]int, 0, len(order))
+	for u := 0; ; u++ {
+		g, ok := groups[u]
+		if ok {
+			out = append(out, g)
+		}
+		if len(out) == len(groups) {
+			break
+		}
+		if u > len(m.rankToCore) {
+			// Safety: unit ids are bounded by core count / unitSize.
+			for _, uu := range order {
+				if gg := groups[uu]; uu > len(m.rankToCore) {
+					out = append(out, gg)
+				}
+			}
+			break
+		}
+	}
+	return out
+}
+
+// NumLevels returns the number of hierarchy tiers in the machine's spec.
+func (m *Machine) NumLevels() int { return len(m.spec.Levels) }
+
+// MinMaxBandwidth returns the smallest and largest off-diagonal ground-truth
+// bandwidths.
+func (m *Machine) MinMaxBandwidth() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for i := 0; i < m.cores; i++ {
+		for j := 0; j < m.cores; j++ {
+			if i == j {
+				continue
+			}
+			if m.bw[i][j] < min {
+				min = m.bw[i][j]
+			}
+			if m.bw[i][j] > max {
+				max = m.bw[i][j]
+			}
+		}
+	}
+	return min, max
+}
+
+func copyMatrix(src [][]float64) [][]float64 {
+	out := make([][]float64, len(src))
+	for i, row := range src {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArcherTiers(t *testing.T) {
+	m := MustNew(Archer(), 96, 1)
+	// Same socket (cores 0,1) should beat cross-socket same node (0,12),
+	// which should beat cross-node (0,24), which should beat cross-blade
+	// (0, 96-1 is within one blade of 96 cores? blade = 12*2*4 = 96 cores).
+	bSocket := m.Bandwidth(0, 1)
+	bNode := m.Bandwidth(0, 13)
+	bBlade := m.Bandwidth(0, 25)
+	if bSocket <= bNode {
+		t.Fatalf("intra-socket %g not faster than intra-node %g", bSocket, bNode)
+	}
+	if bNode <= bBlade {
+		t.Fatalf("intra-node %g not faster than intra-blade %g", bNode, bBlade)
+	}
+}
+
+func TestArcherLevels(t *testing.T) {
+	m := MustNew(Archer(), 576, 1)
+	if m.Level(0, 0) != -1 {
+		t.Fatal("self level should be -1")
+	}
+	if l := m.Level(0, 1); l != 0 {
+		t.Fatalf("cores 0,1 level %d, want 0 (socket)", l)
+	}
+	if l := m.Level(0, 12); l != 1 {
+		t.Fatalf("cores 0,12 level %d, want 1 (node)", l)
+	}
+	if l := m.Level(0, 24); l != 2 {
+		t.Fatalf("cores 0,24 level %d, want 2 (blade)", l)
+	}
+	if l := m.Level(0, 96); l != 3 {
+		t.Fatalf("cores 0,96 level %d, want 3 (group)", l)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	m := MustNew(Archer(), 48, 3)
+	for i := 0; i < 48; i++ {
+		for j := 0; j < 48; j++ {
+			if m.Bandwidth(i, j) != m.Bandwidth(j, i) {
+				t.Fatalf("bandwidth asymmetric at %d,%d", i, j)
+			}
+			if m.Latency(i, j) != m.Latency(j, i) {
+				t.Fatalf("latency asymmetric at %d,%d", i, j)
+			}
+		}
+		if m.Bandwidth(i, i) != 0 {
+			t.Fatalf("self bandwidth %g", m.Bandwidth(i, i))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustNew(Archer(), 48, 42)
+	b := MustNew(Archer(), 48, 42)
+	for i := 0; i < 48; i++ {
+		for j := 0; j < 48; j++ {
+			if a.Bandwidth(i, j) != b.Bandwidth(i, j) {
+				t.Fatal("same seed gave different machines")
+			}
+		}
+	}
+	c := MustNew(Archer(), 48, 43)
+	diff := false
+	for i := 0; i < 48 && !diff; i++ {
+		for j := i + 1; j < 48; j++ {
+			if a.Bandwidth(i, j) != c.Bandwidth(i, j) {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical machines")
+	}
+}
+
+func TestUniformSpec(t *testing.T) {
+	m := MustNew(Uniform(1000), 16, 1)
+	first := m.Bandwidth(0, 1)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if i != j && m.Bandwidth(i, j) != first {
+				t.Fatalf("uniform machine has varying bandwidth %g vs %g", m.Bandwidth(i, j), first)
+			}
+		}
+	}
+}
+
+func TestCloudScattersRanks(t *testing.T) {
+	m := MustNew(Cloud(), 64, 5)
+	// With scattered ranks, adjacent ranks are usually NOT on the same host,
+	// so the count of rank-adjacent pairs at level 0 should be well below
+	// what linear placement gives (63 of 63 minus host boundaries).
+	sameHost := 0
+	for i := 0; i+1 < 64; i++ {
+		if m.Level(i, i+1) == 0 {
+			sameHost++
+		}
+	}
+	if sameHost > 40 {
+		t.Fatalf("ranks look linearly placed: %d/63 adjacent pairs share a host", sameHost)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Archer(), 0, 1); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := New(Spec{Name: "empty"}, 4, 1); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	bad := Spec{Name: "bad", Levels: []Level{{Name: "x", Fanout: 0, BandwidthMBs: 1}}}
+	if _, err := New(bad, 4, 1); err == nil {
+		t.Fatal("zero fanout accepted")
+	}
+	bad2 := Spec{Name: "bad2", Levels: []Level{{Name: "x", Fanout: 2, BandwidthMBs: 0}}}
+	if _, err := New(bad2, 4, 1); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestMinMaxBandwidth(t *testing.T) {
+	m := MustNew(Archer(), 96, 1)
+	min, max := m.MinMaxBandwidth()
+	if min <= 0 || max <= min {
+		t.Fatalf("min %g max %g", min, max)
+	}
+	// Intra-socket nominal 8000 should be near max; blade/group near min.
+	if max < 6000 {
+		t.Fatalf("max bandwidth %g suspiciously low", max)
+	}
+	if min > 2000 {
+		t.Fatalf("min bandwidth %g suspiciously high", min)
+	}
+}
+
+func TestMatricesAreCopies(t *testing.T) {
+	m := MustNew(Archer(), 8, 1)
+	bw := m.BandwidthMatrix()
+	orig := m.Bandwidth(0, 1)
+	bw[0][1] = -1
+	if m.Bandwidth(0, 1) != orig {
+		t.Fatal("BandwidthMatrix aliases internal state")
+	}
+	lat := m.LatencyMatrix()
+	origL := m.Latency(0, 1)
+	lat[0][1] = -1
+	if m.Latency(0, 1) != origL {
+		t.Fatal("LatencyMatrix aliases internal state")
+	}
+}
+
+func TestSmallCoreCounts(t *testing.T) {
+	for _, cores := range []int{1, 2, 3} {
+		m := MustNew(Archer(), cores, 1)
+		if m.NumCores() != cores {
+			t.Fatalf("cores %d", m.NumCores())
+		}
+	}
+}
+
+// Property: bandwidths are positive, symmetric and zero-diagonal for any
+// seed and modest core count.
+func TestQuickMachineInvariants(t *testing.T) {
+	f := func(seed uint64, coresRaw uint8) bool {
+		cores := int(coresRaw)%60 + 2
+		m := MustNew(Archer(), cores, seed)
+		for i := 0; i < cores; i++ {
+			if m.Bandwidth(i, i) != 0 {
+				return false
+			}
+			for j := i + 1; j < cores; j++ {
+				if m.Bandwidth(i, j) <= 0 || m.Bandwidth(i, j) != m.Bandwidth(j, i) {
+					return false
+				}
+				if m.Latency(i, j) <= 0 || m.Latency(i, j) != m.Latency(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
