@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet serve clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+serve:
+	$(GO) run ./cmd/hpserve -addr :8080
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,185 @@
+// Package client is a small Go client for the hpserve partition service
+// (cmd/hpserve). It speaks the JSON API defined by the hyperpraw facade's
+// serving types: submit a PartitionRequest, poll the job, fetch the result.
+//
+//	c := client.New("http://localhost:8080", nil)
+//	res, err := c.Partition(ctx, hyperpraw.PartitionRequest{
+//	    Algorithm: "aware",
+//	    Machine:   hyperpraw.MachineSpec{Kind: "archer", Cores: 64},
+//	    Instance:  &hyperpraw.InstanceSpec{Name: "sparsine", Scale: 0.01},
+//	})
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hyperpraw"
+)
+
+// ErrNotDone is returned by Result while the job is still queued or
+// running.
+var ErrNotDone = errors.New("client: job not finished")
+
+// Client talks to one hpserve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+	// Poll is the interval Wait and Partition use between status checks
+	// (default 50ms).
+	Poll time.Duration
+}
+
+// New returns a Client for the server at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient selects http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient, Poll: 50 * time.Millisecond}
+}
+
+// Submit enqueues a partition job and returns its initial JobInfo.
+func (c *Client) Submit(ctx context.Context, req hyperpraw.PartitionRequest) (hyperpraw.JobInfo, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return hyperpraw.JobInfo{}, err
+	}
+	var info hyperpraw.JobInfo
+	err = c.do(ctx, http.MethodPost, "/v1/partition", bytes.NewReader(body), "application/json", http.StatusAccepted, &info)
+	return info, err
+}
+
+// SubmitHypergraph serialises h inline (hMetis text) and submits it.
+func (c *Client) SubmitHypergraph(ctx context.Context, h *hyperpraw.Hypergraph, algorithm string, machine hyperpraw.MachineSpec, opts *hyperpraw.ServeOptions) (hyperpraw.JobInfo, error) {
+	text, err := hyperpraw.MarshalHMetis(h)
+	if err != nil {
+		return hyperpraw.JobInfo{}, err
+	}
+	return c.Submit(ctx, hyperpraw.PartitionRequest{
+		Algorithm: algorithm,
+		Machine:   machine,
+		HMetis:    text,
+		Options:   opts,
+	})
+}
+
+// Job fetches the current status of id.
+func (c *Client) Job(ctx context.Context, id string) (hyperpraw.JobInfo, error) {
+	var info hyperpraw.JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, "", http.StatusOK, &info)
+	return info, err
+}
+
+// Jobs lists every job the server knows about.
+func (c *Client) Jobs(ctx context.Context) ([]hyperpraw.JobInfo, error) {
+	var out struct {
+		Jobs []hyperpraw.JobInfo `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, "", http.StatusOK, &out)
+	return out.Jobs, err
+}
+
+// Result fetches the finished payload for id. It returns ErrNotDone while
+// the job is queued or running.
+func (c *Client) Result(ctx context.Context, id string) (*hyperpraw.JobResult, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res hyperpraw.JobResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return nil, err
+		}
+		return &res, nil
+	case http.StatusAccepted:
+		return nil, ErrNotDone
+	default:
+		return nil, apiError(resp)
+	}
+}
+
+// Wait polls until the job finishes, then returns its result.
+func (c *Client) Wait(ctx context.Context, id string) (*hyperpraw.JobResult, error) {
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		res, err := c.Result(ctx, id)
+		if !errors.Is(err, ErrNotDone) {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Partition submits req and waits for its result — the synchronous
+// convenience wrapper.
+func (c *Client) Partition(ctx context.Context, req hyperpraw.PartitionRequest) (*hyperpraw.JobResult, error) {
+	info, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, info.ID)
+}
+
+// Health fetches the server's health snapshot.
+func (c *Client) Health(ctx context.Context) (hyperpraw.ServeHealth, error) {
+	var h hyperpraw.ServeHealth
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, "", http.StatusOK, &h)
+	return h, err
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path string, body io.Reader, contentType string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.hc.Do(req)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, wantStatus int, out any) error {
+	resp, err := c.roundTrip(ctx, method, path, body, contentType)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+}

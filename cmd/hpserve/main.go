@@ -1,0 +1,84 @@
+// Command hpserve exposes the repository's partitioners as a long-lived
+// HTTP JSON service backed by internal/service: a bounded worker pool, a
+// job queue, and LRU caches for profiled machine environments and finished
+// partition results.
+//
+// Usage:
+//
+//	hpserve -addr :8080 -workers 8
+//
+// API (see README.md for curl examples):
+//
+//	POST /v1/partition          submit a job
+//	GET  /v1/jobs               list jobs
+//	GET  /v1/jobs/{id}          job status
+//	GET  /v1/jobs/{id}/result   finished payload
+//	GET  /v1/algorithms         supported algorithms
+//	GET  /healthz               liveness + statistics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyperpraw/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "job queue depth")
+	envCache := flag.Int("env-cache", 16, "profiled-environment LRU entries")
+	resultCache := flag.Int("result-cache", 128, "partition-result LRU entries")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: hpserve [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		EnvCacheSize:    *envCache,
+		ResultCacheSize: *resultCache,
+	})
+	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("hpserve: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hpserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("hpserve: draining (deadline %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Printf("hpserve: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("hpserve: drain deadline exceeded; abandoning in-flight jobs")
+		} else {
+			log.Printf("hpserve: service shutdown: %v", err)
+		}
+	}
+	log.Printf("hpserve: bye")
+}

@@ -1,0 +1,85 @@
+// Example serveclient starts an in-process hpserve instance on a loopback
+// port and drives it with the Go client: it submits the same catalog
+// instance under three partitioners on two machines, waits for the results,
+// then re-submits one request to demonstrate the environment and result
+// caches.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+	"hyperpraw/internal/service"
+)
+
+func main() {
+	svc := service.New(service.Config{Workers: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: service.NewHandler(svc)}
+	go server.Serve(ln) //nolint:errcheck // closed on exit below
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := client.New("http://"+ln.Addr().String(), nil)
+
+	instance := &hyperpraw.InstanceSpec{Name: "sparsine", Scale: 0.01, Seed: 1}
+	requests := []hyperpraw.PartitionRequest{
+		{Algorithm: "aware", Machine: hyperpraw.MachineSpec{Kind: "archer", Cores: 32}, Instance: instance},
+		{Algorithm: "oblivious", Machine: hyperpraw.MachineSpec{Kind: "archer", Cores: 32}, Instance: instance},
+		{Algorithm: "multilevel", Machine: hyperpraw.MachineSpec{Kind: "cloud", Cores: 32}, Instance: instance},
+	}
+
+	fmt.Printf("%-12s %-14s %8s %10s %12s %6s %6s\n",
+		"algorithm", "machine", "cut", "commCost", "imbalance", "envC", "resC")
+	ids := make([]string, len(requests))
+	for i, req := range requests {
+		info, err := c.Submit(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	for i, id := range ids {
+		res, err := c.Wait(ctx, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(requests[i], res)
+	}
+
+	// Same request again: the environment and the whole result are cached.
+	res, err := c.Partition(ctx, requests[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRow(requests[0], res)
+
+	health, err := c.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nenv cache: %d/%d entries, %d hits; result cache: %d/%d entries, %d hits\n",
+		health.EnvCache.Size, health.EnvCache.Capacity, health.EnvCache.Hits,
+		health.ResultCache.Size, health.ResultCache.Capacity, health.ResultCache.Hits)
+
+	server.Close()
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printRow(req hyperpraw.PartitionRequest, res *hyperpraw.JobResult) {
+	fmt.Printf("%-12s %-14s %8d %10.4g %12.4f %6t %6t\n",
+		req.Algorithm, fmt.Sprintf("%s/%d", req.Machine.Kind, req.Machine.Cores),
+		res.Report.HyperedgeCut, res.Report.CommCost, res.Report.Imbalance,
+		res.EnvCacheHit, res.ResultCacheHit)
+}

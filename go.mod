@@ -1,0 +1,3 @@
+module hyperpraw
+
+go 1.21

@@ -1,0 +1,134 @@
+package hypergraph
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hyperpraw/internal/stats"
+)
+
+// TestHMetisRoundTripAllFormats drives read→write→read through all four
+// hMetis fmt variants (0 unweighted, 1 edge weights, 10 vertex weights,
+// 11 both) and checks the serialised text is stable across the cycle.
+func TestHMetisRoundTripAllFormats(t *testing.T) {
+	cases := []struct {
+		name   string
+		format int
+		input  string
+	}{
+		{"fmt0-unweighted", 0, "3 5\n1 2 3\n2 4\n3 5\n"},
+		{"fmt1-edge-weights", 1, "3 5 1\n4 1 2 3\n2 2 4\n9 3 5\n"},
+		{"fmt10-vertex-weights", 10, "2 4 10\n1 2\n3 4\n5\n1\n2\n7\n"},
+		{"fmt11-both-weights", 11, "2 4 11\n6 1 2\n3 3 4\n5\n1\n2\n7\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h1, err := ReadHMetis(strings.NewReader(tc.input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h1.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if wantEW := tc.format%10 == 1; h1.HasEdgeWeights() != wantEW {
+				t.Fatalf("HasEdgeWeights %t, want %t", h1.HasEdgeWeights(), wantEW)
+			}
+			if wantVW := tc.format >= 10; h1.HasVertexWeights() != wantVW {
+				t.Fatalf("HasVertexWeights %t, want %t", h1.HasVertexWeights(), wantVW)
+			}
+
+			var first strings.Builder
+			if err := WriteHMetis(&first, h1); err != nil {
+				t.Fatal(err)
+			}
+			h2, err := ReadHMetis(strings.NewReader(first.String()))
+			if err != nil {
+				t.Fatalf("re-read: %v (serialised: %q)", err, first.String())
+			}
+			assertEqualHG(t, h1, h2)
+
+			// A second cycle must reproduce the identical serialisation.
+			var second strings.Builder
+			if err := WriteHMetis(&second, h2); err != nil {
+				t.Fatal(err)
+			}
+			if first.String() != second.String() {
+				t.Fatalf("serialisation unstable:\n%q\nvs\n%q", first.String(), second.String())
+			}
+		})
+	}
+}
+
+// TestHMetisRoundTripWeightEdgeCases covers weights the writer must not
+// silently normalise away: zero and large 64-bit edge weights, and a
+// weighted graph that also contains an empty hyperedge.
+func TestHMetisRoundTripWeightEdgeCases(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddWeightedEdge(0, 0, 1)
+	b.AddWeightedEdge(1<<40, 2, 3)
+	b.AddWeightedEdge(7)
+	b.SetVertexWeight(3, 1<<33)
+	h := b.Build()
+
+	var sb strings.Builder
+	if err := WriteHMetis(&sb, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadHMetis(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualHG(t, h, h2)
+	if h2.EdgeWeight(0) != 0 || h2.EdgeWeight(1) != 1<<40 || h2.EdgeWeight(2) != 7 {
+		t.Fatalf("edge weights %d %d %d", h2.EdgeWeight(0), h2.EdgeWeight(1), h2.EdgeWeight(2))
+	}
+	if h2.VertexWeight(3) != 1<<33 {
+		t.Fatalf("vertex weight %d", h2.VertexWeight(3))
+	}
+	if h2.Cardinality(2) != 0 {
+		t.Fatalf("empty edge gained %d pins", h2.Cardinality(2))
+	}
+}
+
+// TestPartitionFileRoundTrip writes a large randomised partition vector to
+// disk via SavePartition and reads it back via LoadPartition.
+func TestPartitionFileRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(7)
+	parts := make([]int32, 10000)
+	for i := range parts {
+		parts[i] = int32(rng.Intn(128))
+	}
+	path := filepath.Join(t.TempDir(), "big.parts")
+	if err := SavePartition(path, parts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPartition(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("length %d, want %d", len(got), len(parts))
+	}
+	for i := range parts {
+		if got[i] != parts[i] {
+			t.Fatalf("index %d: %d != %d", i, got[i], parts[i])
+		}
+	}
+}
+
+// TestPartitionEmptyRoundTrip: an empty vector round-trips to an empty
+// (nil) vector, not an error.
+func TestPartitionEmptyRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePartition(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+// Package service is the serving layer of the repository: a bounded worker
+// pool draining a job queue of partition requests, with per-job status and
+// result tracking, LRU caches for profiled machine environments and finished
+// partition results, and graceful shutdown. cmd/hpserve exposes it over HTTP;
+// the client package talks to that API.
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"hyperpraw"
+)
+
+// Cache is a bounded LRU cache with single-flight semantics: concurrent
+// GetOrCompute calls for the same absent key run the compute function once
+// and share its outcome. Errors are not cached — a failed computation is
+// evicted so a later call retries.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key → element holding *centry[V]
+
+	hits, misses, evictions uint64
+}
+
+type centry[V any] struct {
+	key   string
+	ready chan struct{} // closed when val/err are final
+	done  bool          // guarded by Cache.mu; true once compute finished
+	val   V
+	err   error
+}
+
+// NewCache returns a Cache holding at most capacity entries (minimum 1).
+func NewCache[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// GetOrCompute returns the cached value for key, computing it with compute
+// on a miss. hit reports whether the value came from the cache (a caller
+// that piggybacks on another caller's in-flight computation counts as a
+// hit). compute runs outside the cache lock.
+func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (val V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*centry[V])
+		c.hits++
+		c.mu.Unlock()
+		<-ent.ready
+		return ent.val, true, ent.err
+	}
+	ent := &centry[V]{key: key, ready: make(chan struct{})}
+	el := c.ll.PushFront(ent)
+	c.items[key] = el
+	c.misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	// The deferred finalisation also runs if compute panics: the panic is
+	// converted into an error for this caller and any waiters, the entry
+	// is dropped, and ready is closed so nobody hangs on the key.
+	defer func() {
+		if r := recover(); r != nil {
+			ent.err = fmt.Errorf("cache: compute panicked: %v", r)
+			err = ent.err
+		}
+		c.mu.Lock()
+		ent.done = true
+		if ent.err != nil {
+			// Do not cache failures. The entry may already have been
+			// evicted (and the key possibly reinserted by someone else) —
+			// only remove our own element.
+			if cur, ok := c.items[key]; ok && cur == el {
+				c.ll.Remove(el)
+				delete(c.items, key)
+			}
+		}
+		c.mu.Unlock()
+		close(ent.ready)
+	}()
+	ent.val, ent.err = compute()
+	return ent.val, false, ent.err
+}
+
+// evictLocked trims the cache to capacity, skipping entries whose
+// computation is still in flight (waiters hold references to them); the
+// cache may therefore transiently exceed capacity.
+func (c *Cache[V]) evictLocked() {
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		for el != nil && !el.Value.(*centry[V]).done {
+			el = el.Prev()
+		}
+		if el == nil {
+			return // everything in flight
+		}
+		ent := el.Value.(*centry[V])
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.evictions++
+	}
+}
+
+// Len returns the current number of entries (including in-flight ones).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a point-in-time snapshot of the cache counters.
+func (c *Cache[V]) Stats() hyperpraw.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return hyperpraw.CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

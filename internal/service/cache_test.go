@@ -1,0 +1,188 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache[int](4)
+	v, hit, err := c.GetOrCompute("a", func() (int, error) { return 1, nil })
+	if err != nil || hit || v != 1 {
+		t.Fatalf("first get: v=%d hit=%t err=%v", v, hit, err)
+	}
+	calls := 0
+	v, hit, err = c.GetOrCompute("a", func() (int, error) { calls++; return 2, nil })
+	if err != nil || !hit || v != 1 || calls != 0 {
+		t.Fatalf("second get: v=%d hit=%t calls=%d err=%v", v, hit, calls, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache[int](2)
+	for i, k := range []string{"a", "b", "c"} {
+		c.GetOrCompute(k, func() (int, error) { return i, nil })
+	}
+	// "a" is the least recently used and must be gone; "b" and "c" remain.
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+	recomputed := false
+	c.GetOrCompute("a", func() (int, error) { recomputed = true; return 0, nil })
+	if !recomputed {
+		t.Fatal("evicted key still cached")
+	}
+	_, hit, _ := c.GetOrCompute("c", func() (int, error) { return 0, nil })
+	if !hit {
+		t.Fatal("recently used key evicted")
+	}
+	if ev := c.Stats().Evictions; ev < 1 {
+		t.Fatalf("evictions %d", ev)
+	}
+}
+
+func TestCacheTouchOnGet(t *testing.T) {
+	c := NewCache[int](2)
+	c.GetOrCompute("a", func() (int, error) { return 1, nil })
+	c.GetOrCompute("b", func() (int, error) { return 2, nil })
+	c.GetOrCompute("a", func() (int, error) { return 0, nil }) // touch "a"
+	c.GetOrCompute("c", func() (int, error) { return 3, nil }) // evicts "b"
+	_, hit, _ := c.GetOrCompute("a", func() (int, error) { return 0, nil })
+	if !hit {
+		t.Fatal("touched key evicted")
+	}
+	_, hit, _ = c.GetOrCompute("b", func() (int, error) { return 0, nil })
+	if hit {
+		t.Fatal("LRU key survived")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache[int](4)
+	var calls atomic.Int32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	const goroutines = 32
+	results := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, _, err := c.GetOrCompute("key", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d got %d", i, v)
+		}
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache[int](4)
+	boom := errors.New("boom")
+	_, _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed entry cached (len %d)", c.Len())
+	}
+	v, hit, err := c.GetOrCompute("k", func() (int, error) { return 7, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("retry after failure: v=%d hit=%t err=%v", v, hit, err)
+	}
+}
+
+func TestCachePanicSafe(t *testing.T) {
+	c := NewCache[int](4)
+	_, _, err := c.GetOrCompute("k", func() (int, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("panicked entry cached (len %d)", c.Len())
+	}
+	// The key is not wedged: a later compute succeeds.
+	v, hit, err := c.GetOrCompute("k", func() (int, error) { return 9, nil })
+	if err != nil || hit || v != 9 {
+		t.Fatalf("retry after panic: v=%d hit=%t err=%v", v, hit, err)
+	}
+}
+
+func TestCachePanicReleasesWaiters(t *testing.T) {
+	c := NewCache[int](4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go c.GetOrCompute("k", func() (int, error) { //nolint:errcheck
+		close(entered)
+		<-release
+		panic("kaboom")
+	})
+	<-entered
+	type outcome struct {
+		hit bool
+		err error
+	}
+	waiter := make(chan outcome, 1)
+	go func() {
+		_, hit, err := c.GetOrCompute("k", func() (int, error) { return 0, nil })
+		waiter <- outcome{hit, err}
+	}()
+	// Give the waiter a moment to latch onto the in-flight entry, then
+	// trigger the panic. The waiter must complete: either it shared the
+	// panicked computation's error, or (if scheduling let it in after the
+	// cleanup) it computed fresh — a hang is the failure mode.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	select {
+	case o := <-waiter:
+		if o.err == nil && o.hit {
+			t.Fatal("waiter reported a hit on a panicked computation without an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung on panicked compute")
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache[string](8)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%16)
+			v, _, err := c.GetOrCompute(key, func() (string, error) { return key, nil })
+			if err != nil || v != key {
+				t.Errorf("key %s: v=%q err=%v", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() > 8+16 { // capacity plus transient in-flight overflow
+		t.Fatalf("len %d", c.Len())
+	}
+}

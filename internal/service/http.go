@@ -1,0 +1,172 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hyperpraw"
+)
+
+// NewHandler wraps a Service in its HTTP JSON API:
+//
+//	POST /v1/partition          submit a job (JSON PartitionRequest, or a raw
+//	                            hMetis body with query-parameter options)
+//	GET  /v1/jobs               list jobs
+//	GET  /v1/jobs/{id}          job status
+//	GET  /v1/jobs/{id}/result   finished payload (202 while pending,
+//	                            422 when the job failed)
+//	GET  /v1/algorithms         supported algorithm names
+//	GET  /healthz               liveness + queue/cache statistics
+//
+// Routing is done by hand so the handler works on Go 1.21 muxes (no method
+// patterns or wildcards).
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	})
+	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"algorithms": Algorithms()})
+	})
+	mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		handleSubmit(s, w, r)
+	})
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		handleJob(s, w, r)
+	})
+	return mux
+}
+
+func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
+	wire, err := decodeSubmission(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req, err := ParseRequest(wire)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, info)
+	}
+}
+
+// decodeSubmission accepts either a JSON PartitionRequest body or a raw
+// hMetis upload whose algorithm/machine/options arrive as query parameters
+// (?algorithm=aware&machine=cloud&cores=32&seed=2&imbalance=1.2).
+func decodeSubmission(r *http.Request) (hyperpraw.PartitionRequest, error) {
+	defer r.Body.Close()
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		var wire hyperpraw.PartitionRequest
+		dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wire); err != nil {
+			return hyperpraw.PartitionRequest{}, fmt.Errorf("bad JSON request: %w", err)
+		}
+		return wire, nil
+	}
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		return hyperpraw.PartitionRequest{}, fmt.Errorf("reading upload: %w", err)
+	}
+	q := r.URL.Query()
+	wire := hyperpraw.PartitionRequest{
+		Algorithm: q.Get("algorithm"),
+		HMetis:    string(body),
+		Machine:   hyperpraw.MachineSpec{Kind: q.Get("machine")},
+	}
+	if v := q.Get("cores"); v != "" {
+		if wire.Machine.Cores, err = strconv.Atoi(v); err != nil {
+			return hyperpraw.PartitionRequest{}, fmt.Errorf("bad cores %q", v)
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		if wire.Machine.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return hyperpraw.PartitionRequest{}, fmt.Errorf("bad seed %q", v)
+		}
+	}
+	if v := q.Get("imbalance"); v != "" {
+		tol, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return hyperpraw.PartitionRequest{}, fmt.Errorf("bad imbalance %q", v)
+		}
+		wire.Options = &hyperpraw.ServeOptions{ImbalanceTolerance: tol}
+	}
+	return wire, nil
+}
+
+func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		writeError(w, http.StatusNotFound, "missing job id")
+		return
+	}
+	switch sub {
+	case "":
+		info, ok := s.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job "+id)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	case "result":
+		res, info, ok := s.Result(id)
+		switch {
+		case !ok:
+			writeError(w, http.StatusNotFound, "unknown job "+id)
+		case info.Status == hyperpraw.JobFailed:
+			writeError(w, http.StatusUnprocessableEntity, info.Error)
+		case res == nil:
+			writeJSON(w, http.StatusAccepted, info) // still queued or running
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
+	default:
+		writeError(w, http.StatusNotFound, "unknown resource "+sub)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-write is not actionable
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,533 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/internal/hgen"
+)
+
+var (
+	// ErrClosed is returned by Submit after Shutdown has begun.
+	ErrClosed = errors.New("service: shutting down")
+	// ErrQueueFull is returned by Submit when the job queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// maxInstanceScale bounds catalog-instance scale factors a request may ask
+// for: 4x paper size is already hours of work, anything beyond is a typo or
+// a memory-exhaustion attempt.
+const maxInstanceScale = 4
+
+// Config tunes a Service; the zero value selects the defaults noted on each
+// field.
+type Config struct {
+	// Workers is the size of the worker pool (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run (default 256).
+	QueueDepth int
+	// EnvCacheSize bounds the profiled-Environment LRU (default 16).
+	EnvCacheSize int
+	// ResultCacheSize bounds the partition-result LRU (default 128).
+	ResultCacheSize int
+	// MaxJobs bounds how many jobs (and their results) are retained for
+	// status queries; the oldest finished jobs are pruned beyond it
+	// (default 4096).
+	MaxJobs int
+	// ProfileFunc profiles a machine into an Environment; nil selects
+	// hyperpraw.Profile. Tests substitute an instrumented function.
+	ProfileFunc func(*hyperpraw.Machine) hyperpraw.Environment
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.EnvCacheSize <= 0 {
+		c.EnvCacheSize = 16
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 128
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.ProfileFunc == nil {
+		c.ProfileFunc = hyperpraw.Profile
+	}
+	return c
+}
+
+// Request is a fully validated partition job, produced by ParseRequest.
+type Request struct {
+	Algorithm hyperpraw.Algorithm
+	Mapping   bool
+	Machine   hyperpraw.MachineSpec
+	// Exactly one of Instance (generate on demand) or Hypergraph (already
+	// parsed upload) is set.
+	Instance   *hyperpraw.InstanceSpec
+	Hypergraph *hyperpraw.Hypergraph
+	Options    *hyperpraw.ServeOptions
+	Bench      *hyperpraw.ServeBenchOptions
+
+	fingerprint string // cache identity of the hypergraph source
+	name        string // human label for JobInfo
+}
+
+// AlgorithmLabel returns the wire algorithm name including the mapping
+// suffix.
+func (r Request) AlgorithmLabel() string {
+	if r.Mapping {
+		return string(r.Algorithm) + hyperpraw.MappingSuffix
+	}
+	return string(r.Algorithm)
+}
+
+// resultKey identifies the full computation for the result cache. Workers
+// changes the (nondeterministic) aware-parallel outcome, so it joins the
+// key for that algorithm only.
+func (r Request) resultKey() string {
+	parts := []string{
+		r.fingerprint, r.AlgorithmLabel(), r.Machine.Key(), r.Options.Key(), r.Bench.Key(),
+	}
+	if r.Algorithm == hyperpraw.AlgorithmAwareParallel && r.Options != nil && r.Options.Workers > 0 {
+		// Workers <= 0 and a nil options object both mean GOMAXPROCS, so
+		// only an explicit positive count distinguishes the computation.
+		parts = append(parts, fmt.Sprintf("w%d", r.Options.Workers))
+	}
+	return strings.Join(parts, "|")
+}
+
+// ParseRequest validates a wire request: algorithm and machine must be
+// known, and exactly one hypergraph source must be present. Inline hMetis
+// uploads are parsed (and fingerprinted) here so malformed input fails at
+// submission, not inside a worker.
+func ParseRequest(wire hyperpraw.PartitionRequest) (Request, error) {
+	algo, mapping, err := hyperpraw.ParseAlgorithm(wire.Algorithm)
+	if err != nil {
+		return Request{}, err
+	}
+	if _, err := wire.Machine.Build(); err != nil {
+		return Request{}, err
+	}
+	req := Request{
+		Algorithm: algo,
+		Mapping:   mapping,
+		Machine:   wire.Machine.Normalize(),
+		Options:   wire.Options,
+		Bench:     wire.Bench,
+	}
+	switch {
+	case wire.Instance != nil && wire.HMetis != "":
+		return Request{}, fmt.Errorf("service: request has both instance and hmetis hypergraphs")
+	case wire.Instance != nil:
+		spec := wire.Instance.Normalize()
+		if _, ok := hgen.SpecByName(spec.Name); !ok {
+			return Request{}, fmt.Errorf("service: unknown catalog instance %q", spec.Name)
+		}
+		if spec.Scale <= 0 || spec.Scale > maxInstanceScale {
+			return Request{}, fmt.Errorf("service: instance scale %g out of range (0, %g]", spec.Scale, float64(maxInstanceScale))
+		}
+		req.Instance = &spec
+		req.fingerprint = spec.Key()
+		req.name = spec.Name
+	case wire.HMetis != "":
+		h, err := hyperpraw.UnmarshalHMetis(strings.NewReader(wire.HMetis))
+		if err != nil {
+			return Request{}, fmt.Errorf("service: bad hmetis upload: %w", err)
+		}
+		req.Hypergraph = h
+		req.fingerprint = hyperpraw.Fingerprint(h)
+		req.name = "upload-" + req.fingerprint[:8]
+		h.SetName(req.name)
+	default:
+		return Request{}, fmt.Errorf("service: request needs an instance or an hmetis hypergraph")
+	}
+	return req, nil
+}
+
+// job is the service-side state of one submitted request.
+type job struct {
+	mu     sync.Mutex
+	info   hyperpraw.JobInfo
+	result *hyperpraw.JobResult
+	req    Request
+	done   chan struct{} // closed when the job reaches done or failed
+}
+
+func (j *job) snapshot() hyperpraw.JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+// Service runs partition jobs on a bounded worker pool.
+type Service struct {
+	cfg   Config
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	nextID int
+	closed bool
+
+	envs    *Cache[hyperpraw.Environment]
+	results *Cache[hyperpraw.JobResult]
+}
+
+// New starts a Service with cfg's worker pool already running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		envs:    NewCache[hyperpraw.Environment](cfg.EnvCacheSize),
+		results: NewCache[hyperpraw.JobResult](cfg.ResultCacheSize),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a request and returns the queued job's info. It fails
+// with ErrQueueFull when the queue is at capacity and ErrClosed after
+// Shutdown has begun.
+func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return hyperpraw.JobInfo{}, ErrClosed
+	}
+	s.nextID++
+	j := &job{
+		req:  req,
+		done: make(chan struct{}),
+		info: hyperpraw.JobInfo{
+			ID:          fmt.Sprintf("job-%06d", s.nextID),
+			Status:      hyperpraw.JobQueued,
+			Algorithm:   req.AlgorithmLabel(),
+			Machine:     req.Machine,
+			Hypergraph:  req.name,
+			Fingerprint: req.fingerprint,
+			SubmittedAt: time.Now().UnixMilli(),
+		},
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		return hyperpraw.JobInfo{}, ErrQueueFull
+	}
+	s.jobs[j.info.ID] = j
+	s.order = append(s.order, j.info.ID)
+	s.pruneLocked()
+	s.mu.Unlock()
+	return j.snapshot(), nil
+}
+
+// pruneLocked drops the oldest finished jobs once the retention cap is
+// exceeded, so a long-lived server's job table (and the results it pins)
+// stays bounded. Unfinished jobs are never pruned.
+func (s *Service) pruneLocked() {
+	for len(s.order) > s.cfg.MaxJobs {
+		pruned := false
+		for i, id := range s.order {
+			switch s.jobs[id].snapshotStatusLocked() {
+			case hyperpraw.JobDone, hyperpraw.JobFailed:
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				pruned = true
+			}
+			if pruned {
+				break
+			}
+		}
+		if !pruned {
+			return // everything over the cap is still queued or running
+		}
+	}
+}
+
+// Job returns the current info for id.
+func (s *Service) Job(id string) (hyperpraw.JobInfo, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return hyperpraw.JobInfo{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs lists all known jobs in submission order.
+func (s *Service) Jobs() []hyperpraw.JobInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]hyperpraw.JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Result returns the finished payload for id; ok is false for unknown ids,
+// and the result pointer is nil until the job reaches JobDone.
+func (s *Service) Result(id string) (*hyperpraw.JobResult, hyperpraw.JobInfo, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, hyperpraw.JobInfo{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.info, true
+}
+
+// Wait blocks until the job finishes (done or failed) or ctx expires.
+func (s *Service) Wait(ctx context.Context, id string) (*hyperpraw.JobResult, hyperpraw.JobInfo, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, hyperpraw.JobInfo{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, j.snapshot(), ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.info, nil
+}
+
+// Health reports the service's point-in-time state.
+func (s *Service) Health() hyperpraw.ServeHealth {
+	s.mu.Lock()
+	queued, running, total := 0, 0, len(s.jobs)
+	for _, j := range s.jobs {
+		switch j.snapshotStatusLocked() {
+		case hyperpraw.JobQueued:
+			queued++
+		case hyperpraw.JobRunning:
+			running++
+		}
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	status := "ok"
+	if closed {
+		status = "shutting-down"
+	}
+	return hyperpraw.ServeHealth{
+		Status:      status,
+		Workers:     s.cfg.Workers,
+		QueueDepth:  s.cfg.QueueDepth,
+		Queued:      queued,
+		Running:     running,
+		Jobs:        total,
+		EnvCache:    s.envs.Stats(),
+		ResultCache: s.results.Stats(),
+	}
+}
+
+// snapshotStatusLocked reads a job's status; safe to call while holding
+// Service.mu because job state uses its own mutex.
+func (j *job) snapshotStatusLocked() hyperpraw.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info.Status
+}
+
+// Shutdown stops accepting submissions, drains the already-queued jobs and
+// waits for the workers to exit, or returns ctx.Err() if the deadline
+// passes first.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Service) runJob(j *job) {
+	j.mu.Lock()
+	j.info.Status = hyperpraw.JobRunning
+	j.info.StartedAt = time.Now().UnixMilli()
+	j.mu.Unlock()
+
+	res, err := s.executeSafe(j.req)
+
+	j.mu.Lock()
+	j.info.FinishedAt = time.Now().UnixMilli()
+	if err != nil {
+		j.info.Status = hyperpraw.JobFailed
+		j.info.Error = err.Error()
+	} else {
+		j.info.Status = hyperpraw.JobDone
+		j.result = &res
+	}
+	// Only JobInfo and JobResult serve status queries from here on; drop
+	// the request so finished jobs don't pin uploaded hypergraphs in
+	// memory until the retention prune reaches them.
+	j.req = Request{}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// executeSafe converts a panicking execution into a failed job: one bad
+// request must never take down the worker (and with it the whole server).
+func (s *Service) executeSafe(req Request) (res hyperpraw.JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	return s.execute(req)
+}
+
+// execute runs one request end to end: profile (or reuse) the machine's
+// environment, obtain the hypergraph, and compute (or reuse) the partition.
+func (s *Service) execute(req Request) (hyperpraw.JobResult, error) {
+	machine, err := req.Machine.Build()
+	if err != nil {
+		return hyperpraw.JobResult{}, err
+	}
+	env, envHit, err := s.envs.GetOrCompute(req.Machine.Key(), func() (hyperpraw.Environment, error) {
+		return s.cfg.ProfileFunc(machine), nil
+	})
+	if err != nil {
+		return hyperpraw.JobResult{}, err
+	}
+
+	res, resHit, err := s.results.GetOrCompute(req.resultKey(), func() (hyperpraw.JobResult, error) {
+		h := req.Hypergraph
+		if h == nil {
+			spec := *req.Instance
+			h = hyperpraw.GenerateInstance(spec.Name, spec.Scale, spec.Seed)
+		}
+		return partitionOnce(h, env, machine, req)
+	})
+	if err != nil {
+		return hyperpraw.JobResult{}, err
+	}
+	// The cached value is shared; per-job cache provenance goes on a copy.
+	res.EnvCacheHit = envHit
+	res.ResultCacheHit = resHit
+	return res, nil
+}
+
+// partitionOnce runs the requested algorithm once and assembles the result.
+func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *hyperpraw.Machine, req Request) (hyperpraw.JobResult, error) {
+	opts := req.Options.Options()
+	start := time.Now()
+
+	var (
+		parts []int32
+		pres  hyperpraw.PartitionResult
+		err   error
+	)
+	switch req.Algorithm {
+	case hyperpraw.AlgorithmAware:
+		parts, pres, err = hyperpraw.PartitionAware(h, env, opts)
+	case hyperpraw.AlgorithmAwareParallel:
+		workers := 0
+		if req.Options != nil {
+			workers = req.Options.Workers
+		}
+		parts, pres, err = hyperpraw.PartitionAwareParallel(h, env, opts, workers)
+	case hyperpraw.AlgorithmOblivious:
+		parts, pres, err = hyperpraw.PartitionBasic(h, env, opts)
+	case hyperpraw.AlgorithmMultilevel:
+		parts, err = hyperpraw.PartitionMultilevel(h, machine.NumCores(), opts)
+	case hyperpraw.AlgorithmHierarchical:
+		parts, err = hyperpraw.PartitionHierarchical(h, machine, opts)
+	default:
+		err = fmt.Errorf("service: unhandled algorithm %q", req.Algorithm)
+	}
+	if err != nil {
+		return hyperpraw.JobResult{}, err
+	}
+	if req.Mapping {
+		parts, err = hyperpraw.MapToTopology(h, parts, machine, env)
+		if err != nil {
+			return hyperpraw.JobResult{}, err
+		}
+	}
+
+	report := hyperpraw.Evaluate(h, parts, env)
+	report.Algorithm = req.AlgorithmLabel()
+	out := hyperpraw.JobResult{
+		Parts:  parts,
+		K:      machine.NumCores(),
+		Report: report,
+	}
+	if pres.Parts != nil {
+		out.Iterations = pres.Iterations
+		out.StopReason = pres.Stopped.String()
+	}
+	if req.Bench != nil {
+		bres, err := hyperpraw.SimulateBenchmark(machine, h, parts, req.Bench.Options())
+		if err != nil {
+			return hyperpraw.JobResult{}, err
+		}
+		out.Bench = &bres
+	}
+	out.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return out, nil
+}
+
+// Algorithms lists the wire algorithm names the service accepts (without
+// the optional "+mapping" suffix), sorted.
+func Algorithms() []string {
+	names := []string{
+		string(hyperpraw.AlgorithmAware),
+		string(hyperpraw.AlgorithmAwareParallel),
+		string(hyperpraw.AlgorithmOblivious),
+		string(hyperpraw.AlgorithmMultilevel),
+		string(hyperpraw.AlgorithmHierarchical),
+	}
+	sort.Strings(names)
+	return names
+}

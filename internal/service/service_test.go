@@ -1,0 +1,432 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperpraw"
+)
+
+// tinyHMetis is a small unweighted hypergraph shared by the tests.
+const tinyHMetis = `% tiny test hypergraph
+6 8
+1 2 3
+2 4
+3 5 6
+1 7 8
+4 5
+6 7
+`
+
+func tinyRequest(t *testing.T, algorithm string, machine hyperpraw.MachineSpec) Request {
+	t.Helper()
+	req, err := ParseRequest(hyperpraw.PartitionRequest{
+		Algorithm: algorithm,
+		Machine:   machine,
+		HMetis:    tinyHMetis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestParseRequestValidation(t *testing.T) {
+	machine := hyperpraw.MachineSpec{Kind: "archer", Cores: 4}
+	cases := []struct {
+		name string
+		wire hyperpraw.PartitionRequest
+	}{
+		{"no hypergraph", hyperpraw.PartitionRequest{Algorithm: "aware", Machine: machine}},
+		{"both sources", hyperpraw.PartitionRequest{Algorithm: "aware", Machine: machine,
+			HMetis: tinyHMetis, Instance: &hyperpraw.InstanceSpec{Name: "sparsine"}}},
+		{"bad algorithm", hyperpraw.PartitionRequest{Algorithm: "quantum", Machine: machine, HMetis: tinyHMetis}},
+		{"bad machine", hyperpraw.PartitionRequest{Algorithm: "aware",
+			Machine: hyperpraw.MachineSpec{Kind: "abacus", Cores: 4}, HMetis: tinyHMetis}},
+		{"bad instance", hyperpraw.PartitionRequest{Algorithm: "aware", Machine: machine,
+			Instance: &hyperpraw.InstanceSpec{Name: "not-a-table1-instance"}}},
+		{"bad hmetis", hyperpraw.PartitionRequest{Algorithm: "aware", Machine: machine, HMetis: "not a hypergraph"}},
+	}
+	for _, tc := range cases {
+		if _, err := ParseRequest(tc.wire); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestParseRequestRejectsBadScale(t *testing.T) {
+	machine := hyperpraw.MachineSpec{Kind: "archer", Cores: 4}
+	for _, scale := range []float64{-1, 5, 1e12} {
+		_, err := ParseRequest(hyperpraw.PartitionRequest{
+			Algorithm: "aware",
+			Machine:   machine,
+			Instance:  &hyperpraw.InstanceSpec{Name: "sparsine", Scale: scale},
+		})
+		if err == nil {
+			t.Errorf("scale %g accepted", scale)
+		}
+	}
+}
+
+func TestResultKeyIgnoresWorkersExceptParallel(t *testing.T) {
+	base := hyperpraw.PartitionRequest{
+		Algorithm: "aware",
+		Machine:   hyperpraw.MachineSpec{Kind: "archer", Cores: 4},
+		HMetis:    tinyHMetis,
+	}
+	plain, err := ParseRequest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWorkers := base
+	withWorkers.Options = &hyperpraw.ServeOptions{Workers: 4}
+	reqW, err := ParseRequest(withWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.resultKey() != reqW.resultKey() {
+		t.Fatalf("workers changed the aware result key:\n%s\n%s", plain.resultKey(), reqW.resultKey())
+	}
+	par, parW := base, withWorkers
+	par.Algorithm, parW.Algorithm = "aware-parallel", "aware-parallel"
+	reqP, err := ParseRequest(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqPW, err := ParseRequest(parW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqP.resultKey() == reqPW.resultKey() {
+		t.Fatal("workers ignored in the aware-parallel result key")
+	}
+}
+
+func TestServiceJobRetentionCap(t *testing.T) {
+	s := New(Config{Workers: 2, MaxJobs: 4})
+	defer s.Shutdown(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	req := tinyRequest(t, "oblivious", hyperpraw.MachineSpec{Kind: "archer", Cores: 4})
+	var last string
+	for i := 0; i < 10; i++ {
+		info, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = info.ID
+		if _, _, err := s.Wait(ctx, info.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.Jobs()); n > 4 {
+		t.Fatalf("retained %d jobs, cap is 4", n)
+	}
+	// The most recent job survives pruning.
+	if _, ok := s.Job(last); !ok {
+		t.Fatalf("latest job %s pruned", last)
+	}
+}
+
+func TestParseRequestMapping(t *testing.T) {
+	req := tinyRequest(t, "aware+mapping", hyperpraw.MachineSpec{Kind: "archer", Cores: 4})
+	if req.Algorithm != hyperpraw.AlgorithmAware || !req.Mapping {
+		t.Fatalf("algo %q mapping %t", req.Algorithm, req.Mapping)
+	}
+	if req.AlgorithmLabel() != "aware+mapping" {
+		t.Fatalf("label %q", req.AlgorithmLabel())
+	}
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	info, err := s.Submit(tinyRequest(t, "aware", hyperpraw.MachineSpec{Kind: "archer", Cores: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != hyperpraw.JobQueued || info.ID == "" {
+		t.Fatalf("submit info %+v", info)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, done, err := s.Wait(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != hyperpraw.JobDone {
+		t.Fatalf("status %s (error %q)", done.Status, done.Error)
+	}
+	if done.StartedAt == 0 || done.FinishedAt == 0 {
+		t.Fatalf("timestamps missing: %+v", done)
+	}
+	if res == nil || len(res.Parts) != 8 || res.K != 4 {
+		t.Fatalf("result %+v", res)
+	}
+	for _, p := range res.Parts {
+		if p < 0 || p >= 4 {
+			t.Fatalf("part %d out of range", p)
+		}
+	}
+	if res.Report.Algorithm != "aware" {
+		t.Fatalf("report algorithm %q", res.Report.Algorithm)
+	}
+
+	// The job is queryable after completion too.
+	if got, ok := s.Job(info.ID); !ok || got.Status != hyperpraw.JobDone {
+		t.Fatalf("Job() after done: %+v ok=%t", got, ok)
+	}
+	// The finished job no longer pins its request (uploaded hypergraph).
+	s.mu.Lock()
+	retained := s.jobs[info.ID].req.Hypergraph
+	s.mu.Unlock()
+	if retained != nil {
+		t.Fatal("finished job still pins the uploaded hypergraph")
+	}
+	if _, ok := s.Job("job-999999"); ok {
+		t.Fatal("unknown job reported as known")
+	}
+	if list := s.Jobs(); len(list) != 1 || list[0].ID != info.ID {
+		t.Fatalf("Jobs() %+v", list)
+	}
+}
+
+func TestServiceAllAlgorithms(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Shutdown(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	machine := hyperpraw.MachineSpec{Kind: "archer", Cores: 4}
+	for _, algo := range []string{"aware", "aware-parallel", "oblivious", "multilevel", "hierarchical", "aware+mapping", "multilevel+mapping"} {
+		info, err := s.Submit(tinyRequest(t, algo, machine))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		res, done, err := s.Wait(ctx, info.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if done.Status != hyperpraw.JobDone {
+			t.Fatalf("%s: status %s error %q", algo, done.Status, done.Error)
+		}
+		if len(res.Parts) != 8 {
+			t.Fatalf("%s: %d parts", algo, len(res.Parts))
+		}
+		if res.Report.Algorithm != algo {
+			t.Fatalf("%s: report algorithm %q", algo, res.Report.Algorithm)
+		}
+	}
+}
+
+func TestServiceBenchRequest(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	req, err := ParseRequest(hyperpraw.PartitionRequest{
+		Algorithm: "oblivious",
+		Machine:   hyperpraw.MachineSpec{Kind: "cloud", Cores: 4},
+		HMetis:    tinyHMetis,
+		Bench:     &hyperpraw.ServeBenchOptions{MessageBytes: 512, Steps: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, done, err := s.Wait(context.Background(), info.ID)
+	if err != nil || done.Status != hyperpraw.JobDone {
+		t.Fatalf("status %s err %v (%s)", done.Status, err, done.Error)
+	}
+	if res.Bench == nil || res.Bench.MakespanSec <= 0 {
+		t.Fatalf("bench result %+v", res.Bench)
+	}
+}
+
+func TestServiceEnvProfiledOncePerSpec(t *testing.T) {
+	var profiles atomic.Int32
+	s := New(Config{
+		Workers: 4,
+		ProfileFunc: func(m *hyperpraw.Machine) hyperpraw.Environment {
+			profiles.Add(1)
+			return hyperpraw.Profile(m)
+		},
+	})
+	defer s.Shutdown(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	specs := []hyperpraw.MachineSpec{
+		{Kind: "archer", Cores: 4},
+		{Kind: "cloud", Cores: 4},
+	}
+	var ids []string
+	for i := 0; i < 6; i++ {
+		// Distinct options per submission defeat the result cache so every
+		// job really reaches the environment lookup.
+		req, err := ParseRequest(hyperpraw.PartitionRequest{
+			Algorithm: "aware",
+			Machine:   specs[i%len(specs)],
+			HMetis:    tinyHMetis,
+			Options:   &hyperpraw.ServeOptions{MaxIterations: 10 + i},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	for _, id := range ids {
+		if _, done, err := s.Wait(ctx, id); err != nil || done.Status != hyperpraw.JobDone {
+			t.Fatalf("job %s: status %s err %v (%s)", id, done.Status, err, done.Error)
+		}
+	}
+	if n := profiles.Load(); n != 2 {
+		t.Fatalf("profiled %d times, want 2 (one per machine spec)", n)
+	}
+}
+
+func TestServiceResultCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+	req := tinyRequest(t, "aware", hyperpraw.MachineSpec{Kind: "archer", Cores: 4})
+
+	info1, _ := s.Submit(req)
+	res1, _, err := s.Wait(ctx, info1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.ResultCacheHit {
+		t.Fatal("first run reported a result cache hit")
+	}
+	info2, _ := s.Submit(req)
+	res2, _, err := s.Wait(ctx, info2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.ResultCacheHit || !res2.EnvCacheHit {
+		t.Fatalf("second run: envHit=%t resHit=%t", res2.EnvCacheHit, res2.ResultCacheHit)
+	}
+	if len(res1.Parts) != len(res2.Parts) {
+		t.Fatal("cached parts differ in length")
+	}
+	for i := range res1.Parts {
+		if res1.Parts[i] != res2.Parts[i] {
+			t.Fatal("cached parts differ")
+		}
+	}
+}
+
+func TestServiceQueueFull(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		ProfileFunc: func(m *hyperpraw.Machine) hyperpraw.Environment {
+			<-block // hold the single worker hostage
+			return hyperpraw.Profile(m)
+		},
+	})
+	req := tinyRequest(t, "aware", hyperpraw.MachineSpec{Kind: "archer", Cores: 4})
+	// First job occupies the worker, second fills the queue slot.
+	if _, err := s.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+	var sawFull bool
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(req); errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("queue never reported full")
+	}
+	close(block)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceShutdownDrains(t *testing.T) {
+	s := New(Config{Workers: 2})
+	req := tinyRequest(t, "oblivious", hyperpraw.MachineSpec{Kind: "archer", Cores: 4})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		info, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// After a clean shutdown every accepted job has finished.
+	for _, id := range ids {
+		info, ok := s.Job(id)
+		if !ok || (info.Status != hyperpraw.JobDone && info.Status != hyperpraw.JobFailed) {
+			t.Fatalf("job %s: %+v ok=%t", id, info, ok)
+		}
+	}
+	if _, err := s.Submit(req); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceConcurrentSubmissions(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Shutdown(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	algos := []string{"aware", "oblivious", "multilevel"}
+	reqs := make([]Request, len(algos))
+	for i, a := range algos {
+		reqs[i] = tinyRequest(t, a, hyperpraw.MachineSpec{Kind: "archer", Cores: 4})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			info, err := s.Submit(reqs[i%len(reqs)])
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, done, err := s.Wait(ctx, info.ID); err != nil {
+				errs <- err
+			} else if done.Status != hyperpraw.JobDone {
+				errs <- errors.New(done.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if !strings.HasPrefix(s.Jobs()[15].ID, "job-") {
+		t.Fatal("job ids malformed")
+	}
+}

@@ -1,0 +1,320 @@
+package hyperpraw
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"hyperpraw/internal/hypergraph"
+)
+
+// This file is the serving-side contract of the facade: the wire types the
+// partitioning service (internal/service), its HTTP front end (cmd/hpserve)
+// and the Go client (client) all share, plus the bridges that connect those
+// wire types back to the library entry points — an Options bridge, a machine
+// builder keyed by spec, and a deterministic hypergraph fingerprint used as
+// a cache key.
+
+// Algorithm names a partitioning strategy served by the partition service.
+type Algorithm string
+
+const (
+	// AlgorithmAware is HyperPRAW with the profiled physical cost matrix.
+	AlgorithmAware Algorithm = "aware"
+	// AlgorithmAwareParallel is the parallel restreaming variant of
+	// AlgorithmAware (valid but not run-to-run deterministic).
+	AlgorithmAwareParallel Algorithm = "aware-parallel"
+	// AlgorithmOblivious is HyperPRAW with the uniform cost matrix
+	// (HyperPRAW-basic in the paper).
+	AlgorithmOblivious Algorithm = "oblivious"
+	// AlgorithmMultilevel is the Zoltan-style multilevel baseline.
+	AlgorithmMultilevel Algorithm = "multilevel"
+	// AlgorithmHierarchical is the Zoltan hierarchical baseline.
+	AlgorithmHierarchical Algorithm = "hierarchical"
+)
+
+// MappingSuffix appended to an algorithm name requests a LibTopoMap-style
+// topology mapping pass over the finished partition ("aware+mapping").
+const MappingSuffix = "+mapping"
+
+// ParseAlgorithm parses an algorithm name as it appears on the wire,
+// accepting an optional "+mapping" suffix. "basic" is accepted as an alias
+// for "oblivious".
+func ParseAlgorithm(s string) (algo Algorithm, mapping bool, err error) {
+	name := strings.TrimSpace(s)
+	if strings.HasSuffix(name, MappingSuffix) {
+		mapping = true
+		name = strings.TrimSuffix(name, MappingSuffix)
+	}
+	if name == "basic" {
+		name = string(AlgorithmOblivious)
+	}
+	switch Algorithm(name) {
+	case AlgorithmAware, AlgorithmAwareParallel, AlgorithmOblivious,
+		AlgorithmMultilevel, AlgorithmHierarchical:
+		return Algorithm(name), mapping, nil
+	case "":
+		return "", false, fmt.Errorf("hyperpraw: empty algorithm")
+	default:
+		return "", false, fmt.Errorf("hyperpraw: unknown algorithm %q", s)
+	}
+}
+
+// MachineSpec identifies a simulated machine on the wire. Kind selects the
+// topology model ("archer" or "cloud"); Seed drives the deterministic noise.
+type MachineSpec struct {
+	Kind  string `json:"kind"`
+	Cores int    `json:"cores"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+// Normalize fills defaults: kind archer, 64 cores, seed 1.
+func (m MachineSpec) Normalize() MachineSpec {
+	if m.Kind == "" {
+		m.Kind = "archer"
+	}
+	if m.Cores == 0 {
+		m.Cores = 64
+	}
+	if m.Seed == 0 {
+		m.Seed = 1
+	}
+	return m
+}
+
+// Key returns a deterministic cache key for the spec.
+func (m MachineSpec) Key() string {
+	m = m.Normalize()
+	return fmt.Sprintf("%s/%d/s%d", m.Kind, m.Cores, m.Seed)
+}
+
+// Build constructs the machine the spec describes.
+func (m MachineSpec) Build() (*Machine, error) {
+	m = m.Normalize()
+	if m.Cores < 2 {
+		return nil, fmt.Errorf("hyperpraw: machine needs at least 2 cores, got %d", m.Cores)
+	}
+	switch m.Kind {
+	case "archer":
+		return NewArcherMachine(m.Cores, m.Seed), nil
+	case "cloud":
+		return NewCloudMachine(m.Cores, m.Seed), nil
+	default:
+		return nil, fmt.Errorf("hyperpraw: unknown machine kind %q (want archer or cloud)", m.Kind)
+	}
+}
+
+// InstanceSpec asks the service to synthesise a Table 1 catalog instance.
+type InstanceSpec struct {
+	Name  string  `json:"name"`
+	Scale float64 `json:"scale,omitempty"` // default 1.0 (paper size)
+	Seed  uint64  `json:"seed,omitempty"`  // default 1
+}
+
+// Normalize fills defaults: scale 1.0, seed 1.
+func (s InstanceSpec) Normalize() InstanceSpec {
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Key returns a deterministic cache key for the instance.
+func (s InstanceSpec) Key() string {
+	s = s.Normalize()
+	return fmt.Sprintf("inst:%s:%g:s%d", s.Name, s.Scale, s.Seed)
+}
+
+// ServeOptions is the JSON-friendly mirror of Options used on the wire; the
+// zero value means paper defaults. Workers only applies to aware-parallel.
+type ServeOptions struct {
+	ImbalanceTolerance float64 `json:"imbalance_tolerance,omitempty"`
+	MaxIterations      int     `json:"max_iterations,omitempty"`
+	RefinementFactor   float64 `json:"refinement_factor,omitempty"`
+	DisableRefinement  bool    `json:"disable_refinement,omitempty"`
+	Seed               uint64  `json:"seed,omitempty"`
+	Workers            int     `json:"workers,omitempty"`
+}
+
+// Options bridges the wire options to the library Options consumed by the
+// facade partitioners. A nil receiver yields nil (paper defaults).
+func (o *ServeOptions) Options() *Options {
+	if o == nil {
+		return nil
+	}
+	return &Options{
+		ImbalanceTolerance: o.ImbalanceTolerance,
+		MaxIterations:      o.MaxIterations,
+		RefinementFactor:   o.RefinementFactor,
+		DisableRefinement:  o.DisableRefinement,
+		Seed:               o.Seed,
+	}
+}
+
+// Key returns a deterministic cache key component for the options. Workers
+// is excluded: it only selects the parallelism of aware-parallel, and
+// callers that care (Request.resultKey) add it for that algorithm alone so
+// identical requests under other algorithms share a cache entry.
+func (o *ServeOptions) Key() string {
+	if o == nil {
+		return "opt:default"
+	}
+	if (ServeOptions{Workers: o.Workers}) == *o {
+		return "opt:default"
+	}
+	return fmt.Sprintf("opt:%g:%d:%g:%t:s%d",
+		o.ImbalanceTolerance, o.MaxIterations, o.RefinementFactor,
+		o.DisableRefinement, o.Seed)
+}
+
+// ServeBenchOptions is the JSON-friendly mirror of BenchOptions.
+type ServeBenchOptions struct {
+	MessageBytes int64   `json:"message_bytes,omitempty"`
+	Steps        int     `json:"steps,omitempty"`
+	Overlap      float64 `json:"overlap,omitempty"`
+}
+
+// Options bridges to the library BenchOptions. A nil receiver yields nil.
+func (b *ServeBenchOptions) Options() *BenchOptions {
+	if b == nil {
+		return nil
+	}
+	return &BenchOptions{MessageBytes: b.MessageBytes, Steps: b.Steps, Overlap: b.Overlap}
+}
+
+// Key returns a deterministic cache key component for the bench options.
+func (b *ServeBenchOptions) Key() string {
+	if b == nil {
+		return "bench:none"
+	}
+	return fmt.Sprintf("bench:%d:%d:%g", b.MessageBytes, b.Steps, b.Overlap)
+}
+
+// PartitionRequest is the body of POST /v1/partition. Exactly one of
+// Instance or HMetis supplies the hypergraph.
+type PartitionRequest struct {
+	// Algorithm names the partitioner, optionally with "+mapping".
+	Algorithm string      `json:"algorithm"`
+	Machine   MachineSpec `json:"machine"`
+	// Instance generates a catalog hypergraph on the server.
+	Instance *InstanceSpec `json:"instance,omitempty"`
+	// HMetis is an inline hypergraph upload in hMetis text format.
+	HMetis  string             `json:"hmetis,omitempty"`
+	Options *ServeOptions      `json:"options,omitempty"`
+	Bench   *ServeBenchOptions `json:"bench,omitempty"`
+}
+
+// JobStatus is the lifecycle state of a submitted partition job.
+type JobStatus string
+
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// JobInfo is the wire representation of a job's state.
+type JobInfo struct {
+	ID          string      `json:"id"`
+	Status      JobStatus   `json:"status"`
+	Error       string      `json:"error,omitempty"`
+	Algorithm   string      `json:"algorithm"`
+	Machine     MachineSpec `json:"machine"`
+	Hypergraph  string      `json:"hypergraph,omitempty"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	SubmittedAt int64       `json:"submitted_at_unix_ms,omitempty"`
+	StartedAt   int64       `json:"started_at_unix_ms,omitempty"`
+	FinishedAt  int64       `json:"finished_at_unix_ms,omitempty"`
+}
+
+// JobResult is the wire representation of a finished job's payload,
+// returned by GET /v1/jobs/{id}/result.
+type JobResult struct {
+	Parts      []int32       `json:"parts"`
+	K          int           `json:"k"`
+	Report     QualityReport `json:"report"`
+	Iterations int           `json:"iterations,omitempty"`
+	StopReason string        `json:"stop_reason,omitempty"`
+	Bench      *BenchResult  `json:"bench,omitempty"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+	// EnvCacheHit reports whether the machine's profiled Environment was
+	// served from cache; ResultCacheHit whether the whole partition was.
+	EnvCacheHit    bool `json:"env_cache_hit"`
+	ResultCacheHit bool `json:"result_cache_hit"`
+}
+
+// CacheStats is a point-in-time snapshot of one service cache.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// ServeHealth is the body of GET /healthz.
+type ServeHealth struct {
+	Status      string     `json:"status"`
+	Workers     int        `json:"workers"`
+	QueueDepth  int        `json:"queue_depth"`
+	Queued      int        `json:"queued"`
+	Running     int        `json:"running"`
+	Jobs        int        `json:"jobs"`
+	EnvCache    CacheStats `json:"env_cache"`
+	ResultCache CacheStats `json:"result_cache"`
+}
+
+// Fingerprint returns a deterministic 128-bit hex digest of the hypergraph's
+// structure and weights (the name is excluded). Two hypergraphs with equal
+// vertex sets, hyperedges, pin sets and weights share a fingerprint, making
+// it usable as a cache key for partition results.
+func Fingerprint(h *Hypergraph) string {
+	hs := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	put := func(x uint64) {
+		n := binary.PutUvarint(buf[:], x)
+		hs.Write(buf[:n])
+	}
+	put(uint64(h.NumVertices()))
+	put(uint64(h.NumEdges()))
+	for e := 0; e < h.NumEdges(); e++ {
+		pins := h.Pins(e)
+		put(uint64(len(pins)))
+		for _, v := range pins {
+			put(uint64(v))
+		}
+		put(uint64(h.EdgeWeight(e)))
+	}
+	if h.HasVertexWeights() {
+		put(1)
+		for v := 0; v < h.NumVertices(); v++ {
+			put(uint64(h.VertexWeight(v)))
+		}
+	} else {
+		put(0)
+	}
+	sum := hs.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// MarshalHMetis serialises h to hMetis text, the inline upload format of
+// PartitionRequest.HMetis.
+func MarshalHMetis(h *Hypergraph) (string, error) {
+	var sb strings.Builder
+	if err := hypergraph.WriteHMetis(&sb, h); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// UnmarshalHMetis parses hMetis text (the counterpart of MarshalHMetis).
+func UnmarshalHMetis(r io.Reader) (*Hypergraph, error) {
+	return hypergraph.ReadHMetis(r)
+}
