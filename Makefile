@@ -1,6 +1,9 @@
 GO ?= go
+# bash for pipefail: the bench pipeline must fail when `go test -bench`
+# fails, not when only the JSON conversion does.
+SHELL := /bin/bash
 
-.PHONY: build test vet serve clean
+.PHONY: build test vet bench serve clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +15,14 @@ vet:
 	$(GO) vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+# bench runs the streaming-kernel benchmarks (exhaustive baseline vs
+# touched-only scan in the same run) and emits BENCH_core.json, the
+# machine-readable trajectory point future PRs compare against.
+bench:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x ./internal/core/ \
+		| $(GO) run ./cmd/benchfmt -o BENCH_core.json
 
 serve:
 	$(GO) run ./cmd/hpserve -addr :8080

@@ -1,0 +1,132 @@
+// Command benchfmt converts `go test -bench` output on stdin into the
+// machine-readable BENCH_core.json consumed by the benchmark trajectory
+// (see README "Performance"): every benchmark line is recorded, and for
+// each BenchmarkStream* family the exhaustive/fast pairs at equal p are
+// folded into a speedup ratio.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkStream -benchtime 3x ./internal/core/ | benchfmt -o BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchLine struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	GeneratedAt string             `json:"generated_at"`
+	Goos        string             `json:"goos,omitempty"`
+	Goarch      string             `json:"goarch,omitempty"`
+	CPU         string             `json:"cpu,omitempty"`
+	Benchmarks  []benchLine        `json:"benchmarks"`
+	Speedups    map[string]float64 `json:"speedups"`
+}
+
+var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file (\"-\" for stdout)")
+	flag.Parse()
+
+	rep := report{GeneratedAt: time.Now().UTC().Format(time.RFC3339), Speedups: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := lineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchLine{Name: m[1], Iterations: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// Pair Benchmark<Family>/exhaustive/<variant> with .../fast/<variant>.
+	type pair struct{ exhaustive, fast float64 }
+	pairs := map[string]*pair{}
+	for _, b := range rep.Benchmarks {
+		parts := strings.SplitN(b.Name, "/", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		key := parts[0] + "/" + parts[2]
+		p := pairs[key]
+		if p == nil {
+			p = &pair{}
+			pairs[key] = p
+		}
+		switch parts[1] {
+		case "exhaustive":
+			p.exhaustive = b.NsPerOp
+		case "fast":
+			p.fast = b.NsPerOp
+		}
+	}
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := pairs[k]
+		if p.exhaustive > 0 && p.fast > 0 {
+			rep.Speedups[k] = p.exhaustive / p.fast
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	for _, k := range keys {
+		if s, ok := rep.Speedups[k]; ok {
+			fmt.Printf("%-40s %5.2fx\n", k, s)
+		}
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

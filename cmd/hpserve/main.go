@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +40,7 @@ func main() {
 	envCache := flag.Int("env-cache", 16, "profiled-environment LRU entries")
 	resultCache := flag.Int("result-cache", 128, "partition-result LRU entries")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: hpserve [flags]")
@@ -53,6 +55,17 @@ func main() {
 		ResultCacheSize: *resultCache,
 	})
 	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serving it on its own
+		// listener keeps /debug off the public API surface.
+		go func() {
+			log.Printf("hpserve: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("hpserve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

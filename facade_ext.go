@@ -44,6 +44,7 @@ func Repartition(h *Hypergraph, current []int32, env Environment, migrationPenal
 	if err != nil {
 		return nil, PartitionResult{}, err
 	}
+	defer pr.Release()
 	res := pr.Run()
 	return res.Parts, res, nil
 }

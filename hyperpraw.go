@@ -128,6 +128,12 @@ type Options struct {
 	DisableRefinement bool
 	// RecordHistory retains per-iteration statistics in PartitionResult.
 	RecordHistory bool
+	// FrontierRestreaming makes HyperPRAW's refinement phase stream only the
+	// moved-vertex frontier (with periodic corrective full sweeps) instead
+	// of every vertex every pass. Off by default — the paper's exact
+	// semantics; turning it on trades bit-identical iteration histories for
+	// much cheaper refinement at equivalent final quality.
+	FrontierRestreaming bool
 	// Seed drives the multilevel baseline's randomness (default 1).
 	Seed uint64
 }
@@ -148,6 +154,7 @@ func (o *Options) orDefault() Options {
 	}
 	out.DisableRefinement = o.DisableRefinement
 	out.RecordHistory = o.RecordHistory
+	out.FrontierRestreaming = o.FrontierRestreaming
 	if o.Seed != 0 {
 		out.Seed = o.Seed
 	}
@@ -163,6 +170,7 @@ func prawConfig(cost [][]float64, o Options) core.Config {
 		cfg.RefinementPolicy = core.StopAtTolerance
 	}
 	cfg.RecordHistory = o.RecordHistory
+	cfg.FrontierRestreaming = o.FrontierRestreaming
 	return cfg
 }
 
@@ -174,6 +182,7 @@ func PartitionAware(h *Hypergraph, env Environment, opts *Options) ([]int32, Par
 	if err != nil {
 		return nil, PartitionResult{}, err
 	}
+	defer pr.Release()
 	res := pr.Run()
 	return res.Parts, res, nil
 }
@@ -186,6 +195,7 @@ func PartitionBasic(h *Hypergraph, env Environment, opts *Options) ([]int32, Par
 	if err != nil {
 		return nil, PartitionResult{}, err
 	}
+	defer pr.Release()
 	res := pr.Run()
 	return res.Parts, res, nil
 }

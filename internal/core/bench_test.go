@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"hyperpraw/internal/hgen"
@@ -21,13 +22,89 @@ func BenchmarkRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer pr.Release()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pr.Run()
 	}
 }
 
-// BenchmarkSingleStream isolates one stream pass over all vertices.
+// benchStream measures one full streaming pass in the restreaming regime
+// that dominates a HyperPRAW run: the paper's histories (Fig 3) show a
+// handful of tempering passes followed by 50–100 refinement passes, so the
+// kernel's hot state is a *warm* partition where vertices and their
+// neighbours have settled. The warm-up passes run outside the timer; the
+// measured pass streams every vertex of the warm state. Baseline
+// (exhaustive) and touched-only (fast) modes measure the identical workload,
+// so their ns/op ratio is the kernel speedup reported in BENCH_core.json.
+func benchStream(b *testing.B, name string, cost [][]float64, exhaustive bool) {
+	spec, _ := hgen.SpecByName(name)
+	h := hgen.Generate(spec.Scaled(0.05), 1)
+	cfg := DefaultConfig(cost)
+	cfg.forceExhaustive = exhaustive
+	pr, err := New(h, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pr.Release()
+	pr.resetAssignment()
+	expected := pr.expectedLoads()
+	alpha := pr.cfg.Alpha0 // New defaults Alpha0 into its own config copy
+	for i := 0; i < 10; i++ {
+		pr.stream(alpha, expected, nil, i+1, false)
+		alpha *= cfg.TemperFactor
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.stream(alpha, expected, nil, 1, false)
+	}
+}
+
+// BenchmarkStream is the kernel benchmark behind BENCH_core.json: a warm
+// full streaming pass at p ∈ {8, 64, 256} partitions with the uniform cost
+// matrix, exhaustive baseline vs touched-only scan in the same run. The
+// instance is webbase-1M, the paper's largest: its power-law/low-degree
+// structure is exactly the regime the touched-only scan targets, where each
+// vertex's neighbours occupy a handful of partitions regardless of p.
+func BenchmarkStream(b *testing.B) {
+	for _, mode := range []string{"exhaustive", "fast"} {
+		for _, p := range []int{8, 64, 256} {
+			b.Run(fmt.Sprintf("%s/p=%d", mode, p), func(b *testing.B) {
+				benchStream(b, "webbase-1M", profile.UniformCost(p), mode == "exhaustive")
+			})
+		}
+	}
+}
+
+// BenchmarkStreamAware is BenchmarkStream for a profiled (non-uniform) cost
+// matrix, where the fast mode is the bound-pruned touched-only scan used by
+// HyperPRAW-aware.
+func BenchmarkStreamAware(b *testing.B) {
+	for _, mode := range []string{"exhaustive", "fast"} {
+		for _, p := range []int{64, 256} {
+			b.Run(fmt.Sprintf("%s/p=%d", mode, p), func(b *testing.B) {
+				benchStream(b, "webbase-1M", physCost(p, 1), mode == "exhaustive")
+			})
+		}
+	}
+}
+
+// BenchmarkStreamDense is the adversarial regime for the touched-only scan:
+// 2cubes_sphere's FEM neighbourhoods (~16 incident edges of ~16 pins) touch
+// a large fraction of the partitions, so the expected win is modest — the
+// scan is designed to degrade toward the exhaustive baseline, not below it.
+func BenchmarkStreamDense(b *testing.B) {
+	for _, mode := range []string{"exhaustive", "fast"} {
+		for _, p := range []int{256} {
+			b.Run(fmt.Sprintf("%s/p=%d", mode, p), func(b *testing.B) {
+				benchStream(b, "2cubes_sphere", profile.UniformCost(p), mode == "exhaustive")
+			})
+		}
+	}
+}
+
+// BenchmarkSingleStream isolates one stream pass over all vertices,
+// including the per-run setup Run performs around it.
 func BenchmarkSingleStream(b *testing.B) {
 	spec, _ := hgen.SpecByName("2cubes_sphere")
 	h := hgen.Generate(spec.Scaled(0.005), 1)
@@ -37,6 +114,26 @@ func BenchmarkSingleStream(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer pr.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Run()
+	}
+}
+
+// BenchmarkRunFrontier measures the bounded run with frontier restreaming
+// enabled (most streams only revisit the moved frontier).
+func BenchmarkRunFrontier(b *testing.B) {
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.005), 1)
+	cfg := DefaultConfig(profile.UniformCost(32))
+	cfg.MaxIterations = 10
+	cfg.FrontierRestreaming = true
+	pr, err := New(h, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pr.Release()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pr.Run()

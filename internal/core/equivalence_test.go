@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/hypergraph"
+	"hyperpraw/internal/metrics"
+	"hyperpraw/internal/profile"
+	"hyperpraw/internal/stats"
+	"hyperpraw/internal/topology"
+)
+
+// randomHG builds a randomized hypergraph with random edge weights and (for
+// half the seeds) random vertex weights, exercising inputs the generator
+// catalog does not produce.
+func randomHG(seed uint64, nv, ne, maxCard int) *hypergraph.Hypergraph {
+	rng := stats.NewRNG(seed)
+	b := hypergraph.NewBuilder(nv)
+	for e := 0; e < ne; e++ {
+		card := 2 + rng.Intn(maxCard-1)
+		pins := make(map[int]bool, card)
+		for len(pins) < card {
+			pins[rng.Intn(nv)] = true
+		}
+		flat := make([]int, 0, card)
+		for v := range pins {
+			flat = append(flat, v)
+		}
+		sort.Ints(flat)
+		b.AddWeightedEdge(int64(1+rng.Intn(5)), flat...)
+	}
+	if seed%2 == 0 {
+		for v := 0; v < nv; v++ {
+			b.SetVertexWeight(v, int64(1+rng.Intn(4)))
+		}
+	}
+	return b.Build()
+}
+
+// physCost returns a profiled (non-uniform) cost matrix for p partitions.
+func physCost(p int, seed uint64) [][]float64 {
+	m := topology.MustNew(topology.Archer(), p, seed)
+	return profile.CostMatrix(profile.RingProfile(m, profile.DefaultConfig()))
+}
+
+// runPair runs the same configuration with the touched-only scan and with
+// the exhaustive reference, both with full history, and returns the two
+// results.
+func runPair(t *testing.T, h *hypergraph.Hypergraph, cfg Config) (fast, ref Result) {
+	t.Helper()
+	cfg.RecordHistory = true
+	cfg.forceExhaustive = false
+	cfg.forceTouchedOnly = true // exercise the fast paths even at small p
+	prFast, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prFast.Release()
+	fast = prFast.Run()
+
+	cfg.forceExhaustive = true
+	prRef, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prRef.Release()
+	ref = prRef.Run()
+	return fast, ref
+}
+
+// assertIdentical demands move-for-move equivalence: same iteration count,
+// same number of moves in every stream, and an identical final assignment.
+func assertIdentical(t *testing.T, label string, fast, ref Result) {
+	t.Helper()
+	if fast.Iterations != ref.Iterations || fast.Stopped != ref.Stopped {
+		t.Fatalf("%s: fast ran %d iterations (%v), exhaustive %d (%v)",
+			label, fast.Iterations, fast.Stopped, ref.Iterations, ref.Stopped)
+	}
+	for i := range ref.History {
+		if fast.History[i].Moves != ref.History[i].Moves {
+			t.Fatalf("%s: iteration %d: fast moved %d vertices, exhaustive %d",
+				label, i+1, fast.History[i].Moves, ref.History[i].Moves)
+		}
+	}
+	for v := range ref.Parts {
+		if fast.Parts[v] != ref.Parts[v] {
+			t.Fatalf("%s: vertex %d: fast → %d, exhaustive → %d",
+				label, v, fast.Parts[v], ref.Parts[v])
+		}
+	}
+	if fast.FinalCommCost != ref.FinalCommCost {
+		t.Fatalf("%s: final cost %g vs %g", label, fast.FinalCommCost, ref.FinalCommCost)
+	}
+}
+
+// TestTouchedOnlyMatchesExhaustive is the kernel-equivalence property test:
+// across randomized instances, partition counts, uniform and profiled cost
+// matrices, and both neighbour-count modes, the touched-only scan must pick
+// the same partition as the O(p) loop for every vertex of every stream.
+func TestTouchedOnlyMatchesExhaustive(t *testing.T) {
+	for _, p := range []int{3, 8, 32} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			for _, weighted := range []bool{false, true} {
+				for _, phys := range []bool{false, true} {
+					label := fmt.Sprintf("p=%d/seed=%d/edgeweights=%v/phys=%v", p, seed, weighted, phys)
+					h := randomHG(seed, 300, 400, 8)
+					var cost [][]float64
+					if phys {
+						cost = physCost(p, seed)
+					} else {
+						cost = profile.UniformCost(p)
+					}
+					cfg := DefaultConfig(cost)
+					cfg.MaxIterations = 30
+					cfg.UseEdgeWeights = weighted
+					fast, ref := runPair(t, h, cfg)
+					assertIdentical(t, label, fast, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestTouchedOnlyMatchesExhaustiveVariants covers the config corners the
+// main property test fixes: shuffled order, heterogeneous capacities, and
+// repartitioning with a migration penalty.
+func TestTouchedOnlyMatchesExhaustiveVariants(t *testing.T) {
+	h := randomHG(6, 400, 500, 10)
+	p := 16
+
+	shuffled := DefaultConfig(profile.UniformCost(p))
+	shuffled.MaxIterations = 20
+	shuffled.ShuffledOrder = true
+	shuffled.Seed = 11
+
+	caps := DefaultConfig(physCost(p, 2))
+	caps.MaxIterations = 20
+	caps.Capacities = make([]float64, p)
+	rng := stats.NewRNG(9)
+	for i := range caps.Capacities {
+		caps.Capacities[i] = 0.5 + 2*rng.Float64()
+	}
+
+	initial := make([]int32, h.NumVertices())
+	for v := range initial {
+		initial[v] = int32((v * 7) % p)
+	}
+	repart := DefaultConfig(profile.UniformCost(p))
+	repart.MaxIterations = 20
+	repart.InitialParts = initial
+	repart.MigrationPenalty = 0.5
+
+	for label, cfg := range map[string]Config{
+		"shuffled": shuffled, "capacities": caps, "repartition": repart,
+	} {
+		fast, ref := runPair(t, h, cfg)
+		assertIdentical(t, label, fast, ref)
+	}
+}
+
+// TestTouchedOnlyMatchesExhaustiveCatalog pins the acceptance criterion that
+// Table 1 catalog cut quality is unchanged: on catalog instances the
+// touched-only scan must reproduce the exhaustive partition exactly (a 0%
+// delta, well within the 1% budget).
+func TestTouchedOnlyMatchesExhaustiveCatalog(t *testing.T) {
+	for _, name := range []string{"2cubes_sphere", "sparsine"} {
+		spec, ok := hgen.SpecByName(name)
+		if !ok {
+			t.Fatalf("unknown catalog instance %q", name)
+		}
+		h := hgen.Generate(spec.Scaled(0.01), 1)
+		for _, phys := range []bool{false, true} {
+			p := 32
+			var cost [][]float64
+			if phys {
+				cost = physCost(p, 1)
+			} else {
+				cost = profile.UniformCost(p)
+			}
+			cfg := DefaultConfig(cost)
+			cfg.MaxIterations = 25
+			fast, ref := runPair(t, h, cfg)
+			assertIdentical(t, fmt.Sprintf("%s/phys=%v", name, phys), fast, ref)
+		}
+	}
+}
+
+// TestFrontierRestreamingConverges checks the frontier mode acceptance
+// criterion: streaming only the dirty frontier (with periodic full sweeps)
+// must land within tolerance of full restreaming — a valid partition, the
+// imbalance constraint met, and a final communication cost within 10%.
+func TestFrontierRestreamingConverges(t *testing.T) {
+	for _, phys := range []bool{false, true} {
+		h := randomHG(3, 500, 700, 8)
+		p := 16
+		var cost [][]float64
+		if phys {
+			cost = physCost(p, 3)
+		} else {
+			cost = profile.UniformCost(p)
+		}
+		cfg := DefaultConfig(cost)
+		cfg.MaxIterations = 60
+
+		full, err := Partition(h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FrontierRestreaming = true
+		pr, err := New(h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pr.Release()
+		res := pr.Run()
+
+		if err := metrics.ValidatePartition(h, res.Parts, p); err != nil {
+			t.Fatalf("phys=%v: %v", phys, err)
+		}
+		if res.FinalImbalance > cfg.ImbalanceTolerance*1.001 {
+			t.Fatalf("phys=%v: frontier imbalance %g exceeds tolerance %g",
+				phys, res.FinalImbalance, cfg.ImbalanceTolerance)
+		}
+		fullCost := metrics.CommCost(h, full, cost)
+		frontierCost := metrics.CommCost(h, res.Parts, cost)
+		if frontierCost > fullCost*1.10 {
+			t.Fatalf("phys=%v: frontier cost %g vs full %g (>10%% worse)",
+				phys, frontierCost, fullCost)
+		}
+	}
+}
+
+// TestFrontierDeterministicAcrossPool guards the pooled-scratch contract:
+// frontier runs must not depend on what a recycled scratch streamed before.
+func TestFrontierDeterministicAcrossPool(t *testing.T) {
+	h := randomHG(5, 300, 400, 6)
+	cfg := DefaultConfig(profile.UniformCost(8))
+	cfg.MaxIterations = 40
+	cfg.FrontierRestreaming = true
+
+	run := func() []int32 {
+		pr, err := New(h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pr.Release()
+		return pr.Run().Parts
+	}
+	first := run()
+	// Pollute the pool with a run over a different (larger) instance, then
+	// repeat: the recycled dirty stamps and epochs must not leak through.
+	other := randomHG(8, 900, 1200, 6)
+	if _, err := Partition(other, cfg); err != nil {
+		t.Fatal(err)
+	}
+	second := run()
+	for v := range first {
+		if first[v] != second[v] {
+			t.Fatalf("vertex %d: %d then %d after pool reuse", v, first[v], second[v])
+		}
+	}
+}
+
+// TestEpochWraparoundReset covers gatherNeighbourCounts' wraparound path: at
+// epoch MaxInt32−1 the next gather must zero every stamp, restart the epoch
+// at 1, and still produce the exact neighbour counts — including on the
+// gather immediately after the reset.
+func TestEpochWraparoundReset(t *testing.T) {
+	h := randomHG(4, 120, 160, 6)
+	cfg := DefaultConfig(profile.UniformCost(6))
+
+	gatherCounts := func(pr *Partitioner, v int) map[int32]float64 {
+		pr.gatherNeighbourCounts(v)
+		out := make(map[int32]float64, len(pr.sc.touched))
+		for _, j := range pr.sc.touched {
+			out[j] = pr.sc.xCounts[j]
+		}
+		return out
+	}
+
+	pr, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Release()
+	pr.resetAssignment()
+	// Dirty the stamps with a few ordinary gathers first.
+	for v := 0; v < 10; v++ {
+		pr.gatherNeighbourCounts(v)
+	}
+	pr.sc.epoch = math.MaxInt32 - 1
+
+	ref, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Release()
+	ref.resetAssignment()
+
+	for _, v := range []int{7, 8} { // wrap gather, then first post-wrap gather
+		got := gatherCounts(pr, v)
+		want := gatherCounts(ref, v)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: touched %d partitions, want %d", v, len(got), len(want))
+		}
+		for j, x := range want {
+			if got[j] != x {
+				t.Fatalf("vertex %d: X_%d = %g, want %g", v, j, got[j], x)
+			}
+		}
+	}
+	if pr.sc.epoch >= math.MaxInt32-1 || pr.sc.epoch < 1 {
+		t.Fatalf("epoch %d after wraparound, want a small positive value", pr.sc.epoch)
+	}
+	for i, s := range pr.sc.vstamp {
+		if s > pr.sc.epoch {
+			t.Fatalf("vstamp[%d] = %d survived the wraparound reset (epoch %d)", i, s, pr.sc.epoch)
+		}
+	}
+}

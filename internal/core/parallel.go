@@ -18,6 +18,13 @@ import (
 // assignments — exactly the relaxation GraSP shows costs little quality —
 // so results are valid but not bit-for-bit deterministic across runs.
 //
+// The kernel optimisations of the serial Partitioner carry over: each worker
+// scratch holds its own min-load index for the touched-only candidate scan
+// (entries going stale under peer moves are refreshed lazily when they
+// surface), and Config.FrontierRestreaming shares one atomic dirty-stamp
+// array across the workers. MigrationPenalty and InitialParts are not
+// honoured by this variant (unchanged from its introduction).
+//
 // workers <= 0 selects GOMAXPROCS. The configuration semantics match Run.
 func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Result, error) {
 	pr, err := New(h, cfg) // reuse validation and α defaulting
@@ -25,6 +32,7 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		return Result{}, err
 	}
 	cfg = pr.cfg
+	pr.Release()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -35,7 +43,7 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 	if workers < 1 {
 		workers = 1
 	}
-	p := pr.p
+	p := len(cfg.CostMatrix)
 
 	state := &parallelState{
 		h:     h,
@@ -43,6 +51,11 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		p:     p,
 		parts: make([]atomic.Int32, nv),
 		loads: make([]atomic.Int64, p),
+	}
+	state.uniform, state.uniformC, state.minOff = costStructure(cfg.CostMatrix)
+	state.fastEligible = fastScanEligible(cfg, state.uniform, p)
+	if cfg.FrontierRestreaming {
+		state.dirty = make([]int32, nv)
 	}
 	var totalW int64
 	for v := 0; v < nv; v++ {
@@ -54,10 +67,15 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 	}
 	expected := expectedLoadsFor(cfg, p, totalW)
 
-	scratch := make([]*workerScratch, workers)
-	for w := range scratch {
-		scratch[w] = newWorkerScratch(nv, p)
+	pool := make([]*parallelWorker, workers)
+	for w := range pool {
+		pool[w] = newParallelWorker(state, nv, p)
 	}
+	defer func() {
+		for _, w := range pool {
+			w.release()
+		}
+	}()
 
 	alpha := cfg.Alpha0
 	patience := cfg.Patience
@@ -70,8 +88,18 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 	haveBest := false
 	badStreak := 0
 	snapshot := make([]int32, nv)
+	comm := metrics.NewCommScanner()
 
+	lastInTol := false
+	consecFrontier := 0
 	for n := 1; n <= cfg.MaxIterations; n++ {
+		frontier := cfg.FrontierRestreaming && n > 1 && lastInTol &&
+			consecFrontier+1 < frontierFullSweepEvery
+		if frontier {
+			consecFrontier++
+		} else {
+			consecFrontier = 0
+		}
 		var wg sync.WaitGroup
 		chunk := (nv + workers - 1) / workers
 		for w := 0; w < workers; w++ {
@@ -84,10 +112,10 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 				continue
 			}
 			wg.Add(1)
-			go func(lo, hi int, sc *workerScratch) {
+			go func(lo, hi int, pw *parallelWorker) {
 				defer wg.Done()
-				state.streamRange(lo, hi, alpha, expected, sc)
-			}(lo, hi, scratch[w])
+				pw.streamRange(lo, hi, alpha, expected, n, frontier)
+			}(lo, hi, pool[w])
 		}
 		wg.Wait()
 		res.Iterations = n
@@ -98,7 +126,8 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		loads := metrics.Loads(h, snapshot, p)
 		imb := imbalanceFor(cfg, loads, expected)
 		inTol := imb <= cfg.ImbalanceTolerance
-		cost := commCostFor(cfg, h, snapshot)
+		lastInTol = inTol
+		cost := commCostScanned(comm, cfg, h, snapshot)
 
 		if cfg.RecordHistory {
 			res.History = append(res.History, IterationStats{
@@ -134,7 +163,7 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		final = bestParts
 	}
 	res.Parts = append([]int32(nil), final...)
-	res.FinalCommCost = commCostFor(cfg, h, res.Parts)
+	res.FinalCommCost = commCostScanned(comm, cfg, h, res.Parts)
 	res.FinalImbalance = metrics.Imbalance(metrics.Loads(h, res.Parts, p))
 	return res, nil
 }
@@ -178,11 +207,13 @@ func imbalanceFor(cfg Config, loads []int64, expected []float64) float64 {
 	return worst
 }
 
-func commCostFor(cfg Config, h *hypergraph.Hypergraph, parts []int32) float64 {
+// commCostScanned evaluates the monitored metric through a reusable scanner
+// so the per-iteration convergence check stops allocating.
+func commCostScanned(sc *metrics.CommScanner, cfg Config, h *hypergraph.Hypergraph, parts []int32) float64 {
 	if cfg.UseEdgeWeights {
 		return metrics.WeightedCommCost(h, parts, cfg.CostMatrix)
 	}
-	return metrics.CommCost(h, parts, cfg.CostMatrix)
+	return sc.CommCost(h, parts, cfg.CostMatrix)
 }
 
 // parallelState is the shared state of one parallel restreaming run.
@@ -192,98 +223,263 @@ type parallelState struct {
 	p     int
 	parts []atomic.Int32
 	loads []atomic.Int64
+	// dirty holds the frontier stamps (accessed with atomic loads/stores so
+	// concurrent same-pass marking is race-free); nil unless
+	// FrontierRestreaming is on.
+	dirty []int32
+
+	uniform      bool
+	uniformC     float64
+	minOff       float64
+	fastEligible bool
 }
 
-// workerScratch is the per-worker gather state (same epoch-stamp scheme as
-// the serial Partitioner).
-type workerScratch struct {
-	vstamp  []int32
-	pstamp  []int32
-	epoch   int32
-	xCounts []float64
-	touched []int32
+// parallelWorker is one worker's view of the run: the shared state plus a
+// pooled scratch (gather stamps and min-load index, same epoch-stamp scheme
+// as the serial Partitioner) and the hoisted closures the index needs.
+type parallelWorker struct {
+	s         *parallelState
+	sc        *scratch
+	loadOf    func(int32) int64
+	untouched func(int32) bool
 }
 
-func newWorkerScratch(nv, p int) *workerScratch {
-	return &workerScratch{
-		vstamp:  make([]int32, nv),
-		pstamp:  make([]int32, p),
-		xCounts: make([]float64, p),
-		touched: make([]int32, 0, p),
-	}
+func newParallelWorker(s *parallelState, nv, p int) *parallelWorker {
+	w := &parallelWorker{s: s, sc: acquireScratch(nv, p)}
+	w.loadOf = func(i int32) int64 { return s.loads[i].Load() }
+	w.untouched = func(i int32) bool { return w.sc.pstamp[i] != w.sc.epoch }
+	return w
+}
+
+func (w *parallelWorker) release() {
+	releaseScratch(w.sc)
+	w.sc = nil
 }
 
 // streamRange greedily reassigns vertices [lo, hi) against the live shared
 // state.
-func (s *parallelState) streamRange(lo, hi int, alpha float64, expected []float64, sc *workerScratch) {
-	h, p := s.h, s.p
-	cost := s.cfg.CostMatrix
-	weighted := s.cfg.UseEdgeWeights
+func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float64, pass int, frontierOnly bool) {
+	s, sc := w.s, w.sc
+	h := s.h
+
+	fast := s.fastEligible && alpha > 0
+	if fast {
+		// Seeded from the loads as observed now; a peer's later moves leave
+		// entries slightly stale, consistent with the GraSP relaxation.
+		sc.minIdx.reset(expected, w.loadOf)
+	}
+	boundedOff := false
+	boundedTried, boundedPops := 0, 0
+	mark := s.cfg.FrontierRestreaming
+	next := int32(pass) + 1
+
 	for v := lo; v < hi; v++ {
-		sc.epoch++
-		if sc.epoch == math.MaxInt32 {
-			for i := range sc.vstamp {
-				sc.vstamp[i] = 0
-			}
-			for i := range sc.pstamp {
-				sc.pstamp[i] = 0
-			}
-			sc.epoch = 1
+		// See the serial stream: >= pass so a same-pass overwrite to pass+1
+		// cannot cancel a pending visit.
+		if frontierOnly && atomic.LoadInt32(&s.dirty[v]) < int32(pass) {
+			continue
 		}
-		epoch := sc.epoch
-		sc.vstamp[v] = epoch
-		sc.touched = sc.touched[:0]
-		for _, e := range h.IncidentEdges(v) {
-			w := 1.0
-			if weighted {
-				w = float64(h.EdgeWeight(int(e)))
-			}
-			for _, u := range h.Pins(int(e)) {
-				if weighted {
-					if int(u) == v {
-						continue
-					}
-				} else if sc.vstamp[u] == epoch {
-					continue
-				} else {
-					sc.vstamp[u] = epoch
-				}
-				part := s.parts[u].Load()
-				if sc.pstamp[part] != epoch {
-					sc.pstamp[part] = epoch
-					sc.xCounts[part] = 0
-					sc.touched = append(sc.touched, part)
-				}
-				sc.xCounts[part] += w
+		w.gather(v)
+		cur := s.parts[v].Load()
+
+		var bestPart int32
+		switch {
+		case !fast || boundedOff:
+			bestPart = w.pickExhaustive(cur, alpha, expected)
+		case s.uniform:
+			bestPart = w.pickUniform(cur, alpha, expected)
+		default:
+			var pops int
+			bestPart, pops = w.pickBounded(cur, alpha, expected)
+			boundedTried++
+			boundedPops += pops
+			if boundedTried >= 128 && boundedPops > 3*boundedTried {
+				boundedOff = true
 			}
 		}
 
-		nbrParts := float64(len(sc.touched))
-		bestPart := int32(0)
-		bestVal := math.Inf(-1)
-		cur := s.parts[v].Load()
-		for i := 0; i < p; i++ {
-			t := 0.0
-			ci := cost[i]
-			for _, j := range sc.touched {
-				t += sc.xCounts[j] * ci[j]
-			}
-			ni := nbrParts
-			if sc.pstamp[i] == epoch {
-				ni--
-			}
-			ni /= float64(p)
-			val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
-			if val > bestVal || (val == bestVal && int32(i) == cur) {
-				bestVal = val
-				bestPart = int32(i)
-			}
-		}
 		if bestPart != cur {
-			w := h.VertexWeight(v)
-			s.loads[cur].Add(-w)
-			s.loads[bestPart].Add(w)
+			wt := h.VertexWeight(v)
+			s.loads[cur].Add(-wt)
+			s.loads[bestPart].Add(wt)
 			s.parts[v].Store(bestPart)
+			if fast && !boundedOff {
+				sc.minIdx.update(cur, s.loads[cur].Load())
+				sc.minIdx.update(bestPart, s.loads[bestPart].Load())
+			}
+			if mark {
+				w.markDirty(v, next)
+			}
 		}
 	}
+}
+
+// gather fills the worker scratch with X_j(v) against the live shared
+// assignment (the parallel twin of Partitioner.gatherNeighbourCounts).
+func (w *parallelWorker) gather(v int) {
+	s, sc := w.s, w.sc
+	h := s.h
+	epoch := sc.bumpEpoch()
+	sc.vstamp[v] = epoch
+	sc.touched = sc.touched[:0]
+	weighted := s.cfg.UseEdgeWeights
+	for _, e := range h.IncidentEdges(v) {
+		wt := 1.0
+		if weighted {
+			wt = float64(h.EdgeWeight(int(e)))
+		}
+		for _, u := range h.Pins(int(e)) {
+			if weighted {
+				if int(u) == v {
+					continue
+				}
+			} else if sc.vstamp[u] == epoch {
+				continue
+			} else {
+				sc.vstamp[u] = epoch
+			}
+			part := s.parts[u].Load()
+			if sc.pstamp[part] != epoch {
+				sc.pstamp[part] = epoch
+				sc.xCounts[part] = 0
+				sc.touched = append(sc.touched, part)
+			}
+			sc.xCounts[part] += wt
+		}
+	}
+}
+
+func (w *parallelWorker) markDirty(v int, next int32) {
+	s := w.s
+	h := s.h
+	atomic.StoreInt32(&s.dirty[v], next)
+	for _, e := range h.IncidentEdges(v) {
+		for _, u := range h.Pins(int(e)) {
+			atomic.StoreInt32(&s.dirty[u], next)
+		}
+	}
+}
+
+// pickExhaustive is the O(p) reference scan against the live shared loads.
+func (w *parallelWorker) pickExhaustive(cur int32, alpha float64, expected []float64) int32 {
+	s, sc := w.s, w.sc
+	cost := s.cfg.CostMatrix
+	p := s.p
+	nbrParts := float64(len(sc.touched))
+	bestPart := int32(0)
+	bestVal := math.Inf(-1)
+	for i := 0; i < p; i++ {
+		t := 0.0
+		ci := cost[i]
+		for _, j := range sc.touched {
+			t += sc.xCounts[j] * ci[j]
+		}
+		ni := nbrParts
+		if sc.pstamp[i] == sc.epoch {
+			ni--
+		}
+		ni /= float64(p)
+		val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+		if val > bestVal || (val == bestVal && int32(i) == cur) {
+			bestVal = val
+			bestPart = int32(i)
+		}
+	}
+	return bestPart
+}
+
+// pickUniform is the touched-only scan for uniform off-diagonal cost
+// matrices (see Partitioner.pickUniform for the full argument; this twin
+// differs only in reading loads atomically and skipping MigrationPenalty,
+// which the parallel variant has never honoured).
+func (w *parallelWorker) pickUniform(cur int32, alpha float64, expected []float64) int32 {
+	s, sc := w.s, w.sc
+	c := s.uniformC
+	p := float64(s.p)
+	nbrParts := float64(len(sc.touched))
+	tU := 0.0
+	for _, j := range sc.touched {
+		tU += sc.xCounts[j] * c
+	}
+	bestPart := int32(-1)
+	bestVal := math.Inf(-1)
+	for _, i := range sc.touched {
+		t := 0.0
+		for _, j := range sc.touched {
+			if j != i {
+				t += sc.xCounts[j] * c
+			}
+		}
+		ni := (nbrParts - 1) / p
+		val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+		considerCandidate(&bestVal, &bestPart, i, cur, val)
+	}
+	niU := nbrParts / p
+	if e, ok := sc.minIdx.popBestUntouched(w.untouched); ok {
+		val := -niU*tU - alpha*float64(s.loads[e.idx].Load())/expected[e.idx]
+		considerCandidate(&bestVal, &bestPart, e.idx, cur, val)
+	}
+	sc.minIdx.restore()
+	if sc.pstamp[cur] != sc.epoch {
+		val := -niU*tU - alpha*float64(s.loads[cur].Load())/expected[cur]
+		considerCandidate(&bestVal, &bestPart, cur, cur, val)
+	}
+	return bestPart
+}
+
+// pickBounded is the pruned touched-only scan for general cost matrices
+// (see Partitioner.pickBounded).
+func (w *parallelWorker) pickBounded(cur int32, alpha float64, expected []float64) (best int32, pops int) {
+	s, sc := w.s, w.sc
+	cost := s.cfg.CostMatrix
+	p := float64(s.p)
+	nbrParts := float64(len(sc.touched))
+	sumX := 0.0
+	for _, j := range sc.touched {
+		sumX += sc.xCounts[j]
+	}
+	loS := s.minOff * sumX
+	niU := nbrParts / p
+
+	bestPart := int32(-1)
+	bestVal := math.Inf(-1)
+	score := func(i int32, isTouched bool) {
+		t := 0.0
+		ci := cost[i]
+		for _, j := range sc.touched {
+			t += sc.xCounts[j] * ci[j]
+		}
+		ni := nbrParts
+		if isTouched {
+			ni--
+		}
+		ni /= p
+		val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+		considerCandidate(&bestVal, &bestPart, i, cur, val)
+	}
+	for _, i := range sc.touched {
+		score(i, true)
+	}
+	if sc.pstamp[cur] != sc.epoch {
+		score(cur, false)
+	}
+	budget := boundedPopBudget(s.p)
+	for ; budget > 0; budget-- {
+		e, ok := sc.minIdx.popBestUntouched(w.untouched)
+		if !ok {
+			break
+		}
+		pops++
+		ub := -niU*loS - alpha*e.q
+		ub += boundMargin * (math.Abs(ub) + 1)
+		if ub < bestVal {
+			break
+		}
+		score(e.idx, false)
+	}
+	sc.minIdx.restore()
+	if budget == 0 {
+		return w.pickExhaustive(cur, alpha, expected), pops
+	}
+	return bestPart, pops
 }

@@ -96,7 +96,48 @@ type Config struct {
 	// instead of round-robin (the repartitioning scenario). Must assign
 	// every vertex to [0, p) when set.
 	InitialParts []int32
+	// FrontierRestreaming streams only the moved-vertex frontier once the
+	// partition is inside the imbalance tolerance: a vertex is revisited in
+	// pass n+1 iff it or a neighbour moved in pass n. Full corrective sweeps
+	// still run while out of tolerance (α tempering must reach every vertex)
+	// and every frontierFullSweepEvery-th pass thereafter. Off by default:
+	// the paper's semantics stream every vertex every pass; frontier mode
+	// reaches a cut of equivalent quality (see the equivalence tests) in a
+	// fraction of the refinement work.
+	FrontierRestreaming bool
+
+	// forceExhaustive pins the kernel to the original O(p)-per-vertex
+	// candidate scan. Unexported: only the in-package equivalence tests and
+	// benchmarks use it, as the reference and baseline respectively.
+	forceExhaustive bool
+	// forceTouchedOnly enables the touched-only scan below
+	// fastScanMinPartitions, where it is a net loss and normally skipped.
+	// Unexported: the equivalence tests use it to exercise the fast paths at
+	// small p.
+	forceTouchedOnly bool
 }
+
+// fastScanMinPartitions is the partition count below which the touched-only
+// scan is skipped: for small p the exhaustive scan's p·|touched| fused
+// multiply-adds cost less than any per-vertex heap traffic. The pruned scan
+// for general matrices (pickBounded) pays several heap pops per vertex
+// instead of one, so it needs a larger p to amortise.
+const (
+	fastScanMinPartitions    = 32
+	boundedScanMinPartitions = 128
+)
+
+// frontierFullSweepEvery is the cadence of corrective full sweeps in
+// frontier mode: after this many consecutive frontier passes, one pass
+// streams every vertex again so drift in α and the loads reaches vertices
+// the frontier never revisited.
+const frontierFullSweepEvery = 8
+
+// boundMargin is the relative slack added to the untouched-candidate upper
+// bound of the pruned scan (pickBounded), so floating-point rounding can
+// only make the scan examine more candidates than strictly necessary, never
+// fewer.
+const boundMargin = 1e-9
 
 // RefinementPolicy is the stopping behaviour once the partition is within
 // the imbalance tolerance.
@@ -185,23 +226,35 @@ func (r StopReason) String() string {
 }
 
 // Partitioner holds the streaming state for one hypergraph/machine pair.
-// Create with New, run with Run. A Partitioner is not safe for concurrent
-// use.
+// Create with New, run with Run, and call Release when done to return the
+// pooled buffers. A Partitioner is not safe for concurrent use.
 type Partitioner struct {
 	h   *hypergraph.Hypergraph
 	cfg Config
 	p   int
 
-	parts  []int32
-	loads  []int64
+	parts  []int32 // aliases sc.parts
+	loads  []int64 // aliases sc.loads
 	totalW int64
 
-	// Scratch for distinct-neighbour gathering.
-	vstamp  []int32
-	pstamp  []int32
-	epoch   int32
-	xCounts []float64 // X_j(v) for touched partitions
-	touched []int32
+	// sc holds every reusable buffer (gather stamps, min-load index,
+	// frontier stamps, assignment vectors), recycled across Partitioners via
+	// a sync.Pool so steady-state serving is allocation-free in the kernel.
+	sc *scratch
+
+	// Cost-matrix structure, precomputed by New for the touched-only scan.
+	uniform  bool    // every off-diagonal entry equals uniformC
+	uniformC float64 // the off-diagonal constant when uniform
+	minOff   float64 // smallest off-diagonal entry (pruning bound)
+
+	// fastEligible caches whether the touched-only scan pays off for this
+	// (cost structure, p) pair; see fastScanEligible.
+	fastEligible bool
+
+	// Hoisted closures for the min-load index (allocated once, not per
+	// vertex).
+	loadOfFn    func(int32) int64
+	untouchedFn func(int32) bool
 }
 
 // New validates the configuration and prepares a Partitioner.
@@ -256,18 +309,77 @@ func New(h *hypergraph.Hypergraph, cfg Config) (*Partitioner, error) {
 	if cfg.Alpha0 == 0 {
 		cfg.Alpha0 = FennelAlpha(p, h.NumEdges(), h.NumVertices())
 	}
+	uniform, uniformC, minOff := costStructure(cfg.CostMatrix)
+	sc := acquireScratch(h.NumVertices(), p)
+	sc.parts = growI32(sc.parts, h.NumVertices())
 	pr := &Partitioner{
-		h:       h,
-		cfg:     cfg,
-		p:       p,
-		parts:   make([]int32, h.NumVertices()),
-		loads:   make([]int64, p),
-		vstamp:  make([]int32, h.NumVertices()),
-		pstamp:  make([]int32, p),
-		xCounts: make([]float64, p),
-		touched: make([]int32, 0, p),
+		h:        h,
+		cfg:      cfg,
+		p:        p,
+		parts:    sc.parts,
+		loads:    sc.loads,
+		sc:       sc,
+		uniform:  uniform,
+		uniformC: uniformC,
+		minOff:   minOff,
 	}
+	pr.loadOfFn = func(i int32) int64 { return pr.loads[i] }
+	pr.untouchedFn = func(i int32) bool { return pr.sc.pstamp[i] != pr.sc.epoch }
+	pr.fastEligible = fastScanEligible(cfg, uniform, p)
 	return pr, nil
+}
+
+// fastScanEligible decides whether the touched-only scan can beat the
+// exhaustive one for this (cost structure, p) pair.
+func fastScanEligible(cfg Config, uniform bool, p int) bool {
+	if cfg.forceExhaustive || p <= 1 {
+		return false
+	}
+	if cfg.forceTouchedOnly {
+		return true
+	}
+	if uniform {
+		return p >= fastScanMinPartitions
+	}
+	return p >= boundedScanMinPartitions
+}
+
+// Release returns the Partitioner's pooled buffers; the Partitioner (and any
+// aliases of its internal state) must not be used afterwards. Results
+// returned by Run are copies and stay valid.
+func (pr *Partitioner) Release() {
+	releaseScratch(pr.sc)
+	pr.sc = nil
+	pr.parts = nil
+	pr.loads = nil
+}
+
+// costStructure classifies the cost matrix for the touched-only scan:
+// whether every off-diagonal entry is one constant (HyperPRAW-basic and the
+// uniform benchmarks), and the smallest off-diagonal entry, which lower-
+// bounds any candidate's communication term in the pruned scan.
+func costStructure(cost [][]float64) (uniform bool, uniformC, minOff float64) {
+	uniform = true
+	first := true
+	for i, row := range cost {
+		for j, c := range row {
+			if i == j {
+				continue
+			}
+			if first {
+				uniformC, minOff = c, c
+				first = false
+				continue
+			}
+			if c != uniformC {
+				uniform = false
+			}
+			if c < minOff {
+				minOff = c
+			}
+		}
+	}
+	return uniform, uniformC, minOff
 }
 
 // FennelAlpha returns the FENNEL starting value sqrt(p)·|E|/sqrt(|V|)
@@ -281,26 +393,8 @@ func FennelAlpha(p, numEdges, numVertices int) float64 {
 
 // Run executes Algorithm 1 and returns the resulting partition.
 func (pr *Partitioner) Run() Result {
-	h, p := pr.h, pr.p
-	nv := h.NumVertices()
-
-	// Round-robin initial assignment (or the caller's, when repartitioning).
-	if pr.cfg.InitialParts != nil {
-		copy(pr.parts, pr.cfg.InitialParts)
-	} else {
-		for v := 0; v < nv; v++ {
-			pr.parts[v] = int32(v % p)
-		}
-	}
-	for i := range pr.loads {
-		pr.loads[i] = 0
-	}
-	pr.totalW = 0
-	for v := 0; v < nv; v++ {
-		w := h.VertexWeight(v)
-		pr.loads[pr.parts[v]] += w
-		pr.totalW += w
-	}
+	nv := pr.h.NumVertices()
+	pr.resetAssignment()
 	expected := pr.expectedLoads()
 
 	alpha := pr.cfg.Alpha0
@@ -311,8 +405,12 @@ func (pr *Partitioner) Run() Result {
 	res := Result{Stopped: StoppedMaxIterations}
 	// bestParts is the lowest-cost in-tolerance partition seen so far; it is
 	// what a stop in the refinement phase returns (the paper's "return
-	// P^{n-1}" generalised to patience > 1).
-	bestParts := make([]int32, nv)
+	// P^{n-1}" generalised to patience > 1). Only the refinement policy
+	// needs it, so it is sized here, not in acquireScratch.
+	if pr.cfg.RefinementPolicy == RefineUntilNoImprovement {
+		pr.sc.bestParts = growI32(pr.sc.bestParts, nv)
+	}
+	bestParts := pr.sc.bestParts
 	bestCost := math.Inf(1)
 	haveBest := false
 	badStreak := 0
@@ -320,22 +418,41 @@ func (pr *Partitioner) Run() Result {
 	var order []int32
 	var orderRNG *splitMix
 	if pr.cfg.ShuffledOrder {
-		order = make([]int32, nv)
+		pr.sc.order = growI32(pr.sc.order, nv)
+		order = pr.sc.order
 		for i := range order {
 			order[i] = int32(i)
 		}
 		orderRNG = &splitMix{state: pr.cfg.Seed ^ 0x5eed}
 	}
+	if pr.cfg.FrontierRestreaming {
+		// Fresh stamps per run keep frontier runs deterministic no matter
+		// what a pooled scratch streamed before.
+		pr.sc.dirty = growI32(pr.sc.dirty, nv)
+		for i := range pr.sc.dirty {
+			pr.sc.dirty[i] = 0
+		}
+	}
 
+	lastInTol := false
+	consecFrontier := 0
 	for n := 1; n <= pr.cfg.MaxIterations; n++ {
 		if pr.cfg.ShuffledOrder {
 			orderRNG.shuffle(order)
 		}
-		moves := pr.stream(alpha, expected, order)
+		frontier := pr.cfg.FrontierRestreaming && n > 1 && lastInTol &&
+			consecFrontier+1 < frontierFullSweepEvery
+		if frontier {
+			consecFrontier++
+		} else {
+			consecFrontier = 0
+		}
+		moves := pr.stream(alpha, expected, order, n, frontier)
 		res.Iterations = n
 
 		imb := pr.imbalance(expected)
 		inTol := imb <= pr.cfg.ImbalanceTolerance
+		lastInTol = inTol
 		cost := pr.monitoredCost()
 
 		if pr.cfg.RecordHistory {
@@ -383,14 +500,39 @@ func (pr *Partitioner) Run() Result {
 
 	res.Parts = append([]int32(nil), pr.parts...)
 	res.FinalCommCost = pr.monitoredCost()
-	res.FinalImbalance = metrics.Imbalance(metrics.Loads(h, res.Parts, p))
+	res.FinalImbalance = metrics.Imbalance(metrics.Loads(pr.h, res.Parts, pr.p))
 	return res
+}
+
+// resetAssignment restores the initial assignment (round-robin, or the
+// caller's when repartitioning) and the loads derived from it. Run starts
+// with it; the kernel benchmarks call it to restart between measured
+// streams.
+func (pr *Partitioner) resetAssignment() {
+	h, p := pr.h, pr.p
+	nv := h.NumVertices()
+	if pr.cfg.InitialParts != nil {
+		copy(pr.parts, pr.cfg.InitialParts)
+	} else {
+		for v := 0; v < nv; v++ {
+			pr.parts[v] = int32(v % p)
+		}
+	}
+	for i := range pr.loads {
+		pr.loads[i] = 0
+	}
+	pr.totalW = 0
+	for v := 0; v < nv; v++ {
+		w := h.VertexWeight(v)
+		pr.loads[pr.parts[v]] += w
+		pr.totalW += w
+	}
 }
 
 // expectedLoads returns E(i) per partition: totalW/p for homogeneous
 // machines, or proportional to the configured capacities.
 func (pr *Partitioner) expectedLoads() []float64 {
-	expected := make([]float64, pr.p)
+	expected := pr.sc.expected
 	if pr.cfg.Capacities == nil {
 		e := float64(pr.totalW) / float64(pr.p)
 		if e == 0 {
@@ -436,7 +578,7 @@ func (pr *Partitioner) monitoredCost() float64 {
 	if pr.cfg.UseEdgeWeights {
 		return metrics.WeightedCommCost(pr.h, pr.parts, pr.cfg.CostMatrix)
 	}
-	return metrics.CommCost(pr.h, pr.parts, pr.cfg.CostMatrix)
+	return pr.sc.comm.CommCost(pr.h, pr.parts, pr.cfg.CostMatrix)
 }
 
 // splitMix is a tiny local PRNG for the optional shuffled stream order
@@ -458,48 +600,65 @@ func (s *splitMix) shuffle(xs []int32) {
 	}
 }
 
-// stream performs one pass over all vertices, reassigning each greedily, and
+// stream performs one pass, reassigning each visited vertex greedily, and
 // returns the number of vertices that moved. order, when non-nil, gives the
-// visiting sequence; nil means natural order.
-func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32) int {
-	h, p := pr.h, pr.p
+// visiting sequence; nil means natural order. pass is the 1-based iteration
+// number; when frontierOnly is set, only vertices whose dirty stamp matches
+// this pass (they or a neighbour moved last pass) are visited.
+//
+// Candidate scoring dispatches on the cost-matrix structure: the touched-
+// only scan (pickUniform/pickBounded) is move-for-move identical to the
+// exhaustive O(p) reference (pickExhaustive) but costs O(|touched|) per
+// vertex. It needs α > 0 — the untouched-candidate ordering assumes load is
+// a penalty — which only a caller-supplied Alpha0 ≤ 0 can violate; that
+// falls back to the exhaustive scan.
+func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, pass int, frontierOnly bool) int {
+	h := pr.h
+	sc := pr.sc
 	nv := h.NumVertices()
-	cost := pr.cfg.CostMatrix
 	moves := 0
+
+	fast := pr.fastEligible && alpha > 0
+	if fast {
+		sc.minIdx.reset(expected, pr.loadOfFn)
+	}
+	// Per-stream pruning verdict for pickBounded (see pickBounded).
+	boundedOff := false
+	boundedTried, boundedPops := 0, 0
+	mark := pr.cfg.FrontierRestreaming
+	next := int32(pass) + 1
 
 	for idx := 0; idx < nv; idx++ {
 		v := idx
 		if order != nil {
 			v = int(order[idx])
 		}
+		// Visit when due this pass OR already marked for the next one (a
+		// neighbour that moved earlier in this very pass must not cancel a
+		// pending visit by overwriting the stamp with pass+1).
+		if frontierOnly && sc.dirty[v] < int32(pass) {
+			continue
+		}
 		pr.gatherNeighbourCounts(v)
 
-		// Number of partitions holding neighbours of v; A_i(v) per eq 3.
-		nbrParts := float64(len(pr.touched))
-
-		bestPart := int32(0)
-		bestVal := math.Inf(-1)
-		for i := 0; i < p; i++ {
-			// T_i(v) = Σ_j X_j(v)·C(i,j); C(i,i)=0 removes the self term.
-			t := 0.0
-			ci := cost[i]
-			for _, j := range pr.touched {
-				t += pr.xCounts[j] * ci[j]
-			}
-			// N_i(v): neighbour partitions other than i, normalised by p.
-			ni := nbrParts
-			if pr.pstamp[i] == pr.epoch {
-				ni-- // v has neighbours in i itself; those don't count
-			}
-			ni /= float64(p)
-
-			val := -ni*t - alpha*float64(pr.loads[i])/expected[i]
-			if pr.cfg.MigrationPenalty > 0 && int32(i) != pr.parts[v] {
-				val -= pr.cfg.MigrationPenalty * float64(h.VertexWeight(v))
-			}
-			if val > bestVal || (val == bestVal && int32(i) == pr.parts[v]) {
-				bestVal = val
-				bestPart = int32(i)
+		var bestPart int32
+		switch {
+		case !fast || boundedOff:
+			bestPart = pr.pickExhaustive(v, alpha, expected)
+		case pr.uniform:
+			bestPart = pr.pickUniform(v, alpha, expected)
+		default:
+			var pops int
+			bestPart, pops = pr.pickBounded(v, alpha, expected)
+			boundedTried++
+			boundedPops += pops
+			// The pruned scan only beats the exhaustive one when the load
+			// bound closes almost immediately; once the observed pop work
+			// says otherwise (α decayed, loads equalised), stop paying the
+			// heap traffic for the rest of this stream. The next stream
+			// re-evaluates.
+			if boundedTried >= 128 && boundedPops > 3*boundedTried {
+				boundedOff = true
 			}
 		}
 
@@ -508,10 +667,232 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32) 
 			pr.loads[old] -= w
 			pr.loads[bestPart] += w
 			pr.parts[v] = bestPart
+			if fast && !boundedOff {
+				sc.minIdx.update(old, pr.loads[old])
+				sc.minIdx.update(bestPart, pr.loads[bestPart])
+			}
+			if mark {
+				pr.markDirty(v, next)
+			}
 			moves++
 		}
 	}
 	return moves
+}
+
+// pickExhaustive scores every partition for v: the original O(p) kernel and
+// the reference that the touched-only scan must match move for move.
+func (pr *Partitioner) pickExhaustive(v int, alpha float64, expected []float64) int32 {
+	h, p := pr.h, pr.p
+	sc := pr.sc
+	cost := pr.cfg.CostMatrix
+
+	// Number of partitions holding neighbours of v; A_i(v) per eq 3.
+	nbrParts := float64(len(sc.touched))
+
+	bestPart := int32(0)
+	bestVal := math.Inf(-1)
+	for i := 0; i < p; i++ {
+		// T_i(v) = Σ_j X_j(v)·C(i,j); C(i,i)=0 removes the self term.
+		t := 0.0
+		ci := cost[i]
+		for _, j := range sc.touched {
+			t += sc.xCounts[j] * ci[j]
+		}
+		// N_i(v): neighbour partitions other than i, normalised by p.
+		ni := nbrParts
+		if sc.pstamp[i] == sc.epoch {
+			ni-- // v has neighbours in i itself; those don't count
+		}
+		ni /= float64(p)
+
+		val := -ni*t - alpha*float64(pr.loads[i])/expected[i]
+		if pr.cfg.MigrationPenalty > 0 && int32(i) != pr.parts[v] {
+			val -= pr.cfg.MigrationPenalty * float64(h.VertexWeight(v))
+		}
+		if val > bestVal || (val == bestVal && int32(i) == pr.parts[v]) {
+			bestVal = val
+			bestPart = int32(i)
+		}
+	}
+	return bestPart
+}
+
+// considerCandidate folds candidate i with value val into the running
+// (bestVal, bestPart) selection, reproducing pickExhaustive's outcome from
+// an arbitrary evaluation order: the exhaustive ascending-index loop returns
+// the current partition if it ties the maximum, otherwise the lowest-index
+// maximizer.
+func considerCandidate(bestVal *float64, bestPart *int32, i, cur int32, val float64) {
+	if *bestPart < 0 || val > *bestVal ||
+		(val == *bestVal && (i == cur || (*bestPart != cur && i < *bestPart))) {
+		*bestVal = val
+		*bestPart = i
+	}
+}
+
+// pickUniform is the touched-only scan for uniform off-diagonal cost
+// matrices (HyperPRAW-basic, and the uniform benchmarks). Every untouched
+// partition shares one communication term, so the best untouched candidate
+// is exactly the minimum of W(i)/E(i) — ties on the lowest index — which the
+// min-load index supplies without scanning all p. Only |touched| + 2
+// candidates (touched partitions, that fallback, and the vertex's current
+// partition, which never pays the migration penalty) are scored, each with
+// pickExhaustive's floating-point arithmetic operation for operation.
+func (pr *Partitioner) pickUniform(v int, alpha float64, expected []float64) int32 {
+	sc := pr.sc
+	c := pr.uniformC
+	p := float64(pr.p)
+	nbrParts := float64(len(sc.touched))
+	cur := pr.parts[v]
+	penalty := 0.0
+	if pr.cfg.MigrationPenalty > 0 {
+		penalty = pr.cfg.MigrationPenalty * float64(pr.h.VertexWeight(v))
+	}
+	// T_i(v) of any untouched candidate, accumulated in touched order like
+	// the exhaustive loop (C(i,j) = c for every touched j, since i ≠ j).
+	tU := 0.0
+	for _, j := range sc.touched {
+		tU += sc.xCounts[j] * c
+	}
+
+	bestPart := int32(-1)
+	bestVal := math.Inf(-1)
+	for _, i := range sc.touched {
+		// T_i for touched i drops the j == i term, which the exhaustive loop
+		// adds as xCounts[i]·C(i,i) = +0.0 — a bitwise no-op.
+		t := 0.0
+		for _, j := range sc.touched {
+			if j != i {
+				t += sc.xCounts[j] * c
+			}
+		}
+		ni := (nbrParts - 1) / p
+		val := -ni*t - alpha*float64(pr.loads[i])/expected[i]
+		if penalty > 0 && i != cur {
+			val -= penalty
+		}
+		considerCandidate(&bestVal, &bestPart, i, cur, val)
+	}
+	niU := nbrParts / p
+	if e, ok := sc.minIdx.popBestUntouched(pr.untouchedFn); ok {
+		val := -niU*tU - alpha*float64(pr.loads[e.idx])/expected[e.idx]
+		if penalty > 0 && e.idx != cur {
+			val -= penalty
+		}
+		considerCandidate(&bestVal, &bestPart, e.idx, cur, val)
+	}
+	sc.minIdx.restore()
+	if sc.pstamp[cur] != sc.epoch {
+		val := -niU*tU - alpha*float64(pr.loads[cur])/expected[cur]
+		considerCandidate(&bestVal, &bestPart, cur, cur, val)
+	}
+	return bestPart
+}
+
+// pickBounded is the touched-only scan for general cost matrices (the
+// profiled HyperPRAW-aware case). Touched partitions and the current one are
+// scored exactly; untouched candidates are drawn from the min-load index in
+// ascending W(i)/E(i) order and scored exactly until an upper bound on every
+// remaining candidate — communication no cheaper than the smallest off-
+// diagonal entry allows, load no lighter than the next candidate's — falls
+// below the best value seen. The bound discriminates whenever the α-weighted
+// load spread exceeds the communication-term spread (the tempering phase,
+// and refinement on unbalanced loads); when it cannot (α decayed and loads
+// equalised), the pop budget trips and the vertex falls back to the
+// exhaustive scan, bounding the overhead at a fraction of the O(p) cost
+// instead of letting the heap churn exceed it. pops reports the candidates
+// examined, so the stream can stop trying once pop work dominates.
+func (pr *Partitioner) pickBounded(v int, alpha float64, expected []float64) (best int32, pops int) {
+	sc := pr.sc
+	cost := pr.cfg.CostMatrix
+	p := float64(pr.p)
+	nbrParts := float64(len(sc.touched))
+	cur := pr.parts[v]
+	penalty := 0.0
+	if pr.cfg.MigrationPenalty > 0 {
+		penalty = pr.cfg.MigrationPenalty * float64(pr.h.VertexWeight(v))
+	}
+	// Σ_j X_j(v): any candidate's communication term is ≥ minOff times this.
+	sumX := 0.0
+	for _, j := range sc.touched {
+		sumX += sc.xCounts[j]
+	}
+	loS := pr.minOff * sumX
+	niU := nbrParts / p
+
+	bestPart := int32(-1)
+	bestVal := math.Inf(-1)
+	score := func(i int32, isTouched bool) {
+		t := 0.0
+		ci := cost[i]
+		for _, j := range sc.touched {
+			t += sc.xCounts[j] * ci[j]
+		}
+		ni := nbrParts
+		if isTouched {
+			ni--
+		}
+		ni /= p
+		val := -ni*t - alpha*float64(pr.loads[i])/expected[i]
+		if penalty > 0 && i != cur {
+			val -= penalty
+		}
+		considerCandidate(&bestVal, &bestPart, i, cur, val)
+	}
+	for _, i := range sc.touched {
+		score(i, true)
+	}
+	if sc.pstamp[cur] != sc.epoch {
+		score(cur, false)
+	}
+	budget := boundedPopBudget(pr.p)
+	for ; budget > 0; budget-- {
+		e, ok := sc.minIdx.popBestUntouched(pr.untouchedFn)
+		if !ok {
+			break
+		}
+		pops++
+		// Upper bound for e and everything after it (larger W/E); inflated
+		// so rounding can only widen the scan, never cut a winner.
+		ub := -niU*loS - alpha*e.q
+		ub += boundMargin * (math.Abs(ub) + 1)
+		if ub < bestVal {
+			break
+		}
+		score(e.idx, false)
+	}
+	sc.minIdx.restore()
+	if budget == 0 {
+		// The bound is not pruning on this vertex; the exhaustive reference
+		// costs less than draining the heap and returns the identical pick.
+		return pr.pickExhaustive(v, alpha, expected), pops
+	}
+	return bestPart, pops
+}
+
+// boundedPopBudget is how many untouched candidates pickBounded examines
+// before conceding that the load bound is not pruning and handing the vertex
+// to the exhaustive scan.
+func boundedPopBudget(p int) int {
+	b := p / 8
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// markDirty stamps v and every neighbour of v as frontier members for pass
+// `next`: a vertex must be re-streamed iff it or a neighbour moved.
+func (pr *Partitioner) markDirty(v int, next int32) {
+	h := pr.h
+	dirty := pr.sc.dirty
+	dirty[v] = next
+	for _, e := range h.IncidentEdges(v) {
+		for _, u := range h.Pins(int(e)) {
+			dirty[u] = next
+		}
+	}
 }
 
 // gatherNeighbourCounts fills xCounts/touched with X_j(v): the number of
@@ -519,23 +900,16 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32) 
 // enforced with epoch stamps so a neighbour shared by several hyperedges
 // counts once, and v itself never counts. With UseEdgeWeights the semantics
 // switch to hyperedge-weighted pin incidences: every (edge, neighbour) pair
-// contributes w(e), modelling per-edge communication volume (§8.2).
+// contributes w(e), modelling per-edge communication volume (§8.2). Epoch
+// wraparound (after 2^31−2 gathers, e.g. a pooled scratch serving jobs for
+// days) is handled by scratch.bumpEpoch, which zeroes the stamps and
+// restarts the epoch at 1.
 func (pr *Partitioner) gatherNeighbourCounts(v int) {
 	h := pr.h
-	pr.epoch++
-	if pr.epoch == math.MaxInt32 {
-		// Extremely long runs: reset stamps once per 2^31 gathers.
-		for i := range pr.vstamp {
-			pr.vstamp[i] = 0
-		}
-		for i := range pr.pstamp {
-			pr.pstamp[i] = 0
-		}
-		pr.epoch = 1
-	}
-	epoch := pr.epoch
-	pr.vstamp[v] = epoch
-	pr.touched = pr.touched[:0]
+	sc := pr.sc
+	epoch := sc.bumpEpoch()
+	sc.vstamp[v] = epoch
+	sc.touched = sc.touched[:0]
 	weighted := pr.cfg.UseEdgeWeights
 	for _, e := range h.IncidentEdges(v) {
 		w := 1.0
@@ -547,18 +921,18 @@ func (pr *Partitioner) gatherNeighbourCounts(v int) {
 				if int(u) == v {
 					continue
 				}
-			} else if pr.vstamp[u] == epoch {
+			} else if sc.vstamp[u] == epoch {
 				continue
 			} else {
-				pr.vstamp[u] = epoch
+				sc.vstamp[u] = epoch
 			}
 			part := pr.parts[u]
-			if pr.pstamp[part] != epoch {
-				pr.pstamp[part] = epoch
-				pr.xCounts[part] = 0
-				pr.touched = append(pr.touched, part)
+			if sc.pstamp[part] != epoch {
+				sc.pstamp[part] = epoch
+				sc.xCounts[part] = 0
+				sc.touched = append(sc.touched, part)
 			}
-			pr.xCounts[part] += w
+			sc.xCounts[part] += w
 		}
 	}
 }
@@ -570,5 +944,6 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer pr.Release()
 	return pr.Run().Parts, nil
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"hyperpraw/internal/metrics"
+)
+
+// scratch bundles every reusable buffer one streaming kernel needs: the
+// epoch-stamped neighbour gather, the min-load index of the touched-only
+// scan, the frontier stamps of frontier restreaming, the assignment/load
+// vectors, and the comm-cost scanner of the convergence check.
+//
+// Scratches are recycled through a package-level sync.Pool so a long-lived
+// server partitioning job after job stops allocating in the kernel: New (and
+// PartitionParallel's per-worker scratches) acquire from the pool and
+// Partitioner.Release returns them. The epoch counters live here and only
+// ever grow, which is what makes reuse safe — stamps written for a previous
+// (possibly larger) hypergraph can never equal a future epoch.
+type scratch struct {
+	// Distinct-neighbour gather state (paper eq 4).
+	vstamp  []int32
+	pstamp  []int32
+	epoch   int32
+	xCounts []float64
+	touched []int32
+
+	// Touched-only candidate scan state.
+	minIdx minLoadIndex
+
+	// Frontier restreaming stamps: dirty[v] holds the latest pass index for
+	// which v must be re-streamed.
+	dirty []int32
+
+	// Assignment/load state for a serial Partitioner (unused by the
+	// per-worker scratches of the parallel kernel, which share theirs).
+	parts     []int32
+	loads     []int64
+	bestParts []int32
+	order     []int32
+	expected  []float64
+
+	// Convergence-check scanner (PC(P) once per iteration).
+	comm *metrics.CommScanner
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{comm: metrics.NewCommScanner()} }}
+
+// acquireScratch takes a scratch from the pool and sizes the buffers every
+// kernel needs: the gather state and the p-sized load vectors. The other
+// nv-sized buffers (parts/bestParts/order/dirty) are grown lazily by the
+// code paths that actually use them, so parallel workers — which share
+// assignment state through parallelState — and feature-off serial runs
+// don't allocate or pin arrays they never touch. Growing reallocates
+// (zeroed, which is always safe); shrinking reslices, leaving stale stamps
+// that the monotone epoch counters never collide with.
+func acquireScratch(nv, p int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.vstamp = growI32(sc.vstamp, nv)
+	sc.pstamp = growI32(sc.pstamp, p)
+	sc.touched = sc.touched[:0]
+	if cap(sc.xCounts) < p {
+		sc.xCounts = make([]float64, p)
+		sc.expected = make([]float64, p)
+	} else {
+		sc.xCounts = sc.xCounts[:p]
+		sc.expected = sc.expected[:p]
+	}
+	if cap(sc.loads) < p {
+		sc.loads = make([]int64, p)
+	} else {
+		sc.loads = sc.loads[:p]
+	}
+	return sc
+}
+
+func releaseScratch(sc *scratch) {
+	if sc != nil {
+		scratchPool.Put(sc)
+	}
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// bumpEpoch advances the gather epoch, handling the (extremely long run)
+// wraparound by zeroing every stamp and restarting at 1, so a stale stamp
+// can never equal a post-wrap epoch.
+func (sc *scratch) bumpEpoch() int32 {
+	sc.epoch++
+	if sc.epoch == math.MaxInt32 {
+		for i := range sc.vstamp {
+			sc.vstamp[i] = 0
+		}
+		for i := range sc.pstamp {
+			sc.pstamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	return sc.epoch
+}

@@ -148,15 +148,48 @@ func ConnectivityMinusOne(h *hypergraph.Hypergraph, parts []int32, k int) int64 
 // matrix with zero diagonal. Intuitively it is the number of cross-partition
 // neighbour relations, each weighted by how expensive the link between the
 // two partitions is.
+//
+// CommCost allocates its scan buffers per call; callers that evaluate PC(P)
+// repeatedly (the restreaming convergence check does so every iteration)
+// should hold a CommScanner instead.
 func CommCost(h *hypergraph.Hypergraph, parts []int32, cost [][]float64) float64 {
+	return NewCommScanner().CommCost(h, parts, cost)
+}
+
+// CommScanner computes CommCost with reusable scan buffers, so repeated
+// evaluations (one per restreaming iteration) stop allocating. The buffers
+// grow to the largest (vertices, partitions) pair seen and are retained; a
+// CommScanner is not safe for concurrent use.
+type CommScanner struct {
+	vstamp  []int
+	pstamp  []int
+	counts  []float64
+	touched []int32
+	epoch   int
+}
+
+// NewCommScanner returns an empty scanner; buffers are sized lazily on the
+// first CommCost call.
+func NewCommScanner() *CommScanner { return &CommScanner{} }
+
+// CommCost is the allocation-free equivalent of the package-level CommCost.
+func (s *CommScanner) CommCost(h *hypergraph.Hypergraph, parts []int32, cost [][]float64) float64 {
 	k := len(cost)
 	nv := h.NumVertices()
-	// Distinct-neighbour counting per vertex with epoch stamps.
-	vstamp := make([]int, nv)
-	counts := make([]float64, k)
-	touched := make([]int32, 0, k)
-	pstamp := make([]int, k)
-	epoch := 0
+	// The epoch counter persists across calls, so freshly grown (zeroed) or
+	// shrunk (stale-stamped) buffers never alias a live stamp.
+	if cap(s.vstamp) < nv {
+		s.vstamp = make([]int, nv)
+	}
+	vstamp := s.vstamp[:nv]
+	if cap(s.pstamp) < k {
+		s.pstamp = make([]int, k)
+		s.counts = make([]float64, k)
+	}
+	pstamp := s.pstamp[:k]
+	counts := s.counts[:k]
+	touched := s.touched[:0]
+	epoch := s.epoch
 
 	total := 0.0
 	for v := 0; v < nv; v++ {
@@ -183,6 +216,8 @@ func CommCost(h *hypergraph.Hypergraph, parts []int32, cost [][]float64) float64
 			total += counts[p] * cost[home][p]
 		}
 	}
+	s.touched = touched[:0]
+	s.epoch = epoch
 	return total
 }
 

@@ -42,6 +42,6 @@ func BenchmarkFMRefine(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(work, side)
-		fmRefine(g, work, g.totalW/2, 1.1, 2, stats.NewRNG(1))
+		fmRefine(g, work, g.totalW/2, 1.1, 2, stats.NewRNG(1), &refineScratch{})
 	}
 }

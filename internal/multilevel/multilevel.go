@@ -112,7 +112,10 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) ([]int32, error) {
 		vertices[i] = int32(i)
 	}
 	g := fromHypergraph(h)
-	recurse(g, vertices, 0, cfg.K, levelTol, cfg, rng, parts)
+	// One refinement scratch serves the whole V-cycle: every recursion
+	// branch, uncoarsening level and FM pass borrows the same buffers.
+	sc := &refineScratch{}
+	recurse(g, vertices, 0, cfg.K, levelTol, cfg, rng, parts, sc)
 	kwayRefine(h, parts, cfg.K, cfg.ImbalanceTolerance, cfg.KWayPasses)
 	return parts, nil
 }
@@ -120,7 +123,7 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) ([]int32, error) {
 // recurse assigns partitions [partBase, partBase+k) to the given vertices of
 // the original hypergraph. g is the sub-hypergraph induced by vertices
 // (g vertex i corresponds to vertices[i]).
-func recurse(g *subHG, vertices []int32, partBase, k int, tol float64, cfg Config, rng *stats.RNG, parts []int32) {
+func recurse(g *subHG, vertices []int32, partBase, k int, tol float64, cfg Config, rng *stats.RNG, parts []int32, sc *refineScratch) {
 	if k == 1 {
 		for _, v := range vertices {
 			parts[v] = int32(partBase)
@@ -131,7 +134,7 @@ func recurse(g *subHG, vertices []int32, partBase, k int, tol float64, cfg Confi
 	kRight := k - kLeft
 	targetLeft := g.totalW * int64(kLeft) / int64(k)
 
-	side := bisect(g, targetLeft, tol, cfg, rng)
+	side := bisect(g, targetLeft, tol, cfg, rng, sc)
 
 	var leftIdx, rightIdx []int32
 	for i, s := range side {
@@ -152,13 +155,13 @@ func recurse(g *subHG, vertices []int32, partBase, k int, tol float64, cfg Confi
 
 	gl := g.induce(leftIdx)
 	gr := g.induce(rightIdx)
-	recurse(gl, leftVerts, partBase, kLeft, tol, cfg, rng, parts)
-	recurse(gr, rightVerts, partBase+kLeft, kRight, tol, cfg, rng, parts)
+	recurse(gl, leftVerts, partBase, kLeft, tol, cfg, rng, parts, sc)
+	recurse(gr, rightVerts, partBase+kLeft, kRight, tol, cfg, rng, parts, sc)
 }
 
 // bisect runs the multilevel V-cycle on g and returns a side (0/1) per
 // vertex with side-0 weight near targetLeft.
-func bisect(g *subHG, targetLeft int64, tol float64, cfg Config, rng *stats.RNG) []int32 {
+func bisect(g *subHG, targetLeft int64, tol float64, cfg Config, rng *stats.RNG, sc *refineScratch) []int32 {
 	// Coarsening phase.
 	var hierarchy []*subHG
 	var maps [][]int32
@@ -174,8 +177,8 @@ func bisect(g *subHG, targetLeft int64, tol float64, cfg Config, rng *stats.RNG)
 	}
 
 	// Initial partition on the coarsest level.
-	side := initialBisect(cur, targetLeft, cfg.InitialTrials, rng)
-	fmRefine(cur, side, targetLeft, tol, cfg.FMPasses, rng)
+	side := initialBisect(cur, targetLeft, cfg.InitialTrials, rng, sc)
+	fmRefine(cur, side, targetLeft, tol, cfg.FMPasses, rng, sc)
 
 	// Uncoarsening with refinement.
 	for lvl := len(hierarchy) - 1; lvl >= 0; lvl-- {
@@ -186,7 +189,7 @@ func bisect(g *subHG, targetLeft int64, tol float64, cfg Config, rng *stats.RNG)
 			fineSide[v] = side[cmap[v]]
 		}
 		side = fineSide
-		fmRefine(fine, side, targetLeft, tol, cfg.FMPasses, rng)
+		fmRefine(fine, side, targetLeft, tol, cfg.FMPasses, rng, sc)
 	}
 	return side
 }

@@ -242,7 +242,7 @@ func TestFMImprovesBadBisection(t *testing.T) {
 		side[v] = int32(v % 2)
 	}
 	before := cutOf(g, side)
-	fmRefine(g, side, 10, 1.1, 8, stats.NewRNG(1))
+	fmRefine(g, side, 10, 1.1, 8, stats.NewRNG(1), &refineScratch{})
 	after := cutOf(g, side)
 	if after >= before {
 		t.Fatalf("FM did not improve: %d -> %d", before, after)
@@ -261,7 +261,7 @@ func TestInitialBisectRespectsTarget(t *testing.T) {
 	h := hgen.Generate(hgen.Spec{Name: "ib", Kind: hgen.KindGeometric, Vertices: 400, Hyperedges: 400, AvgCardinality: 5, Locality: 0.9}, 9)
 	g := fromHypergraph(h)
 	target := g.totalW / 2
-	side := initialBisect(g, target, 4, stats.NewRNG(3))
+	side := initialBisect(g, target, 4, stats.NewRNG(3), &refineScratch{})
 	w := sideWeights(g, side)
 	if w[0] < target-target/5 || w[0] > target+target/5 {
 		t.Fatalf("side 0 weight %d, target %d", w[0], target)

@@ -31,21 +31,57 @@ func sideWeights(g *subHG, side []int32) [2]int64 {
 	return w
 }
 
+// refineScratch holds every buffer the bisection phase reuses across BFS
+// trials, FM passes, uncoarsening levels and recursion branches, so the
+// multilevel V-cycle stops allocating per pass (the same zero-alloc scratch
+// discipline as the streaming kernel in internal/core). Buffers grow to the
+// largest level seen and shrink by reslicing.
+type refineScratch struct {
+	// initialBisect state.
+	side    []int32
+	visited []bool
+	queue   []int32
+	// fmState buffers.
+	cnt     [][2]int32
+	gain    []int64
+	version []uint32
+	locked  []bool
+	heap    gainHeap
+	// fmRefine pass state.
+	moves    []moveRec
+	deferred []gainEntry
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
 // initialBisect grows side 0 by BFS from random seeds until it holds
 // targetLeft weight, over several trials, and returns the lowest-cut result.
-func initialBisect(g *subHG, targetLeft int64, trials int, rng *stats.RNG) []int32 {
+func initialBisect(g *subHG, targetLeft int64, trials int, rng *stats.RNG, sc *refineScratch) []int32 {
 	best := make([]int32, g.nv)
 	bestCut := int64(-1)
-	side := make([]int32, g.nv)
+	sc.side = growI32(sc.side, g.nv)
+	side := sc.side
+	if cap(sc.visited) < g.nv {
+		sc.visited = make([]bool, g.nv)
+	}
 	for t := 0; t < trials; t++ {
 		for i := range side {
 			side[i] = 1
 		}
 		var w0 int64
-		visited := make([]bool, g.nv)
-		queue := make([]int32, 0, g.nv)
+		visited := sc.visited[:g.nv]
+		for i := range visited {
+			visited[i] = false
+		}
+		queue := sc.queue[:0]
+		head := 0
 		for w0 < targetLeft {
-			if len(queue) == 0 {
+			if head == len(queue) {
 				// Seed (or re-seed after exhausting a component).
 				seed := int32(rng.Intn(g.nv))
 				tries := 0
@@ -69,8 +105,8 @@ func initialBisect(g *subHG, targetLeft int64, trials int, rng *stats.RNG) []int
 				visited[seed] = true
 				queue = append(queue, seed)
 			}
-			v := queue[0]
-			queue = queue[1:]
+			v := queue[head]
+			head++
 			side[v] = 0
 			w0 += g.vwt[v]
 			for _, e := range g.incident(int(v)) {
@@ -87,6 +123,7 @@ func initialBisect(g *subHG, targetLeft int64, trials int, rng *stats.RNG) []int
 			bestCut = cut
 			copy(best, side)
 		}
+		sc.queue = queue[:0]
 	}
 	return best
 }
@@ -118,7 +155,8 @@ func (h *gainHeap) Pop() any {
 	return e
 }
 
-// fmState carries the mutable state of one FM pass.
+// fmState carries the mutable state of one FM pass; its slices borrow from
+// the shared refineScratch.
 type fmState struct {
 	g       *subHG
 	side    []int32
@@ -130,25 +168,51 @@ type fmState struct {
 	weights [2]int64
 }
 
-func newFMState(g *subHG, side []int32) *fmState {
+func newFMState(g *subHG, side []int32, sc *refineScratch) *fmState {
+	ne, nv := g.numEdges(), g.nv
+	if cap(sc.cnt) < ne {
+		sc.cnt = make([][2]int32, ne)
+	} else {
+		sc.cnt = sc.cnt[:ne]
+		for e := range sc.cnt {
+			sc.cnt[e] = [2]int32{}
+		}
+	}
+	if cap(sc.gain) < nv {
+		sc.gain = make([]int64, nv)
+		sc.version = make([]uint32, nv)
+		sc.locked = make([]bool, nv)
+	} else {
+		sc.gain = sc.gain[:nv]
+		sc.version = sc.version[:nv]
+		sc.locked = sc.locked[:nv]
+		for v := range sc.locked {
+			sc.locked[v] = false
+		}
+	}
+	sc.heap = sc.heap[:0]
 	s := &fmState{
 		g:       g,
 		side:    side,
-		cnt:     make([][2]int32, g.numEdges()),
-		gain:    make([]int64, g.nv),
-		version: make([]uint32, g.nv),
-		locked:  make([]bool, g.nv),
+		cnt:     sc.cnt,
+		gain:    sc.gain,
+		version: sc.version,
+		locked:  sc.locked,
+		heap:    sc.heap,
 	}
-	for e := 0; e < g.numEdges(); e++ {
+	for e := 0; e < ne; e++ {
 		for _, v := range g.edgePins(e) {
 			s.cnt[e][side[v]]++
 		}
 	}
 	s.weights = sideWeights(g, side)
-	for v := 0; v < g.nv; v++ {
+	for v := 0; v < nv; v++ {
+		// gain is fully recomputed and versions continue monotonically, so
+		// neither needs zeroing on reuse; entries carry the live version.
 		s.gain[v] = s.computeGain(int32(v))
-		heap.Push(&s.heap, gainEntry{gain: s.gain[v], vertex: int32(v), version: 0})
+		heap.Push(&s.heap, gainEntry{gain: s.gain[v], vertex: int32(v), version: s.version[v]})
 	}
+	sc.heap = s.heap
 	return s
 }
 
@@ -216,9 +280,15 @@ func (s *fmState) move(v int32) {
 	s.weights[to] += s.g.vwt[v]
 }
 
+// moveRec records one FM move for prefix rollback.
+type moveRec struct {
+	vertex int32
+	gain   int64
+}
+
 // fmRefine runs up to maxPasses FM passes on side, respecting the balance
 // caps tol·targetLeft / tol·targetRight. It mutates side in place.
-func fmRefine(g *subHG, side []int32, targetLeft int64, tol float64, maxPasses int, rng *stats.RNG) {
+func fmRefine(g *subHG, side []int32, targetLeft int64, tol float64, maxPasses int, rng *stats.RNG, sc *refineScratch) {
 	_ = rng // tie-breaking is deterministic via vertex ids
 	total := g.totalW
 	targetRight := total - targetLeft
@@ -232,13 +302,9 @@ func fmRefine(g *subHG, side []int32, targetLeft int64, tol float64, maxPasses i
 	}
 
 	for pass := 0; pass < maxPasses; pass++ {
-		s := newFMState(g, side)
-		type moveRec struct {
-			vertex int32
-			gain   int64
-		}
-		var moves []moveRec
-		var deferred []gainEntry
+		s := newFMState(g, side, sc)
+		moves := sc.moves[:0]
+		deferred := sc.deferred[:0]
 		cumGain := int64(0)
 		bestGain := int64(0)
 		bestPrefix := 0
@@ -284,6 +350,12 @@ func fmRefine(g *subHG, side []int32, targetLeft int64, tol float64, maxPasses i
 				deferred = deferred[:0]
 			}
 		}
+
+		// Return the possibly regrown buffers so the next pass (or level)
+		// reuses their capacity.
+		sc.moves = moves[:0]
+		sc.deferred = deferred[:0]
+		sc.heap = s.heap[:0]
 
 		// Roll back moves beyond the best prefix.
 		for i := len(moves) - 1; i >= bestPrefix; i-- {

@@ -138,8 +138,11 @@ type ServeOptions struct {
 	MaxIterations      int     `json:"max_iterations,omitempty"`
 	RefinementFactor   float64 `json:"refinement_factor,omitempty"`
 	DisableRefinement  bool    `json:"disable_refinement,omitempty"`
-	Seed               uint64  `json:"seed,omitempty"`
-	Workers            int     `json:"workers,omitempty"`
+	// FrontierRestreaming enables the frontier-based refinement kernel for
+	// the restreaming algorithms (see Options.FrontierRestreaming).
+	FrontierRestreaming bool   `json:"frontier_restreaming,omitempty"`
+	Seed                uint64 `json:"seed,omitempty"`
+	Workers             int    `json:"workers,omitempty"`
 }
 
 // Options bridges the wire options to the library Options consumed by the
@@ -149,11 +152,12 @@ func (o *ServeOptions) Options() *Options {
 		return nil
 	}
 	return &Options{
-		ImbalanceTolerance: o.ImbalanceTolerance,
-		MaxIterations:      o.MaxIterations,
-		RefinementFactor:   o.RefinementFactor,
-		DisableRefinement:  o.DisableRefinement,
-		Seed:               o.Seed,
+		ImbalanceTolerance:  o.ImbalanceTolerance,
+		MaxIterations:       o.MaxIterations,
+		RefinementFactor:    o.RefinementFactor,
+		DisableRefinement:   o.DisableRefinement,
+		FrontierRestreaming: o.FrontierRestreaming,
+		Seed:                o.Seed,
 	}
 }
 
@@ -168,9 +172,9 @@ func (o *ServeOptions) Key() string {
 	if (ServeOptions{Workers: o.Workers}) == *o {
 		return "opt:default"
 	}
-	return fmt.Sprintf("opt:%g:%d:%g:%t:s%d",
+	return fmt.Sprintf("opt:%g:%d:%g:%t:f%t:s%d",
 		o.ImbalanceTolerance, o.MaxIterations, o.RefinementFactor,
-		o.DisableRefinement, o.Seed)
+		o.DisableRefinement, o.FrontierRestreaming, o.Seed)
 }
 
 // ServeBenchOptions is the JSON-friendly mirror of BenchOptions.
