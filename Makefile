@@ -3,13 +3,16 @@ GO ?= go
 # fails, not when only the JSON conversion does.
 SHELL := /bin/bash
 
-.PHONY: build test vet bench serve clean
+.PHONY: build test race vet bench bench-compare bins serve cluster e2e clean
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -24,8 +27,39 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x ./internal/core/ \
 		| $(GO) run ./cmd/benchfmt -o BENCH_core.json
 
+# bench-compare re-runs the smoke benchmarks (same 3x sampling as the
+# committed baseline) and fails if any exhaustive/fast speedup family
+# collapsed by more than 1.5x against BENCH_core.json — the CI guard
+# against fast-path reverts.
+bench-compare:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x ./internal/core/ \
+		| $(GO) run ./cmd/benchfmt -o BENCH_new.json -compare BENCH_core.json -threshold 1.5
+
+bins:
+	$(GO) build -o bin/hpserve ./cmd/hpserve
+	$(GO) build -o bin/hpgate ./cmd/hpgate
+
 serve:
 	$(GO) run ./cmd/hpserve -addr :8080
 
+# cluster boots a local 2-backend sharded deployment: two hpserve nodes
+# and an hpgate gateway on :8080 routing between them. Ctrl-C stops all
+# three.
+cluster: bins
+	@trap 'kill 0' EXIT INT TERM; \
+	./bin/hpserve -addr 127.0.0.1:8081 & \
+	./bin/hpserve -addr 127.0.0.1:8082 & \
+	sleep 0.3; \
+	./bin/hpgate -addr 127.0.0.1:8080 \
+		-backends http://127.0.0.1:8081,http://127.0.0.1:8082
+
+# e2e builds the serving binaries and drives a 2-backend cluster through
+# batch submission, SSE progress, routing and failover checks; non-zero
+# exit on any failed check (the CI end-to-end job).
+e2e: bins
+	$(GO) run ./examples/cluster -hpserve bin/hpserve -hpgate bin/hpgate
+
 clean:
 	$(GO) clean ./...
+	rm -rf bin BENCH_new.json

@@ -1,6 +1,8 @@
-// Package client is a small Go client for the hpserve partition service
-// (cmd/hpserve). It speaks the JSON API defined by the hyperpraw facade's
-// serving types: submit a PartitionRequest, poll the job, fetch the result.
+// Package client is a small Go client for the hyperpraw serving tier. It
+// speaks the JSON API defined by the hyperpraw facade's serving types and
+// works against either tier: a single hpserve backend (cmd/hpserve) or an
+// hpgate gateway fronting many of them (cmd/hpgate) — the gateway exposes
+// the same API plus transparent routing and failover.
 //
 //	c := client.New("http://localhost:8080", nil)
 //	res, err := c.Partition(ctx, hyperpraw.PartitionRequest{
@@ -8,15 +10,21 @@
 //	    Machine:   hyperpraw.MachineSpec{Kind: "archer", Cores: 64},
 //	    Instance:  &hyperpraw.InstanceSpec{Name: "sparsine", Scale: 0.01},
 //	})
+//
+// Beyond submit/poll/result the client supports batch submission
+// (SubmitBatch), live per-iteration progress over SSE (StreamProgress),
+// and a retry policy (Retry) for flaky links.
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"time"
@@ -28,13 +36,46 @@ import (
 // running.
 var ErrNotDone = errors.New("client: job not finished")
 
-// Client talks to one hpserve instance.
+// ErrStreamEnded is returned by StreamProgress when the event stream
+// closes before the job's final event arrives — typically the server going
+// away mid-job. Reconnect (possibly elsewhere) with the last seen sequence
+// number to resume.
+var ErrStreamEnded = errors.New("client: event stream ended before the job finished")
+
+// APIError is a non-2xx response from the server, carrying the HTTP status
+// code so callers (the hpgate gateway in particular) can distinguish
+// retryable server-side failures from request errors.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// RetryPolicy tunes the client's transparent retries. Retries apply to GET
+// requests failing with transport errors or 502/503/504, and to any method
+// whose connection could not be established at all (a dial error means the
+// request never reached a server, so resending cannot duplicate work).
+type RetryPolicy struct {
+	// Attempts is the total number of tries (default 1: no retry).
+	Attempts int
+	// Backoff is the wait before the second try; subsequent waits grow
+	// linearly (default 100ms).
+	Backoff time.Duration
+}
+
+// Client talks to one hpserve or hpgate instance.
 type Client struct {
 	base string
 	hc   *http.Client
 	// Poll is the interval Wait and Partition use between status checks
 	// (default 50ms).
 	Poll time.Duration
+	// Retry is the transparent retry policy; the zero value disables
+	// retries.
+	Retry RetryPolicy
 }
 
 // New returns a Client for the server at baseURL (e.g.
@@ -53,8 +94,22 @@ func (c *Client) Submit(ctx context.Context, req hyperpraw.PartitionRequest) (hy
 		return hyperpraw.JobInfo{}, err
 	}
 	var info hyperpraw.JobInfo
-	err = c.do(ctx, http.MethodPost, "/v1/partition", bytes.NewReader(body), "application/json", http.StatusAccepted, &info)
+	err = c.do(ctx, http.MethodPost, "/v1/partition", body, "application/json", http.StatusAccepted, &info)
 	return info, err
+}
+
+// SubmitBatch submits many jobs in one POST /v1/partition/batch round
+// trip. The response answers each request entry independently: check
+// BatchItem.Error per entry — a partially rejected batch is not an error
+// at this level.
+func (c *Client) SubmitBatch(ctx context.Context, reqs []hyperpraw.PartitionRequest) (hyperpraw.BatchResponse, error) {
+	body, err := json.Marshal(hyperpraw.BatchRequest{Jobs: reqs})
+	if err != nil {
+		return hyperpraw.BatchResponse{}, err
+	}
+	var resp hyperpraw.BatchResponse
+	err = c.do(ctx, http.MethodPost, "/v1/partition/batch", body, "application/json", http.StatusAccepted, &resp)
+	return resp, err
 }
 
 // SubmitHypergraph serialises h inline (hMetis text) and submits it.
@@ -140,25 +195,151 @@ func (c *Client) Partition(ctx context.Context, req hyperpraw.PartitionRequest) 
 	return c.Wait(ctx, info.ID)
 }
 
-// Health fetches the server's health snapshot.
+// StreamProgress subscribes to job id's per-iteration progress over SSE
+// (GET /v1/jobs/{id}/events), calling fn for every event including the
+// final one. after resumes the stream past a previously seen sequence
+// number (0 from the start). It returns nil once the final event has been
+// delivered, fn's error if fn rejects an event, and ErrStreamEnded when
+// the stream closes early — reconnect with the last seen Seq to resume.
+func (c *Client) StreamProgress(ctx context.Context, id string, after int, fn func(hyperpraw.ProgressEvent) error) error {
+	path := fmt.Sprintf("/v1/jobs/%s/events?after=%d", id, after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" { // frame boundary
+			if len(data) == 0 {
+				continue
+			}
+			var ev hyperpraw.ProgressEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("client: bad event payload: %w", err)
+			}
+			data = data[:0]
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Final {
+				return nil
+			}
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "data:"); ok {
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, strings.TrimPrefix(v, " ")...)
+		}
+		// id:/event:/comment lines carry nothing the JSON doesn't.
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("client: reading event stream: %w", err)
+	}
+	return ErrStreamEnded
+}
+
+// Health fetches the server's health snapshot (hpserve form).
 func (c *Client) Health(ctx context.Context) (hyperpraw.ServeHealth, error) {
 	var h hyperpraw.ServeHealth
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, "", http.StatusOK, &h)
 	return h, err
 }
 
-func (c *Client) roundTrip(ctx context.Context, method, path string, body io.Reader, contentType string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return nil, err
-	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	return c.hc.Do(req)
+// GatewayHealth fetches the health snapshot of an hpgate gateway,
+// including per-backend status.
+func (c *Client) GatewayHealth(ctx context.Context) (hyperpraw.GatewayHealth, error) {
+	var h hyperpraw.GatewayHealth
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, "", http.StatusOK, &h)
+	return h, err
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, wantStatus int, out any) error {
+// roundTrip issues one request under the retry policy. body is a byte
+// slice (not a Reader) so retries can resend it.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.Retry.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		switch {
+		case err == nil && !(method == http.MethodGet && retryableStatus(resp.StatusCode)):
+			return resp, nil
+		case err == nil:
+			lastErr = apiError(resp)
+			resp.Body.Close()
+		case retryableTransport(method, err):
+			lastErr = err
+		default:
+			return nil, err
+		}
+		if attempt >= attempts {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff * time.Duration(attempt)):
+		}
+	}
+}
+
+// retryableTransport reports whether a transport-level error is safe to
+// retry for the method: any error on a GET, but only dial errors (the
+// request never left the client) on mutating methods.
+func retryableTransport(method string, err error) bool {
+	if method == http.MethodGet {
+		return true
+	}
+	var opErr *net.OpError
+	return errors.As(err, &opErr) && opErr.Op == "dial"
+}
+
+// retryableStatus reports whether an HTTP status indicates a transient
+// server-side condition.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, wantStatus int, out any) error {
 	resp, err := c.roundTrip(ctx, method, path, body, contentType)
 	if err != nil {
 		return err
@@ -178,8 +359,9 @@ func apiError(resp *http.Response) error {
 		Error string `json:"error"`
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	msg := strings.TrimSpace(string(data))
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		msg = e.Error
 	}
-	return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
 }

@@ -1,0 +1,127 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+	"hyperpraw/internal/service"
+)
+
+func TestRetryGETRecoversFrom503(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","workers":1}`)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.Retry = client.RetryPolicy{Attempts: 3, Backoff: time.Millisecond}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health after retries: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 3 {
+		t.Fatalf("status %q after %d calls, want ok after 3", h.Status, calls.Load())
+	}
+}
+
+func TestRetryDoesNotResendPOSTOn503(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.Retry = client.RetryPolicy{Attempts: 3, Backoff: time.Millisecond}
+	_, err := c.Submit(context.Background(), hyperpraw.PartitionRequest{Algorithm: "aware"})
+	if err == nil {
+		t.Fatal("submit against a 503 server succeeded")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("POST sent %d times, a 503 must not be resent", calls.Load())
+	}
+}
+
+func TestAPIErrorCarriesStatusCode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown job job-42"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	_, err := client.New(ts.URL, nil).Job(context.Background(), "job-42")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not an APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusNotFound || apiErr.Message != "unknown job job-42" {
+		t.Fatalf("APIError %+v", apiErr)
+	}
+}
+
+func TestStreamProgressParsesSSE(t *testing.T) {
+	frames := []hyperpraw.ProgressEvent{
+		{JobID: "job-000001", Seq: 1, IterationPoint: hyperpraw.IterationPoint{Iteration: 1, CommCost: 12.5, Moves: 3}},
+		{JobID: "job-000001", Seq: 2, IterationPoint: hyperpraw.IterationPoint{Iteration: 2, CommCost: 9.25, InTolerance: true}},
+		{JobID: "job-000001", Seq: 3, Final: true, Status: hyperpraw.JobDone},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, ": keepalive comment the parser must skip\n\n")
+		for _, ev := range frames {
+			if err := service.WriteSSE(w, ev); err != nil {
+				t.Error(err)
+			}
+		}
+	}))
+	defer ts.Close()
+
+	var got []hyperpraw.ProgressEvent
+	err := client.New(ts.URL, nil).StreamProgress(context.Background(), "job-000001", 0,
+		func(ev hyperpraw.ProgressEvent) error {
+			got = append(got, ev)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if got[i] != frames[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], frames[i])
+		}
+	}
+}
+
+func TestStreamProgressReportsEarlyEnd(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		service.WriteSSE(w, hyperpraw.ProgressEvent{ //nolint:errcheck
+			JobID: "job-000001", Seq: 1,
+			IterationPoint: hyperpraw.IterationPoint{Iteration: 1},
+		})
+		// Connection closes without a final frame — a dying server.
+	}))
+	defer ts.Close()
+
+	err := client.New(ts.URL, nil).StreamProgress(context.Background(), "job-000001", 0,
+		func(hyperpraw.ProgressEvent) error { return nil })
+	if !errors.Is(err, client.ErrStreamEnded) {
+		t.Fatalf("error %v, want ErrStreamEnded", err)
+	}
+}

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkStream -benchtime 3x ./internal/core/ | benchfmt -o BENCH_core.json
+//
+// With -compare BASELINE.json the new report is additionally checked
+// against a committed baseline: the per-family exhaustive/fast speedup
+// ratios must not have collapsed by more than -threshold (default 1.5).
+// Speedups are within-run ratios, so the check is robust to the absolute
+// timing noise of CI machines while still catching a fast-path revert —
+// a reverted fast kernel drags its family's speedup to ~1x, which trips
+// the threshold no matter how fast or slow the runner is.
 package main
 
 import (
@@ -41,6 +49,8 @@ var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) n
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file (\"-\" for stdout)")
+	compare := flag.String("compare", "", "baseline BENCH_core.json to guard speedups against (empty disables)")
+	threshold := flag.Float64("threshold", 1.5, "max tolerated baseline/new speedup ratio before failing")
 	flag.Parse()
 
 	rep := report{GeneratedAt: time.Now().UTC().Format(time.RFC3339), Speedups: map[string]float64{}}
@@ -117,16 +127,82 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		for _, k := range keys {
+			if s, ok := rep.Speedups[k]; ok {
+				fmt.Printf("%-40s %5.2fx\n", k, s)
+			}
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchfmt: write %s: %v\n", *out, err)
-		os.Exit(1)
-	}
-	for _, k := range keys {
-		if s, ok := rep.Speedups[k]; ok {
-			fmt.Printf("%-40s %5.2fx\n", k, s)
+
+	if *compare != "" {
+		// With -o - the JSON report owns stdout; route the comparison
+		// table to stderr so the document stays parseable.
+		logw := os.Stdout
+		if *out == "-" {
+			logw = os.Stderr
+		}
+		if err := compareBaseline(logw, *compare, rep, *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+			os.Exit(1)
 		}
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// compareBaseline fails when any speedup family present in the baseline is
+// missing from the new report, or has collapsed by more than threshold
+// (baseline/new > threshold). New families absent from the baseline pass:
+// the guard rejects regressions, not additions.
+func compareBaseline(logw *os.File, path string, rep report, threshold float64) error {
+	if threshold <= 0 {
+		return fmt.Errorf("threshold must be positive, got %g", threshold)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if len(base.Speedups) == 0 {
+		return fmt.Errorf("baseline %s has no speedups to compare against", path)
+	}
+
+	keys := make([]string, 0, len(base.Speedups))
+	for k := range base.Speedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regressions []string
+	for _, k := range keys {
+		baseS := base.Speedups[k]
+		if baseS <= 0 {
+			continue
+		}
+		newS, ok := rep.Speedups[k]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: present in baseline (%.2fx) but missing from this run", k, baseS))
+			continue
+		}
+		ratio := baseS / newS
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: speedup %.2fx vs baseline %.2fx (ratio %.2f > %.2f)", k, newS, baseS, ratio, threshold))
+		}
+		fmt.Fprintf(logw, "compare %-40s base %5.2fx new %5.2fx  %s\n", k, baseS, newS, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d speedup regression(s) beyond %.2fx against %s:\n  %s",
+			len(regressions), threshold, path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(logw, "compare: %d speedup families within %.2fx of %s\n", len(keys), threshold, path)
+	return nil
 }

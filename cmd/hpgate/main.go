@@ -1,0 +1,94 @@
+// Command hpgate is the routing tier in front of N hpserve backends
+// (internal/gateway): it routes each job to a backend chosen by rendezvous
+// hashing on the job's hypergraph fingerprint so resubmissions hit warm
+// caches, health-checks the backend set with automatic ejection and
+// re-admission, and fails jobs over to the next backend when one dies.
+//
+// Usage:
+//
+//	hpgate -addr :8080 -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// API (the hpserve surface, gateway-routed, plus /v1/backends):
+//
+//	POST /v1/partition          submit a job (routed by fingerprint)
+//	POST /v1/partition/batch    submit many jobs, fanned out across backends
+//	GET  /v1/jobs               list gateway jobs
+//	GET  /v1/jobs/{id}          job status
+//	GET  /v1/jobs/{id}/result   finished payload
+//	GET  /v1/jobs/{id}/events   SSE per-iteration progress
+//	GET  /v1/algorithms         supported algorithms
+//	GET  /v1/backends           backend set and health
+//	GET  /healthz               gateway + backend health
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hyperpraw/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	backends := flag.String("backends", "", "comma-separated hpserve base URLs (required)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "backend health probe period")
+	healthTimeout := flag.Duration("health-timeout", time.Second, "single health probe deadline")
+	failovers := flag.Int("failovers", 3, "max failover resubmissions per job")
+	maxJobs := flag.Int("max-jobs", 4096, "retained job entries")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+	if flag.NArg() != 0 || *backends == "" {
+		fmt.Fprintln(os.Stderr, "usage: hpgate -backends URL[,URL...] [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("hpgate: -backends lists no usable URLs")
+	}
+
+	gw := gateway.New(gateway.Config{
+		Backends:       urls,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		FailoverLimit:  *failovers,
+		MaxJobs:        *maxJobs,
+	})
+	server := &http.Server{Addr: *addr, Handler: gateway.NewHandler(gw)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("hpgate: listening on %s, fronting %d backends: %s", *addr, len(urls), strings.Join(urls, ", "))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hpgate: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("hpgate: draining (deadline %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Printf("hpgate: http shutdown: %v", err)
+	}
+	gw.Close()
+	log.Printf("hpgate: bye")
+}

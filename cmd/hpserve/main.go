@@ -10,11 +10,16 @@
 // API (see README.md for curl examples):
 //
 //	POST /v1/partition          submit a job
+//	POST /v1/partition/batch    submit many jobs in one request
 //	GET  /v1/jobs               list jobs
 //	GET  /v1/jobs/{id}          job status
 //	GET  /v1/jobs/{id}/result   finished payload
+//	GET  /v1/jobs/{id}/events   SSE per-iteration progress
 //	GET  /v1/algorithms         supported algorithms
 //	GET  /healthz               liveness + statistics
+//
+// Several hpserve instances can be fronted by an hpgate gateway
+// (cmd/hpgate) for fingerprint-routed, failover-capable serving.
 package main
 
 import (

@@ -1,0 +1,288 @@
+// Command cluster is the end-to-end exercise of the sharded serving tier:
+// it boots two hpserve backends and an hpgate gateway as subprocesses,
+// then drives the whole surface through the client package — batch
+// submission fanned out across the backends, deterministic fingerprint
+// routing, SSE per-iteration progress, and failover (one backend is
+// killed and its job must still complete). Any failed check exits
+// non-zero, which is what the CI e2e job keys off.
+//
+// Usage (binaries are built by `make bins`):
+//
+//	go run ./examples/cluster -hpserve bin/hpserve -hpgate bin/hpgate
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+	"hyperpraw/internal/gateway"
+	"hyperpraw/internal/service"
+)
+
+var (
+	hpserveBin = flag.String("hpserve", "bin/hpserve", "path to the hpserve binary")
+	hpgateBin  = flag.String("hpgate", "bin/hpgate", "path to the hpgate binary")
+	basePort   = flag.Int("base-port", 18080, "gateway port; backends use the two ports above it")
+	timeout    = flag.Duration("timeout", 3*time.Minute, "overall deadline")
+)
+
+// tinyHMetis returns a small hypergraph in hMetis text whose pin structure
+// varies with i, giving the test distinct deterministic fingerprints.
+func tinyHMetis(i int) string {
+	return fmt.Sprintf("3 8\n1 2 %d\n3 4 %d\n5 6 7 8\n", 3+i%6, []int{5, 6, 7, 8, 1, 2}[i/6%6])
+}
+
+func wire(i int) hyperpraw.PartitionRequest {
+	return hyperpraw.PartitionRequest{
+		Algorithm: "aware",
+		Machine:   hyperpraw.MachineSpec{Kind: "archer", Cores: 4},
+		HMetis:    tinyHMetis(i),
+	}
+}
+
+// wiresCovering picks perBackend wires routed to each backend by scanning
+// the wire variants against the gateway's rendezvous order, so the batch
+// phase provably spreads across the whole backend set no matter which
+// ports the cluster runs on.
+func wiresCovering(urls []string, perBackend int) ([]hyperpraw.PartitionRequest, error) {
+	need := make(map[string]int, len(urls))
+	for _, u := range urls {
+		need[u] = perBackend
+	}
+	var out []hyperpraw.PartitionRequest
+	for i := 0; i < 36 && len(out) < perBackend*len(urls); i++ {
+		w := wire(i)
+		req, err := service.ParseRequest(w)
+		if err != nil {
+			return nil, err
+		}
+		top := gateway.RendezvousOrder(urls, req.FingerprintKey())[0]
+		if need[top] > 0 {
+			need[top]--
+			out = append(out, w)
+		}
+	}
+	if len(out) != perBackend*len(urls) {
+		return nil, fmt.Errorf("only %d of %d wires cover %v", len(out), perBackend*len(urls), urls)
+	}
+	return out, nil
+}
+
+func start(name string, args ...string) (*exec.Cmd, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", name, err)
+	}
+	return cmd, nil
+}
+
+func waitHealthy(ctx context.Context, url string) error {
+	c := client.New(url, nil)
+	for {
+		if _, err := c.Health(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%s never became healthy: %w", url, ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func main() {
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("cluster: ")
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	gwURL := fmt.Sprintf("http://127.0.0.1:%d", *basePort)
+	backendURLs := []string{
+		fmt.Sprintf("http://127.0.0.1:%d", *basePort+1),
+		fmt.Sprintf("http://127.0.0.1:%d", *basePort+2),
+	}
+
+	var procs []*exec.Cmd
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill() //nolint:errcheck
+				p.Wait()         //nolint:errcheck
+			}
+		}
+	}()
+	backendProc := map[string]*exec.Cmd{}
+	for _, u := range backendURLs {
+		p, err := start(*hpserveBin, "-addr", u[len("http://"):], "-workers", "2")
+		if err != nil {
+			log.Fatal(err)
+		}
+		procs = append(procs, p)
+		backendProc[u] = p
+	}
+	gw, err := start(*hpgateBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", *basePort),
+		"-backends", backendURLs[0]+","+backendURLs[1],
+		"-health-interval", "300ms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs = append(procs, gw)
+
+	for _, u := range append([]string{gwURL}, backendURLs...) {
+		if err := waitHealthy(ctx, u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("gateway %s fronting %v", gwURL, backendURLs)
+
+	c := client.New(gwURL, nil)
+	c.Retry = client.RetryPolicy{Attempts: 3, Backoff: 200 * time.Millisecond}
+
+	// Phase 1: batch submission fans out and every job completes.
+	reqs, err := wiresCovering(backendURLs, 3)
+	if err != nil {
+		log.Fatalf("selecting batch wires: %v", err)
+	}
+	batch, err := c.SubmitBatch(ctx, reqs)
+	if err != nil {
+		log.Fatalf("batch submit: %v", err)
+	}
+	if batch.Accepted != len(reqs) {
+		log.Fatalf("batch accepted %d/%d jobs: %+v", batch.Accepted, len(reqs), batch.Jobs)
+	}
+	usedBackends := map[string]bool{}
+	routed := map[int]string{}
+	for i, item := range batch.Jobs {
+		res, err := c.Wait(ctx, item.Job.ID)
+		if err != nil {
+			log.Fatalf("batch job %d (%s): %v", i, item.Job.ID, err)
+		}
+		if len(res.Parts) != 8 {
+			log.Fatalf("batch job %d: %d parts, want 8", i, len(res.Parts))
+		}
+		usedBackends[item.Job.Backend] = true
+		routed[i] = item.Job.Backend
+	}
+	if len(usedBackends) < 2 {
+		log.Fatalf("batch of %d distinct hypergraphs used only %v", len(reqs), usedBackends)
+	}
+	log.Printf("phase 1 ok: batch of %d jobs completed across %d backends", len(reqs), len(usedBackends))
+
+	// Phase 2: the same fingerprint routes to the same backend.
+	for i := 0; i < 3; i++ {
+		info, err := c.Submit(ctx, reqs[i])
+		if err != nil {
+			log.Fatalf("resubmit %d: %v", i, err)
+		}
+		if info.Backend != routed[i] {
+			log.Fatalf("resubmit %d routed to %s, batch went to %s", i, info.Backend, routed[i])
+		}
+	}
+	log.Print("phase 2 ok: fingerprint routing is deterministic")
+
+	// Phase 3: SSE streams per-iteration progress ending in a done frame.
+	sseInfo, err := c.Submit(ctx, wire(7))
+	if err != nil {
+		log.Fatalf("sse submit: %v", err)
+	}
+	var events []hyperpraw.ProgressEvent
+	err = c.StreamProgress(ctx, sseInfo.ID, 0, func(ev hyperpraw.ProgressEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("sse stream: %v", err)
+	}
+	if len(events) < 2 {
+		log.Fatalf("sse delivered %d events, want iterations plus a final", len(events))
+	}
+	final := events[len(events)-1]
+	if !final.Final || final.Status != hyperpraw.JobDone {
+		log.Fatalf("sse final frame %+v, want done", final)
+	}
+	if events[0].Iteration < 1 {
+		log.Fatalf("sse first frame has no iteration: %+v", events[0])
+	}
+	log.Printf("phase 3 ok: streamed %d iteration frames + done", len(events)-1)
+
+	// Phase 4: kill the backend serving a fresh job; the job must still
+	// complete via gateway failover to the survivor.
+	foInfo, err := c.Submit(ctx, wire(13))
+	if err != nil {
+		log.Fatalf("failover submit: %v", err)
+	}
+	victim := foInfo.Backend
+	proc, ok := backendProc[victim]
+	if !ok {
+		log.Fatalf("job routed to unknown backend %q", victim)
+	}
+	if err := proc.Process.Kill(); err != nil {
+		log.Fatalf("killing %s: %v", victim, err)
+	}
+	proc.Wait() //nolint:errcheck
+	log.Printf("killed backend %s serving job %s", victim, foInfo.ID)
+
+	res, err := c.Wait(ctx, foInfo.ID)
+	if err != nil {
+		log.Fatalf("job did not survive backend death: %v", err)
+	}
+	if len(res.Parts) != 8 {
+		log.Fatalf("failover result has %d parts, want 8", len(res.Parts))
+	}
+	info, err := c.Job(ctx, foInfo.ID)
+	if err != nil {
+		log.Fatalf("failover job status: %v", err)
+	}
+	if info.Backend == victim {
+		log.Fatalf("completed job still attributed to the dead backend %s", victim)
+	}
+
+	// The health loop must eject the dead backend shortly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gh, err := c.GatewayHealth(ctx)
+		if err == nil {
+			healthy := 0
+			for _, b := range gh.Backends {
+				if b.Healthy {
+					healthy++
+				}
+			}
+			if healthy == 1 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("gateway never ejected the killed backend")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	log.Printf("phase 4 ok: job %s completed on %s after its backend died", foInfo.ID, info.Backend)
+
+	// Sanity: a bad request is rejected at the gateway, not routed.
+	bad := wire(0)
+	bad.Algorithm = "quantum"
+	if _, err := c.Submit(ctx, bad); err == nil {
+		log.Fatal("gateway accepted an unknown algorithm")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+			log.Fatalf("bad request rejected with %v, want 400", err)
+		}
+	}
+
+	log.Print("all phases passed")
+}

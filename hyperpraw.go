@@ -45,6 +45,10 @@ type QualityReport = metrics.QualityReport
 // stopping reason, final metrics).
 type PartitionResult = core.Result
 
+// IterationStats re-exports the per-iteration statistics recorded in
+// PartitionResult.History and delivered live through Options.Progress.
+type IterationStats = core.IterationStats
+
 // BenchResult re-exports the simulated benchmark outcome.
 type BenchResult = netsim.Result
 
@@ -134,6 +138,11 @@ type Options struct {
 	// semantics; turning it on trades bit-identical iteration histories for
 	// much cheaper refinement at equivalent final quality.
 	FrontierRestreaming bool
+	// Progress, when non-nil, is called synchronously after each restreaming
+	// iteration with that iteration's statistics (the live counterpart of
+	// RecordHistory). Only the restreaming algorithms report progress; the
+	// multilevel and hierarchical baselines ignore it.
+	Progress func(IterationStats)
 	// Seed drives the multilevel baseline's randomness (default 1).
 	Seed uint64
 }
@@ -155,6 +164,7 @@ func (o *Options) orDefault() Options {
 	out.DisableRefinement = o.DisableRefinement
 	out.RecordHistory = o.RecordHistory
 	out.FrontierRestreaming = o.FrontierRestreaming
+	out.Progress = o.Progress
 	if o.Seed != 0 {
 		out.Seed = o.Seed
 	}
@@ -171,6 +181,7 @@ func prawConfig(cost [][]float64, o Options) core.Config {
 	}
 	cfg.RecordHistory = o.RecordHistory
 	cfg.FrontierRestreaming = o.FrontierRestreaming
+	cfg.Progress = o.Progress
 	return cfg
 }
 

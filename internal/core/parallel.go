@@ -129,10 +129,14 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		lastInTol = inTol
 		cost := commCostScanned(comm, cfg, h, snapshot)
 
+		st := IterationStats{
+			Iteration: n, CommCost: cost, Imbalance: imb, Alpha: alpha, InTolerance: inTol,
+		}
 		if cfg.RecordHistory {
-			res.History = append(res.History, IterationStats{
-				Iteration: n, CommCost: cost, Imbalance: imb, Alpha: alpha, InTolerance: inTol,
-			})
+			res.History = append(res.History, st)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(st)
 		}
 
 		if !inTol {

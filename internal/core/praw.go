@@ -72,6 +72,12 @@ type Config struct {
 	// RecordHistory stores per-iteration statistics in the result (used for
 	// Fig 3).
 	RecordHistory bool
+	// Progress, when non-nil, is called synchronously after every stream
+	// with that stream's statistics — the live counterpart of RecordHistory,
+	// used by the serving layer to push per-iteration progress to clients
+	// while the run is still going. The callback runs on the partitioning
+	// goroutine; a slow callback slows the run.
+	Progress func(IterationStats)
 	// UseEdgeWeights switches the neighbour count X_j(v) from distinct
 	// neighbours to hyperedge-weighted pin incidences, implementing the
 	// paper's §8.2 extension for asymmetric communication patterns ("weighing
@@ -455,15 +461,19 @@ func (pr *Partitioner) Run() Result {
 		lastInTol = inTol
 		cost := pr.monitoredCost()
 
+		st := IterationStats{
+			Iteration:   n,
+			CommCost:    cost,
+			Imbalance:   imb,
+			Alpha:       alpha,
+			Moves:       moves,
+			InTolerance: inTol,
+		}
 		if pr.cfg.RecordHistory {
-			res.History = append(res.History, IterationStats{
-				Iteration:   n,
-				CommCost:    cost,
-				Imbalance:   imb,
-				Alpha:       alpha,
-				Moves:       moves,
-				InTolerance: inTol,
-			})
+			res.History = append(res.History, st)
+		}
+		if pr.cfg.Progress != nil {
+			pr.cfg.Progress(st)
 		}
 
 		if !inTol {

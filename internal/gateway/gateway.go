@@ -1,0 +1,798 @@
+// Package gateway is the routing tier in front of N hpserve backends: it
+// routes each partition job to a backend chosen by rendezvous hashing on
+// the job's hypergraph fingerprint (so resubmissions of the same hypergraph
+// hit the backend whose LRU caches are warm), health-checks the backend set
+// with automatic ejection and re-admission, and fails a job over to the
+// next-ranked backend when its backend dies — on submission, on result
+// polling, and mid-SSE-stream alike. cmd/hpgate exposes it over HTTP with
+// the same API surface as hpserve plus batch fan-out.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+	"hyperpraw/internal/service"
+)
+
+var (
+	// ErrBadRequest wraps request validation failures (the client's fault).
+	ErrBadRequest = errors.New("gateway: bad request")
+	// ErrNoBackends is returned when no backend could accept a job.
+	ErrNoBackends = errors.New("gateway: no backend available")
+	// ErrUnknownJob is returned for job ids the gateway has never issued
+	// (or has pruned).
+	ErrUnknownJob = errors.New("gateway: unknown job")
+)
+
+// Config tunes a Gateway; zero values select the defaults noted per field.
+type Config struct {
+	// Backends is the initial backend set (hpserve base URLs).
+	Backends []string
+	// HTTPClient talks to the backends; nil selects a client without a
+	// global timeout (SSE streams are long-lived), health probes are
+	// bounded by HealthTimeout instead.
+	HTTPClient *http.Client
+	// HealthInterval is the period of the background health-check loop
+	// (default 2s). A negative interval disables the loop; tests drive
+	// CheckBackends directly.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default 1s).
+	HealthTimeout time.Duration
+	// ProxyTimeout bounds one proxied submit/status/result call to a
+	// backend (default 15s). Proxy calls run holding the job's lock, so an
+	// unbounded call against a wedged backend would wedge the gateway's
+	// own health and listing endpoints with it; SSE streams are long-lived
+	// and not subject to it.
+	ProxyTimeout time.Duration
+	// FailoverLimit is how many times one job may be resubmitted to
+	// another backend before the gateway marks it failed (default 3).
+	FailoverLimit int
+	// MaxJobs bounds how many jobs are retained for status queries; the
+	// oldest finished jobs are pruned beyond it (default 4096).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = 15 * time.Second
+	}
+	if c.FailoverLimit <= 0 {
+		c.FailoverLimit = 3
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// backend is one hpserve instance in the routing set.
+type backend struct {
+	url string
+	cli *client.Client
+
+	mu      sync.Mutex
+	healthy bool
+	fails   int
+}
+
+func (b *backend) status() (healthy bool, fails int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy, b.fails
+}
+
+// markDown ejects the backend after an observed failure.
+func (b *backend) markDown() {
+	b.mu.Lock()
+	b.healthy = false
+	b.fails++
+	b.mu.Unlock()
+}
+
+// markUp re-admits the backend after a successful probe or call.
+func (b *backend) markUp() {
+	b.mu.Lock()
+	b.healthy = true
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// gwJob is the gateway-side state of one routed job. The original wire
+// request is retained until the job reaches a terminal state so a failover
+// can resubmit it verbatim to another backend.
+//
+// Lock ordering: gwJob.mu may be held while taking Gateway.mu (the proxy
+// paths do), so Gateway methods holding Gateway.mu must never take a
+// gwJob.mu — terminal is atomic for exactly that reason (pruneLocked reads
+// it under Gateway.mu).
+type gwJob struct {
+	mu          sync.Mutex
+	id          string
+	fingerprint string
+	wire        hyperpraw.PartitionRequest
+	backendURL  string
+	backendID   string // the job's id on that backend
+	info        hyperpraw.JobInfo
+	failovers   int
+	terminal    atomic.Bool
+}
+
+func (j *gwJob) snapshot() hyperpraw.JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+// Gateway routes partition jobs across a dynamic set of hpserve backends.
+type Gateway struct {
+	cfg Config
+
+	mu       sync.Mutex
+	backends map[string]*backend
+	jobs     map[string]*gwJob
+	order    []string // submission order, for listing and pruning
+	nextID   int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New returns a Gateway over cfg.Backends with the health-check loop
+// running (unless cfg.HealthInterval is negative). Backends start healthy
+// and are ejected by their first failed probe or proxied call.
+func New(cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:      cfg,
+		backends: make(map[string]*backend),
+		jobs:     make(map[string]*gwJob),
+		stop:     make(chan struct{}),
+	}
+	for _, url := range cfg.Backends {
+		g.AddBackend(url)
+	}
+	if cfg.HealthInterval > 0 {
+		g.wg.Add(1)
+		go g.healthLoop()
+	}
+	return g
+}
+
+// Close stops the health-check loop. In-flight proxied requests are not
+// interrupted.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// AddBackend adds (or re-adds) a backend by base URL; it starts healthy.
+func (g *Gateway) AddBackend(url string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.backends[url]; ok {
+		return
+	}
+	g.backends[url] = &backend{url: url, cli: client.New(url, g.cfg.HTTPClient), healthy: true}
+}
+
+// RemoveBackend drops a backend from the routing set. Jobs currently
+// routed to it fail over on their next status or result poll.
+func (g *Gateway) RemoveBackend(url string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.backends, url)
+}
+
+// Backends reports every backend's state, sorted by URL.
+func (g *Gateway) Backends() []hyperpraw.BackendStatus {
+	g.mu.Lock()
+	backends := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		backends = append(backends, b)
+	}
+	jobs := make([]*gwJob, 0, len(g.jobs))
+	for _, j := range g.jobs {
+		jobs = append(jobs, j)
+	}
+	g.mu.Unlock()
+
+	perBackend := make(map[string]int)
+	for _, j := range jobs {
+		j.mu.Lock()
+		perBackend[j.backendURL]++
+		j.mu.Unlock()
+	}
+
+	out := make([]hyperpraw.BackendStatus, 0, len(backends))
+	for _, b := range backends {
+		healthy, fails := b.status()
+		out = append(out, hyperpraw.BackendStatus{
+			URL: b.url, Healthy: healthy, Fails: fails, Jobs: perBackend[b.url],
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].URL < out[k].URL })
+	return out
+}
+
+// Health reports the gateway's point-in-time state. Status is "ok" while
+// at least one backend is healthy and "degraded" otherwise.
+func (g *Gateway) Health() hyperpraw.GatewayHealth {
+	backends := g.Backends()
+	status := "degraded"
+	for _, b := range backends {
+		if b.Healthy {
+			status = "ok"
+			break
+		}
+	}
+	g.mu.Lock()
+	jobs := len(g.jobs)
+	g.mu.Unlock()
+	return hyperpraw.GatewayHealth{Status: status, Backends: backends, Jobs: jobs}
+}
+
+// healthLoop probes every backend each HealthInterval, ejecting backends
+// whose /healthz fails and re-admitting them when it recovers.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.CheckBackends(context.Background())
+		}
+	}
+}
+
+// CheckBackends probes every backend's /healthz once, concurrently,
+// updating the healthy set. The background loop calls it periodically;
+// tests call it directly.
+func (g *Gateway) CheckBackends(ctx context.Context) {
+	g.mu.Lock()
+	backends := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		backends = append(backends, b)
+	}
+	g.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, b := range backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			probeCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
+			defer cancel()
+			if _, err := b.cli.Health(probeCtx); err != nil {
+				b.markDown()
+			} else {
+				b.markUp()
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// rendezvousScore is the highest-random-weight score of (key, member):
+// FNV-1a over the key, a separator, and the member URL.
+func rendezvousScore(key, member string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(member))
+	return h.Sum64()
+}
+
+// RendezvousOrder ranks members for key by descending rendezvous score
+// (ties broken by URL so the order is total). The ranking is stable under
+// membership change: removing a member only remaps the keys that ranked it
+// first, and re-adding it restores the previous assignment.
+func RendezvousOrder(members []string, key string) []string {
+	out := append([]string(nil), members...)
+	sort.Slice(out, func(i, k int) bool {
+		si, sk := rendezvousScore(key, out[i]), rendezvousScore(key, out[k])
+		if si != sk {
+			return si > sk
+		}
+		return out[i] < out[k]
+	})
+	return out
+}
+
+// route returns the backends to try for a fingerprint: rendezvous order,
+// healthy backends first (each group keeping its rendezvous rank), so an
+// ejected primary is still reachable as a last resort when every healthy
+// backend has refused.
+func (g *Gateway) route(fingerprint string) []*backend {
+	g.mu.Lock()
+	urls := make([]string, 0, len(g.backends))
+	for url := range g.backends {
+		urls = append(urls, url)
+	}
+	byURL := make(map[string]*backend, len(g.backends))
+	for url, b := range g.backends {
+		byURL[url] = b
+	}
+	g.mu.Unlock()
+
+	ranked := RendezvousOrder(urls, fingerprint)
+	out := make([]*backend, 0, len(ranked))
+	for _, url := range ranked {
+		if healthy, _ := byURL[url].status(); healthy {
+			out = append(out, byURL[url])
+		}
+	}
+	for _, url := range ranked {
+		if healthy, _ := byURL[url].status(); !healthy {
+			out = append(out, byURL[url])
+		}
+	}
+	return out
+}
+
+// retryableSubmit reports whether a failed backend submission should move
+// on to the next backend — connection errors, server-side 5xx, and 429
+// (the backend's queue is full, not dead: another backend may have room) —
+// or be returned to the caller (other 4xx: the request itself is at
+// fault).
+func retryableSubmit(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500 || apiErr.StatusCode == http.StatusTooManyRequests
+	}
+	return true // transport-level failure: the backend, not the request
+}
+
+// Submit validates wire, routes it by hypergraph fingerprint, and submits
+// it to the first backend that accepts it, ejecting backends that fail
+// along the way. The returned JobInfo carries the gateway's job id and the
+// chosen backend URL.
+func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (hyperpraw.JobInfo, error) {
+	parsed, err := service.ParseRequest(wire)
+	if err != nil {
+		return hyperpraw.JobInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	fingerprint := parsed.FingerprintKey()
+
+	var lastErr error = ErrNoBackends
+	for _, b := range g.route(fingerprint) {
+		info, err := g.submitTo(ctx, b, wire)
+		if err != nil {
+			if ctx.Err() != nil {
+				return hyperpraw.JobInfo{}, ctx.Err()
+			}
+			if !retryableSubmit(err) {
+				return hyperpraw.JobInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			if backendDown(err) {
+				b.markDown()
+			}
+			lastErr = err
+			continue
+		}
+		b.markUp()
+		return g.register(wire, fingerprint, b.url, info), nil
+	}
+	return hyperpraw.JobInfo{}, fmt.Errorf("%w (last error: %v)", ErrNoBackends, lastErr)
+}
+
+// submitTo submits wire to one backend under the proxy deadline.
+func (g *Gateway) submitTo(ctx context.Context, b *backend, wire hyperpraw.PartitionRequest) (hyperpraw.JobInfo, error) {
+	callCtx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+	defer cancel()
+	return b.cli.Submit(callCtx, wire)
+}
+
+// register records a successfully routed job under a fresh gateway id.
+func (g *Gateway) register(wire hyperpraw.PartitionRequest, fingerprint, backendURL string, info hyperpraw.JobInfo) hyperpraw.JobInfo {
+	g.mu.Lock()
+	g.nextID++
+	id := fmt.Sprintf("gw-%06d", g.nextID)
+	j := &gwJob{
+		id:          id,
+		fingerprint: fingerprint,
+		wire:        wire,
+		backendURL:  backendURL,
+		backendID:   info.ID,
+		info:        info,
+	}
+	j.info.ID = id
+	j.info.Backend = backendURL
+	g.jobs[id] = j
+	g.order = append(g.order, id)
+	strip := g.pruneLocked()
+	g.mu.Unlock()
+	for _, sj := range strip {
+		sj.mu.Lock()
+		sj.wire = hyperpraw.PartitionRequest{}
+		sj.mu.Unlock()
+	}
+	return j.snapshot()
+}
+
+// pruneLocked drops the oldest terminal jobs once the retention cap is
+// exceeded. When the table is still over the cap afterwards (fire-and-
+// forget traffic that never polls, so nothing ever turns terminal), it
+// returns the oldest over-cap jobs so the caller can strip their retained
+// wire requests — the memory-heavy part — outside Gateway.mu (gwJob.mu
+// must never be taken under it). Stripped jobs stay queryable but can no
+// longer fail over.
+func (g *Gateway) pruneLocked() (strip []*gwJob) {
+	for len(g.order) > g.cfg.MaxJobs {
+		pruned := false
+		for i, id := range g.order {
+			if g.jobs[id].terminal.Load() {
+				delete(g.jobs, id)
+				g.order = append(g.order[:i], g.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			break
+		}
+	}
+	if over := len(g.order) - g.cfg.MaxJobs; over > 0 {
+		for _, id := range g.order[:over] {
+			strip = append(strip, g.jobs[id])
+		}
+	}
+	return strip
+}
+
+func (g *Gateway) job(id string) (*gwJob, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	return j, ok
+}
+
+func (g *Gateway) backendFor(url string) (*backend, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.backends[url]
+	return b, ok
+}
+
+// Jobs lists the gateway's jobs (last known info) in submission order.
+func (g *Gateway) Jobs() []hyperpraw.JobInfo {
+	g.mu.Lock()
+	jobs := make([]*gwJob, 0, len(g.order))
+	for _, id := range g.order {
+		jobs = append(jobs, g.jobs[id])
+	}
+	g.mu.Unlock()
+	out := make([]hyperpraw.JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Job returns the job's current status, proxied live from its backend.
+// When the backend has died (or forgot the job across a restart), the job
+// is failed over to the next backend first.
+func (g *Gateway) Job(ctx context.Context, id string) (hyperpraw.JobInfo, error) {
+	j, ok := g.job(id)
+	if !ok {
+		return hyperpraw.JobInfo{}, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal.Load() {
+		return j.info, nil
+	}
+	b, ok := g.backendFor(j.backendURL)
+	if ok {
+		callCtx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+		info, err := b.cli.Job(callCtx, j.backendID)
+		cancel()
+		if err == nil {
+			b.markUp()
+			g.mergeInfoLocked(j, info)
+			return j.info, nil
+		}
+		if ctx.Err() != nil {
+			return j.info, ctx.Err()
+		}
+		if !jobLost(err) {
+			return j.info, err
+		}
+		if backendDown(err) {
+			b.markDown()
+		}
+	}
+	if err := g.failoverLocked(ctx, j); err != nil {
+		return j.info, err
+	}
+	return j.info, nil
+}
+
+// Result polls the job's result on its backend. It returns
+// (nil, info, nil) while the job is still pending — including immediately
+// after a failover resubmission. A backend that is unreachable or has
+// forgotten the job triggers a failover; a job the backend reports as
+// failed (a deterministic request failure, not a backend failure) is
+// terminal and not retried elsewhere.
+func (g *Gateway) Result(ctx context.Context, id string) (*hyperpraw.JobResult, hyperpraw.JobInfo, error) {
+	j, ok := g.job(id)
+	if !ok {
+		return nil, hyperpraw.JobInfo{}, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal.Load() && j.info.Status == hyperpraw.JobFailed {
+		return nil, j.info, nil
+	}
+	// wasDone: a result was fetched before, so the retained request is gone
+	// and failover is no longer possible — if the backend has since lost
+	// the payload too, the honest answer is an error, not an eternal 202.
+	wasDone := j.terminal.Load() && j.info.Status == hyperpraw.JobDone
+	b, ok := g.backendFor(j.backendURL)
+	if ok {
+		callCtx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+		res, err := b.cli.Result(callCtx, j.backendID)
+		cancel()
+		switch {
+		case err == nil:
+			b.markUp()
+			j.terminal.Store(true)
+			j.info.Status = hyperpraw.JobDone
+			j.info.Error = ""
+			j.wire = hyperpraw.PartitionRequest{} // no more failovers: stop pinning the upload
+			return res, j.info, nil
+		case errors.Is(err, client.ErrNotDone):
+			b.markUp()
+			return nil, j.info, nil
+		case ctx.Err() != nil:
+			return nil, j.info, ctx.Err()
+		case isJobFailed(err):
+			b.markUp()
+			j.terminal.Store(true)
+			j.info.Status = hyperpraw.JobFailed
+			j.info.Error = err.Error()
+			j.wire = hyperpraw.PartitionRequest{}
+			return nil, j.info, nil
+		case !jobLost(err):
+			return nil, j.info, err
+		}
+		if backendDown(err) {
+			b.markDown()
+		}
+	}
+	if wasDone {
+		return nil, j.info, fmt.Errorf("gateway: job %s finished but its backend no longer has the result; resubmit the request", j.id)
+	}
+	if err := g.failoverLocked(ctx, j); err != nil {
+		return nil, j.info, err
+	}
+	return nil, j.info, nil
+}
+
+// failoverLocked resubmits j's retained request to the next backend in its
+// rendezvous order (the current, lost backend excluded). Caller holds
+// j.mu. Exceeding the failover limit, or running out of backends, marks
+// the job failed.
+func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
+	if j.terminal.Load() {
+		return nil
+	}
+	fail := func(err error) error {
+		j.terminal.Store(true)
+		j.info.Status = hyperpraw.JobFailed
+		j.info.Error = err.Error()
+		j.wire = hyperpraw.PartitionRequest{}
+		return err
+	}
+	if j.failovers >= g.cfg.FailoverLimit {
+		return fail(fmt.Errorf("gateway: job %s exceeded %d failovers", j.id, g.cfg.FailoverLimit))
+	}
+	if j.wire.Algorithm == "" {
+		// The retained request was stripped by the retention cap (or the
+		// job is older than a terminal transition raced with us).
+		return fail(fmt.Errorf("gateway: job %s lost its backend and its request is no longer retained", j.id))
+	}
+	var lastErr error = ErrNoBackends
+	for _, b := range g.route(j.fingerprint) {
+		if b.url == j.backendURL {
+			continue // the backend we just lost
+		}
+		info, err := g.submitTo(ctx, b, j.wire)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !retryableSubmit(err) {
+				return fail(err)
+			}
+			if backendDown(err) {
+				b.markDown()
+			}
+			lastErr = err
+			continue
+		}
+		b.markUp()
+		j.failovers++
+		j.backendURL = b.url
+		j.backendID = info.ID
+		g.mergeInfoLocked(j, info)
+		return nil
+	}
+	return fail(fmt.Errorf("gateway: job %s lost its backend and no other accepted it: %w", j.id, lastErr))
+}
+
+// mergeInfoLocked folds a backend's JobInfo into the gateway's view,
+// preserving the gateway id and recording the serving backend. Caller
+// holds j.mu.
+func (g *Gateway) mergeInfoLocked(j *gwJob, info hyperpraw.JobInfo) {
+	info.ID = j.id
+	info.Backend = j.backendURL
+	j.info = info
+	if info.Status == hyperpraw.JobDone || info.Status == hyperpraw.JobFailed {
+		j.terminal.Store(true)
+		j.wire = hyperpraw.PartitionRequest{}
+	}
+}
+
+// backendDown reports whether an error indicts the backend node itself:
+// transport-level failures and 5xx responses. These eject the backend
+// from routing until a health probe re-admits it.
+func backendDown(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500
+	}
+	return true // transport-level failure
+}
+
+// jobLost reports whether an error means this job's copy on the backend is
+// gone and a failover should resubmit it: everything backendDown covers,
+// plus 404 — a restarted (or retention-pruned) backend has forgotten the
+// job without the node as a whole being unhealthy, so a 404 triggers
+// failover for the job but must NOT eject the backend.
+func jobLost(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+		return true
+	}
+	return backendDown(err)
+}
+
+// isJobFailed reports whether an error is the backend's "job failed"
+// verdict (422): the job ran and its request was found wanting — a
+// deterministic outcome that failover cannot fix.
+func isJobFailed(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusUnprocessableEntity
+}
+
+// StreamEvents streams job id's per-iteration progress by proxying the
+// backend's SSE stream, failing over mid-stream when the backend dies.
+// Sequence numbers are per backend run — a failed-over job is a fresh run
+// whose frames count from 1 again — so the proxy keeps its own monotone
+// output sequence and deduplicates replayed work by iteration number
+// (identical for deterministic re-runs) rather than by raw sequence.
+// emit receives every forwarded event (final included) with the job id
+// rewritten to the gateway's; an emit error aborts the stream (the
+// consumer is gone) without ejecting the backend or failing the job over.
+func (g *Gateway) StreamEvents(ctx context.Context, id string, after int, emit func(hyperpraw.ProgressEvent) error) error {
+	j, ok := g.job(id)
+	if !ok {
+		return ErrUnknownJob
+	}
+	lastSeq := after // resume point on the current backend's stream
+	outSeq := after  // gateway-facing sequence, monotone across failovers
+	lastIter := 0    // highest iteration forwarded, for cross-run dedupe
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		j.mu.Lock()
+		backendURL, backendID := j.backendURL, j.backendID
+		j.mu.Unlock()
+
+		if b, ok := g.backendFor(backendURL); ok {
+			emitFailed := false
+			streamErr := b.cli.StreamProgress(ctx, backendID, lastSeq, func(ev hyperpraw.ProgressEvent) error {
+				if ev.Seq > lastSeq {
+					lastSeq = ev.Seq
+				}
+				if !ev.Final && ev.Iteration <= lastIter {
+					return nil // replay overlap after a reconnect or failover
+				}
+				if ev.Iteration > lastIter {
+					lastIter = ev.Iteration
+				}
+				outSeq++
+				ev.Seq = outSeq
+				ev.JobID = id
+				if err := emit(ev); err != nil {
+					emitFailed = true
+					return err
+				}
+				return nil
+			})
+			if streamErr == nil {
+				return nil // final event delivered
+			}
+			if emitFailed || ctx.Err() != nil {
+				// The consumer is gone (or the request ended) — the backend
+				// did nothing wrong; do not eject it or fail the job over.
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return streamErr
+			}
+			ended := errors.Is(streamErr, client.ErrStreamEnded)
+			if !ended && !jobLost(streamErr) {
+				return streamErr // the request itself is at fault
+			}
+			// A transport failure mid-stream indicts the backend. A clean
+			// EOF without a final frame does not: it is a dead process's
+			// FIN, but equally a backend that retention-pruned the job
+			// mid-stream — either way the job needs a failover, and if the
+			// node really is down the failed resubmission or the next
+			// health probe will eject it.
+			if !ended && backendDown(streamErr) {
+				b.markDown()
+			}
+		}
+
+		// The backend lost the job (or left the routing set): fail the job
+		// over and re-attach. Result/Job failover and this path share
+		// failoverLocked, so a concurrent poll may already have moved the
+		// job; re-reading the mapping at the top of the loop picks that up.
+		// A job that is already terminal cannot be failed over (its request
+		// is no longer retained) — deliver a final frame with its settled
+		// status instead of retrying forever.
+		j.mu.Lock()
+		resubmitted := j.backendID != backendID // a concurrent poll beat us to it
+		var err error
+		if !resubmitted {
+			err = g.failoverLocked(ctx, j)
+			resubmitted = err == nil && j.backendID != backendID
+		}
+		terminal, status, errMsg := j.terminal.Load(), j.info.Status, j.info.Error
+		j.mu.Unlock()
+		if err != nil || terminal {
+			outSeq++
+			ev := hyperpraw.ProgressEvent{JobID: id, Seq: outSeq, Final: true,
+				Status: status, Error: errMsg}
+			if err != nil {
+				ev.Status = hyperpraw.JobFailed
+				if ev.Error == "" {
+					ev.Error = err.Error()
+				}
+			}
+			if emitErr := emit(ev); emitErr != nil {
+				return emitErr
+			}
+			return nil
+		}
+		if resubmitted {
+			lastSeq = 0 // the replacement run numbers its frames from 1
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package gateway
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+
+	"hyperpraw"
+	"hyperpraw/internal/service"
+)
+
+// NewHandler wraps a Gateway in the same HTTP JSON API cmd/hpserve serves
+// (the shared plumbing — JSON shapes, batch bounds, SSE framing — comes
+// from internal/service so the tiers cannot drift apart), plus the
+// gateway extensions:
+//
+//	POST /v1/partition          submit a job (routed by fingerprint)
+//	POST /v1/partition/batch    submit many jobs, fanned out across backends
+//	GET  /v1/jobs               list gateway jobs
+//	GET  /v1/jobs/{id}          job status (proxied, with failover)
+//	GET  /v1/jobs/{id}/result   finished payload (proxied, with failover)
+//	GET  /v1/jobs/{id}/events   SSE progress (proxied, with failover)
+//	GET  /v1/algorithms         supported algorithm names
+//	GET  /v1/backends           backend set and health
+//	GET  /healthz               gateway + backend health
+func NewHandler(g *Gateway) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, g.Health())
+	})
+	mux.HandleFunc("/v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, map[string]any{"backends": g.Backends()})
+	})
+	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, map[string][]string{"algorithms": service.Algorithms()})
+	})
+	mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			service.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		handleSubmit(g, w, r)
+	})
+	mux.HandleFunc("/v1/partition/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			service.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		handleBatch(g, w, r)
+	})
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			service.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, map[string]any{"jobs": g.Jobs()})
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			service.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		handleJob(g, w, r)
+	})
+	return mux
+}
+
+func handleSubmit(g *Gateway, w http.ResponseWriter, r *http.Request) {
+	wire, err := service.DecodeSubmission(r)
+	if err != nil {
+		service.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info, err := g.Submit(r.Context(), wire)
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		service.WriteError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrNoBackends):
+		service.WriteError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		service.WriteError(w, http.StatusInternalServerError, err.Error())
+	default:
+		service.WriteJSON(w, http.StatusAccepted, info)
+	}
+}
+
+// handleBatch fans a batch out across the backends concurrently — each
+// entry routes by its own fingerprint, so a batch of distinct hypergraphs
+// spreads over the backend set while resubmissions of the same hypergraph
+// stay together.
+func handleBatch(g *Gateway, w http.ResponseWriter, r *http.Request) {
+	batch, err := service.DecodeBatch(r)
+	if err != nil {
+		service.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := hyperpraw.BatchResponse{Jobs: make([]hyperpraw.BatchItem, len(batch.Jobs))}
+	errs := make([]error, len(batch.Jobs))
+	var wg sync.WaitGroup
+	for i, wire := range batch.Jobs {
+		wg.Add(1)
+		go func(i int, wire hyperpraw.PartitionRequest) {
+			defer wg.Done()
+			info, err := g.Submit(r.Context(), wire)
+			if err != nil {
+				errs[i] = err
+				resp.Jobs[i].Error = err.Error()
+			} else {
+				resp.Jobs[i].Job = &info
+			}
+		}(i, wire)
+	}
+	wg.Wait()
+	noBackends := false
+	for i, item := range resp.Jobs {
+		if item.Job != nil {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+			noBackends = noBackends || errors.Is(errs[i], ErrNoBackends)
+		}
+	}
+	// A fully rejected batch distinguishes "no backend could take it"
+	// (transient, retryable) from malformed entries.
+	status := http.StatusAccepted
+	if resp.Accepted == 0 {
+		if noBackends {
+			status = http.StatusServiceUnavailable
+		} else {
+			status = http.StatusBadRequest
+		}
+	}
+	service.WriteJSON(w, status, resp)
+}
+
+func handleJob(g *Gateway, w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		service.WriteError(w, http.StatusNotFound, "missing job id")
+		return
+	}
+	switch sub {
+	case "":
+		info, err := g.Job(r.Context(), id)
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			service.WriteError(w, http.StatusNotFound, "unknown job "+id)
+		case err != nil:
+			service.WriteError(w, http.StatusBadGateway, err.Error())
+		default:
+			service.WriteJSON(w, http.StatusOK, info)
+		}
+	case "result":
+		res, info, err := g.Result(r.Context(), id)
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			service.WriteError(w, http.StatusNotFound, "unknown job "+id)
+		case err != nil:
+			service.WriteError(w, http.StatusBadGateway, err.Error())
+		case info.Status == hyperpraw.JobFailed:
+			service.WriteError(w, http.StatusUnprocessableEntity, info.Error)
+		case res == nil:
+			service.WriteJSON(w, http.StatusAccepted, info) // still queued or running
+		default:
+			service.WriteJSON(w, http.StatusOK, res)
+		}
+	case "events":
+		handleEvents(g, w, r, id)
+	default:
+		service.WriteError(w, http.StatusNotFound, "unknown resource "+sub)
+	}
+}
+
+// handleEvents proxies the backend's SSE progress stream to the consumer,
+// surviving backend loss mid-stream via the gateway's failover (see
+// Gateway.StreamEvents).
+func handleEvents(g *Gateway, w http.ResponseWriter, r *http.Request, id string) {
+	after, err := service.ParseAfter(r)
+	if err != nil {
+		service.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, ok := g.job(id); !ok {
+		service.WriteError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	flusher, ok := service.BeginSSE(w)
+	if !ok {
+		return
+	}
+	//nolint:errcheck // a consumer gone mid-stream is not actionable
+	g.StreamEvents(r.Context(), id, after, func(ev hyperpraw.ProgressEvent) error {
+		if err := service.WriteSSE(w, ev); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	})
+}

@@ -12,14 +12,22 @@ import (
 	"hyperpraw"
 )
 
+// MaxBatchJobs bounds one POST /v1/partition/batch request: large enough
+// for any sensible fan-out, small enough that a single request cannot fill
+// the whole job queue. Shared by the hpgate gateway so both tiers accept
+// the same batches.
+const MaxBatchJobs = 256
+
 // NewHandler wraps a Service in its HTTP JSON API:
 //
 //	POST /v1/partition          submit a job (JSON PartitionRequest, or a raw
 //	                            hMetis body with query-parameter options)
+//	POST /v1/partition/batch    submit many jobs in one request
 //	GET  /v1/jobs               list jobs
 //	GET  /v1/jobs/{id}          job status
 //	GET  /v1/jobs/{id}/result   finished payload (202 while pending,
 //	                            422 when the job failed)
+//	GET  /v1/jobs/{id}/events   SSE stream of per-iteration progress
 //	GET  /v1/algorithms         supported algorithm names
 //	GET  /healthz               liveness + queue/cache statistics
 //
@@ -28,28 +36,35 @@ import (
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Health())
+		WriteJSON(w, http.StatusOK, s.Health())
 	})
 	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]string{"algorithms": Algorithms()})
+		WriteJSON(w, http.StatusOK, map[string][]string{"algorithms": Algorithms()})
 	})
 	mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			WriteError(w, http.StatusMethodNotAllowed, "POST required")
 			return
 		}
 		handleSubmit(s, w, r)
 	})
-	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "GET required")
+	mux.HandleFunc("/v1/partition/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			WriteError(w, http.StatusMethodNotAllowed, "POST required")
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+		handleBatch(s, w, r)
+	})
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			WriteError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
 	})
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "GET required")
+			WriteError(w, http.StatusMethodNotAllowed, "GET required")
 			return
 		}
 		handleJob(s, w, r)
@@ -58,33 +73,35 @@ func NewHandler(s *Service) http.Handler {
 }
 
 func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
-	wire, err := decodeSubmission(r)
+	wire, err := DecodeSubmission(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	req, err := ParseRequest(wire)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	info, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		WriteError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		WriteError(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		WriteError(w, http.StatusInternalServerError, err.Error())
 	default:
-		writeJSON(w, http.StatusAccepted, info)
+		WriteJSON(w, http.StatusAccepted, info)
 	}
 }
 
-// decodeSubmission accepts either a JSON PartitionRequest body or a raw
+// DecodeSubmission accepts either a JSON PartitionRequest body or a raw
 // hMetis upload whose algorithm/machine/options arrive as query parameters
-// (?algorithm=aware&machine=cloud&cores=32&seed=2&imbalance=1.2).
-func decodeSubmission(r *http.Request) (hyperpraw.PartitionRequest, error) {
+// (?algorithm=aware&machine=cloud&cores=32&seed=2&imbalance=1.2). Both
+// serving tiers decode submissions through it, so any client of hpserve
+// can point at hpgate unchanged.
+func DecodeSubmission(r *http.Request) (hyperpraw.PartitionRequest, error) {
 	defer r.Body.Close()
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/json") {
@@ -127,39 +144,184 @@ func decodeSubmission(r *http.Request) (hyperpraw.PartitionRequest, error) {
 	return wire, nil
 }
 
+// DecodeBatch parses and bounds-checks a BatchRequest body; both serving
+// tiers (hpserve and hpgate) accept batches through it.
+func DecodeBatch(r *http.Request) (hyperpraw.BatchRequest, error) {
+	defer r.Body.Close()
+	var batch hyperpraw.BatchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 256<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		return hyperpraw.BatchRequest{}, fmt.Errorf("bad JSON batch: %w", err)
+	}
+	if len(batch.Jobs) == 0 {
+		return hyperpraw.BatchRequest{}, fmt.Errorf("batch has no jobs")
+	}
+	if len(batch.Jobs) > MaxBatchJobs {
+		return hyperpraw.BatchRequest{}, fmt.Errorf("batch of %d jobs exceeds the limit of %d", len(batch.Jobs), MaxBatchJobs)
+	}
+	return batch, nil
+}
+
+// handleBatch submits every job of a BatchRequest, answering each entry
+// independently: a malformed or rejected entry yields an error item, not a
+// rejection of the whole batch. 202 as long as at least one job was
+// accepted, 400 when none were.
+func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
+	batch, err := DecodeBatch(r)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := hyperpraw.BatchResponse{Jobs: make([]hyperpraw.BatchItem, len(batch.Jobs))}
+	var queueFull, closed bool
+	for i, wire := range batch.Jobs {
+		req, err := ParseRequest(wire)
+		if err == nil {
+			var info hyperpraw.JobInfo
+			if info, err = s.Submit(req); err == nil {
+				resp.Jobs[i].Job = &info
+			}
+		}
+		if err != nil {
+			queueFull = queueFull || errors.Is(err, ErrQueueFull)
+			closed = closed || errors.Is(err, ErrClosed)
+			resp.Jobs[i].Error = err.Error()
+			resp.Rejected++
+		} else {
+			resp.Accepted++
+		}
+	}
+	// A fully rejected batch keeps the single-submit status mapping so
+	// clients can tell transient overload (retry) from a bad request.
+	status := http.StatusAccepted
+	if resp.Accepted == 0 {
+		switch {
+		case queueFull:
+			status = http.StatusTooManyRequests
+		case closed:
+			status = http.StatusServiceUnavailable
+		default:
+			status = http.StatusBadRequest
+		}
+	}
+	WriteJSON(w, status, resp)
+}
+
+// ParseAfter reads the ?after=N resume point of an events request (the
+// last SSE sequence number the consumer has already seen).
+func ParseAfter(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("after")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad after %q", v)
+	}
+	return n, nil
+}
+
+// BeginSSE switches the response into a server-sent-event stream and
+// returns its flusher; ok is false (with the error already written) when
+// the ResponseWriter cannot stream.
+func BeginSSE(w http.ResponseWriter) (http.Flusher, bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		WriteError(w, http.StatusInternalServerError, "streaming unsupported")
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	return flusher, true
+}
+
+// handleEvents streams job id's per-iteration progress as server-sent
+// events, ending with the "done" frame once the job reaches a terminal
+// state. ?after=N resumes after sequence number N (the SSE id field), so a
+// reconnecting consumer — the hpgate proxy in particular — can skip frames
+// it has already forwarded.
+func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, id string) {
+	after, err := ParseAfter(r)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, ok := s.Job(id); !ok {
+		WriteError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	flusher, ok := BeginSSE(w)
+	if !ok {
+		return
+	}
+
+	seq := after
+	for {
+		evs, done, changed, ok := s.ProgressSince(id, seq)
+		if !ok {
+			return // job pruned mid-stream
+		}
+		for _, ev := range evs {
+			if err := WriteSSE(w, ev); err != nil {
+				return
+			}
+			seq = ev.Seq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-changed:
+		}
+	}
+}
+
 func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
 	if id == "" {
-		writeError(w, http.StatusNotFound, "missing job id")
+		WriteError(w, http.StatusNotFound, "missing job id")
 		return
 	}
 	switch sub {
 	case "":
 		info, ok := s.Job(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown job "+id)
+			WriteError(w, http.StatusNotFound, "unknown job "+id)
 			return
 		}
-		writeJSON(w, http.StatusOK, info)
+		WriteJSON(w, http.StatusOK, info)
 	case "result":
 		res, info, ok := s.Result(id)
 		switch {
 		case !ok:
-			writeError(w, http.StatusNotFound, "unknown job "+id)
+			WriteError(w, http.StatusNotFound, "unknown job "+id)
 		case info.Status == hyperpraw.JobFailed:
-			writeError(w, http.StatusUnprocessableEntity, info.Error)
+			WriteError(w, http.StatusUnprocessableEntity, info.Error)
 		case res == nil:
-			writeJSON(w, http.StatusAccepted, info) // still queued or running
+			WriteJSON(w, http.StatusAccepted, info) // still queued or running
 		default:
-			writeJSON(w, http.StatusOK, res)
+			WriteJSON(w, http.StatusOK, res)
 		}
+	case "events":
+		handleEvents(s, w, r, id)
 	default:
-		writeError(w, http.StatusNotFound, "unknown resource "+sub)
+		WriteError(w, http.StatusNotFound, "unknown resource "+sub)
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as an indented JSON response; shared by both serving
+// tiers so error and payload shapes stay identical.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -167,6 +329,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone mid-write is not actionable
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// WriteError writes the API error JSON shape.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	WriteJSON(w, status, map[string]string{"error": msg})
 }

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"hyperpraw"
+)
+
+// progressLog is the per-job event log behind GET /v1/jobs/{id}/events:
+// an append-only sequence of ProgressEvents with a broadcast channel that
+// lets any number of SSE subscribers block until the next append. The log
+// is sealed by its final event (job done or failed); appends after that
+// are dropped.
+type progressLog struct {
+	mu      sync.Mutex
+	events  []hyperpraw.ProgressEvent
+	sealed  bool
+	changed chan struct{} // closed and replaced on every append
+}
+
+func newProgressLog() *progressLog {
+	return &progressLog{changed: make(chan struct{})}
+}
+
+// append stamps ev with the next sequence number and wakes all subscribers.
+func (p *progressLog) append(ev hyperpraw.ProgressEvent) {
+	p.mu.Lock()
+	if p.sealed {
+		p.mu.Unlock()
+		return
+	}
+	ev.Seq = len(p.events) + 1
+	p.events = append(p.events, ev)
+	if ev.Final {
+		p.sealed = true
+	}
+	ch := p.changed
+	p.changed = make(chan struct{})
+	p.mu.Unlock()
+	close(ch)
+}
+
+// count returns how many events have been appended so far.
+func (p *progressLog) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// since returns a copy of the events with Seq > seq, whether the log is
+// sealed, and a channel that is closed on the next append — the subscriber
+// loop: drain, write, and if not sealed, wait on changed.
+func (p *progressLog) since(seq int) (evs []hyperpraw.ProgressEvent, sealed bool, changed <-chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if seq < len(p.events) {
+		evs = append([]hyperpraw.ProgressEvent(nil), p.events[seq:]...)
+	}
+	return evs, p.sealed, p.changed
+}
+
+// ProgressSince returns job id's progress events with Seq > seq, whether
+// the stream is complete (the final event has been appended), and a channel
+// closed on the next append. ok is false for unknown jobs.
+func (s *Service) ProgressSince(id string, seq int) (evs []hyperpraw.ProgressEvent, done bool, changed <-chan struct{}, ok bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil, false
+	}
+	evs, done, changed = j.progress.since(seq)
+	return evs, done, changed, true
+}
+
+// WriteSSE writes one ProgressEvent as a server-sent-event frame: the id
+// field carries the sequence number, the event name is "progress" for
+// iteration frames and "done" for the final frame, and the data line is
+// the event's JSON. cmd/hpserve's events endpoint and the hpgate proxy
+// both emit frames through this function so the two tiers stay
+// wire-compatible.
+func WriteSSE(w io.Writer, ev hyperpraw.ProgressEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	name := "progress"
+	if ev.Final {
+		name = "done"
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, name, data)
+	return err
+}

@@ -84,6 +84,13 @@ type Request struct {
 	name        string // human label for JobInfo
 }
 
+// FingerprintKey returns the hypergraph-source identity ParseRequest
+// computed: the hex Fingerprint for inline uploads, the instance key for
+// catalog instances. The hpgate gateway routes on it so repeated
+// submissions of the same hypergraph land on the backend whose caches are
+// already warm.
+func (r Request) FingerprintKey() string { return r.fingerprint }
+
 // AlgorithmLabel returns the wire algorithm name including the mapping
 // suffix.
 func (r Request) AlgorithmLabel() string {
@@ -158,11 +165,12 @@ func ParseRequest(wire hyperpraw.PartitionRequest) (Request, error) {
 
 // job is the service-side state of one submitted request.
 type job struct {
-	mu     sync.Mutex
-	info   hyperpraw.JobInfo
-	result *hyperpraw.JobResult
-	req    Request
-	done   chan struct{} // closed when the job reaches done or failed
+	mu       sync.Mutex
+	info     hyperpraw.JobInfo
+	result   *hyperpraw.JobResult
+	req      Request
+	done     chan struct{} // closed when the job reaches done or failed
+	progress *progressLog
 }
 
 func (j *job) snapshot() hyperpraw.JobInfo {
@@ -215,8 +223,9 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	}
 	s.nextID++
 	j := &job{
-		req:  req,
-		done: make(chan struct{}),
+		req:      req,
+		done:     make(chan struct{}),
+		progress: newProgressLog(),
 		info: hyperpraw.JobInfo{
 			ID:          fmt.Sprintf("job-%06d", s.nextID),
 			Status:      hyperpraw.JobQueued,
@@ -395,9 +404,20 @@ func (s *Service) runJob(j *job) {
 	j.mu.Lock()
 	j.info.Status = hyperpraw.JobRunning
 	j.info.StartedAt = time.Now().UnixMilli()
+	id := j.info.ID
 	j.mu.Unlock()
 
-	res, err := s.executeSafe(j.req)
+	// Live progress: the restreaming kernel calls onIter on every pass of
+	// the job that actually computes. A job served from the result cache
+	// (or piggybacking on another job's in-flight computation) emits
+	// nothing here; its history is replayed below instead.
+	onIter := func(st hyperpraw.IterationStats) {
+		j.progress.append(hyperpraw.ProgressEvent{
+			JobID:          id,
+			IterationPoint: hyperpraw.PointFromStats(st),
+		})
+	}
+	res, err := s.executeSafe(j.req, onIter)
 
 	j.mu.Lock()
 	j.info.FinishedAt = time.Now().UnixMilli()
@@ -408,28 +428,36 @@ func (s *Service) runJob(j *job) {
 		j.info.Status = hyperpraw.JobDone
 		j.result = &res
 	}
+	status, errMsg := j.info.Status, j.info.Error
 	// Only JobInfo and JobResult serve status queries from here on; drop
 	// the request so finished jobs don't pin uploaded hypergraphs in
 	// memory until the retention prune reaches them.
 	j.req = Request{}
 	j.mu.Unlock()
+
+	if err == nil && j.progress.count() == 0 {
+		for _, pt := range res.History {
+			j.progress.append(hyperpraw.ProgressEvent{JobID: id, IterationPoint: pt})
+		}
+	}
+	j.progress.append(hyperpraw.ProgressEvent{JobID: id, Final: true, Status: status, Error: errMsg})
 	close(j.done)
 }
 
 // executeSafe converts a panicking execution into a failed job: one bad
 // request must never take down the worker (and with it the whole server).
-func (s *Service) executeSafe(req Request) (res hyperpraw.JobResult, err error) {
+func (s *Service) executeSafe(req Request, onIter func(hyperpraw.IterationStats)) (res hyperpraw.JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: job panicked: %v", r)
 		}
 	}()
-	return s.execute(req)
+	return s.execute(req, onIter)
 }
 
 // execute runs one request end to end: profile (or reuse) the machine's
 // environment, obtain the hypergraph, and compute (or reuse) the partition.
-func (s *Service) execute(req Request) (hyperpraw.JobResult, error) {
+func (s *Service) execute(req Request, onIter func(hyperpraw.IterationStats)) (hyperpraw.JobResult, error) {
 	machine, err := req.Machine.Build()
 	if err != nil {
 		return hyperpraw.JobResult{}, err
@@ -447,7 +475,7 @@ func (s *Service) execute(req Request) (hyperpraw.JobResult, error) {
 			spec := *req.Instance
 			h = hyperpraw.GenerateInstance(spec.Name, spec.Scale, spec.Seed)
 		}
-		return partitionOnce(h, env, machine, req)
+		return partitionOnce(h, env, machine, req, onIter)
 	})
 	if err != nil {
 		return hyperpraw.JobResult{}, err
@@ -459,8 +487,16 @@ func (s *Service) execute(req Request) (hyperpraw.JobResult, error) {
 }
 
 // partitionOnce runs the requested algorithm once and assembles the result.
-func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *hyperpraw.Machine, req Request) (hyperpraw.JobResult, error) {
+// History recording is forced on so every restreaming result carries its
+// per-iteration trajectory (replayed to SSE subscribers that missed the
+// live run); onIter additionally streams each iteration as it happens.
+func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *hyperpraw.Machine, req Request, onIter func(hyperpraw.IterationStats)) (hyperpraw.JobResult, error) {
 	opts := req.Options.Options()
+	if opts == nil {
+		opts = &hyperpraw.Options{}
+	}
+	opts.RecordHistory = true
+	opts.Progress = onIter
 	start := time.Now()
 
 	var (
@@ -506,6 +542,10 @@ func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *
 	if pres.Parts != nil {
 		out.Iterations = pres.Iterations
 		out.StopReason = pres.Stopped.String()
+		out.History = make([]hyperpraw.IterationPoint, len(pres.History))
+		for i, st := range pres.History {
+			out.History[i] = hyperpraw.PointFromStats(st)
+		}
 	}
 	if req.Bench != nil {
 		bres, err := hyperpraw.SimulateBenchmark(machine, h, parts, req.Bench.Options())

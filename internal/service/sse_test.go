@@ -1,0 +1,202 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+)
+
+// collectEvents streams job id's events from the test server and returns
+// them, requiring the stream to terminate with a final frame.
+func collectEvents(t *testing.T, url, id string, after int) []hyperpraw.ProgressEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := client.New(url, nil)
+	var events []hyperpraw.ProgressEvent
+	err := c.StreamProgress(ctx, id, after, func(ev hyperpraw.ProgressEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream %s: %v", id, err)
+	}
+	if len(events) == 0 || !events[len(events)-1].Final {
+		t.Fatalf("stream %s ended without a final event (%d events)", id, len(events))
+	}
+	return events
+}
+
+func TestEventsStreamLive(t *testing.T) {
+	ts, s := newTestServer(t, Config{Workers: 1})
+	info, err := s.Submit(tinyRequest(t, "aware", hyperpraw.MachineSpec{Kind: "archer", Cores: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := collectEvents(t, ts.URL, info.ID, 0)
+	final := events[len(events)-1]
+	if final.Status != hyperpraw.JobDone || final.Error != "" {
+		t.Fatalf("final event %+v, want done", final)
+	}
+	progress := events[:len(events)-1]
+	if len(progress) == 0 {
+		t.Fatal("no progress events before the final one")
+	}
+	for i, ev := range progress {
+		if ev.JobID != info.ID {
+			t.Fatalf("event %d for job %q, want %q", i, ev.JobID, info.ID)
+		}
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Iteration != i+1 {
+			t.Fatalf("event %d reports iteration %d, want %d", i, ev.Iteration, i+1)
+		}
+	}
+
+	// The streamed iterations match the recorded history exactly.
+	res, _, err := s.Wait(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != len(progress) {
+		t.Fatalf("streamed %d iterations, history has %d", len(progress), len(res.History))
+	}
+	for i, pt := range res.History {
+		if progress[i].IterationPoint != pt {
+			t.Fatalf("iteration %d: streamed %+v != history %+v", i+1, progress[i].IterationPoint, pt)
+		}
+	}
+	if res.Iterations != len(progress) {
+		t.Fatalf("result reports %d iterations, streamed %d", res.Iterations, len(progress))
+	}
+}
+
+func TestEventsReplayedOnCacheHit(t *testing.T) {
+	ts, s := newTestServer(t, Config{Workers: 1})
+	machine := hyperpraw.MachineSpec{Kind: "archer", Cores: 4}
+
+	first, err := s.Submit(tinyRequest(t, "aware", machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Wait(context.Background(), first.ID); err != nil {
+		t.Fatal(err)
+	}
+	firstEvents := collectEvents(t, ts.URL, first.ID, 0)
+
+	second, err := s.Submit(tinyRequest(t, "aware", machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := s.Wait(context.Background(), second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ResultCacheHit {
+		t.Fatal("second submission missed the result cache")
+	}
+	secondEvents := collectEvents(t, ts.URL, second.ID, 0)
+
+	// The cache-hitting job replays the identical iteration trajectory.
+	if len(secondEvents) != len(firstEvents) {
+		t.Fatalf("replayed %d events, original streamed %d", len(secondEvents), len(firstEvents))
+	}
+	for i := range secondEvents[:len(secondEvents)-1] {
+		if secondEvents[i].IterationPoint != firstEvents[i].IterationPoint {
+			t.Fatalf("iteration %d: replay %+v != original %+v",
+				i+1, secondEvents[i].IterationPoint, firstEvents[i].IterationPoint)
+		}
+	}
+}
+
+func TestEventsAfterResumes(t *testing.T) {
+	ts, s := newTestServer(t, Config{Workers: 1})
+	info, err := s.Submit(tinyRequest(t, "aware", hyperpraw.MachineSpec{Kind: "archer", Cores: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := collectEvents(t, ts.URL, info.ID, 0)
+	resumed := collectEvents(t, ts.URL, info.ID, 2)
+	if want := len(all) - 2; len(resumed) != want {
+		t.Fatalf("resumed stream has %d events, want %d", len(resumed), want)
+	}
+	if resumed[0].Seq != 3 {
+		t.Fatalf("resumed stream starts at seq %d, want 3", resumed[0].Seq)
+	}
+}
+
+func TestEventsFailedJob(t *testing.T) {
+	// An empty Environment makes the partitioner reject the run after
+	// submission; the stream must still terminate, with a failed final.
+	ts, s := newTestServer(t, Config{
+		Workers:     1,
+		ProfileFunc: func(m *hyperpraw.Machine) hyperpraw.Environment { return hyperpraw.Environment{} },
+	})
+	info, err := s.Submit(tinyRequest(t, "aware", hyperpraw.MachineSpec{Kind: "archer", Cores: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := collectEvents(t, ts.URL, info.ID, 0)
+	final := events[len(events)-1]
+	if final.Status != hyperpraw.JobFailed || final.Error == "" {
+		t.Fatalf("final event %+v, want failed with error", final)
+	}
+}
+
+func TestEventsUnknownJob(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/job-000099/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job events: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 2})
+	c := client.New(ts.URL, ts.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	machine := hyperpraw.MachineSpec{Kind: "archer", Cores: 4}
+	resp, err := c.SubmitBatch(ctx, []hyperpraw.PartitionRequest{
+		{Algorithm: "aware", Machine: machine, HMetis: tinyHMetis},
+		{Algorithm: "oblivious", Machine: machine, HMetis: tinyHMetis},
+		{Algorithm: "quantum", Machine: machine, HMetis: tinyHMetis}, // invalid
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Rejected != 1 {
+		t.Fatalf("accepted %d rejected %d, want 2/1", resp.Accepted, resp.Rejected)
+	}
+	if resp.Jobs[2].Error == "" || resp.Jobs[2].Job != nil {
+		t.Fatalf("invalid entry not rejected: %+v", resp.Jobs[2])
+	}
+	for i, item := range resp.Jobs[:2] {
+		if item.Job == nil {
+			t.Fatalf("entry %d missing job handle: %+v", i, item)
+		}
+		res, err := c.Wait(ctx, item.Job.ID)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if len(res.Parts) == 0 {
+			t.Fatalf("entry %d: empty result", i)
+		}
+	}
+
+	// An empty batch is a 400, not an empty 202.
+	if _, err := c.SubmitBatch(ctx, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

@@ -236,6 +236,88 @@ type JobInfo struct {
 	SubmittedAt int64       `json:"submitted_at_unix_ms,omitempty"`
 	StartedAt   int64       `json:"started_at_unix_ms,omitempty"`
 	FinishedAt  int64       `json:"finished_at_unix_ms,omitempty"`
+	// Backend is the hpserve base URL a gateway routed this job to; empty
+	// when the job was submitted to an hpserve node directly.
+	Backend string `json:"backend,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/partition/batch: many partition
+// jobs submitted in one round trip. Jobs are independent — one invalid
+// entry does not reject the rest.
+type BatchRequest struct {
+	Jobs []PartitionRequest `json:"jobs"`
+}
+
+// BatchItem is the per-job outcome of a batch submission: either the
+// accepted job's info or the validation/submission error, never both.
+type BatchItem struct {
+	Job   *JobInfo `json:"job,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+// BatchResponse is the body returned by POST /v1/partition/batch; Jobs[i]
+// answers BatchRequest.Jobs[i].
+type BatchResponse struct {
+	Jobs     []BatchItem `json:"jobs"`
+	Accepted int         `json:"accepted"`
+	Rejected int         `json:"rejected"`
+}
+
+// IterationPoint is the wire mirror of one restreaming iteration's
+// statistics (core IterationStats): recorded in JobResult.History and
+// streamed live as ProgressEvents.
+type IterationPoint struct {
+	Iteration   int     `json:"iteration"`
+	CommCost    float64 `json:"comm_cost"`
+	Imbalance   float64 `json:"imbalance"`
+	Alpha       float64 `json:"alpha"`
+	Moves       int     `json:"moves"`
+	InTolerance bool    `json:"in_tolerance"`
+}
+
+// PointFromStats converts library iteration statistics to their wire form.
+func PointFromStats(st IterationStats) IterationPoint {
+	return IterationPoint{
+		Iteration:   st.Iteration,
+		CommCost:    st.CommCost,
+		Imbalance:   st.Imbalance,
+		Alpha:       st.Alpha,
+		Moves:       st.Moves,
+		InTolerance: st.InTolerance,
+	}
+}
+
+// ProgressEvent is one frame of the GET /v1/jobs/{id}/events SSE stream.
+// Seq numbers frames from 1 per job so a reconnecting consumer can skip
+// frames it has already seen. Non-final events carry an IterationPoint;
+// the final event instead carries the job's terminal status (and error,
+// when it failed).
+type ProgressEvent struct {
+	JobID string `json:"job_id"`
+	Seq   int    `json:"seq"`
+	IterationPoint
+	Final  bool      `json:"final,omitempty"`
+	Status JobStatus `json:"status,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// BackendStatus is one backend's state in a gateway's health report.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Fails counts consecutive failed probes or proxied calls; it resets to
+	// zero on the first success after re-admission.
+	Fails int `json:"fails,omitempty"`
+	// Jobs is how many of the gateway's retained jobs are currently routed
+	// to this backend.
+	Jobs int `json:"jobs"`
+}
+
+// GatewayHealth is the body of an hpgate GET /healthz.
+type GatewayHealth struct {
+	Status   string          `json:"status"`
+	Backends []BackendStatus `json:"backends"`
+	Jobs     int             `json:"jobs"`
 }
 
 // JobResult is the wire representation of a finished job's payload,
@@ -246,8 +328,13 @@ type JobResult struct {
 	Report     QualityReport `json:"report"`
 	Iterations int           `json:"iterations,omitempty"`
 	StopReason string        `json:"stop_reason,omitempty"`
-	Bench      *BenchResult  `json:"bench,omitempty"`
-	ElapsedMS  float64       `json:"elapsed_ms"`
+	// History holds the per-iteration statistics of the restreaming run
+	// (the service records them for every restreaming job so progress can
+	// be replayed to late or cache-hitting SSE subscribers). Empty for the
+	// multilevel and hierarchical baselines, which do not restream.
+	History   []IterationPoint `json:"history,omitempty"`
+	Bench     *BenchResult     `json:"bench,omitempty"`
+	ElapsedMS float64          `json:"elapsed_ms"`
 	// EnvCacheHit reports whether the machine's profiled Environment was
 	// served from cache; ResultCacheHit whether the whole partition was.
 	EnvCacheHit    bool `json:"env_cache_hit"`
