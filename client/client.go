@@ -256,6 +256,15 @@ func (c *Client) StreamProgress(ctx context.Context, id string, after int, fn fu
 	return ErrStreamEnded
 }
 
+// NotRecoverable reports whether err is a gateway's verdict (HTTP 410
+// Gone) that a job lost its backend and can no longer fail over — the
+// retained wire request was evicted by the gateway's retention cap. The
+// only remedy is resubmitting the original request.
+func NotRecoverable(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusGone
+}
+
 // Health fetches the server's health snapshot (hpserve form).
 func (c *Client) Health(ctx context.Context) (hyperpraw.ServeHealth, error) {
 	var h hyperpraw.ServeHealth

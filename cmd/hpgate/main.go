@@ -3,6 +3,9 @@
 // hashing on the job's hypergraph fingerprint so resubmissions hit warm
 // caches, health-checks the backend set with automatic ejection and
 // re-admission, and fails jobs over to the next backend when one dies.
+// Backends running with a durable job store (hpserve -store) are instead
+// waited out for -recovery-window: a restarted durable backend recovers
+// its jobs from the store, which beats recomputing them elsewhere.
 //
 // Usage:
 //
@@ -43,6 +46,7 @@ func main() {
 	healthTimeout := flag.Duration("health-timeout", time.Second, "single health probe deadline")
 	failovers := flag.Int("failovers", 3, "max failover resubmissions per job")
 	maxJobs := flag.Int("max-jobs", 4096, "retained job entries")
+	recoveryWindow := flag.Duration("recovery-window", 45*time.Second, "how long to wait for a durable (-store) backend to restart before failing its jobs over (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	flag.Parse()
 	if flag.NArg() != 0 || *backends == "" {
@@ -67,6 +71,7 @@ func main() {
 		HealthTimeout:  *healthTimeout,
 		FailoverLimit:  *failovers,
 		MaxJobs:        *maxJobs,
+		RecoveryWindow: *recoveryWindow,
 	})
 	server := &http.Server{Addr: *addr, Handler: gateway.NewHandler(gw)}
 

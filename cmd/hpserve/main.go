@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hpserve -addr :8080 -workers 8
+//	hpserve -addr :8080 -store /var/lib/hyperpraw/jobs   # jobs survive restarts
 //
 // API (see README.md for curl examples):
 //
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"hyperpraw/internal/service"
+	"hyperpraw/internal/store"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func main() {
 	queue := flag.Int("queue", 256, "job queue depth")
 	envCache := flag.Int("env-cache", 16, "profiled-environment LRU entries")
 	resultCache := flag.Int("result-cache", 128, "partition-result LRU entries")
+	storeDir := flag.String("store", "", "durable job store directory; jobs survive a restart (empty = in-memory only)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
@@ -53,11 +56,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			log.Fatalf("hpserve: opening job store: %v", err)
+		}
+		log.Printf("hpserve: durable job store at %s (%d jobs recovered)", *storeDir, st.Count())
+	}
+
 	svc := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		EnvCacheSize:    *envCache,
 		ResultCacheSize: *resultCache,
+		Store:           st,
 	})
 	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
 
@@ -96,6 +109,13 @@ func main() {
 			log.Printf("hpserve: drain deadline exceeded; abandoning in-flight jobs")
 		} else {
 			log.Printf("hpserve: service shutdown: %v", err)
+		}
+	}
+	if st != nil {
+		// Abandoned in-flight jobs stay journaled as unfinished: the next
+		// start re-queues them from the store.
+		if err := st.Close(); err != nil {
+			log.Printf("hpserve: closing job store: %v", err)
 		}
 	}
 	log.Printf("hpserve: bye")

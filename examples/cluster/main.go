@@ -284,5 +284,154 @@ func main() {
 		}
 	}
 
+	// Phase 5: durable restart recovery. A second mini-cluster whose
+	// primary backend journals jobs to a -store directory: killing and
+	// restarting it must let the gateway serve the original result from
+	// the store — same backend, no failover resubmission. (Phase 4 is the
+	// storeless contrast: there a kill forces a failover recomputation.)
+	storeDir, err := os.MkdirTemp("", "hpserve-store-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+
+	durURL := fmt.Sprintf("http://127.0.0.1:%d", *basePort+3)
+	plainURL := fmt.Sprintf("http://127.0.0.1:%d", *basePort+4)
+	gw2URL := fmt.Sprintf("http://127.0.0.1:%d", *basePort+5)
+	startDurable := func() *exec.Cmd {
+		p, err := start(*hpserveBin, "-addr", durURL[len("http://"):], "-workers", "2", "-store", storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		procs = append(procs, p)
+		return p
+	}
+	durable := startDurable()
+	plain, err := start(*hpserveBin, "-addr", plainURL[len("http://"):], "-workers", "2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs = append(procs, plain)
+	gw2, err := start(*hpgateBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", *basePort+5),
+		"-backends", durURL+","+plainURL,
+		"-health-interval", "200ms",
+		"-recovery-window", "60s")
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs = append(procs, gw2)
+	for _, u := range []string{gw2URL, durURL, plainURL} {
+		if err := waitHealthy(ctx, u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c2 := client.New(gw2URL, nil)
+
+	// The gateway keys restart recovery off the backend's advertised
+	// durability; wait until a health probe has taught it.
+	for {
+		gh, err := c2.GatewayHealth(ctx)
+		durableKnown := false
+		if err == nil {
+			for _, b := range gh.Backends {
+				durableKnown = durableKnown || (b.URL == durURL && b.Durable)
+			}
+		}
+		if durableKnown {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			log.Fatal("gateway never learned the backend is durable")
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	// A wire whose rendezvous primary is the durable backend.
+	var durWire hyperpraw.PartitionRequest
+	foundDur := false
+	for i := 0; i < 36 && !foundDur; i++ {
+		durWire = wire(i)
+		req, err := service.ParseRequest(durWire)
+		if err != nil {
+			log.Fatal(err)
+		}
+		foundDur = gateway.RendezvousOrder([]string{durURL, plainURL}, req.FingerprintKey())[0] == durURL
+	}
+	if !foundDur {
+		log.Fatal("no test wire routes to the durable backend")
+	}
+	durInfo, err := c2.Submit(ctx, durWire)
+	if err != nil {
+		log.Fatalf("durable submit: %v", err)
+	}
+	if durInfo.Backend != durURL {
+		log.Fatalf("durable job routed to %s, want %s", durInfo.Backend, durURL)
+	}
+	durRes, err := c2.Wait(ctx, durInfo.ID)
+	if err != nil {
+		log.Fatalf("durable job: %v", err)
+	}
+
+	if err := durable.Process.Kill(); err != nil {
+		log.Fatalf("killing durable backend: %v", err)
+	}
+	durable.Wait() //nolint:errcheck
+	log.Printf("killed durable backend %s holding job %s", durURL, durInfo.ID)
+
+	// While it is down the job must stay pending on it — no failover.
+	time.Sleep(500 * time.Millisecond) // let the health loop observe the outage
+	if _, err := c2.Result(ctx, durInfo.ID); !errors.Is(err, client.ErrNotDone) {
+		log.Fatalf("poll during the outage returned %v, want pending (no failover)", err)
+	}
+	midInfo, err := c2.Job(ctx, durInfo.ID)
+	if err != nil {
+		log.Fatalf("status during the outage: %v", err)
+	}
+	if midInfo.Backend != durURL {
+		log.Fatalf("job failed over to %s during the outage", midInfo.Backend)
+	}
+
+	startDurable()
+	if err := waitHealthy(ctx, durURL); err != nil {
+		log.Fatal(err)
+	}
+	recovered, err := c2.Wait(ctx, durInfo.ID)
+	if err != nil {
+		log.Fatalf("job not recovered after the restart: %v", err)
+	}
+	// The stored result, not a recomputation: the original run's wall time
+	// and partition come back byte-for-byte.
+	if recovered.ElapsedMS != durRes.ElapsedMS {
+		log.Fatalf("recovered ElapsedMS %g != original %g: the job was recomputed, not recovered",
+			recovered.ElapsedMS, durRes.ElapsedMS)
+	}
+	for i := range durRes.Parts {
+		if recovered.Parts[i] != durRes.Parts[i] {
+			log.Fatal("recovered partition differs from the original")
+		}
+	}
+	afterInfo, err := c2.Job(ctx, durInfo.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if afterInfo.Backend != durURL || afterInfo.Status != hyperpraw.JobDone {
+		log.Fatalf("after the restart: %+v, want done on %s", afterInfo, durURL)
+	}
+	// The restarted backend itself still lists the job, persisted.
+	bjobs, err := client.New(durURL, nil).Jobs(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recoveredOnBackend := false
+	for _, bj := range bjobs {
+		recoveredOnBackend = recoveredOnBackend || (bj.Status == hyperpraw.JobDone && bj.Persisted)
+	}
+	if !recoveredOnBackend {
+		log.Fatal("restarted backend lists no persisted done job")
+	}
+	log.Printf("phase 5 ok: job %s recovered from the store after a backend restart, no failover resubmission", durInfo.ID)
+
 	log.Print("all phases passed")
 }

@@ -32,6 +32,11 @@ var (
 	// ErrUnknownJob is returned for job ids the gateway has never issued
 	// (or has pruned).
 	ErrUnknownJob = errors.New("gateway: unknown job")
+	// ErrNotRecoverable is the gateway's verdict that a job lost its
+	// backend and can never be failed over: the retention cap evicted its
+	// retained wire request, so the only remedy is resubmitting the
+	// original request. Served as HTTP 410 Gone.
+	ErrNotRecoverable = errors.New("gateway: job not recoverable")
 )
 
 // Config tunes a Gateway; zero values select the defaults noted per field.
@@ -60,6 +65,15 @@ type Config struct {
 	// MaxJobs bounds how many jobs are retained for status queries; the
 	// oldest finished jobs are pruned beyond it (default 4096).
 	MaxJobs int
+	// RecoveryWindow is how long the gateway waits out the outage of a
+	// backend that advertises a durable job store (its /healthz Durable
+	// field) before failing its jobs over: a restarted durable backend
+	// recovers its jobs from the store — finished results served verbatim,
+	// unfinished work re-queued — which is strictly cheaper than a
+	// failover recomputation. Jobs on such a backend report their last
+	// known state while it is down. Storeless backends are unaffected and
+	// fail over immediately, as before (default 45s; negative disables).
+	RecoveryWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
+	if c.RecoveryWindow == 0 {
+		c.RecoveryWindow = 45 * time.Second
+	}
 	return c
 }
 
@@ -92,17 +109,27 @@ type backend struct {
 	mu      sync.Mutex
 	healthy bool
 	fails   int
+	// durable is the backend's last advertised /healthz Durable flag: its
+	// jobs survive a restart, so a short outage is waited out instead of
+	// failed over (see Config.RecoveryWindow).
+	durable bool
+	// downSince is when the backend last transitioned healthy -> down; the
+	// recovery window is measured from it.
+	downSince time.Time
 }
 
-func (b *backend) status() (healthy bool, fails int) {
+func (b *backend) status() (healthy bool, fails int, durable bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.healthy, b.fails
+	return b.healthy, b.fails, b.durable
 }
 
 // markDown ejects the backend after an observed failure.
 func (b *backend) markDown() {
 	b.mu.Lock()
+	if b.healthy {
+		b.downSince = time.Now()
+	}
 	b.healthy = false
 	b.fails++
 	b.mu.Unlock()
@@ -113,6 +140,16 @@ func (b *backend) markUp() {
 	b.mu.Lock()
 	b.healthy = true
 	b.fails = 0
+	b.mu.Unlock()
+}
+
+// markUpDurable re-admits the backend and records whether it advertises a
+// durable job store; only health probes carry that information.
+func (b *backend) markUpDurable(durable bool) {
+	b.mu.Lock()
+	b.healthy = true
+	b.fails = 0
+	b.durable = durable
 	b.mu.Unlock()
 }
 
@@ -134,6 +171,10 @@ type gwJob struct {
 	info        hyperpraw.JobInfo
 	failovers   int
 	terminal    atomic.Bool
+	// notRecoverable holds the sticky ErrNotRecoverable verdict so every
+	// result poll after the first — not just the one that triggered the
+	// failed failover — serves the actionable 410.
+	notRecoverable error
 }
 
 func (j *gwJob) snapshot() hyperpraw.JobInfo {
@@ -225,9 +266,9 @@ func (g *Gateway) Backends() []hyperpraw.BackendStatus {
 
 	out := make([]hyperpraw.BackendStatus, 0, len(backends))
 	for _, b := range backends {
-		healthy, fails := b.status()
+		healthy, fails, durable := b.status()
 		out = append(out, hyperpraw.BackendStatus{
-			URL: b.url, Healthy: healthy, Fails: fails, Jobs: perBackend[b.url],
+			URL: b.url, Healthy: healthy, Fails: fails, Jobs: perBackend[b.url], Durable: durable,
 		})
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].URL < out[k].URL })
@@ -285,10 +326,10 @@ func (g *Gateway) CheckBackends(ctx context.Context) {
 			defer wg.Done()
 			probeCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
 			defer cancel()
-			if _, err := b.cli.Health(probeCtx); err != nil {
+			if h, err := b.cli.Health(probeCtx); err != nil {
 				b.markDown()
 			} else {
-				b.markUp()
+				b.markUpDurable(h.Durable)
 			}
 		}(b)
 	}
@@ -340,16 +381,45 @@ func (g *Gateway) route(fingerprint string) []*backend {
 	ranked := RendezvousOrder(urls, fingerprint)
 	out := make([]*backend, 0, len(ranked))
 	for _, url := range ranked {
-		if healthy, _ := byURL[url].status(); healthy {
+		if healthy, _, _ := byURL[url].status(); healthy {
 			out = append(out, byURL[url])
 		}
 	}
 	for _, url := range ranked {
-		if healthy, _ := byURL[url].status(); !healthy {
+		if healthy, _, _ := byURL[url].status(); !healthy {
 			out = append(out, byURL[url])
 		}
 	}
 	return out
+}
+
+// recoverable reports whether a failed call against b should be waited
+// out rather than failed over: the backend advertises a durable job store,
+// so a restart recovers its jobs far more cheaply than a failover
+// recomputation. Only outages younger than RecoveryWindow qualify; beyond
+// it the backend is presumed gone for good and failover proceeds as for
+// any other loss.
+func (g *Gateway) recoverable(b *backend) bool {
+	if g.cfg.RecoveryWindow <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.durable && !b.healthy && time.Since(b.downSince) < g.cfg.RecoveryWindow
+}
+
+// recoveryRetryDelay paces SSE re-attach attempts against a restarting
+// durable backend: health-interval-ish, clamped so neither the retry storm
+// nor the recovery latency gets out of hand.
+func (g *Gateway) recoveryRetryDelay() time.Duration {
+	d := g.cfg.HealthInterval
+	if d <= 0 {
+		d = 200 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 // retryableSubmit reports whether a failed backend submission should move
@@ -427,34 +497,43 @@ func (g *Gateway) register(wire hyperpraw.PartitionRequest, fingerprint, backend
 	for _, sj := range strip {
 		sj.mu.Lock()
 		sj.wire = hyperpraw.PartitionRequest{}
+		sj.info.Stripped = true
 		sj.mu.Unlock()
 	}
 	return j.snapshot()
 }
 
 // pruneLocked drops the oldest terminal jobs once the retention cap is
-// exceeded. When the table is still over the cap afterwards (fire-and-
-// forget traffic that never polls, so nothing ever turns terminal), it
-// returns the oldest over-cap jobs so the caller can strip their retained
-// wire requests — the memory-heavy part — outside Gateway.mu (gwJob.mu
-// must never be taken under it). Stripped jobs stay queryable but can no
+// exceeded, in a single pass over the submission order (a per-eviction
+// rescan would be quadratic when the head of the table is long-running
+// jobs). When the table is still over the cap afterwards (fire-and-forget
+// traffic that never polls, so nothing ever turns terminal), it returns
+// the oldest over-cap jobs so the caller can strip their retained wire
+// requests — the memory-heavy part — outside Gateway.mu (gwJob.mu must
+// never be taken under it). Stripped jobs stay queryable but can no
 // longer fail over.
 func (g *Gateway) pruneLocked() (strip []*gwJob) {
-	for len(g.order) > g.cfg.MaxJobs {
-		pruned := false
-		for i, id := range g.order {
-			if g.jobs[id].terminal.Load() {
-				delete(g.jobs, id)
-				g.order = append(g.order[:i], g.order[i+1:]...)
-				pruned = true
-				break
-			}
-		}
-		if !pruned {
+	over := len(g.order) - g.cfg.MaxJobs
+	if over <= 0 {
+		return nil
+	}
+	kept := g.order[:0]
+	for i, id := range g.order {
+		if over == 0 {
+			// Cap met: the rest survives wholesale (steady-state prunes
+			// evict one job and must not rescan the whole table).
+			kept = append(kept, g.order[i:]...)
 			break
 		}
+		if g.jobs[id].terminal.Load() {
+			delete(g.jobs, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
 	}
-	if over := len(g.order) - g.cfg.MaxJobs; over > 0 {
+	g.order = kept
+	if over > 0 {
 		for _, id := range g.order[:over] {
 			strip = append(strip, g.jobs[id])
 		}
@@ -523,6 +602,11 @@ func (g *Gateway) Job(ctx context.Context, id string) (hyperpraw.JobInfo, error)
 		if backendDown(err) {
 			b.markDown()
 		}
+		if g.recoverable(b) {
+			// A restarting durable backend recovers this job; report its
+			// last known state instead of resubmitting it elsewhere.
+			return j.info, nil
+		}
 	}
 	if err := g.failoverLocked(ctx, j); err != nil {
 		return j.info, err
@@ -544,7 +628,9 @@ func (g *Gateway) Result(ctx context.Context, id string) (*hyperpraw.JobResult, 
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.terminal.Load() && j.info.Status == hyperpraw.JobFailed {
-		return nil, j.info, nil
+		// notRecoverable is nil for ordinary failures (422); the stripped
+		// verdict stays a 410 on every poll, not just the first.
+		return nil, j.info, j.notRecoverable
 	}
 	// wasDone: a result was fetched before, so the retained request is gone
 	// and failover is no longer possible — if the backend has since lost
@@ -581,6 +667,11 @@ func (g *Gateway) Result(ctx context.Context, id string) (*hyperpraw.JobResult, 
 		if backendDown(err) {
 			b.markDown()
 		}
+		if g.recoverable(b) {
+			// Pending until the durable backend restarts; its store will
+			// serve a finished job's result verbatim and re-queue the rest.
+			return nil, j.info, nil
+		}
 	}
 	if wasDone {
 		return nil, j.info, fmt.Errorf("gateway: job %s finished but its backend no longer has the result; resubmit the request", j.id)
@@ -604,14 +695,19 @@ func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
 		j.info.Status = hyperpraw.JobFailed
 		j.info.Error = err.Error()
 		j.wire = hyperpraw.PartitionRequest{}
+		if errors.Is(err, ErrNotRecoverable) {
+			j.notRecoverable = err
+		}
 		return err
 	}
 	if j.failovers >= g.cfg.FailoverLimit {
 		return fail(fmt.Errorf("gateway: job %s exceeded %d failovers", j.id, g.cfg.FailoverLimit))
 	}
 	if j.wire.Algorithm == "" {
-		// The retained request was stripped by the retention cap (or the
-		// job is older than a terminal transition raced with us).
+		if j.info.Stripped {
+			return fail(fmt.Errorf("%w: job %s lost its backend after the retention cap (max-jobs %d) evicted its retained request; resubmit the original request", ErrNotRecoverable, j.id, g.cfg.MaxJobs))
+		}
+		// A terminal transition raced with us and already dropped the wire.
 		return fail(fmt.Errorf("gateway: job %s lost its backend and its request is no longer retained", j.id))
 	}
 	var lastErr error = ErrNoBackends
@@ -649,6 +745,7 @@ func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
 func (g *Gateway) mergeInfoLocked(j *gwJob, info hyperpraw.JobInfo) {
 	info.ID = j.id
 	info.Backend = j.backendURL
+	info.Stripped = j.info.Stripped // gateway-local state the backend cannot know
 	j.info = info
 	if info.Status == hyperpraw.JobDone || info.Status == hyperpraw.JobFailed {
 		j.terminal.Store(true)
@@ -757,6 +854,33 @@ func (g *Gateway) StreamEvents(ctx context.Context, id string, after int, emit f
 			// health probe will eject it.
 			if !ended && backendDown(streamErr) {
 				b.markDown()
+			}
+			if ended {
+				// A clean EOF without a final frame is equally a dying
+				// durable backend's FIN (the kernel flushes its sockets)
+				// and a backend that retention-pruned the job. Probe once
+				// so the recovery window can engage for the former
+				// instead of failing the job over to a recomputation.
+				probeCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
+				if h, err := b.cli.Health(probeCtx); err != nil {
+					b.markDown()
+				} else {
+					b.markUpDurable(h.Durable)
+				}
+				cancel()
+			}
+			if g.recoverable(b) {
+				// A restarting durable backend will replay (or, for an
+				// unfinished job, re-run) the progress log, numbering its
+				// frames from 1 again — restart the per-backend cursor
+				// and let the iteration dedupe skip re-sent work.
+				lastSeq = 0
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(g.recoveryRetryDelay()):
+				}
+				continue
 			}
 		}
 

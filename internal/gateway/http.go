@@ -147,6 +147,8 @@ func handleJob(g *Gateway, w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrUnknownJob):
 			service.WriteError(w, http.StatusNotFound, "unknown job "+id)
+		case errors.Is(err, ErrNotRecoverable):
+			service.WriteError(w, http.StatusGone, err.Error())
 		case err != nil:
 			service.WriteError(w, http.StatusBadGateway, err.Error())
 		default:
@@ -157,6 +159,8 @@ func handleJob(g *Gateway, w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrUnknownJob):
 			service.WriteError(w, http.StatusNotFound, "unknown job "+id)
+		case errors.Is(err, ErrNotRecoverable):
+			service.WriteError(w, http.StatusGone, err.Error())
 		case err != nil:
 			service.WriteError(w, http.StatusBadGateway, err.Error())
 		case info.Status == hyperpraw.JobFailed:

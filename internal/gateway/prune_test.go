@@ -1,0 +1,84 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperpraw"
+)
+
+// newPruneFixture builds a gateway job table directly (no backends, no
+// health loop) so prune behavior and cost can be probed in isolation.
+func newPruneFixture(maxJobs int, terminal []bool) *Gateway {
+	g := &Gateway{
+		cfg:      Config{MaxJobs: maxJobs, HealthInterval: -1}.withDefaults(),
+		backends: make(map[string]*backend),
+		jobs:     make(map[string]*gwJob, len(terminal)),
+	}
+	for i, term := range terminal {
+		id := fmt.Sprintf("gw-%06d", i+1)
+		j := &gwJob{id: id, wire: hyperpraw.PartitionRequest{Algorithm: "aware"}}
+		j.terminal.Store(term)
+		g.jobs[id] = j
+		g.order = append(g.order, id)
+	}
+	return g
+}
+
+// TestGatewayPruneSinglePass pins the prune semantics: terminal jobs are
+// evicted oldest-first until the cap is met, live jobs survive in order,
+// and jobs still over the cap afterwards are returned for wire-stripping.
+func TestGatewayPruneSinglePass(t *testing.T) {
+	// 7 jobs, cap 3: the three terminal ones go, four live ones remain,
+	// so the oldest survivor is handed back for stripping.
+	g := newPruneFixture(3, []bool{false, true, false, true, false, true, false})
+	strip := g.pruneLocked()
+
+	want := []string{"gw-000001", "gw-000003", "gw-000005", "gw-000007"}
+	if len(g.order) != len(want) {
+		t.Fatalf("order after prune %v, want %v", g.order, want)
+	}
+	for i, id := range want {
+		if g.order[i] != id {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, g.order[i], id, g.order)
+		}
+		if _, ok := g.jobs[id]; !ok {
+			t.Fatalf("survivor %s missing from the table", id)
+		}
+	}
+	for _, id := range []string{"gw-000002", "gw-000004", "gw-000006"} {
+		if _, ok := g.jobs[id]; ok {
+			t.Fatalf("terminal job %s not evicted", id)
+		}
+	}
+	if len(strip) != 1 || strip[0].id != "gw-000001" {
+		t.Fatalf("strip list %v, want the oldest over-cap survivor gw-000001", strip)
+	}
+}
+
+// BenchmarkGatewayPruneLongRunningHead is the quadratic-prune guard: a
+// table whose head is live (unprunable) jobs and whose tail is terminal
+// ones. The old per-eviction rescan walked the live head once per evicted
+// job (O(n^2)); the single-pass prune walks the order once.
+func BenchmarkGatewayPruneLongRunningHead(b *testing.B) {
+	const live, terminal = 2048, 2048
+	shape := make([]bool, 0, live+terminal)
+	for i := 0; i < live; i++ {
+		shape = append(shape, false)
+	}
+	for i := 0; i < terminal; i++ {
+		shape = append(shape, true)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := newPruneFixture(live, shape)
+		b.StartTimer()
+		if strip := g.pruneLocked(); len(strip) != 0 {
+			b.Fatalf("unexpected strip of %d jobs", len(strip))
+		}
+		if len(g.order) != live {
+			b.Fatalf("pruned to %d, want %d", len(g.order), live)
+		}
+	}
+}

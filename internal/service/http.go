@@ -250,7 +250,11 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, id string)
 		WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if _, ok := s.Job(id); !ok {
+	// Hold the progress log for the whole stream: if retention pruning
+	// evicts the job mid-stream the table entry disappears, but the sealed
+	// log still delivers the remaining frames and the terminal one.
+	plog, ok := s.progressFor(id)
+	if !ok {
 		WriteError(w, http.StatusNotFound, "unknown job "+id)
 		return
 	}
@@ -261,10 +265,7 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, id string)
 
 	seq := after
 	for {
-		evs, done, changed, ok := s.ProgressSince(id, seq)
-		if !ok {
-			return // job pruned mid-stream
-		}
+		evs, done, changed := plog.since(seq)
 		for _, ev := range evs {
 			if err := WriteSSE(w, ev); err != nil {
 				return

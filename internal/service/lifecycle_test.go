@@ -1,0 +1,237 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+)
+
+// TestPrunedJobLogDeliversFinal is the mid-stream-prune regression: a
+// subscriber attaches to a job's progress log (exactly what the events
+// handler does), the job is then evicted by the retention cap, and the
+// held log must still deliver every frame including the terminal one —
+// the old handler re-looked the job up per wakeup and cut the subscriber
+// off without a final frame once the table entry vanished.
+func TestPrunedJobLogDeliversFinal(t *testing.T) {
+	s := New(Config{Workers: 1, MaxJobs: 1})
+	defer s.Shutdown(context.Background()) //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	machine := hyperpraw.MachineSpec{Kind: "archer", Cores: 4}
+	first, err := s.Submit(tinyRequest(t, "aware", machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Wait(ctx, first.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Attach before the prune, as a streaming handler would.
+	plog, ok := s.progressFor(first.ID)
+	if !ok {
+		t.Fatal("progress log unavailable for a finished job")
+	}
+
+	// The next submission pushes the table over MaxJobs=1 and evicts the
+	// finished first job.
+	if _, err := s.Submit(tinyRequest(t, "oblivious", machine)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Job(first.ID); ok {
+		t.Fatal("first job not pruned")
+	}
+
+	evs, sealed, _ := plog.since(0)
+	if !sealed {
+		t.Fatal("pruned job's log not sealed: a blocked subscriber would hang forever")
+	}
+	if len(evs) == 0 || !evs[len(evs)-1].Final || evs[len(evs)-1].Status != hyperpraw.JobDone {
+		t.Fatalf("pruned job's log events %+v, want a final done frame", evs)
+	}
+}
+
+// TestEventsStreamSurvivesPrune drives the same scenario end to end over
+// HTTP: the job is evicted while its SSE stream is being consumed, and the
+// stream still terminates with the done frame.
+func TestEventsStreamSurvivesPrune(t *testing.T) {
+	ts, s := newTestServer(t, Config{Workers: 1, MaxJobs: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	machine := hyperpraw.MachineSpec{Kind: "archer", Cores: 4}
+	info, err := s.Submit(tinyRequest(t, "aware", machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Wait(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []hyperpraw.ProgressEvent
+	var prunedMidStream atomic.Bool
+	err = client.New(ts.URL, nil).StreamProgress(ctx, info.ID, 0, func(ev hyperpraw.ProgressEvent) error {
+		if len(events) == 0 {
+			// Evict the job while its stream is mid-flight.
+			if _, err := s.Submit(tinyRequest(t, "oblivious", machine)); err != nil {
+				return err
+			}
+			if _, ok := s.Job(info.ID); ok {
+				return errors.New("job survived the over-cap submission")
+			}
+			prunedMidStream.Store(true)
+		}
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream of a pruned job: %v", err)
+	}
+	if !prunedMidStream.Load() {
+		t.Fatal("prune never happened mid-stream")
+	}
+	final := events[len(events)-1]
+	if !final.Final || final.Status != hyperpraw.JobDone {
+		t.Fatalf("final frame %+v, want done", final)
+	}
+}
+
+// TestShutdownSealsBlockedSubscribers: an SSE subscriber blocked on a job
+// that will never finish must be woken with a terminal frame when Shutdown
+// gives up, not left hanging on the broadcast channel.
+func TestShutdownSealsBlockedSubscribers(t *testing.T) {
+	gate := make(chan struct{})
+	ts, s := newTestServer(t, Config{
+		Workers: 1,
+		ProfileFunc: func(m *hyperpraw.Machine) hyperpraw.Environment {
+			<-gate
+			return hyperpraw.Profile(m)
+		},
+	})
+	// Runs before newTestServer's cleanup shutdown, letting it drain.
+	t.Cleanup(func() { close(gate) })
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	info, err := s.Submit(tinyRequest(t, "aware", hyperpraw.MachineSpec{Kind: "archer", Cores: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type streamResult struct {
+		events []hyperpraw.ProgressEvent
+		err    error
+	}
+	resc := make(chan streamResult, 1)
+	go func() {
+		var events []hyperpraw.ProgressEvent
+		err := client.New(ts.URL, nil).StreamProgress(ctx, info.ID, 0, func(ev hyperpraw.ProgressEvent) error {
+			events = append(events, ev)
+			return nil
+		})
+		resc <- streamResult{events, err}
+	}()
+	// Let the subscriber attach and block (the worker is stuck profiling,
+	// so no events ever arrive on their own).
+	time.Sleep(100 * time.Millisecond)
+
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancelShutdown()
+	if err := s.Shutdown(shutdownCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown of a wedged worker returned %v, want deadline exceeded", err)
+	}
+
+	select {
+	case res := <-resc:
+		if res.err != nil {
+			t.Fatalf("stream after shutdown: %v", res.err)
+		}
+		if len(res.events) == 0 {
+			t.Fatal("no events delivered")
+		}
+		final := res.events[len(res.events)-1]
+		if !final.Final {
+			t.Fatalf("last frame %+v not final", final)
+		}
+		if final.Error == "" {
+			t.Fatal("terminal frame of an unfinished job carries no shutdown error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber still blocked after Shutdown returned")
+	}
+}
+
+// TestServicePruneKeepsUnfinishedHead pins the single-pass prune's
+// semantics: unfinished jobs survive regardless of age, the oldest
+// finished jobs beyond the cap are evicted, submission order is kept.
+func TestServicePruneKeepsUnfinishedHead(t *testing.T) {
+	s := newPruneFixture(4, []hyperpraw.JobStatus{
+		hyperpraw.JobRunning, hyperpraw.JobDone, hyperpraw.JobQueued,
+		hyperpraw.JobDone, hyperpraw.JobDone, hyperpraw.JobRunning,
+	})
+	s.pruneLocked()
+	want := []string{jobID(1), jobID(3), jobID(5), jobID(6)} // running, queued, done, running
+	if len(s.order) != len(want) {
+		t.Fatalf("order after prune %v, want %v", s.order, want)
+	}
+	for i, id := range want {
+		if s.order[i] != id {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, s.order[i], id, s.order)
+		}
+		if _, ok := s.jobs[id]; !ok {
+			t.Fatalf("survivor %s missing from the table", id)
+		}
+	}
+	for _, id := range []string{jobID(2), jobID(4)} {
+		if _, ok := s.jobs[id]; ok {
+			t.Fatalf("evicted job %s still in the table", id)
+		}
+	}
+}
+
+// newPruneFixture builds a Service job table directly (no workers, no
+// queue) so prune behavior and cost can be probed in isolation.
+func newPruneFixture(maxJobs int, statuses []hyperpraw.JobStatus) *Service {
+	s := &Service{
+		cfg:  Config{MaxJobs: maxJobs}.withDefaults(),
+		jobs: make(map[string]*job, len(statuses)),
+	}
+	for i, status := range statuses {
+		id := fmt.Sprintf("job-%06d", i+1)
+		j := &job{done: make(chan struct{}), progress: newProgressLog()}
+		j.info = hyperpraw.JobInfo{ID: id, Status: status}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	return s
+}
+
+// BenchmarkServicePruneLongRunningHead is the quadratic-prune guard: a
+// table whose head is long-running jobs and whose tail is finished ones.
+// The old per-eviction rescan walked the whole head once per evicted job
+// (O(n^2)); the single-pass prune walks the order once.
+func BenchmarkServicePruneLongRunningHead(b *testing.B) {
+	const running, finished = 2048, 2048
+	statuses := make([]hyperpraw.JobStatus, 0, running+finished)
+	for i := 0; i < running; i++ {
+		statuses = append(statuses, hyperpraw.JobRunning)
+	}
+	for i := 0; i < finished; i++ {
+		statuses = append(statuses, hyperpraw.JobDone)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := newPruneFixture(running, statuses)
+		b.StartTimer()
+		s.pruneLocked()
+		if len(s.order) != running {
+			b.Fatalf("pruned to %d, want %d", len(s.order), running)
+		}
+	}
+}

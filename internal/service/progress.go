@@ -43,11 +43,28 @@ func (p *progressLog) append(ev hyperpraw.ProgressEvent) {
 	close(ch)
 }
 
+// seal appends ev as the log's terminal frame, waking every blocked
+// subscriber; a no-op when the log is already sealed. Shutdown and
+// retention pruning use it so no subscriber can block on a log whose job
+// will never append again.
+func (p *progressLog) seal(ev hyperpraw.ProgressEvent) {
+	ev.Final = true
+	p.append(ev)
+}
+
 // count returns how many events have been appended so far.
 func (p *progressLog) count() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.events)
+}
+
+// all returns a copy of every event appended so far and whether the log is
+// sealed; the durable store journals it as a finished job's history.
+func (p *progressLog) all() ([]hyperpraw.ProgressEvent, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]hyperpraw.ProgressEvent(nil), p.events...), p.sealed
 }
 
 // since returns a copy of the events with Seq > seq, whether the log is
@@ -65,17 +82,29 @@ func (p *progressLog) since(seq int) (evs []hyperpraw.ProgressEvent, sealed bool
 	return evs, p.sealed, p.changed
 }
 
+// progressFor returns job id's progress log handle. Subscribers hold the
+// handle for the life of their stream: retention pruning may evict the job
+// from the table mid-stream, and the sealed log — not the table entry — is
+// what guarantees they still receive their terminal frame.
+func (s *Service) progressFor(id string) (*progressLog, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.progress, true
+}
+
 // ProgressSince returns job id's progress events with Seq > seq, whether
 // the stream is complete (the final event has been appended), and a channel
 // closed on the next append. ok is false for unknown jobs.
 func (s *Service) ProgressSince(id string, seq int) (evs []hyperpraw.ProgressEvent, done bool, changed <-chan struct{}, ok bool) {
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
+	p, ok := s.progressFor(id)
 	if !ok {
 		return nil, false, nil, false
 	}
-	evs, done, changed = j.progress.since(seq)
+	evs, done, changed = p.since(seq)
 	return evs, done, changed, true
 }
 

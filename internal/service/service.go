@@ -12,6 +12,7 @@ import (
 
 	"hyperpraw"
 	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/store"
 )
 
 var (
@@ -44,6 +45,12 @@ type Config struct {
 	// ProfileFunc profiles a machine into an Environment; nil selects
 	// hyperpraw.Profile. Tests substitute an instrumented function.
 	ProfileFunc func(*hyperpraw.Machine) hyperpraw.Environment
+	// Store, when non-nil, journals every job's lifecycle (submission with
+	// its wire request, state changes, terminal result and progress
+	// history) and is replayed by New: finished jobs serve their stored
+	// results immediately, queued and running jobs re-enter the queue. Nil
+	// keeps today's in-memory-only behavior.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +89,9 @@ type Request struct {
 
 	fingerprint string // cache identity of the hypergraph source
 	name        string // human label for JobInfo
+	// wire is the original request as submitted, retained until the job
+	// finishes so a durable store can journal (and a restart re-run) it.
+	wire hyperpraw.PartitionRequest
 }
 
 // FingerprintKey returns the hypergraph-source identity ParseRequest
@@ -133,6 +143,7 @@ func ParseRequest(wire hyperpraw.PartitionRequest) (Request, error) {
 		Machine:   wire.Machine.Normalize(),
 		Options:   wire.Options,
 		Bench:     wire.Bench,
+		wire:      wire,
 	}
 	switch {
 	case wire.Instance != nil && wire.HMetis != "":
@@ -193,23 +204,124 @@ type Service struct {
 
 	envs    *Cache[hyperpraw.Environment]
 	results *Cache[hyperpraw.JobResult]
+
+	store *store.Store
 }
 
-// New starts a Service with cfg's worker pool already running.
+// New starts a Service with cfg's worker pool already running. When cfg
+// names a durable store, its journal is replayed first: finished jobs are
+// restored with their results and progress history, unfinished jobs
+// re-enter the queue.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	var recovered []store.JobRecord
+	queueCap := cfg.QueueDepth
+	if cfg.Store != nil {
+		// The queue must be able to reabsorb every unfinished job the
+		// store hands back on top of the configured depth: those jobs
+		// held queue slots before the crash, and failing them because a
+		// restart races the workers would defeat the store's point.
+		recovered = cfg.Store.Jobs()
+		for _, rec := range recovered {
+			switch rec.Info.Status {
+			case hyperpraw.JobDone, hyperpraw.JobFailed:
+			default:
+				queueCap++
+			}
+		}
+	}
 	s := &Service{
 		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueDepth),
+		queue:   make(chan *job, queueCap),
 		jobs:    make(map[string]*job),
 		envs:    NewCache[hyperpraw.Environment](cfg.EnvCacheSize),
 		results: NewCache[hyperpraw.JobResult](cfg.ResultCacheSize),
+		store:   cfg.Store,
+	}
+	if s.store != nil {
+		s.replayStore(recovered)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// journal appends rec to the durable store. Journaling is best-effort: a
+// failing disk degrades durability, it must not take down serving, so the
+// error is dropped here.
+func (s *Service) journal(rec store.Record) {
+	if s.store == nil {
+		return
+	}
+	_ = s.store.Append(rec)
+}
+
+// replayStore rebuilds the job table from the durable store before the
+// worker pool starts. Jobs the journal saw finish are restored verbatim —
+// result, progress history, sealed log. Jobs that were queued or running
+// when the process died lost their computation but not their identity:
+// they re-enter the queue under their original ids.
+func (s *Service) replayStore(recovered []store.JobRecord) {
+	s.nextID = s.store.NextID()
+	for _, rec := range recovered {
+		j := &job{done: make(chan struct{}), progress: newProgressLog()}
+		j.info = rec.Info
+		j.info.Persisted = true
+		id := j.info.ID
+		switch rec.Info.Status {
+		case hyperpraw.JobDone, hyperpraw.JobFailed:
+			j.result = rec.Result
+			for _, ev := range rec.History {
+				j.progress.append(ev)
+			}
+			// A finish record journaled before its final frame (or by an
+			// older layout) still seals the replayed log.
+			j.progress.seal(hyperpraw.ProgressEvent{JobID: id, Status: j.info.Status, Error: j.info.Error})
+			close(j.done)
+		default:
+			s.requeueReplayed(j, rec)
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+}
+
+// requeueReplayed returns a recovered unfinished job to the queue, or
+// fails it when its request cannot be re-run.
+func (s *Service) requeueReplayed(j *job, rec store.JobRecord) {
+	fail := func(msg string) {
+		j.info.Status = hyperpraw.JobFailed
+		j.info.Error = msg
+		j.info.FinishedAt = time.Now().UnixMilli()
+		j.progress.seal(hyperpraw.ProgressEvent{JobID: j.info.ID, Status: hyperpraw.JobFailed, Error: msg})
+		close(j.done)
+		history, _ := j.progress.all()
+		s.journal(store.Finished(j.info, nil, history))
+	}
+	if rec.Wire == nil {
+		fail("service: restart recovery found no retained request for the job")
+		return
+	}
+	req, err := ParseRequest(*rec.Wire)
+	if err != nil {
+		fail(fmt.Sprintf("service: restart recovery could not re-parse the request: %v", err))
+		return
+	}
+	j.req = req
+	j.info.Status = hyperpraw.JobQueued
+	j.info.StartedAt = 0
+	select {
+	case s.queue <- j:
+		if rec.Info.Status != hyperpraw.JobQueued {
+			s.journal(store.StatusChanged(j.info))
+		}
+	default:
+		// Unreachable: New sizes the queue to hold every recovered
+		// unfinished job; kept as a safety net over a silent drop.
+		fail("service: job queue full after restart")
+	}
 }
 
 // Submit enqueues a request and returns the queued job's info. It fails
@@ -220,6 +332,14 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return hyperpraw.JobInfo{}, ErrClosed
+	}
+	// Cheap rejection before the journal write below: an overloaded node
+	// must not pay an upload-sized WAL append (plus the compensating
+	// prune) for every request it is about to turn away. Re-checked after
+	// the journal for the true race.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return hyperpraw.JobInfo{}, ErrQueueFull
 	}
 	s.nextID++
 	j := &job{
@@ -236,41 +356,93 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 			SubmittedAt: time.Now().UnixMilli(),
 		},
 	}
+	if s.store != nil {
+		j.info.Persisted = true
+	}
+	s.mu.Unlock()
+
+	// Journal before the job can become visible to a worker, so the
+	// Submitted record precedes the worker's StatusChanged/Finished
+	// records in the WAL (replay drops records for unknown ids). Done
+	// outside s.mu: the record carries the full wire request, upload
+	// included, and that write must not stall every other API call.
+	s.journal(store.Submitted(j.info, req.wire))
+
+	s.mu.Lock()
+	reject := func(err error) (hyperpraw.JobInfo, error) {
+		s.mu.Unlock()
+		// Compensate the already-journaled submission so a restart does
+		// not resurrect a job the caller was told was rejected.
+		s.journal(store.Pruned(j.info.ID))
+		return hyperpraw.JobInfo{}, err
+	}
+	if s.closed { // Shutdown raced the journal write
+		return reject(ErrClosed)
+	}
+	// The channel may carry recovery headroom beyond the configured depth
+	// (see New); enforce the configured bound on fresh work explicitly so
+	// backpressure is unchanged once the recovered jobs drain.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		return reject(ErrQueueFull)
+	}
 	select {
 	case s.queue <- j:
 	default:
-		s.nextID--
-		s.mu.Unlock()
-		return hyperpraw.JobInfo{}, ErrQueueFull
+		return reject(ErrQueueFull)
 	}
 	s.jobs[j.info.ID] = j
 	s.order = append(s.order, j.info.ID)
-	s.pruneLocked()
+	pruned := s.pruneLocked()
 	s.mu.Unlock()
+	for _, id := range pruned {
+		s.journal(store.Pruned(id))
+	}
 	return j.snapshot(), nil
 }
 
 // pruneLocked drops the oldest finished jobs once the retention cap is
 // exceeded, so a long-lived server's job table (and the results it pins)
-// stays bounded. Unfinished jobs are never pruned.
-func (s *Service) pruneLocked() {
-	for len(s.order) > s.cfg.MaxJobs {
-		pruned := false
-		for i, id := range s.order {
-			switch s.jobs[id].snapshotStatusLocked() {
-			case hyperpraw.JobDone, hyperpraw.JobFailed:
-				delete(s.jobs, id)
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				pruned = true
-			}
-			if pruned {
-				break
-			}
-		}
-		if !pruned {
-			return // everything over the cap is still queued or running
-		}
+// stays bounded. Unfinished jobs are never pruned. The scan is a single
+// pass over the submission order: with a head full of long-running jobs a
+// per-eviction rescan would be quadratic in the table size. The evicted
+// ids are returned so the caller can journal the evictions outside s.mu.
+func (s *Service) pruneLocked() (evicted []string) {
+	over := len(s.order) - s.cfg.MaxJobs
+	if over <= 0 {
+		return nil
 	}
+	kept := s.order[:0]
+	for i, id := range s.order {
+		if over == 0 {
+			// Cap met: the rest survives wholesale (steady-state prunes
+			// evict one job and must not rescan the whole table).
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		j := s.jobs[id]
+		evict := false
+		switch j.snapshotStatusLocked() {
+		case hyperpraw.JobDone, hyperpraw.JobFailed:
+			evict = true
+		}
+		if !evict {
+			kept = append(kept, id)
+			continue
+		}
+		over--
+		delete(s.jobs, id)
+		j.mu.Lock()
+		status, errMsg := j.info.Status, j.info.Error
+		j.mu.Unlock()
+		// An evicted job is terminal, so its log is normally sealed already
+		// and this is a no-op; it guarantees a subscriber that attached
+		// before the prune still receives a terminal frame instead of
+		// blocking on an evicted log forever.
+		j.progress.seal(hyperpraw.ProgressEvent{JobID: id, Status: status, Error: errMsg})
+		evicted = append(evicted, id)
+	}
+	s.order = kept
+	return evicted
 }
 
 // Job returns the current info for id.
@@ -350,7 +522,7 @@ func (s *Service) Health() hyperpraw.ServeHealth {
 	if closed {
 		status = "shutting-down"
 	}
-	return hyperpraw.ServeHealth{
+	health := hyperpraw.ServeHealth{
 		Status:      status,
 		Workers:     s.cfg.Workers,
 		QueueDepth:  s.cfg.QueueDepth,
@@ -360,6 +532,11 @@ func (s *Service) Health() hyperpraw.ServeHealth {
 		EnvCache:    s.envs.Stats(),
 		ResultCache: s.results.Stats(),
 	}
+	if s.store != nil {
+		health.Durable = true
+		health.StoredJobs = s.store.Count()
+	}
+	return health
 }
 
 // snapshotStatusLocked reads a job's status; safe to call while holding
@@ -372,7 +549,9 @@ func (j *job) snapshotStatusLocked() hyperpraw.JobStatus {
 
 // Shutdown stops accepting submissions, drains the already-queued jobs and
 // waits for the workers to exit, or returns ctx.Err() if the deadline
-// passes first.
+// passes first. Either way every progress log is sealed before returning,
+// so SSE subscribers blocked on a log's broadcast channel wake up with a
+// terminal frame instead of hanging on a server that is going away.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
@@ -387,9 +566,32 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.sealProgressLogs("")
 		return nil
 	case <-ctx.Done():
+		s.sealProgressLogs("service: shut down before the job completed")
 		return ctx.Err()
+	}
+}
+
+// sealProgressLogs delivers a terminal frame on every unsealed progress
+// log (finished jobs sealed theirs already, making this a no-op for them).
+// errMsg annotates jobs that never reached a terminal state.
+func (s *Service) sealProgressLogs(errMsg string) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		id, status, jobErr := j.info.ID, j.info.Status, j.info.Error
+		j.mu.Unlock()
+		if jobErr == "" {
+			jobErr = errMsg
+		}
+		j.progress.seal(hyperpraw.ProgressEvent{JobID: id, Status: status, Error: jobErr})
 	}
 }
 
@@ -405,7 +607,9 @@ func (s *Service) runJob(j *job) {
 	j.info.Status = hyperpraw.JobRunning
 	j.info.StartedAt = time.Now().UnixMilli()
 	id := j.info.ID
+	running := j.info
 	j.mu.Unlock()
+	s.journal(store.StatusChanged(running))
 
 	// Live progress: the restreaming kernel calls onIter on every pass of
 	// the job that actually computes. A job served from the result cache
@@ -429,6 +633,7 @@ func (s *Service) runJob(j *job) {
 		j.result = &res
 	}
 	status, errMsg := j.info.Status, j.info.Error
+	finished, result := j.info, j.result
 	// Only JobInfo and JobResult serve status queries from here on; drop
 	// the request so finished jobs don't pin uploaded hypergraphs in
 	// memory until the retention prune reaches them.
@@ -441,6 +646,17 @@ func (s *Service) runJob(j *job) {
 		}
 	}
 	j.progress.append(hyperpraw.ProgressEvent{JobID: id, Final: true, Status: status, Error: errMsg})
+	history, _ := j.progress.all()
+	// A deadline-exceeded Shutdown may have force-sealed the log while
+	// this job was still running, dropping the frame appended above;
+	// journal the job's actual outcome, not the shutdown placeholder.
+	for len(history) > 0 && history[len(history)-1].Final {
+		history = history[:len(history)-1]
+	}
+	history = append(history, hyperpraw.ProgressEvent{
+		JobID: id, Seq: len(history) + 1, Final: true, Status: status, Error: errMsg,
+	})
+	s.journal(store.Finished(finished, result, history))
 	close(j.done)
 }
 

@@ -1,0 +1,485 @@
+// Package store is the durable job store behind hpserve's -store flag: an
+// append-only write-ahead log of job lifecycle records plus a periodic
+// snapshot, so a restarted backend recovers its job table instead of
+// forfeiting it — finished jobs serve their results immediately, queued and
+// running jobs re-enter the queue (their computation was lost with the
+// process, their identity and request were not).
+//
+// Layout under the store directory:
+//
+//	snapshot.json   full state at the last compaction (atomic tmp+rename)
+//	wal.log         records appended since, one per line: "%08x %s" —
+//	                CRC-32 (IEEE) of the JSON payload, then the payload
+//
+// The loader tolerates a crash mid-append: a torn or corrupt tail record
+// (short write, bad checksum, unparsable JSON) ends the replay and is
+// truncated away so later appends follow the last good record. Replaying
+// the WAL on top of a snapshot that already contains its effects is
+// idempotent, which makes the compaction sequence (write snapshot, then
+// truncate the WAL) crash-safe at every step.
+//
+// Appends are not fsynced record-by-record: a killed process loses nothing
+// (the data is in the page cache), only a whole-machine crash can lose the
+// tail since the last snapshot. Snapshots are fsynced before the rename.
+// The store assumes a single process per directory.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hyperpraw"
+)
+
+// ErrClosed is returned by Append and Compact after Close.
+var ErrClosed = errors.New("store: closed")
+
+// defaultCompactEvery bounds WAL growth: after this many appended records
+// the store folds the log into a fresh snapshot.
+const defaultCompactEvery = 4096
+
+// Kind discriminates WAL records.
+type Kind string
+
+const (
+	// KindSubmit records a newly accepted job: its initial info and the
+	// wire request needed to re-run it after a restart.
+	KindSubmit Kind = "submit"
+	// KindStatus records a job state change (queued -> running).
+	KindStatus Kind = "status"
+	// KindFinish records a terminal job: final info, result (nil for a
+	// failed job) and the full progress history; the retained wire request
+	// is dropped.
+	KindFinish Kind = "finish"
+	// KindPrune records a retention eviction.
+	KindPrune Kind = "prune"
+)
+
+// Record is one WAL entry.
+type Record struct {
+	Kind    Kind                        `json:"kind"`
+	Info    *hyperpraw.JobInfo          `json:"info,omitempty"`
+	Wire    *hyperpraw.PartitionRequest `json:"wire,omitempty"`
+	Result  *hyperpraw.JobResult        `json:"result,omitempty"`
+	History []hyperpraw.ProgressEvent   `json:"history,omitempty"`
+	ID      string                      `json:"id,omitempty"` // prune target
+}
+
+// Submitted builds the record journaled when a job is accepted.
+func Submitted(info hyperpraw.JobInfo, wire hyperpraw.PartitionRequest) Record {
+	return Record{Kind: KindSubmit, Info: &info, Wire: &wire}
+}
+
+// StatusChanged builds the record journaled on a job state change.
+func StatusChanged(info hyperpraw.JobInfo) Record {
+	return Record{Kind: KindStatus, Info: &info}
+}
+
+// Finished builds the record journaled when a job reaches a terminal
+// state; result is nil for a failed job.
+func Finished(info hyperpraw.JobInfo, result *hyperpraw.JobResult, history []hyperpraw.ProgressEvent) Record {
+	return Record{Kind: KindFinish, Info: &info, Result: result, History: history}
+}
+
+// Pruned builds the record journaled when retention evicts a job.
+func Pruned(id string) Record {
+	return Record{Kind: KindPrune, ID: id}
+}
+
+// JobRecord is the folded per-job state the loader hands back: the last
+// journaled info, plus whichever of the wire request (unfinished jobs) or
+// result/history (finished jobs) is still relevant.
+type JobRecord struct {
+	Info    hyperpraw.JobInfo           `json:"info"`
+	Wire    *hyperpraw.PartitionRequest `json:"wire,omitempty"`
+	Result  *hyperpraw.JobResult        `json:"result,omitempty"`
+	History []hyperpraw.ProgressEvent   `json:"history,omitempty"`
+}
+
+type snapshotFile struct {
+	NextID int         `json:"next_id"`
+	Jobs   []JobRecord `json:"jobs"`
+}
+
+// Store is a durable job store bound to one directory.
+type Store struct {
+	dir string
+
+	mu           sync.Mutex
+	wal          *os.File // nil after a failed write or swap; Append reopens it
+	walSize      int64    // bytes of intact records; repair truncates to it
+	jobs         map[string]*JobRecord
+	order        []string // submit order; pruned ids are skipped on read
+	nextID       int
+	walRecords   int
+	compactEvery int
+	closed       bool
+
+	// live mirrors len(jobs) so Count never contends with a compaction
+	// (health endpoints poll it while a snapshot write may hold mu).
+	live atomic.Int64
+}
+
+// Open loads (or initialises) the store in dir: snapshot first, then the
+// WAL on top, truncating a torn tail record if the last run crashed
+// mid-append.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:          dir,
+		jobs:         make(map[string]*JobRecord),
+		compactEvery: defaultCompactEvery,
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.json") }
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.log") }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(s.snapshotPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("store: bad snapshot %s: %w", s.snapshotPath(), err)
+	}
+	s.nextID = snap.NextID
+	for i := range snap.Jobs {
+		rec := snap.Jobs[i]
+		s.jobs[rec.Info.ID] = &rec
+		s.order = append(s.order, rec.Info.ID)
+		if n := idNumber(rec.Info.ID); n > s.nextID {
+			s.nextID = n
+		}
+	}
+	s.live.Store(int64(len(s.jobs)))
+	return nil
+}
+
+// replayWAL applies every valid record and truncates the file after the
+// last one, so a torn tail from a crash mid-append cannot shadow future
+// appends.
+func (s *Store) replayWAL() error {
+	f, err := os.Open(s.walPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	rd := bufio.NewReader(f)
+	var good int64
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break // a partial final line is a torn tail
+			}
+			return fmt.Errorf("store: reading WAL: %w", err)
+		}
+		rec, ok := parseRecord(line)
+		if !ok {
+			break // corrupt record: keep the prefix, drop the rest
+		}
+		s.apply(rec)
+		s.walRecords++
+		good += int64(len(line))
+	}
+	if info, err := f.Stat(); err == nil && info.Size() > good {
+		if err := os.Truncate(s.walPath(), good); err != nil {
+			return fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	s.walSize = good
+	return nil
+}
+
+// parseRecord decodes one WAL line, rejecting any framing, checksum or
+// JSON damage.
+func parseRecord(line string) (Record, bool) {
+	line = strings.TrimSuffix(line, "\n")
+	crcHex, payload, found := strings.Cut(line, " ")
+	if !found || len(crcHex) != 8 {
+		return Record{}, false
+	}
+	want, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil {
+		return Record{}, false
+	}
+	if crc32.ChecksumIEEE([]byte(payload)) != uint32(want) {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// apply folds one record into the in-memory state. Applying a record whose
+// effect is already present (snapshot + not-yet-truncated WAL overlap) is
+// idempotent.
+func (s *Store) apply(rec Record) {
+	switch rec.Kind {
+	case KindSubmit:
+		if rec.Info == nil {
+			return
+		}
+		id := rec.Info.ID
+		if _, ok := s.jobs[id]; !ok {
+			s.order = append(s.order, id)
+			s.live.Add(1)
+		}
+		s.jobs[id] = &JobRecord{Info: *rec.Info, Wire: rec.Wire}
+		if n := idNumber(id); n > s.nextID {
+			s.nextID = n
+		}
+	case KindStatus:
+		if rec.Info == nil {
+			return
+		}
+		if j, ok := s.jobs[rec.Info.ID]; ok {
+			j.Info = *rec.Info
+		}
+	case KindFinish:
+		if rec.Info == nil {
+			return
+		}
+		if j, ok := s.jobs[rec.Info.ID]; ok {
+			j.Info = *rec.Info
+			j.Result = rec.Result
+			j.History = rec.History
+			j.Wire = nil // terminal jobs no longer need their request
+		}
+	case KindPrune:
+		if _, ok := s.jobs[rec.ID]; ok {
+			delete(s.jobs, rec.ID)
+			s.live.Add(-1)
+		}
+	}
+}
+
+// idNumber extracts the numeric suffix of a "job-%06d" id (0 if the id has
+// another shape), used to restore the id counter across restarts.
+func idNumber(id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Jobs returns the live job records in submission order. The Wire, Result
+// and History pointers are shared with the store; treat them as read-only.
+func (s *Store) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// Count returns how many live jobs the store holds. It is lock-free so
+// health endpoints never stall behind an in-flight compaction.
+func (s *Store) Count() int {
+	return int(s.live.Load())
+}
+
+// NextID returns the highest job id number seen, so a restarted service
+// can continue its id sequence without collisions.
+func (s *Store) NextID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextID
+}
+
+// Append journals one record: written to the WAL first, then folded into
+// the in-memory state. Every compactEvery appends the WAL is folded into a
+// fresh snapshot.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal == nil {
+		// A previous write or compaction lost the WAL handle; reopen and
+		// cut the file back to the last intact record so a transient
+		// failure neither ends durability for good nor leaves a torn
+		// record that would poison every later append on reload.
+		wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: reopening WAL: %w", err)
+		}
+		if err := wal.Truncate(s.walSize); err != nil {
+			wal.Close() //nolint:errcheck
+			return fmt.Errorf("store: repairing WAL: %w", err)
+		}
+		if _, err := wal.Seek(s.walSize, io.SeekStart); err != nil {
+			wal.Close() //nolint:errcheck
+			return fmt.Errorf("store: %w", err)
+		}
+		s.wal = wal
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	if _, err := s.wal.WriteString(line); err != nil {
+		// A partial record would shadow every later append on reload:
+		// best-effort cut back to the last good record, then drop the
+		// handle so the next Append reopens and re-repairs.
+		s.wal.Truncate(s.walSize) //nolint:errcheck
+		s.wal.Close()             //nolint:errcheck
+		s.wal = nil
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walSize += int64(len(line))
+	s.apply(rec)
+	s.walRecords++
+	if s.walRecords >= s.compactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact folds the WAL into a fresh snapshot and truncates it.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	// Reset the trigger counter up front: a failing compaction (full
+	// disk, ...) is retried after another compactEvery appends instead of
+	// re-marshaling the whole table on every single append.
+	s.walRecords = 0
+	snap := snapshotFile{NextID: s.nextID}
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			snap.Jobs = append(snap.Jobs, *j)
+		}
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := s.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// The rename must be durable before the WAL is truncated, or a power
+	// loss could surface the old snapshot next to an empty WAL; syncing
+	// the directory is what makes a rename survive a machine crash.
+	if d, err := os.Open(s.dir); err == nil {
+		serr := d.Sync()
+		d.Close() //nolint:errcheck
+		if serr != nil {
+			return fmt.Errorf("store: syncing %s: %w", s.dir, serr)
+		}
+	}
+	// From here the snapshot covers everything; the WAL swap may fail
+	// without losing data. A crash (or failed truncation) that leaves old
+	// records in the WAL is fine: replaying them on top of the snapshot
+	// is idempotent. walSize drops to zero either way so Append's repair
+	// path truncates the stale records instead of appending after them.
+	if s.wal != nil {
+		s.wal.Close() //nolint:errcheck // the handle is being replaced either way
+		s.wal = nil
+	}
+	s.walSize = 0
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		// s.wal stays nil; the next Append reopens and truncates.
+		return fmt.Errorf("store: reopening WAL: %w", err)
+	}
+	s.wal = wal
+	// Rebuild order without pruned ids so it cannot grow unboundedly.
+	live := s.order[:0]
+	for _, id := range s.order {
+		if _, ok := s.jobs[id]; ok {
+			live = append(live, id)
+		}
+	}
+	s.order = live
+	return nil
+}
+
+// Close snapshots the current state and releases the WAL. Appends after
+// Close fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.compactLocked()
+	s.closed = true
+	if s.wal != nil {
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

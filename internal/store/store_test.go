@@ -1,0 +1,246 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyperpraw"
+)
+
+func info(id string, status hyperpraw.JobStatus) hyperpraw.JobInfo {
+	return hyperpraw.JobInfo{ID: id, Status: status, Algorithm: "aware"}
+}
+
+func wire() hyperpraw.PartitionRequest {
+	return hyperpraw.PartitionRequest{
+		Algorithm: "aware",
+		Machine:   hyperpraw.MachineSpec{Kind: "archer", Cores: 4},
+		HMetis:    "2 4\n1 2\n3 4\n",
+	}
+}
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+
+	if err := s.Append(Submitted(info("job-000001", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(StatusChanged(info("job-000001", hyperpraw.JobRunning))); err != nil {
+		t.Fatal(err)
+	}
+	result := &hyperpraw.JobResult{Parts: []int32{0, 1}, K: 2, ElapsedMS: 12.5}
+	history := []hyperpraw.ProgressEvent{
+		{JobID: "job-000001", Seq: 1, IterationPoint: hyperpraw.IterationPoint{Iteration: 1, CommCost: 3}},
+		{JobID: "job-000001", Seq: 2, Final: true, Status: hyperpraw.JobDone},
+	}
+	if err := s.Append(Finished(info("job-000001", hyperpraw.JobDone), result, history)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Submitted(info("job-000002", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("reloaded %d jobs, want 2", len(jobs))
+	}
+	done, queued := jobs[0], jobs[1]
+	if done.Info.ID != "job-000001" || done.Info.Status != hyperpraw.JobDone {
+		t.Fatalf("first job %+v", done.Info)
+	}
+	if done.Wire != nil {
+		t.Fatal("finished job still retains its wire request")
+	}
+	if done.Result == nil || done.Result.ElapsedMS != 12.5 || len(done.Result.Parts) != 2 {
+		t.Fatalf("result %+v", done.Result)
+	}
+	if len(done.History) != 2 || !done.History[1].Final {
+		t.Fatalf("history %+v", done.History)
+	}
+	if queued.Info.Status != hyperpraw.JobQueued || queued.Wire == nil || queued.Wire.HMetis == "" {
+		t.Fatalf("queued job %+v wire %v", queued.Info, queued.Wire)
+	}
+	if s2.NextID() != 2 {
+		t.Fatalf("next id %d, want 2", s2.NextID())
+	}
+}
+
+func TestStorePruneSurvivesReload(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for _, id := range []string{"job-000001", "job-000002"} {
+		if err := s.Append(Submitted(info(id, hyperpraw.JobQueued), wire())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(Pruned("job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count %d, want 1", s.Count())
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 1 || jobs[0].Info.ID != "job-000002" {
+		t.Fatalf("jobs after prune+reload: %+v", jobs)
+	}
+	// The pruned id is still counted by the id sequence: fresh ids must
+	// not collide with ever-issued ones.
+	if s2.NextID() != 2 {
+		t.Fatalf("next id %d, want 2", s2.NextID())
+	}
+}
+
+// TestStoreTornTailIgnored is the crash-mid-append scenario: a WAL whose
+// last record was half-written must load cleanly up to the last intact
+// record, and appends after the reload must not be shadowed by the
+// truncated garbage.
+func TestStoreTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for _, id := range []string{"job-000001", "job-000002", "job-000003"} {
+		if err := s.Append(Submitted(info(id, hyperpraw.JobQueued), wire())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash: no Close (which would snapshot), tear the tail.
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	jobs := s2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("loaded %d jobs from a torn WAL, want the 2 intact ones", len(jobs))
+	}
+	if jobs[0].Info.ID != "job-000001" || jobs[1].Info.ID != "job-000002" {
+		t.Fatalf("jobs %+v", jobs)
+	}
+	// Appending after a torn-tail load lands after the truncation point.
+	if err := s2.Append(Submitted(info("job-000004", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the next load must see the append via the WAL alone.
+	s3 := open(t, dir)
+	defer s3.Close()
+	if n := s3.Count(); n != 3 {
+		t.Fatalf("after torn-tail append: %d jobs, want 3", n)
+	}
+}
+
+// TestStoreCorruptMiddleStopsReplay: checksum damage that is not a clean
+// truncation still loads the prefix instead of failing the whole store.
+func TestStoreCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for _, id := range []string{"job-000001", "job-000002"} {
+		if err := s.Append(Submitted(info(id, hyperpraw.JobQueued), wire())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff // flip a bit inside the second record's line
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	defer s2.Close()
+	if n := s2.Count(); n != 1 {
+		t.Fatalf("loaded %d jobs past a corrupt record, want 1", n)
+	}
+}
+
+func TestStoreCompactFoldsWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	s.compactEvery = 4
+	for i := 1; i <= 10; i++ {
+		if err := s.Append(Submitted(info(fmt.Sprintf("job-%06d", i), hyperpraw.JobQueued), wire())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Auto-compaction must have triggered at least twice.
+	wal, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) > 2048 {
+		t.Fatalf("WAL grew to %d bytes despite compactEvery=4", len(wal))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		t.Fatalf("no snapshot after auto-compaction: %v", err)
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	if s2.Count() == 0 {
+		t.Fatal("compacted store reloaded empty")
+	}
+}
+
+// TestStoreAppendSelfHealsAfterWriteError: a failed WAL write (simulated
+// by yanking the handle) must not end durability — the next append reopens
+// the file, truncates any torn record, and resumes journaling.
+func TestStoreAppendSelfHealsAfterWriteError(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Append(Submitted(info("job-000001", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.wal.Close() // simulate the disk yanking the handle mid-flight
+	s.mu.Unlock()
+	if err := s.Append(Submitted(info("job-000002", hyperpraw.JobQueued), wire())); err == nil {
+		t.Fatal("append on a dead handle reported success")
+	}
+	// The very next append must recover on a fresh handle.
+	if err := s.Append(Submitted(info("job-000003", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatalf("append did not self-heal: %v", err)
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 2 || jobs[0].Info.ID != "job-000001" || jobs[1].Info.ID != "job-000003" {
+		t.Fatalf("reloaded %+v, want the two successfully journaled jobs", jobs)
+	}
+}
+
+func TestStoreAppendAfterCloseFails(t *testing.T) {
+	s := open(t, t.TempDir())
+	s.Close()
+	if err := s.Append(Submitted(info("job-000001", hyperpraw.JobQueued), wire())); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

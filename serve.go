@@ -239,6 +239,14 @@ type JobInfo struct {
 	// Backend is the hpserve base URL a gateway routed this job to; empty
 	// when the job was submitted to an hpserve node directly.
 	Backend string `json:"backend,omitempty"`
+	// Persisted reports that the job is journaled in the backend's durable
+	// store and will survive a backend restart: finished jobs keep serving
+	// their results, unfinished ones re-enter the queue.
+	Persisted bool `json:"persisted,omitempty"`
+	// Stripped reports that the gateway no longer retains the job's wire
+	// request (evicted by the retention cap): the job stays queryable but
+	// can no longer fail over to another backend if its backend is lost.
+	Stripped bool `json:"stripped,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/partition/batch: many partition
@@ -311,6 +319,11 @@ type BackendStatus struct {
 	// Jobs is how many of the gateway's retained jobs are currently routed
 	// to this backend.
 	Jobs int `json:"jobs"`
+	// Durable reports that the backend advertises a durable job store
+	// (its /healthz Durable field): the gateway waits out short outages of
+	// such a backend instead of immediately failing its jobs over, because
+	// a restart recovers them more cheaply than a recomputation.
+	Durable bool `json:"durable,omitempty"`
 }
 
 // GatewayHealth is the body of an hpgate GET /healthz.
@@ -360,6 +373,11 @@ type ServeHealth struct {
 	Jobs        int        `json:"jobs"`
 	EnvCache    CacheStats `json:"env_cache"`
 	ResultCache CacheStats `json:"result_cache"`
+	// Durable reports whether the service journals jobs to a durable store
+	// (hpserve -store); StoredJobs is how many jobs that store holds. An
+	// hpgate gateway keys its restart-recovery behavior off Durable.
+	Durable    bool `json:"durable,omitempty"`
+	StoredJobs int  `json:"stored_jobs,omitempty"`
 }
 
 // Fingerprint returns a deterministic 128-bit hex digest of the hypergraph's
