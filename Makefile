@@ -20,20 +20,22 @@ vet:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 # bench runs the streaming-kernel benchmarks (exhaustive baseline vs
-# touched-only scan in the same run) and emits BENCH_core.json, the
-# machine-readable trajectory point future PRs compare against.
+# touched-only scan in the same run, uniform + profiled + hierarchical
+# matrices) with -benchmem and emits BENCH_core.json, the machine-readable
+# trajectory point future PRs compare against.
 bench:
 	set -o pipefail; \
-	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x ./internal/core/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x -benchmem ./internal/core/ \
 		| $(GO) run ./cmd/benchfmt -o BENCH_core.json
 
 # bench-compare re-runs the smoke benchmarks (same 3x sampling as the
 # committed baseline) and fails if any exhaustive/fast speedup family
-# collapsed by more than 1.5x against BENCH_core.json — the CI guard
-# against fast-path reverts.
+# collapsed by more than 1.5x against BENCH_core.json, or if a benchmark
+# the baseline records at zero allocs/op started allocating — the CI
+# guard against fast-path reverts.
 bench-compare:
 	set -o pipefail; \
-	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x ./internal/core/ \
+	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x -benchmem ./internal/core/ \
 		| $(GO) run ./cmd/benchfmt -o BENCH_new.json -compare BENCH_core.json -threshold 1.5
 
 bins:

@@ -14,6 +14,7 @@ import (
 	"hyperpraw/internal/core"
 	"hyperpraw/internal/hgen"
 	"hyperpraw/internal/mapping"
+	"hyperpraw/internal/metrics"
 	"hyperpraw/internal/netsim"
 	"hyperpraw/internal/profile"
 	"hyperpraw/internal/topology"
@@ -248,6 +249,56 @@ func BenchmarkAblationHeterogeneity(b *testing.B) {
 				}
 			}
 			b.ReportMetric(ratio, "basic/aware-speedup")
+		})
+	}
+}
+
+// BenchmarkAblationMachineTiers runs the aware partitioner across machine
+// profiles of increasing hierarchy depth — flat, two-tier, three-tier
+// (all profiled noiselessly, so their cost matrices carry exact tiers)
+// and the noisy ARCHER profile — measuring wall time and final PC. This
+// is the ablation behind the cost-tier index: the kernel detects each
+// matrix's structure (uniform / exact blocks / noisy blocks) and picks
+// the candidate-scan strategy per matrix, so partitioning should get
+// *faster*, not slower, as the machine gets more hierarchical.
+func BenchmarkAblationMachineTiers(b *testing.B) {
+	spec, _ := hgen.SpecByName("2cubes_sphere")
+	h := hgen.Generate(spec.Scaled(0.01), 1)
+	noiseless := profile.Config{MessageBytes: 512 << 10, Repeats: 1, NoiseSigma: 0, Seed: 1}
+	tier2 := topology.Spec{Name: "tier2", Levels: []topology.Level{
+		{Name: "blade", Fanout: 8, BandwidthMBs: 6000, LatencySec: 1e-6},
+		{Name: "rest", Fanout: 1 << 30, BandwidthMBs: 800, LatencySec: 5e-6},
+	}}
+	tier3 := topology.Spec{Name: "tier3", Levels: []topology.Level{
+		{Name: "socket", Fanout: 8, BandwidthMBs: 8000, LatencySec: 0.4e-6},
+		{Name: "node", Fanout: 4, BandwidthMBs: 3000, LatencySec: 1e-6},
+		{Name: "rest", Fanout: 1 << 30, BandwidthMBs: 700, LatencySec: 5e-6},
+	}}
+	cases := []struct {
+		name  string
+		spec  topology.Spec
+		pcfg  profile.Config
+		cores int
+	}{
+		{"flat", topology.Uniform(2000), noiseless, 64},
+		{"tier2", tier2, noiseless, 64},
+		{"tier3", tier3, noiseless, 64},
+		{"archer-noisy", topology.Archer(), profile.DefaultConfig(), 64},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			machine := topology.MustNew(tc.spec, tc.cores, 1)
+			cost := profile.CostMatrix(profile.RingProfile(machine, tc.pcfg))
+			var pc float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				parts, err := core.Partition(h, core.DefaultConfig(cost))
+				if err != nil {
+					b.Fatal(err)
+				}
+				pc = metrics.CommCost(h, parts, cost)
+			}
+			b.ReportMetric(pc, "final-PC")
 		})
 	}
 }

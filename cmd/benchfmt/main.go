@@ -1,20 +1,23 @@
 // Command benchfmt converts `go test -bench` output on stdin into the
 // machine-readable BENCH_core.json consumed by the benchmark trajectory
-// (see README "Performance"): every benchmark line is recorded, and for
-// each BenchmarkStream* family the exhaustive/fast pairs at equal p are
+// (see README "Performance"): every benchmark line is recorded — with
+// B/op and allocs/op when the bench ran under -benchmem — and for each
+// BenchmarkStream* family the exhaustive/fast pairs at equal p are
 // folded into a speedup ratio.
 //
 // Usage:
 //
-//	go test -run '^$' -bench BenchmarkStream -benchtime 3x ./internal/core/ | benchfmt -o BENCH_core.json
+//	go test -run '^$' -bench BenchmarkStream -benchtime 3x -benchmem ./internal/core/ | benchfmt -o BENCH_core.json
 //
 // With -compare BASELINE.json the new report is additionally checked
 // against a committed baseline: the per-family exhaustive/fast speedup
-// ratios must not have collapsed by more than -threshold (default 1.5).
-// Speedups are within-run ratios, so the check is robust to the absolute
-// timing noise of CI machines while still catching a fast-path revert —
-// a reverted fast kernel drags its family's speedup to ~1x, which trips
-// the threshold no matter how fast or slow the runner is.
+// ratios must not have collapsed by more than -threshold (default 1.5),
+// and any benchmark the baseline records at zero allocs/op must still
+// allocate nothing. Speedups are within-run ratios and alloc counts are
+// exact, so both checks are robust to the absolute timing noise of CI
+// machines while still catching a fast-path revert — a reverted fast
+// kernel drags its family's speedup to ~1x, which trips the threshold no
+// matter how fast or slow the runner is.
 package main
 
 import (
@@ -34,6 +37,12 @@ type benchLine struct {
 	Name       string  `json:"name"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are recorded when the bench ran with
+	// -benchmem; nil otherwise. The kernel fast paths promise zero
+	// allocs/op, so the compare guard treats a 0 → >0 transition in a
+	// baseline family as a regression.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
 }
 
 type report struct {
@@ -45,7 +54,7 @@ type report struct {
 	Speedups    map[string]float64 `json:"speedups"`
 }
 
-var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file (\"-\" for stdout)")
@@ -75,7 +84,18 @@ func main() {
 		if err != nil {
 			continue
 		}
-		rep.Benchmarks = append(rep.Benchmarks, benchLine{Name: m[1], Iterations: iters, NsPerOp: ns})
+		bl := benchLine{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			if bpo, err := strconv.ParseFloat(m[4], 64); err == nil {
+				bl.BytesPerOp = &bpo
+			}
+		}
+		if m[5] != "" {
+			if apo, err := strconv.ParseInt(m[5], 10, 64); err == nil {
+				bl.AllocsPerOp = &apo
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bl)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchfmt: read: %v\n", err)
@@ -156,8 +176,11 @@ func main() {
 
 // compareBaseline fails when any speedup family present in the baseline is
 // missing from the new report, or has collapsed by more than threshold
-// (baseline/new > threshold). New families absent from the baseline pass:
-// the guard rejects regressions, not additions.
+// (baseline/new > threshold). It also guards the allocation contract: a
+// benchmark that the baseline records at zero allocs/op must stay at zero
+// (alloc counts, unlike timings, are machine-independent and exact). New
+// families absent from the baseline pass: the guard rejects regressions,
+// not additions.
 func compareBaseline(logw *os.File, path string, rep report, threshold float64) error {
 	if threshold <= 0 {
 		return fmt.Errorf("threshold must be positive, got %g", threshold)
@@ -198,6 +221,31 @@ func compareBaseline(logw *os.File, path string, rep report, threshold float64) 
 				fmt.Sprintf("%s: speedup %.2fx vs baseline %.2fx (ratio %.2f > %.2f)", k, newS, baseS, ratio, threshold))
 		}
 		fmt.Fprintf(logw, "compare %-40s base %5.2fx new %5.2fx  %s\n", k, baseS, newS, verdict)
+	}
+	newAllocs := map[string]*int64{}
+	for _, b := range rep.Benchmarks {
+		newAllocs[b.Name] = b.AllocsPerOp
+	}
+	for _, b := range base.Benchmarks {
+		if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+			continue
+		}
+		a, ok := newAllocs[b.Name]
+		switch {
+		case !ok:
+			// A missing benchmark is already reported by the speedup
+			// comparison when its family is guarded; don't double up.
+		case a == nil:
+			// The guard must not silently lapse: if the baseline promises
+			// zero allocs but this run carries no alloc data (the bench
+			// ran without -benchmem, or the line stopped parsing), that
+			// is a broken pipeline, not a pass.
+			regressions = append(regressions,
+				fmt.Sprintf("%s: baseline promises 0 allocs/op but this run has no alloc data (run with -benchmem)", b.Name))
+		case *a > 0:
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op (baseline promises zero)", b.Name, *a))
+		}
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d speedup regression(s) beyond %.2fx against %s:\n  %s",

@@ -24,7 +24,7 @@ func MapToTopology(h *Hypergraph, parts []int32, m *Machine, env Environment) ([
 // selects GOMAXPROCS. Results are valid but not run-to-run deterministic.
 func PartitionAwareParallel(h *Hypergraph, env Environment, opts *Options, workers int) ([]int32, PartitionResult, error) {
 	o := opts.orDefault()
-	res, err := core.PartitionParallel(h, prawConfig(env.PhysCost, o), workers)
+	res, err := core.PartitionParallel(h, prawConfig(env.PhysCost, env.physIndex, o), workers)
 	if err != nil {
 		return nil, PartitionResult{}, err
 	}
@@ -37,7 +37,7 @@ func PartitionAwareParallel(h *Hypergraph, env Environment, opts *Options, worke
 // work [6,7]). A zero penalty reduces to a warm-started PartitionAware.
 func Repartition(h *Hypergraph, current []int32, env Environment, migrationPenalty float64, opts *Options) ([]int32, PartitionResult, error) {
 	o := opts.orDefault()
-	cfg := prawConfig(env.PhysCost, o)
+	cfg := prawConfig(env.PhysCost, env.physIndex, o)
 	cfg.InitialParts = current
 	cfg.MigrationPenalty = migrationPenalty
 	pr, err := core.New(h, cfg)

@@ -61,6 +61,15 @@ type Environment struct {
 	PhysCost [][]float64
 	// UniformCost is the architecture-oblivious matrix (1 off-diagonal).
 	UniformCost [][]float64
+
+	// physIndex/uniformIndex are the cost-tier indexes of the two
+	// matrices (structure detection, block floors, walk orders — see
+	// core.BuildCostIndex). Profile builds them eagerly so every copy of
+	// a cached Environment shares one index and repeat partitioning jobs
+	// skip the O(p² log p) analysis; hand-assembled Environments leave
+	// them nil and core.New builds per run.
+	physIndex    *core.CostIndex
+	uniformIndex *core.CostIndex
 }
 
 // NewArcherMachine builds an ARCHER-like hierarchical machine with the given
@@ -76,14 +85,19 @@ func NewCloudMachine(cores int, seed uint64) *Machine {
 }
 
 // Profile measures the machine's peer-to-peer bandwidth with the ring
-// profiler (the mpiGraph analog of §4.2) and derives both cost matrices.
+// profiler (the mpiGraph analog of §4.2), derives both cost matrices, and
+// builds their cost-tier indexes so every partitioning run against this
+// Environment starts from the precomputed structure.
 func Profile(m *Machine) Environment {
 	bw := profile.RingProfile(m, profile.DefaultConfig())
-	return Environment{
+	env := Environment{
 		Bandwidth:   bw,
 		PhysCost:    profile.CostMatrix(bw),
 		UniformCost: profile.UniformCost(m.NumCores()),
 	}
+	env.physIndex = core.BuildCostIndex(env.PhysCost)
+	env.uniformIndex = core.BuildCostIndex(env.UniformCost)
+	return env
 }
 
 // LoadHypergraph reads a hypergraph from disk (hMetis .hgr or MatrixMarket
@@ -171,8 +185,9 @@ func (o *Options) orDefault() Options {
 	return out
 }
 
-func prawConfig(cost [][]float64, o Options) core.Config {
+func prawConfig(cost [][]float64, idx *core.CostIndex, o Options) core.Config {
 	cfg := core.DefaultConfig(cost)
+	cfg.Index = idx
 	cfg.ImbalanceTolerance = o.ImbalanceTolerance
 	cfg.MaxIterations = o.MaxIterations
 	cfg.RefinementFactor = o.RefinementFactor
@@ -189,7 +204,7 @@ func prawConfig(cost [][]float64, o Options) core.Config {
 // (HyperPRAW-aware). The partition has len(env.PhysCost) parts.
 func PartitionAware(h *Hypergraph, env Environment, opts *Options) ([]int32, PartitionResult, error) {
 	o := opts.orDefault()
-	pr, err := core.New(h, prawConfig(env.PhysCost, o))
+	pr, err := core.New(h, prawConfig(env.PhysCost, env.physIndex, o))
 	if err != nil {
 		return nil, PartitionResult{}, err
 	}
@@ -202,7 +217,7 @@ func PartitionAware(h *Hypergraph, env Environment, opts *Options) ([]int32, Par
 // (HyperPRAW-basic).
 func PartitionBasic(h *Hypergraph, env Environment, opts *Options) ([]int32, PartitionResult, error) {
 	o := opts.orDefault()
-	pr, err := core.New(h, prawConfig(env.UniformCost, o))
+	pr, err := core.New(h, prawConfig(env.UniformCost, env.uniformIndex, o))
 	if err != nil {
 		return nil, PartitionResult{}, err
 	}

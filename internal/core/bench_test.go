@@ -77,13 +77,42 @@ func BenchmarkStream(b *testing.B) {
 }
 
 // BenchmarkStreamAware is BenchmarkStream for a profiled (non-uniform) cost
-// matrix, where the fast mode is the bound-pruned touched-only scan used by
-// HyperPRAW-aware.
+// matrix, where the fast mode is the tiered block walk used by
+// HyperPRAW-aware: the Archer profile is hierarchical (sockets, nodes,
+// blades) plus measurement noise, so the cost index detects near-exact
+// blocks and prunes against their floor sums.
 func BenchmarkStreamAware(b *testing.B) {
 	for _, mode := range []string{"exhaustive", "fast"} {
 		for _, p := range []int{64, 256} {
 			b.Run(fmt.Sprintf("%s/p=%d", mode, p), func(b *testing.B) {
 				benchStream(b, "webbase-1M", physCost(p, 1), mode == "exhaustive")
+			})
+		}
+	}
+}
+
+// BenchmarkStreamAwareHier2 is the aware kernel on a noiseless two-tier
+// machine profile (8-partition blocks, MachineSpec-style): every block is
+// exact, so a candidate's objective is O(1) after the per-vertex floor
+// pass. p=1024 probes the scale where the O(p) exhaustive scan hurts most.
+func BenchmarkStreamAwareHier2(b *testing.B) {
+	for _, mode := range []string{"exhaustive", "fast"} {
+		for _, p := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/p=%d", mode, p), func(b *testing.B) {
+				benchStream(b, "webbase-1M", hier2Cost(p), mode == "exhaustive")
+			})
+		}
+	}
+}
+
+// BenchmarkStreamAwareHier3 is BenchmarkStreamAwareHier2 for a three-tier
+// profile (sockets inside nodes), the shape of the paper's ARCHER machine
+// without profiling noise.
+func BenchmarkStreamAwareHier3(b *testing.B) {
+	for _, mode := range []string{"exhaustive", "fast"} {
+		for _, p := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/p=%d", mode, p), func(b *testing.B) {
+				benchStream(b, "webbase-1M", hier3Cost(p), mode == "exhaustive")
 			})
 		}
 	}

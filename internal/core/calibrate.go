@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperpraw/internal/hypergraph"
+)
+
+// Small-p auto-calibration for the uniform fast path.
+//
+// The touched-only scan trades the exhaustive loop's p fused multiply-adds
+// per vertex for per-vertex heap traffic, and the partition count where
+// that trade breaks even is a property of the machine (cache sizes, branch
+// cost of the heap walk), not of the algorithm. The previous hardcoded
+// fastScanMinPartitions = 32 left measurable money on the table in both
+// directions: BENCH_core.json showed fast/p=8 at 0.95× (the fast path was
+// taken below its break-even under forceTouchedOnly-style configs) while a
+// machine with slow FMA might profit from the heap well below 32.
+//
+// uniformFastCutoff measures the break-even once per process, lazily, the
+// first time a uniform-matrix Partitioner lands in the gray zone: a small
+// synthetic low-degree instance is streamed with both kernels at a few
+// candidate partition counts, and the smallest p where the touched-only
+// scan wins becomes the cutoff. Both kernels pick identical moves (the
+// equivalence property), so the choice affects speed only — results stay
+// deterministic regardless of what the probe measures.
+
+const (
+	// calProbeVertices/calProbeEdges size the probe instance: big enough
+	// that a stream dominates the timer granularity, small enough that
+	// the one-time probe stays in the low milliseconds.
+	calProbeVertices = 2048
+	calProbeEdges    = 3072
+	// calFallbackCutoff applies when the touched-only scan loses at every
+	// probed p: stay exhaustive through the whole gray zone.
+	calFallbackCutoff = 2 * fastScanMinPartitions
+)
+
+// calProbePartitions are the candidate cutoffs, ascending. Above the last
+// probe the fast path always wins (the measured p=64+ speedups), so the
+// gray zone is bounded.
+var calProbePartitions = [...]int{8, 16, 32}
+
+var (
+	calOnce   sync.Once
+	calCutoff atomic.Int32
+	// calOverride pins the cutoff (tests, and an escape hatch for callers
+	// that cannot afford the probe); 0 means measure.
+	calOverride atomic.Int32
+)
+
+// uniformFastCutoff returns the partition count at or above which the
+// uniform touched-only scan is selected.
+func uniformFastCutoff() int {
+	if v := calOverride.Load(); v > 0 {
+		return int(v)
+	}
+	calOnce.Do(func() { calCutoff.Store(int32(measureUniformCutoff())) })
+	return int(calCutoff.Load())
+}
+
+// setUniformCutoffForTest pins (v > 0) or re-enables (v = 0) calibration;
+// it returns the previous override. Test-only.
+func setUniformCutoffForTest(v int32) int32 {
+	return calOverride.Swap(v)
+}
+
+// measureUniformCutoff times one warm streaming pass per kernel at each
+// probe p on a synthetic low-degree instance and returns the smallest p
+// where the touched-only scan is at least as fast as the exhaustive scan.
+func measureUniformCutoff() int {
+	h := calProbeInstance()
+	for _, p := range calProbePartitions {
+		exh := calStreamTime(h, p, true)
+		fst := calStreamTime(h, p, false)
+		if fst <= exh {
+			return p
+		}
+	}
+	return calFallbackCutoff
+}
+
+// calProbeInstance builds the probe hypergraph: low-degree random edges,
+// the regime (webbase-like) where the touched set stays small and the
+// scan choice matters most.
+func calProbeInstance() *hypergraph.Hypergraph {
+	rng := splitMix{state: 0xca11b8a7e}
+	b := hypergraph.NewBuilder(calProbeVertices)
+	pins := make([]int, 0, 4)
+	for e := 0; e < calProbeEdges; e++ {
+		card := 2 + int(rng.next()%3)
+		pins = pins[:0]
+		for len(pins) < card {
+			v := int(rng.next() % calProbeVertices)
+			dup := false
+			for _, u := range pins {
+				if u == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				pins = append(pins, v)
+			}
+		}
+		b.AddEdge(pins...)
+	}
+	return b.Build()
+}
+
+// calStreamTime measures the best-of-3 duration of one warm streaming
+// pass with the selected kernel at p partitions.
+func calStreamTime(h *hypergraph.Hypergraph, p int, exhaustive bool) time.Duration {
+	cost := make([][]float64, p)
+	for i := range cost {
+		cost[i] = make([]float64, p)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 1
+			}
+		}
+	}
+	cfg := DefaultConfig(cost)
+	cfg.forceExhaustive = exhaustive
+	cfg.forceTouchedOnly = !exhaustive
+	pr, err := New(h, cfg)
+	if err != nil {
+		return 0
+	}
+	defer pr.Release()
+	pr.resetAssignment()
+	expected := pr.expectedLoads()
+	alpha := pr.cfg.Alpha0
+	for i := 0; i < 2; i++ { // warm the partition and the pooled scratch
+		pr.stream(alpha, expected, nil, i+1, false)
+		alpha *= cfg.TemperFactor
+	}
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		pr.stream(alpha, expected, nil, 1, false)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -47,6 +47,52 @@ func physCost(p int, seed uint64) [][]float64 {
 	return profile.CostMatrix(profile.RingProfile(m, profile.DefaultConfig()))
 }
 
+// tierCost builds a noiseless hierarchical cost matrix in the MachineSpec
+// mould: sizes lists the unit sizes innermost-first (e.g. {8, 64} = 8-core
+// sockets inside 64-core nodes) and costs the per-tier communication cost,
+// one per size plus the beyond-outermost tier. Values repeat exactly, so
+// candidate scores tie across tiers — the regime the tie-break proofs of
+// the fast scans must survive — and the cost index detects exact blocks.
+func tierCost(p int, sizes []int, costs []float64) [][]float64 {
+	c := make([][]float64, p)
+	for i := range c {
+		c[i] = make([]float64, p)
+		for j := range c[i] {
+			if i == j {
+				continue
+			}
+			lvl := len(sizes)
+			for l, s := range sizes {
+				if i/s == j/s {
+					lvl = l
+					break
+				}
+			}
+			if lvl >= len(costs) {
+				lvl = len(costs) - 1
+			}
+			c[i][j] = costs[lvl]
+		}
+	}
+	return c
+}
+
+// hier2Cost and hier3Cost are the hierarchical benchmark matrices: a
+// two-tier machine (8-partition blocks, cheap inside, dear outside) and a
+// three-tier one (8-partition sockets in 64-partition nodes; 32 at p=64
+// so all three tiers exist).
+func hier2Cost(p int) [][]float64 {
+	return tierCost(p, []int{8}, []float64{1, 2})
+}
+
+func hier3Cost(p int) [][]float64 {
+	node := 64
+	if p < 256 {
+		node = 32
+	}
+	return tierCost(p, []int{8, node}, []float64{1, 1.5, 2})
+}
+
 // runPair runs the same configuration with the touched-only scan and with
 // the exhaustive reference, both with full history, and returns the two
 // results.
@@ -122,6 +168,109 @@ func TestTouchedOnlyMatchesExhaustive(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestTieredMatchesExhaustiveHierarchical is the parity property test for
+// the blocked (cost-tier) scan on the matrices it was built for: exact
+// 2- and 3-tier machine profiles, whose repeated values make candidate
+// scores tie exactly within and across tiers — the regime where a scan
+// that skips candidates must reproduce the exhaustive tie-break to the
+// index.
+func TestTieredMatchesExhaustiveHierarchical(t *testing.T) {
+	for _, p := range []int{8, 32, 64} {
+		for _, tiers := range []int{2, 3} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				for _, weighted := range []bool{false, true} {
+					label := fmt.Sprintf("p=%d/tiers=%d/seed=%d/edgeweights=%v", p, tiers, seed, weighted)
+					h := randomHG(seed, 300, 400, 8)
+					var cost [][]float64
+					if tiers == 2 {
+						cost = tierCost(p, []int{4}, []float64{1, 2})
+					} else {
+						cost = tierCost(p, []int{4, 16}, []float64{1, 1.5, 2})
+					}
+					cfg := DefaultConfig(cost)
+					cfg.MaxIterations = 30
+					cfg.UseEdgeWeights = weighted
+					fast, ref := runPair(t, h, cfg)
+					assertIdentical(t, label, fast, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestTieredMatchesExhaustiveFewDistinct drives matrices that have few
+// distinct values but no block structure (each entry drawn at random from
+// a three-value set, symmetrised): the index must classify them as
+// unstructured and the legacy pruned scan must stay move-for-move exact
+// through the massive cross-candidate ties.
+func TestTieredMatchesExhaustiveFewDistinct(t *testing.T) {
+	vals := []float64{1, 1.5, 2}
+	for _, p := range []int{8, 24} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			rng := stats.NewRNG(seed ^ 0xfd)
+			cost := make([][]float64, p)
+			for i := range cost {
+				cost[i] = make([]float64, p)
+			}
+			for i := 0; i < p; i++ {
+				for j := i + 1; j < p; j++ {
+					v := vals[rng.Intn(len(vals))]
+					cost[i][j], cost[j][i] = v, v
+				}
+			}
+			h := randomHG(seed, 300, 400, 8)
+			cfg := DefaultConfig(cost)
+			cfg.MaxIterations = 30
+			fast, ref := runPair(t, h, cfg)
+			assertIdentical(t, fmt.Sprintf("p=%d/seed=%d", p, seed), fast, ref)
+		}
+	}
+}
+
+// runPairParallel is runPair for the parallel kernel pinned to one worker,
+// where the per-worker caches are exact and the variant is deterministic:
+// the fast scans must match the parallel exhaustive reference move for
+// move there too.
+func runPairParallel(t *testing.T, h *hypergraph.Hypergraph, cfg Config) (fast, ref Result) {
+	t.Helper()
+	cfg.RecordHistory = true
+	cfg.forceExhaustive = false
+	cfg.forceTouchedOnly = true
+	fast, err := PartitionParallel(h, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.forceTouchedOnly = false
+	cfg.forceExhaustive = true
+	ref, err = PartitionParallel(h, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fast, ref
+}
+
+// TestTieredMatchesExhaustiveParallel asserts single-worker parallel
+// parity across the cost-structure strategies: hierarchical exact tiers
+// (blocked scan), the profiled Archer matrix (blocked, inexact), and
+// uniform (heap scan).
+func TestTieredMatchesExhaustiveParallel(t *testing.T) {
+	h := randomHG(2, 400, 500, 8)
+	for _, tc := range []struct {
+		label string
+		cost  [][]float64
+	}{
+		{"hier2", tierCost(16, []int{4}, []float64{1, 2})},
+		{"hier3", tierCost(32, []int{4, 16}, []float64{1, 1.5, 2})},
+		{"profiled", physCost(16, 1)},
+		{"uniform", profile.UniformCost(16)},
+	} {
+		cfg := DefaultConfig(tc.cost)
+		cfg.MaxIterations = 25
+		fast, ref := runPairParallel(t, h, cfg)
+		assertIdentical(t, tc.label, fast, ref)
 	}
 }
 

@@ -24,6 +24,14 @@ type minLoadIndex struct {
 	expected []float64
 	stash    []minLoadEntry // canonical entries popped during one selection
 	p        int
+	// compactAt is the entry count that triggers the next wholesale
+	// discard of superseded entries. It doubles after every compaction
+	// (floored at 4p+1024) so compaction work stays amortised O(1) per
+	// push: move-heavy streams produce two superseded entries per move
+	// but surface (and so discard) them only as pops reach the top, and
+	// with a fixed threshold a stream hovering just above it would
+	// re-compact on every restore.
+	compactAt int
 }
 
 type minLoadEntry struct {
@@ -54,6 +62,7 @@ func (m *minLoadIndex) reset(expected []float64, loadOf func(int32) int64) {
 	}
 	m.entries = m.entries[:0]
 	m.stash = m.stash[:0]
+	m.compactAt = m.minCompactAt()
 	for i := 0; i < m.p; i++ {
 		q := float64(loadOf(int32(i))) / expected[i]
 		m.entries = append(m.entries, minLoadEntry{q: q, idx: int32(i)})
@@ -99,10 +108,13 @@ func (m *minLoadIndex) restore() {
 	m.stash = m.stash[:0]
 	// Superseded entries accumulate ~2 per move; drop them wholesale once
 	// they clearly dominate so a long stream stays O(p) in space.
-	if len(m.entries) > 4*m.p+1024 {
+	if len(m.entries) > m.compactAt {
 		m.compact()
+		m.compactAt = 2 * (len(m.entries) + m.minCompactAt())
 	}
 }
+
+func (m *minLoadIndex) minCompactAt() int { return 4*m.p + 1024 }
 
 // compact filters the heap down to the canonical entry per partition.
 func (m *minLoadIndex) compact() {

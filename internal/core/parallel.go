@@ -19,11 +19,13 @@ import (
 // so results are valid but not bit-for-bit deterministic across runs.
 //
 // The kernel optimisations of the serial Partitioner carry over: each worker
-// scratch holds its own min-load index for the touched-only candidate scan
-// (entries going stale under peer moves are refreshed lazily when they
-// surface), and Config.FrontierRestreaming shares one atomic dirty-stamp
-// array across the workers. MigrationPenalty and InitialParts are not
-// honoured by this variant (unchanged from its introduction).
+// scratch holds its own touched-only scan state — the min-load index for
+// uniform/unstructured matrices, the per-block argmin caches of the
+// cost-tier index for hierarchical ones — going slightly stale under peer
+// moves exactly like the loads the scoring itself reads, and
+// Config.FrontierRestreaming shares one atomic dirty-stamp array across
+// the workers. MigrationPenalty and InitialParts are not honoured by this
+// variant (unchanged from its introduction).
 //
 // workers <= 0 selects GOMAXPROCS. The configuration semantics match Run.
 func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Result, error) {
@@ -52,8 +54,8 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		parts: make([]atomic.Int32, nv),
 		loads: make([]atomic.Int64, p),
 	}
-	state.uniform, state.uniformC, state.minOff = costStructure(cfg.CostMatrix)
-	state.fastEligible = fastScanEligible(cfg, state.uniform, p)
+	state.cidx = pr.cidx // immutable; safe to keep after Release
+	state.fastEligible = fastScanEligible(cfg, state.cidx, p)
 	if cfg.FrontierRestreaming {
 		state.dirty = make([]int32, nv)
 	}
@@ -232,9 +234,9 @@ type parallelState struct {
 	// FrontierRestreaming is on.
 	dirty []int32
 
-	uniform      bool
-	uniformC     float64
-	minOff       float64
+	// cidx is the shared (immutable) cost-tier index; per-worker scan
+	// state — block heaps, scored stamps — lives in each worker scratch.
+	cidx         *CostIndex
 	fastEligible bool
 }
 
@@ -267,13 +269,20 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 	h := s.h
 
 	fast := s.fastEligible && alpha > 0
+	kind := s.cidx.kind
 	if fast {
 		// Seeded from the loads as observed now; a peer's later moves leave
-		// entries slightly stale, consistent with the GraSP relaxation.
-		sc.minIdx.reset(expected, w.loadOf)
+		// the worker's view slightly stale, consistent with the GraSP
+		// relaxation.
+		if kind == costBlocked {
+			sc.resetBlockState(len(s.cidx.blocks))
+		} else {
+			sc.minIdx.reset(expected, w.loadOf)
+		}
 	}
-	boundedOff := false
-	boundedTried, boundedPops := 0, 0
+	scanOff := false
+	scanTried, scanWork := 0, 0
+	nb := len(s.cidx.blocks)
 	mark := s.cfg.FrontierRestreaming
 	next := int32(pass) + 1
 
@@ -288,17 +297,25 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 
 		var bestPart int32
 		switch {
-		case !fast || boundedOff:
+		case !fast || scanOff:
 			bestPart = w.pickExhaustive(cur, alpha, expected)
-		case s.uniform:
+		case kind == costUniform:
 			bestPart = w.pickUniform(cur, alpha, expected)
+		case kind == costBlocked:
+			var work int
+			bestPart, work = w.pickBlocked(cur, alpha, expected)
+			scanTried++
+			scanWork += work
+			if scanTried >= 128 && scanWork > scanTried*(nb+s.p/2) {
+				scanOff = true
+			}
 		default:
 			var pops int
 			bestPart, pops = w.pickBounded(cur, alpha, expected)
-			boundedTried++
-			boundedPops += pops
-			if boundedTried >= 128 && boundedPops > 3*boundedTried {
-				boundedOff = true
+			scanTried++
+			scanWork += pops
+			if scanTried >= 128 && scanWork > 3*scanTried {
+				scanOff = true
 			}
 		}
 
@@ -307,9 +324,14 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 			s.loads[cur].Add(-wt)
 			s.loads[bestPart].Add(wt)
 			s.parts[v].Store(bestPart)
-			if fast && !boundedOff {
-				sc.minIdx.update(cur, s.loads[cur].Load())
-				sc.minIdx.update(bestPart, s.loads[bestPart].Load())
+			if fast && !scanOff {
+				if kind == costBlocked {
+					sc.blockNoteMove(s.cidx, cur, bestPart,
+						float64(s.loads[cur].Load())/expected[cur])
+				} else {
+					sc.minIdx.update(cur, s.loads[cur].Load())
+					sc.minIdx.update(bestPart, s.loads[bestPart].Load())
+				}
 			}
 			if mark {
 				w.markDirty(v, next)
@@ -398,7 +420,7 @@ func (w *parallelWorker) pickExhaustive(cur int32, alpha float64, expected []flo
 // which the parallel variant has never honoured).
 func (w *parallelWorker) pickUniform(cur int32, alpha float64, expected []float64) int32 {
 	s, sc := w.s, w.sc
-	c := s.uniformC
+	c := s.cidx.uniformC
 	p := float64(s.p)
 	nbrParts := float64(len(sc.touched))
 	tU := 0.0
@@ -442,7 +464,7 @@ func (w *parallelWorker) pickBounded(cur int32, alpha float64, expected []float6
 	for _, j := range sc.touched {
 		sumX += sc.xCounts[j]
 	}
-	loS := s.minOff * sumX
+	loS := s.cidx.minOff * sumX
 	niU := nbrParts / p
 
 	bestPart := int32(-1)
@@ -486,4 +508,164 @@ func (w *parallelWorker) pickBounded(cur int32, alpha float64, expected []float6
 		return w.pickExhaustive(cur, alpha, expected), pops
 	}
 	return bestPart, pops
+}
+
+// pickBlocked is the tiered block walk for hierarchical cost matrices
+// (see Partitioner.pickBlocked for the full argument; this twin differs
+// in reading loads atomically and skipping MigrationPenalty, which the
+// parallel variant has never honoured). The per-block argmin caches are
+// per worker: a peer's concurrent moves can leave a cached minimum
+// slightly stale against the live loads, which — like the stale loads the
+// scoring itself reads — only mis-orders the candidate search, consistent
+// with the GraSP relaxation. With a single worker the caches are exact
+// and the walk is move-for-move identical to the exhaustive reference.
+func (w *parallelWorker) pickBlocked(cur int32, alpha float64, expected []float64) (best int32, work int) {
+	s, sc := w.s, w.sc
+	ci := s.cidx
+	cost := s.cfg.CostMatrix
+	p := float64(s.p)
+	nbrParts := float64(len(sc.touched))
+	epoch := sc.epoch
+	jstar := int32(0)
+	xStar := math.Inf(-1)
+	for _, j := range sc.touched {
+		if sc.xCounts[j] > xStar {
+			xStar, jstar = sc.xCounts[j], j
+		}
+	}
+	niU := nbrParts / p
+
+	bestPart := int32(-1)
+	bestVal := math.Inf(-1)
+	score := func(i int32, isTouched bool, tExact float64, haveT bool) {
+		t := tExact
+		if !haveT {
+			t = 0.0
+			row := cost[i]
+			for _, j := range sc.touched {
+				t += sc.xCounts[j] * row[j]
+			}
+		}
+		ni := nbrParts
+		if isTouched {
+			ni--
+		}
+		ni /= p
+		val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+		sc.sstamp[i] = epoch
+		considerCandidate(&bestVal, &bestPart, i, cur, val)
+	}
+	for _, i := range sc.touched {
+		score(i, true, 0, false)
+	}
+	if sc.pstamp[cur] != epoch {
+		score(cur, false, 0, false)
+	}
+
+	champ := int32(-1)
+	q0 := math.Inf(1)
+	for b := range sc.blockMinQ {
+		if sc.blockStale[b] {
+			w.refreshBlockMin(int32(b), expected)
+			work++
+		}
+		if sc.blockMinQ[b] < q0 {
+			q0, champ = sc.blockMinQ[b], int32(b)
+		}
+	}
+	if champ >= 0 {
+		// The champion's cached argmin is usually still available (only
+		// touched/current partitions are scored so far) — no scan needed.
+		if i := sc.blockMinIdx[champ]; sc.pstamp[i] != epoch && sc.sstamp[i] != epoch {
+			score(i, false, 0, false)
+		} else if i, _, ok := w.minAvailableInBlock(champ, expected); ok {
+			work++
+			score(i, false, 0, false)
+		}
+	}
+
+	tLBAll := sc.tLBAll
+	for b := range tLBAll {
+		tLBAll[b] = 0
+	}
+	for _, j := range sc.touched {
+		x := sc.xCounts[j]
+		floors := ci.floorsTo[j]
+		for b := range tLBAll {
+			tLBAll[b] += x * floors[b]
+		}
+	}
+	work += len(sc.touched) * len(tLBAll) / 64
+
+	for _, b := range ci.blockOrder[jstar] {
+		tLB := tLBAll[b]
+		ubBlock := -niU*tLB - alpha*sc.blockMinQ[b]
+		ubBlock += boundMargin * (math.Abs(ubBlock) + 1)
+		if ubBlock < bestVal {
+			continue
+		}
+		exact := ci.blocks[b].exact
+		first := true
+		for {
+			var i int32
+			var q float64
+			var ok bool
+			// The cached argmin doubles as the block's first candidate
+			// when still available, skipping one member scan.
+			if i = sc.blockMinIdx[b]; first && sc.pstamp[i] != epoch && sc.sstamp[i] != epoch {
+				q, ok = sc.blockMinQ[b], true
+			} else {
+				i, q, ok = w.minAvailableInBlock(b, expected)
+				work++
+			}
+			first = false
+			if !ok {
+				break
+			}
+			ub := -niU*tLB - alpha*q
+			ub += boundMargin * (math.Abs(ub) + 1)
+			if ub < bestVal {
+				break
+			}
+			score(i, false, tLB, exact)
+			if exact {
+				break
+			}
+		}
+	}
+	return bestPart, work
+}
+
+// refreshBlockMin recomputes block b's cached (min load, argmin) from the
+// worker's view of the shared loads.
+func (w *parallelWorker) refreshBlockMin(b int32, expected []float64) {
+	s, sc := w.s, w.sc
+	bq, bi := math.Inf(1), int32(-1)
+	for _, i := range s.cidx.blocks[b].members {
+		if q := float64(s.loads[i].Load()) / expected[i]; q < bq {
+			bq, bi = q, i
+		}
+	}
+	sc.blockMinQ[b], sc.blockMinIdx[b] = bq, bi
+	sc.blockStale[b] = false
+}
+
+// minAvailableInBlock returns block b's least-loaded member (ties to the
+// lowest index) not yet touched or scored for the current vertex.
+func (w *parallelWorker) minAvailableInBlock(b int32, expected []float64) (idx int32, q float64, ok bool) {
+	s, sc := w.s, w.sc
+	epoch := sc.epoch
+	bq, bi := math.Inf(1), int32(-1)
+	for _, i := range s.cidx.blocks[b].members {
+		if sc.pstamp[i] == epoch || sc.sstamp[i] == epoch {
+			continue
+		}
+		if qi := float64(s.loads[i].Load()) / expected[i]; qi < bq {
+			bq, bi = qi, i
+		}
+	}
+	if bi < 0 {
+		return 0, 0, false
+	}
+	return bi, bq, true
 }

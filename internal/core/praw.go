@@ -111,6 +111,12 @@ type Config struct {
 	// reaches a cut of equivalent quality (see the equivalence tests) in a
 	// fraction of the refinement work.
 	FrontierRestreaming bool
+	// Index optionally supplies a prebuilt cost-tier index for CostMatrix
+	// (see BuildCostIndex). It must have been built from this exact matrix
+	// instance; a mismatched index is detected and rebuilt. nil makes New
+	// build one — callers that reuse a matrix across many runs (the
+	// serving layer's cached Environments) should build once and share.
+	Index *CostIndex
 
 	// forceExhaustive pins the kernel to the original O(p)-per-vertex
 	// candidate scan. Unexported: only the in-package equivalence tests and
@@ -123,13 +129,18 @@ type Config struct {
 	forceTouchedOnly bool
 }
 
-// fastScanMinPartitions is the partition count below which the touched-only
-// scan is skipped: for small p the exhaustive scan's p·|touched| fused
-// multiply-adds cost less than any per-vertex heap traffic. The pruned scan
-// for general matrices (pickBounded) pays several heap pops per vertex
-// instead of one, so it needs a larger p to amortise.
+// fastScanMinPartitions is the default partition count below which the
+// touched-only scan is skipped: for small p the exhaustive scan's
+// p·|touched| fused multiply-adds cost less than any per-vertex index
+// traffic. For the uniform path the hardcoded value is only the fallback —
+// the first gray-zone run measures the actual break-even on this machine
+// (see calibrate.go). The blocked (cost-tier) scan pays O(B) per vertex
+// for the block walk, so it amortises at the same small p as the uniform
+// scan; the scalar-bound pruned scan for unstructured matrices
+// (pickBounded) pays several heap pops per vertex and needs a larger p.
 const (
 	fastScanMinPartitions    = 32
+	blockedScanMinPartitions = 32
 	boundedScanMinPartitions = 128
 )
 
@@ -248,10 +259,10 @@ type Partitioner struct {
 	// a sync.Pool so steady-state serving is allocation-free in the kernel.
 	sc *scratch
 
-	// Cost-matrix structure, precomputed by New for the touched-only scan.
-	uniform  bool    // every off-diagonal entry equals uniformC
-	uniformC float64 // the off-diagonal constant when uniform
-	minOff   float64 // smallest off-diagonal entry (pruning bound)
+	// cidx is the cost-tier index: the matrix's structure classification
+	// plus the block floors and walk orders the blocked scan consumes.
+	// Taken from Config.Index when it matches the matrix, built otherwise.
+	cidx *CostIndex
 
 	// fastEligible caches whether the touched-only scan pays off for this
 	// (cost structure, p) pair; see fastScanEligible.
@@ -315,39 +326,47 @@ func New(h *hypergraph.Hypergraph, cfg Config) (*Partitioner, error) {
 	if cfg.Alpha0 == 0 {
 		cfg.Alpha0 = FennelAlpha(p, h.NumEdges(), h.NumVertices())
 	}
-	uniform, uniformC, minOff := costStructure(cfg.CostMatrix)
+	cidx := cfg.Index
+	if !cidx.matches(cfg.CostMatrix) {
+		cidx = BuildCostIndex(cfg.CostMatrix)
+	}
 	sc := acquireScratch(h.NumVertices(), p)
 	sc.parts = growI32(sc.parts, h.NumVertices())
 	pr := &Partitioner{
-		h:        h,
-		cfg:      cfg,
-		p:        p,
-		parts:    sc.parts,
-		loads:    sc.loads,
-		sc:       sc,
-		uniform:  uniform,
-		uniformC: uniformC,
-		minOff:   minOff,
+		h:     h,
+		cfg:   cfg,
+		p:     p,
+		parts: sc.parts,
+		loads: sc.loads,
+		sc:    sc,
+		cidx:  cidx,
 	}
 	pr.loadOfFn = func(i int32) int64 { return pr.loads[i] }
 	pr.untouchedFn = func(i int32) bool { return pr.sc.pstamp[i] != pr.sc.epoch }
-	pr.fastEligible = fastScanEligible(cfg, uniform, p)
+	pr.fastEligible = fastScanEligible(cfg, cidx, p)
 	return pr, nil
 }
 
 // fastScanEligible decides whether the touched-only scan can beat the
 // exhaustive one for this (cost structure, p) pair.
-func fastScanEligible(cfg Config, uniform bool, p int) bool {
+func fastScanEligible(cfg Config, cidx *CostIndex, p int) bool {
 	if cfg.forceExhaustive || p <= 1 {
 		return false
 	}
 	if cfg.forceTouchedOnly {
 		return true
 	}
-	if uniform {
-		return p >= fastScanMinPartitions
+	switch cidx.kind {
+	case costUniform:
+		// Above the probe grid's ceiling the answer cannot depend on the
+		// measurement — skip the one-time calibration probe entirely so
+		// large-p first requests never pay its latency.
+		return p >= calFallbackCutoff || p >= uniformFastCutoff()
+	case costBlocked:
+		return p >= blockedScanMinPartitions
+	default:
+		return p >= boundedScanMinPartitions
 	}
-	return p >= boundedScanMinPartitions
 }
 
 // Release returns the Partitioner's pooled buffers; the Partitioner (and any
@@ -616,12 +635,14 @@ func (s *splitMix) shuffle(xs []int32) {
 // number; when frontierOnly is set, only vertices whose dirty stamp matches
 // this pass (they or a neighbour moved last pass) are visited.
 //
-// Candidate scoring dispatches on the cost-matrix structure: the touched-
-// only scan (pickUniform/pickBounded) is move-for-move identical to the
-// exhaustive O(p) reference (pickExhaustive) but costs O(|touched|) per
-// vertex. It needs α > 0 — the untouched-candidate ordering assumes load is
-// a penalty — which only a caller-supplied Alpha0 ≤ 0 can violate; that
-// falls back to the exhaustive scan.
+// Candidate scoring dispatches on the cost-tier index's classification of
+// the matrix: uniform → pickUniform (single heap pop), blocked
+// (hierarchical) → pickBlocked (tiered block walk), unstructured →
+// pickBounded (scalar-bound pruned scan). Every fast scan is move-for-move
+// identical to the exhaustive O(p) reference (pickExhaustive) but costs
+// far less per vertex. They need α > 0 — the untouched-candidate ordering
+// assumes load is a penalty — which only a caller-supplied Alpha0 ≤ 0 can
+// violate; that falls back to the exhaustive scan.
 func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, pass int, frontierOnly bool) int {
 	h := pr.h
 	sc := pr.sc
@@ -629,12 +650,21 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, 
 	moves := 0
 
 	fast := pr.fastEligible && alpha > 0
+	kind := pr.cidx.kind
 	if fast {
-		sc.minIdx.reset(expected, pr.loadOfFn)
+		// The uniform and bounded strategies keep the global min-load
+		// heap; the blocked scan keeps flat per-block argmin caches.
+		if kind == costBlocked {
+			sc.resetBlockState(len(pr.cidx.blocks))
+		} else {
+			sc.minIdx.reset(expected, pr.loadOfFn)
+		}
 	}
-	// Per-stream pruning verdict for pickBounded (see pickBounded).
-	boundedOff := false
-	boundedTried, boundedPops := 0, 0
+	// Per-stream pruning verdicts for the structured scans (see
+	// pickBounded and pickBlocked).
+	scanOff := false
+	scanTried, scanWork := 0, 0
+	nb := len(pr.cidx.blocks)
 	mark := pr.cfg.FrontierRestreaming
 	next := int32(pass) + 1
 
@@ -653,22 +683,33 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, 
 
 		var bestPart int32
 		switch {
-		case !fast || boundedOff:
+		case !fast || scanOff:
 			bestPart = pr.pickExhaustive(v, alpha, expected)
-		case pr.uniform:
+		case kind == costUniform:
 			bestPart = pr.pickUniform(v, alpha, expected)
+		case kind == costBlocked:
+			var work int
+			bestPart, work = pr.pickBlocked(v, alpha, expected)
+			scanTried++
+			scanWork += work
+			// The block walk wins while pruning keeps the scored set small;
+			// if the observed work approaches the exhaustive scan's p, stop
+			// paying the heap traffic for the rest of this stream. The next
+			// stream re-evaluates.
+			if scanTried >= 128 && scanWork > scanTried*(nb+pr.p/2) {
+				scanOff = true
+			}
 		default:
 			var pops int
 			bestPart, pops = pr.pickBounded(v, alpha, expected)
-			boundedTried++
-			boundedPops += pops
+			scanTried++
+			scanWork += pops
 			// The pruned scan only beats the exhaustive one when the load
 			// bound closes almost immediately; once the observed pop work
 			// says otherwise (α decayed, loads equalised), stop paying the
-			// heap traffic for the rest of this stream. The next stream
-			// re-evaluates.
-			if boundedTried >= 128 && boundedPops > 3*boundedTried {
-				boundedOff = true
+			// heap traffic for the rest of this stream.
+			if scanTried >= 128 && scanWork > 3*scanTried {
+				scanOff = true
 			}
 		}
 
@@ -677,9 +718,14 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, 
 			pr.loads[old] -= w
 			pr.loads[bestPart] += w
 			pr.parts[v] = bestPart
-			if fast && !boundedOff {
-				sc.minIdx.update(old, pr.loads[old])
-				sc.minIdx.update(bestPart, pr.loads[bestPart])
+			if fast && !scanOff {
+				if kind == costBlocked {
+					sc.blockNoteMove(pr.cidx, old, bestPart,
+						float64(pr.loads[old])/expected[old])
+				} else {
+					sc.minIdx.update(old, pr.loads[old])
+					sc.minIdx.update(bestPart, pr.loads[bestPart])
+				}
 			}
 			if mark {
 				pr.markDirty(v, next)
@@ -751,7 +797,7 @@ func considerCandidate(bestVal *float64, bestPart *int32, i, cur int32, val floa
 // pickExhaustive's floating-point arithmetic operation for operation.
 func (pr *Partitioner) pickUniform(v int, alpha float64, expected []float64) int32 {
 	sc := pr.sc
-	c := pr.uniformC
+	c := pr.cidx.uniformC
 	p := float64(pr.p)
 	nbrParts := float64(len(sc.touched))
 	cur := pr.parts[v]
@@ -828,7 +874,7 @@ func (pr *Partitioner) pickBounded(v int, alpha float64, expected []float64) (be
 	for _, j := range sc.touched {
 		sumX += sc.xCounts[j]
 	}
-	loS := pr.minOff * sumX
+	loS := pr.cidx.minOff * sumX
 	niU := nbrParts / p
 
 	bestPart := int32(-1)
@@ -890,6 +936,214 @@ func boundedPopBudget(p int) int {
 		b = 8
 	}
 	return b
+}
+
+// pickBlocked is the tiered touched-only scan for hierarchical (blocked)
+// cost matrices, the profiled HyperPRAW-aware case the CostIndex was built
+// for. Touched partitions, the current one, and the globally least-loaded
+// partition's best available member (the load champion) are scored
+// exactly up front. The remaining candidates are then walked block by
+// block in ascending communication floor relative to the vertex's
+// heaviest neighbour partition j*, with every block's floor sum
+// Σ_j X_j·floorsTo[j][b] precomputed in one contiguous pass. A block is
+// rejected in O(1) when even (floor comm, exact min member load) cannot
+// beat the incumbent — the floor sums are tight to within-block noise,
+// which is what the scalar min(C)·ΣX bound of pickBounded cannot offer;
+// a surviving block scores members in ascending (W(i)/E(i), i) until the
+// same bound closes. For an exact block the floor sum IS every member's
+// communication term, so the first member scored (the block's
+// lowest-(load, index) one, which dominates its siblings under the
+// exhaustive tie-break) settles the whole block in O(1) after the shared
+// floor pass.
+//
+// work approximates the scan's cost in units of one exhaustive candidate
+// evaluation, so the stream can fall back when the walk stops pruning.
+// Move-for-move parity with pickExhaustive holds by the same argument as
+// the other fast scans: every scored candidate uses the identical
+// floating-point evaluation, pruning is strict (a pruned candidate is
+// strictly worse than the incumbent, margin-inflated against rounding),
+// and considerCandidate reproduces the exhaustive tie-break from any
+// evaluation order.
+func (pr *Partitioner) pickBlocked(v int, alpha float64, expected []float64) (best int32, work int) {
+	sc := pr.sc
+	ci := pr.cidx
+	cost := pr.cfg.CostMatrix
+	p := float64(pr.p)
+	nbrParts := float64(len(sc.touched))
+	cur := pr.parts[v]
+	epoch := sc.epoch
+	penalty := 0.0
+	if pr.cfg.MigrationPenalty > 0 {
+		penalty = pr.cfg.MigrationPenalty * float64(pr.h.VertexWeight(v))
+	}
+	// j*: the touched partition holding the most neighbour mass — the
+	// anchor whose block order the walk follows (any anchor is correct;
+	// the heaviest makes the floor gaps steepest). Defaults to 0 for an
+	// isolated vertex, where every floor sum is zero anyway.
+	jstar := int32(0)
+	xStar := math.Inf(-1)
+	for _, j := range sc.touched {
+		if sc.xCounts[j] > xStar {
+			xStar, jstar = sc.xCounts[j], j
+		}
+	}
+	niU := nbrParts / p
+
+	bestPart := int32(-1)
+	bestVal := math.Inf(-1)
+	score := func(i int32, isTouched bool, tExact float64, haveT bool) {
+		t := tExact
+		if !haveT {
+			t = 0.0
+			row := cost[i]
+			for _, j := range sc.touched {
+				t += sc.xCounts[j] * row[j]
+			}
+		}
+		ni := nbrParts
+		if isTouched {
+			ni--
+		}
+		ni /= p
+		val := -ni*t - alpha*float64(pr.loads[i])/expected[i]
+		if penalty > 0 && i != cur {
+			val -= penalty
+		}
+		sc.sstamp[i] = epoch
+		considerCandidate(&bestVal, &bestPart, i, cur, val)
+	}
+	for _, i := range sc.touched {
+		score(i, true, 0, false)
+	}
+	if sc.pstamp[cur] != epoch {
+		score(cur, false, 0, false)
+	}
+
+	// Refresh stale block minima and find the champion block — the one
+	// holding the globally least-loaded partition. Scoring its best
+	// available member first hands every later bound the strongest load
+	// incumbent the candidate set can produce.
+	champ := int32(-1)
+	q0 := math.Inf(1)
+	for b := range sc.blockMinQ {
+		if sc.blockStale[b] {
+			pr.refreshBlockMin(int32(b), expected)
+			work++
+		}
+		if sc.blockMinQ[b] < q0 {
+			q0, champ = sc.blockMinQ[b], int32(b)
+		}
+	}
+	if champ >= 0 {
+		// The champion's cached argmin is usually still available (only
+		// touched/current partitions are scored so far) — no scan needed.
+		if i := sc.blockMinIdx[champ]; sc.pstamp[i] != epoch && sc.sstamp[i] != epoch {
+			score(i, false, 0, false)
+		} else if i, _, ok := pr.minAvailableInBlock(champ, expected); ok {
+			work++
+			score(i, false, 0, false)
+		}
+	}
+
+	// All block floor sums in one contiguous pass, accumulated in touched
+	// order like every exact evaluation: tLBAll[b] lower-bounds any
+	// member's T_i, and IS the member's T_i when the block is exact.
+	tLBAll := sc.tLBAll
+	for b := range tLBAll {
+		tLBAll[b] = 0
+	}
+	for _, j := range sc.touched {
+		x := sc.xCounts[j]
+		floors := ci.floorsTo[j]
+		for b := range tLBAll {
+			tLBAll[b] += x * floors[b]
+		}
+	}
+	work += len(sc.touched) * len(tLBAll) / 64
+
+	for _, b := range ci.blockOrder[jstar] {
+		tLB := tLBAll[b]
+		// O(1) block rejection: blockMinQ[b] is the exact minimum
+		// normalised load over the block's members (a lower bound for
+		// the unscored ones), so if even (floor comm, min load) cannot
+		// beat the incumbent, nothing in the block can. Inflated so
+		// rounding can only widen the scan.
+		ubBlock := -niU*tLB - alpha*sc.blockMinQ[b] - penalty
+		ubBlock += boundMargin * (math.Abs(ubBlock) + 1)
+		if ubBlock < bestVal {
+			continue
+		}
+		exact := ci.blocks[b].exact
+		first := true
+		for {
+			var i int32
+			var q float64
+			var ok bool
+			// The cached argmin doubles as the block's first candidate
+			// when still available, skipping one member scan.
+			if i = sc.blockMinIdx[b]; first && sc.pstamp[i] != epoch && sc.sstamp[i] != epoch {
+				q, ok = sc.blockMinQ[b], true
+			} else {
+				i, q, ok = pr.minAvailableInBlock(b, expected)
+				work++
+			}
+			first = false
+			if !ok {
+				break
+			}
+			// Upper bound for this member and everything after it in the
+			// block (heavier load, communication no cheaper than the
+			// floor).
+			ub := -niU*tLB - alpha*q - penalty
+			ub += boundMargin * (math.Abs(ub) + 1)
+			if ub < bestVal {
+				break
+			}
+			score(i, false, tLB, exact)
+			if exact {
+				// Exact block: every sibling shares this T_i, so the
+				// lowest-(load, index) member just scored dominates them
+				// under the exhaustive tie-break.
+				break
+			}
+		}
+	}
+	return bestPart, work
+}
+
+// refreshBlockMin recomputes block b's cached (min load, argmin) from the
+// live loads.
+func (pr *Partitioner) refreshBlockMin(b int32, expected []float64) {
+	sc := pr.sc
+	bq, bi := math.Inf(1), int32(-1)
+	for _, i := range pr.cidx.blocks[b].members {
+		if q := float64(pr.loads[i]) / expected[i]; q < bq {
+			bq, bi = q, i
+		}
+	}
+	sc.blockMinQ[b], sc.blockMinIdx[b] = bq, bi
+	sc.blockStale[b] = false
+}
+
+// minAvailableInBlock returns block b's least-loaded member (ties to the
+// lowest index) that is neither touched nor already scored for the
+// current vertex; ok is false when every member is spoken for.
+func (pr *Partitioner) minAvailableInBlock(b int32, expected []float64) (idx int32, q float64, ok bool) {
+	sc := pr.sc
+	epoch := sc.epoch
+	bq, bi := math.Inf(1), int32(-1)
+	for _, i := range pr.cidx.blocks[b].members {
+		if sc.pstamp[i] == epoch || sc.sstamp[i] == epoch {
+			continue
+		}
+		if qi := float64(pr.loads[i]) / expected[i]; qi < bq {
+			bq, bi = qi, i
+		}
+	}
+	if bi < 0 {
+		return 0, 0, false
+	}
+	return bi, bq, true
 }
 
 // markDirty stamps v and every neighbour of v as frontier members for pass

@@ -29,6 +29,23 @@ type scratch struct {
 	// Touched-only candidate scan state.
 	minIdx minLoadIndex
 
+	// Blocked (cost-tier) scan state: sstamp marks partitions already
+	// scored for the current vertex (same epoch scheme as pstamp);
+	// tLBAll is the per-vertex vector of block floor sums. Blocks are
+	// small (a socket's worth of partitions), so their load minima are
+	// kept as a flat cached argmin per block — blockMinQ/blockMinIdx,
+	// invalidated through blockStale — rather than heaps: maintenance is
+	// O(1) per move (a load decrease can only improve the cached
+	// minimum; a load increase on the cached argmin marks the block
+	// stale) and a stale block is recomputed lazily by one contiguous
+	// member scan, which beats heap pointer-chasing by a wide margin at
+	// these sizes.
+	sstamp      []int32
+	blockMinQ   []float64
+	blockMinIdx []int32
+	blockStale  []bool
+	tLBAll      []float64
+
 	// Frontier restreaming stamps: dirty[v] holds the latest pass index for
 	// which v must be re-streamed.
 	dirty []int32
@@ -59,6 +76,7 @@ func acquireScratch(nv, p int) *scratch {
 	sc := scratchPool.Get().(*scratch)
 	sc.vstamp = growI32(sc.vstamp, nv)
 	sc.pstamp = growI32(sc.pstamp, p)
+	sc.sstamp = growI32(sc.sstamp, p)
 	sc.touched = sc.touched[:0]
 	if cap(sc.xCounts) < p {
 		sc.xCounts = make([]float64, p)
@@ -100,7 +118,46 @@ func (sc *scratch) bumpEpoch() int32 {
 		for i := range sc.pstamp {
 			sc.pstamp[i] = 0
 		}
+		for i := range sc.sstamp {
+			sc.sstamp[i] = 0
+		}
 		sc.epoch = 1
 	}
 	return sc.epoch
+}
+
+// resetBlockState prepares the blocked scan's per-block load-minimum
+// caches for one stream: every block starts stale and is recomputed from
+// the live loads on first use.
+func (sc *scratch) resetBlockState(nb int) {
+	if cap(sc.blockMinQ) < nb {
+		sc.blockMinQ = make([]float64, nb)
+		sc.blockMinIdx = make([]int32, nb)
+		sc.blockStale = make([]bool, nb)
+		sc.tLBAll = make([]float64, nb)
+	} else {
+		sc.blockMinQ = sc.blockMinQ[:nb]
+		sc.blockMinIdx = sc.blockMinIdx[:nb]
+		sc.blockStale = sc.blockStale[:nb]
+		sc.tLBAll = sc.tLBAll[:nb]
+	}
+	for b := range sc.blockStale {
+		sc.blockStale[b] = true
+	}
+}
+
+// blockNoteMove maintains the cached block minima across one vertex move:
+// the source partition's load dropped (it can only improve its block's
+// cached minimum), the destination's rose (if it was its block's cached
+// argmin, the cache must be recomputed before its next use).
+func (sc *scratch) blockNoteMove(idx *CostIndex, from, to int32, qFrom float64) {
+	bf := idx.blockOf[from]
+	if !sc.blockStale[bf] &&
+		(qFrom < sc.blockMinQ[bf] || (qFrom == sc.blockMinQ[bf] && from < sc.blockMinIdx[bf])) {
+		sc.blockMinQ[bf], sc.blockMinIdx[bf] = qFrom, from
+	}
+	bt := idx.blockOf[to]
+	if !sc.blockStale[bt] && sc.blockMinIdx[bt] == to {
+		sc.blockStale[bt] = true
+	}
 }
