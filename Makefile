@@ -3,7 +3,7 @@ GO ?= go
 # fails, not when only the JSON conversion does.
 SHELL := /bin/bash
 
-.PHONY: build test race vet bench bench-compare bins serve cluster e2e clean
+.PHONY: build test race vet bench bench-compare bins serve cluster e2e metrics-lint clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,13 @@ cluster: bins
 # exit on any failed check (the CI end-to-end job).
 e2e: bins
 	$(GO) run ./examples/cluster -hpserve bin/hpserve -hpgate bin/hpgate
+
+# metrics-lint checks Prometheus text exposition: with no URLS it lints a
+# built-in registry exercising every instrument kind (a CI smoke of the
+# exposition writer); pass URLS="http://host:port ..." to lint live
+# /metrics endpoints.
+metrics-lint:
+	$(GO) run ./cmd/metricslint $(if $(URLS),$(URLS),-selfcheck)
 
 clean:
 	$(GO) clean ./...

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hyperpraw"
+	"hyperpraw/internal/telemetry"
 )
 
 // ErrNotDone is returned by Result while the job is still queued or
@@ -208,6 +209,7 @@ func (c *Client) StreamProgress(ctx context.Context, id string, after int, fn fu
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	telemetry.SetTraceHeader(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -304,6 +306,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		// Propagate the caller's trace ID so one submission is followable
+		// across tiers (gateway → backend) in logs and JobInfo.
+		telemetry.SetTraceHeader(ctx, req.Header)
 		resp, err := c.hc.Do(req)
 		switch {
 		case err == nil && !(method == http.MethodGet && retryableStatus(resp.StatusCode)):

@@ -22,21 +22,26 @@
 //	GET  /v1/algorithms         supported algorithms
 //	GET  /v1/backends           backend set and health
 //	GET  /healthz               gateway + backend health
+//	GET  /metrics               Prometheus metrics
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof listener
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"hyperpraw/internal/gateway"
+	"hyperpraw/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +53,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 4096, "retained job entries")
 	recoveryWindow := flag.Duration("recovery-window", 45*time.Second, "how long to wait for a durable (-store) backend to restart before failing its jobs over (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 	if flag.NArg() != 0 || *backends == "" {
 		fmt.Fprintln(os.Stderr, "usage: hpgate -backends URL[,URL...] [flags]")
@@ -65,6 +71,11 @@ func main() {
 		log.Fatal("hpgate: -backends lists no usable URLs")
 	}
 
+	reg := telemetry.NewRegistry()
+	reg.GaugeVec("hpgate_build_info",
+		"Build information; the value is always 1.", "go_version").
+		WithLabelValues(runtime.Version()).Set(1)
+
 	gw := gateway.New(gateway.Config{
 		Backends:       urls,
 		HealthInterval: *healthInterval,
@@ -72,8 +83,23 @@ func main() {
 		FailoverLimit:  *failovers,
 		MaxJobs:        *maxJobs,
 		RecoveryWindow: *recoveryWindow,
+		Metrics:        reg,
 	})
 	server := &http.Server{Addr: *addr, Handler: gateway.NewHandler(gw)}
+
+	var pprofServer *http.Server
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; a dedicated listener
+		// keeps /debug off the public API surface, and a real Server lets
+		// shutdown below close it gracefully.
+		pprofServer = &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux}
+		go func() {
+			log.Printf("hpgate: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("hpgate: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,6 +119,11 @@ func main() {
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {
 		log.Printf("hpgate: http shutdown: %v", err)
+	}
+	if pprofServer != nil {
+		if err := pprofServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("hpgate: pprof shutdown: %v", err)
+		}
 	}
 	gw.Close()
 	log.Printf("hpgate: bye")

@@ -18,6 +18,7 @@
 //	GET  /v1/jobs/{id}/events   SSE per-iteration progress
 //	GET  /v1/algorithms         supported algorithms
 //	GET  /healthz               liveness + statistics
+//	GET  /metrics               Prometheus metrics
 //
 // Several hpserve instances can be fronted by an hpgate gateway
 // (cmd/hpgate) for fingerprint-routed, failover-capable serving.
@@ -33,11 +34,13 @@ import (
 	_ "net/http/pprof" // profiling endpoints on the -pprof listener
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"hyperpraw/internal/service"
 	"hyperpraw/internal/store"
+	"hyperpraw/internal/telemetry"
 )
 
 func main() {
@@ -65,21 +68,30 @@ func main() {
 		log.Printf("hpserve: durable job store at %s (%d jobs recovered)", *storeDir, st.Count())
 	}
 
+	reg := telemetry.NewRegistry()
+	reg.GaugeVec("hyperpraw_build_info",
+		"Build information; the value is always 1.", "go_version").
+		WithLabelValues(runtime.Version()).Set(1)
+
 	svc := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		EnvCacheSize:    *envCache,
 		ResultCacheSize: *resultCache,
 		Store:           st,
+		Metrics:         reg,
 	})
 	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
 
+	var pprofServer *http.Server
 	if *pprofAddr != "" {
 		// net/http/pprof registers on the default mux; serving it on its own
-		// listener keeps /debug off the public API surface.
+		// listener keeps /debug off the public API surface. A real Server
+		// (not ListenAndServe) so shutdown below can close it gracefully.
+		pprofServer = &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux}
 		go func() {
 			log.Printf("hpserve: pprof on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("hpserve: pprof listener: %v", err)
 			}
 		}()
@@ -103,6 +115,11 @@ func main() {
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {
 		log.Printf("hpserve: http shutdown: %v", err)
+	}
+	if pprofServer != nil {
+		if err := pprofServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("hpserve: pprof shutdown: %v", err)
+		}
 	}
 	if err := svc.Shutdown(shutdownCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {

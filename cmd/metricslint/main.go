@@ -1,0 +1,118 @@
+// Command metricslint checks Prometheus text exposition against the rules
+// this repo's /metrics endpoints promise (see internal/telemetry/lint.go):
+// every sample preceded by # HELP/# TYPE, counters named *_total, histogram
+// buckets cumulative and ending in +Inf with _sum and _count present.
+//
+// Usage:
+//
+//	metricslint http://127.0.0.1:8081 [URL...]   lint live /metrics endpoints
+//	metricslint -                                lint an exposition on stdin
+//	metricslint -selfcheck                       lint a built-in registry (CI smoke)
+//
+// URLs may name the server base or the /metrics path itself. Exit status is
+// non-zero when any exposition fails the lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hyperpraw/internal/telemetry"
+)
+
+func main() {
+	selfcheck := flag.Bool("selfcheck", false, "lint the exposition of a registry exercising every instrument kind")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-URL fetch deadline")
+	flag.Parse()
+
+	if *selfcheck {
+		if errs := telemetry.LintExposition(strings.NewReader(selfExposition())); len(errs) != 0 {
+			fail("selfcheck", errs)
+		}
+		fmt.Println("metricslint: selfcheck ok")
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: metricslint [-selfcheck] URL|- [URL...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	hc := &http.Client{Timeout: *timeout}
+	ok := true
+	for _, arg := range flag.Args() {
+		body, err := fetch(hc, arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", arg, err)
+			ok = false
+			continue
+		}
+		if errs := telemetry.LintExposition(strings.NewReader(body)); len(errs) != 0 {
+			fail(arg, errs)
+		}
+		fmt.Printf("metricslint: %s ok (%d lines)\n", arg, strings.Count(body, "\n"))
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fetch(hc *http.Client, arg string) (string, error) {
+	if arg == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	url := strings.TrimRight(arg, "/")
+	if !strings.HasSuffix(url, "/metrics") {
+		url += "/metrics"
+	}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func fail(what string, errs []error) {
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", what, e)
+	}
+	os.Exit(1)
+}
+
+// selfExposition renders a registry that exercises every instrument kind —
+// the same families both serving tiers register — so the lint rules and the
+// exposition writer cannot drift apart without CI noticing.
+func selfExposition() string {
+	reg := telemetry.NewRegistry()
+	reg.Counter("self_jobs_total", "Plain counter.").Add(3)
+	reg.Gauge("self_depth", "Plain gauge.").Set(2)
+	reg.GaugeFunc("self_uptime_seconds", "Func gauge.", func() float64 { return 1.5 })
+	reg.CounterFunc("self_ticks_total", "Func counter.", func() float64 { return 9 })
+	h := reg.Histogram("self_latency_seconds", "Histogram.", telemetry.DefBuckets)
+	h.Observe(0.004)
+	h.Observe(2)
+	reg.CounterVec("self_requests_total", "Labeled counter.", "method", "status").
+		WithLabelValues("GET", "200").Inc()
+	reg.GaugeVec("self_build_info", `Labeled gauge with "quotes" and \ in help.`, "version").
+		WithLabelValues(`v1"\x`).Set(1)
+	reg.HistogramVec("self_stage_seconds", "Labeled histogram.", nil, "stage").
+		WithLabelValues("total").Observe(0.25)
+
+	var b strings.Builder
+	if err := reg.WriteExposition(&b); err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: selfcheck exposition: %v\n", err)
+		os.Exit(1)
+	}
+	return b.String()
+}

@@ -49,6 +49,11 @@ type PartitionResult = core.Result
 // PartitionResult.History and delivered live through Options.Progress.
 type IterationStats = core.IterationStats
 
+// KernelStats re-exports the streaming kernel's activity counters (scan
+// strategy mix, pruning effectiveness, frontier sizes). Attach a sink via
+// Options.KernelStats; collection never changes move decisions.
+type KernelStats = core.StreamStats
+
 // BenchResult re-exports the simulated benchmark outcome.
 type BenchResult = netsim.Result
 
@@ -159,6 +164,10 @@ type Options struct {
 	Progress func(IterationStats)
 	// Seed drives the multilevel baseline's randomness (default 1).
 	Seed uint64
+	// KernelStats, when non-nil, accumulates the run's kernel activity
+	// counters (Add semantics). Only the restreaming algorithms report
+	// them; the multilevel baseline ignores the sink.
+	KernelStats *KernelStats
 }
 
 func (o *Options) orDefault() Options {
@@ -179,6 +188,7 @@ func (o *Options) orDefault() Options {
 	out.RecordHistory = o.RecordHistory
 	out.FrontierRestreaming = o.FrontierRestreaming
 	out.Progress = o.Progress
+	out.KernelStats = o.KernelStats
 	if o.Seed != 0 {
 		out.Seed = o.Seed
 	}
@@ -197,6 +207,7 @@ func prawConfig(cost [][]float64, idx *core.CostIndex, o Options) core.Config {
 	cfg.RecordHistory = o.RecordHistory
 	cfg.FrontierRestreaming = o.FrontierRestreaming
 	cfg.Progress = o.Progress
+	cfg.Stats = o.KernelStats
 	return cfg
 }
 

@@ -94,6 +94,7 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 
 	lastInTol := false
 	consecFrontier := 0
+	var passes, frontierPasses int64
 	for n := 1; n <= cfg.MaxIterations; n++ {
 		frontier := cfg.FrontierRestreaming && n > 1 && lastInTol &&
 			consecFrontier+1 < frontierFullSweepEvery
@@ -101,6 +102,10 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 			consecFrontier++
 		} else {
 			consecFrontier = 0
+		}
+		passes++
+		if frontier {
+			frontierPasses++
 		}
 		var wg sync.WaitGroup
 		chunk := (nv + workers - 1) / workers
@@ -171,6 +176,15 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 	res.Parts = append([]int32(nil), final...)
 	res.FinalCommCost = commCostScanned(comm, cfg, h, res.Parts)
 	res.FinalImbalance = metrics.Imbalance(metrics.Loads(h, res.Parts, p))
+	if cfg.Stats != nil {
+		// Workers are quiescent after the last wg.Wait, so merging their
+		// tallies here is race-free.
+		total := StreamStats{Passes: passes, FrontierPasses: frontierPasses}
+		for _, w := range pool {
+			total.Add(w.tally)
+		}
+		cfg.Stats.Add(total)
+	}
 	return res, nil
 }
 
@@ -248,6 +262,11 @@ type parallelWorker struct {
 	sc        *scratch
 	loadOf    func(int32) int64
 	untouched func(int32) bool
+
+	// tally accumulates this worker's kernel activity counters; the driver
+	// merges every worker's tally into Config.Stats after the final
+	// wg.Wait, so no synchronisation is needed here.
+	tally StreamStats
 }
 
 func newParallelWorker(s *parallelState, nv, p int) *parallelWorker {
@@ -285,12 +304,16 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 	nb := len(s.cidx.blocks)
 	mark := s.cfg.FrontierRestreaming
 	next := int32(pass) + 1
+	var nExh, nUni, nBlk, nBnd, nFallback, visited, moves int64
 
 	for v := lo; v < hi; v++ {
 		// See the serial stream: >= pass so a same-pass overwrite to pass+1
 		// cannot cancel a pending visit.
-		if frontierOnly && atomic.LoadInt32(&s.dirty[v]) < int32(pass) {
-			continue
+		if frontierOnly {
+			if atomic.LoadInt32(&s.dirty[v]) < int32(pass) {
+				continue
+			}
+			visited++
 		}
 		w.gather(v)
 		cur := s.parts[v].Load()
@@ -299,11 +322,17 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 		switch {
 		case !fast || scanOff:
 			bestPart = w.pickExhaustive(cur, alpha, expected)
+			nExh++
+			if scanOff {
+				nFallback++
+			}
 		case kind == costUniform:
 			bestPart = w.pickUniform(cur, alpha, expected)
+			nUni++
 		case kind == costBlocked:
 			var work int
 			bestPart, work = w.pickBlocked(cur, alpha, expected)
+			nBlk++
 			scanTried++
 			scanWork += work
 			if scanTried >= 128 && scanWork > scanTried*(nb+s.p/2) {
@@ -312,6 +341,7 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 		default:
 			var pops int
 			bestPart, pops = w.pickBounded(cur, alpha, expected)
+			nBnd++
 			scanTried++
 			scanWork += pops
 			if scanTried >= 128 && scanWork > 3*scanTried {
@@ -320,6 +350,7 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 		}
 
 		if bestPart != cur {
+			moves++
 			wt := h.VertexWeight(v)
 			s.loads[cur].Add(-wt)
 			s.loads[bestPart].Add(wt)
@@ -337,6 +368,22 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 				w.markDirty(v, next)
 			}
 		}
+	}
+
+	t := &w.tally
+	if frontierOnly {
+		t.FrontierVisited += visited
+	}
+	t.Moves += moves
+	t.ScanExhaustive += nExh
+	t.ScanUniform += nUni
+	t.ScanBlocked += nBlk
+	t.ScanBounded += nBnd
+	t.ExhaustiveFallbacks += nFallback
+	if kind == costBlocked {
+		t.BlockedWork += int64(scanWork)
+	} else {
+		t.BoundedPops += int64(scanWork)
 	}
 }
 
@@ -505,6 +552,7 @@ func (w *parallelWorker) pickBounded(cur int32, alpha float64, expected []float6
 	}
 	sc.minIdx.restore()
 	if budget == 0 {
+		w.tally.ExhaustiveFallbacks++
 		return w.pickExhaustive(cur, alpha, expected), pops
 	}
 	return bestPart, pops
@@ -602,6 +650,7 @@ func (w *parallelWorker) pickBlocked(cur int32, alpha float64, expected []float6
 		ubBlock := -niU*tLB - alpha*sc.blockMinQ[b]
 		ubBlock += boundMargin * (math.Abs(ubBlock) + 1)
 		if ubBlock < bestVal {
+			w.tally.BlockRejections++
 			continue
 		}
 		exact := ci.blocks[b].exact
@@ -629,6 +678,7 @@ func (w *parallelWorker) pickBlocked(cur int32, alpha float64, expected []float6
 			}
 			score(i, false, tLB, exact)
 			if exact {
+				w.tally.ExactSettles++
 				break
 			}
 		}

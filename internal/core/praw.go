@@ -117,6 +117,12 @@ type Config struct {
 	// build one — callers that reuse a matrix across many runs (the
 	// serving layer's cached Environments) should build once and share.
 	Index *CostIndex
+	// Stats, when non-nil, receives the run's kernel activity counters
+	// (scan strategy mix, pruning effectiveness, frontier sizes) — see
+	// StreamStats. Accumulated with Add semantics at the end of Run, so
+	// one sink can aggregate several runs. Collection is bookkeeping only
+	// and never changes a move decision.
+	Stats *StreamStats
 
 	// forceExhaustive pins the kernel to the original O(p)-per-vertex
 	// candidate scan. Unexported: only the in-package equivalence tests and
@@ -267,6 +273,12 @@ type Partitioner struct {
 	// fastEligible caches whether the touched-only scan pays off for this
 	// (cost structure, p) pair; see fastScanEligible.
 	fastEligible bool
+
+	// tally accumulates kernel activity counters across streams; Run
+	// flushes it into Config.Stats. Always maintained (the increments are
+	// noise next to the scoring arithmetic) so benchmarks measure the same
+	// code path the serving layer runs.
+	tally StreamStats
 
 	// Hoisted closures for the min-load index (allocated once, not per
 	// vertex).
@@ -530,6 +542,10 @@ func (pr *Partitioner) Run() Result {
 	res.Parts = append([]int32(nil), pr.parts...)
 	res.FinalCommCost = pr.monitoredCost()
 	res.FinalImbalance = metrics.Imbalance(metrics.Loads(pr.h, res.Parts, pr.p))
+	if pr.cfg.Stats != nil {
+		pr.cfg.Stats.Add(pr.tally)
+		pr.tally = StreamStats{}
+	}
 	return res
 }
 
@@ -667,6 +683,9 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, 
 	nb := len(pr.cidx.blocks)
 	mark := pr.cfg.FrontierRestreaming
 	next := int32(pass) + 1
+	// Stream-local activity counters, flushed into the tally once at the
+	// end so the hot loop touches registers, not struct fields.
+	var nExh, nUni, nBlk, nBnd, nFallback, visited int64
 
 	for idx := 0; idx < nv; idx++ {
 		v := idx
@@ -676,8 +695,11 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, 
 		// Visit when due this pass OR already marked for the next one (a
 		// neighbour that moved earlier in this very pass must not cancel a
 		// pending visit by overwriting the stamp with pass+1).
-		if frontierOnly && sc.dirty[v] < int32(pass) {
-			continue
+		if frontierOnly {
+			if sc.dirty[v] < int32(pass) {
+				continue
+			}
+			visited++
 		}
 		pr.gatherNeighbourCounts(v)
 
@@ -685,11 +707,17 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, 
 		switch {
 		case !fast || scanOff:
 			bestPart = pr.pickExhaustive(v, alpha, expected)
+			nExh++
+			if scanOff {
+				nFallback++
+			}
 		case kind == costUniform:
 			bestPart = pr.pickUniform(v, alpha, expected)
+			nUni++
 		case kind == costBlocked:
 			var work int
 			bestPart, work = pr.pickBlocked(v, alpha, expected)
+			nBlk++
 			scanTried++
 			scanWork += work
 			// The block walk wins while pruning keeps the scored set small;
@@ -702,6 +730,7 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, 
 		default:
 			var pops int
 			bestPart, pops = pr.pickBounded(v, alpha, expected)
+			nBnd++
 			scanTried++
 			scanWork += pops
 			// The pruned scan only beats the exhaustive one when the load
@@ -732,6 +761,24 @@ func (pr *Partitioner) stream(alpha float64, expected []float64, order []int32, 
 			}
 			moves++
 		}
+	}
+
+	t := &pr.tally
+	t.Passes++
+	if frontierOnly {
+		t.FrontierPasses++
+		t.FrontierVisited += visited
+	}
+	t.Moves += int64(moves)
+	t.ScanExhaustive += nExh
+	t.ScanUniform += nUni
+	t.ScanBlocked += nBlk
+	t.ScanBounded += nBnd
+	t.ExhaustiveFallbacks += nFallback
+	if kind == costBlocked {
+		t.BlockedWork += int64(scanWork)
+	} else {
+		t.BoundedPops += int64(scanWork)
 	}
 	return moves
 }
@@ -922,6 +969,7 @@ func (pr *Partitioner) pickBounded(v int, alpha float64, expected []float64) (be
 	if budget == 0 {
 		// The bound is not pruning on this vertex; the exhaustive reference
 		// costs less than draining the heap and returns the identical pick.
+		pr.tally.ExhaustiveFallbacks++
 		return pr.pickExhaustive(v, alpha, expected), pops
 	}
 	return bestPart, pops
@@ -1071,6 +1119,7 @@ func (pr *Partitioner) pickBlocked(v int, alpha float64, expected []float64) (be
 		ubBlock := -niU*tLB - alpha*sc.blockMinQ[b] - penalty
 		ubBlock += boundMargin * (math.Abs(ubBlock) + 1)
 		if ubBlock < bestVal {
+			pr.tally.BlockRejections++
 			continue
 		}
 		exact := ci.blocks[b].exact
@@ -1104,6 +1153,7 @@ func (pr *Partitioner) pickBlocked(v int, alpha float64, expected []float64) (be
 				// Exact block: every sibling shares this T_i, so the
 				// lowest-(load, index) member just scored dominates them
 				// under the exhaustive tie-break.
+				pr.tally.ExactSettles++
 				break
 			}
 		}

@@ -22,6 +22,7 @@ import (
 	"hyperpraw"
 	"hyperpraw/client"
 	"hyperpraw/internal/service"
+	"hyperpraw/internal/telemetry"
 )
 
 var (
@@ -74,6 +75,10 @@ type Config struct {
 	// known state while it is down. Storeless backends are unaffected and
 	// fail over immediately, as before (default 45s; negative disables).
 	RecoveryWindow time.Duration
+	// Metrics, when non-nil, receives the gateway's metric families
+	// (routing, failover, per-backend health and latency) and is served by
+	// NewHandler on GET /metrics. Nil disables collection.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +110,7 @@ func (c Config) withDefaults() Config {
 type backend struct {
 	url string
 	cli *client.Client
+	gm  *gatewayMetrics // owning gateway's instruments, for transition counters
 
 	mu      sync.Mutex
 	healthy bool
@@ -127,30 +133,42 @@ func (b *backend) status() (healthy bool, fails int, durable bool) {
 // markDown ejects the backend after an observed failure.
 func (b *backend) markDown() {
 	b.mu.Lock()
+	ejected := b.healthy
 	if b.healthy {
 		b.downSince = time.Now()
 	}
 	b.healthy = false
 	b.fails++
 	b.mu.Unlock()
+	if ejected && b.gm != nil {
+		b.gm.ejections.WithLabelValues(b.url).Inc()
+	}
 }
 
 // markUp re-admits the backend after a successful probe or call.
 func (b *backend) markUp() {
 	b.mu.Lock()
+	readmitted := !b.healthy
 	b.healthy = true
 	b.fails = 0
 	b.mu.Unlock()
+	if readmitted && b.gm != nil {
+		b.gm.readmissions.WithLabelValues(b.url).Inc()
+	}
 }
 
 // markUpDurable re-admits the backend and records whether it advertises a
 // durable job store; only health probes carry that information.
 func (b *backend) markUpDurable(durable bool) {
 	b.mu.Lock()
+	readmitted := !b.healthy
 	b.healthy = true
 	b.fails = 0
 	b.durable = durable
 	b.mu.Unlock()
+	if readmitted && b.gm != nil {
+		b.gm.readmissions.WithLabelValues(b.url).Inc()
+	}
 }
 
 // gwJob is the gateway-side state of one routed job. The original wire
@@ -196,6 +214,8 @@ type Gateway struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
+
+	metrics *gatewayMetrics
 }
 
 // New returns a Gateway over cfg.Backends with the health-check loop
@@ -209,6 +229,9 @@ func New(cfg Config) *Gateway {
 		jobs:     make(map[string]*gwJob),
 		stop:     make(chan struct{}),
 	}
+	// Metrics before the backend set: AddBackend hands each backend the
+	// instruments for its transition counters.
+	g.metrics = newGatewayMetrics(cfg.Metrics, g)
 	for _, url := range cfg.Backends {
 		g.AddBackend(url)
 	}
@@ -233,7 +256,7 @@ func (g *Gateway) AddBackend(url string) {
 	if _, ok := g.backends[url]; ok {
 		return
 	}
-	g.backends[url] = &backend{url: url, cli: client.New(url, g.cfg.HTTPClient), healthy: true}
+	g.backends[url] = &backend{url: url, cli: client.New(url, g.cfg.HTTPClient), gm: g.metrics, healthy: true}
 }
 
 // RemoveBackend drops a backend from the routing set. Jobs currently
@@ -289,7 +312,10 @@ func (g *Gateway) Health() hyperpraw.GatewayHealth {
 	g.mu.Lock()
 	jobs := len(g.jobs)
 	g.mu.Unlock()
-	return hyperpraw.GatewayHealth{Status: status, Backends: backends, Jobs: jobs}
+	return hyperpraw.GatewayHealth{
+		Status: status, Backends: backends, Jobs: jobs,
+		Telemetry: g.metrics.snapshot(),
+	}
 }
 
 // healthLoop probes every backend each HealthInterval, ejecting backends
@@ -326,7 +352,10 @@ func (g *Gateway) CheckBackends(ctx context.Context) {
 			defer wg.Done()
 			probeCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
 			defer cancel()
-			if h, err := b.cli.Health(probeCtx); err != nil {
+			start := time.Now()
+			h, err := b.cli.Health(probeCtx)
+			g.metrics.backendRequest(b.url, "health", err, time.Since(start))
+			if err != nil {
 				b.markDown()
 			} else {
 				b.markUpDurable(h.Durable)
@@ -404,8 +433,12 @@ func (g *Gateway) recoverable(b *backend) bool {
 		return false
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.durable && !b.healthy && time.Since(b.downSince) < g.cfg.RecoveryWindow
+	ok := b.durable && !b.healthy && time.Since(b.downSince) < g.cfg.RecoveryWindow
+	b.mu.Unlock()
+	if ok {
+		g.metrics.recoveryWaits.Inc()
+	}
+	return ok
 }
 
 // recoveryRetryDelay paces SSE re-attach attempts against a restarting
@@ -447,7 +480,7 @@ func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (
 	fingerprint := parsed.FingerprintKey()
 
 	var lastErr error = ErrNoBackends
-	for _, b := range g.route(fingerprint) {
+	for i, b := range g.route(fingerprint) {
 		info, err := g.submitTo(ctx, b, wire)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -463,7 +496,13 @@ func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (
 			continue
 		}
 		b.markUp()
-		return g.register(wire, fingerprint, b.url, info), nil
+		g.metrics.jobsSubmitted.Inc()
+		if i > 0 {
+			// The rendezvous primary did not take it; the caches this
+			// fingerprint warmed live elsewhere.
+			g.metrics.reroutes.Inc()
+		}
+		return g.register(wire, fingerprint, b.url, info, telemetry.TraceFrom(ctx)), nil
 	}
 	return hyperpraw.JobInfo{}, fmt.Errorf("%w (last error: %v)", ErrNoBackends, lastErr)
 }
@@ -472,11 +511,16 @@ func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (
 func (g *Gateway) submitTo(ctx context.Context, b *backend, wire hyperpraw.PartitionRequest) (hyperpraw.JobInfo, error) {
 	callCtx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
 	defer cancel()
-	return b.cli.Submit(callCtx, wire)
+	start := time.Now()
+	info, err := b.cli.Submit(callCtx, wire)
+	g.metrics.backendRequest(b.url, "submit", err, time.Since(start))
+	return info, err
 }
 
 // register records a successfully routed job under a fresh gateway id.
-func (g *Gateway) register(wire hyperpraw.PartitionRequest, fingerprint, backendURL string, info hyperpraw.JobInfo) hyperpraw.JobInfo {
+// trace is the submitting request's trace ID, kept as a fallback when the
+// backend's echoed JobInfo does not already carry it.
+func (g *Gateway) register(wire hyperpraw.PartitionRequest, fingerprint, backendURL string, info hyperpraw.JobInfo, trace string) hyperpraw.JobInfo {
 	g.mu.Lock()
 	g.nextID++
 	id := fmt.Sprintf("gw-%06d", g.nextID)
@@ -490,6 +534,9 @@ func (g *Gateway) register(wire hyperpraw.PartitionRequest, fingerprint, backend
 	}
 	j.info.ID = id
 	j.info.Backend = backendURL
+	if j.info.Trace == "" {
+		j.info.Trace = trace
+	}
 	g.jobs[id] = j
 	g.order = append(g.order, id)
 	strip := g.pruneLocked()
@@ -585,9 +632,11 @@ func (g *Gateway) Job(ctx context.Context, id string) (hyperpraw.JobInfo, error)
 	}
 	b, ok := g.backendFor(j.backendURL)
 	if ok {
-		callCtx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+		callCtx, cancel := context.WithTimeout(telemetry.WithTrace(ctx, j.info.Trace), g.cfg.ProxyTimeout)
+		start := time.Now()
 		info, err := b.cli.Job(callCtx, j.backendID)
 		cancel()
+		g.metrics.backendRequest(b.url, "job", err, time.Since(start))
 		if err == nil {
 			b.markUp()
 			g.mergeInfoLocked(j, info)
@@ -638,13 +687,15 @@ func (g *Gateway) Result(ctx context.Context, id string) (*hyperpraw.JobResult, 
 	wasDone := j.terminal.Load() && j.info.Status == hyperpraw.JobDone
 	b, ok := g.backendFor(j.backendURL)
 	if ok {
-		callCtx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+		callCtx, cancel := context.WithTimeout(telemetry.WithTrace(ctx, j.info.Trace), g.cfg.ProxyTimeout)
+		start := time.Now()
 		res, err := b.cli.Result(callCtx, j.backendID)
 		cancel()
+		g.metrics.backendRequest(b.url, "result", err, time.Since(start))
 		switch {
 		case err == nil:
 			b.markUp()
-			j.terminal.Store(true)
+			g.markTerminal(j, hyperpraw.JobDone)
 			j.info.Status = hyperpraw.JobDone
 			j.info.Error = ""
 			j.wire = hyperpraw.PartitionRequest{} // no more failovers: stop pinning the upload
@@ -656,7 +707,7 @@ func (g *Gateway) Result(ctx context.Context, id string) (*hyperpraw.JobResult, 
 			return nil, j.info, ctx.Err()
 		case isJobFailed(err):
 			b.markUp()
-			j.terminal.Store(true)
+			g.markTerminal(j, hyperpraw.JobFailed)
 			j.info.Status = hyperpraw.JobFailed
 			j.info.Error = err.Error()
 			j.wire = hyperpraw.PartitionRequest{}
@@ -691,7 +742,7 @@ func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
 		return nil
 	}
 	fail := func(err error) error {
-		j.terminal.Store(true)
+		g.markTerminal(j, hyperpraw.JobFailed)
 		j.info.Status = hyperpraw.JobFailed
 		j.info.Error = err.Error()
 		j.wire = hyperpraw.PartitionRequest{}
@@ -710,6 +761,10 @@ func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
 		// A terminal transition raced with us and already dropped the wire.
 		return fail(fmt.Errorf("gateway: job %s lost its backend and its request is no longer retained", j.id))
 	}
+	// Failover resubmissions carry the job's original trace, not the trace
+	// of whichever poll happened to trigger them, so the whole lifetime of
+	// one submission stays under one ID.
+	ctx = telemetry.WithTrace(ctx, j.info.Trace)
 	var lastErr error = ErrNoBackends
 	for _, b := range g.route(j.fingerprint) {
 		if b.url == j.backendURL {
@@ -731,6 +786,7 @@ func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
 		}
 		b.markUp()
 		j.failovers++
+		g.metrics.failovers.Inc()
 		j.backendURL = b.url
 		j.backendID = info.ID
 		g.mergeInfoLocked(j, info)
@@ -746,10 +802,22 @@ func (g *Gateway) mergeInfoLocked(j *gwJob, info hyperpraw.JobInfo) {
 	info.ID = j.id
 	info.Backend = j.backendURL
 	info.Stripped = j.info.Stripped // gateway-local state the backend cannot know
+	if j.info.Trace != "" {
+		// The submission's trace outlives backend moves; a failed-over
+		// job's new backend stamped the resubmission's trace instead.
+		info.Trace = j.info.Trace
+	}
 	j.info = info
 	if info.Status == hyperpraw.JobDone || info.Status == hyperpraw.JobFailed {
-		j.terminal.Store(true)
+		g.markTerminal(j, info.Status)
 		j.wire = hyperpraw.PartitionRequest{}
+	}
+}
+
+// markTerminal flips a job terminal exactly once, counting the transition.
+func (g *Gateway) markTerminal(j *gwJob, status hyperpraw.JobStatus) {
+	if j.terminal.CompareAndSwap(false, true) {
+		g.metrics.jobCompleted(status)
 	}
 }
 
@@ -808,11 +876,12 @@ func (g *Gateway) StreamEvents(ctx context.Context, id string, after int, emit f
 		}
 		j.mu.Lock()
 		backendURL, backendID := j.backendURL, j.backendID
+		trace := j.info.Trace
 		j.mu.Unlock()
 
 		if b, ok := g.backendFor(backendURL); ok {
 			emitFailed := false
-			streamErr := b.cli.StreamProgress(ctx, backendID, lastSeq, func(ev hyperpraw.ProgressEvent) error {
+			streamErr := b.cli.StreamProgress(telemetry.WithTrace(ctx, trace), backendID, lastSeq, func(ev hyperpraw.ProgressEvent) error {
 				if ev.Seq > lastSeq {
 					lastSeq = ev.Seq
 				}

@@ -8,6 +8,7 @@ import (
 
 	"hyperpraw"
 	"hyperpraw/internal/service"
+	"hyperpraw/internal/telemetry"
 )
 
 // NewHandler wraps a Gateway in the same HTTP JSON API cmd/hpserve serves
@@ -24,8 +25,16 @@ import (
 //	GET  /v1/algorithms         supported algorithm names
 //	GET  /v1/backends           backend set and health
 //	GET  /healthz               gateway + backend health
+//	GET  /metrics               Prometheus exposition (with Config.Metrics)
+//
+// Every route runs behind telemetry.Instrument: the gateway mints (or
+// adopts) an X-Hyperpraw-Trace ID per request, which the proxied backend
+// calls carry onward, so one submission is followable across both tiers.
 func NewHandler(g *Gateway) http.Handler {
 	mux := http.NewServeMux()
+	if g.metrics != nil && g.metrics.reg != nil {
+		mux.Handle("/metrics", g.metrics.reg.Handler())
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, g.Health())
 	})
@@ -63,7 +72,11 @@ func NewHandler(g *Gateway) http.Handler {
 		}
 		handleJob(g, w, r)
 	})
-	return mux
+	var m *telemetry.HTTPMetrics
+	if g.metrics != nil {
+		m = g.metrics.http
+	}
+	return telemetry.Instrument(m, mux)
 }
 
 func handleSubmit(g *Gateway, w http.ResponseWriter, r *http.Request) {
@@ -193,6 +206,10 @@ func handleEvents(g *Gateway, w http.ResponseWriter, r *http.Request, id string)
 	flusher, ok := service.BeginSSE(w)
 	if !ok {
 		return
+	}
+	if g.metrics != nil {
+		g.metrics.sseSubscribers.Add(1)
+		defer g.metrics.sseSubscribers.Add(-1)
 	}
 	//nolint:errcheck // a consumer gone mid-stream is not actionable
 	g.StreamEvents(r.Context(), id, after, func(ev hyperpraw.ProgressEvent) error {

@@ -1,0 +1,137 @@
+package gateway
+
+import (
+	"runtime"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/internal/telemetry"
+)
+
+// gatewayMetrics bundles the routing tier's instruments. Like the service
+// tier, it is always constructed; with a nil registry every instrument is
+// nil and recording no-ops, so call sites never guard.
+type gatewayMetrics struct {
+	reg   *telemetry.Registry
+	http  *telemetry.HTTPMetrics
+	start time.Time
+
+	jobsSubmitted   *telemetry.Counter
+	jobsCompleted   *telemetry.CounterVec   // status: done | failed
+	reroutes        *telemetry.Counter      // submissions landed off their rendezvous primary
+	failovers       *telemetry.Counter      // jobs resubmitted to another backend
+	ejections       *telemetry.CounterVec   // backend
+	readmissions    *telemetry.CounterVec   // backend
+	backendRequests *telemetry.CounterVec   // backend, op, outcome
+	upstreamSeconds *telemetry.HistogramVec // op
+	recoveryWaits   *telemetry.Counter      // recovery-window "wait it out" verdicts
+	sseSubscribers  *telemetry.Gauge
+}
+
+// newGatewayMetrics registers the gateway's families on reg. Per-backend
+// label values are backend base URLs — cardinality is the (small, operator
+// -controlled) backend set, not request traffic.
+func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
+	m := &gatewayMetrics{reg: reg, start: time.Now()}
+	if reg == nil {
+		return m
+	}
+	m.http = telemetry.NewHTTPMetrics(reg, "hpgate")
+
+	reg.GaugeFunc("hpgate_backends", "Backends in the routing set.",
+		func() float64 {
+			g.mu.Lock()
+			n := len(g.backends)
+			g.mu.Unlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("hpgate_backends_healthy", "Backends currently routable.",
+		func() float64 {
+			g.mu.Lock()
+			backends := make([]*backend, 0, len(g.backends))
+			for _, b := range g.backends {
+				backends = append(backends, b)
+			}
+			g.mu.Unlock()
+			n := 0
+			for _, b := range backends {
+				if healthy, _, _ := b.status(); healthy {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("hpgate_jobs_tracked", "Jobs retained in the gateway's table.",
+		func() float64 {
+			g.mu.Lock()
+			n := len(g.jobs)
+			g.mu.Unlock()
+			return float64(n)
+		})
+
+	m.jobsSubmitted = reg.Counter("hpgate_jobs_submitted_total",
+		"Jobs accepted and routed to a backend.")
+	m.jobsCompleted = reg.CounterVec("hpgate_jobs_completed_total",
+		"Jobs observed reaching a terminal state at the gateway, by outcome.",
+		"status")
+	m.reroutes = reg.Counter("hpgate_reroutes_total",
+		"Submissions that landed on a backend other than their rendezvous "+
+			"primary (the primary was ejected or refused).")
+	m.failovers = reg.Counter("hpgate_failovers_total",
+		"Jobs resubmitted to another backend after theirs was lost.")
+	m.ejections = reg.CounterVec("hpgate_backend_ejections_total",
+		"Healthy-to-down transitions, by backend.", "backend")
+	m.readmissions = reg.CounterVec("hpgate_backend_readmissions_total",
+		"Down-to-healthy transitions, by backend.", "backend")
+	m.backendRequests = reg.CounterVec("hpgate_backend_requests_total",
+		"Proxied calls to backends, by backend, operation, and outcome.",
+		"backend", "op", "outcome")
+	m.upstreamSeconds = reg.HistogramVec("hpgate_upstream_seconds",
+		"Latency of proxied backend calls, by operation.",
+		telemetry.DefBuckets, "op")
+	m.recoveryWaits = reg.Counter("hpgate_recovery_waits_total",
+		"Times a lost durable backend's outage was waited out (recovery "+
+			"window) instead of failing its job over.")
+	m.sseSubscribers = reg.Gauge("hpgate_sse_subscribers",
+		"Progress event streams currently proxied.")
+	return m
+}
+
+// backendRequest records one proxied call's outcome and latency.
+func (m *gatewayMetrics) backendRequest(url, op string, err error, d time.Duration) {
+	if m == nil {
+		return
+	}
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	m.backendRequests.WithLabelValues(url, op, outcome).Inc()
+	m.upstreamSeconds.WithLabelValues(op).ObserveSeconds(d.Seconds())
+}
+
+// jobCompleted counts one terminal transition.
+func (m *gatewayMetrics) jobCompleted(status hyperpraw.JobStatus) {
+	if m == nil {
+		return
+	}
+	label := "done"
+	if status == hyperpraw.JobFailed {
+		label = "failed"
+	}
+	m.jobsCompleted.WithLabelValues(label).Inc()
+}
+
+// snapshot builds the /healthz telemetry summary; nil when telemetry is off.
+func (m *gatewayMetrics) snapshot() *hyperpraw.TelemetrySnapshot {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	return &hyperpraw.TelemetrySnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		JobsSubmitted: uint64(m.jobsSubmitted.Value()),
+		JobsCompleted: uint64(m.jobsCompleted.WithLabelValues("done").Value()),
+		JobsFailed:    uint64(m.jobsCompleted.WithLabelValues("failed").Value()),
+	}
+}

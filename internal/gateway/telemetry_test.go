@@ -1,0 +1,171 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+	"hyperpraw/internal/service"
+	"hyperpraw/internal/telemetry"
+)
+
+// gwMetricValue finds the sample for the exact exposed series in body and
+// returns its value, or -1 when absent.
+func gwMetricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestGatewayTracePropagationAndMetrics submits through an instrumented
+// gateway fronting a real instrumented backend and asserts the cross-tier
+// observability contract: the caller's trace ID survives gateway → backend
+// → JobInfo on both tiers, both /metrics endpoints expose lint-clean
+// expositions with the expected values, and /healthz carries the snapshot.
+func TestGatewayTracePropagationAndMetrics(t *testing.T) {
+	backendReg := telemetry.NewRegistry()
+	svc := service.New(service.Config{Workers: 2, Metrics: backendReg})
+	backend := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() {
+		backend.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("backend shutdown: %v", err)
+		}
+	})
+
+	reg := telemetry.NewRegistry()
+	g := New(Config{Backends: []string{backend.URL}, HealthInterval: -1, Metrics: reg})
+	t.Cleanup(g.Close)
+	gh := httptest.NewServer(NewHandler(g))
+	t.Cleanup(gh.Close)
+	hc := gh.Client()
+	ctx := testCtx(t)
+
+	const trace = "gw-e2e-trace-01"
+	body, err := json.Marshal(tinyWire(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, gh.URL+"/v1/partition", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, trace)
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(telemetry.TraceHeader); got != trace {
+		t.Fatalf("gateway echoed trace %q, want %q", got, trace)
+	}
+	var info hyperpraw.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Trace != trace {
+		t.Fatalf("gateway JobInfo.Trace = %q, want %q", info.Trace, trace)
+	}
+
+	c := client.New(gh.URL, hc)
+	if _, err := c.Wait(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	done, err := g.Job(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Trace != trace {
+		t.Fatalf("terminal gateway JobInfo.Trace = %q, want %q", done.Trace, trace)
+	}
+
+	// The backend's own job table carries the same trace: one submission is
+	// followable across tiers by ID.
+	var backendTraced bool
+	for _, j := range svc.Jobs() {
+		backendTraced = backendTraced || j.Trace == trace
+	}
+	if !backendTraced {
+		t.Fatalf("trace %q not found in backend jobs %+v", trace, svc.Jobs())
+	}
+
+	for _, tier := range []struct {
+		base   string
+		series map[string]float64
+	}{
+		{gh.URL, map[string]float64{
+			`hpgate_jobs_submitted_total`:                1,
+			`hpgate_jobs_completed_total{status="done"}`: 1,
+			`hpgate_backends`:                            1,
+			`hpgate_backends_healthy`:                    1,
+			`hpgate_failovers_total`:                     0,
+		}},
+		{backend.URL, map[string]float64{
+			`hyperpraw_jobs_submitted_total`:                1,
+			`hyperpraw_jobs_completed_total{status="done"}`: 1,
+		}},
+	} {
+		mresp, err := hc.Get(tier.base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(mresp.Body)
+		mresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mresp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/metrics status %d", tier.base, mresp.StatusCode)
+		}
+		if errs := telemetry.LintExposition(bytes.NewReader(raw)); len(errs) != 0 {
+			t.Fatalf("%s/metrics lint: %v", tier.base, errs)
+		}
+		scraped := string(raw)
+		for series, want := range tier.series {
+			if got := gwMetricValue(t, scraped, series); got != want {
+				t.Errorf("%s: %s = %g, want %g", tier.base, series, got, want)
+			}
+		}
+	}
+
+	// The proxied-call counter carries the backend URL label; at least the
+	// submit and the result poll must have landed there.
+	mresp, err := hc.Get(gh.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	submitSeries := `hpgate_backend_requests_total{backend="` + backend.URL + `",op="submit",outcome="ok"}`
+	if got := gwMetricValue(t, string(raw), submitSeries); got != 1 {
+		t.Errorf("%s = %g, want 1", submitSeries, got)
+	}
+
+	h := g.Health()
+	if h.Telemetry == nil || h.Telemetry.JobsSubmitted != 1 || h.Telemetry.JobsCompleted != 1 {
+		t.Fatalf("gateway snapshot %+v", h.Telemetry)
+	}
+}

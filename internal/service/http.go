@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"hyperpraw"
+	"hyperpraw/internal/telemetry"
 )
 
 // MaxBatchJobs bounds one POST /v1/partition/batch request: large enough
@@ -30,11 +31,19 @@ const MaxBatchJobs = 256
 //	GET  /v1/jobs/{id}/events   SSE stream of per-iteration progress
 //	GET  /v1/algorithms         supported algorithm names
 //	GET  /healthz               liveness + queue/cache statistics
+//	GET  /metrics               Prometheus exposition (with Config.Metrics)
+//
+// Every route runs behind telemetry.Instrument: responses carry (and the
+// request context holds) an X-Hyperpraw-Trace ID, and with Config.Metrics
+// set the shared HTTP families record method/route/status/latency.
 //
 // Routing is done by hand so the handler works on Go 1.21 muxes (no method
 // patterns or wildcards).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
+	if s.metrics != nil && s.metrics.reg != nil {
+		mux.Handle("/metrics", s.metrics.reg.Handler())
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, s.Health())
 	})
@@ -69,7 +78,11 @@ func NewHandler(s *Service) http.Handler {
 		}
 		handleJob(s, w, r)
 	})
-	return mux
+	var m *telemetry.HTTPMetrics
+	if s.metrics != nil {
+		m = s.metrics.http
+	}
+	return telemetry.Instrument(m, mux)
 }
 
 func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -83,6 +96,7 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	req.Trace = telemetry.TraceFrom(r.Context())
 	info, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -178,6 +192,7 @@ func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
 	for i, wire := range batch.Jobs {
 		req, err := ParseRequest(wire)
 		if err == nil {
+			req.Trace = telemetry.TraceFrom(r.Context())
 			var info hyperpraw.JobInfo
 			if info, err = s.Submit(req); err == nil {
 				resp.Jobs[i].Job = &info
@@ -262,6 +277,8 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, id string)
 	if !ok {
 		return
 	}
+	s.metrics.sseGauge(1)
+	defer s.metrics.sseGauge(-1)
 
 	seq := after
 	for {

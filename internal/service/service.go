@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"hyperpraw"
 	"hyperpraw/internal/hgen"
 	"hyperpraw/internal/store"
+	"hyperpraw/internal/telemetry"
 )
 
 var (
@@ -51,6 +53,11 @@ type Config struct {
 	// results immediately, queued and running jobs re-enter the queue. Nil
 	// keeps today's in-memory-only behavior.
 	Store *store.Store
+	// Metrics, when non-nil, receives the service's metric families
+	// (queue/job gauges, stage latencies, cache and kernel counters) and is
+	// served by NewHandler on GET /metrics. Nil disables collection; the
+	// instrumentation sites remain but no-op.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +93,11 @@ type Request struct {
 	Hypergraph *hyperpraw.Hypergraph
 	Options    *hyperpraw.ServeOptions
 	Bench      *hyperpraw.ServeBenchOptions
+	// Trace is the request's trace ID, stamped into JobInfo and log lines
+	// so one submission can be followed gateway → backend → job. The HTTP
+	// handlers fill it from the request context (see telemetry.Instrument);
+	// direct Submit callers may set it by hand or leave it empty.
+	Trace string
 
 	fingerprint string // cache identity of the hypergraph source
 	name        string // human label for JobInfo
@@ -205,7 +217,8 @@ type Service struct {
 	envs    *Cache[hyperpraw.Environment]
 	results *Cache[hyperpraw.JobResult]
 
-	store *store.Store
+	store   *store.Store
+	metrics *serviceMetrics
 }
 
 // New starts a Service with cfg's worker pool already running. When cfg
@@ -241,6 +254,9 @@ func New(cfg Config) *Service {
 	if s.store != nil {
 		s.replayStore(recovered)
 	}
+	// Register metrics after replay (the store gauge must not observe a
+	// half-rebuilt table) but before the workers start recording samples.
+	s.metrics = newServiceMetrics(cfg.Metrics, s)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -331,6 +347,7 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.metrics.rejected(ErrClosed)
 		return hyperpraw.JobInfo{}, ErrClosed
 	}
 	// Cheap rejection before the journal write below: an overloaded node
@@ -339,6 +356,7 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	// the journal for the true race.
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
+		s.metrics.rejected(ErrQueueFull)
 		return hyperpraw.JobInfo{}, ErrQueueFull
 	}
 	s.nextID++
@@ -353,6 +371,7 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 			Machine:     req.Machine,
 			Hypergraph:  req.name,
 			Fingerprint: req.fingerprint,
+			Trace:       req.Trace,
 			SubmittedAt: time.Now().UnixMilli(),
 		},
 	}
@@ -374,6 +393,7 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 		// Compensate the already-journaled submission so a restart does
 		// not resurrect a job the caller was told was rejected.
 		s.journal(store.Pruned(j.info.ID))
+		s.metrics.rejected(err)
 		return hyperpraw.JobInfo{}, err
 	}
 	if s.closed { // Shutdown raced the journal write
@@ -394,6 +414,7 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	s.order = append(s.order, j.info.ID)
 	pruned := s.pruneLocked()
 	s.mu.Unlock()
+	s.metrics.jobsSubmitted.Inc()
 	for _, id := range pruned {
 		s.journal(store.Pruned(id))
 	}
@@ -536,6 +557,7 @@ func (s *Service) Health() hyperpraw.ServeHealth {
 		health.Durable = true
 		health.StoredJobs = s.store.Count()
 	}
+	health.Telemetry = s.metrics.snapshot()
 	return health
 }
 
@@ -603,12 +625,16 @@ func (s *Service) worker() {
 }
 
 func (s *Service) runJob(j *job) {
+	started := time.Now()
 	j.mu.Lock()
 	j.info.Status = hyperpraw.JobRunning
-	j.info.StartedAt = time.Now().UnixMilli()
+	j.info.StartedAt = started.UnixMilli()
+	queueWait := time.Duration(j.info.StartedAt-j.info.SubmittedAt) * time.Millisecond
+	j.info.QueueWaitMS = float64(queueWait) / float64(time.Millisecond)
 	id := j.info.ID
 	running := j.info
 	j.mu.Unlock()
+	s.metrics.timeStage("queue_wait", queueWait)
 	s.journal(store.StatusChanged(running))
 
 	// Live progress: the restreaming kernel calls onIter on every pass of
@@ -622,9 +648,11 @@ func (s *Service) runJob(j *job) {
 		})
 	}
 	res, err := s.executeSafe(j.req, onIter)
+	exec := time.Since(started)
 
 	j.mu.Lock()
 	j.info.FinishedAt = time.Now().UnixMilli()
+	j.info.ExecMS = float64(exec) / float64(time.Millisecond)
 	if err != nil {
 		j.info.Status = hyperpraw.JobFailed
 		j.info.Error = err.Error()
@@ -633,12 +661,24 @@ func (s *Service) runJob(j *job) {
 		j.result = &res
 	}
 	status, errMsg := j.info.Status, j.info.Error
+	trace, algorithm := j.info.Trace, j.info.Algorithm
 	finished, result := j.info, j.result
 	// Only JobInfo and JobResult serve status queries from here on; drop
 	// the request so finished jobs don't pin uploaded hypergraphs in
 	// memory until the retention prune reaches them.
 	j.req = Request{}
 	j.mu.Unlock()
+
+	s.metrics.timeStage("total", queueWait+exec)
+	if err != nil {
+		s.metrics.jobsCompleted.WithLabelValues("failed").Inc()
+		log.Printf("service: job=%s trace=%s algorithm=%s status=failed queue_wait_ms=%.1f exec_ms=%.1f error=%q",
+			id, trace, algorithm, float64(queueWait)/float64(time.Millisecond), float64(exec)/float64(time.Millisecond), errMsg)
+	} else {
+		s.metrics.jobsCompleted.WithLabelValues("done").Inc()
+		log.Printf("service: job=%s trace=%s algorithm=%s status=done queue_wait_ms=%.1f exec_ms=%.1f",
+			id, trace, algorithm, float64(queueWait)/float64(time.Millisecond), float64(exec)/float64(time.Millisecond))
+	}
 
 	if err == nil && j.progress.count() == 0 {
 		for _, pt := range res.History {
@@ -679,19 +719,33 @@ func (s *Service) execute(req Request, onIter func(hyperpraw.IterationStats)) (h
 		return hyperpraw.JobResult{}, err
 	}
 	env, envHit, err := s.envs.GetOrCompute(req.Machine.Key(), func() (hyperpraw.Environment, error) {
-		return s.cfg.ProfileFunc(machine), nil
+		start := time.Now()
+		env := s.cfg.ProfileFunc(machine)
+		s.metrics.timeStage("profile", time.Since(start))
+		return env, nil
 	})
 	if err != nil {
 		return hyperpraw.JobResult{}, err
 	}
 
+	// Stage timing and kernel aggregation live inside the compute closure:
+	// a cache hit (or a job piggybacking on an in-flight computation) did
+	// no partitioning work and must not inflate the counters.
 	res, resHit, err := s.results.GetOrCompute(req.resultKey(), func() (hyperpraw.JobResult, error) {
 		h := req.Hypergraph
 		if h == nil {
 			spec := *req.Instance
 			h = hyperpraw.GenerateInstance(spec.Name, spec.Scale, spec.Seed)
 		}
-		return partitionOnce(h, env, machine, req, onIter)
+		start := time.Now()
+		r, err := partitionOnce(h, env, machine, req, onIter)
+		if err == nil {
+			s.metrics.timeStage("partition", time.Since(start))
+			if r.Kernel != nil {
+				s.metrics.recordKernel(*r.Kernel)
+			}
+		}
+		return r, err
 	})
 	if err != nil {
 		return hyperpraw.JobResult{}, err
@@ -713,6 +767,10 @@ func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *
 	}
 	opts.RecordHistory = true
 	opts.Progress = onIter
+	// Kernel activity counters ride along with the result, so a job served
+	// from the cache still shows the computing run's counters.
+	var ks hyperpraw.KernelStats
+	opts.KernelStats = &ks
 	start := time.Now()
 
 	var (
@@ -769,6 +827,9 @@ func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *
 			return hyperpraw.JobResult{}, err
 		}
 		out.Bench = &bres
+	}
+	if !ks.IsZero() {
+		out.Kernel = &ks
 	}
 	out.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return out, nil

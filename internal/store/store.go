@@ -38,6 +38,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hyperpraw"
 )
@@ -129,6 +130,24 @@ type Store struct {
 	// live mirrors len(jobs) so Count never contends with a compaction
 	// (health endpoints poll it while a snapshot write may hold mu).
 	live atomic.Int64
+
+	// onAppend/onCompact, when set, observe the wall time of each WAL
+	// append and each compaction (the telemetry layer points them at
+	// latency histograms). Called with mu held, so they must be fast and
+	// must not reenter the store.
+	onAppend  func(time.Duration)
+	onCompact func(time.Duration)
+}
+
+// SetTimingHooks registers duration observers for WAL appends and
+// compactions. Either may be nil. Call before the store is shared across
+// goroutines (hook registration is not synchronised with in-flight
+// appends).
+func (s *Store) SetTimingHooks(onAppend, onCompact func(time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onAppend = onAppend
+	s.onCompact = onCompact
 }
 
 // Open loads (or initialises) the store in dir: snapshot first, then the
@@ -344,6 +363,10 @@ func (s *Store) Append(rec Record) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.onAppend != nil {
+		start := time.Now()
+		defer func() { s.onAppend(time.Since(start)) }()
+	}
 	if s.wal == nil {
 		// A previous write or compaction lost the WAL handle; reopen and
 		// cut the file back to the last intact record so a transient
@@ -397,6 +420,10 @@ func (s *Store) Compact() error {
 }
 
 func (s *Store) compactLocked() error {
+	if s.onCompact != nil {
+		start := time.Now()
+		defer func() { s.onCompact(time.Since(start)) }()
+	}
 	// Reset the trigger counter up front: a failing compaction (full
 	// disk, ...) is retried after another compactEvery appends instead of
 	// re-marshaling the whole table on every single append.

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperpraw"
+)
+
+// TestTimingHooks pins the observability seam the service tier hangs its
+// WAL histograms on: Append fires onAppend, Compact fires onCompact, each
+// with a non-negative wall time, and clearing the hooks stops the calls.
+func TestTimingHooks(t *testing.T) {
+	s := open(t, t.TempDir())
+	defer s.Close()
+
+	var appends, compacts atomic.Int64
+	var negative atomic.Bool
+	observe := func(n *atomic.Int64) func(time.Duration) {
+		return func(d time.Duration) {
+			n.Add(1)
+			if d < 0 {
+				negative.Store(true)
+			}
+		}
+	}
+	s.SetTimingHooks(observe(&appends), observe(&compacts))
+
+	if err := s.Append(Submitted(info("job-000001", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	if got := appends.Load(); got != 1 {
+		t.Fatalf("onAppend fired %d times after one append", got)
+	}
+	if got := compacts.Load(); got != 0 {
+		t.Fatalf("onCompact fired %d times before any compaction", got)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := compacts.Load(); got != 1 {
+		t.Fatalf("onCompact fired %d times after one compaction", got)
+	}
+	if negative.Load() {
+		t.Fatal("a hook observed a negative duration")
+	}
+
+	s.SetTimingHooks(nil, nil)
+	if err := s.Append(StatusChanged(info("job-000001", hyperpraw.JobRunning))); err != nil {
+		t.Fatal(err)
+	}
+	if got := appends.Load(); got != 1 {
+		t.Fatalf("onAppend fired %d times after hooks were cleared", got)
+	}
+}

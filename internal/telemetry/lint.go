@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses Prometheus text exposition and returns every
+// convention violation found: unparseable lines, invalid metric or label
+// names, samples without a preceding TYPE, duplicate TYPE declarations,
+// counters not ending in _total, histograms missing le buckets / +Inf /
+// _sum / _count, and non-cumulative bucket counts. A clean payload returns
+// nil. Used by `make metrics-lint` and the registry tests so both tiers'
+// /metrics output stays scrapeable.
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	addf := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type famState struct {
+		kind    string
+		samples int
+		// histogram bookkeeping, keyed by the non-le label signature
+		buckets map[string][]float64 // le bounds in order of appearance
+		bcounts map[string][]float64 // bucket values in order of appearance
+		hasInf  map[string]bool
+		hasSum  map[string]bool
+		hasCnt  map[string]bool
+	}
+	fams := map[string]*famState{}
+	order := []string{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !ValidMetricName(name) {
+				addf(lineNo, "invalid metric name %q in %s", name, fields[1])
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					addf(lineNo, "TYPE for %s missing a kind", name)
+					continue
+				}
+				kind := fields[3]
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(lineNo, "unknown TYPE %q for %s", kind, name)
+				}
+				if f, ok := fams[name]; ok {
+					if f.kind != "" {
+						addf(lineNo, "duplicate TYPE for %s", name)
+					}
+					if f.samples > 0 {
+						addf(lineNo, "TYPE for %s appears after its samples", name)
+					}
+					f.kind = kind
+				} else {
+					fams[name] = &famState{kind: kind}
+					order = append(order, name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			addf(lineNo, "%v", perr)
+			continue
+		}
+		base := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			b := strings.TrimSuffix(name, s)
+			if b != name {
+				if f, ok := fams[b]; ok && f.kind == "histogram" {
+					base, suffix = b, s
+				}
+				break
+			}
+		}
+		f, ok := fams[base]
+		if !ok {
+			addf(lineNo, "sample %s has no preceding # TYPE", name)
+			f = &famState{kind: "untyped"}
+			fams[base] = f
+			order = append(order, base)
+		}
+		f.samples++
+
+		for _, kv := range labels {
+			if !ValidLabelName(kv[0]) {
+				addf(lineNo, "invalid label name %q on %s", kv[0], name)
+			}
+		}
+
+		if f.kind == "counter" && !strings.HasSuffix(base, "_total") {
+			addf(lineNo, "counter %s does not end in _total", base)
+		}
+		if f.kind == "histogram" {
+			if f.buckets == nil {
+				f.buckets = map[string][]float64{}
+				f.bcounts = map[string][]float64{}
+				f.hasInf = map[string]bool{}
+				f.hasSum = map[string]bool{}
+				f.hasCnt = map[string]bool{}
+			}
+			sig := labelSignature(labels)
+			switch suffix {
+			case "_bucket":
+				le := ""
+				for _, kv := range labels {
+					if kv[0] == "le" {
+						le = kv[1]
+					}
+				}
+				if le == "" {
+					addf(lineNo, "%s_bucket sample missing le label", base)
+				} else if le == "+Inf" {
+					f.hasInf[sig] = true
+					f.bcounts[sig] = append(f.bcounts[sig], value)
+				} else {
+					bound, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						addf(lineNo, "unparseable le=%q on %s_bucket", le, base)
+					} else {
+						f.buckets[sig] = append(f.buckets[sig], bound)
+						f.bcounts[sig] = append(f.bcounts[sig], value)
+					}
+				}
+			case "_sum":
+				f.hasSum[sig] = true
+			case "_count":
+				f.hasCnt[sig] = true
+			default:
+				addf(lineNo, "histogram %s has a bare sample (want _bucket/_sum/_count)", base)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %w", err))
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if f.kind != "histogram" {
+			continue
+		}
+		sigs := make([]string, 0, len(f.bcounts))
+		for sig := range f.bcounts {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			where := name
+			if sig != "" {
+				where = fmt.Sprintf("%s{%s}", name, sig)
+			}
+			if !f.hasInf[sig] {
+				errs = append(errs, fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", where))
+			}
+			if !f.hasSum[sig] {
+				errs = append(errs, fmt.Errorf("histogram %s missing _sum", where))
+			}
+			if !f.hasCnt[sig] {
+				errs = append(errs, fmt.Errorf("histogram %s missing _count", where))
+			}
+			bounds, counts := f.buckets[sig], f.bcounts[sig]
+			for i := 1; i < len(bounds); i++ {
+				if bounds[i] <= bounds[i-1] {
+					errs = append(errs, fmt.Errorf("histogram %s le bounds not increasing (%g after %g)", where, bounds[i], bounds[i-1]))
+				}
+			}
+			for i := 1; i < len(counts); i++ {
+				if counts[i] < counts[i-1] {
+					errs = append(errs, fmt.Errorf("histogram %s bucket counts not cumulative (%g after %g)", where, counts[i], counts[i-1]))
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// labelSignature joins the non-le labels so histogram series of one family
+// are checked independently.
+func labelSignature(labels [][2]string) string {
+	parts := make([]string, 0, len(labels))
+	for _, kv := range labels {
+		if kv[0] == "le" {
+			continue
+		}
+		parts = append(parts, kv[0]+"="+kv[1])
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// parseSample parses one exposition sample line:
+//
+//	name{k="v",...} value [timestamp]
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("unparseable sample %q", line)
+	}
+	name = rest[:i]
+	if !ValidMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("bad label in %q", line)
+			}
+			lname := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					j++
+					switch rest[j] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[j])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels = append(labels, [2]string{lname, val.String()})
+			rest = strings.TrimPrefix(rest, ",")
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("bad sample value in %q", line)
+	}
+	switch fields[0] {
+	case "+Inf", "-Inf", "NaN":
+	default:
+		if value, err = strconv.ParseFloat(fields[0], 64); err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable value %q", fields[0])
+		}
+	}
+	return name, labels, value, nil
+}

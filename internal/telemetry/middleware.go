@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTPMetrics records request counts, latencies, and in-flight gauges for
+// one serving tier. A nil *HTTPMetrics records nothing (the middleware
+// still handles trace IDs).
+type HTTPMetrics struct {
+	requests *CounterVec   // method, route, status
+	latency  *HistogramVec // route
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the shared HTTP request metrics under the given
+// namespace ("hyperpraw" for hpserve, "hpgate" for the gateway). Returns
+// nil when reg is nil.
+func NewHTTPMetrics(reg *Registry, namespace string) *HTTPMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &HTTPMetrics{
+		requests: reg.CounterVec(namespace+"_http_requests_total",
+			"HTTP requests served, by method, normalized route, and status code.",
+			"method", "route", "status"),
+		latency: reg.HistogramVec(namespace+"_http_request_seconds",
+			"HTTP request latency in seconds, by normalized route.",
+			nil, "route"),
+		inflight: reg.Gauge(namespace+"_http_inflight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+// RouteLabel collapses request paths onto the fixed serving-API route set
+// so metric label cardinality stays bounded regardless of job IDs or junk
+// paths.
+func RouteLabel(path string) string {
+	switch path {
+	case "/healthz", "/metrics", "/v1/algorithms", "/v1/partition", "/v1/partition/batch", "/v1/jobs":
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/jobs/"); ok {
+		_, sub, _ := strings.Cut(rest, "/")
+		switch sub {
+		case "":
+			return "/v1/jobs/{id}"
+		case "result", "events":
+			return "/v1/jobs/{id}/" + sub
+		}
+	}
+	return "other"
+}
+
+// statusWriter captures the response status code while passing Flush
+// through, so SSE handlers downstream still see an http.Flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Instrument wraps next with the shared serving-tier middleware: it
+// ensures every request has a trace ID (accepting a clean inbound
+// X-Hyperpraw-Trace or generating one), exposes it on the response and the
+// request context, and — when m is non-nil — records method/route/status
+// counters, per-route latency histograms, and an in-flight gauge.
+func Instrument(m *HTTPMetrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := CleanTrace(r.Header.Get(TraceHeader))
+		if trace == "" {
+			trace = NewTraceID()
+		}
+		w.Header().Set(TraceHeader, trace)
+		r = r.WithContext(WithTrace(r.Context(), trace))
+
+		if m == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		m.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		m.inflight.Add(-1)
+
+		route := RouteLabel(r.URL.Path)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.requests.WithLabelValues(r.Method, route, strconv.Itoa(status)).Inc()
+		m.latency.WithLabelValues(route).Observe(time.Since(start).Seconds())
+	})
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareGeneratesTrace(t *testing.T) {
+	var seen string
+	h := Instrument(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceFrom(r.Context())
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if seen == "" {
+		t.Fatal("no trace ID on request context")
+	}
+	if len(seen) != 32 {
+		t.Fatalf("generated trace %q is not 16 hex bytes", seen)
+	}
+	if got := rec.Header().Get(TraceHeader); got != seen {
+		t.Fatalf("response header trace %q != context trace %q", got, seen)
+	}
+}
+
+func TestMiddlewarePropagatesInboundTrace(t *testing.T) {
+	var seen string
+	h := Instrument(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceFrom(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(TraceHeader, "upstream-trace-01")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "upstream-trace-01" {
+		t.Fatalf("context trace = %q, want the inbound header", seen)
+	}
+	if got := rec.Header().Get(TraceHeader); got != "upstream-trace-01" {
+		t.Fatalf("response header = %q", got)
+	}
+}
+
+func TestMiddlewareRejectsJunkTrace(t *testing.T) {
+	var seen string
+	h := Instrument(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceFrom(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(TraceHeader, "bad\"quote")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if seen == "" || seen == "bad\"quote" {
+		t.Fatalf("junk inbound trace should be replaced, got %q", seen)
+	}
+	long := strings.Repeat("a", 200)
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(TraceHeader, long)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if len(seen) > 64 {
+		t.Fatalf("oversized trace not truncated: %d bytes", len(seen))
+	}
+}
+
+func TestMiddlewareRecordsMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "tier")
+	h := Instrument(m, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("middleware writer lost http.Flusher (breaks SSE)")
+		}
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/partition", nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/jobs/abc/result", nil))
+	out := expose(t, reg)
+	for _, want := range []string{
+		`tier_http_requests_total{method="POST",route="/v1/partition",status="429"} 1`,
+		`tier_http_requests_total{method="GET",route="/v1/jobs/{id}/result",status="429"} 1`,
+		`tier_http_request_seconds_count{route="/v1/partition"} 1`,
+		`tier_http_inflight_requests 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := LintExposition(strings.NewReader(out)); len(errs) > 0 {
+		t.Fatalf("middleware metrics fail lint: %v", errs)
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	id1, id2 := NewTraceID(), NewTraceID()
+	if id1 == id2 {
+		t.Fatal("trace IDs collide")
+	}
+	req := httptest.NewRequest("GET", "/", nil)
+	SetTraceHeader(WithTrace(req.Context(), "abc"), req.Header)
+	if got := req.Header.Get(TraceHeader); got != "abc" {
+		t.Fatalf("SetTraceHeader wrote %q", got)
+	}
+	if CleanTrace("ok-trace_123") != "ok-trace_123" {
+		t.Fatal("CleanTrace rejected a clean ID")
+	}
+	if CleanTrace("has space") != "" || CleanTrace("q\"uote") != "" {
+		t.Fatal("CleanTrace accepted junk")
+	}
+}

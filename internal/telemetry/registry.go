@@ -1,0 +1,589 @@
+// Package telemetry is a dependency-free metrics and tracing substrate for
+// both serving tiers. It provides a Prometheus-compatible registry
+// (counters, gauges, histograms, labeled families) with text exposition on
+// GET /metrics, trace-ID generation/propagation helpers, and an HTTP
+// middleware that records per-route request metrics.
+//
+// Every instrument method is safe on a nil receiver, and every Registry
+// constructor is safe on a nil registry (returning nil instruments), so
+// callers can wire telemetry unconditionally and pay nothing when it is
+// disabled:
+//
+//	var reg *telemetry.Registry // nil: telemetry off
+//	c := reg.Counter("jobs_total", "Jobs accepted.")
+//	c.Inc() // no-op, no branches at the call site
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram bounds in seconds, spanning
+// sub-millisecond kernel stages up to multi-second partition jobs.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name with its help text and every labeled series
+// registered under it. Unlabeled instruments are the single series with an
+// empty label set.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string // label names, fixed at registration
+	buckets []float64
+
+	mu     sync.Mutex
+	series map[string]*series // keyed by joined label values
+}
+
+type series struct {
+	labelValues []string
+
+	// Counter/gauge state: float64 bits updated by CAS.
+	bits atomic.Uint64
+	// Gauge callback, sampled at collection time when non-nil.
+	fn func() float64
+
+	// Histogram state. counts[i] is the number of observations <=
+	// buckets[i]; countInf the total. Updates are per-field atomic: a
+	// concurrent collection may see a bucket increment before the matching
+	// sum update, which Prometheus scrapes tolerate by design.
+	counts   []atomic.Uint64
+	countInf atomic.Uint64
+	sumBits  atomic.Uint64
+}
+
+func (s *series) addFloat(v float64) {
+	for {
+		old := s.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (s *series) setFloat(v float64) { s.bits.Store(math.Float64bits(v)) }
+
+func (s *series) value() float64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+func (s *series) observe(v float64, buckets []float64) {
+	// Buckets are sorted; latency vectors are short enough that a linear
+	// scan beats binary search in practice.
+	for i, b := range buckets {
+		if v <= b {
+			s.counts[i].Add(1)
+			break
+		}
+	}
+	s.countInf.Add(1)
+	for {
+		old := s.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format 0.0.4. The zero value is not usable; call NewRegistry.
+// A nil *Registry is a valid "telemetry disabled" registry: constructors
+// return nil instruments whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var nameRe = func() func(string) bool {
+	// [a-zA-Z_:][a-zA-Z0-9_:]* without importing regexp on hot paths.
+	head := func(c byte) bool {
+		return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+	}
+	tail := func(c byte) bool { return head(c) || (c >= '0' && c <= '9') }
+	return func(s string) bool {
+		if s == "" || !head(s[0]) {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if !tail(s[i]) {
+				return false
+			}
+		}
+		return true
+	}
+}()
+
+// ValidMetricName reports whether s is a legal Prometheus metric name.
+func ValidMetricName(s string) bool { return nameRe(s) }
+
+// ValidLabelName reports whether s is a legal Prometheus label name
+// (metric-name charset without colons).
+func ValidLabelName(s string) bool { return nameRe(s) && !strings.Contains(s, ":") }
+
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if r == nil {
+		return nil
+	}
+	if !ValidMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !ValidLabelName(l) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// series returns (creating on first use) the series for the given label
+// values.
+func (f *family) lookup(values []string) *series {
+	if f == nil {
+		return nil
+	}
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), values...)}
+		if f.kind == kindHistogram {
+			s.counts = make([]atomic.Uint64, len(f.buckets))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative (not enforced; callers own
+// monotonicity).
+func (c *Counter) Add(v float64) {
+	if c == nil || c.s == nil {
+		return
+	}
+	c.s.addFloat(v)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() float64 {
+	if c == nil || c.s == nil {
+		return 0
+	}
+	return c.s.value()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.setFloat(v)
+}
+
+// Add adjusts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.addFloat(v)
+}
+
+// Value returns the current gauge value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	return g.s.value()
+}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil {
+		return
+	}
+	h.s.observe(v, h.f.buckets)
+}
+
+// ObserveSeconds records d as seconds; the natural unit for latency
+// histograms.
+func (h *Histogram) ObserveSeconds(d float64) { h.Observe(d) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil || h.s == nil {
+		return 0
+	}
+	return h.s.countInf.Load()
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, kindCounter, nil, nil)
+	return &Counter{s: f.lookup(nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, kindGauge, nil, nil)
+	return &Gauge{s: f.lookup(nil)}
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at collection
+// time. fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.lookup(nil).fn = fn
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// collection time; fn must be monotone (e.g. backed by an existing
+// hit/miss tally).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, kindCounter, nil, nil)
+	f.lookup(nil).fn = fn
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. A nil buckets
+// slice uses DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, nil, sortedBuckets(buckets))
+	return &Histogram{f: f, s: f.lookup(nil)}
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec registers a labeled histogram family; nil buckets uses
+// DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, sortedBuckets(buckets))}
+}
+
+// WithLabelValues returns the counter for the given label values, creating
+// it on first use.
+func (v *CounterVec) WithLabelValues(values ...string) *Counter {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Counter{s: v.f.lookup(values)}
+}
+
+// SetFunc backs the series for the given label values with fn, sampled at
+// collection time; fn must be monotone and safe to call concurrently.
+func (v *CounterVec) SetFunc(fn func() float64, values ...string) {
+	if v == nil || v.f == nil {
+		return
+	}
+	v.f.lookup(values).fn = fn
+}
+
+// WithLabelValues returns the gauge for the given label values.
+func (v *GaugeVec) WithLabelValues(values ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Gauge{s: v.f.lookup(values)}
+}
+
+// WithLabelValues returns the histogram for the given label values.
+func (v *HistogramVec) WithLabelValues(values ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Histogram{f: v.f, s: v.f.lookup(values)}
+}
+
+func sortedBuckets(b []float64) []float64 {
+	out := append([]float64(nil), b...)
+	sort.Float64s(out)
+	return out
+}
+
+// WriteExposition renders every registered family in Prometheus text
+// exposition format, families sorted by name and series by label values so
+// output is deterministic.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeTo(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r == nil {
+			return
+		}
+		r.WriteExposition(w) //nolint:errcheck // client gone mid-scrape is not actionable
+	})
+}
+
+func (f *family) writeTo(b *strings.Builder) {
+	f.mu.Lock()
+	sers := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		sers = append(sers, s)
+	}
+	f.mu.Unlock()
+	if len(sers) == 0 {
+		return
+	}
+	sort.Slice(sers, func(i, j int) bool {
+		a, c := sers[i].labelValues, sers[j].labelValues
+		for k := range a {
+			if a[k] != c[k] {
+				return a[k] < c[k]
+			}
+		}
+		return false
+	})
+
+	if f.help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind.String())
+	b.WriteByte('\n')
+
+	for _, s := range sers {
+		switch f.kind {
+		case kindHistogram:
+			f.writeHistogram(b, s)
+		default:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.labelValues, "", "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.value()))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+func (f *family) writeHistogram(b *strings.Builder, s *series) {
+	// Snapshot counts first so the cumulative sums are internally
+	// consistent for this scrape.
+	cum := uint64(0)
+	for i := range f.buckets {
+		cum += s.counts[i].Load()
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, s.labelValues, "le", formatFloat(f.buckets[i]))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	total := s.countInf.Load()
+	if total < cum {
+		// A concurrent Observe bumped a bucket after we read countInf;
+		// keep le="+Inf" >= every finite bucket as the format requires.
+		total = cum
+	}
+	b.WriteString(f.name)
+	b.WriteString("_bucket")
+	writeLabels(b, f.labels, s.labelValues, "le", "+Inf")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(total, 10))
+	b.WriteByte('\n')
+
+	b.WriteString(f.name)
+	b.WriteString("_sum")
+	writeLabels(b, f.labels, s.labelValues, "", "")
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(math.Float64frombits(s.sumBits.Load())))
+	b.WriteByte('\n')
+
+	b.WriteString(f.name)
+	b.WriteString("_count")
+	writeLabels(b, f.labels, s.labelValues, "", "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(total, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}; extraK/extraV append one synthetic label
+// (the histogram le bound). Writes nothing when there are no labels at all.
+func writeLabels(b *strings.Builder, names, values []string, extraK, extraV string) {
+	if len(names) == 0 && extraK == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	if v == math.Inf(1) {
+		return "+Inf"
+	}
+	if v == math.Inf(-1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jobs_total", "Jobs.")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := reg.Gauge("depth", "Depth.")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+	reg.GaugeFunc("sampled", "Sampled.", func() float64 { return 42 })
+	out := expose(t, reg)
+	if !strings.Contains(out, "sampled 42\n") {
+		t.Fatalf("gauge func missing from exposition:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.5, 100} {
+		h.Observe(v)
+	}
+	out := expose(t, reg)
+	// le semantics are cumulative and inclusive: 0.1 lands in le="0.1".
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	// Sum: 0.05+0.1+0.5+1.5+100 = 102.15
+	if !strings.Contains(out, "lat_seconds_sum 102.15") {
+		t.Errorf("exposition missing sum:\n%s", out)
+	}
+}
+
+func TestVecFamilies(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("req_total", "Requests.", "method", "status")
+	cv.WithLabelValues("GET", "200").Add(3)
+	cv.WithLabelValues("POST", "429").Inc()
+	gv := reg.GaugeVec("subs", "Subscribers.", "tier")
+	gv.WithLabelValues("gateway").Set(2)
+	hv := reg.HistogramVec("up_seconds", "Upstream.", []float64{1}, "backend")
+	hv.WithLabelValues("b1").Observe(0.5)
+	out := expose(t, reg)
+	for _, want := range []string{
+		`req_total{method="GET",status="200"} 3`,
+		`req_total{method="POST",status="429"} 1`,
+		`subs{tier="gateway"} 2`,
+		`up_seconds_bucket{backend="b1",le="1"} 1`,
+		`up_seconds_bucket{backend="b1",le="+Inf"} 1`,
+		`up_seconds_count{backend="b1"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionGolden pins the full text format: HELP/TYPE ordering,
+// family name sorting, label escaping, histogram suffixes.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_total", "Last by name.").Inc()
+	g := reg.Gauge("aa_gauge", `Help with \ and
+newline.`)
+	g.Set(1.5)
+	h := reg.Histogram("mid_seconds", "Latency.", []float64{0.5})
+	h.Observe(0.25)
+	cv := reg.CounterVec("mid_labeled_total", "Labeled.", "path")
+	cv.WithLabelValues(`va"l\ue`).Inc()
+
+	want := `# HELP aa_gauge Help with \\ and\nnewline.
+# TYPE aa_gauge gauge
+aa_gauge 1.5
+# HELP mid_labeled_total Labeled.
+# TYPE mid_labeled_total counter
+mid_labeled_total{path="va\"l\\ue"} 1
+# HELP mid_seconds Latency.
+# TYPE mid_seconds histogram
+mid_seconds_bucket{le="0.5"} 1
+mid_seconds_bucket{le="+Inf"} 1
+mid_seconds_sum 0.25
+mid_seconds_count 1
+# HELP zz_total Last by name.
+# TYPE zz_total counter
+zz_total 1
+`
+	if got := expose(t, reg); got != want {
+		t.Fatalf("exposition mismatch\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRegistryConcurrency hammers every instrument kind from parallel
+// goroutines while collecting; run under -race this is the data-race
+// proof, and the final counts prove no increment is lost.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	h := reg.Histogram("h_seconds", "", []float64{0.5, 1})
+	cv := reg.CounterVec("cv_total", "", "w")
+	g := reg.Gauge("g", "")
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i%3) * 0.4)
+				cv.WithLabelValues(lbl).Inc()
+				g.Add(1)
+				if i%128 == 0 {
+					var sb strings.Builder
+					if err := reg.WriteExposition(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if errs := LintExposition(strings.NewReader(expose(t, reg))); len(errs) > 0 {
+		t.Fatalf("lint errors after concurrent writes: %v", errs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a_total", "").Inc()
+	reg.Gauge("b", "").Set(1)
+	reg.GaugeFunc("c", "", func() float64 { return 1 })
+	reg.Histogram("d", "", nil).Observe(1)
+	reg.CounterVec("e_total", "", "l").WithLabelValues("x").Add(2)
+	reg.GaugeVec("f", "", "l").WithLabelValues("x").Add(2)
+	reg.HistogramVec("g", "", nil, "l").WithLabelValues("x").Observe(1)
+	if err := reg.WriteExposition(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil registry handler status = %d", rec.Code)
+	}
+	var m *HTTPMetrics
+	if m != nil {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestInfinityFormatting(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("inf_gauge", "")
+	g.Set(math.Inf(1))
+	if out := expose(t, reg); !strings.Contains(out, "inf_gauge +Inf\n") {
+		t.Fatalf("exposition = %q", out)
+	}
+}
+
+func TestLintExposition(t *testing.T) {
+	good := `# HELP a_total A.
+# TYPE a_total counter
+a_total 3
+# TYPE h histogram
+h_bucket{le="1"} 2
+h_bucket{le="+Inf"} 3
+h_sum 1.5
+h_count 3
+`
+	if errs := LintExposition(strings.NewReader(good)); len(errs) > 0 {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+	bad := `# TYPE b counter
+b 1
+# TYPE broken histogram
+broken_bucket{le="2"} 5
+broken_bucket{le="1"} 2
+orphan 1
+`
+	errs := LintExposition(strings.NewReader(bad))
+	if len(errs) == 0 {
+		t.Fatal("broken exposition passed lint")
+	}
+	joined := ""
+	for _, e := range errs {
+		joined += e.Error() + "\n"
+	}
+	for _, want := range []string{"does not end in _total", "no preceding # TYPE", "not increasing", "missing _sum"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lint errors missing %q, got:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/healthz":              "/healthz",
+		"/metrics":              "/metrics",
+		"/v1/partition":         "/v1/partition",
+		"/v1/partition/batch":   "/v1/partition/batch",
+		"/v1/jobs":              "/v1/jobs",
+		"/v1/jobs/job-000001":   "/v1/jobs/{id}",
+		"/v1/jobs/x/result":     "/v1/jobs/{id}/result",
+		"/v1/jobs/x/events":     "/v1/jobs/{id}/events",
+		"/v1/jobs/x/bogus":      "other",
+		"/etc/passwd":           "other",
+		"/v1/jobs/../../secret": "other",
+	}
+	for path, want := range cases {
+		if got := RouteLabel(path); got != want {
+			t.Errorf("RouteLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func expose(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries the request trace ID across tiers: generated at the
+// gateway (or by the first tier that sees the request without one),
+// propagated to backends on submit/poll/SSE/failover, stamped into JobInfo
+// and log lines.
+const TraceHeader = "X-Hyperpraw-Trace"
+
+// maxTraceLen bounds accepted trace IDs so a hostile client cannot bloat
+// job records or log lines.
+const maxTraceLen = 64
+
+type traceKey struct{}
+
+var traceSeq atomic.Uint64
+
+// NewTraceID returns a fresh 16-byte random trace ID in hex. If the system
+// entropy source fails it falls back to a time+sequence ID, so a trace is
+// always produced.
+func NewTraceID() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err == nil {
+		return hex.EncodeToString(buf[:])
+	}
+	var fb [16]byte
+	n := uint64(time.Now().UnixNano())
+	s := traceSeq.Add(1)
+	for i := 0; i < 8; i++ {
+		fb[i] = byte(n >> (8 * i))
+		fb[8+i] = byte(s >> (8 * i))
+	}
+	return hex.EncodeToString(fb[:])
+}
+
+// WithTrace returns a context carrying the trace ID; an empty id returns
+// ctx unchanged.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom returns the trace ID carried by ctx, or "".
+func TraceFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// CleanTrace validates an externally supplied trace ID: printable ASCII
+// minus '"' (which would need escaping in label values and SSE frames),
+// truncated to a sane length. Returns "" when nothing usable remains.
+func CleanTrace(id string) string {
+	if len(id) > maxTraceLen {
+		id = id[:maxTraceLen]
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c < 0x21 || c > 0x7e || c == '"' {
+			return ""
+		}
+	}
+	return id
+}
+
+// SetTraceHeader stamps the trace ID carried by ctx onto an outgoing
+// request; no-op when ctx has none.
+func SetTraceHeader(ctx context.Context, h http.Header) {
+	if id := TraceFrom(ctx); id != "" {
+		h.Set(TraceHeader, id)
+	}
+}

@@ -247,6 +247,17 @@ type JobInfo struct {
 	// request (evicted by the retention cap): the job stays queryable but
 	// can no longer fail over to another backend if its backend is lost.
 	Stripped bool `json:"stripped,omitempty"`
+	// Trace is the request's X-Hyperpraw-Trace ID: generated at the
+	// gateway (or by hpserve for direct submissions) and carried through
+	// every proxied call, so one request can be followed across tiers and
+	// log lines.
+	Trace string `json:"trace,omitempty"`
+	// QueueWaitMS is how long the job sat queued before a worker picked it
+	// up; ExecMS how long execution took. Both are stamped when the
+	// respective phase ends, so clients see per-job timing without
+	// scraping /metrics.
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	ExecMS      float64 `json:"exec_ms,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/partition/batch: many partition
@@ -331,6 +342,24 @@ type GatewayHealth struct {
 	Status   string          `json:"status"`
 	Backends []BackendStatus `json:"backends"`
 	Jobs     int             `json:"jobs"`
+	// Telemetry is the tier's self-description snapshot (uptime, build,
+	// job totals); nil when the gateway runs without a metrics registry.
+	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
+}
+
+// TelemetrySnapshot is the telemetry summary embedded in both tiers'
+// /healthz bodies: enough to see at a glance how long the process has been
+// up, what build it is, and how much work it has done, without scraping
+// /metrics.
+type TelemetrySnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	// JobsSubmitted/JobsCompleted/JobsFailed are process-lifetime totals
+	// (completed excludes failed). For a gateway these count submissions
+	// accepted and terminal outcomes observed at the gateway tier.
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
 }
 
 // JobResult is the wire representation of a finished job's payload,
@@ -352,6 +381,11 @@ type JobResult struct {
 	// served from cache; ResultCacheHit whether the whole partition was.
 	EnvCacheHit    bool `json:"env_cache_hit"`
 	ResultCacheHit bool `json:"result_cache_hit"`
+	// Kernel holds the streaming kernel's activity counters for the run
+	// that computed this result (nil for the non-restreaming baselines and
+	// for results computed before the counters existed). A cache-hitting
+	// job returns the computing run's counters.
+	Kernel *KernelStats `json:"kernel,omitempty"`
 }
 
 // CacheStats is a point-in-time snapshot of one service cache.
@@ -378,6 +412,9 @@ type ServeHealth struct {
 	// hpgate gateway keys its restart-recovery behavior off Durable.
 	Durable    bool `json:"durable,omitempty"`
 	StoredJobs int  `json:"stored_jobs,omitempty"`
+	// Telemetry is the tier's self-description snapshot (uptime, build,
+	// job totals); nil when the service runs without a metrics registry.
+	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
 }
 
 // Fingerprint returns a deterministic 128-bit hex digest of the hypergraph's
