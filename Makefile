@@ -3,7 +3,7 @@ GO ?= go
 # fails, not when only the JSON conversion does.
 SHELL := /bin/bash
 
-.PHONY: build test race vet bench bench-compare bins serve cluster e2e metrics-lint clean
+.PHONY: build test race vet bench bench-compare bins race-bins serve cluster e2e chaos metrics-lint clean
 
 build:
 	$(GO) build ./...
@@ -56,11 +56,23 @@ cluster: bins
 	./bin/hpgate -addr 127.0.0.1:8080 \
 		-backends http://127.0.0.1:8081,http://127.0.0.1:8082
 
-# e2e builds the serving binaries and drives a 2-backend cluster through
-# batch submission, SSE progress, routing and failover checks; non-zero
-# exit on any failed check (the CI end-to-end job).
+# e2e runs the full chaos-case catalog (examples/cluster -list shows it):
+# serving-path baselines plus every fault-injection case; non-zero exit on
+# any failed check (the CI end-to-end job).
 e2e: bins
 	$(GO) run ./examples/cluster -hpserve bin/hpserve -hpgate bin/hpgate
+
+race-bins:
+	$(GO) build -race -o bin/hpserve.race ./cmd/hpserve
+	$(GO) build -race -o bin/hpgate.race ./cmd/hpgate
+
+# chaos is the CI robustness gate: the smoke-tagged chaos cases (backend
+# SIGKILL mid-stream, torn-WAL restart recovery, breaker state walk,
+# cache stampede, saturation -> spill -> 429 waterfall, ...) against
+# race-instrumented binaries, so injected faults that expose data races
+# fail the run too. Every case also lints both tiers' /metrics.
+chaos: race-bins
+	$(GO) run ./examples/cluster -smoke -hpserve bin/hpserve.race -hpgate bin/hpgate.race
 
 # metrics-lint checks Prometheus text exposition: with no URLS it lints a
 # built-in registry exercising every instrument kind (a CI smoke of the

@@ -24,8 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +51,10 @@ var ErrStreamEnded = errors.New("client: event stream ended before the job finis
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the response's Retry-After header in seconds (0 when
+	// absent). Overloaded servers attach it to 429/503 rejections; the
+	// retry policy and the gateway's shed path honor it.
+	RetryAfter int
 }
 
 func (e *APIError) Error() string {
@@ -56,15 +62,26 @@ func (e *APIError) Error() string {
 }
 
 // RetryPolicy tunes the client's transparent retries. Retries apply to GET
-// requests failing with transport errors or 502/503/504, and to any method
-// whose connection could not be established at all (a dial error means the
-// request never reached a server, so resending cannot duplicate work).
+// requests failing with transport errors or 429/502/503/504, and to any
+// method whose connection could not be established at all (a dial error
+// means the request never reached a server, so resending cannot duplicate
+// work). Waits use full jitter — uniform in [0, min(MaxBackoff,
+// Backoff·2^attempt)] — so a fleet of rejected clients does not reconverge
+// on the server in lockstep; a Retry-After hint from the server overrides
+// the computed wait entirely.
 type RetryPolicy struct {
 	// Attempts is the total number of tries (default 1: no retry).
 	Attempts int
-	// Backoff is the wait before the second try; subsequent waits grow
-	// linearly (default 100ms).
+	// Backoff is the base of the exponential wait schedule (default
+	// 100ms).
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// RetryRejected opts submits into retrying 429 and 503 rejections. A
+	// rejection with either status is issued before a job is created, so
+	// resending cannot duplicate work — but only the hyperpraw tiers
+	// guarantee that, hence opt-in rather than default.
+	RetryRejected bool
 }
 
 // Client talks to one hpserve or hpgate instance.
@@ -289,10 +306,6 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	if attempts < 1 {
 		attempts = 1
 	}
-	backoff := c.Retry.Backoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
-	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		var rd io.Reader
@@ -311,7 +324,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		telemetry.SetTraceHeader(ctx, req.Header)
 		resp, err := c.hc.Do(req)
 		switch {
-		case err == nil && !(method == http.MethodGet && retryableStatus(resp.StatusCode)):
+		case err == nil && !c.retryableStatus(method, resp.StatusCode):
 			return resp, nil
 		case err == nil:
 			lastErr = apiError(resp)
@@ -327,9 +340,33 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(backoff * time.Duration(attempt)):
+		case <-time.After(c.retryWait(attempt, lastErr)):
 		}
 	}
+}
+
+// retryWait computes the wait before retry number attempt+1. A server
+// Retry-After hint wins outright — the server knows its queue better than
+// any client-side schedule; otherwise full jitter over a capped
+// exponential.
+func (c *Client) retryWait(attempt int, lastErr error) time.Duration {
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
+		return time.Duration(apiErr.RetryAfter) * time.Second
+	}
+	base := c.Retry.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxWait := c.Retry.MaxBackoff
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+	ceil := base << (attempt - 1)
+	if attempt > 30 || ceil <= 0 || ceil > maxWait { // shift overflow guard
+		ceil = maxWait
+	}
+	return time.Duration(rand.Int63n(int64(ceil) + 1))
 }
 
 // retryableTransport reports whether a transport-level error is safe to
@@ -343,14 +380,23 @@ func retryableTransport(method string, err error) bool {
 	return errors.As(err, &opErr) && opErr.Op == "dial"
 }
 
-// retryableStatus reports whether an HTTP status indicates a transient
-// server-side condition.
-func retryableStatus(status int) bool {
-	switch status {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-		return true
+// retryableStatus reports whether an HTTP status is worth retrying for the
+// method: transient server-side statuses on any GET, and — only with
+// RetryRejected set — the admission rejections (429, 503) on mutating
+// methods, which both tiers issue strictly before creating a job.
+func (c *Client) retryableStatus(method string, status int) bool {
+	if method == http.MethodGet {
+		switch status {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
 	}
-	return false
+	if !c.Retry.RetryRejected {
+		return false
+	}
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string, wantStatus int, out any) error {
@@ -377,5 +423,9 @@ func apiError(resp *http.Response) error {
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
 		msg = e.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if retryAfter < 0 {
+		retryAfter = 0
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: retryAfter}
 }

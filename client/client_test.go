@@ -56,6 +56,81 @@ func TestRetryDoesNotResendPOSTOn503(t *testing.T) {
 	}
 }
 
+func TestRetryRejectedResendsSubmitOn429(t *testing.T) {
+	var calls atomic.Int32
+	start := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job-000001","status":"queued"}`)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.Retry = client.RetryPolicy{Attempts: 3, Backoff: time.Millisecond, RetryRejected: true}
+	info, err := c.Submit(context.Background(), hyperpraw.PartitionRequest{Algorithm: "aware"})
+	if err != nil {
+		t.Fatalf("submit after a retryable 429: %v", err)
+	}
+	if info.ID != "job-000001" || calls.Load() != 2 {
+		t.Fatalf("info %+v after %d calls, want the retried job after 2", info, calls.Load())
+	}
+	// The server's Retry-After (1s) must override the 1ms backoff.
+	if waited := time.Since(start); waited < time.Second {
+		t.Fatalf("retried after %v, Retry-After demanded at least 1s", waited)
+	}
+}
+
+func TestRetryRejectedStaysOptIn(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.Retry = client.RetryPolicy{Attempts: 3, Backoff: time.Millisecond}
+	_, err := c.Submit(context.Background(), hyperpraw.PartitionRequest{Algorithm: "aware"})
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("err=%v calls=%d: a 429 submit must not be resent without RetryRejected", err, calls.Load())
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests || apiErr.RetryAfter != 1 {
+		t.Fatalf("APIError %+v, want 429 with RetryAfter 1", apiErr)
+	}
+}
+
+func TestRetryBackoffStaysUnderCap(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		// No Retry-After: the client falls back to jittered exponential
+		// backoff, which MaxBackoff must cap.
+		http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	c.Retry = client.RetryPolicy{Attempts: 6, Backoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Health(context.Background())
+	if err == nil || calls.Load() != 6 {
+		t.Fatalf("err=%v calls=%d, want exhaustion after 6", err, calls.Load())
+	}
+	// Full jitter draws each of the 5 waits from at most [0, 20ms]; even
+	// with scheduling slack the total must sit far below an uncapped
+	// exponential (1+2+4+8+16 ms is fine, 1s-scale is not).
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("6 capped attempts took %v", elapsed)
+	}
+}
+
 func TestAPIErrorCarriesStatusCode(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `{"error":"unknown job job-42"}`, http.StatusNotFound)

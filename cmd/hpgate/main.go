@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"hyperpraw/internal/faultpoint"
 	"hyperpraw/internal/gateway"
 	"hyperpraw/internal/telemetry"
 )
@@ -52,6 +53,9 @@ func main() {
 	failovers := flag.Int("failovers", 3, "max failover resubmissions per job")
 	maxJobs := flag.Int("max-jobs", 4096, "retained job entries")
 	recoveryWindow := flag.Duration("recovery-window", 45*time.Second, "how long to wait for a durable (-store) backend to restart before failing its jobs over (negative disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 1, "consecutive failures before a backend's circuit breaker opens")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker withholds health probes before the half-open trial")
+	spillWatermark := flag.Float64("spill-watermark", 0.8, "queue-occupancy fraction beyond which routing spills past a saturated backend (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
@@ -59,6 +63,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: hpgate -backends URL[,URL...] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	if spec, err := faultpoint.ArmFromEnv(); err != nil {
+		log.Fatalf("hpgate: %s: %v", faultpoint.EnvVar, err)
+	} else if spec != "" {
+		log.Printf("hpgate: FAULT INJECTION ARMED via %s: %s", faultpoint.EnvVar, spec)
 	}
 
 	var urls []string
@@ -77,13 +87,16 @@ func main() {
 		WithLabelValues(runtime.Version()).Set(1)
 
 	gw := gateway.New(gateway.Config{
-		Backends:       urls,
-		HealthInterval: *healthInterval,
-		HealthTimeout:  *healthTimeout,
-		FailoverLimit:  *failovers,
-		MaxJobs:        *maxJobs,
-		RecoveryWindow: *recoveryWindow,
-		Metrics:        reg,
+		Backends:         urls,
+		HealthInterval:   *healthInterval,
+		HealthTimeout:    *healthTimeout,
+		FailoverLimit:    *failovers,
+		MaxJobs:          *maxJobs,
+		RecoveryWindow:   *recoveryWindow,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		SpillWatermark:   *spillWatermark,
+		Metrics:          reg,
 	})
 	server := &http.Server{Addr: *addr, Handler: gateway.NewHandler(gw)}
 

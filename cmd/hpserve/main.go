@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"hyperpraw/internal/faultpoint"
 	"hyperpraw/internal/service"
 	"hyperpraw/internal/store"
 	"hyperpraw/internal/telemetry"
@@ -47,16 +48,28 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 256, "job queue depth")
+	maxQueue := flag.Int("max-queue", 0, "alias for -queue (admission bound; overrides it when set)")
+	maxInflightBytes := flag.Int64("max-inflight-bytes", 0, "total inline-upload bytes admitted across queued and running jobs; over it submissions get 429 + Retry-After (0 = unlimited)")
 	envCache := flag.Int("env-cache", 16, "profiled-environment LRU entries")
 	resultCache := flag.Int("result-cache", 128, "partition-result LRU entries")
 	storeDir := flag.String("store", "", "durable job store directory; jobs survive a restart (empty = in-memory only)")
-	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for the HTTP listener")
+	drainTimeout := flag.Duration("drain-timeout", 0, "separate deadline for draining in-flight jobs; still-queued jobs are journaled when it expires (0 = use -drain)")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: hpserve [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *maxQueue > 0 {
+		*queue = *maxQueue
+	}
+
+	if spec, err := faultpoint.ArmFromEnv(); err != nil {
+		log.Fatalf("hpserve: %s: %v", faultpoint.EnvVar, err)
+	} else if spec != "" {
+		log.Printf("hpserve: FAULT INJECTION ARMED via %s: %s", faultpoint.EnvVar, spec)
 	}
 
 	var st *store.Store
@@ -74,12 +87,13 @@ func main() {
 		WithLabelValues(runtime.Version()).Set(1)
 
 	svc := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		EnvCacheSize:    *envCache,
-		ResultCacheSize: *resultCache,
-		Store:           st,
-		Metrics:         reg,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxInflightBytes: *maxInflightBytes,
+		EnvCacheSize:     *envCache,
+		ResultCacheSize:  *resultCache,
+		Store:            st,
+		Metrics:          reg,
 	})
 	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
 
@@ -121,7 +135,17 @@ func main() {
 			log.Printf("hpserve: pprof shutdown: %v", err)
 		}
 	}
-	if err := svc.Shutdown(shutdownCtx); err != nil {
+	// The job drain gets its own deadline when -drain-timeout is set: an
+	// operator can give long-running kernels more (or less) time than the
+	// HTTP listener without coupling the two. On expiry the service
+	// journals still-unfinished jobs so a durable restart re-queues them.
+	drainCtx := shutdownCtx
+	if *drainTimeout > 0 {
+		var drainCancel context.CancelFunc
+		drainCtx, drainCancel = context.WithTimeout(context.Background(), *drainTimeout)
+		defer drainCancel()
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("hpserve: drain deadline exceeded; abandoning in-flight jobs")
 		} else {

@@ -1,0 +1,685 @@
+package main
+
+// The chaos-case catalog. Each case is self-contained: it boots its own
+// mini-cluster (harness.go), injects one failure mode — SIGKILL, torn WAL
+// frame, induced saturation, flapping health — and asserts the system's
+// contract on the other side, including the /metrics families that make
+// the behaviour observable in production. Cases tagged Smoke form the CI
+// `make chaos` gate; the full catalog is the `make e2e` suite.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+	"hyperpraw/internal/faultpoint"
+	"hyperpraw/internal/telemetry"
+)
+
+type chaosCase struct {
+	ID    string
+	Title string
+	Smoke bool
+	Run   func(*T)
+}
+
+var catalog = []chaosCase{
+	{"R001", "batch fan-out and deterministic fingerprint routing", true, caseBatchFanout},
+	{"R002", "SSE streams per-iteration progress ending in a done frame", true, caseSSEProgress},
+	{"R003", "trace IDs and metric counters follow the work across tiers", false, caseTraceObservability},
+	{"R004", "backend SIGKILL mid-stream: failover completes the job", true, caseKillFailoverMidStream},
+	{"R005", "durable backend restart recovers the job without recompute", false, caseDurableRestartRecovery},
+	{"R006", "invalid requests are rejected at the gateway, not routed", true, caseRejectInvalid},
+	{"R007", "torn WAL frame: crash mid-write, clean restart, no data aliasing", true, caseTornWALRestart},
+	{"R008", "flapping backend walks the breaker open -> half-open -> closed", true, caseFlappingBreaker},
+	{"R009", "hot-fingerprint stampede collapses into one computation", true, caseCacheStampede},
+	{"R010", "saturation waterfall: spill to secondary, then shed with 429", true, caseSaturationWaterfall},
+}
+
+// caseBatchFanout is the serving-path baseline: a batch of distinct
+// hypergraphs fans out across the backend set, every job completes, and
+// resubmitting a fingerprint lands on the same backend.
+func caseBatchFanout(t *T) {
+	cl := startCluster(t, clusterSpec{backends: []backendSpec{{}, {}}})
+	defer cl.Close()
+	c := cl.Client()
+
+	urls := []string{cl.Backends[0].url, cl.Backends[1].url}
+	reqs := wiresCovering(t, urls, 3)
+	batch, err := c.SubmitBatch(t.Ctx, reqs)
+	if err != nil {
+		t.Fatalf("batch submit: %v", err)
+	}
+	if batch.Accepted != len(reqs) {
+		t.Fatalf("batch accepted %d/%d jobs: %+v", batch.Accepted, len(reqs), batch.Jobs)
+	}
+	usedBackends := map[string]bool{}
+	routed := map[int]string{}
+	for i, item := range batch.Jobs {
+		res, err := c.Wait(t.Ctx, item.Job.ID)
+		if err != nil {
+			t.Fatalf("batch job %d (%s): %v", i, item.Job.ID, err)
+		}
+		if len(res.Parts) != 8 {
+			t.Fatalf("batch job %d: %d parts, want 8", i, len(res.Parts))
+		}
+		usedBackends[item.Job.Backend] = true
+		routed[i] = item.Job.Backend
+	}
+	if len(usedBackends) < 2 {
+		t.Fatalf("batch of %d distinct hypergraphs used only %v", len(reqs), usedBackends)
+	}
+	for i := 0; i < 3; i++ {
+		info, err := c.Submit(t.Ctx, reqs[i])
+		if err != nil {
+			t.Fatalf("resubmit %d: %v", i, err)
+		}
+		if info.Backend != routed[i] {
+			t.Fatalf("resubmit %d routed to %s, batch went to %s", i, info.Backend, routed[i])
+		}
+	}
+	t.Logf("batch of %d jobs completed across %d backends; routing deterministic", len(reqs), len(usedBackends))
+}
+
+// caseSSEProgress asserts the live progress surface: iteration frames
+// followed by a final done frame.
+func caseSSEProgress(t *T) {
+	cl := startCluster(t, clusterSpec{backends: []backendSpec{{}}})
+	defer cl.Close()
+	c := cl.Client()
+
+	info, err := c.Submit(t.Ctx, wire(7))
+	if err != nil {
+		t.Fatalf("sse submit: %v", err)
+	}
+	var events []hyperpraw.ProgressEvent
+	err = c.StreamProgress(t.Ctx, info.ID, 0, func(ev hyperpraw.ProgressEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("sse stream: %v", err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("sse delivered %d events, want iterations plus a final", len(events))
+	}
+	final := events[len(events)-1]
+	if !final.Final || final.Status != hyperpraw.JobDone {
+		t.Fatalf("sse final frame %+v, want done", final)
+	}
+	if events[0].Iteration < 1 {
+		t.Fatalf("sse first frame has no iteration: %+v", events[0])
+	}
+	t.Logf("streamed %d iteration frames + done", len(events)-1)
+}
+
+// caseTraceObservability drives traced work through both tiers and then
+// audits the expositions: lint-clean, counters consistent with the work,
+// result-cache hit on a repeated fingerprint, trace ID visible in the
+// backend's job table.
+func caseTraceObservability(t *T) {
+	cl := startCluster(t, clusterSpec{backends: []backendSpec{{}}})
+	defer cl.Close()
+	c := cl.Client()
+	backend := cl.Backends[0].url
+
+	const chaosTrace = "cluster-chaos-trace"
+	traceCtx := telemetry.WithTrace(t.Ctx, chaosTrace)
+	info, err := c.Submit(traceCtx, wire(20))
+	if err != nil {
+		t.Fatalf("traced submit: %v", err)
+	}
+	if info.Trace != chaosTrace {
+		t.Fatalf("gateway JobInfo.Trace = %q, want %q", info.Trace, chaosTrace)
+	}
+	if _, err := c.Wait(t.Ctx, info.ID); err != nil {
+		t.Fatalf("traced job: %v", err)
+	}
+	// Same fingerprint again: the backend must serve it from the result
+	// cache, which the cache-hit counter below proves.
+	rerun, err := c.Submit(traceCtx, wire(20))
+	if err != nil {
+		t.Fatalf("traced resubmit: %v", err)
+	}
+	if _, err := c.Wait(t.Ctx, rerun.ID); err != nil {
+		t.Fatalf("traced rerun: %v", err)
+	}
+	bjobs, err := client.New(backend, nil).Jobs(t.Ctx)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	traced := false
+	for _, bj := range bjobs {
+		traced = traced || bj.Trace == chaosTrace
+	}
+	if !traced {
+		t.Fatalf("trace %q not visible in the backend's job table", chaosTrace)
+	}
+
+	gwBody := scrapeMetrics(t, cl.GatewayURL)
+	for series, min := range map[string]float64{
+		`hpgate_jobs_submitted_total`: 2,
+		`hpgate_http_requests_total{method="POST",route="/v1/partition",status="202"}`: 2,
+	} {
+		if got := metricValue(t, gwBody, series); got < min {
+			t.Fatalf("gateway %s = %g, want >= %g", series, got, min)
+		}
+	}
+
+	// Every job submitted to the backend has been waited to a terminal
+	// state, so submitted must equal done+failed — poll briefly: the worker
+	// publishes the terminal status a beat before it bumps the counter.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body := scrapeMetrics(t, backend)
+		submitted := metricValue(t, body, `hyperpraw_jobs_submitted_total`)
+		terminal := metricValue(t, body, `hyperpraw_jobs_completed_total{status="done"}`) +
+			metricValue(t, body, `hyperpraw_jobs_completed_total{status="failed"}`)
+		if submitted > 0 && submitted == terminal {
+			if hits := metricValue(t, body, `hyperpraw_cache_hits_total{cache="result"}`); hits < 1 {
+				t.Fatalf("backend result-cache hits = %g after a repeat fingerprint, want >= 1", hits)
+			}
+			if passes := metricValue(t, body, `hyperpraw_kernel_events_total{event="passes"}`); passes <= 0 {
+				t.Fatalf("backend kernel passes counter = %g, want > 0", passes)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backend jobs never all terminal: submitted=%g terminal=%g", submitted, terminal)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Logf("expositions lint clean, counters match the run, trace %q visible on both tiers", chaosTrace)
+}
+
+// caseKillFailoverMidStream SIGKILLs the backend serving a job while a
+// client is mid-SSE-stream on it. The slow-execution faultpoint holds the
+// job in the worker long enough that the kill provably lands mid-run; the
+// gateway must fail the job over and the stream must still end in a done
+// frame, with the outage visible in the ejection and failover counters.
+func caseKillFailoverMidStream(t *T) {
+	slow := []string{faultpoint.EnvVar + "=" + faultpoint.ServiceExecSlow + "=sleep(800ms)"}
+	cl := startCluster(t, clusterSpec{backends: []backendSpec{{env: slow}, {env: slow}}})
+	defer cl.Close()
+	c := cl.Client()
+
+	info, err := c.Submit(t.Ctx, wire(13))
+	if err != nil {
+		t.Fatalf("failover submit: %v", err)
+	}
+	victim := info.Backend
+
+	// Kill the serving backend 300ms in — inside the injected 800ms
+	// execution delay, so the job is running, not done.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(300 * time.Millisecond)
+		cl.Kill(victim)
+	}()
+	var events []hyperpraw.ProgressEvent
+	err = c.StreamProgress(t.Ctx, info.ID, 0, func(ev hyperpraw.ProgressEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	<-killed
+	if err != nil {
+		t.Fatalf("sse stream across the kill: %v", err)
+	}
+	if len(events) == 0 || !events[len(events)-1].Final || events[len(events)-1].Status != hyperpraw.JobDone {
+		t.Fatalf("stream across the kill delivered %d events without a final done frame", len(events))
+	}
+
+	res, err := c.Wait(t.Ctx, info.ID)
+	if err != nil {
+		t.Fatalf("job did not survive backend death: %v", err)
+	}
+	if len(res.Parts) != 8 {
+		t.Fatalf("failover result has %d parts, want 8", len(res.Parts))
+	}
+	after, err := c.Job(t.Ctx, info.ID)
+	if err != nil {
+		t.Fatalf("failover job status: %v", err)
+	}
+	if after.Backend == victim {
+		t.Fatalf("completed job still attributed to the dead backend %s", victim)
+	}
+
+	// The health loop must eject the dead backend shortly.
+	backendStatus(t, c, victim, "unhealthy", func(b hyperpraw.BackendStatus) bool {
+		return !b.Healthy
+	})
+	gwBody := scrapeMetrics(t, cl.GatewayURL)
+	for series, min := range map[string]float64{
+		`hpgate_failovers_total`:                                   1,
+		`hpgate_backend_ejections_total{backend="` + victim + `"}`: 1,
+	} {
+		if got := metricValue(t, gwBody, series); got < min {
+			t.Fatalf("gateway %s = %g, want >= %g", series, got, min)
+		}
+	}
+	t.Logf("job %s completed on %s after its backend died mid-stream", info.ID, after.Backend)
+}
+
+// caseDurableRestartRecovery kills a backend that journals jobs to a
+// -store directory. The gateway must wait out the outage (no failover
+// recomputation) and the restarted backend must serve the original stored
+// result byte-for-byte. R004 is the storeless contrast: there a kill
+// forces a failover recomputation.
+func caseDurableRestartRecovery(t *T) {
+	storeDir, err := os.MkdirTemp("", "hpserve-store-")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	defer os.RemoveAll(storeDir)
+
+	cl := startCluster(t, clusterSpec{
+		backends: []backendSpec{
+			{args: []string{"-store", storeDir}},
+			{},
+		},
+		gatewayArgs: []string{"-recovery-window", "60s"},
+	})
+	defer cl.Close()
+	c := cl.Client()
+	durURL := cl.Backends[0].url
+	urls := []string{durURL, cl.Backends[1].url}
+
+	// The gateway keys restart recovery off the backend's advertised
+	// durability; wait until a health probe has taught it.
+	backendStatus(t, c, durURL, "durable", func(b hyperpraw.BackendStatus) bool {
+		return b.Durable
+	})
+
+	durWire := primaryWires(t, urls, durURL, 1)[0]
+	info, err := c.Submit(t.Ctx, durWire)
+	if err != nil {
+		t.Fatalf("durable submit: %v", err)
+	}
+	if info.Backend != durURL {
+		t.Fatalf("durable job routed to %s, want %s", info.Backend, durURL)
+	}
+	orig, err := c.Wait(t.Ctx, info.ID)
+	if err != nil {
+		t.Fatalf("durable job: %v", err)
+	}
+
+	cl.Kill(durURL)
+
+	// While it is down the job must stay pending on it — no failover.
+	time.Sleep(500 * time.Millisecond) // let the health loop observe the outage
+	if _, err := c.Result(t.Ctx, info.ID); !errors.Is(err, client.ErrNotDone) {
+		t.Fatalf("poll during the outage returned %v, want pending (no failover)", err)
+	}
+	mid, err := c.Job(t.Ctx, info.ID)
+	if err != nil {
+		t.Fatalf("status during the outage: %v", err)
+	}
+	if mid.Backend != durURL {
+		t.Fatalf("job failed over to %s during the outage", mid.Backend)
+	}
+
+	cl.Restart(durURL, nil)
+	recovered, err := c.Wait(t.Ctx, info.ID)
+	if err != nil {
+		t.Fatalf("job not recovered after the restart: %v", err)
+	}
+	// The stored result, not a recomputation: the original run's wall time
+	// and partition come back byte-for-byte.
+	if recovered.ElapsedMS != orig.ElapsedMS {
+		t.Fatalf("recovered ElapsedMS %g != original %g: the job was recomputed, not recovered",
+			recovered.ElapsedMS, orig.ElapsedMS)
+	}
+	for i := range orig.Parts {
+		if recovered.Parts[i] != orig.Parts[i] {
+			t.Fatalf("recovered partition differs from the original")
+		}
+	}
+	after, err := c.Job(t.Ctx, info.ID)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if after.Backend != durURL || after.Status != hyperpraw.JobDone {
+		t.Fatalf("after the restart: %+v, want done on %s", after, durURL)
+	}
+	// The restarted backend itself still lists the job, persisted.
+	bjobs, err := client.New(durURL, nil).Jobs(t.Ctx)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	recoveredOnBackend := false
+	for _, bj := range bjobs {
+		recoveredOnBackend = recoveredOnBackend || (bj.Status == hyperpraw.JobDone && bj.Persisted)
+	}
+	if !recoveredOnBackend {
+		t.Fatalf("restarted backend lists no persisted done job")
+	}
+	t.Logf("job %s recovered from the store after a backend restart, no failover resubmission", info.ID)
+}
+
+// caseRejectInvalid: malformed work is refused at the edge with a 400,
+// never routed to a backend.
+func caseRejectInvalid(t *T) {
+	cl := startCluster(t, clusterSpec{backends: []backendSpec{{}}})
+	defer cl.Close()
+	c := cl.Client()
+
+	bad := wire(0)
+	bad.Algorithm = "quantum"
+	_, err := c.Submit(t.Ctx, bad)
+	if err == nil {
+		t.Fatalf("gateway accepted an unknown algorithm")
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad request rejected with %v, want 400", err)
+	}
+	t.Logf("unknown algorithm rejected with 400 at the gateway")
+}
+
+// caseTornWALRestart crashes a durable backend whose very first WAL append
+// was torn mid-write (the frame is truncated on disk but reported as
+// written — a power-cut torn page). The restart must recover cleanly: the
+// torn tail is dropped, the process does not panic, and the journal keeps
+// working for subsequent jobs across another crash/restart cycle.
+func caseTornWALRestart(t *T) {
+	storeDir, err := os.MkdirTemp("", "hpserve-torn-")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	defer os.RemoveAll(storeDir)
+
+	torn := []string{faultpoint.EnvVar + "=" + faultpoint.StoreWALTornFrame + "=torn*1"}
+	cl := startCluster(t, clusterSpec{
+		backends:  []backendSpec{{args: []string{"-store", storeDir}, env: torn}},
+		noGateway: true,
+	})
+	defer cl.Close()
+	url := cl.Backends[0].url
+	c := client.New(url, nil)
+
+	// Job A's submit record is the first WAL append — the torn one. The
+	// job still runs fine in this life of the process (the store applies
+	// records in memory before journaling them).
+	infoA, err := c.Submit(t.Ctx, wire(1))
+	if err != nil {
+		t.Fatalf("submit with a torn WAL frame pending: %v", err)
+	}
+	if _, err := c.Wait(t.Ctx, infoA.ID); err != nil {
+		t.Fatalf("job on the torn-WAL backend: %v", err)
+	}
+
+	// Crash. Replay must stop at the torn frame: job A's whole history sits
+	// at or after it, so A is gone — but the process must come up healthy.
+	cl.Kill(url)
+	cl.Restart(url, []string{}) // disarm the faultpoint for the second life
+	h, err := c.Health(t.Ctx)
+	if err != nil {
+		t.Fatalf("restarted backend: %v", err)
+	}
+	if !h.Durable {
+		t.Fatalf("restarted backend no longer advertises durability: %+v", h)
+	}
+	jobs, err := c.Jobs(t.Ctx)
+	if err != nil {
+		t.Fatalf("listing jobs after torn-WAL recovery: %v", err)
+	}
+	for _, j := range jobs {
+		if j.ID == infoA.ID {
+			t.Fatalf("job %s survived a torn submit record: %+v", infoA.ID, j)
+		}
+	}
+
+	// The journal must still be append-able and durable: a new job written
+	// after the truncated tail survives another hard kill.
+	infoB, err := c.Submit(t.Ctx, wire(2))
+	if err != nil {
+		t.Fatalf("submit after torn-WAL recovery: %v", err)
+	}
+	resB, err := c.Wait(t.Ctx, infoB.ID)
+	if err != nil {
+		t.Fatalf("job after torn-WAL recovery: %v", err)
+	}
+	cl.Kill(url)
+	cl.Restart(url, nil)
+	resB2, err := c.Result(t.Ctx, infoB.ID)
+	if err != nil {
+		t.Fatalf("job %s lost across the second restart: %v", infoB.ID, err)
+	}
+	if resB2.ElapsedMS != resB.ElapsedMS {
+		t.Fatalf("job %s was recomputed (ElapsedMS %g != %g), want the stored result", infoB.ID, resB2.ElapsedMS, resB.ElapsedMS)
+	}
+	t.Logf("torn WAL frame dropped on replay; journal kept working across a second crash")
+}
+
+// caseFlappingBreaker kills and restarts a backend under a gateway with a
+// real cooldown, and asserts the breaker walks the full state machine —
+// open on the outage, half-open trial after the cooldown, closed on
+// recovery — with every transition observable in the metric families.
+func caseFlappingBreaker(t *T) {
+	cl := startCluster(t, clusterSpec{
+		backends:    []backendSpec{{}, {}},
+		gatewayArgs: []string{"-breaker-threshold", "1", "-breaker-cooldown", "700ms"},
+	})
+	defer cl.Close()
+	c := cl.Client()
+	flappy := cl.Backends[1].url
+
+	cl.Kill(flappy)
+	backendStatus(t, c, flappy, "breaker open", func(b hyperpraw.BackendStatus) bool {
+		return !b.Healthy && b.Breaker == "open"
+	})
+
+	// Work keeps flowing while one backend is ejected.
+	info, err := c.Submit(t.Ctx, primaryWires(t, []string{cl.Backends[0].url, flappy}, flappy, 1)[0])
+	if err != nil {
+		t.Fatalf("submit during the outage: %v", err)
+	}
+	if info.Backend == flappy {
+		t.Fatalf("job routed to the ejected backend %s", flappy)
+	}
+	if _, err := c.Wait(t.Ctx, info.ID); err != nil {
+		t.Fatalf("job during the outage: %v", err)
+	}
+
+	// Flap it back up: the cooldown expires, the half-open trial probe
+	// succeeds, and the breaker closes.
+	cl.Restart(flappy, nil)
+	backendStatus(t, c, flappy, "breaker closed", func(b hyperpraw.BackendStatus) bool {
+		return b.Healthy && b.Breaker == "closed"
+	})
+
+	gwBody := scrapeMetrics(t, cl.GatewayURL)
+	for series, min := range map[string]float64{
+		`hpgate_breaker_transitions_total{backend="` + flappy + `",to="open"}`:      1,
+		`hpgate_breaker_transitions_total{backend="` + flappy + `",to="half-open"}`: 1,
+		`hpgate_breaker_transitions_total{backend="` + flappy + `",to="closed"}`:    1,
+		`hpgate_backend_ejections_total{backend="` + flappy + `"}`:                  1,
+		`hpgate_backend_readmissions_total{backend="` + flappy + `"}`:               1,
+	} {
+		if got := metricValue(t, gwBody, series); got < min {
+			t.Fatalf("gateway %s = %g, want >= %g", series, got, min)
+		}
+	}
+	if state := metricValue(t, gwBody, `hpgate_breaker_state{backend="`+flappy+`"}`); state != 0 {
+		t.Fatalf("hpgate_breaker_state = %g after recovery, want 0 (closed)", state)
+	}
+	t.Logf("breaker walked open -> half-open -> closed; transitions observable in /metrics")
+}
+
+// caseCacheStampede fires many concurrent submissions of the same
+// hypergraph fingerprint through the gateway. Rendezvous routing must put
+// them all on one backend, and that backend's single-flight result cache
+// must collapse the stampede instead of computing the partition N times.
+func caseCacheStampede(t *T) {
+	cl := startCluster(t, clusterSpec{backends: []backendSpec{{}, {}}})
+	defer cl.Close()
+	c := cl.Client()
+	const stampede = 8
+
+	hot := wire(11)
+	var wg sync.WaitGroup
+	infos := make([]hyperpraw.JobInfo, stampede)
+	errs := make([]error, stampede)
+	for i := 0; i < stampede; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			infos[i], errs[i] = c.Submit(t.Ctx, hot)
+		}(i)
+	}
+	wg.Wait()
+
+	backendsHit := map[string]bool{}
+	var first *hyperpraw.JobResult
+	for i := 0; i < stampede; i++ {
+		if errs[i] != nil {
+			t.Fatalf("stampede submit %d: %v", i, errs[i])
+		}
+		backendsHit[infos[i].Backend] = true
+		res, err := c.Wait(t.Ctx, infos[i].ID)
+		if err != nil {
+			t.Fatalf("stampede job %d: %v", i, err)
+		}
+		if first == nil {
+			first = res
+		} else {
+			assertSamePartition(t, first, res)
+		}
+	}
+	if len(backendsHit) != 1 {
+		t.Fatalf("one fingerprint hit %d backends %v, rendezvous must pick one", len(backendsHit), backendsHit)
+	}
+	var hotURL string
+	for u := range backendsHit {
+		hotURL = u
+	}
+
+	// The backend either served from the result cache or coalesced the
+	// concurrent computes; both show up as cache hits. With 8 identical
+	// submissions at most a handful of real computes are tolerable.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body := scrapeMetrics(t, hotURL)
+		hits := metricValue(t, body, `hyperpraw_cache_hits_total{cache="result"}`)
+		if hits >= stampede/2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("result-cache hits = %g after a %d-way stampede, want >= %d", hits, stampede, stampede/2)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Logf("%d-way stampede landed on one backend and collapsed into cached results", stampede)
+}
+
+// assertSamePartition fails the case when two results differ.
+func assertSamePartition(t *T, a, b *hyperpraw.JobResult) {
+	same := len(a.Parts) == len(b.Parts)
+	if same {
+		for i := range a.Parts {
+			if a.Parts[i] != b.Parts[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		t.Fatalf("stampede results diverge for one fingerprint")
+	}
+}
+
+// caseSaturationWaterfall drives the full degradation ladder. Two tiny
+// backends (one worker each, short queues) execute every job through a
+// long injected delay, so accepted work pins them at capacity. Routing
+// must first spill past the saturated primary to the secondary, and once
+// every backend is rejecting with 429, the gateway must shed — a 429 of
+// its own carrying the backends' Retry-After hint — rather than queue
+// unbounded or eject healthy-but-busy backends.
+func caseSaturationWaterfall(t *T) {
+	slow := []string{faultpoint.EnvVar + "=" + faultpoint.ServiceExecSlow + "=sleep(30s)"}
+	cl := startCluster(t, clusterSpec{
+		backends: []backendSpec{
+			{args: []string{"-workers", "1", "-max-queue", "1"}, env: slow},
+			{args: []string{"-workers", "1", "-max-queue", "4"}, env: slow},
+		},
+	})
+	defer cl.Close()
+	c := cl.Client()
+	small := cl.Backends[0].url
+	urls := []string{small, cl.Backends[1].url}
+
+	// Submit work whose rendezvous primary is the smaller backend until
+	// the whole fleet is full: capacity is 2 jobs (1 running + 1 queued)
+	// on the small backend plus 5 on the big one, so 10 submissions must
+	// end in rejections.
+	var accepted int
+	var firstShed *client.APIError
+	for _, w := range primaryWires(t, urls, small, 10) {
+		_, err := c.Submit(t.Ctx, w)
+		switch {
+		case err == nil:
+			accepted++
+		default:
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("saturated fleet rejected with %v, want 429", err)
+			}
+			if firstShed == nil {
+				firstShed = apiErr
+			}
+		}
+	}
+	if accepted < 5 || firstShed == nil {
+		t.Fatalf("accepted %d submissions with shed=%v, want the fleet filled (>=5) and then shedding", accepted, firstShed)
+	}
+	// The shed must carry an actionable Retry-After derived from the
+	// backends' own queue-wait estimates.
+	if firstShed.RetryAfter < 1 {
+		t.Fatalf("shed 429 carries Retry-After %d, want >= 1", firstShed.RetryAfter)
+	}
+
+	gwBody := scrapeMetrics(t, cl.GatewayURL)
+	for series, min := range map[string]float64{
+		`hpgate_spills_total`: 1, // primary saturated, secondary took the job
+		`hpgate_shed_total`:   1, // whole fleet saturated, client told to back off
+	} {
+		if got := metricValue(t, gwBody, series); got < min {
+			t.Fatalf("gateway %s = %g, want >= %g", series, got, min)
+		}
+	}
+	// Saturation is not an outage: both backends stay healthy with closed
+	// breakers, just flagged saturated.
+	gh, err := c.GatewayHealth(t.Ctx)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	for _, b := range gh.Backends {
+		if !b.Healthy || b.Breaker != "closed" {
+			t.Fatalf("busy backend treated as an outage: %+v", b)
+		}
+		if !b.Saturated {
+			t.Fatalf("full backend not flagged saturated: %+v", b)
+		}
+	}
+	t.Logf("waterfall held: %d accepted, spill observed, shed 429 with Retry-After %ds, no false ejections",
+		accepted, firstShed.RetryAfter)
+}
+
+// stringsJoinIDs renders the catalog for -list.
+func catalogListing() string {
+	out := ""
+	for _, cc := range catalog {
+		tag := "     "
+		if cc.Smoke {
+			tag = "smoke"
+		}
+		out += fmt.Sprintf("  %s  [%s]  %s\n", cc.ID, tag, cc.Title)
+	}
+	return out
+}

@@ -1,563 +1,98 @@
-// Command cluster is the end-to-end exercise of the sharded serving tier:
-// it boots two hpserve backends and an hpgate gateway as subprocesses,
-// then drives the whole surface through the client package — batch
-// submission fanned out across the backends, deterministic fingerprint
-// routing, SSE per-iteration progress, failover (one backend is killed
-// and its job must still complete), durable restart recovery, and
-// observability (both tiers' /metrics expositions lint clean and carry
-// the values the earlier phases imply; a caller trace ID is followable
-// gateway → backend → JobInfo). Any failed check exits non-zero, which
-// is what the CI e2e job keys off.
+// Command cluster is the chaos and end-to-end suite for the sharded
+// serving tier. It runs a catalog of cases (cases.go), each of which
+// boots its own mini-cluster of real hpserve/hpgate subprocesses, injects
+// one failure mode — SIGKILL mid-stream, a torn WAL frame, induced
+// saturation, a flapping backend — and asserts the recovery contract plus
+// the /metrics families that make it observable. Any failed check exits
+// non-zero, which is what the CI jobs key off.
 //
 // Usage (binaries are built by `make bins`):
 //
-//	go run ./examples/cluster -hpserve bin/hpserve -hpgate bin/hpgate
+//	go run ./examples/cluster -list
+//	go run ./examples/cluster                 # the full catalog (make e2e)
+//	go run ./examples/cluster -smoke          # CI chaos gate (make chaos)
+//	go run ./examples/cluster -run R004,R010  # specific cases
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"os"
-	"os/exec"
-	"strconv"
 	"strings"
 	"time"
-
-	"hyperpraw"
-	"hyperpraw/client"
-	"hyperpraw/internal/gateway"
-	"hyperpraw/internal/service"
-	"hyperpraw/internal/telemetry"
 )
 
 var (
 	hpserveBin = flag.String("hpserve", "bin/hpserve", "path to the hpserve binary")
 	hpgateBin  = flag.String("hpgate", "bin/hpgate", "path to the hpgate binary")
-	basePort   = flag.Int("base-port", 18080, "gateway port; backends use the two ports above it")
-	timeout    = flag.Duration("timeout", 3*time.Minute, "overall deadline")
+	basePort   = flag.Int("base-port", 18080, "first listen port; each case's mini-cluster takes the next few")
+	timeout    = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	listOnly   = flag.Bool("list", false, "print the case catalog and exit")
+	runIDs     = flag.String("run", "", "comma-separated case IDs to run (default: all)")
+	smokeOnly  = flag.Bool("smoke", false, "run only the smoke-tagged cases")
 )
-
-// tinyHMetis returns a small hypergraph in hMetis text whose pin structure
-// varies with i, giving the test distinct deterministic fingerprints.
-func tinyHMetis(i int) string {
-	return fmt.Sprintf("3 8\n1 2 %d\n3 4 %d\n5 6 7 8\n", 3+i%6, []int{5, 6, 7, 8, 1, 2}[i/6%6])
-}
-
-func wire(i int) hyperpraw.PartitionRequest {
-	return hyperpraw.PartitionRequest{
-		Algorithm: "aware",
-		Machine:   hyperpraw.MachineSpec{Kind: "archer", Cores: 4},
-		HMetis:    tinyHMetis(i),
-	}
-}
-
-// wiresCovering picks perBackend wires routed to each backend by scanning
-// the wire variants against the gateway's rendezvous order, so the batch
-// phase provably spreads across the whole backend set no matter which
-// ports the cluster runs on.
-func wiresCovering(urls []string, perBackend int) ([]hyperpraw.PartitionRequest, error) {
-	need := make(map[string]int, len(urls))
-	for _, u := range urls {
-		need[u] = perBackend
-	}
-	var out []hyperpraw.PartitionRequest
-	for i := 0; i < 36 && len(out) < perBackend*len(urls); i++ {
-		w := wire(i)
-		req, err := service.ParseRequest(w)
-		if err != nil {
-			return nil, err
-		}
-		top := gateway.RendezvousOrder(urls, req.FingerprintKey())[0]
-		if need[top] > 0 {
-			need[top]--
-			out = append(out, w)
-		}
-	}
-	if len(out) != perBackend*len(urls) {
-		return nil, fmt.Errorf("only %d of %d wires cover %v", len(out), perBackend*len(urls), urls)
-	}
-	return out, nil
-}
-
-func start(name string, args ...string) (*exec.Cmd, error) {
-	cmd := exec.Command(name, args...)
-	cmd.Stdout = os.Stderr
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("starting %s: %w", name, err)
-	}
-	return cmd, nil
-}
-
-// scrapeMetrics fetches base's /metrics, fails the run if the exposition
-// does not lint, and returns the body.
-func scrapeMetrics(ctx context.Context, base string) string {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatalf("scraping %s/metrics: %v", base, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("%s/metrics: status %d", base, resp.StatusCode)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatalf("reading %s/metrics: %v", base, err)
-	}
-	if errs := telemetry.LintExposition(strings.NewReader(string(body))); len(errs) != 0 {
-		log.Fatalf("%s/metrics fails lint: %v", base, errs)
-	}
-	return string(body)
-}
-
-// metricValue returns the sample value for the exact exposed series, or 0
-// when the series is absent (unincremented labeled counters never appear).
-func metricValue(body, series string) float64 {
-	for _, line := range strings.Split(body, "\n") {
-		if rest, ok := strings.CutPrefix(line, series+" "); ok {
-			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
-			if err != nil {
-				log.Fatalf("series %s: bad value %q", series, rest)
-			}
-			return v
-		}
-	}
-	return 0
-}
-
-func waitHealthy(ctx context.Context, url string) error {
-	c := client.New(url, nil)
-	for {
-		if _, err := c.Health(ctx); err == nil {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("%s never became healthy: %w", url, ctx.Err())
-		case <-time.After(100 * time.Millisecond):
-		}
-	}
-}
 
 func main() {
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("cluster: ")
+
+	if *listOnly {
+		fmt.Print(catalogListing())
+		return
+	}
+
+	selected := catalog
+	if *runIDs != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*runIDs, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		selected = nil
+		for _, cc := range catalog {
+			if want[cc.ID] {
+				selected = append(selected, cc)
+				delete(want, cc.ID)
+			}
+		}
+		if len(want) != 0 {
+			log.Fatalf("unknown case IDs %v; -list shows the catalog", keys(want))
+		}
+	}
+	if *smokeOnly {
+		var smoke []chaosCase
+		for _, cc := range selected {
+			if cc.Smoke {
+				smoke = append(smoke, cc)
+			}
+		}
+		selected = smoke
+	}
+	if len(selected) == 0 {
+		log.Fatal("no cases selected")
+	}
+
+	portCounter = *basePort - 1 // allocPort pre-increments
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	gwURL := fmt.Sprintf("http://127.0.0.1:%d", *basePort)
-	backendURLs := []string{
-		fmt.Sprintf("http://127.0.0.1:%d", *basePort+1),
-		fmt.Sprintf("http://127.0.0.1:%d", *basePort+2),
+	for _, cc := range selected {
+		t := &T{Ctx: ctx, ID: cc.ID}
+		t.Logf("=== %s", cc.Title)
+		start := time.Now()
+		cc.Run(t) // a failed check log.Fatal's, so reaching here means pass
+		t.Logf("--- ok (%s)", time.Since(start).Round(time.Millisecond))
 	}
+	log.Printf("all %d cases passed", len(selected))
+	os.Exit(0)
+}
 
-	var procs []*exec.Cmd
-	defer func() {
-		for _, p := range procs {
-			if p.Process != nil {
-				p.Process.Kill() //nolint:errcheck
-				p.Wait()         //nolint:errcheck
-			}
-		}
-	}()
-	backendProc := map[string]*exec.Cmd{}
-	for _, u := range backendURLs {
-		p, err := start(*hpserveBin, "-addr", u[len("http://"):], "-workers", "2")
-		if err != nil {
-			log.Fatal(err)
-		}
-		procs = append(procs, p)
-		backendProc[u] = p
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
 	}
-	gw, err := start(*hpgateBin,
-		"-addr", fmt.Sprintf("127.0.0.1:%d", *basePort),
-		"-backends", backendURLs[0]+","+backendURLs[1],
-		"-health-interval", "300ms")
-	if err != nil {
-		log.Fatal(err)
-	}
-	procs = append(procs, gw)
-
-	for _, u := range append([]string{gwURL}, backendURLs...) {
-		if err := waitHealthy(ctx, u); err != nil {
-			log.Fatal(err)
-		}
-	}
-	log.Printf("gateway %s fronting %v", gwURL, backendURLs)
-
-	c := client.New(gwURL, nil)
-	c.Retry = client.RetryPolicy{Attempts: 3, Backoff: 200 * time.Millisecond}
-
-	// Phase 1: batch submission fans out and every job completes.
-	reqs, err := wiresCovering(backendURLs, 3)
-	if err != nil {
-		log.Fatalf("selecting batch wires: %v", err)
-	}
-	batch, err := c.SubmitBatch(ctx, reqs)
-	if err != nil {
-		log.Fatalf("batch submit: %v", err)
-	}
-	if batch.Accepted != len(reqs) {
-		log.Fatalf("batch accepted %d/%d jobs: %+v", batch.Accepted, len(reqs), batch.Jobs)
-	}
-	usedBackends := map[string]bool{}
-	routed := map[int]string{}
-	for i, item := range batch.Jobs {
-		res, err := c.Wait(ctx, item.Job.ID)
-		if err != nil {
-			log.Fatalf("batch job %d (%s): %v", i, item.Job.ID, err)
-		}
-		if len(res.Parts) != 8 {
-			log.Fatalf("batch job %d: %d parts, want 8", i, len(res.Parts))
-		}
-		usedBackends[item.Job.Backend] = true
-		routed[i] = item.Job.Backend
-	}
-	if len(usedBackends) < 2 {
-		log.Fatalf("batch of %d distinct hypergraphs used only %v", len(reqs), usedBackends)
-	}
-	log.Printf("phase 1 ok: batch of %d jobs completed across %d backends", len(reqs), len(usedBackends))
-
-	// Phase 2: the same fingerprint routes to the same backend.
-	for i := 0; i < 3; i++ {
-		info, err := c.Submit(ctx, reqs[i])
-		if err != nil {
-			log.Fatalf("resubmit %d: %v", i, err)
-		}
-		if info.Backend != routed[i] {
-			log.Fatalf("resubmit %d routed to %s, batch went to %s", i, info.Backend, routed[i])
-		}
-	}
-	log.Print("phase 2 ok: fingerprint routing is deterministic")
-
-	// Phase 3: SSE streams per-iteration progress ending in a done frame.
-	sseInfo, err := c.Submit(ctx, wire(7))
-	if err != nil {
-		log.Fatalf("sse submit: %v", err)
-	}
-	var events []hyperpraw.ProgressEvent
-	err = c.StreamProgress(ctx, sseInfo.ID, 0, func(ev hyperpraw.ProgressEvent) error {
-		events = append(events, ev)
-		return nil
-	})
-	if err != nil {
-		log.Fatalf("sse stream: %v", err)
-	}
-	if len(events) < 2 {
-		log.Fatalf("sse delivered %d events, want iterations plus a final", len(events))
-	}
-	final := events[len(events)-1]
-	if !final.Final || final.Status != hyperpraw.JobDone {
-		log.Fatalf("sse final frame %+v, want done", final)
-	}
-	if events[0].Iteration < 1 {
-		log.Fatalf("sse first frame has no iteration: %+v", events[0])
-	}
-	log.Printf("phase 3 ok: streamed %d iteration frames + done", len(events)-1)
-
-	// Phase 4: kill the backend serving a fresh job; the job must still
-	// complete via gateway failover to the survivor.
-	foInfo, err := c.Submit(ctx, wire(13))
-	if err != nil {
-		log.Fatalf("failover submit: %v", err)
-	}
-	victim := foInfo.Backend
-	proc, ok := backendProc[victim]
-	if !ok {
-		log.Fatalf("job routed to unknown backend %q", victim)
-	}
-	if err := proc.Process.Kill(); err != nil {
-		log.Fatalf("killing %s: %v", victim, err)
-	}
-	proc.Wait() //nolint:errcheck
-	log.Printf("killed backend %s serving job %s", victim, foInfo.ID)
-
-	res, err := c.Wait(ctx, foInfo.ID)
-	if err != nil {
-		log.Fatalf("job did not survive backend death: %v", err)
-	}
-	if len(res.Parts) != 8 {
-		log.Fatalf("failover result has %d parts, want 8", len(res.Parts))
-	}
-	info, err := c.Job(ctx, foInfo.ID)
-	if err != nil {
-		log.Fatalf("failover job status: %v", err)
-	}
-	if info.Backend == victim {
-		log.Fatalf("completed job still attributed to the dead backend %s", victim)
-	}
-
-	// The health loop must eject the dead backend shortly.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		gh, err := c.GatewayHealth(ctx)
-		if err == nil {
-			healthy := 0
-			for _, b := range gh.Backends {
-				if b.Healthy {
-					healthy++
-				}
-			}
-			if healthy == 1 {
-				break
-			}
-		}
-		if time.Now().After(deadline) {
-			log.Fatal("gateway never ejected the killed backend")
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
-	log.Printf("phase 4 ok: job %s completed on %s after its backend died", foInfo.ID, info.Backend)
-
-	// Sanity: a bad request is rejected at the gateway, not routed.
-	bad := wire(0)
-	bad.Algorithm = "quantum"
-	if _, err := c.Submit(ctx, bad); err == nil {
-		log.Fatal("gateway accepted an unknown algorithm")
-	} else {
-		var apiErr *client.APIError
-		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
-			log.Fatalf("bad request rejected with %v, want 400", err)
-		}
-	}
-
-	// Phase 5: durable restart recovery. A second mini-cluster whose
-	// primary backend journals jobs to a -store directory: killing and
-	// restarting it must let the gateway serve the original result from
-	// the store — same backend, no failover resubmission. (Phase 4 is the
-	// storeless contrast: there a kill forces a failover recomputation.)
-	storeDir, err := os.MkdirTemp("", "hpserve-store-")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(storeDir)
-
-	durURL := fmt.Sprintf("http://127.0.0.1:%d", *basePort+3)
-	plainURL := fmt.Sprintf("http://127.0.0.1:%d", *basePort+4)
-	gw2URL := fmt.Sprintf("http://127.0.0.1:%d", *basePort+5)
-	startDurable := func() *exec.Cmd {
-		p, err := start(*hpserveBin, "-addr", durURL[len("http://"):], "-workers", "2", "-store", storeDir)
-		if err != nil {
-			log.Fatal(err)
-		}
-		procs = append(procs, p)
-		return p
-	}
-	durable := startDurable()
-	plain, err := start(*hpserveBin, "-addr", plainURL[len("http://"):], "-workers", "2")
-	if err != nil {
-		log.Fatal(err)
-	}
-	procs = append(procs, plain)
-	gw2, err := start(*hpgateBin,
-		"-addr", fmt.Sprintf("127.0.0.1:%d", *basePort+5),
-		"-backends", durURL+","+plainURL,
-		"-health-interval", "200ms",
-		"-recovery-window", "60s")
-	if err != nil {
-		log.Fatal(err)
-	}
-	procs = append(procs, gw2)
-	for _, u := range []string{gw2URL, durURL, plainURL} {
-		if err := waitHealthy(ctx, u); err != nil {
-			log.Fatal(err)
-		}
-	}
-	c2 := client.New(gw2URL, nil)
-
-	// The gateway keys restart recovery off the backend's advertised
-	// durability; wait until a health probe has taught it.
-	for {
-		gh, err := c2.GatewayHealth(ctx)
-		durableKnown := false
-		if err == nil {
-			for _, b := range gh.Backends {
-				durableKnown = durableKnown || (b.URL == durURL && b.Durable)
-			}
-		}
-		if durableKnown {
-			break
-		}
-		select {
-		case <-ctx.Done():
-			log.Fatal("gateway never learned the backend is durable")
-		case <-time.After(100 * time.Millisecond):
-		}
-	}
-
-	// A wire whose rendezvous primary is the durable backend.
-	var durWire hyperpraw.PartitionRequest
-	foundDur := false
-	for i := 0; i < 36 && !foundDur; i++ {
-		durWire = wire(i)
-		req, err := service.ParseRequest(durWire)
-		if err != nil {
-			log.Fatal(err)
-		}
-		foundDur = gateway.RendezvousOrder([]string{durURL, plainURL}, req.FingerprintKey())[0] == durURL
-	}
-	if !foundDur {
-		log.Fatal("no test wire routes to the durable backend")
-	}
-	durInfo, err := c2.Submit(ctx, durWire)
-	if err != nil {
-		log.Fatalf("durable submit: %v", err)
-	}
-	if durInfo.Backend != durURL {
-		log.Fatalf("durable job routed to %s, want %s", durInfo.Backend, durURL)
-	}
-	durRes, err := c2.Wait(ctx, durInfo.ID)
-	if err != nil {
-		log.Fatalf("durable job: %v", err)
-	}
-
-	if err := durable.Process.Kill(); err != nil {
-		log.Fatalf("killing durable backend: %v", err)
-	}
-	durable.Wait() //nolint:errcheck
-	log.Printf("killed durable backend %s holding job %s", durURL, durInfo.ID)
-
-	// While it is down the job must stay pending on it — no failover.
-	time.Sleep(500 * time.Millisecond) // let the health loop observe the outage
-	if _, err := c2.Result(ctx, durInfo.ID); !errors.Is(err, client.ErrNotDone) {
-		log.Fatalf("poll during the outage returned %v, want pending (no failover)", err)
-	}
-	midInfo, err := c2.Job(ctx, durInfo.ID)
-	if err != nil {
-		log.Fatalf("status during the outage: %v", err)
-	}
-	if midInfo.Backend != durURL {
-		log.Fatalf("job failed over to %s during the outage", midInfo.Backend)
-	}
-
-	startDurable()
-	if err := waitHealthy(ctx, durURL); err != nil {
-		log.Fatal(err)
-	}
-	recovered, err := c2.Wait(ctx, durInfo.ID)
-	if err != nil {
-		log.Fatalf("job not recovered after the restart: %v", err)
-	}
-	// The stored result, not a recomputation: the original run's wall time
-	// and partition come back byte-for-byte.
-	if recovered.ElapsedMS != durRes.ElapsedMS {
-		log.Fatalf("recovered ElapsedMS %g != original %g: the job was recomputed, not recovered",
-			recovered.ElapsedMS, durRes.ElapsedMS)
-	}
-	for i := range durRes.Parts {
-		if recovered.Parts[i] != durRes.Parts[i] {
-			log.Fatal("recovered partition differs from the original")
-		}
-	}
-	afterInfo, err := c2.Job(ctx, durInfo.ID)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if afterInfo.Backend != durURL || afterInfo.Status != hyperpraw.JobDone {
-		log.Fatalf("after the restart: %+v, want done on %s", afterInfo, durURL)
-	}
-	// The restarted backend itself still lists the job, persisted.
-	bjobs, err := client.New(durURL, nil).Jobs(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	recoveredOnBackend := false
-	for _, bj := range bjobs {
-		recoveredOnBackend = recoveredOnBackend || (bj.Status == hyperpraw.JobDone && bj.Persisted)
-	}
-	if !recoveredOnBackend {
-		log.Fatal("restarted backend lists no persisted done job")
-	}
-	log.Printf("phase 5 ok: job %s recovered from the store after a backend restart, no failover resubmission", durInfo.ID)
-
-	// Phase 6: observability. The first cluster's gateway and surviving
-	// backend must expose lint-clean Prometheus expositions whose values
-	// reflect what the phases above did, and a caller-supplied trace ID
-	// must be followable gateway → backend → JobInfo.
-	survivor := backendURLs[0]
-	if survivor == victim {
-		survivor = backendURLs[1]
-	}
-	const e2eTrace = "cluster-e2e-trace"
-	traceCtx := telemetry.WithTrace(ctx, e2eTrace)
-	trInfo, err := c.Submit(traceCtx, wire(20))
-	if err != nil {
-		log.Fatalf("traced submit: %v", err)
-	}
-	if trInfo.Trace != e2eTrace {
-		log.Fatalf("gateway JobInfo.Trace = %q, want %q", trInfo.Trace, e2eTrace)
-	}
-	if _, err := c.Wait(ctx, trInfo.ID); err != nil {
-		log.Fatalf("traced job: %v", err)
-	}
-	// Same fingerprint again: the backend must serve it from the result
-	// cache, which the cache-hit counter below proves.
-	rerun, err := c.Submit(traceCtx, wire(20))
-	if err != nil {
-		log.Fatalf("traced resubmit: %v", err)
-	}
-	if _, err := c.Wait(ctx, rerun.ID); err != nil {
-		log.Fatalf("traced rerun: %v", err)
-	}
-	bjobs, err = client.New(survivor, nil).Jobs(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	traced := false
-	for _, bj := range bjobs {
-		traced = traced || bj.Trace == e2eTrace
-	}
-	if !traced {
-		log.Fatalf("trace %q not visible in the backend's job table", e2eTrace)
-	}
-
-	gwBody := scrapeMetrics(ctx, gwURL)
-	for series, min := range map[string]float64{
-		`hpgate_jobs_submitted_total`:                                                  13, // 6 batch + 3 reroutes + SSE + failover + 2 traced
-		`hpgate_failovers_total`:                                                       1,  // phase 4
-		`hpgate_backend_ejections_total{backend="` + victim + `"}`:                     1,
-		`hpgate_http_requests_total{method="POST",route="/v1/partition",status="202"}`: 1,
-	} {
-		if got := metricValue(gwBody, series); got < min {
-			log.Fatalf("gateway %s = %g, want >= %g", series, got, min)
-		}
-	}
-
-	// Every job submitted to the surviving backend has been waited to a
-	// terminal state, so submitted must equal done+failed — poll briefly:
-	// the worker publishes the terminal status a beat before it bumps the
-	// outcome counter.
-	mdeadline := time.Now().Add(10 * time.Second)
-	for {
-		body := scrapeMetrics(ctx, survivor)
-		submitted := metricValue(body, `hyperpraw_jobs_submitted_total`)
-		terminal := metricValue(body, `hyperpraw_jobs_completed_total{status="done"}`) +
-			metricValue(body, `hyperpraw_jobs_completed_total{status="failed"}`)
-		if submitted > 0 && submitted == terminal {
-			if hits := metricValue(body, `hyperpraw_cache_hits_total{cache="result"}`); hits < 1 {
-				log.Fatalf("backend result-cache hits = %g after a repeat fingerprint, want >= 1", hits)
-			}
-			if passes := metricValue(body, `hyperpraw_kernel_events_total{event="passes"}`); passes <= 0 {
-				log.Fatalf("backend kernel passes counter = %g, want > 0", passes)
-			}
-			break
-		}
-		if time.Now().After(mdeadline) {
-			log.Fatalf("backend jobs never all terminal: submitted=%g terminal=%g", submitted, terminal)
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
-	log.Printf("phase 6 ok: expositions lint clean, counters match the run, trace %q visible on both tiers", e2eTrace)
-
-	log.Print("all phases passed")
+	return out
 }

@@ -54,6 +54,14 @@ type IterationStats = core.IterationStats
 // Options.KernelStats; collection never changes move decisions.
 type KernelStats = core.StreamStats
 
+// StopReason re-exports the kernel's termination reason found in
+// PartitionResult.Stopped.
+type StopReason = core.StopReason
+
+// StoppedCanceled re-exports the cancellation stop reason: the Options.Stop
+// hook ended the run early (deadline or shutdown).
+const StoppedCanceled = core.StoppedCanceled
+
 // BenchResult re-exports the simulated benchmark outcome.
 type BenchResult = netsim.Result
 
@@ -162,6 +170,12 @@ type Options struct {
 	// RecordHistory). Only the restreaming algorithms report progress; the
 	// multilevel and hierarchical baselines ignore it.
 	Progress func(IterationStats)
+	// Stop, when non-nil, is polled between restreaming iterations;
+	// returning true ends the run early (StoppedCanceled) with the best
+	// partition found so far. The serving layer wires a context deadline
+	// here so a job over budget frees its worker slot within one pass.
+	// Only the restreaming algorithms honor it.
+	Stop func() bool
 	// Seed drives the multilevel baseline's randomness (default 1).
 	Seed uint64
 	// KernelStats, when non-nil, accumulates the run's kernel activity
@@ -188,6 +202,7 @@ func (o *Options) orDefault() Options {
 	out.RecordHistory = o.RecordHistory
 	out.FrontierRestreaming = o.FrontierRestreaming
 	out.Progress = o.Progress
+	out.Stop = o.Stop
 	out.KernelStats = o.KernelStats
 	if o.Seed != 0 {
 		out.Seed = o.Seed
@@ -207,6 +222,7 @@ func prawConfig(cost [][]float64, idx *core.CostIndex, o Options) core.Config {
 	cfg.RecordHistory = o.RecordHistory
 	cfg.FrontierRestreaming = o.FrontierRestreaming
 	cfg.Progress = o.Progress
+	cfg.Stop = o.Stop
 	cfg.Stats = o.KernelStats
 	return cfg
 }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"hyperpraw/internal/profile"
+)
+
+// TestStopHookCancelsSerialRun: a Stop hook tripping after a fixed number of
+// polls ends the run with StoppedCanceled and a usable partition.
+func TestStopHookCancelsSerialRun(t *testing.T) {
+	h := randomHG(7, 300, 600, 6)
+	cfg := DefaultConfig(profile.UniformCost(4))
+	cfg.MaxIterations = 50
+	polls := 0
+	cfg.Stop = func() bool {
+		polls++
+		return polls > 3
+	}
+	pr, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Release()
+	res := pr.Run()
+	if res.Stopped != StoppedCanceled {
+		t.Fatalf("Stopped = %v, want StoppedCanceled", res.Stopped)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("Iterations = %d, want 3 (stop trips on the 4th poll)", res.Iterations)
+	}
+	if len(res.Parts) != h.NumVertices() {
+		t.Fatalf("Parts length %d, want %d", len(res.Parts), h.NumVertices())
+	}
+	for v, p := range res.Parts {
+		if p < 0 || p >= 4 {
+			t.Fatalf("vertex %d assigned to invalid partition %d", v, p)
+		}
+	}
+	if res.Stopped.String() != "canceled" {
+		t.Fatalf("String() = %q", res.Stopped)
+	}
+}
+
+// TestStopHookCancelsParallelRun: the same hook semantics hold for the
+// parallel kernel.
+func TestStopHookCancelsParallelRun(t *testing.T) {
+	h := randomHG(8, 300, 600, 6)
+	cfg := DefaultConfig(profile.UniformCost(4))
+	cfg.MaxIterations = 50
+	stopNow := false
+	cfg.Stop = func() bool { return stopNow }
+	cfg.Progress = func(st IterationStats) {
+		if st.Iteration >= 2 {
+			stopNow = true
+		}
+	}
+	res, err := PartitionParallel(h, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StoppedCanceled {
+		t.Fatalf("Stopped = %v, want StoppedCanceled", res.Stopped)
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("Iterations = %d, want 2", res.Iterations)
+	}
+	if len(res.Parts) != h.NumVertices() {
+		t.Fatalf("Parts length %d, want %d", len(res.Parts), h.NumVertices())
+	}
+}
+
+// TestStopHookImmediateCancel: canceling before the first pass still returns
+// a complete (round-robin) assignment, never a nil or partial one.
+func TestStopHookImmediateCancel(t *testing.T) {
+	h := randomHG(9, 100, 200, 5)
+	cfg := DefaultConfig(profile.UniformCost(3))
+	cfg.Stop = func() bool { return true }
+	pr, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Release()
+	res := pr.Run()
+	if res.Stopped != StoppedCanceled || res.Iterations != 0 {
+		t.Fatalf("Stopped = %v, Iterations = %d", res.Stopped, res.Iterations)
+	}
+	if len(res.Parts) != h.NumVertices() {
+		t.Fatalf("Parts length %d, want %d", len(res.Parts), h.NumVertices())
+	}
+}

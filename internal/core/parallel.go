@@ -96,6 +96,10 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 	consecFrontier := 0
 	var passes, frontierPasses int64
 	for n := 1; n <= cfg.MaxIterations; n++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			res.Stopped = StoppedCanceled
+			break
+		}
 		frontier := cfg.FrontierRestreaming && n > 1 && lastInTol &&
 			consecFrontier+1 < frontierFullSweepEvery
 		if frontier {

@@ -78,6 +78,13 @@ type Config struct {
 	// while the run is still going. The callback runs on the partitioning
 	// goroutine; a slow callback slows the run.
 	Progress func(IterationStats)
+	// Stop, when non-nil, is polled between streams; returning true ends
+	// the run with StoppedCanceled and the best partition found so far.
+	// This is the cooperative cancellation hook the serving layer uses to
+	// enforce per-job deadlines: a stuck refinement cannot hold a worker
+	// slot past its budget. Polled once per stream, so cancellation
+	// latency is one pass, not one vertex.
+	Stop func() bool
 	// UseEdgeWeights switches the neighbour count X_j(v) from distinct
 	// neighbours to hyperedge-weighted pin incidences, implementing the
 	// paper's §8.2 extension for asymmetric communication patterns ("weighing
@@ -233,6 +240,9 @@ const (
 	StoppedAtTolerance
 	// StoppedMaxIterations: the iteration cap was reached.
 	StoppedMaxIterations
+	// StoppedCanceled: the Config.Stop hook requested termination (deadline
+	// or shutdown). Parts holds the best partition found before the stop.
+	StoppedCanceled
 )
 
 func (r StopReason) String() string {
@@ -243,6 +253,8 @@ func (r StopReason) String() string {
 		return "at-tolerance"
 	case StoppedMaxIterations:
 		return "max-iterations"
+	case StoppedCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(r))
 	}
@@ -474,6 +486,10 @@ func (pr *Partitioner) Run() Result {
 	lastInTol := false
 	consecFrontier := 0
 	for n := 1; n <= pr.cfg.MaxIterations; n++ {
+		if pr.cfg.Stop != nil && pr.cfg.Stop() {
+			res.Stopped = StoppedCanceled
+			break
+		}
 		if pr.cfg.ShuffledOrder {
 			orderRNG.shuffle(order)
 		}

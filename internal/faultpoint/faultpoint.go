@@ -1,0 +1,290 @@
+// Package faultpoint implements named fault-injection points ("failpoints")
+// for chaos testing. Probes are compiled into production code paths but cost
+// a single atomic load when nothing is armed, so they stay in release builds.
+//
+// A point is armed by name with an action spec, normally via the
+// HYPERPRAW_FAULTPOINTS environment variable read at process start:
+//
+//	HYPERPRAW_FAULTPOINTS="store.wal.write-error=error,service.http.slow=sleep(150ms)*3"
+//
+// Grammar, comma-separated:
+//
+//	name=action[*count]
+//
+//	error              fail with a generic injected error
+//	error(message)     fail with the given message
+//	sleep(duration)    delay the operation by a time.ParseDuration value
+//	torn               write a deliberately truncated/corrupt frame
+//	drop               sever the connection without a response
+//	stall              stop producing output but keep the stream open
+//
+// An optional *count limits the number of firings (e.g. sleep(1s)*2 fires
+// twice, then the point disarms itself). Without a count the point fires on
+// every hit until Reset or re-Arm.
+//
+// Call sites invoke Fire(name) and interpret the returned *Fault:
+//
+//	if f := faultpoint.Fire(faultpoint.StoreWALWriteError); f != nil {
+//	    if err := f.AsError(); err != nil {
+//	        return err
+//	    }
+//	}
+//
+// Fire applies ActSleep delays itself before returning, so pure slow-downs
+// need no handling at the call site beyond the probe.
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable ArmFromEnv reads the arming spec from.
+const EnvVar = "HYPERPRAW_FAULTPOINTS"
+
+// The faultpoint catalog. Call sites use these names; chaos cases arm them.
+// Keeping the names in one place makes the catalog greppable and lets the
+// README enumerate it.
+const (
+	// StoreWALWriteError fails the WAL append as if the disk write errored.
+	StoreWALWriteError = "store.wal.write-error"
+	// StoreWALTornFrame makes the WAL append write a truncated frame and
+	// report success, simulating a crash mid-write (torn page).
+	StoreWALTornFrame = "store.wal.torn-frame"
+	// ServiceHTTPSlow delays HTTP responses from hpserve.
+	ServiceHTTPSlow = "service.http.slow"
+	// ServiceHTTPDrop severs hpserve HTTP connections without a response.
+	ServiceHTTPDrop = "service.http.drop"
+	// ServiceSSEStall freezes an hpserve SSE progress stream: the
+	// connection stays open but no further events are written.
+	ServiceSSEStall = "service.sse.stall"
+	// ServiceExecSlow delays job execution inside the worker, inflating
+	// queue wait for everything behind it (the saturation lever).
+	ServiceExecSlow = "service.exec.slow"
+	// GatewayProxyDrop severs hpgate proxy connections without a response.
+	GatewayProxyDrop = "gateway.proxy.drop"
+)
+
+// Action is what an armed point does when hit.
+type Action int
+
+const (
+	// ActError fails the guarded operation with an injected error.
+	ActError Action = iota
+	// ActSleep delays the guarded operation; Fire applies the delay itself.
+	ActSleep
+	// ActTorn asks the call site to produce a torn/partial write.
+	ActTorn
+	// ActDrop asks the call site to sever the connection.
+	ActDrop
+	// ActStall asks the call site to stop producing output indefinitely.
+	ActStall
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActError:
+		return "error"
+	case ActSleep:
+		return "sleep"
+	case ActTorn:
+		return "torn"
+	case ActDrop:
+		return "drop"
+	case ActStall:
+		return "stall"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Fault describes the injected behaviour for one firing of a point.
+type Fault struct {
+	Name   string
+	Action Action
+	Msg    string        // ActError message override
+	Delay  time.Duration // ActSleep duration (already slept by Fire)
+}
+
+// AsError returns the injected error for ActError faults and nil for every
+// other action, so call sites that only care about failure can write
+// `if err := f.AsError(); err != nil`.
+func (f *Fault) AsError() error {
+	if f == nil || f.Action != ActError {
+		return nil
+	}
+	msg := f.Msg
+	if msg == "" {
+		msg = "injected fault"
+	}
+	return fmt.Errorf("faultpoint %s: %s", f.Name, msg)
+}
+
+type point struct {
+	fault     Fault
+	remaining int64 // <0 = unlimited
+	fired     int64
+}
+
+var (
+	// armed counts points with remaining firings; Fire's fast path is a
+	// single atomic load of this.
+	armed atomic.Int32
+
+	mu     sync.Mutex
+	points map[string]*point
+)
+
+// Arm parses a spec ("name=action[*count],...") and arms the named points,
+// replacing any previous arming. An empty spec just clears everything.
+func Arm(spec string) error {
+	parsed := map[string]*point{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return fmt.Errorf("faultpoint: bad term %q (want name=action)", part)
+		}
+		p, err := parseAction(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf("faultpoint: %s: %w", name, err)
+		}
+		p.fault.Name = name
+		parsed[name] = p
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	points = parsed
+	armed.Store(int32(len(parsed)))
+	return nil
+}
+
+// ArmFromEnv arms from the HYPERPRAW_FAULTPOINTS environment variable.
+// Returns the spec it applied ("" when unset).
+func ArmFromEnv() (string, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return "", nil
+	}
+	return spec, Arm(spec)
+}
+
+// Reset disarms every point and clears firing counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armed.Store(0)
+}
+
+// Fire reports whether the named point is armed. Disarmed (the common case)
+// costs one atomic load and returns nil. For ActSleep the delay is applied
+// before returning; for every other action the caller interprets the Fault.
+func Fire(name string) *Fault {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	if p == nil || p.remaining == 0 {
+		mu.Unlock()
+		return nil
+	}
+	if p.remaining > 0 {
+		p.remaining--
+		if p.remaining == 0 {
+			armed.Add(-1)
+		}
+	}
+	p.fired++
+	f := p.fault
+	mu.Unlock()
+
+	if f.Action == ActSleep && f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	return &f
+}
+
+// Fired returns how many times the named point has fired since arming.
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return int(p.fired)
+	}
+	return 0
+}
+
+// Active lists currently armed point names (exhausted counts excluded),
+// sorted, for startup logging.
+func Active() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	var names []string
+	for name, p := range points {
+		if p.remaining != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func parseAction(s string) (*point, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty action")
+	}
+	p := &point{remaining: -1}
+	if base, count, ok := strings.Cut(s, "*"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(count))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", count)
+		}
+		p.remaining = int64(n)
+		s = strings.TrimSpace(base)
+	}
+
+	name, arg := s, ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("unclosed argument in %q", s)
+		}
+		name, arg = s[:i], s[i+1:len(s)-1]
+	}
+
+	switch name {
+	case "error":
+		p.fault.Action = ActError
+		p.fault.Msg = arg
+	case "sleep":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("sleep: %v", err)
+		}
+		p.fault.Action = ActSleep
+		p.fault.Delay = d
+	case "torn":
+		p.fault.Action = ActTorn
+	case "drop":
+		p.fault.Action = ActDrop
+	case "stall":
+		p.fault.Action = ActStall
+	default:
+		return nil, fmt.Errorf("unknown action %q", name)
+	}
+	if arg != "" && name != "error" && name != "sleep" {
+		return nil, fmt.Errorf("action %q takes no argument", name)
+	}
+	return p, nil
+}

@@ -1,0 +1,124 @@
+package faultpoint
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	Reset()
+	if f := Fire(StoreWALWriteError); f != nil {
+		t.Fatalf("disarmed Fire returned %+v", f)
+	}
+}
+
+func TestArmErrorAction(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm(StoreWALWriteError + "=error(disk gone)"); err != nil {
+		t.Fatal(err)
+	}
+	f := Fire(StoreWALWriteError)
+	if f == nil || f.Action != ActError {
+		t.Fatalf("want ActError fault, got %+v", f)
+	}
+	err := f.AsError()
+	if err == nil || !strings.Contains(err.Error(), "disk gone") {
+		t.Fatalf("AsError = %v, want injected message", err)
+	}
+	// Other points stay disarmed.
+	if f := Fire(StoreWALTornFrame); f != nil {
+		t.Fatalf("unarmed sibling fired: %+v", f)
+	}
+}
+
+func TestCountLimitsFirings(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm(ServiceHTTPDrop + "=drop*2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if f := Fire(ServiceHTTPDrop); f == nil || f.Action != ActDrop {
+			t.Fatalf("firing %d: got %+v", i, f)
+		}
+	}
+	if f := Fire(ServiceHTTPDrop); f != nil {
+		t.Fatalf("fired past count: %+v", f)
+	}
+	if got := Fired(ServiceHTTPDrop); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	// Exhausting the only armed point restores the zero-cost fast path.
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter = %d after exhaustion, want 0", armed.Load())
+	}
+}
+
+func TestSleepDelaysFire(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm(ServiceHTTPSlow + "=sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	f := Fire(ServiceHTTPSlow)
+	if f == nil || f.Action != ActSleep {
+		t.Fatalf("got %+v", f)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("Fire returned after %v, want >=30ms sleep", elapsed)
+	}
+	if f.AsError() != nil {
+		t.Fatalf("sleep fault should not convert to error")
+	}
+}
+
+func TestMultiPointSpecAndActive(t *testing.T) {
+	t.Cleanup(Reset)
+	spec := StoreWALTornFrame + "=torn*1, " + ServiceSSEStall + "=stall"
+	if err := Arm(spec); err != nil {
+		t.Fatal(err)
+	}
+	active := Active()
+	if len(active) != 2 {
+		t.Fatalf("Active = %v, want 2 points", active)
+	}
+	if f := Fire(StoreWALTornFrame); f == nil || f.Action != ActTorn {
+		t.Fatalf("torn point: %+v", f)
+	}
+	if got := Active(); len(got) != 1 || got[0] != ServiceSSEStall {
+		t.Fatalf("Active after exhaustion = %v", got)
+	}
+}
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"noequals",
+		"x=",
+		"x=explode",
+		"x=sleep(notaduration)",
+		"x=sleep(1s)*0",
+		"x=drop(arg)",
+		"x=error(unclosed",
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+	// A failed Arm must leave nothing armed.
+	if n := len(Active()); n != 0 {
+		t.Fatalf("%d points armed after rejected specs", n)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(Reset)
+	t.Setenv(EnvVar, GatewayProxyDrop+"=drop")
+	spec, err := ArmFromEnv()
+	if err != nil || spec == "" {
+		t.Fatalf("ArmFromEnv = %q, %v", spec, err)
+	}
+	if f := Fire(GatewayProxyDrop); f == nil || f.Action != ActDrop {
+		t.Fatalf("got %+v", f)
+	}
+}

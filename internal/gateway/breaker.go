@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one of the classic circuit-breaker states. The gateway
+// keeps the breaker advisory rather than blocking: an open backend is
+// routed last (not never), because a backend of last resort still beats
+// shedding the job — the state machine's job is pacing probes and making
+// the backend's trajectory observable, not fencing it off.
+type breakerState int32
+
+const (
+	// breakerClosed: the backend is healthy and routed normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: consecutive failures reached the threshold; health
+	// probes are withheld until the cooldown elapses so a struggling
+	// backend is not hammered back down every interval.
+	breakerOpen
+	// breakerHalfOpen: the cooldown elapsed; the next health probe (or
+	// any proxied call) is the trial. Success closes the breaker, failure
+	// reopens it and restarts the cooldown.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-backend circuit breaker. The default configuration
+// (threshold 1, cooldown 0) reproduces the gateway's original binary
+// eject/re-admit behaviour exactly: one failure ejects, the next probe is
+// always allowed, one success re-admits. Raising the threshold tolerates
+// blips; raising the cooldown paces probes against a flapping backend.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive failures since the last success
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown < 0 {
+		cooldown = 0
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// fail records one observed failure. From closed, reaching the threshold
+// trips the breaker open; from half-open, the trial failed and the breaker
+// reopens (restarting the cooldown); from open it only counts.
+func (b *breaker) fail() (from, to breakerState) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from = b.state
+	b.fails++
+	switch b.state {
+	case breakerClosed:
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+	return from, b.state
+}
+
+// success records one observed success, closing the breaker from any
+// state. A real proxied call succeeding against an open backend is
+// stronger evidence than any probe, so it closes the breaker too.
+func (b *breaker) success() (from, to breakerState) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from = b.state
+	b.fails = 0
+	b.state = breakerClosed
+	return from, b.state
+}
+
+// tick advances open -> half-open once the cooldown has elapsed. The
+// health loop calls it before each probe round, making the periodic probe
+// the breaker's trial request.
+func (b *breaker) tick() (from, to breakerState) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from = b.state
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		b.state = breakerHalfOpen
+	}
+	return from, b.state
+}
+
+// allowProbe reports whether a health probe should be sent: always, except
+// while the breaker is open and cooling down.
+func (b *breaker) allowProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerOpen
+}
+
+// snapshot returns the current state and consecutive-failure count.
+func (b *breaker) snapshot() (breakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails
+}

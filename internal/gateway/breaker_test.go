@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerThresholdAndTrial(t *testing.T) {
+	br := newBreaker(3, time.Hour)
+
+	// Two failures stay under the threshold: still closed.
+	for i := 0; i < 2; i++ {
+		if _, to := br.fail(); to != breakerClosed {
+			t.Fatalf("failure %d tripped the breaker early (state %v)", i+1, to)
+		}
+	}
+	if from, to := br.fail(); from != breakerClosed || to != breakerOpen {
+		t.Fatalf("threshold failure transitioned %v -> %v, want closed -> open", from, to)
+	}
+	if state, fails := br.snapshot(); state != breakerOpen || fails != 3 {
+		t.Fatalf("state %v fails %d after tripping, want open/3", state, fails)
+	}
+
+	// The cooldown has not elapsed: tick holds it open, probes withheld.
+	if _, to := br.tick(); to != breakerOpen {
+		t.Fatalf("tick before cooldown moved to %v", to)
+	}
+	if br.allowProbe() {
+		t.Fatal("probe allowed while open and cooling down")
+	}
+
+	// Success closes from any state and resets the failure run.
+	if from, to := br.success(); from != breakerOpen || to != breakerClosed {
+		t.Fatalf("success transitioned %v -> %v, want open -> closed", from, to)
+	}
+	if _, fails := br.snapshot(); fails != 0 {
+		t.Fatalf("fails %d after success, want 0", fails)
+	}
+}
+
+func TestBreakerHalfOpenTrialFailureReopens(t *testing.T) {
+	br := newBreaker(1, 10*time.Millisecond)
+	br.fail()
+	time.Sleep(20 * time.Millisecond)
+	if from, to := br.tick(); from != breakerOpen || to != breakerHalfOpen {
+		t.Fatalf("tick after cooldown transitioned %v -> %v, want open -> half-open", from, to)
+	}
+	if !br.allowProbe() {
+		t.Fatal("half-open breaker must allow the trial probe")
+	}
+	// The trial fails: back to open, cooldown restarted.
+	if from, to := br.fail(); from != breakerHalfOpen || to != breakerOpen {
+		t.Fatalf("trial failure transitioned %v -> %v, want half-open -> open", from, to)
+	}
+	if _, to := br.tick(); to != breakerHalfOpen {
+		// 10ms cooldown may elapse between fail and tick on a slow box;
+		// poll briefly instead of asserting the immediate state.
+		deadline := time.Now().Add(time.Second)
+		for to != breakerHalfOpen && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			_, to = br.tick()
+		}
+		if to != breakerHalfOpen {
+			t.Fatalf("breaker never re-entered half-open after reopening")
+		}
+	}
+}
+
+func TestBreakerLegacyDefaultsSingleProbe(t *testing.T) {
+	// threshold 1, cooldown 0 must reproduce the original binary
+	// eject/re-admit behaviour: one failure ejects, the very next tick
+	// re-arms the probe, one success re-admits.
+	br := newBreaker(0, -time.Second) // clamped to 1 and 0
+	if _, to := br.fail(); to != breakerOpen {
+		t.Fatal("first failure did not eject")
+	}
+	if _, to := br.tick(); to != breakerHalfOpen {
+		t.Fatal("zero cooldown did not immediately allow the next probe")
+	}
+	if !br.allowProbe() {
+		t.Fatal("probe withheld under legacy defaults")
+	}
+	if _, to := br.success(); to != breakerClosed {
+		t.Fatal("first success did not re-admit")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"hyperpraw"
 	"hyperpraw/client"
+	"hyperpraw/internal/faultpoint"
 	"hyperpraw/internal/service"
 	"hyperpraw/internal/telemetry"
 )
@@ -38,7 +39,26 @@ var (
 	// retained wire request, so the only remedy is resubmitting the
 	// original request. Served as HTTP 410 Gone.
 	ErrNotRecoverable = errors.New("gateway: job not recoverable")
+	// ErrSaturated is returned when every reachable backend rejected a
+	// submission with 429: the whole fleet is at its admission limits, so
+	// the gateway sheds the request upstream rather than queueing it
+	// nowhere. Served as HTTP 429 with the backends' best Retry-After
+	// hint; match the wrapped *SaturatedError to read it.
+	ErrSaturated = errors.New("gateway: every backend is saturated")
 )
+
+// SaturatedError carries the shed verdict's backoff hint: the largest
+// Retry-After any saturated backend offered (0 when none did).
+type SaturatedError struct {
+	RetryAfter int
+	last       error
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("%v (last rejection: %v)", ErrSaturated, e.last)
+}
+
+func (e *SaturatedError) Unwrap() error { return ErrSaturated }
 
 // Config tunes a Gateway; zero values select the defaults noted per field.
 type Config struct {
@@ -66,6 +86,22 @@ type Config struct {
 	// MaxJobs bounds how many jobs are retained for status queries; the
 	// oldest finished jobs are pruned beyond it (default 4096).
 	MaxJobs int
+	// BreakerThreshold is how many consecutive failures trip a backend's
+	// circuit breaker open (default 1: the first failure ejects, matching
+	// the original binary eject/re-admit behaviour).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker withholds health probes
+	// before letting one through as the half-open trial (default 0: every
+	// probe is allowed, matching the original behaviour).
+	BreakerCooldown time.Duration
+	// SpillWatermark is the queue-occupancy fraction beyond which a
+	// backend counts as saturated and rendezvous routing spills past it
+	// to the next-ranked backend: a backend whose last /healthz probe
+	// showed queued >= SpillWatermark * queue_depth takes new work only
+	// after every unsaturated backend refused. An observed 429 marks the
+	// backend saturated immediately, until the next successful probe.
+	// Default 0.8; negative disables probe-derived saturation.
+	SpillWatermark float64
 	// RecoveryWindow is how long the gateway waits out the outage of a
 	// backend that advertises a durable job store (its /healthz Durable
 	// field) before failing its jobs over: a restarted durable backend
@@ -97,6 +133,15 @@ func (c Config) withDefaults() Config {
 	if c.FailoverLimit <= 0 {
 		c.FailoverLimit = 3
 	}
+	if c.BreakerThreshold < 1 {
+		c.BreakerThreshold = 1
+	}
+	if c.BreakerCooldown < 0 {
+		c.BreakerCooldown = 0
+	}
+	if c.SpillWatermark == 0 {
+		c.SpillWatermark = 0.8
+	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
@@ -106,69 +151,120 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// backend is one hpserve instance in the routing set.
+// backend is one hpserve instance in the routing set. Its availability is
+// tracked by a per-backend circuit breaker (see breaker.go): healthy means
+// the breaker is closed; open and half-open backends route last.
 type backend struct {
 	url string
 	cli *client.Client
 	gm  *gatewayMetrics // owning gateway's instruments, for transition counters
+	br  *breaker
 
-	mu      sync.Mutex
-	healthy bool
-	fails   int
+	mu sync.Mutex
 	// durable is the backend's last advertised /healthz Durable flag: its
 	// jobs survive a restart, so a short outage is waited out instead of
 	// failed over (see Config.RecoveryWindow).
 	durable bool
-	// downSince is when the backend last transitioned healthy -> down; the
+	// downSince is when the breaker last tripped closed -> open; the
 	// recovery window is measured from it.
 	downSince time.Time
+	// queued/queueCap mirror the backend's last /healthz queue occupancy;
+	// saturated is derived from them against the spill watermark, or set
+	// directly by an observed 429 until the next successful probe.
+	queued     int
+	queueCap   int
+	saturated  bool
+	retryAfter int // last Retry-After hint this backend attached to a 429
 }
 
 func (b *backend) status() (healthy bool, fails int, durable bool) {
+	state, fails := b.br.snapshot()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.healthy, b.fails, b.durable
+	durable = b.durable
+	b.mu.Unlock()
+	return state == breakerClosed, fails, durable
 }
 
-// markDown ejects the backend after an observed failure.
-func (b *backend) markDown() {
-	b.mu.Lock()
-	ejected := b.healthy
-	if b.healthy {
-		b.downSince = time.Now()
+// noteTransition publishes one breaker transition: the per-state counters
+// and gauge, plus the legacy ejection/readmission counters (closed->open
+// and ->closed respectively) those dashboards already watch. downSince
+// starts on closed->open only — half-open->open is the same outage
+// continuing, not a new one.
+func (b *backend) noteTransition(from, to breakerState) {
+	if from == to {
+		return
 	}
-	b.healthy = false
-	b.fails++
-	b.mu.Unlock()
-	if ejected && b.gm != nil {
+	if from == breakerClosed && to == breakerOpen {
+		b.mu.Lock()
+		b.downSince = time.Now()
+		b.mu.Unlock()
+	}
+	if b.gm == nil {
+		return
+	}
+	b.gm.breakerTransition(b.url, to)
+	if from == breakerClosed && to == breakerOpen {
 		b.gm.ejections.WithLabelValues(b.url).Inc()
 	}
-}
-
-// markUp re-admits the backend after a successful probe or call.
-func (b *backend) markUp() {
-	b.mu.Lock()
-	readmitted := !b.healthy
-	b.healthy = true
-	b.fails = 0
-	b.mu.Unlock()
-	if readmitted && b.gm != nil {
+	if to == breakerClosed {
 		b.gm.readmissions.WithLabelValues(b.url).Inc()
 	}
+}
+
+// markDown records an observed failure against the breaker.
+func (b *backend) markDown() {
+	b.noteTransition(b.br.fail())
+}
+
+// markUp records a successful probe or call, closing the breaker.
+func (b *backend) markUp() {
+	b.noteTransition(b.br.success())
 }
 
 // markUpDurable re-admits the backend and records whether it advertises a
 // durable job store; only health probes carry that information.
 func (b *backend) markUpDurable(durable bool) {
 	b.mu.Lock()
-	readmitted := !b.healthy
-	b.healthy = true
-	b.fails = 0
 	b.durable = durable
 	b.mu.Unlock()
-	if readmitted && b.gm != nil {
-		b.gm.readmissions.WithLabelValues(b.url).Inc()
+	b.noteTransition(b.br.success())
+}
+
+// tickBreaker advances the breaker's open -> half-open timer; the health
+// loop calls it before each probe round.
+func (b *backend) tickBreaker() {
+	b.noteTransition(b.br.tick())
+}
+
+// noteQueue folds one successful health probe's queue occupancy into the
+// saturation verdict. It also clears any sticky 429-derived saturation:
+// the probe is fresher evidence than the rejection.
+func (b *backend) noteQueue(queued, capacity int, watermark float64) {
+	b.mu.Lock()
+	b.queued, b.queueCap = queued, capacity
+	b.saturated = watermark >= 0 && capacity > 0 &&
+		float64(queued) >= watermark*float64(capacity)
+	b.mu.Unlock()
+}
+
+// markSaturated records an observed 429: the backend is at its admission
+// limits regardless of what the last probe saw. Sticky until the next
+// successful probe re-derives the verdict.
+func (b *backend) markSaturated(retryAfter int) {
+	b.mu.Lock()
+	b.saturated = true
+	if retryAfter > 0 {
+		b.retryAfter = retryAfter
 	}
+	b.mu.Unlock()
+}
+
+// loadStatus reports the backend's saturation verdict and last observed
+// queue length.
+func (b *backend) loadStatus() (saturated bool, queued int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.saturated, b.queued
 }
 
 // gwJob is the gateway-side state of one routed job. The original wire
@@ -256,7 +352,13 @@ func (g *Gateway) AddBackend(url string) {
 	if _, ok := g.backends[url]; ok {
 		return
 	}
-	g.backends[url] = &backend{url: url, cli: client.New(url, g.cfg.HTTPClient), gm: g.metrics, healthy: true}
+	g.backends[url] = &backend{
+		url: url,
+		cli: client.New(url, g.cfg.HTTPClient),
+		gm:  g.metrics,
+		br:  newBreaker(g.cfg.BreakerThreshold, g.cfg.BreakerCooldown),
+	}
+	g.metrics.breakerInit(url)
 }
 
 // RemoveBackend drops a backend from the routing set. Jobs currently
@@ -290,8 +392,11 @@ func (g *Gateway) Backends() []hyperpraw.BackendStatus {
 	out := make([]hyperpraw.BackendStatus, 0, len(backends))
 	for _, b := range backends {
 		healthy, fails, durable := b.status()
+		state, _ := b.br.snapshot()
+		saturated, queued := b.loadStatus()
 		out = append(out, hyperpraw.BackendStatus{
 			URL: b.url, Healthy: healthy, Fails: fails, Jobs: perBackend[b.url], Durable: durable,
+			Breaker: state.String(), Saturated: saturated, Queued: queued,
 		})
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].URL < out[k].URL })
@@ -350,6 +455,13 @@ func (g *Gateway) CheckBackends(ctx context.Context) {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
+			// An open breaker withholds the probe until its cooldown has
+			// elapsed (tick flips it half-open); with the default zero
+			// cooldown every probe goes through, as before.
+			b.tickBreaker()
+			if !b.br.allowProbe() {
+				return
+			}
 			probeCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
 			defer cancel()
 			start := time.Now()
@@ -359,6 +471,7 @@ func (g *Gateway) CheckBackends(ctx context.Context) {
 				b.markDown()
 			} else {
 				b.markUpDurable(h.Durable)
+				b.noteQueue(h.Queued, h.QueueDepth, g.cfg.SpillWatermark)
 			}
 		}(b)
 	}
@@ -391,11 +504,22 @@ func RendezvousOrder(members []string, key string) []string {
 	return out
 }
 
+// routePlan is a routing decision for one fingerprint: the backends to
+// try in order, which backend the rendezvous ranking put first, and
+// whether that primary was demoted out of the first slot because it is
+// saturated (the spill case, as opposed to plain ejection).
+type routePlan struct {
+	cands   []*backend
+	primary string
+	spilled bool
+}
+
 // route returns the backends to try for a fingerprint: rendezvous order,
-// healthy backends first (each group keeping its rendezvous rank), so an
-// ejected primary is still reachable as a last resort when every healthy
-// backend has refused.
-func (g *Gateway) route(fingerprint string) []*backend {
+// partitioned into healthy-and-unsaturated, then healthy-but-saturated
+// (the spill targets come before them), then unhealthy — each group
+// keeping its rendezvous rank, so an ejected primary is still reachable as
+// a last resort when every healthy backend has refused.
+func (g *Gateway) route(fingerprint string) routePlan {
 	g.mu.Lock()
 	urls := make([]string, 0, len(g.backends))
 	for url := range g.backends {
@@ -408,18 +532,31 @@ func (g *Gateway) route(fingerprint string) []*backend {
 	g.mu.Unlock()
 
 	ranked := RendezvousOrder(urls, fingerprint)
-	out := make([]*backend, 0, len(ranked))
-	for _, url := range ranked {
-		if healthy, _, _ := byURL[url].status(); healthy {
-			out = append(out, byURL[url])
+	plan := routePlan{cands: make([]*backend, 0, len(ranked))}
+	if len(ranked) > 0 {
+		plan.primary = ranked[0]
+	}
+	var saturated, down []*backend
+	for i, url := range ranked {
+		b := byURL[url]
+		healthy, _, _ := b.status()
+		sat, _ := b.loadStatus()
+		switch {
+		case healthy && !sat:
+			plan.cands = append(plan.cands, b)
+		case healthy:
+			saturated = append(saturated, b)
+			plan.spilled = plan.spilled || i == 0
+		default:
+			down = append(down, b)
 		}
 	}
-	for _, url := range ranked {
-		if healthy, _, _ := byURL[url].status(); !healthy {
-			out = append(out, byURL[url])
-		}
-	}
-	return out
+	// A demoted primary only counts as spilled when somebody actually
+	// ranks ahead of it now.
+	plan.spilled = plan.spilled && len(plan.cands) > 0
+	plan.cands = append(plan.cands, saturated...)
+	plan.cands = append(plan.cands, down...)
+	return plan
 }
 
 // recoverable reports whether a failed call against b should be waited
@@ -432,8 +569,9 @@ func (g *Gateway) recoverable(b *backend) bool {
 	if g.cfg.RecoveryWindow <= 0 {
 		return false
 	}
+	state, _ := b.br.snapshot()
 	b.mu.Lock()
-	ok := b.durable && !b.healthy && time.Since(b.downSince) < g.cfg.RecoveryWindow
+	ok := b.durable && state != breakerClosed && time.Since(b.downSince) < g.cfg.RecoveryWindow
 	b.mu.Unlock()
 	if ok {
 		g.metrics.recoveryWaits.Inc()
@@ -479,8 +617,11 @@ func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (
 	}
 	fingerprint := parsed.FingerprintKey()
 
+	plan := g.route(fingerprint)
 	var lastErr error = ErrNoBackends
-	for i, b := range g.route(fingerprint) {
+	allSaturated := len(plan.cands) > 0
+	retryHint := 0
+	for _, b := range plan.cands {
 		info, err := g.submitTo(ctx, b, wire)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -489,26 +630,63 @@ func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (
 			if !retryableSubmit(err) {
 				return hyperpraw.JobInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 			}
-			if backendDown(err) {
-				b.markDown()
+			if hint, ok := rejected429(err); ok {
+				// The backend is alive but full: mark it saturated (sticky
+				// until the next probe) instead of ejecting it.
+				b.markSaturated(hint)
+				if hint > retryHint {
+					retryHint = hint
+				}
+			} else {
+				allSaturated = false
+				if backendDown(err) {
+					b.markDown()
+				}
 			}
 			lastErr = err
 			continue
 		}
 		b.markUp()
 		g.metrics.jobsSubmitted.Inc()
-		if i > 0 {
+		if b.url != plan.primary {
 			// The rendezvous primary did not take it; the caches this
 			// fingerprint warmed live elsewhere.
 			g.metrics.reroutes.Inc()
+			if plan.spilled {
+				// Demoted for load, not health: a saturation spill.
+				g.metrics.spills.Inc()
+			}
 		}
 		return g.register(wire, fingerprint, b.url, info, telemetry.TraceFrom(ctx)), nil
+	}
+	if allSaturated {
+		// Every backend refused with 429: shed upstream with the fleet's
+		// best backoff hint rather than disguising overload as an outage.
+		g.metrics.shed.Inc()
+		return hyperpraw.JobInfo{}, &SaturatedError{RetryAfter: retryHint, last: lastErr}
 	}
 	return hyperpraw.JobInfo{}, fmt.Errorf("%w (last error: %v)", ErrNoBackends, lastErr)
 }
 
+// rejected429 matches a backend's 429 rejection and extracts its
+// Retry-After hint.
+func rejected429(err error) (retryAfter int, ok bool) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests {
+		return apiErr.RetryAfter, true
+	}
+	return 0, false
+}
+
 // submitTo submits wire to one backend under the proxy deadline.
 func (g *Gateway) submitTo(ctx context.Context, b *backend, wire hyperpraw.PartitionRequest) (hyperpraw.JobInfo, error) {
+	if f := faultpoint.Fire(faultpoint.GatewayProxyDrop); f != nil {
+		// Simulated transport loss on the proxied call: retryable, and it
+		// indicts the backend exactly like a real connection failure.
+		err := fmt.Errorf("gateway: faultpoint %s: proxied submit to %s dropped", f.Name, b.url)
+		g.metrics.backendRequest(b.url, "submit", err, 0)
+		return hyperpraw.JobInfo{}, err
+	}
 	callCtx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
 	defer cancel()
 	start := time.Now()
@@ -766,7 +944,7 @@ func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
 	// one submission stays under one ID.
 	ctx = telemetry.WithTrace(ctx, j.info.Trace)
 	var lastErr error = ErrNoBackends
-	for _, b := range g.route(j.fingerprint) {
+	for _, b := range g.route(j.fingerprint).cands {
 		if b.url == j.backendURL {
 			continue // the backend we just lost
 		}
@@ -778,7 +956,9 @@ func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
 			if !retryableSubmit(err) {
 				return fail(err)
 			}
-			if backendDown(err) {
+			if hint, ok := rejected429(err); ok {
+				b.markSaturated(hint)
+			} else if backendDown(err) {
 				b.markDown()
 			}
 			lastErr = err

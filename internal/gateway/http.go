@@ -3,6 +3,7 @@ package gateway
 import (
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -89,6 +90,12 @@ func handleSubmit(g *Gateway, w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		service.WriteError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrSaturated):
+		// The whole fleet is at its admission limits: propagate the 429
+		// and the backends' best backoff hint instead of disguising
+		// overload as an outage (503).
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterHint(err)))
+		service.WriteError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrNoBackends):
 		service.WriteError(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
@@ -96,6 +103,17 @@ func handleSubmit(g *Gateway, w http.ResponseWriter, r *http.Request) {
 	default:
 		service.WriteJSON(w, http.StatusAccepted, info)
 	}
+}
+
+// retryAfterHint extracts a shed verdict's Retry-After seconds, floored at
+// 1 so the header is always a valid positive delay.
+func retryAfterHint(err error) int {
+	secs := 1
+	var se *SaturatedError
+	if errors.As(err, &se) && se.RetryAfter > secs {
+		secs = se.RetryAfter
+	}
+	return secs
 }
 
 // handleBatch fans a batch out across the backends concurrently — each
@@ -125,22 +143,35 @@ func handleBatch(g *Gateway, w http.ResponseWriter, r *http.Request) {
 		}(i, wire)
 	}
 	wg.Wait()
-	noBackends := false
+	noBackends, allSaturated := false, true
+	var saturatedErr error
 	for i, item := range resp.Jobs {
 		if item.Job != nil {
 			resp.Accepted++
+			continue
+		}
+		resp.Rejected++
+		noBackends = noBackends || errors.Is(errs[i], ErrNoBackends)
+		if errors.Is(errs[i], ErrSaturated) {
+			if saturatedErr == nil || retryAfterHint(errs[i]) > retryAfterHint(saturatedErr) {
+				saturatedErr = errs[i]
+			}
 		} else {
-			resp.Rejected++
-			noBackends = noBackends || errors.Is(errs[i], ErrNoBackends)
+			allSaturated = false
 		}
 	}
-	// A fully rejected batch distinguishes "no backend could take it"
-	// (transient, retryable) from malformed entries.
+	// A fully rejected batch distinguishes fleet saturation (429 plus the
+	// backends' backoff hint) from "no backend could take it" (transient,
+	// retryable 503) and from malformed entries.
 	status := http.StatusAccepted
 	if resp.Accepted == 0 {
-		if noBackends {
+		switch {
+		case allSaturated && saturatedErr != nil:
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterHint(saturatedErr)))
+			status = http.StatusTooManyRequests
+		case noBackends:
 			status = http.StatusServiceUnavailable
-		} else {
+		default:
 			status = http.StatusBadRequest
 		}
 	}

@@ -16,16 +16,20 @@ type gatewayMetrics struct {
 	http  *telemetry.HTTPMetrics
 	start time.Time
 
-	jobsSubmitted   *telemetry.Counter
-	jobsCompleted   *telemetry.CounterVec   // status: done | failed
-	reroutes        *telemetry.Counter      // submissions landed off their rendezvous primary
-	failovers       *telemetry.Counter      // jobs resubmitted to another backend
-	ejections       *telemetry.CounterVec   // backend
-	readmissions    *telemetry.CounterVec   // backend
-	backendRequests *telemetry.CounterVec   // backend, op, outcome
-	upstreamSeconds *telemetry.HistogramVec // op
-	recoveryWaits   *telemetry.Counter      // recovery-window "wait it out" verdicts
-	sseSubscribers  *telemetry.Gauge
+	jobsSubmitted      *telemetry.Counter
+	jobsCompleted      *telemetry.CounterVec   // status: done | failed
+	reroutes           *telemetry.Counter      // submissions landed off their rendezvous primary
+	spills             *telemetry.Counter      // reroutes past a saturated (not dead) primary
+	shed               *telemetry.Counter      // submissions 429'd upstream: every backend saturated
+	failovers          *telemetry.Counter      // jobs resubmitted to another backend
+	ejections          *telemetry.CounterVec   // backend
+	readmissions       *telemetry.CounterVec   // backend
+	breakerTransitions *telemetry.CounterVec   // backend, to: open | half-open | closed
+	breakerStates      *telemetry.GaugeVec     // backend; value encodes the state
+	backendRequests    *telemetry.CounterVec   // backend, op, outcome
+	upstreamSeconds    *telemetry.HistogramVec // op
+	recoveryWaits      *telemetry.Counter      // recovery-window "wait it out" verdicts
+	sseSubscribers     *telemetry.Gauge
 }
 
 // newGatewayMetrics registers the gateway's families on reg. Per-backend
@@ -74,9 +78,40 @@ func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
 	m.jobsCompleted = reg.CounterVec("hpgate_jobs_completed_total",
 		"Jobs observed reaching a terminal state at the gateway, by outcome.",
 		"status")
+	reg.GaugeFunc("hpgate_backends_saturated",
+		"Backends currently marked saturated (queue occupancy beyond the "+
+			"spill watermark, or a 429 observed since the last probe).",
+		func() float64 {
+			g.mu.Lock()
+			backends := make([]*backend, 0, len(g.backends))
+			for _, b := range g.backends {
+				backends = append(backends, b)
+			}
+			g.mu.Unlock()
+			n := 0
+			for _, b := range backends {
+				if sat, _ := b.loadStatus(); sat {
+					n++
+				}
+			}
+			return float64(n)
+		})
+
 	m.reroutes = reg.Counter("hpgate_reroutes_total",
 		"Submissions that landed on a backend other than their rendezvous "+
 			"primary (the primary was ejected or refused).")
+	m.spills = reg.Counter("hpgate_spills_total",
+		"Submissions spilled past a live but saturated rendezvous primary "+
+			"to a lower-ranked backend.")
+	m.shed = reg.Counter("hpgate_shed_total",
+		"Submissions shed upstream with 429 because every backend was "+
+			"saturated.")
+	m.breakerTransitions = reg.CounterVec("hpgate_breaker_transitions_total",
+		"Per-backend circuit-breaker transitions, by backend and target "+
+			"state.", "backend", "to")
+	m.breakerStates = reg.GaugeVec("hpgate_breaker_state",
+		"Per-backend circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+		"backend")
 	m.failovers = reg.Counter("hpgate_failovers_total",
 		"Jobs resubmitted to another backend after theirs was lost.")
 	m.ejections = reg.CounterVec("hpgate_backend_ejections_total",
@@ -95,6 +130,25 @@ func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
 	m.sseSubscribers = reg.Gauge("hpgate_sse_subscribers",
 		"Progress event streams currently proxied.")
 	return m
+}
+
+// breakerTransition publishes one breaker transition: the counter and the
+// per-backend state gauge.
+func (m *gatewayMetrics) breakerTransition(url string, to breakerState) {
+	if m == nil {
+		return
+	}
+	m.breakerTransitions.WithLabelValues(url, to.String()).Inc()
+	m.breakerStates.WithLabelValues(url).Set(float64(to))
+}
+
+// breakerInit seeds a new backend's state gauge at closed so the series
+// exists before its first transition.
+func (m *gatewayMetrics) breakerInit(url string) {
+	if m == nil {
+		return
+	}
+	m.breakerStates.WithLabelValues(url).Set(float64(breakerClosed))
 }
 
 // backendRequest records one proxied call's outcome and latency.

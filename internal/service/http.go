@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"hyperpraw"
+	"hyperpraw/internal/faultpoint"
 	"hyperpraw/internal/telemetry"
 )
 
@@ -82,7 +83,31 @@ func NewHandler(s *Service) http.Handler {
 	if s.metrics != nil {
 		m = s.metrics.http
 	}
-	return telemetry.Instrument(m, mux)
+	return telemetry.Instrument(m, withFaults(mux))
+}
+
+// withFaults is the service tier's HTTP fault-injection shim: armed
+// service.http.slow points delay every response, service.http.drop severs
+// the connection without one. Disarmed (always, outside chaos runs) it costs
+// one atomic load per request.
+func withFaults(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A slow fault has already slept inside Fire by the time it returns.
+		faultpoint.Fire(faultpoint.ServiceHTTPSlow)
+		if f := faultpoint.Fire(faultpoint.ServiceHTTPDrop); f != nil && f.Action == faultpoint.ActDrop {
+			// ErrAbortHandler closes the connection with no response and is
+			// suppressed by net/http's panic logging.
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// retryAfter stamps the live backoff hint on a rejection about to be
+// written; 429 and 503 responses carry it so clients (and the hpgate
+// gateway) can pace their retries off real queue waits.
+func retryAfter(s *Service, w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
 }
 
 func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -99,9 +124,11 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 	req.Trace = telemetry.TraceFrom(r.Context())
 	info, err := s.Submit(req)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrInflightBytes):
+		retryAfter(s, w)
 		WriteError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrClosed):
+		retryAfter(s, w)
 		WriteError(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
 		WriteError(w, http.StatusInternalServerError, err.Error())
@@ -188,7 +215,7 @@ func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := hyperpraw.BatchResponse{Jobs: make([]hyperpraw.BatchItem, len(batch.Jobs))}
-	var queueFull, closed bool
+	var overloaded, closed bool
 	for i, wire := range batch.Jobs {
 		req, err := ParseRequest(wire)
 		if err == nil {
@@ -199,7 +226,7 @@ func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if err != nil {
-			queueFull = queueFull || errors.Is(err, ErrQueueFull)
+			overloaded = overloaded || errors.Is(err, ErrQueueFull) || errors.Is(err, ErrInflightBytes)
 			closed = closed || errors.Is(err, ErrClosed)
 			resp.Jobs[i].Error = err.Error()
 			resp.Rejected++
@@ -212,9 +239,11 @@ func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
 	status := http.StatusAccepted
 	if resp.Accepted == 0 {
 		switch {
-		case queueFull:
+		case overloaded:
+			retryAfter(s, w)
 			status = http.StatusTooManyRequests
 		case closed:
+			retryAfter(s, w)
 			status = http.StatusServiceUnavailable
 		default:
 			status = http.StatusBadRequest
@@ -279,6 +308,13 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, id string)
 	}
 	s.metrics.sseGauge(1)
 	defer s.metrics.sseGauge(-1)
+
+	if f := faultpoint.Fire(faultpoint.ServiceSSEStall); f != nil && f.Action == faultpoint.ActStall {
+		// Injected stall: the stream stays open but never produces another
+		// frame — the pathological upstream the gateway proxy must survive.
+		<-r.Context().Done()
+		return
+	}
 
 	seq := after
 	for {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"hyperpraw"
+	"hyperpraw/internal/faultpoint"
 	"hyperpraw/internal/hgen"
 	"hyperpraw/internal/store"
 	"hyperpraw/internal/telemetry"
@@ -22,6 +24,13 @@ var (
 	ErrClosed = errors.New("service: shutting down")
 	// ErrQueueFull is returned by Submit when the job queue is at capacity.
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrInflightBytes is returned by Submit when accepting the request's
+	// inline upload would push the queued+running payload total past
+	// Config.MaxInflightBytes.
+	ErrInflightBytes = errors.New("service: inflight upload bytes limit reached")
+	// errDeadline marks a job that hit its ServeOptions.DeadlineMS budget,
+	// either while still queued or mid-run (kernel cancellation).
+	errDeadline = errors.New("service: job deadline exceeded")
 )
 
 // maxInstanceScale bounds catalog-instance scale factors a request may ask
@@ -36,6 +45,12 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the number of jobs waiting to run (default 256).
 	QueueDepth int
+	// MaxInflightBytes bounds the total inline-upload payload (the hMetis
+	// text of PartitionRequest.HMetis) across queued and running jobs: a
+	// submission that would push the sum past the bound is rejected with
+	// ErrInflightBytes (HTTP 429). 0 means unlimited. Catalog-instance
+	// requests carry no upload and count as zero bytes.
+	MaxInflightBytes int64
 	// EnvCacheSize bounds the profiled-Environment LRU (default 16).
 	EnvCacheSize int
 	// ResultCacheSize bounds the partition-result LRU (default 128).
@@ -194,6 +209,12 @@ type job struct {
 	req      Request
 	done     chan struct{} // closed when the job reaches done or failed
 	progress *progressLog
+	// deadline is the absolute time budget derived from
+	// ServeOptions.DeadlineMS at admission (zero = none); cost the inline
+	// upload bytes reserved against Config.MaxInflightBytes until the job
+	// finishes. Both are set before the job becomes visible to a worker.
+	deadline time.Time
+	cost     int64
 }
 
 func (j *job) snapshot() hyperpraw.JobInfo {
@@ -208,11 +229,20 @@ type Service struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // submission order, for listing
-	nextID int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	nextID   int
+	closed   bool
+	inflight int64 // upload bytes held by queued+running jobs (admission)
+
+	// waits is a small always-on ring of recent queue-wait samples backing
+	// RetryAfter: cheap enough to keep without the metrics registry, so
+	// 429 responses carry a live hint even on minimal deployments.
+	waitMu  sync.Mutex
+	waits   [64]float64 // seconds
+	waitLen int
+	waitIdx int
 
 	envs    *Cache[hyperpraw.Environment]
 	results *Cache[hyperpraw.JobResult]
@@ -326,6 +356,15 @@ func (s *Service) requeueReplayed(j *job, rec store.JobRecord) {
 		return
 	}
 	j.req = req
+	// Recovered jobs bypass admission (they held their slots before the
+	// crash) but still reserve their upload bytes so the release at finish
+	// balances; their original deadline keeps applying across the restart.
+	j.cost = int64(len(rec.Wire.HMetis))
+	s.inflight += j.cost
+	if opts := req.Options; opts != nil && opts.DeadlineMS > 0 {
+		j.deadline = time.UnixMilli(j.info.SubmittedAt).
+			Add(time.Duration(opts.DeadlineMS) * time.Millisecond)
+	}
 	j.info.Status = hyperpraw.JobQueued
 	j.info.StartedAt = 0
 	select {
@@ -336,14 +375,17 @@ func (s *Service) requeueReplayed(j *job, rec store.JobRecord) {
 	default:
 		// Unreachable: New sizes the queue to hold every recovered
 		// unfinished job; kept as a safety net over a silent drop.
+		s.inflight -= j.cost
 		fail("service: job queue full after restart")
 	}
 }
 
 // Submit enqueues a request and returns the queued job's info. It fails
-// with ErrQueueFull when the queue is at capacity and ErrClosed after
-// Shutdown has begun.
+// with ErrQueueFull when the queue is at capacity, ErrInflightBytes when
+// the request's upload would breach Config.MaxInflightBytes, and ErrClosed
+// after Shutdown has begun.
 func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
+	cost := int64(len(req.wire.HMetis))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -359,9 +401,15 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 		s.metrics.rejected(ErrQueueFull)
 		return hyperpraw.JobInfo{}, ErrQueueFull
 	}
+	if s.cfg.MaxInflightBytes > 0 && s.inflight+cost > s.cfg.MaxInflightBytes {
+		s.mu.Unlock()
+		s.metrics.rejected(ErrInflightBytes)
+		return hyperpraw.JobInfo{}, ErrInflightBytes
+	}
 	s.nextID++
 	j := &job{
 		req:      req,
+		cost:     cost,
 		done:     make(chan struct{}),
 		progress: newProgressLog(),
 		info: hyperpraw.JobInfo{
@@ -374,6 +422,10 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 			Trace:       req.Trace,
 			SubmittedAt: time.Now().UnixMilli(),
 		},
+	}
+	if opts := req.Options; opts != nil && opts.DeadlineMS > 0 {
+		j.deadline = time.UnixMilli(j.info.SubmittedAt).
+			Add(time.Duration(opts.DeadlineMS) * time.Millisecond)
 	}
 	if s.store != nil {
 		j.info.Persisted = true
@@ -405,11 +457,15 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	if len(s.queue) >= s.cfg.QueueDepth {
 		return reject(ErrQueueFull)
 	}
+	if s.cfg.MaxInflightBytes > 0 && s.inflight+cost > s.cfg.MaxInflightBytes {
+		return reject(ErrInflightBytes)
+	}
 	select {
 	case s.queue <- j:
 	default:
 		return reject(ErrQueueFull)
 	}
+	s.inflight += cost
 	s.jobs[j.info.ID] = j
 	s.order = append(s.order, j.info.ID)
 	pruned := s.pruneLocked()
@@ -538,20 +594,23 @@ func (s *Service) Health() hyperpraw.ServeHealth {
 		}
 	}
 	closed := s.closed
+	inflight := s.inflight
 	s.mu.Unlock()
 	status := "ok"
 	if closed {
 		status = "shutting-down"
 	}
 	health := hyperpraw.ServeHealth{
-		Status:      status,
-		Workers:     s.cfg.Workers,
-		QueueDepth:  s.cfg.QueueDepth,
-		Queued:      queued,
-		Running:     running,
-		Jobs:        total,
-		EnvCache:    s.envs.Stats(),
-		ResultCache: s.results.Stats(),
+		Status:           status,
+		Workers:          s.cfg.Workers,
+		QueueDepth:       s.cfg.QueueDepth,
+		Queued:           queued,
+		Running:          running,
+		Jobs:             total,
+		EnvCache:         s.envs.Stats(),
+		ResultCache:      s.results.Stats(),
+		InflightBytes:    inflight,
+		MaxInflightBytes: s.cfg.MaxInflightBytes,
 	}
 	if s.store != nil {
 		health.Durable = true
@@ -559,6 +618,46 @@ func (s *Service) Health() hyperpraw.ServeHealth {
 	}
 	health.Telemetry = s.metrics.snapshot()
 	return health
+}
+
+// noteQueueWait records one job's queue wait into the ring backing
+// RetryAfter.
+func (s *Service) noteQueueWait(d time.Duration) {
+	s.waitMu.Lock()
+	s.waits[s.waitIdx] = d.Seconds()
+	s.waitIdx = (s.waitIdx + 1) % len(s.waits)
+	if s.waitLen < len(s.waits) {
+		s.waitLen++
+	}
+	s.waitMu.Unlock()
+}
+
+// RetryAfter suggests how many seconds a rejected client should wait before
+// resubmitting: the median of recent queue waits, clamped to [1s, 60s]. The
+// median (not max) because a rejected submission joins the back of a queue
+// that is also draining; the clamp keeps the hint sane when the ring holds
+// only instant cache hits or one pathological job. Serves the Retry-After
+// header on 429/503 responses.
+func (s *Service) RetryAfter() int {
+	s.waitMu.Lock()
+	n := s.waitLen
+	sample := make([]float64, n)
+	if n > 0 {
+		copy(sample, s.waits[:n])
+	}
+	s.waitMu.Unlock()
+	if n == 0 {
+		return 1
+	}
+	sort.Float64s(sample)
+	secs := int(math.Ceil(sample[n/2]))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 // snapshotStatusLocked reads a job's status; safe to call while holding
@@ -591,8 +690,36 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.sealProgressLogs("")
 		return nil
 	case <-ctx.Done():
+		// The drain deadline expired with jobs still queued or running.
+		// Journal their latest state before the process exits so the
+		// restart re-queues them from an up-to-date record instead of
+		// racing the kill signal.
+		s.journalUnfinished()
 		s.sealProgressLogs("service: shut down before the job completed")
 		return ctx.Err()
+	}
+}
+
+// journalUnfinished writes every non-terminal job's current info to the
+// durable store; called when a drain deadline expires, it is what lets a
+// restart pick the abandoned jobs up exactly where the shutdown left them.
+func (s *Service) journalUnfinished() {
+	if s.store == nil {
+		return
+	}
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		info := j.snapshot()
+		switch info.Status {
+		case hyperpraw.JobDone, hyperpraw.JobFailed:
+			continue
+		}
+		s.journal(store.StatusChanged(info))
 	}
 }
 
@@ -633,7 +760,9 @@ func (s *Service) runJob(j *job) {
 	j.info.QueueWaitMS = float64(queueWait) / float64(time.Millisecond)
 	id := j.info.ID
 	running := j.info
+	deadline := j.deadline
 	j.mu.Unlock()
+	s.noteQueueWait(queueWait)
 	s.metrics.timeStage("queue_wait", queueWait)
 	s.journal(store.StatusChanged(running))
 
@@ -647,7 +776,27 @@ func (s *Service) runJob(j *job) {
 			IterationPoint: hyperpraw.PointFromStats(st),
 		})
 	}
-	res, err := s.executeSafe(j.req, onIter)
+	var (
+		res hyperpraw.JobResult
+		err error
+	)
+	if !deadline.IsZero() && !started.Before(deadline) {
+		// Load shedding: the job burned its whole budget in the queue.
+		// Failing it here is free and keeps the worker for jobs that can
+		// still meet their deadlines — running work is never abandoned to
+		// make room, queued work past its budget never starts.
+		err = fmt.Errorf("%w: %.1fs queued exhausted the %.1fs budget before execution",
+			errDeadline, queueWait.Seconds(), time.Duration(j.req.Options.DeadlineMS*int64(time.Millisecond)).Seconds())
+	} else {
+		var stop func() bool
+		if !deadline.IsZero() {
+			ctx, cancel := context.WithDeadline(context.Background(), deadline)
+			defer cancel()
+			stop = func() bool { return ctx.Err() != nil }
+		}
+		faultpoint.Fire(faultpoint.ServiceExecSlow)
+		res, err = s.executeSafe(j.req, onIter, stop)
+	}
 	exec := time.Since(started)
 
 	j.mu.Lock()
@@ -669,13 +818,25 @@ func (s *Service) runJob(j *job) {
 	j.req = Request{}
 	j.mu.Unlock()
 
+	s.mu.Lock()
+	s.inflight -= j.cost
+	s.mu.Unlock()
+
 	s.metrics.timeStage("total", queueWait+exec)
+	// Deadline expiries count separately from organic failures so an
+	// operator can tell "jobs are broken" from "jobs are too slow".
+	outcome := "done"
 	if err != nil {
-		s.metrics.jobsCompleted.WithLabelValues("failed").Inc()
-		log.Printf("service: job=%s trace=%s algorithm=%s status=failed queue_wait_ms=%.1f exec_ms=%.1f error=%q",
-			id, trace, algorithm, float64(queueWait)/float64(time.Millisecond), float64(exec)/float64(time.Millisecond), errMsg)
+		outcome = "failed"
+		if errors.Is(err, errDeadline) {
+			outcome = "deadline"
+		}
+	}
+	s.metrics.jobsCompleted.WithLabelValues(outcome).Inc()
+	if err != nil {
+		log.Printf("service: job=%s trace=%s algorithm=%s status=%s queue_wait_ms=%.1f exec_ms=%.1f error=%q",
+			id, trace, algorithm, outcome, float64(queueWait)/float64(time.Millisecond), float64(exec)/float64(time.Millisecond), errMsg)
 	} else {
-		s.metrics.jobsCompleted.WithLabelValues("done").Inc()
 		log.Printf("service: job=%s trace=%s algorithm=%s status=done queue_wait_ms=%.1f exec_ms=%.1f",
 			id, trace, algorithm, float64(queueWait)/float64(time.Millisecond), float64(exec)/float64(time.Millisecond))
 	}
@@ -702,18 +863,18 @@ func (s *Service) runJob(j *job) {
 
 // executeSafe converts a panicking execution into a failed job: one bad
 // request must never take down the worker (and with it the whole server).
-func (s *Service) executeSafe(req Request, onIter func(hyperpraw.IterationStats)) (res hyperpraw.JobResult, err error) {
+func (s *Service) executeSafe(req Request, onIter func(hyperpraw.IterationStats), stop func() bool) (res hyperpraw.JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("service: job panicked: %v", r)
 		}
 	}()
-	return s.execute(req, onIter)
+	return s.execute(req, onIter, stop)
 }
 
 // execute runs one request end to end: profile (or reuse) the machine's
 // environment, obtain the hypergraph, and compute (or reuse) the partition.
-func (s *Service) execute(req Request, onIter func(hyperpraw.IterationStats)) (hyperpraw.JobResult, error) {
+func (s *Service) execute(req Request, onIter func(hyperpraw.IterationStats), stop func() bool) (hyperpraw.JobResult, error) {
 	machine, err := req.Machine.Build()
 	if err != nil {
 		return hyperpraw.JobResult{}, err
@@ -738,7 +899,7 @@ func (s *Service) execute(req Request, onIter func(hyperpraw.IterationStats)) (h
 			h = hyperpraw.GenerateInstance(spec.Name, spec.Scale, spec.Seed)
 		}
 		start := time.Now()
-		r, err := partitionOnce(h, env, machine, req, onIter)
+		r, err := partitionOnce(h, env, machine, req, onIter, stop)
 		if err == nil {
 			s.metrics.timeStage("partition", time.Since(start))
 			if r.Kernel != nil {
@@ -760,13 +921,14 @@ func (s *Service) execute(req Request, onIter func(hyperpraw.IterationStats)) (h
 // History recording is forced on so every restreaming result carries its
 // per-iteration trajectory (replayed to SSE subscribers that missed the
 // live run); onIter additionally streams each iteration as it happens.
-func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *hyperpraw.Machine, req Request, onIter func(hyperpraw.IterationStats)) (hyperpraw.JobResult, error) {
+func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *hyperpraw.Machine, req Request, onIter func(hyperpraw.IterationStats), stop func() bool) (hyperpraw.JobResult, error) {
 	opts := req.Options.Options()
 	if opts == nil {
 		opts = &hyperpraw.Options{}
 	}
 	opts.RecordHistory = true
 	opts.Progress = onIter
+	opts.Stop = stop
 	// Kernel activity counters ride along with the result, so a job served
 	// from the cache still shows the computing run's counters.
 	var ks hyperpraw.KernelStats
@@ -798,6 +960,12 @@ func partitionOnce(h *hyperpraw.Hypergraph, env hyperpraw.Environment, machine *
 	}
 	if err != nil {
 		return hyperpraw.JobResult{}, err
+	}
+	if pres.Parts != nil && pres.Stopped == hyperpraw.StoppedCanceled {
+		// The deadline tripped the kernel's Stop hook mid-run. Fail the job
+		// (an error here also keeps the partial partition out of the result
+		// cache) rather than serve a cut of unknown quality.
+		return hyperpraw.JobResult{}, fmt.Errorf("%w: kernel cancelled after %d iterations", errDeadline, pres.Iterations)
 	}
 	if req.Mapping {
 		parts, err = hyperpraw.MapToTopology(h, parts, machine, env)

@@ -20,8 +20,8 @@ type serviceMetrics struct {
 	start time.Time
 
 	jobsSubmitted  *telemetry.Counter
-	jobsCompleted  *telemetry.CounterVec   // status: done | failed
-	jobsRejected   *telemetry.CounterVec   // reason: queue_full | closed
+	jobsCompleted  *telemetry.CounterVec   // status: done | failed | deadline
+	jobsRejected   *telemetry.CounterVec   // reason: queue_full | inflight_bytes | closed
 	stageSeconds   *telemetry.HistogramVec // stage: queue_wait | profile | partition | total
 	sseSubscribers *telemetry.Gauge
 
@@ -56,6 +56,22 @@ func newServiceMetrics(reg *telemetry.Registry, s *Service) *serviceMetrics {
 			s.mu.Unlock()
 			return float64(n)
 		})
+	reg.GaugeFunc("hyperpraw_inflight_bytes",
+		"Inline-upload payload bytes held by queued and running jobs (the "+
+			"quantity bounded by -max-inflight-bytes).",
+		func() float64 {
+			s.mu.Lock()
+			n := s.inflight
+			s.mu.Unlock()
+			return float64(n)
+		})
+	reg.Gauge("hyperpraw_inflight_bytes_capacity",
+		"Configured -max-inflight-bytes admission bound; 0 means unlimited.").
+		Set(float64(s.cfg.MaxInflightBytes))
+	reg.GaugeFunc("hyperpraw_retry_after_seconds",
+		"Retry-After hint currently served with 429/503 rejections, derived "+
+			"from recent queue waits.",
+		func() float64 { return float64(s.RetryAfter()) })
 
 	m.jobsSubmitted = reg.Counter("hyperpraw_jobs_submitted_total",
 		"Jobs accepted into the queue.")
@@ -133,8 +149,11 @@ func (m *serviceMetrics) rejected(err error) {
 		return
 	}
 	reason := "queue_full"
-	if errors.Is(err, ErrClosed) {
+	switch {
+	case errors.Is(err, ErrClosed):
 		reason = "closed"
+	case errors.Is(err, ErrInflightBytes):
+		reason = "inflight_bytes"
 	}
 	m.jobsRejected.WithLabelValues(reason).Inc()
 }

@@ -40,6 +40,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyperpraw/internal/faultpoint"
+
 	"hyperpraw"
 )
 
@@ -391,6 +393,30 @@ func (s *Store) Append(rec Record) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	if err := faultpoint.Fire(faultpoint.StoreWALWriteError).AsError(); err != nil {
+		// Injected disk failure: take the same recovery path as a real
+		// write error so chaos tests exercise the reopen/repair logic.
+		s.wal.Truncate(s.walSize) //nolint:errcheck
+		s.wal.Close()             //nolint:errcheck
+		s.wal = nil
+		return fmt.Errorf("store: %w", err)
+	}
+	if f := faultpoint.Fire(faultpoint.StoreWALTornFrame); f != nil && f.Action == faultpoint.ActTorn {
+		// Injected torn write: persist only a prefix of the frame but
+		// report success, as a crash mid-flush would. Replay truncates
+		// the torn tail (and anything after it) on the next open.
+		torn := line[:len(line)/2]
+		if _, err := s.wal.WriteString(torn); err != nil {
+			s.wal.Truncate(s.walSize) //nolint:errcheck
+			s.wal.Close()             //nolint:errcheck
+			s.wal = nil
+			return fmt.Errorf("store: %w", err)
+		}
+		s.walSize += int64(len(torn))
+		s.apply(rec)
+		s.walRecords++
+		return nil
+	}
 	if _, err := s.wal.WriteString(line); err != nil {
 		// A partial record would shadow every later append on reload:
 		// best-effort cut back to the last good record, then drop the

@@ -1,0 +1,192 @@
+package store
+
+// Torn-WAL recovery tests driven through internal/faultpoint: injected disk
+// write failures, torn frames, manual mid-frame truncation, CRC damage and a
+// partial snapshot. Every scenario must recover the intact prefix (or fail
+// Open with a clean error) — never panic, never resurrect damaged records.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"hyperpraw"
+	"hyperpraw/internal/faultpoint"
+)
+
+// crash abandons a store without Close: Close compacts the WAL into a
+// snapshot, which is exactly what a SIGKILL does not get to do.
+func crash(s *Store) { _ = s } //nolint:unparam
+
+func walBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(dir + "/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFaultpointWALWriteError(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	dir := t.TempDir()
+	s := open(t, dir)
+	defer s.Close()
+
+	if err := faultpoint.Arm(faultpoint.StoreWALWriteError + "=error(disk full)*1"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Append(Submitted(info("job-000001", hyperpraw.JobQueued), wire()))
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Append with injected write error = %v", err)
+	}
+	// The failed write must not poison the log: the next append reopens,
+	// repairs, and lands intact.
+	if err := s.Append(Submitted(info("job-000002", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatalf("append after injected failure: %v", err)
+	}
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 1 || jobs[0].Info.ID != "job-000002" {
+		t.Fatalf("recovered %d jobs %+v, want only job-000002", len(jobs), jobs)
+	}
+}
+
+func TestFaultpointTornFrameRecovery(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	dir := t.TempDir()
+	s := open(t, dir)
+
+	if err := s.Append(Submitted(info("job-000001", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	intact := append([]byte(nil), walBytes(t, dir)...)
+
+	if err := faultpoint.Arm(faultpoint.StoreWALTornFrame + "=torn*1"); err != nil {
+		t.Fatal(err)
+	}
+	// The torn append reports success — the process believed the flush
+	// landed — but only half the frame reaches disk.
+	if err := s.Append(Submitted(info("job-000002", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatalf("torn append should report success, got %v", err)
+	}
+	if got := len(walBytes(t, dir)); got <= len(intact) {
+		t.Fatalf("torn frame wrote nothing: wal %d bytes, intact prefix %d", got, len(intact))
+	}
+	crash(s)
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 1 || jobs[0].Info.ID != "job-000001" {
+		t.Fatalf("recovered %d jobs %+v, want only job-000001", len(jobs), jobs)
+	}
+	// Replay must truncate the WAL back to the byte-identical intact
+	// prefix so future appends land after real records, not garbage.
+	if got := walBytes(t, dir); string(got) != string(intact) {
+		t.Fatalf("wal after recovery is %d bytes, want the %d-byte intact prefix", len(got), len(intact))
+	}
+}
+
+func TestTruncatedMidFrameRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Append(Submitted(info("job-000001", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	intact := append([]byte(nil), walBytes(t, dir)...)
+	if err := s.Append(Submitted(info("job-000002", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	// Cut the second frame in half — a crash mid-write without the
+	// faultpoint's help.
+	full := walBytes(t, dir)
+	cut := len(intact) + (len(full)-len(intact))/2
+	if err := os.Truncate(dir+"/wal.log", int64(cut)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	defer s2.Close()
+	if jobs := s2.Jobs(); len(jobs) != 1 || jobs[0].Info.ID != "job-000001" {
+		t.Fatalf("recovered %+v, want only job-000001", jobs)
+	}
+	if got := walBytes(t, dir); string(got) != string(intact) {
+		t.Fatalf("wal not truncated to intact prefix: %d bytes, want %d", len(got), len(intact))
+	}
+}
+
+func TestCRCCorruptionDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for _, id := range []string{"job-000001", "job-000002", "job-000003"} {
+		if err := s.Append(Submitted(info(id, hyperpraw.JobQueued), wire())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crash(s)
+
+	// Flip one payload byte in the middle record: its CRC no longer
+	// matches, so it and everything after it must be dropped (a record
+	// boundary cannot be trusted past the first damaged frame).
+	full := walBytes(t, dir)
+	lines := strings.SplitAfter(string(full), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected 3 WAL lines, got %d", len(lines))
+	}
+	intact := lines[0]
+	corrupt := []byte(lines[1])
+	corrupt[len(corrupt)/2] ^= 0xff
+	damaged := intact + string(corrupt) + lines[2]
+	if err := os.WriteFile(dir+"/wal.log", []byte(damaged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	if jobs := s2.Jobs(); len(jobs) != 1 || jobs[0].Info.ID != "job-000001" {
+		t.Fatalf("recovered %+v, want only job-000001", jobs)
+	}
+	if got := walBytes(t, dir); string(got) != intact {
+		t.Fatalf("wal not cut at first damaged frame: %d bytes, want %d", len(got), len(intact))
+	}
+	crash(s2)
+
+	// Recovery is idempotent: a second replay of the repaired log yields
+	// the same state.
+	s3 := open(t, dir)
+	defer s3.Close()
+	if jobs := s3.Jobs(); len(jobs) != 1 || jobs[0].Info.ID != "job-000001" {
+		t.Fatalf("second recovery diverged: %+v", jobs)
+	}
+}
+
+func TestPartialSnapshotFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Append(Submitted(info("job-000001", hyperpraw.JobQueued), wire())); err != nil {
+		t.Fatal(err)
+	}
+	// Close compacts: state now lives in snapshot.json.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := os.ReadFile(dir + "/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/snapshot.json", snap[:len(snap)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshots are written atomically (temp file + rename), so a partial
+	// snapshot means external damage: Open must refuse with a clear error
+	// rather than panic or silently serve half the jobs.
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "bad snapshot") {
+		t.Fatalf("Open with partial snapshot = %v, want bad-snapshot error", err)
+	}
+}

@@ -143,6 +143,13 @@ type ServeOptions struct {
 	FrontierRestreaming bool   `json:"frontier_restreaming,omitempty"`
 	Seed                uint64 `json:"seed,omitempty"`
 	Workers             int    `json:"workers,omitempty"`
+	// DeadlineMS bounds the job's total time from submission (queue wait
+	// included) in milliseconds; 0 means no deadline. A job still queued at
+	// its deadline fails without running; a running restreaming job is
+	// cancelled cooperatively at the next kernel pass so a stuck refinement
+	// cannot hold a worker slot past its budget. The multilevel and
+	// hierarchical baselines only check the deadline before starting.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Options bridges the wire options to the library Options consumed by the
@@ -172,9 +179,11 @@ func (o *ServeOptions) Key() string {
 	if (ServeOptions{Workers: o.Workers}) == *o {
 		return "opt:default"
 	}
-	return fmt.Sprintf("opt:%g:%d:%g:%t:f%t:s%d",
+	// DeadlineMS joins the key: a deadline-cancelled run would differ from
+	// an unconstrained one, so the two must not share a cache entry.
+	return fmt.Sprintf("opt:%g:%d:%g:%t:f%t:s%d:dl%d",
 		o.ImbalanceTolerance, o.MaxIterations, o.RefinementFactor,
-		o.DisableRefinement, o.FrontierRestreaming, o.Seed)
+		o.DisableRefinement, o.FrontierRestreaming, o.Seed, o.DeadlineMS)
 }
 
 // ServeBenchOptions is the JSON-friendly mirror of BenchOptions.
@@ -324,9 +333,20 @@ type ProgressEvent struct {
 type BackendStatus struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
+	// Breaker is the backend's circuit-breaker state: "closed" (serving),
+	// "open" (ejected, cooling down) or "half-open" (one probe in flight
+	// decides between the two).
+	Breaker string `json:"breaker,omitempty"`
 	// Fails counts consecutive failed probes or proxied calls; it resets to
 	// zero on the first success after re-admission.
 	Fails int `json:"fails,omitempty"`
+	// Saturated reports that the backend's last /healthz probe showed its
+	// queue above the gateway's spill watermark (or the backend answered
+	// 429 since): the gateway spills new work to the next-ranked backend
+	// until a probe shows the queue back under the watermark.
+	Saturated bool `json:"saturated,omitempty"`
+	// Queued is the backend queue depth observed by the last health probe.
+	Queued int `json:"queued,omitempty"`
 	// Jobs is how many of the gateway's retained jobs are currently routed
 	// to this backend.
 	Jobs int `json:"jobs"`
@@ -407,6 +427,10 @@ type ServeHealth struct {
 	Jobs        int        `json:"jobs"`
 	EnvCache    CacheStats `json:"env_cache"`
 	ResultCache CacheStats `json:"result_cache"`
+	// InflightBytes is the total inline-upload payload held by queued and
+	// running jobs; MaxInflightBytes the admission bound (0 = unlimited).
+	InflightBytes    int64 `json:"inflight_bytes,omitempty"`
+	MaxInflightBytes int64 `json:"max_inflight_bytes,omitempty"`
 	// Durable reports whether the service journals jobs to a durable store
 	// (hpserve -store); StoredJobs is how many jobs that store holds. An
 	// hpgate gateway keys its restart-recovery behavior off Durable.
