@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -51,6 +52,15 @@ var ErrStreamEnded = errors.New("client: event stream ended before the job finis
 type APIError struct {
 	StatusCode int
 	Message    string
+	// Code is the machine-readable error code from the server's envelope
+	// (the hyperpraw.ErrCode catalog: "not_found", "overloaded",
+	// "graph_referenced", …). Empty when talking to a pre-envelope server,
+	// so callers should treat it as a refinement of StatusCode, not a
+	// replacement.
+	Code string
+	// Trace is the failed request's X-Hyperpraw-Trace ID as echoed in the
+	// envelope, for correlating a client-side failure with server logs.
+	Trace string
 	// RetryAfter is the response's Retry-After header in seconds (0 when
 	// absent). Overloaded servers attach it to 429/503 rejections; the
 	// retry policy and the gateway's shed path honor it.
@@ -58,6 +68,9 @@ type APIError struct {
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: %d %s (%s): %s", e.StatusCode, http.StatusText(e.StatusCode), e.Code, e.Message)
+	}
 	return fmt.Sprintf("client: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
 }
 
@@ -151,13 +164,46 @@ func (c *Client) Job(ctx context.Context, id string) (hyperpraw.JobInfo, error) 
 	return info, err
 }
 
-// Jobs lists every job the server knows about.
+// Jobs lists every job the server knows about. For bounded pages use
+// ListJobs.
 func (c *Client) Jobs(ctx context.Context) ([]hyperpraw.JobInfo, error) {
 	var out struct {
 		Jobs []hyperpraw.JobInfo `json:"jobs"`
 	}
 	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, "", http.StatusOK, &out)
 	return out.Jobs, err
+}
+
+// JobsQuery selects one page of GET /v1/jobs: Limit bounds the page size
+// (0 = everything), After resumes past a previously returned
+// JobsPage.NextAfter cursor, and State filters to one lifecycle state.
+type JobsQuery struct {
+	Limit int
+	After string
+	State hyperpraw.JobStatus
+}
+
+// ListJobs fetches one page of the server's job table. Page through the
+// whole table by passing each response's NextAfter back as q.After until
+// it comes back empty.
+func (c *Client) ListJobs(ctx context.Context, q JobsQuery) (hyperpraw.JobsPage, error) {
+	params := url.Values{}
+	if q.Limit > 0 {
+		params.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.After != "" {
+		params.Set("after", q.After)
+	}
+	if q.State != "" {
+		params.Set("state", string(q.State))
+	}
+	path := "/v1/jobs"
+	if len(params) > 0 {
+		path += "?" + params.Encode()
+	}
+	var page hyperpraw.JobsPage
+	err := c.do(ctx, http.MethodGet, path, nil, "", http.StatusOK, &page)
+	return page, err
 }
 
 // Result fetches the finished payload for id. It returns ErrNotDone while
@@ -414,18 +460,36 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// apiError decodes a non-2xx response body into an APIError. It accepts
+// both error shapes the tiers have spoken: the current structured envelope
+// {"error":{"code":…,"message":…,"retry_after_ms":…,"trace":…}} and the
+// legacy {"error":"<string>"} — so a new client keeps working against an
+// old server and vice versa.
 func apiError(resp *http.Response) error {
-	var e struct {
-		Error string `json:"error"`
-	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	msg := strings.TrimSpace(string(data))
-	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		msg = e.Error
+	e := &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	var envelope struct {
+		Error json.RawMessage `json:"error"`
 	}
-	retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if retryAfter < 0 {
-		retryAfter = 0
+	if json.Unmarshal(data, &envelope) == nil && len(envelope.Error) > 0 {
+		var detail hyperpraw.ErrorDetail
+		var legacy string
+		switch {
+		case json.Unmarshal(envelope.Error, &detail) == nil && detail.Message != "":
+			e.Message = detail.Message
+			e.Code = detail.Code
+			e.Trace = detail.Trace
+			if detail.RetryAfterMS > 0 {
+				e.RetryAfter = int((detail.RetryAfterMS + 999) / 1000)
+			}
+		case json.Unmarshal(envelope.Error, &legacy) == nil && legacy != "":
+			e.Message = legacy
+		}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: retryAfter}
+	// The Retry-After header is authoritative when present; the envelope
+	// hint only fills in for proxies that strip headers.
+	if retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After")); retryAfter > 0 {
+		e.RetryAfter = retryAfter
+	}
+	return e
 }

@@ -1,0 +1,88 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hyperpraw/client"
+)
+
+// errorServer answers every request with the given status, headers, and
+// body, so the error-decoding path can be exercised shape by shape.
+func errorServer(t *testing.T, status int, header map[string]string, body string) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for k, v := range header {
+			w.Header().Set(k, v)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL, ts.Client())
+}
+
+func jobErr(t *testing.T, c *client.Client) *client.APIError {
+	t.Helper()
+	_, err := c.Job(context.Background(), "job-000001")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not an APIError", err)
+	}
+	return apiErr
+}
+
+// TestAPIErrorParsesEnvelope decodes the structured envelope both tiers
+// emit: code, message, trace, and the retry_after_ms hint rounded up to
+// whole seconds.
+func TestAPIErrorParsesEnvelope(t *testing.T) {
+	c := errorServer(t, http.StatusTooManyRequests, nil,
+		`{"error":{"code":"overloaded","message":"queue full","retry_after_ms":1500,"trace":"abc123"}}`)
+	e := jobErr(t, c)
+	if e.StatusCode != http.StatusTooManyRequests || e.Code != "overloaded" ||
+		e.Message != "queue full" || e.Trace != "abc123" {
+		t.Fatalf("envelope decoded as %+v", e)
+	}
+	if e.RetryAfter != 2 {
+		t.Fatalf("retry_after_ms=1500 became RetryAfter=%d, want 2 (ceil seconds)", e.RetryAfter)
+	}
+}
+
+// TestAPIErrorParsesLegacyString keeps the old {"error":"<string>"} shape
+// working: message carried over, no code, Retry-After header honoured.
+func TestAPIErrorParsesLegacyString(t *testing.T) {
+	c := errorServer(t, http.StatusServiceUnavailable,
+		map[string]string{"Retry-After": "3"}, `{"error":"backend down"}`)
+	e := jobErr(t, c)
+	if e.Message != "backend down" || e.Code != "" || e.Trace != "" {
+		t.Fatalf("legacy shape decoded as %+v", e)
+	}
+	if e.RetryAfter != 3 {
+		t.Fatalf("Retry-After header gave RetryAfter=%d, want 3", e.RetryAfter)
+	}
+}
+
+// TestAPIErrorHeaderOverridesEnvelopeHint asserts the Retry-After header
+// is authoritative over the envelope's retry_after_ms when both appear.
+func TestAPIErrorHeaderOverridesEnvelopeHint(t *testing.T) {
+	c := errorServer(t, http.StatusTooManyRequests,
+		map[string]string{"Retry-After": "7"},
+		`{"error":{"code":"overloaded","message":"shed","retry_after_ms":1000}}`)
+	if e := jobErr(t, c); e.RetryAfter != 7 {
+		t.Fatalf("RetryAfter=%d, want header value 7", e.RetryAfter)
+	}
+}
+
+// TestAPIErrorToleratesUnstructuredBody falls back to the raw body text
+// when the response is not JSON at all (a proxy error page, say).
+func TestAPIErrorToleratesUnstructuredBody(t *testing.T) {
+	c := errorServer(t, http.StatusBadGateway, nil, "upstream exploded")
+	e := jobErr(t, c)
+	if e.Message != "upstream exploded" || e.Code != "" {
+		t.Fatalf("unstructured body decoded as %+v", e)
+	}
+}

@@ -1,18 +1,25 @@
 // Command hgen generates the synthetic Table 1 hypergraph instances (or any
-// custom instance) and writes them in hMetis format.
+// custom instance) and writes them in hMetis format — to a file, or
+// streamed straight into a hyperpraw server as a chunked hypergraph
+// resource upload (POST /v1/hypergraphs), never holding the whole
+// document in memory.
 //
 // Usage:
 //
 //	hgen -list                                  # show the catalog
 //	hgen -name sparsine -scale 0.01 -out s.hgr  # one catalog instance
 //	hgen -kind random -v 1000 -e 2000 -card 8 -out r.hgr  # custom
+//	hgen -name sparsine -stream http://localhost:8080     # upload, no file
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"hyperpraw/client"
 	"hyperpraw/internal/hgen"
 	"hyperpraw/internal/hypergraph"
 )
@@ -27,7 +34,9 @@ func main() {
 	card := flag.Float64("card", 4, "custom instance: average cardinality")
 	skew := flag.Float64("skew", 0, "custom instance: power-law skew (0 = family default)")
 	seed := flag.Uint64("seed", 1, "random seed")
-	out := flag.String("out", "", "output path (hMetis format); required unless -list")
+	out := flag.String("out", "", "output path (hMetis format); this or -stream required unless -list")
+	stream := flag.String("stream", "", "hyperpraw server base URL: upload the generated graph as a chunked hypergraph resource instead of (or as well as) writing -out")
+	partSize := flag.Int64("part-size", 0, "upload part size in bytes for -stream (0 = client default)")
 	flag.Parse()
 
 	if *list {
@@ -37,8 +46,8 @@ func main() {
 		}
 		return
 	}
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "hgen: -out is required")
+	if *out == "" && *stream == "" {
+		fmt.Fprintln(os.Stderr, "hgen: -out or -stream is required")
 		os.Exit(2)
 	}
 
@@ -68,12 +77,29 @@ func main() {
 		fatal(fmt.Errorf("pass -name (catalog) or -kind (custom)"))
 	}
 
-	if err := hypergraph.SaveFile(*out, h); err != nil {
-		fatal(err)
+	if *out != "" {
+		if err := hypergraph.SaveFile(*out, h); err != nil {
+			fatal(err)
+		}
+		s := h.ComputeStats()
+		fmt.Printf("wrote %s: %d vertices, %d hyperedges, %d pins (avg cardinality %.2f)\n",
+			*out, s.Vertices, s.Hyperedges, s.TotalNNZ, s.AvgCardinality)
 	}
-	s := h.ComputeStats()
-	fmt.Printf("wrote %s: %d vertices, %d hyperedges, %d pins (avg cardinality %.2f)\n",
-		*out, s.Vertices, s.Hyperedges, s.TotalNNZ, s.AvgCardinality)
+	if *stream != "" {
+		// The hMetis text flows generator -> pipe -> chunked PUTs: one
+		// upload part is the only buffered state, so graphs far larger
+		// than this process's memory stream through untouched.
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(hypergraph.WriteHMetis(pw, h))
+		}()
+		info, err := client.New(*stream, nil).UploadHypergraph(context.Background(), pr, h.Name(), *partSize)
+		if err != nil {
+			fatal(fmt.Errorf("streaming to %s: %w", *stream, err))
+		}
+		fmt.Printf("uploaded to %s: hypergraph %s (%d vertices, %d hyperedges, %d pins, %d arena bytes)\n",
+			*stream, info.ID, info.Vertices, info.Edges, info.Pins, info.Bytes)
+	}
 }
 
 func parseKind(s string) (hgen.Kind, error) {

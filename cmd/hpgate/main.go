@@ -15,10 +15,13 @@
 //
 //	POST /v1/partition          submit a job (routed by fingerprint)
 //	POST /v1/partition/batch    submit many jobs, fanned out across backends
-//	GET  /v1/jobs               list gateway jobs
+//	GET  /v1/jobs               list gateway jobs (?limit= ?after= ?state=)
 //	GET  /v1/jobs/{id}          job status
 //	GET  /v1/jobs/{id}/result   finished payload
 //	GET  /v1/jobs/{id}/events   SSE per-iteration progress
+//	*    /v1/hypergraphs[/...]  hypergraph resources: upload a graph once
+//	                            to the gateway; it is replicated to the
+//	                            rendezvous-chosen backend on first use
 //	GET  /v1/algorithms         supported algorithms
 //	GET  /v1/backends           backend set and health
 //	GET  /healthz               gateway + backend health
@@ -42,6 +45,7 @@ import (
 
 	"hyperpraw/internal/faultpoint"
 	"hyperpraw/internal/gateway"
+	"hyperpraw/internal/graphstore"
 	"hyperpraw/internal/telemetry"
 )
 
@@ -56,6 +60,9 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 1, "consecutive failures before a backend's circuit breaker opens")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker withholds health probes before the half-open trial")
 	spillWatermark := flag.Float64("spill-watermark", 0.8, "queue-occupancy fraction beyond which routing spills past a saturated backend (negative disables)")
+	graphDir := flag.String("graph-store", "", "gateway hypergraph arena directory; uploaded graphs are mmap-backed and survive restarts (empty = memory-only)")
+	graphCacheBytes := flag.Int64("graph-cache-bytes", 0, "resident arena byte budget for the gateway's graph store (0 = unlimited)")
+	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "one hypergraph upload's byte limit (0 = 4GiB default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
@@ -86,6 +93,18 @@ func main() {
 		"Build information; the value is always 1.", "go_version").
 		WithLabelValues(runtime.Version()).Set(1)
 
+	graphs, err := graphstore.Open(graphstore.Config{
+		Dir:            *graphDir,
+		MaxBytes:       *graphCacheBytes,
+		MaxUploadBytes: *maxUploadBytes,
+	})
+	if err != nil {
+		log.Fatalf("hpgate: opening graph store: %v", err)
+	}
+	if *graphDir != "" {
+		log.Printf("hpgate: graph store at %s (%d graphs known)", *graphDir, graphs.Stats().Known)
+	}
+
 	gw := gateway.New(gateway.Config{
 		Backends:         urls,
 		HealthInterval:   *healthInterval,
@@ -97,6 +116,7 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		SpillWatermark:   *spillWatermark,
 		Metrics:          reg,
+		Graphs:           graphs,
 	})
 	server := &http.Server{Addr: *addr, Handler: gateway.NewHandler(gw)}
 
@@ -139,5 +159,6 @@ func main() {
 		}
 	}
 	gw.Close()
+	graphs.Close()
 	log.Printf("hpgate: bye")
 }

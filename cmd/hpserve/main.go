@@ -12,10 +12,13 @@
 //
 //	POST /v1/partition          submit a job
 //	POST /v1/partition/batch    submit many jobs in one request
-//	GET  /v1/jobs               list jobs
+//	GET  /v1/jobs               list jobs (?limit= ?after= ?state=)
 //	GET  /v1/jobs/{id}          job status
 //	GET  /v1/jobs/{id}/result   finished payload
 //	GET  /v1/jobs/{id}/events   SSE per-iteration progress
+//	*    /v1/hypergraphs[/...]  hypergraph resources: upload a graph once
+//	                            (chunked + resumable), reference it from
+//	                            any number of jobs by hypergraph_id
 //	GET  /v1/algorithms         supported algorithms
 //	GET  /healthz               liveness + statistics
 //	GET  /metrics               Prometheus metrics
@@ -39,6 +42,7 @@ import (
 	"time"
 
 	"hyperpraw/internal/faultpoint"
+	"hyperpraw/internal/graphstore"
 	"hyperpraw/internal/service"
 	"hyperpraw/internal/store"
 	"hyperpraw/internal/telemetry"
@@ -53,6 +57,9 @@ func main() {
 	envCache := flag.Int("env-cache", 16, "profiled-environment LRU entries")
 	resultCache := flag.Int("result-cache", 128, "partition-result LRU entries")
 	storeDir := flag.String("store", "", "durable job store directory; jobs survive a restart (empty = in-memory only)")
+	graphDir := flag.String("graph-store", "", "hypergraph arena directory; committed graphs are mmap-backed and survive restarts (empty = memory-only arenas)")
+	graphCacheBytes := flag.Int64("graph-cache-bytes", 0, "resident arena byte budget; over it unreferenced graphs are evicted LRU-first (0 = unlimited)")
+	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "one hypergraph upload's byte limit (0 = 4GiB default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for the HTTP listener")
 	drainTimeout := flag.Duration("drain-timeout", 0, "separate deadline for draining in-flight jobs; still-queued jobs are journaled when it expires (0 = use -drain)")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
@@ -86,6 +93,18 @@ func main() {
 		"Build information; the value is always 1.", "go_version").
 		WithLabelValues(runtime.Version()).Set(1)
 
+	graphs, err := graphstore.Open(graphstore.Config{
+		Dir:            *graphDir,
+		MaxBytes:       *graphCacheBytes,
+		MaxUploadBytes: *maxUploadBytes,
+	})
+	if err != nil {
+		log.Fatalf("hpserve: opening graph store: %v", err)
+	}
+	if *graphDir != "" {
+		log.Printf("hpserve: graph store at %s (%d graphs known)", *graphDir, graphs.Stats().Known)
+	}
+
 	svc := service.New(service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -93,6 +112,7 @@ func main() {
 		EnvCacheSize:     *envCache,
 		ResultCacheSize:  *resultCache,
 		Store:            st,
+		Graphs:           graphs,
 		Metrics:          reg,
 	})
 	server := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
@@ -159,5 +179,6 @@ func main() {
 			log.Printf("hpserve: closing job store: %v", err)
 		}
 	}
+	graphs.Close()
 	log.Printf("hpserve: bye")
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sync"
@@ -18,6 +19,8 @@ import (
 	"hyperpraw"
 	"hyperpraw/client"
 	"hyperpraw/internal/faultpoint"
+	"hyperpraw/internal/hgen"
+	"hyperpraw/internal/hypergraph"
 	"hyperpraw/internal/telemetry"
 )
 
@@ -39,6 +42,7 @@ var catalog = []chaosCase{
 	{"R008", "flapping backend walks the breaker open -> half-open -> closed", true, caseFlappingBreaker},
 	{"R009", "hot-fingerprint stampede collapses into one computation", true, caseCacheStampede},
 	{"R010", "saturation waterfall: spill to secondary, then shed with 429", true, caseSaturationWaterfall},
+	{"R011", "one giant graph, many tiny jobs: a single shared arena per tier", true, caseSharedArena},
 }
 
 // caseBatchFanout is the serving-path baseline: a batch of distinct
@@ -669,6 +673,93 @@ func caseSaturationWaterfall(t *T) {
 	}
 	t.Logf("waterfall held: %d accepted, spill observed, shed 429 with Retry-After %ds, no false ejections",
 		accepted, firstShed.RetryAfter)
+}
+
+// caseSharedArena is the out-of-core ingest contract end to end: one large
+// graph streamed through the gateway's chunked upload (never materialised
+// as a single request body), then referenced by two waves of jobs. The
+// memory story must be "one arena per tier": the backend's graph metrics
+// report exactly one resident arena whose byte count does not move between
+// waves, and the gateway replicates the arena to the backend exactly once.
+func caseSharedArena(t *T) {
+	cl := startCluster(t, clusterSpec{backends: []backendSpec{{}}})
+	defer cl.Close()
+	c := cl.Client()
+	backend := cl.Backends[0].url
+
+	// Large relative to the tiny wires everywhere else in this suite:
+	// ~80k pins, so N in-memory copies would be visible in graph_bytes.
+	h := hgen.Generate(hgen.Spec{
+		Name:           "r011-giant",
+		Kind:           hgen.KindRandom,
+		Vertices:       20000,
+		Hyperedges:     20000,
+		AvgCardinality: 4,
+	}, 1)
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(hypergraph.WriteHMetis(pw, h))
+	}()
+	// 256KiB parts: the document crosses several PUTs, so peak request
+	// size on the wire is the part size, not the graph size.
+	info, err := c.UploadHypergraph(t.Ctx, pr, h.Name(), 256<<10)
+	if err != nil {
+		t.Fatalf("streaming upload: %v", err)
+	}
+	t.Logf("uploaded %s: %d vertices, %d pins, %d arena bytes", info.ID, info.Vertices, info.Pins, info.Bytes)
+
+	wave := func(n int, seedBase uint64) {
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// Distinct seeds defeat the result cache: every job runs
+				// the kernel against the shared arena for real.
+				_, errs[i] = c.Partition(t.Ctx, hyperpraw.PartitionRequest{
+					Algorithm:    "aware",
+					Machine:      hyperpraw.MachineSpec{Kind: "archer", Cores: 4, Seed: seedBase + uint64(i)},
+					HypergraphID: info.ID,
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("wave job %d: %v", i, err)
+			}
+		}
+	}
+
+	graphFootprint := func() (arenas, bytes float64) {
+		body := scrapeMetrics(t, backend)
+		return metricValue(t, body, "hyperpraw_graph_arenas"), metricValue(t, body, "hyperpraw_graph_bytes")
+	}
+
+	wave(6, 100)
+	arenas1, bytes1 := graphFootprint()
+	if arenas1 != 1 {
+		t.Fatalf("after wave 1: %g resident arenas on the backend, want exactly 1", arenas1)
+	}
+	if bytes1 != float64(info.Bytes) {
+		t.Fatalf("after wave 1: graph_bytes %g, want the one arena's %d", bytes1, info.Bytes)
+	}
+
+	wave(6, 200)
+	arenas2, bytes2 := graphFootprint()
+	if arenas2 != 1 || bytes2 != bytes1 {
+		t.Fatalf("after wave 2: arenas %g bytes %g, want footprint unchanged (1 arena, %g bytes)", arenas2, bytes2, bytes1)
+	}
+
+	gwBody := scrapeMetrics(t, cl.GatewayURL)
+	if n := metricValue(t, gwBody, "hpgate_graph_replications_total"); n != 1 {
+		t.Fatalf("gateway replicated the graph %g times across 12 jobs, want exactly once", n)
+	}
+	if n := metricValue(t, gwBody, "hpgate_graph_arenas"); n != 1 {
+		t.Fatalf("gateway holds %g arenas, want 1", n)
+	}
+	t.Logf("12 jobs over 2 waves shared one %d-byte arena per tier; one replication", info.Bytes)
 }
 
 // stringsJoinIDs renders the catalog for -list.

@@ -69,6 +69,9 @@ const (
 	ServiceExecSlow = "service.exec.slow"
 	// GatewayProxyDrop severs hpgate proxy connections without a response.
 	GatewayProxyDrop = "gateway.proxy.drop"
+	// GraphstoreMmapFail fails the mmap of a committed arena file, forcing
+	// the graph store down its heap-backed fallback path.
+	GraphstoreMmapFail = "graphstore.mmap.fail"
 )
 
 // Action is what an armed point does when hit.

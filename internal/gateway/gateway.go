@@ -22,6 +22,7 @@ import (
 	"hyperpraw"
 	"hyperpraw/client"
 	"hyperpraw/internal/faultpoint"
+	"hyperpraw/internal/graphstore"
 	"hyperpraw/internal/service"
 	"hyperpraw/internal/telemetry"
 )
@@ -45,6 +46,12 @@ var (
 	// nowhere. Served as HTTP 429 with the backends' best Retry-After
 	// hint; match the wrapped *SaturatedError to read it.
 	ErrSaturated = errors.New("gateway: every backend is saturated")
+	// ErrUnknownGraph is returned when a submission references a
+	// hypergraph ID the gateway's own store does not hold and the routed
+	// backend does not either — there is nothing to replicate, so the
+	// client must upload the graph (POST /v1/hypergraphs) first. Served
+	// as HTTP 404.
+	ErrUnknownGraph = errors.New("gateway: unknown hypergraph")
 )
 
 // SaturatedError carries the shed verdict's backoff hint: the largest
@@ -115,6 +122,12 @@ type Config struct {
 	// (routing, failover, per-backend health and latency) and is served by
 	// NewHandler on GET /metrics. Nil disables collection.
 	Metrics *telemetry.Registry
+	// Graphs is the gateway's own hypergraph arena store: clients upload
+	// a graph once to the gateway (POST /v1/hypergraphs) and the gateway
+	// replicates it to the rendezvous-chosen backend the first time a job
+	// references it there. Nil selects a private memory-only store owned
+	// (and closed) by the gateway.
+	Graphs *graphstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -311,6 +324,12 @@ type Gateway struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 
+	graphs    *graphstore.Store
+	ownGraphs bool
+
+	replMu sync.Mutex
+	repl   map[string]*replication // in-flight replications by backend+graph
+
 	metrics *gatewayMetrics
 }
 
@@ -324,9 +343,18 @@ func New(cfg Config) *Gateway {
 		backends: make(map[string]*backend),
 		jobs:     make(map[string]*gwJob),
 		stop:     make(chan struct{}),
+		graphs:   cfg.Graphs,
+		repl:     make(map[string]*replication),
+	}
+	if g.graphs == nil {
+		// A memory-only private store: Open without a directory cannot
+		// fail, so the error is impossible by construction.
+		g.graphs, _ = graphstore.Open(graphstore.Config{})
+		g.ownGraphs = true
 	}
 	// Metrics before the backend set: AddBackend hands each backend the
-	// instruments for its transition counters.
+	// instruments for its transition counters (and the graph gauges close
+	// over g.graphs, set above).
 	g.metrics = newGatewayMetrics(cfg.Metrics, g)
 	for _, url := range cfg.Backends {
 		g.AddBackend(url)
@@ -338,11 +366,14 @@ func New(cfg Config) *Gateway {
 	return g
 }
 
-// Close stops the health-check loop. In-flight proxied requests are not
-// interrupted.
+// Close stops the health-check loop and closes the gateway's graph store
+// when it owns one. In-flight proxied requests are not interrupted.
 func (g *Gateway) Close() {
 	g.stopOnce.Do(func() { close(g.stop) })
 	g.wg.Wait()
+	if g.ownGraphs {
+		g.graphs.Close()
+	}
 }
 
 // AddBackend adds (or re-adds) a backend by base URL; it starts healthy.
@@ -619,13 +650,22 @@ func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (
 
 	plan := g.route(fingerprint)
 	var lastErr error = ErrNoBackends
+	var unknownErr error
 	allSaturated := len(plan.cands) > 0
 	retryHint := 0
 	for _, b := range plan.cands {
-		info, err := g.submitTo(ctx, b, wire)
+		info, err := g.submitWithGraph(ctx, b, wire)
 		if err != nil {
 			if ctx.Err() != nil {
 				return hyperpraw.JobInfo{}, ctx.Err()
+			}
+			if errors.Is(err, ErrUnknownGraph) {
+				// Neither this backend nor the gateway's own store holds
+				// the referenced graph; another candidate might (a graph
+				// uploaded directly to one backend), so keep trying.
+				allSaturated = false
+				unknownErr, lastErr = err, err
+				continue
 			}
 			if !retryableSubmit(err) {
 				return hyperpraw.JobInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -664,6 +704,12 @@ func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (
 		// best backoff hint rather than disguising overload as an outage.
 		g.metrics.shed.Inc()
 		return hyperpraw.JobInfo{}, &SaturatedError{RetryAfter: retryHint, last: lastErr}
+	}
+	if unknownErr != nil {
+		// The gateway has no local copy to replicate and at least one
+		// live backend confirmed it does not hold the graph either: the
+		// reference is unserviceable until the client uploads the graph.
+		return hyperpraw.JobInfo{}, unknownErr
 	}
 	return hyperpraw.JobInfo{}, fmt.Errorf("%w (last error: %v)", ErrNoBackends, lastErr)
 }
@@ -793,6 +839,40 @@ func (g *Gateway) Jobs() []hyperpraw.JobInfo {
 		out[i] = j.snapshot()
 	}
 	return out
+}
+
+// JobsPage lists the gateway's jobs with the same cursor semantics as
+// the service tier's GET /v1/jobs: submission order, after skips
+// everything up to and including that gateway job ID (IDs are monotone,
+// so lexicographic comparison is submission order), limit caps the page
+// and sets NextAfter when more remain, and state filters after paging.
+// With no limit, cursor, or filter, the page is the whole table —
+// byte-compatible with the pre-pagination listing.
+func (g *Gateway) JobsPage(limit int, after string, state hyperpraw.JobStatus) hyperpraw.JobsPage {
+	g.mu.Lock()
+	ids := append([]string(nil), g.order...)
+	jobs := make([]*gwJob, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, g.jobs[id])
+	}
+	g.mu.Unlock()
+
+	page := hyperpraw.JobsPage{Jobs: []hyperpraw.JobInfo{}}
+	for i, j := range jobs {
+		if after != "" && ids[i] <= after {
+			continue
+		}
+		if limit > 0 && len(page.Jobs) == limit {
+			page.NextAfter = page.Jobs[limit-1].ID
+			break
+		}
+		info := j.snapshot()
+		if state != "" && info.Status != state {
+			continue
+		}
+		page.Jobs = append(page.Jobs, info)
+	}
+	return page
 }
 
 // Job returns the job's current status, proxied live from its backend.
@@ -948,10 +1028,16 @@ func (g *Gateway) failoverLocked(ctx context.Context, j *gwJob) error {
 		if b.url == j.backendURL {
 			continue // the backend we just lost
 		}
-		info, err := g.submitTo(ctx, b, j.wire)
+		info, err := g.submitWithGraph(ctx, b, j.wire)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
+			}
+			if errors.Is(err, ErrUnknownGraph) {
+				// This replacement backend cannot be given the graph (the
+				// gateway holds no copy); another candidate may hold it.
+				lastErr = err
+				continue
 			}
 			if !retryableSubmit(err) {
 				return fail(err)

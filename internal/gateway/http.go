@@ -19,10 +19,13 @@ import (
 //
 //	POST /v1/partition          submit a job (routed by fingerprint)
 //	POST /v1/partition/batch    submit many jobs, fanned out across backends
-//	GET  /v1/jobs               list gateway jobs
+//	GET  /v1/jobs               list gateway jobs (?limit= ?after= ?state=)
 //	GET  /v1/jobs/{id}          job status (proxied, with failover)
 //	GET  /v1/jobs/{id}/result   finished payload (proxied, with failover)
 //	GET  /v1/jobs/{id}/events   SSE progress (proxied, with failover)
+//	*    /v1/hypergraphs[/...]  hypergraph resources on the gateway's own
+//	                            store (replicated to backends on first
+//	                            reference; DELETE fans out to the fleet)
 //	GET  /v1/algorithms         supported algorithm names
 //	GET  /v1/backends           backend set and health
 //	GET  /healthz               gateway + backend health
@@ -47,28 +50,36 @@ func NewHandler(g *Gateway) http.Handler {
 	})
 	mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			service.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+			service.WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "POST required")
 			return
 		}
 		handleSubmit(g, w, r)
 	})
 	mux.HandleFunc("/v1/partition/batch", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			service.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+			service.WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "POST required")
 			return
 		}
 		handleBatch(g, w, r)
 	})
 	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			service.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+			service.WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "GET required")
 			return
 		}
-		service.WriteJSON(w, http.StatusOK, map[string]any{"jobs": g.Jobs()})
+		limit, after, state, err := service.ParseJobsQuery(r)
+		if err != nil {
+			service.WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, g.JobsPage(limit, after, state))
+	})
+	service.RegisterHypergraphRoutes(mux, g.Graphs(), func(r *http.Request, id string) error {
+		return g.DeleteGraph(r.Context(), id)
 	})
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			service.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+			service.WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "GET required")
 			return
 		}
 		handleJob(g, w, r)
@@ -83,23 +94,25 @@ func NewHandler(g *Gateway) http.Handler {
 func handleSubmit(g *Gateway, w http.ResponseWriter, r *http.Request) {
 	wire, err := service.DecodeSubmission(r)
 	if err != nil {
-		service.WriteError(w, http.StatusBadRequest, err.Error())
+		service.WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
 		return
 	}
 	info, err := g.Submit(r.Context(), wire)
 	switch {
 	case errors.Is(err, ErrBadRequest):
-		service.WriteError(w, http.StatusBadRequest, err.Error())
+		service.WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
+	case errors.Is(err, ErrUnknownGraph):
+		service.WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, err.Error())
 	case errors.Is(err, ErrSaturated):
 		// The whole fleet is at its admission limits: propagate the 429
 		// and the backends' best backoff hint instead of disguising
 		// overload as an outage (503).
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterHint(err)))
-		service.WriteError(w, http.StatusTooManyRequests, err.Error())
+		service.WriteError(w, r, http.StatusTooManyRequests, hyperpraw.ErrCodeOverloaded, err.Error())
 	case errors.Is(err, ErrNoBackends):
-		service.WriteError(w, http.StatusServiceUnavailable, err.Error())
+		service.WriteError(w, r, http.StatusServiceUnavailable, hyperpraw.ErrCodeUnavailable, err.Error())
 	case err != nil:
-		service.WriteError(w, http.StatusInternalServerError, err.Error())
+		service.WriteError(w, r, http.StatusInternalServerError, hyperpraw.ErrCodeInternal, err.Error())
 	default:
 		service.WriteJSON(w, http.StatusAccepted, info)
 	}
@@ -123,7 +136,7 @@ func retryAfterHint(err error) int {
 func handleBatch(g *Gateway, w http.ResponseWriter, r *http.Request) {
 	batch, err := service.DecodeBatch(r)
 	if err != nil {
-		service.WriteError(w, http.StatusBadRequest, err.Error())
+		service.WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
 		return
 	}
 	resp := hyperpraw.BatchResponse{Jobs: make([]hyperpraw.BatchItem, len(batch.Jobs))}
@@ -182,7 +195,7 @@ func handleJob(g *Gateway, w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
 	if id == "" {
-		service.WriteError(w, http.StatusNotFound, "missing job id")
+		service.WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "missing job id")
 		return
 	}
 	switch sub {
@@ -190,11 +203,11 @@ func handleJob(g *Gateway, w http.ResponseWriter, r *http.Request) {
 		info, err := g.Job(r.Context(), id)
 		switch {
 		case errors.Is(err, ErrUnknownJob):
-			service.WriteError(w, http.StatusNotFound, "unknown job "+id)
+			service.WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown job "+id)
 		case errors.Is(err, ErrNotRecoverable):
-			service.WriteError(w, http.StatusGone, err.Error())
+			service.WriteError(w, r, http.StatusGone, hyperpraw.ErrCodeNotFound, err.Error())
 		case err != nil:
-			service.WriteError(w, http.StatusBadGateway, err.Error())
+			service.WriteError(w, r, http.StatusBadGateway, hyperpraw.ErrCodeUnavailable, err.Error())
 		default:
 			service.WriteJSON(w, http.StatusOK, info)
 		}
@@ -202,13 +215,13 @@ func handleJob(g *Gateway, w http.ResponseWriter, r *http.Request) {
 		res, info, err := g.Result(r.Context(), id)
 		switch {
 		case errors.Is(err, ErrUnknownJob):
-			service.WriteError(w, http.StatusNotFound, "unknown job "+id)
+			service.WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown job "+id)
 		case errors.Is(err, ErrNotRecoverable):
-			service.WriteError(w, http.StatusGone, err.Error())
+			service.WriteError(w, r, http.StatusGone, hyperpraw.ErrCodeNotFound, err.Error())
 		case err != nil:
-			service.WriteError(w, http.StatusBadGateway, err.Error())
+			service.WriteError(w, r, http.StatusBadGateway, hyperpraw.ErrCodeUnavailable, err.Error())
 		case info.Status == hyperpraw.JobFailed:
-			service.WriteError(w, http.StatusUnprocessableEntity, info.Error)
+			service.WriteError(w, r, http.StatusUnprocessableEntity, hyperpraw.ErrCodeJobFailed, info.Error)
 		case res == nil:
 			service.WriteJSON(w, http.StatusAccepted, info) // still queued or running
 		default:
@@ -217,7 +230,7 @@ func handleJob(g *Gateway, w http.ResponseWriter, r *http.Request) {
 	case "events":
 		handleEvents(g, w, r, id)
 	default:
-		service.WriteError(w, http.StatusNotFound, "unknown resource "+sub)
+		service.WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown resource "+sub)
 	}
 }
 
@@ -227,14 +240,14 @@ func handleJob(g *Gateway, w http.ResponseWriter, r *http.Request) {
 func handleEvents(g *Gateway, w http.ResponseWriter, r *http.Request, id string) {
 	after, err := service.ParseAfter(r)
 	if err != nil {
-		service.WriteError(w, http.StatusBadRequest, err.Error())
+		service.WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
 		return
 	}
 	if _, ok := g.job(id); !ok {
-		service.WriteError(w, http.StatusNotFound, "unknown job "+id)
+		service.WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown job "+id)
 		return
 	}
-	flusher, ok := service.BeginSSE(w)
+	flusher, ok := service.BeginSSE(w, r)
 	if !ok {
 		return
 	}

@@ -29,6 +29,7 @@ type gatewayMetrics struct {
 	backendRequests    *telemetry.CounterVec   // backend, op, outcome
 	upstreamSeconds    *telemetry.HistogramVec // op
 	recoveryWaits      *telemetry.Counter      // recovery-window "wait it out" verdicts
+	graphReplications  *telemetry.Counter      // arenas replicated to backends on first reference
 	sseSubscribers     *telemetry.Gauge
 }
 
@@ -127,6 +128,24 @@ func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
 	m.recoveryWaits = reg.Counter("hpgate_recovery_waits_total",
 		"Times a lost durable backend's outage was waited out (recovery "+
 			"window) instead of failing its job over.")
+
+	graphs := g.graphs
+	reg.GaugeFunc("hpgate_graph_bytes",
+		"Resident bytes held by the gateway's hypergraph arena store.",
+		func() float64 { return float64(graphs.Stats().Bytes) })
+	reg.GaugeFunc("hpgate_graph_refs",
+		"Outstanding references into the gateway's arenas (held only "+
+			"while a replication to a backend is streaming).",
+		func() float64 { return float64(graphs.Stats().Refs) })
+	reg.GaugeFunc("hpgate_graph_arenas",
+		"Hypergraph arenas resident in the gateway's store.",
+		func() float64 { return float64(graphs.Stats().Arenas) })
+	reg.CounterFunc("hpgate_graph_evictions_total",
+		"Arenas evicted from the gateway store's residency budget.",
+		func() float64 { return float64(graphs.Stats().Evictions) })
+	m.graphReplications = reg.Counter("hpgate_graph_replications_total",
+		"Graphs replicated to a backend on first reference (GET probe "+
+			"missed, chunked arena upload committed).")
 	m.sseSubscribers = reg.Gauge("hpgate_sse_subscribers",
 		"Progress event streams currently proxied.")
 	return m

@@ -1,0 +1,315 @@
+// Package graphstore holds hypergraphs as shared, immutable, reference-
+// counted arenas: one flat buffer per graph containing the CSR arrays,
+// deduplicated by the deterministic fingerprint and aliased zero-copy by
+// every job that partitions the graph. With a backing directory the
+// buffer is a file and the arena is mmap-backed, so a graph far larger
+// than the request that delivered it costs one disk-resident copy and
+// whatever pages the kernel keeps warm — the out-of-core half of the
+// paper's streaming premise.
+//
+// The package also implements the resumable upload sessions behind
+// POST /v1/hypergraphs: parts are spooled to disk as they arrive (out of
+// order, re-PUT idempotently) and the commit streams them through
+// hypergraph.ParseHMetisStream straight into an arena, so no stage of
+// ingest materialises the whole document in memory.
+package graphstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"hyperpraw/internal/hypergraph"
+)
+
+// Arena file/buffer layout, little-endian. The in-memory and on-disk
+// representations are identical, which is what makes mmap loading a
+// no-op reconstruction:
+//
+//	[ 0:8)   magic "HPGARN01"
+//	[ 8:16)  numVertices
+//	[16:24)  numEdges
+//	[24:32)  numPins
+//	[32:40)  flags (1 = vertex weights, 2 = edge weights)
+//	[40:48)  CRC32-IEEE of the payload (low 32 bits)
+//	[48:64)  reserved (zero)
+//	[64:...) payload: edgePtr, edgePins, vtxPtr, vtxEdges (int32),
+//	         then 8-byte-aligned vertexWeights, edgeWeights (int64)
+const (
+	arenaMagic   = "HPGARN01"
+	headerSize   = 64
+	flagVW       = 1
+	flagEW       = 2
+	arenaFileExt = ".arena"
+)
+
+// Arena is one immutable hypergraph in its flat serialised form plus a
+// zero-copy *hypergraph.Hypergraph view aliasing it. Arenas are shared
+// read-only across jobs; the owning Store tracks references.
+type Arena struct {
+	id     string // fingerprint, doubles as the resource ID
+	name   string
+	buf    []byte
+	mapped bool   // buf is an mmap; munmap on close
+	path   string // backing file ("" = memory-only)
+	h      *hypergraph.Hypergraph
+}
+
+// ID returns the arena's fingerprint, which is also its resource ID.
+func (a *Arena) ID() string { return a.id }
+
+// Name returns the human-readable label the graph was uploaded under.
+func (a *Arena) Name() string { return a.name }
+
+// Bytes returns the arena buffer size.
+func (a *Arena) Bytes() int64 { return int64(len(a.buf)) }
+
+// Mapped reports whether the arena is mmap-backed rather than heap-held.
+func (a *Arena) Mapped() bool { return a.mapped }
+
+// Raw returns the arena's serialised bytes (header + CSR payload) — the
+// exact stream IngestReader accepts back on another store, which is how
+// the gateway replicates a graph to a backend without reparsing it. The
+// slice aliases the arena buffer: callers must hold a Store reference
+// for as long as they read it and must not write through it.
+func (a *Arena) Raw() []byte { return a.buf }
+
+// Hypergraph returns the shared zero-copy view. It aliases the arena
+// buffer: callers must hold a Store reference for as long as they use it.
+func (a *Arena) Hypergraph() *hypergraph.Hypergraph { return a.h }
+
+func (a *Arena) close() {
+	if a.mapped {
+		munmap(a.buf) //nolint:errcheck
+	}
+	a.buf, a.h, a.mapped = nil, nil, false
+}
+
+// arenaSize returns the buffer size for a graph's dimensions.
+func arenaSize(numVertices, numEdges, numPins int, hasVW, hasEW bool) int64 {
+	n := int64(headerSize)
+	n += int64(numEdges+1) * 4
+	n += int64(numPins) * 4
+	n += int64(numVertices+1) * 4
+	n += int64(numPins) * 4
+	n = (n + 7) &^ 7
+	if hasVW {
+		n += int64(numVertices) * 8
+	}
+	if hasEW {
+		n += int64(numEdges) * 8
+	}
+	return n
+}
+
+// buildArena serialises c into a freshly allocated 8-aligned buffer and
+// returns the arena with its zero-copy view. The id (fingerprint) is
+// computed from the view itself.
+func buildArena(name string, c hypergraph.RawCSR) (*Arena, error) {
+	hasVW, hasEW := c.VertexWeights != nil, c.EdgeWeights != nil
+	size := arenaSize(c.NumVertices, c.NumEdges, len(c.EdgePins), hasVW, hasEW)
+	buf := alignedBytes(size)
+
+	copy(buf[:8], arenaMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(c.NumVertices))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(c.NumEdges))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(len(c.EdgePins)))
+	var flags uint64
+	if hasVW {
+		flags |= flagVW
+	}
+	if hasEW {
+		flags |= flagEW
+	}
+	binary.LittleEndian.PutUint64(buf[32:], flags)
+
+	s, err := sections(buf, c.NumVertices, c.NumEdges, len(c.EdgePins), hasVW, hasEW)
+	if err != nil {
+		return nil, err
+	}
+	copy(s.edgePtr, c.EdgePtr)
+	copy(s.edgePins, c.EdgePins)
+	copy(s.vtxPtr, c.VtxPtr)
+	copy(s.vtxEdges, c.VtxEdges)
+	copy(s.vertexWeights, c.VertexWeights)
+	copy(s.edgeWeights, c.EdgeWeights)
+	binary.LittleEndian.PutUint64(buf[40:], uint64(crc32.ChecksumIEEE(buf[headerSize:])))
+
+	return arenaFromBuf(name, buf, false, "")
+}
+
+// arenaFromBuf reconstructs the arena view over an existing buffer
+// (heap-built or freshly mmapped) after validating the framing.
+func arenaFromBuf(name string, buf []byte, mapped bool, path string) (*Arena, error) {
+	if len(buf) < headerSize || string(buf[:8]) != arenaMagic {
+		return nil, fmt.Errorf("graphstore: bad arena magic")
+	}
+	nv := int(binary.LittleEndian.Uint64(buf[8:]))
+	ne := int(binary.LittleEndian.Uint64(buf[16:]))
+	np := int(binary.LittleEndian.Uint64(buf[24:]))
+	flags := binary.LittleEndian.Uint64(buf[32:])
+	hasVW, hasEW := flags&flagVW != 0, flags&flagEW != 0
+	if nv < 0 || ne < 0 || np < 0 {
+		return nil, fmt.Errorf("graphstore: negative arena dimensions")
+	}
+	if want := arenaSize(nv, ne, np, hasVW, hasEW); int64(len(buf)) != want {
+		return nil, fmt.Errorf("graphstore: arena size %d, want %d for %dx%d/%d", len(buf), want, ne, nv, np)
+	}
+	if crc := uint64(crc32.ChecksumIEEE(buf[headerSize:])); crc != binary.LittleEndian.Uint64(buf[40:]) {
+		return nil, fmt.Errorf("graphstore: arena checksum mismatch (torn or corrupt file)")
+	}
+
+	s, err := sections(buf, nv, ne, np, hasVW, hasEW)
+	if err != nil {
+		return nil, err
+	}
+	h, err := hypergraph.FromCSR(name, hypergraph.RawCSR{
+		NumVertices:   nv,
+		NumEdges:      ne,
+		EdgePtr:       s.edgePtr,
+		EdgePins:      s.edgePins,
+		VtxPtr:        s.vtxPtr,
+		VtxEdges:      s.vtxEdges,
+		VertexWeights: s.vertexWeights,
+		EdgeWeights:   s.edgeWeights,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graphstore: invalid arena contents: %w", err)
+	}
+	return &Arena{
+		id:     hypergraph.Fingerprint(h),
+		name:   name,
+		buf:    buf,
+		mapped: mapped,
+		path:   path,
+		h:      h,
+	}, nil
+}
+
+type arenaSections struct {
+	edgePtr, edgePins, vtxPtr, vtxEdges []int32
+	vertexWeights, edgeWeights          []int64
+}
+
+func sections(buf []byte, nv, ne, np int, hasVW, hasEW bool) (arenaSections, error) {
+	var s arenaSections
+	off := int64(headerSize)
+	next32 := func(n int) []int32 {
+		sl := sliceI32(buf, off, n)
+		off += int64(n) * 4
+		return sl
+	}
+	s.edgePtr = next32(ne + 1)
+	s.edgePins = next32(np)
+	s.vtxPtr = next32(nv + 1)
+	s.vtxEdges = next32(np)
+	off = (off + 7) &^ 7
+	if hasVW {
+		s.vertexWeights = sliceI64(buf, off, nv)
+		off += int64(nv) * 8
+	}
+	if hasEW {
+		s.edgeWeights = sliceI64(buf, off, ne)
+		off += int64(ne) * 8
+	}
+	if off != int64(len(buf)) {
+		return s, fmt.Errorf("graphstore: arena section overflow (%d != %d)", off, len(buf))
+	}
+	return s, nil
+}
+
+// alignedBytes allocates a zeroed byte buffer whose base address is
+// 8-aligned, by carving it out of a []uint64 — int64 sections are
+// reinterpreted in place, so alignment is a hard requirement, not a
+// hope about the allocator.
+func alignedBytes(n int64) []byte {
+	if n == 0 {
+		return nil
+	}
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}
+
+func sliceI32(buf []byte, off int64, n int) []int32 {
+	if n == 0 {
+		return []int32{}
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&buf[off])), n)
+}
+
+func sliceI64(buf []byte, off int64, n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&buf[off])), n)
+}
+
+// writeArenaFile persists the arena buffer to path atomically (unique
+// tmp + rename, so concurrent commits of the same fingerprint cannot
+// interleave), fsyncing so a committed graph survives a crash.
+func writeArenaFile(path string, buf []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadArenaFile opens path and maps it read-only; when mmap is
+// unavailable (unsupported platform or an injected graphstore.mmap.fail
+// fault) it falls back to reading the file onto the heap — slower and
+// memory-resident, but correct.
+func loadArenaFile(path, name string) (*Arena, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, fmt.Errorf("graphstore: arena file %s truncated (%d bytes)", path, size)
+	}
+
+	if buf, err := mmapFile(f, int(size)); err == nil {
+		a, aerr := arenaFromBuf(name, buf, true, path)
+		if aerr != nil {
+			munmap(buf) //nolint:errcheck
+			return nil, fmt.Errorf("%s: %w", path, aerr)
+		}
+		return a, nil
+	}
+
+	// Heap fallback: keep serving even when the mapping fails.
+	buf := alignedBytes(size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("graphstore: reading %s: %w", path, err)
+	}
+	a, err := arenaFromBuf(name, buf, false, path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

@@ -1,0 +1,369 @@
+package graphstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyperpraw/internal/faultpoint"
+	"hyperpraw/internal/hypergraph"
+)
+
+func testGraph(i int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(8)
+	b.AddEdge(0, 1, (2+i)%8)
+	b.AddEdge(3, 4, (5+i)%8)
+	b.AddWeightedEdge(int64(2+i), 5, 6, 7)
+	b.SetVertexWeight(2, int64(1+i))
+	h := b.Build()
+	h.SetName(fmt.Sprintf("g%d", i))
+	return h
+}
+
+func hmetisDoc(i int) string {
+	h := testGraph(i)
+	var sb strings.Builder
+	if err := hypergraph.WriteHMetis(&sb, h); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+// Arena round-trip: build → serialise → reload (both heap and mmap)
+// preserves structure and fingerprint, and the views alias the buffer.
+func TestArenaRoundTrip(t *testing.T) {
+	h := testGraph(1)
+	a, err := buildArena(h.Name(), h.CSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != hypergraph.Fingerprint(h) {
+		t.Fatalf("arena id %s, want fingerprint %s", a.ID(), hypergraph.Fingerprint(h))
+	}
+	if err := a.Hypergraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/g.arena"
+	if err := writeArenaFile(path, a.buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadArenaFile(path, h.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.close()
+	if loaded.ID() != a.ID() {
+		t.Fatalf("reloaded id %s, want %s", loaded.ID(), a.ID())
+	}
+	if !loaded.Mapped() {
+		t.Fatal("file-loaded arena is not mmap-backed")
+	}
+	if err := loaded.Hypergraph().Validate(); err != nil {
+		t.Fatalf("mmapped view invalid: %v", err)
+	}
+}
+
+// A corrupted arena file must be refused by the CRC, not parsed.
+func TestArenaRejectsCorruptFile(t *testing.T) {
+	h := testGraph(2)
+	a, err := buildArena("", h.CSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]byte(nil), a.buf...)
+	buf[len(buf)-1] ^= 0xff
+	path := t.TempDir() + "/bad.arena"
+	if err := writeArenaFile(path, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadArenaFile(path, ""); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt arena loaded: %v", err)
+	}
+}
+
+// The mmap faultpoint forces the heap fallback; the arena still serves.
+func TestMmapFailFallsBackToHeap(t *testing.T) {
+	if err := faultpoint.Arm(faultpoint.GraphstoreMmapFail + "=error(no maps today)"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Reset()
+
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, release, err := s.IngestReader(strings.NewReader(hmetisDoc(3)), "fallback")
+	if err != nil {
+		t.Fatalf("ingest with mmap failing: %v", err)
+	}
+	defer release()
+	if a.Mapped() {
+		t.Fatal("arena claims to be mapped while the faultpoint is armed")
+	}
+	if err := a.Hypergraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if faultpoint.Fired(faultpoint.GraphstoreMmapFail) == 0 {
+		t.Fatal("faultpoint never fired")
+	}
+}
+
+// Ingesting the same graph twice (even under different names) dedups to
+// one arena; Stats shows a single resident copy.
+func TestIngestDedup(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	a1, rel1, err := s.IngestReader(strings.NewReader(hmetisDoc(0)), "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, rel2, err := s.IngestReader(strings.NewReader(hmetisDoc(0)), "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("identical graphs produced distinct arenas")
+	}
+	st := s.Stats()
+	if st.Arenas != 1 || st.Refs != 2 {
+		t.Fatalf("stats %+v, want 1 arena with 2 refs", st)
+	}
+	rel1()
+	rel1() // release is idempotent
+	rel2()
+	if st := s.Stats(); st.Refs != 0 {
+		t.Fatalf("refs %d after release, want 0", st.Refs)
+	}
+}
+
+// Delete refuses referenced arenas and succeeds once released.
+func TestDeleteWhileReferenced(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, release, err := s.IngestReader(strings.NewReader(hmetisDoc(1)), "pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(a.ID()); !errors.Is(err, ErrReferenced) {
+		t.Fatalf("delete of referenced arena: %v, want ErrReferenced", err)
+	}
+	release()
+	if err := s.Delete(a.ID()); err != nil {
+		t.Fatalf("delete after release: %v", err)
+	}
+	if _, _, err := s.Acquire(a.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("acquire after delete: %v, want ErrNotFound", err)
+	}
+}
+
+// LRU eviction unloads unreferenced disk-backed arenas when MaxBytes is
+// exceeded — and reloads them transparently on the next Acquire.
+func TestLRUEvictionAndReload(t *testing.T) {
+	dir := t.TempDir()
+	one, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, rel0, err := one.IngestReader(strings.NewReader(hmetisDoc(0)), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := a0.Bytes()
+	rel0()
+	one.Close()
+
+	// Budget for ~1.5 arenas: the second ingest must evict the first.
+	s, err := Open(Config{Dir: dir, MaxBytes: size + size/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.Known != 1 || st.Arenas != 0 {
+		t.Fatalf("after reopen: %+v, want 1 known 0 resident", st)
+	}
+
+	_, relA, err := s.Acquire(a0.ID())
+	if err != nil {
+		t.Fatalf("reload after restart: %v", err)
+	}
+	relA()
+	b, relB, err := s.IngestReader(strings.NewReader(hmetisDoc(1)), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relB()
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats %+v: expected the first arena to be evicted", st)
+	}
+	if st.Bytes > s.cfg.MaxBytes {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, s.cfg.MaxBytes)
+	}
+	// The evicted arena is still known and reloads on demand.
+	a0b, relA2, err := s.Acquire(a0.ID())
+	if err != nil {
+		t.Fatalf("reacquire evicted arena: %v", err)
+	}
+	defer relA2()
+	if a0b.ID() != a0.ID() || b.ID() == a0b.ID() {
+		t.Fatal("reloaded arena identity mismatch")
+	}
+}
+
+// Memory-only stores lose evicted arenas entirely (nothing to reload
+// from), and referenced arenas are never evicted.
+func TestMemoryOnlyEviction(t *testing.T) {
+	s, err := Open(Config{MaxBytes: 1}) // absurdly small: evict everything evictable
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, release, err := s.IngestReader(strings.NewReader(hmetisDoc(0)), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Acquire(a.ID()); err != nil {
+		t.Fatalf("referenced arena evicted: %v", err)
+	}
+	release()
+	// Drop the second ref too; now it is evictable and the budget is 1.
+	s.mu.Lock()
+	s.entries[a.ID()].refs = 0
+	s.enforceLimitLocked()
+	s.mu.Unlock()
+	if _, _, err := s.Acquire(a.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("memory-only evicted arena still acquirable: %v", err)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("stats %+v: want an eviction", st)
+	}
+}
+
+// Out-of-order and duplicate parts commit cleanly; missing parts are
+// named; a torn part (reader error mid-copy) leaves the session
+// retryable with the previous bytes intact.
+func TestResumableUpload(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	doc := hmetisDoc(4)
+	mid := len(doc) / 2
+	up, err := s.CreateUpload("resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Part 1 first (out of order), then a torn attempt at part 0, then a
+	// duplicate good re-PUT of part 0.
+	if _, err := s.PutPart(up.ID, 1, strings.NewReader(doc[mid:])); err != nil {
+		t.Fatal(err)
+	}
+	torn := io_torn{data: doc[:mid], failAt: mid / 2}
+	if _, err := s.PutPart(up.ID, 0, &torn); err == nil {
+		t.Fatal("torn part reported success")
+	}
+	if _, _, err := s.CommitUpload(up.ID); err == nil || !strings.Contains(err.Error(), "missing parts [0]") {
+		t.Fatalf("commit with missing part: %v", err)
+	}
+	if _, err := s.PutPart(up.ID, 0, strings.NewReader(doc[:mid])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutPart(up.ID, 0, strings.NewReader(doc[:mid])); err != nil {
+		t.Fatalf("idempotent re-PUT: %v", err)
+	}
+	info, ok := s.Get(up.ID)
+	if !ok || info.PartsReceived != 2 || info.UploadedBytes != int64(len(doc)) {
+		t.Fatalf("upload info %+v, want 2 parts / %d bytes", info, len(doc))
+	}
+
+	a, release, err := s.CommitUpload(up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	want, err := hypergraph.ReadHMetis(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != hypergraph.Fingerprint(want) {
+		t.Fatal("committed arena fingerprint differs from the document's")
+	}
+	// The session is gone; further parts and commits fail cleanly.
+	if _, err := s.PutPart(up.ID, 2, strings.NewReader("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("PutPart after commit: %v", err)
+	}
+	if _, _, err := s.CommitUpload(up.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second commit: %v", err)
+	}
+}
+
+// A commit whose document is malformed keeps the session alive so the
+// offending part can be re-PUT.
+func TestCommitBadDocumentIsRetryable(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	up, err := s.CreateUpload("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutPart(up.ID, 0, strings.NewReader("2 4\n1 2\n")); err != nil {
+		t.Fatal(err) // header promises 2 edges, document has 1
+	}
+	if _, _, err := s.CommitUpload(up.ID); err == nil {
+		t.Fatal("commit of truncated document succeeded")
+	}
+	if _, err := s.PutPart(up.ID, 0, strings.NewReader("2 4\n1 2\n3 4\n")); err != nil {
+		t.Fatalf("re-PUT after failed commit: %v", err)
+	}
+	if _, _, err := s.CommitUpload(up.ID); err != nil {
+		t.Fatalf("commit after repair: %v", err)
+	}
+}
+
+// Upload sessions honour the per-session byte limit.
+func TestUploadByteLimit(t *testing.T) {
+	s, err := Open(Config{MaxUploadBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	up, err := s.CreateUpload("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutPart(up.ID, 0, strings.NewReader(strings.Repeat("9", 40))); err == nil {
+		t.Fatal("oversized part accepted")
+	}
+}
+
+// io_torn fails with a transfer error after failAt bytes.
+type io_torn struct {
+	data   string
+	pos    int
+	failAt int
+}
+
+func (r *io_torn) Read(p []byte) (int, error) {
+	if r.pos >= r.failAt {
+		return 0, errors.New("connection torn")
+	}
+	n := copy(p, r.data[r.pos:r.failAt])
+	r.pos += n
+	return n, nil
+}

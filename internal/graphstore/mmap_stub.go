@@ -1,0 +1,15 @@
+//go:build !unix
+
+package graphstore
+
+import (
+	"errors"
+	"os"
+)
+
+// Non-unix platforms always take the heap fallback in loadArenaFile.
+func mmapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, errors.New("graphstore: mmap unsupported on this platform")
+}
+
+func munmap(_ []byte) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package graphstore
+
+import (
+	"os"
+	"syscall"
+
+	"hyperpraw/internal/faultpoint"
+)
+
+// mmapFile maps f read-only. The graphstore.mmap.fail faultpoint makes
+// it error, driving the heap-fallback path in chaos tests.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if err := faultpoint.Fire(faultpoint.GraphstoreMmapFail).AsError(); err != nil {
+		return nil, err
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(buf []byte) error {
+	return syscall.Munmap(buf)
+}

@@ -1,0 +1,232 @@
+package graphstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// upload is one resumable chunked-ingest session. Parts are numbered
+// from 0 and may arrive in any order; a re-PUT of the same part simply
+// replaces it, which is what makes client retries of torn transfers
+// idempotent. Every part is spooled to its own file so session memory
+// stays O(1) regardless of graph size, and the commit streams the spool
+// through the streaming parser — the document as a whole never exists
+// in memory.
+type upload struct {
+	id      string
+	name    string
+	dir     string
+	created time.Time
+
+	parts map[int]int64 // part number → bytes
+	bytes int64
+	done  bool // committed or aborted; spool gone
+}
+
+// Bounds on one upload session, keeping a malicious or confused client
+// from exhausting the spool.
+const (
+	maxParts    = 1 << 16
+	partPattern = "part-%06d"
+)
+
+func (u *upload) info() Info {
+	return Info{
+		ID:            u.id,
+		State:         StateUploading,
+		Name:          u.name,
+		PartsReceived: len(u.parts),
+		UploadedBytes: u.bytes,
+	}
+}
+
+func (u *upload) discard() {
+	u.done = true
+	if u.dir != "" {
+		os.RemoveAll(u.dir) //nolint:errcheck
+	}
+}
+
+// CreateUpload opens a resumable upload session and returns its Info.
+// The session ID namespace ("up-…") is disjoint from committed arena
+// IDs (fingerprints), so one GET /v1/hypergraphs/{id} surface serves
+// both.
+func (s *Store) CreateUpload(name string) (Info, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Info{}, fmt.Errorf("graphstore: store closed")
+	}
+	s.uploadSeq++
+	id := fmt.Sprintf("up-%06d", s.uploadSeq)
+	s.mu.Unlock()
+
+	var dir string
+	var err error
+	if s.cfg.Dir != "" {
+		dir = filepath.Join(s.cfg.Dir, "uploads", id)
+		err = os.MkdirAll(dir, 0o755)
+	} else {
+		dir, err = os.MkdirTemp("", "hyperpraw-upload-"+id+"-")
+	}
+	if err != nil {
+		return Info{}, fmt.Errorf("graphstore: upload spool: %w", err)
+	}
+
+	u := &upload{id: id, name: name, dir: dir, created: time.Now(), parts: map[int]int64{}}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		u.discard()
+		return Info{}, fmt.Errorf("graphstore: store closed")
+	}
+	s.uploads[id] = u
+	return u.info(), nil
+}
+
+// PutPart spools one part of an open upload, replacing any previous
+// bytes for the same part number. The write lands in a temp file first
+// and is renamed only on a clean copy, so a torn transfer (client died
+// mid-body, Content-Length mismatch) leaves the previous state intact
+// and the client retries with an identical PUT.
+func (s *Store) PutPart(id string, n int, r io.Reader) (Info, error) {
+	if n < 0 || n >= maxParts {
+		return Info{}, fmt.Errorf("graphstore: part number %d out of range [0,%d)", n, maxParts)
+	}
+	s.mu.Lock()
+	u, ok := s.uploads[id]
+	if !ok {
+		s.mu.Unlock()
+		if _, committed := s.entries[id]; committed {
+			return Info{}, fmt.Errorf("%w: %s already committed", ErrUploadState, id)
+		}
+		return Info{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	limit := s.cfg.MaxUploadBytes
+	spool, already := u.dir, u.bytes-u.parts[n]
+	s.mu.Unlock()
+
+	path := filepath.Join(spool, fmt.Sprintf(partPattern, n))
+	f, err := os.CreateTemp(spool, fmt.Sprintf(partPattern, n)+".tmp*")
+	if err != nil {
+		return Info{}, fmt.Errorf("graphstore: part spool: %w", err)
+	}
+	tmp := f.Name()
+	written, err := io.Copy(f, io.LimitReader(r, limit-already+1))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return Info{}, fmt.Errorf("graphstore: part %d: %w", n, err)
+	}
+	if written > limit-already {
+		os.Remove(tmp) //nolint:errcheck
+		return Info{}, fmt.Errorf("%w: upload exceeds %d byte limit", ErrTooLarge, limit)
+	}
+
+	// The rename happens under the lock: once a commit has marked the
+	// session done its part files must not change underneath the parser.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.uploads[id]; !ok || cur != u || u.done {
+		// The session was committed, aborted, or closed mid-transfer.
+		os.Remove(tmp) //nolint:errcheck
+		return Info{}, fmt.Errorf("%w: %s", ErrUploadState, id)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return Info{}, fmt.Errorf("graphstore: part spool: %w", err)
+	}
+	u.bytes += written - u.parts[n]
+	u.parts[n] = written
+	return u.info(), nil
+}
+
+// CommitUpload closes the session and streams its parts, in part-number
+// order, through the streaming parser into a committed arena. The parts
+// must form a dense sequence 0..k-1; anything else is reported so the
+// client can re-PUT what is missing. On success the session is gone and
+// the canonical (fingerprint-keyed) arena is returned with one
+// reference taken.
+func (s *Store) CommitUpload(id string) (*Arena, func(), error) {
+	s.mu.Lock()
+	u, ok := s.uploads[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if len(u.parts) == 0 {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: upload %s has no parts", ErrIncomplete, id)
+	}
+	nums := make([]int, 0, len(u.parts))
+	for n := range u.parts {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	if last := nums[len(nums)-1]; last != len(nums)-1 {
+		missing := make([]int, 0, 4)
+		for want, have := 0, 0; want <= last && len(missing) < 4; want++ {
+			if have < len(nums) && nums[have] == want {
+				have++
+			} else {
+				missing = append(missing, want)
+			}
+		}
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: upload %s missing parts %v (have %d of %d)",
+			ErrIncomplete, id, missing, len(nums), last+1)
+	}
+	// Mark the session closed before the (potentially long) parse so a
+	// racing PutPart cannot mutate the spool under the parser; the
+	// session stays in the map so a racing second commit errors cleanly.
+	u.done = true
+	name, spool := u.name, u.dir
+	s.mu.Unlock()
+
+	readers := make([]io.Reader, 0, len(nums)+1)
+	files := make([]*os.File, 0, len(nums))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, n := range nums {
+		f, err := os.Open(filepath.Join(spool, fmt.Sprintf(partPattern, n)))
+		if err != nil {
+			s.reopenUpload(id, u)
+			return nil, nil, fmt.Errorf("graphstore: upload %s part %d: %w", id, n, err)
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+
+	a, release, err := s.IngestReader(io.MultiReader(readers...), name)
+	if err != nil {
+		// A parse failure is almost always a bad document, but it can
+		// also be one torn part; keep the session so the client can
+		// re-PUT and retry the commit.
+		s.reopenUpload(id, u)
+		return nil, nil, fmt.Errorf("graphstore: committing %s: %w", id, err)
+	}
+
+	s.mu.Lock()
+	delete(s.uploads, id)
+	s.mu.Unlock()
+	u.discard()
+	return a, release, nil
+}
+
+// reopenUpload undoes the done-mark after a failed commit.
+func (s *Store) reopenUpload(id string, u *upload) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.uploads[id]; ok && cur == u {
+		u.done = false
+	}
+}

@@ -1,0 +1,105 @@
+package graphstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const wireTinyHMetis = "6 8\n1 2 3\n2 4\n3 5 6\n1 7 8\n4 5\n6 7\n"
+
+// TestArenaWireRoundTrip feeds one store's serialised arena bytes into
+// another store — the gateway→backend replication path — and expects a
+// byte-identical graph under the same fingerprint, with no reparse of the
+// hMetis text.
+func TestArenaWireRoundTrip(t *testing.T) {
+	src, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	a, releaseA, err := src.IngestReader(strings.NewReader(wireTinyHMetis), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer releaseA()
+
+	dst, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	b, releaseB, err := dst.IngestReader(bytes.NewReader(a.Raw()), "tiny")
+	if err != nil {
+		t.Fatalf("ingesting arena wire format: %v", err)
+	}
+	defer releaseB()
+
+	if b.ID() != a.ID() {
+		t.Fatalf("round-trip ID %s, want %s", b.ID(), a.ID())
+	}
+	ha, hb := a.Hypergraph(), b.Hypergraph()
+	if hb.NumVertices() != ha.NumVertices() || hb.NumEdges() != ha.NumEdges() {
+		t.Fatalf("round-trip dims %dx%d, want %dx%d",
+			hb.NumVertices(), hb.NumEdges(), ha.NumVertices(), ha.NumEdges())
+	}
+	if !bytes.Equal(a.Raw(), b.Raw()) {
+		t.Fatal("round-trip arena bytes differ")
+	}
+}
+
+// TestArenaWireCorruption flips a payload byte and expects the CRC check
+// to refuse the stream rather than intern a torn arena.
+func TestArenaWireCorruption(t *testing.T) {
+	src, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	a, release, err := src.IngestReader(strings.NewReader(wireTinyHMetis), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	raw := append([]byte(nil), a.Raw()...)
+	raw[len(raw)-1] ^= 0xff
+
+	dst, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if _, _, err := dst.IngestReader(bytes.NewReader(raw), "tiny"); err == nil {
+		t.Fatal("corrupted arena stream was accepted")
+	}
+	if dst.Stats().Known != 0 {
+		t.Fatalf("corrupted stream left %d graphs behind", dst.Stats().Known)
+	}
+}
+
+// TestArenaWireTruncated cuts the stream short at several offsets and
+// expects a clean refusal each time.
+func TestArenaWireTruncated(t *testing.T) {
+	src, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	a, release, err := src.IngestReader(strings.NewReader(wireTinyHMetis), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	for _, n := range []int{9, headerSize, len(a.Raw()) - 1} {
+		dst, err := Open(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := dst.IngestReader(bytes.NewReader(a.Raw()[:n]), "tiny"); err == nil {
+			t.Fatalf("truncated arena stream (%d bytes) was accepted", n)
+		}
+		dst.Close()
+	}
+}

@@ -1,0 +1,144 @@
+package hypergraph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// RawCSR is the flat dual-adjacency representation of a hypergraph: the
+// exact arrays Hypergraph stores internally, exposed so out-of-core
+// storage (internal/graphstore) can build, serialise, and mmap them
+// without copying. Weight slices may be nil, meaning uniform weight 1.
+type RawCSR struct {
+	NumVertices int
+	NumEdges    int
+
+	EdgePtr  []int32 // len NumEdges+1
+	EdgePins []int32 // len NNZ, pins of edge e at [EdgePtr[e], EdgePtr[e+1])
+	VtxPtr   []int32 // len NumVertices+1
+	VtxEdges []int32 // len NNZ, edges of vertex v at [VtxPtr[v], VtxPtr[v+1])
+
+	VertexWeights []int64 // nil or len NumVertices
+	EdgeWeights   []int64 // nil or len NumEdges
+}
+
+// FromCSR adopts the given arrays as a Hypergraph without copying: the
+// returned hypergraph aliases c's slices, which is what lets a single
+// mmap-backed arena serve every job touching the same graph. The arrays
+// are checked linearly (lengths, pointer monotonicity, index ranges) —
+// enough to make every accessor memory-safe — but the O(nnz·log) dual
+// adjacency cross-check is skipped; use Validate for that in tests.
+func FromCSR(name string, c RawCSR) (*Hypergraph, error) {
+	if c.NumVertices < 0 || c.NumEdges < 0 {
+		return nil, fmt.Errorf("hypergraph: negative dimensions %dx%d", c.NumEdges, c.NumVertices)
+	}
+	if len(c.EdgePtr) != c.NumEdges+1 {
+		return nil, fmt.Errorf("hypergraph: edge pointer length %d, want %d", len(c.EdgePtr), c.NumEdges+1)
+	}
+	if len(c.VtxPtr) != c.NumVertices+1 {
+		return nil, fmt.Errorf("hypergraph: vertex pointer length %d, want %d", len(c.VtxPtr), c.NumVertices+1)
+	}
+	if len(c.EdgePins) != len(c.VtxEdges) {
+		return nil, fmt.Errorf("hypergraph: %d edge pins vs %d vertex-edge entries", len(c.EdgePins), len(c.VtxEdges))
+	}
+	if err := checkPtrs(c.EdgePtr, len(c.EdgePins), "edge"); err != nil {
+		return nil, err
+	}
+	if err := checkPtrs(c.VtxPtr, len(c.VtxEdges), "vertex"); err != nil {
+		return nil, err
+	}
+	for _, v := range c.EdgePins {
+		if v < 0 || int(v) >= c.NumVertices {
+			return nil, fmt.Errorf("hypergraph: pin %d out of range [0,%d)", v, c.NumVertices)
+		}
+	}
+	for _, e := range c.VtxEdges {
+		if e < 0 || int(e) >= c.NumEdges {
+			return nil, fmt.Errorf("hypergraph: incident edge %d out of range [0,%d)", e, c.NumEdges)
+		}
+	}
+	if c.VertexWeights != nil && len(c.VertexWeights) != c.NumVertices {
+		return nil, fmt.Errorf("hypergraph: vertex weight length %d, want %d", len(c.VertexWeights), c.NumVertices)
+	}
+	if c.EdgeWeights != nil && len(c.EdgeWeights) != c.NumEdges {
+		return nil, fmt.Errorf("hypergraph: edge weight length %d, want %d", len(c.EdgeWeights), c.NumEdges)
+	}
+	return &Hypergraph{
+		name:          name,
+		numVertices:   c.NumVertices,
+		numEdges:      c.NumEdges,
+		edgePtr:       c.EdgePtr,
+		edgePins:      c.EdgePins,
+		vtxPtr:        c.VtxPtr,
+		vtxEdges:      c.VtxEdges,
+		vertexWeights: c.VertexWeights,
+		edgeWeights:   c.EdgeWeights,
+	}, nil
+}
+
+// CSR returns the hypergraph's raw arrays. The slices alias internal
+// storage and must not be modified; this is the export half of FromCSR.
+func (h *Hypergraph) CSR() RawCSR {
+	return RawCSR{
+		NumVertices:   h.numVertices,
+		NumEdges:      h.numEdges,
+		EdgePtr:       h.edgePtr,
+		EdgePins:      h.edgePins,
+		VtxPtr:        h.vtxPtr,
+		VtxEdges:      h.vtxEdges,
+		VertexWeights: h.vertexWeights,
+		EdgeWeights:   h.edgeWeights,
+	}
+}
+
+func checkPtrs(ptr []int32, nnz int, kind string) error {
+	if ptr[0] != 0 {
+		return fmt.Errorf("hypergraph: %s pointers start at %d, want 0", kind, ptr[0])
+	}
+	for i := 1; i < len(ptr); i++ {
+		if ptr[i] < ptr[i-1] {
+			return fmt.Errorf("hypergraph: %s pointers not monotone at %d", kind, i)
+		}
+	}
+	if int(ptr[len(ptr)-1]) != nnz {
+		return fmt.Errorf("hypergraph: %s pointers end at %d, want %d", kind, ptr[len(ptr)-1], nnz)
+	}
+	return nil
+}
+
+// Fingerprint returns a deterministic 128-bit hex digest of the
+// hypergraph's structure and weights (the name is excluded). Two
+// hypergraphs with equal vertex sets, hyperedges, pin sets and weights
+// share a fingerprint; it doubles as the hypergraph resource ID in the
+// serving tiers, which is what makes arena dedup and gateway replication
+// idempotent.
+func Fingerprint(h *Hypergraph) string {
+	hs := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	put := func(x uint64) {
+		n := binary.PutUvarint(buf[:], x)
+		hs.Write(buf[:n])
+	}
+	put(uint64(h.NumVertices()))
+	put(uint64(h.NumEdges()))
+	for e := 0; e < h.NumEdges(); e++ {
+		pins := h.Pins(e)
+		put(uint64(len(pins)))
+		for _, v := range pins {
+			put(uint64(v))
+		}
+		put(uint64(h.EdgeWeight(e)))
+	}
+	if h.HasVertexWeights() {
+		put(1)
+		for v := 0; v < h.NumVertices(); v++ {
+			put(uint64(h.VertexWeight(v)))
+		}
+	} else {
+		put(0)
+	}
+	sum := hs.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -25,7 +25,10 @@ const MaxBatchJobs = 256
 //	POST /v1/partition          submit a job (JSON PartitionRequest, or a raw
 //	                            hMetis body with query-parameter options)
 //	POST /v1/partition/batch    submit many jobs in one request
-//	GET  /v1/jobs               list jobs
+//	POST /v1/hypergraphs        upload a hypergraph resource (one-shot, or a
+//	                            resumable session — see hypergraphs.go for
+//	                            the whole resource surface)
+//	GET  /v1/jobs               list jobs (?limit= ?after= ?state=)
 //	GET  /v1/jobs/{id}          job status
 //	GET  /v1/jobs/{id}/result   finished payload (202 while pending,
 //	                            422 when the job failed)
@@ -53,32 +56,38 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("/v1/partition", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			WriteError(w, http.StatusMethodNotAllowed, "POST required")
+			WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "POST required")
 			return
 		}
 		handleSubmit(s, w, r)
 	})
 	mux.HandleFunc("/v1/partition/batch", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			WriteError(w, http.StatusMethodNotAllowed, "POST required")
+			WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "POST required")
 			return
 		}
 		handleBatch(s, w, r)
 	})
 	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			WriteError(w, http.StatusMethodNotAllowed, "GET required")
+			WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "GET required")
 			return
 		}
-		WriteJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+		limit, after, state, err := ParseJobsQuery(r)
+		if err != nil {
+			WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
+			return
+		}
+		WriteJSON(w, http.StatusOK, s.JobsPage(limit, after, state))
 	})
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			WriteError(w, http.StatusMethodNotAllowed, "GET required")
+			WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "GET required")
 			return
 		}
 		handleJob(s, w, r)
 	})
+	registerHypergraphRoutes(mux, s)
 	var m *telemetry.HTTPMetrics
 	if s.metrics != nil {
 		m = s.metrics.http
@@ -113,12 +122,12 @@ func retryAfter(s *Service, w http.ResponseWriter) {
 func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 	wire, err := DecodeSubmission(r)
 	if err != nil {
-		WriteError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
 		return
 	}
 	req, err := ParseRequest(wire)
 	if err != nil {
-		WriteError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
 		return
 	}
 	req.Trace = telemetry.TraceFrom(r.Context())
@@ -126,12 +135,14 @@ func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrInflightBytes):
 		retryAfter(s, w)
-		WriteError(w, http.StatusTooManyRequests, err.Error())
+		WriteError(w, r, http.StatusTooManyRequests, hyperpraw.ErrCodeOverloaded, err.Error())
 	case errors.Is(err, ErrClosed):
 		retryAfter(s, w)
-		WriteError(w, http.StatusServiceUnavailable, err.Error())
+		WriteError(w, r, http.StatusServiceUnavailable, hyperpraw.ErrCodeUnavailable, err.Error())
+	case errors.Is(err, ErrUnknownHypergraph):
+		WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, err.Error())
 	case err != nil:
-		WriteError(w, http.StatusInternalServerError, err.Error())
+		WriteError(w, r, http.StatusInternalServerError, hyperpraw.ErrCodeInternal, err.Error())
 	default:
 		WriteJSON(w, http.StatusAccepted, info)
 	}
@@ -211,7 +222,7 @@ func DecodeBatch(r *http.Request) (hyperpraw.BatchRequest, error) {
 func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
 	batch, err := DecodeBatch(r)
 	if err != nil {
-		WriteError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
 		return
 	}
 	resp := hyperpraw.BatchResponse{Jobs: make([]hyperpraw.BatchItem, len(batch.Jobs))}
@@ -252,6 +263,30 @@ func handleBatch(s *Service, w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, status, resp)
 }
 
+// ParseJobsQuery reads the pagination and filter parameters of a
+// GET /v1/jobs request: ?limit=N (page size, 0 = everything), ?after=ID
+// (resume strictly past that job ID) and ?state= (queued | running |
+// done | failed). Both serving tiers accept listings through it.
+func ParseJobsQuery(r *http.Request) (limit int, after string, state hyperpraw.JobStatus, err error) {
+	q := r.URL.Query()
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			return 0, "", "", fmt.Errorf("bad limit %q", v)
+		}
+	}
+	after = q.Get("after")
+	if v := q.Get("state"); v != "" {
+		switch hyperpraw.JobStatus(v) {
+		case hyperpraw.JobQueued, hyperpraw.JobRunning, hyperpraw.JobDone, hyperpraw.JobFailed:
+			state = hyperpraw.JobStatus(v)
+		default:
+			return 0, "", "", fmt.Errorf("bad state %q (want queued, running, done or failed)", v)
+		}
+	}
+	return limit, after, state, nil
+}
+
 // ParseAfter reads the ?after=N resume point of an events request (the
 // last SSE sequence number the consumer has already seen).
 func ParseAfter(r *http.Request) (int, error) {
@@ -269,10 +304,10 @@ func ParseAfter(r *http.Request) (int, error) {
 // BeginSSE switches the response into a server-sent-event stream and
 // returns its flusher; ok is false (with the error already written) when
 // the ResponseWriter cannot stream.
-func BeginSSE(w http.ResponseWriter) (http.Flusher, bool) {
+func BeginSSE(w http.ResponseWriter, r *http.Request) (http.Flusher, bool) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		WriteError(w, http.StatusInternalServerError, "streaming unsupported")
+		WriteError(w, r, http.StatusInternalServerError, hyperpraw.ErrCodeInternal, "streaming unsupported")
 		return nil, false
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -291,7 +326,7 @@ func BeginSSE(w http.ResponseWriter) (http.Flusher, bool) {
 func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, id string) {
 	after, err := ParseAfter(r)
 	if err != nil {
-		WriteError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
 		return
 	}
 	// Hold the progress log for the whole stream: if retention pruning
@@ -299,10 +334,10 @@ func handleEvents(s *Service, w http.ResponseWriter, r *http.Request, id string)
 	// log still delivers the remaining frames and the terminal one.
 	plog, ok := s.progressFor(id)
 	if !ok {
-		WriteError(w, http.StatusNotFound, "unknown job "+id)
+		WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown job "+id)
 		return
 	}
-	flusher, ok := BeginSSE(w)
+	flusher, ok := BeginSSE(w, r)
 	if !ok {
 		return
 	}
@@ -343,14 +378,14 @@ func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
 	if id == "" {
-		WriteError(w, http.StatusNotFound, "missing job id")
+		WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "missing job id")
 		return
 	}
 	switch sub {
 	case "":
 		info, ok := s.Job(id)
 		if !ok {
-			WriteError(w, http.StatusNotFound, "unknown job "+id)
+			WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown job "+id)
 			return
 		}
 		WriteJSON(w, http.StatusOK, info)
@@ -358,9 +393,9 @@ func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 		res, info, ok := s.Result(id)
 		switch {
 		case !ok:
-			WriteError(w, http.StatusNotFound, "unknown job "+id)
+			WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown job "+id)
 		case info.Status == hyperpraw.JobFailed:
-			WriteError(w, http.StatusUnprocessableEntity, info.Error)
+			WriteError(w, r, http.StatusUnprocessableEntity, hyperpraw.ErrCodeJobFailed, info.Error)
 		case res == nil:
 			WriteJSON(w, http.StatusAccepted, info) // still queued or running
 		default:
@@ -369,7 +404,7 @@ func handleJob(s *Service, w http.ResponseWriter, r *http.Request) {
 	case "events":
 		handleEvents(s, w, r, id)
 	default:
-		WriteError(w, http.StatusNotFound, "unknown resource "+sub)
+		WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown resource "+sub)
 	}
 }
 
@@ -383,7 +418,21 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone mid-write is not actionable
 }
 
-// WriteError writes the API error JSON shape.
-func WriteError(w http.ResponseWriter, status int, msg string) {
-	WriteJSON(w, status, map[string]string{"error": msg})
+// WriteError writes the uniform error envelope both serving tiers emit
+// for every non-2xx response: {"error":{"code":…,"message":…}}. code is a
+// constant from the hyperpraw.ErrCode catalog so clients branch on stable
+// identifiers instead of matching message strings. The envelope picks up
+// the retry hint from an already-set Retry-After header and the trace ID
+// from the request context, so call sites only name what went wrong.
+func WriteError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	body := hyperpraw.ErrorBody{Error: hyperpraw.ErrorDetail{Code: code, Message: msg}}
+	if v := w.Header().Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			body.Error.RetryAfterMS = int64(secs) * 1000
+		}
+	}
+	if r != nil {
+		body.Error.Trace = telemetry.TraceFrom(r.Context())
+	}
+	WriteJSON(w, status, body)
 }

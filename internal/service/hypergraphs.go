@@ -1,0 +1,224 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hyperpraw"
+	"hyperpraw/internal/graphstore"
+)
+
+// This file is the HTTP face of the hypergraph resource API on the service
+// tier:
+//
+//	POST   /v1/hypergraphs                 open a resumable upload session
+//	                                       (JSON {"name":…}) or one-shot
+//	                                       ingest a raw hMetis body
+//	GET    /v1/hypergraphs                 list resources (committed + uploading)
+//	GET    /v1/hypergraphs/{id}            resource info
+//	DELETE /v1/hypergraphs/{id}            delete (409 while jobs reference it)
+//	PUT    /v1/hypergraphs/{id}/parts/{n}  upload one part (idempotent re-PUT)
+//	POST   /v1/hypergraphs/{id}/commit     parse the parts into a committed arena
+//
+// The hpgate gateway serves the same surface and replicates committed
+// graphs to backends through these endpoints, so the two tiers stay
+// interchangeable to clients.
+
+// Graphs exposes the service's shared graph store (always non-nil after
+// New); the gateway tier and tests reach the arenas through it.
+func (s *Service) Graphs() *graphstore.Store { return s.graphs }
+
+// WireGraphInfo converts a store-level resource description to its wire
+// form; shared by both tiers so /v1/hypergraphs bodies stay identical.
+func WireGraphInfo(in graphstore.Info) hyperpraw.HypergraphInfo {
+	return hyperpraw.HypergraphInfo{
+		ID:            in.ID,
+		State:         hyperpraw.HypergraphState(in.State),
+		Name:          in.Name,
+		Vertices:      in.Vertices,
+		Edges:         in.Edges,
+		Pins:          in.Pins,
+		Bytes:         in.Bytes,
+		Refs:          in.Refs,
+		Mapped:        in.Mapped,
+		Resident:      in.Resident,
+		PartsReceived: in.PartsReceived,
+		UploadedBytes: in.UploadedBytes,
+	}
+}
+
+// WireGraphInfos converts a store listing; never nil, so the JSON body
+// always carries an array.
+func WireGraphInfos(ins []graphstore.Info) []hyperpraw.HypergraphInfo {
+	out := make([]hyperpraw.HypergraphInfo, len(ins))
+	for i, in := range ins {
+		out[i] = WireGraphInfo(in)
+	}
+	return out
+}
+
+// ErrUpstream marks a graph operation that failed against a backend
+// rather than locally; the gateway wraps its fan-out failures in it so
+// they surface as 502 instead of a client-fault status.
+var ErrUpstream = errors.New("service: upstream graph operation failed")
+
+// GraphErrorStatus maps a graph-store error to its HTTP status and
+// envelope code; shared by both tiers so clients see one taxonomy.
+func GraphErrorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrUpstream):
+		return http.StatusBadGateway, hyperpraw.ErrCodeUnavailable
+	case errors.Is(err, graphstore.ErrNotFound):
+		return http.StatusNotFound, hyperpraw.ErrCodeNotFound
+	case errors.Is(err, graphstore.ErrReferenced):
+		return http.StatusConflict, hyperpraw.ErrCodeGraphReferenced
+	case errors.Is(err, graphstore.ErrIncomplete):
+		return http.StatusConflict, hyperpraw.ErrCodeUploadIncomplete
+	case errors.Is(err, graphstore.ErrUploadState):
+		return http.StatusConflict, hyperpraw.ErrCodeUploadState
+	case errors.Is(err, graphstore.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, hyperpraw.ErrCodeTooLarge
+	default:
+		return http.StatusUnprocessableEntity, hyperpraw.ErrCodeInvalidRequest
+	}
+}
+
+func writeGraphError(w http.ResponseWriter, r *http.Request, err error) {
+	status, code := GraphErrorStatus(err)
+	WriteError(w, r, status, code, err.Error())
+}
+
+// registerHypergraphRoutes mounts the resource API on the service's mux.
+func registerHypergraphRoutes(mux *http.ServeMux, s *Service) {
+	RegisterHypergraphRoutes(mux, s.graphs, nil)
+}
+
+// RegisterHypergraphRoutes mounts the hypergraph resource API on mux
+// over graphs. Both tiers use it, so the surface cannot drift: hpserve
+// mounts its service store, hpgate mounts the gateway's own store.
+// deleteFn, when non-nil, replaces the plain store delete on
+// DELETE /v1/hypergraphs/{id} — the gateway fans deletes out to its
+// backends through it; its errors flow through GraphErrorStatus.
+func RegisterHypergraphRoutes(mux *http.ServeMux, graphs *graphstore.Store, deleteFn func(r *http.Request, id string) error) {
+	mux.HandleFunc("/v1/hypergraphs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			handleCreateHypergraph(graphs, w, r)
+		case http.MethodGet:
+			WriteJSON(w, http.StatusOK, hyperpraw.HypergraphList{
+				Hypergraphs: WireGraphInfos(graphs.List()),
+			})
+		default:
+			WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "POST or GET required")
+		}
+	})
+	mux.HandleFunc("/v1/hypergraphs/", func(w http.ResponseWriter, r *http.Request) {
+		handleHypergraph(graphs, deleteFn, w, r)
+	})
+}
+
+// handleCreateHypergraph answers POST /v1/hypergraphs. A JSON body opens a
+// resumable upload session (201 with state "uploading"); any other body is
+// a one-shot ingest — the hMetis document itself, streamed through the
+// parser into a committed arena (201 with state "committed"). ?name= labels
+// the one-shot upload.
+func handleCreateHypergraph(graphs *graphstore.Store, w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var create hyperpraw.CreateHypergraphRequest
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&create); err != nil && err != io.EOF {
+			WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, "bad JSON request: "+err.Error())
+			return
+		}
+		info, err := graphs.CreateUpload(create.Name)
+		if err != nil {
+			WriteError(w, r, http.StatusServiceUnavailable, hyperpraw.ErrCodeUnavailable, err.Error())
+			return
+		}
+		WriteJSON(w, http.StatusCreated, WireGraphInfo(info))
+		return
+	}
+
+	// One-shot ingest: the body streams straight through the parser, so
+	// peak memory is the finished arena, never the request body.
+	a, release, err := graphs.IngestReader(r.Body, r.URL.Query().Get("name"))
+	if err != nil {
+		writeGraphError(w, r, err)
+		return
+	}
+	info, _ := graphs.Get(a.ID())
+	release()
+	WriteJSON(w, http.StatusCreated, WireGraphInfo(info))
+}
+
+// handleHypergraph routes /v1/hypergraphs/{id}[/...].
+func handleHypergraph(graphs *graphstore.Store, deleteFn func(*http.Request, string) error, w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/hypergraphs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "missing hypergraph id")
+		return
+	}
+	switch {
+	case sub == "":
+		switch r.Method {
+		case http.MethodGet:
+			info, ok := graphs.Get(id)
+			if !ok {
+				WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown hypergraph "+id)
+				return
+			}
+			WriteJSON(w, http.StatusOK, WireGraphInfo(info))
+		case http.MethodDelete:
+			del := func(*http.Request, string) error { return graphs.Delete(id) }
+			if deleteFn != nil {
+				del = deleteFn
+			}
+			if err := del(r, id); err != nil {
+				writeGraphError(w, r, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "GET or DELETE required")
+		}
+	case strings.HasPrefix(sub, "parts/"):
+		if r.Method != http.MethodPut {
+			WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "PUT required")
+			return
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(sub, "parts/"))
+		if err != nil || n < 0 {
+			WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, "bad part number in "+r.URL.Path)
+			return
+		}
+		defer r.Body.Close()
+		info, err := graphs.PutPart(id, n, r.Body)
+		if err != nil {
+			writeGraphError(w, r, err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, WireGraphInfo(info))
+	case sub == "commit":
+		if r.Method != http.MethodPost {
+			WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "POST required")
+			return
+		}
+		a, release, err := graphs.CommitUpload(id)
+		if err != nil {
+			writeGraphError(w, r, err)
+			return
+		}
+		info, _ := graphs.Get(a.ID())
+		release()
+		WriteJSON(w, http.StatusCreated, WireGraphInfo(info))
+	default:
+		WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown resource "+sub)
+	}
+}

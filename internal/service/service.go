@@ -14,6 +14,7 @@ import (
 
 	"hyperpraw"
 	"hyperpraw/internal/faultpoint"
+	"hyperpraw/internal/graphstore"
 	"hyperpraw/internal/hgen"
 	"hyperpraw/internal/store"
 	"hyperpraw/internal/telemetry"
@@ -28,6 +29,10 @@ var (
 	// inline upload would push the queued+running payload total past
 	// Config.MaxInflightBytes.
 	ErrInflightBytes = errors.New("service: inflight upload bytes limit reached")
+	// ErrUnknownHypergraph is returned by Submit when the request references
+	// a HypergraphID the graph store does not hold (never uploaded, still
+	// uploading, or deleted).
+	ErrUnknownHypergraph = errors.New("service: unknown hypergraph")
 	// errDeadline marks a job that hit its ServeOptions.DeadlineMS budget,
 	// either while still queued or mid-run (kernel cancellation).
 	errDeadline = errors.New("service: job deadline exceeded")
@@ -73,6 +78,12 @@ type Config struct {
 	// served by NewHandler on GET /metrics. Nil disables collection; the
 	// instrumentation sites remain but no-op.
 	Metrics *telemetry.Registry
+	// Graphs, when non-nil, is the shared hypergraph arena store behind
+	// /v1/hypergraphs and PartitionRequest.HypergraphID; the caller owns
+	// its lifecycle (hpserve opens it against -graph-store). Nil makes the
+	// service open a private memory-only store, closed on Shutdown, so the
+	// resource API works on any deployment.
+	Graphs *graphstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -153,9 +164,12 @@ func (r Request) resultKey() string {
 }
 
 // ParseRequest validates a wire request: algorithm and machine must be
-// known, and exactly one hypergraph source must be present. Inline hMetis
-// uploads are parsed (and fingerprinted) here so malformed input fails at
-// submission, not inside a worker.
+// known, and exactly one hypergraph source (HypergraphID, Instance or
+// HMetis) must be present. Inline hMetis uploads are parsed (and
+// fingerprinted) here so malformed input fails at submission, not inside a
+// worker. A HypergraphID is taken on faith — the ID is the fingerprint, so
+// routing and caching work without the graph; the arena itself is resolved
+// at Submit time against the graph store.
 func ParseRequest(wire hyperpraw.PartitionRequest) (Request, error) {
 	algo, mapping, err := hyperpraw.ParseAlgorithm(wire.Algorithm)
 	if err != nil {
@@ -172,9 +186,26 @@ func ParseRequest(wire hyperpraw.PartitionRequest) (Request, error) {
 		Bench:     wire.Bench,
 		wire:      wire,
 	}
+	sources := 0
+	for _, set := range []bool{wire.HypergraphID != "", wire.Instance != nil, wire.HMetis != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return Request{}, fmt.Errorf("service: request must name exactly one hypergraph source (hypergraph_id, instance or hmetis), got %d", sources)
+	}
 	switch {
-	case wire.Instance != nil && wire.HMetis != "":
-		return Request{}, fmt.Errorf("service: request has both instance and hmetis hypergraphs")
+	case wire.HypergraphID != "":
+		id := wire.HypergraphID
+		if strings.HasPrefix(id, "up-") {
+			return Request{}, fmt.Errorf("service: hypergraph %s is an upload session, not a committed hypergraph — commit it first", id)
+		}
+		req.fingerprint = id
+		req.name = "graph-" + id
+		if len(id) > 8 {
+			req.name = "graph-" + id[:8]
+		}
 	case wire.Instance != nil:
 		spec := wire.Instance.Normalize()
 		if _, ok := hgen.SpecByName(spec.Name); !ok {
@@ -196,9 +227,42 @@ func ParseRequest(wire hyperpraw.PartitionRequest) (Request, error) {
 		req.name = "upload-" + req.fingerprint[:8]
 		h.SetName(req.name)
 	default:
-		return Request{}, fmt.Errorf("service: request needs an instance or an hmetis hypergraph")
+		return Request{}, fmt.Errorf("service: request needs a hypergraph_id, an instance or an hmetis hypergraph")
 	}
 	return req, nil
+}
+
+// resolveGraph binds a request to its shared arena and returns the release
+// to call when the job finishes. For a HypergraphID reference it acquires
+// the committed arena (failing with ErrUnknownHypergraph when the store
+// does not hold it); for an inline hMetis upload it interns the parsed
+// graph so duplicate submissions — and any by-reference jobs for the same
+// document — all alias one arena. Instance requests need no graph and
+// return a nil release.
+func (s *Service) resolveGraph(req *Request) (func(), error) {
+	if id := req.wire.HypergraphID; id != "" {
+		a, release, err := s.graphs.Acquire(id)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownHypergraph, id)
+		}
+		req.Hypergraph = a.Hypergraph()
+		if a.Name() != "" {
+			req.name = a.Name()
+		}
+		return release, nil
+	}
+	if req.Hypergraph != nil {
+		a, release, err := s.graphs.Put(req.Hypergraph)
+		if err != nil {
+			// Interning is an optimisation (dedup + shared residency); a
+			// store failure must not reject a request that carries its own
+			// parsed graph.
+			return nil, nil //nolint:nilerr
+		}
+		req.Hypergraph = a.Hypergraph()
+		return release, nil
+	}
+	return nil, nil
 }
 
 // job is the service-side state of one submitted request.
@@ -215,6 +279,11 @@ type job struct {
 	// finishes. Both are set before the job becomes visible to a worker.
 	deadline time.Time
 	cost     int64
+	// release returns the job's graph-store reference (set when the request
+	// resolved to a shared arena); called exactly once when the job
+	// finishes. While held it pins the arena: resident against eviction,
+	// undeletable, and counted in hyperpraw_graph_refs.
+	release func()
 }
 
 func (j *job) snapshot() hyperpraw.JobInfo {
@@ -247,8 +316,10 @@ type Service struct {
 	envs    *Cache[hyperpraw.Environment]
 	results *Cache[hyperpraw.JobResult]
 
-	store   *store.Store
-	metrics *serviceMetrics
+	store     *store.Store
+	graphs    *graphstore.Store
+	ownGraphs bool // the service opened graphs itself; close it on Shutdown
+	metrics   *serviceMetrics
 }
 
 // New starts a Service with cfg's worker pool already running. When cfg
@@ -280,6 +351,12 @@ func New(cfg Config) *Service {
 		envs:    NewCache[hyperpraw.Environment](cfg.EnvCacheSize),
 		results: NewCache[hyperpraw.JobResult](cfg.ResultCacheSize),
 		store:   cfg.Store,
+		graphs:  cfg.Graphs,
+	}
+	if s.graphs == nil {
+		// A memory-only store cannot fail to open (no directory involved).
+		s.graphs, _ = graphstore.Open(graphstore.Config{})
+		s.ownGraphs = true
 	}
 	if s.store != nil {
 		s.replayStore(recovered)
@@ -356,6 +433,15 @@ func (s *Service) requeueReplayed(j *job, rec store.JobRecord) {
 		return
 	}
 	j.req = req
+	// A recovered by-reference job needs its arena back; with a shared
+	// -graph-store directory the graph survived the restart alongside the
+	// job journal, so this normally succeeds.
+	release, err := s.resolveGraph(&j.req)
+	if err != nil {
+		fail(fmt.Sprintf("service: restart recovery could not resolve the hypergraph: %v", err))
+		return
+	}
+	j.release = release
 	// Recovered jobs bypass admission (they held their slots before the
 	// crash) but still reserve their upload bytes so the release at finish
 	// balances; their original deadline keeps applying across the restart.
@@ -376,6 +462,10 @@ func (s *Service) requeueReplayed(j *job, rec store.JobRecord) {
 		// Unreachable: New sizes the queue to hold every recovered
 		// unfinished job; kept as a safety net over a silent drop.
 		s.inflight -= j.cost
+		if j.release != nil {
+			j.release()
+			j.release = nil
+		}
 		fail("service: job queue full after restart")
 	}
 }
@@ -385,10 +475,25 @@ func (s *Service) requeueReplayed(j *job, rec store.JobRecord) {
 // the request's upload would breach Config.MaxInflightBytes, and ErrClosed
 // after Shutdown has begun.
 func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
+	// Resolve the shared arena before admission so an unknown HypergraphID
+	// fails fast (and an inline upload deduplicates into the store). The
+	// reference is held from here until the job finishes — or returned on
+	// any rejection below.
+	release, err := s.resolveGraph(&req)
+	if err != nil {
+		s.metrics.rejected(err)
+		return hyperpraw.JobInfo{}, err
+	}
+	unref := func() {
+		if release != nil {
+			release()
+		}
+	}
 	cost := int64(len(req.wire.HMetis))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		unref()
 		s.metrics.rejected(ErrClosed)
 		return hyperpraw.JobInfo{}, ErrClosed
 	}
@@ -398,11 +503,13 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	// the journal for the true race.
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
+		unref()
 		s.metrics.rejected(ErrQueueFull)
 		return hyperpraw.JobInfo{}, ErrQueueFull
 	}
 	if s.cfg.MaxInflightBytes > 0 && s.inflight+cost > s.cfg.MaxInflightBytes {
 		s.mu.Unlock()
+		unref()
 		s.metrics.rejected(ErrInflightBytes)
 		return hyperpraw.JobInfo{}, ErrInflightBytes
 	}
@@ -410,6 +517,7 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	j := &job{
 		req:      req,
 		cost:     cost,
+		release:  release,
 		done:     make(chan struct{}),
 		progress: newProgressLog(),
 		info: hyperpraw.JobInfo{
@@ -442,6 +550,7 @@ func (s *Service) Submit(req Request) (hyperpraw.JobInfo, error) {
 	s.mu.Lock()
 	reject := func(err error) (hyperpraw.JobInfo, error) {
 		s.mu.Unlock()
+		unref()
 		// Compensate the already-journaled submission so a restart does
 		// not resurrect a job the caller was told was rejected.
 		s.journal(store.Pruned(j.info.ID))
@@ -547,6 +656,39 @@ func (s *Service) Jobs() []hyperpraw.JobInfo {
 		out[i] = j.snapshot()
 	}
 	return out
+}
+
+// JobsPage returns one page of the job table in submission order. after
+// resumes the listing strictly past that job ID (job IDs are monotonic, so
+// a cursor stays valid across pruning); limit bounds the page (<= 0 means
+// no bound); state, when non-empty, keeps only jobs whose current status
+// matches. NextAfter is set when the table holds further entries past the
+// returned page.
+func (s *Service) JobsPage(limit int, after string, state hyperpraw.JobStatus) hyperpraw.JobsPage {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	page := hyperpraw.JobsPage{Jobs: []hyperpraw.JobInfo{}}
+	for i, j := range jobs {
+		if after != "" && ids[i] <= after {
+			continue
+		}
+		if limit > 0 && len(page.Jobs) == limit {
+			page.NextAfter = page.Jobs[limit-1].ID
+			break
+		}
+		info := j.snapshot()
+		if state != "" && info.Status != state {
+			continue
+		}
+		page.Jobs = append(page.Jobs, info)
+	}
+	return page
 }
 
 // Result returns the finished payload for id; ok is false for unknown ids,
@@ -688,6 +830,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.sealProgressLogs("")
+		if s.ownGraphs {
+			// Only a store the service opened itself (no Config.Graphs) is
+			// closed here; a shared store outlives the service.
+			s.graphs.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		// The drain deadline expired with jobs still queued or running.
@@ -816,7 +963,14 @@ func (s *Service) runJob(j *job) {
 	// the request so finished jobs don't pin uploaded hypergraphs in
 	// memory until the retention prune reaches them.
 	j.req = Request{}
+	release := j.release
+	j.release = nil
 	j.mu.Unlock()
+	if release != nil {
+		// Return the graph-store reference: the arena becomes evictable
+		// (and deletable) once the last job using it finishes.
+		release()
+	}
 
 	s.mu.Lock()
 	s.inflight -= j.cost

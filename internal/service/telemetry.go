@@ -107,6 +107,26 @@ func newServiceMetrics(reg *telemetry.Registry, s *Service) *serviceMetrics {
 		evictions.SetFunc(func() float64 { return float64(stats().Evictions) }, c.label)
 	}
 
+	if s.graphs != nil {
+		graphs := s.graphs
+		reg.GaugeFunc("hyperpraw_graph_bytes",
+			"Resident bytes held by the shared hypergraph arena store (the "+
+				"quantity bounded by -graph-cache-bytes).",
+			func() float64 { return float64(graphs.Stats().Bytes) })
+		reg.GaugeFunc("hyperpraw_graph_refs",
+			"Live job references into shared hypergraph arenas; a referenced "+
+				"arena cannot be evicted or deleted.",
+			func() float64 { return float64(graphs.Stats().Refs) })
+		reg.GaugeFunc("hyperpraw_graph_arenas",
+			"Hypergraph arenas currently resident in memory (mmapped or "+
+				"heap-held); evicted disk-backed arenas stay known but drop "+
+				"off this gauge until reacquired.",
+			func() float64 { return float64(graphs.Stats().Arenas) })
+		reg.CounterFunc("hyperpraw_graph_evictions_total",
+			"Arenas evicted from residency by the -graph-cache-bytes budget.",
+			func() float64 { return float64(graphs.Stats().Evictions) })
+	}
+
 	m.kernel = reg.CounterVec("hyperpraw_kernel_events_total",
 		"Streaming kernel activity aggregated across computed jobs (cache "+
 			"hits replay a stored result and add nothing), by event kind.",

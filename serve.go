@@ -1,9 +1,6 @@
 package hyperpraw
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"fmt"
 	"io"
 	"strings"
@@ -210,17 +207,139 @@ func (b *ServeBenchOptions) Key() string {
 }
 
 // PartitionRequest is the body of POST /v1/partition. Exactly one of
-// Instance or HMetis supplies the hypergraph.
+// HypergraphID, Instance or HMetis supplies the hypergraph.
 type PartitionRequest struct {
 	// Algorithm names the partitioner, optionally with "+mapping".
 	Algorithm string      `json:"algorithm"`
 	Machine   MachineSpec `json:"machine"`
+	// HypergraphID references a hypergraph previously committed through
+	// POST /v1/hypergraphs. The job aliases the shared arena — the graph
+	// bytes never travel with the request. This is the preferred way to
+	// partition any graph used more than once, or too large to inline.
+	HypergraphID string `json:"hypergraph_id,omitempty"`
 	// Instance generates a catalog hypergraph on the server.
 	Instance *InstanceSpec `json:"instance,omitempty"`
 	// HMetis is an inline hypergraph upload in hMetis text format.
+	//
+	// Deprecated: prefer uploading once via POST /v1/hypergraphs and
+	// referencing it by HypergraphID. Inline uploads remain supported
+	// (and are interned into the same graph store) but resend the whole
+	// document on every request.
 	HMetis  string             `json:"hmetis,omitempty"`
 	Options *ServeOptions      `json:"options,omitempty"`
 	Bench   *ServeBenchOptions `json:"bench,omitempty"`
+}
+
+// HypergraphState is the lifecycle state of a hypergraph resource.
+type HypergraphState string
+
+const (
+	// HypergraphUploading is a resumable upload session still accepting
+	// parts; its ID lives in the "up-…" namespace.
+	HypergraphUploading HypergraphState = "uploading"
+	// HypergraphCommitted is a parsed, deduplicated arena; its ID is the
+	// graph's fingerprint.
+	HypergraphCommitted HypergraphState = "committed"
+)
+
+// HypergraphInfo is the wire representation of a hypergraph resource:
+// either an in-flight upload session or a committed arena, as served by
+// POST/GET /v1/hypergraphs.
+type HypergraphInfo struct {
+	// ID is the resource identifier. For a committed hypergraph it equals
+	// the graph's Fingerprint, so uploading the same document twice (even
+	// through different tiers) converges on one resource.
+	ID    string          `json:"id"`
+	State HypergraphState `json:"state"`
+	// Name is the human-readable label supplied at upload time; it does
+	// not participate in identity.
+	Name string `json:"name,omitempty"`
+	// Vertices/Edges/Pins/Bytes describe a committed arena (zero while
+	// uploading). Bytes is the arena buffer size, the number that counts
+	// against the store's -graph-cache-bytes budget.
+	Vertices int   `json:"vertices,omitempty"`
+	Edges    int   `json:"edges,omitempty"`
+	Pins     int   `json:"pins,omitempty"`
+	Bytes    int64 `json:"bytes,omitempty"`
+	// Refs is how many live jobs currently alias the arena; a resource
+	// with Refs > 0 refuses DELETE with 409 graph_referenced.
+	Refs int `json:"refs,omitempty"`
+	// Mapped reports the arena is mmap-backed rather than heap-held;
+	// Resident that its buffer is currently in memory at all (an evicted
+	// disk-backed arena stays known but reloads lazily on next use).
+	Mapped   bool `json:"mapped,omitempty"`
+	Resident bool `json:"resident,omitempty"`
+	// PartsReceived/UploadedBytes describe an uploading session.
+	PartsReceived int   `json:"parts_received,omitempty"`
+	UploadedBytes int64 `json:"uploaded_bytes,omitempty"`
+}
+
+// HypergraphList is the body of GET /v1/hypergraphs.
+type HypergraphList struct {
+	Hypergraphs []HypergraphInfo `json:"hypergraphs"`
+}
+
+// CreateHypergraphRequest is the body of POST /v1/hypergraphs when
+// opening a resumable upload session (as opposed to a one-shot ingest,
+// which sends the hMetis document itself as a text/plain body).
+type CreateHypergraphRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+// Error codes carried in ErrorDetail.Code: a stable machine-readable
+// taxonomy, so clients branch on codes instead of matching message
+// strings or guessing from HTTP status alone.
+const (
+	// ErrCodeInvalidRequest: the request body or parameters failed
+	// validation (HTTP 400/422).
+	ErrCodeInvalidRequest = "invalid_request"
+	// ErrCodeNotFound: the referenced resource does not exist (404).
+	ErrCodeNotFound = "not_found"
+	// ErrCodeMethodNotAllowed: the path exists but not for this verb (405).
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodeTooLarge: a request or upload exceeded a size bound (413).
+	ErrCodeTooLarge = "too_large"
+	// ErrCodeOverloaded: admission control or saturation shed the request;
+	// retry after RetryAfterMS (429).
+	ErrCodeOverloaded = "overloaded"
+	// ErrCodeUploadState: the upload session is not in a state that allows
+	// the operation (409) — e.g. a part PUT after commit.
+	ErrCodeUploadState = "upload_state"
+	// ErrCodeUploadIncomplete: commit refused because parts are missing
+	// (409); the message names the missing part numbers.
+	ErrCodeUploadIncomplete = "upload_incomplete"
+	// ErrCodeGraphReferenced: DELETE refused because live jobs still
+	// reference the hypergraph (409).
+	ErrCodeGraphReferenced = "graph_referenced"
+	// ErrCodeJobFailed: the job reached a terminal failed state (422 on
+	// result fetch).
+	ErrCodeJobFailed = "job_failed"
+	// ErrCodeUnavailable: no backend could serve the request (502/503).
+	ErrCodeUnavailable = "unavailable"
+	// ErrCodeInternal: an unexpected server-side failure (500).
+	ErrCodeInternal = "internal"
+)
+
+// ErrorDetail is the machine-readable error payload carried inside
+// ErrorBody: a stable Code from the catalog above, a human Message, an
+// optional retry hint, and the request's trace ID for cross-tier log
+// correlation.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS is a backoff hint accompanying overloaded/unavailable
+	// codes; 0 means no hint.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Trace is the X-Hyperpraw-Trace ID of the failed request.
+	Trace string `json:"trace,omitempty"`
+}
+
+// ErrorBody is the uniform error envelope both tiers emit for every
+// non-2xx response: {"error":{"code":…,"message":…}}. Older clients
+// that decoded {"error":"<string>"} still work against old servers; the
+// Go client in client/ understands both shapes.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
 }
 
 // JobStatus is the lifecycle state of a submitted partition job.
@@ -267,6 +386,17 @@ type JobInfo struct {
 	// scraping /metrics.
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	ExecMS      float64 `json:"exec_ms,omitempty"`
+}
+
+// JobsPage is the body of GET /v1/jobs: one page of the job table in
+// submission order. NextAfter, when non-empty, is the cursor for the next
+// page (pass it back as ?after=); an empty NextAfter means the listing
+// is exhausted. Requests without ?limit= get the whole table and no
+// cursor — the pre-pagination wire shape, byte-compatible for old
+// clients.
+type JobsPage struct {
+	Jobs      []JobInfo `json:"jobs"`
+	NextAfter string    `json:"next_after,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/partition/batch: many partition
@@ -444,34 +574,11 @@ type ServeHealth struct {
 // Fingerprint returns a deterministic 128-bit hex digest of the hypergraph's
 // structure and weights (the name is excluded). Two hypergraphs with equal
 // vertex sets, hyperedges, pin sets and weights share a fingerprint, making
-// it usable as a cache key for partition results.
+// it usable as a cache key for partition results — and, since the graph
+// store deduplicates arenas by the same digest, as the resource ID of a
+// committed hypergraph.
 func Fingerprint(h *Hypergraph) string {
-	hs := sha256.New()
-	var buf [binary.MaxVarintLen64]byte
-	put := func(x uint64) {
-		n := binary.PutUvarint(buf[:], x)
-		hs.Write(buf[:n])
-	}
-	put(uint64(h.NumVertices()))
-	put(uint64(h.NumEdges()))
-	for e := 0; e < h.NumEdges(); e++ {
-		pins := h.Pins(e)
-		put(uint64(len(pins)))
-		for _, v := range pins {
-			put(uint64(v))
-		}
-		put(uint64(h.EdgeWeight(e)))
-	}
-	if h.HasVertexWeights() {
-		put(1)
-		for v := 0; v < h.NumVertices(); v++ {
-			put(uint64(h.VertexWeight(v)))
-		}
-	} else {
-		put(0)
-	}
-	sum := hs.Sum(nil)
-	return hex.EncodeToString(sum[:16])
+	return hypergraph.Fingerprint(h)
 }
 
 // MarshalHMetis serialises h to hMetis text, the inline upload format of
