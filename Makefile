@@ -45,16 +45,15 @@ bins:
 serve:
 	$(GO) run ./cmd/hpserve -addr :8080
 
-# cluster boots a local 2-backend sharded deployment: two hpserve nodes
-# and an hpgate gateway on :8080 routing between them. Ctrl-C stops all
-# three.
+# cluster boots a local 2-backend sharded deployment: an hpgate gateway
+# on :8080 with an empty member table, and two hpserve nodes that join it
+# by self-registration (-announce) — no -backends flag anywhere. Ctrl-C
+# stops all three.
 cluster: bins
 	@trap 'kill 0' EXIT INT TERM; \
-	./bin/hpserve -addr 127.0.0.1:8081 & \
-	./bin/hpserve -addr 127.0.0.1:8082 & \
-	sleep 0.3; \
-	./bin/hpgate -addr 127.0.0.1:8080 \
-		-backends http://127.0.0.1:8081,http://127.0.0.1:8082
+	./bin/hpserve -addr 127.0.0.1:8081 -announce http://127.0.0.1:8080 & \
+	./bin/hpserve -addr 127.0.0.1:8082 -announce http://127.0.0.1:8080 & \
+	./bin/hpgate -addr 127.0.0.1:8080
 
 # e2e runs the full chaos-case catalog (examples/cluster -list shows it):
 # serving-path baselines plus every fault-injection case; non-zero exit on

@@ -345,6 +345,32 @@ func (c *Client) GatewayHealth(ctx context.Context) (hyperpraw.GatewayHealth, er
 	return h, err
 }
 
+// RegisterMember announces a backend to an hpgate gateway's member table
+// (or renews its lease — the heartbeat is the same request repeated).
+func (c *Client) RegisterMember(ctx context.Context, spec hyperpraw.MemberSpec) (hyperpraw.MemberInfo, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return hyperpraw.MemberInfo{}, err
+	}
+	var info hyperpraw.MemberInfo
+	err = c.do(ctx, http.MethodPost, "/v1/cluster/members", body, "application/json", http.StatusOK, &info)
+	return info, err
+}
+
+// DeregisterMember removes a backend from an hpgate gateway's member
+// table; the gateway synchronously drains the member's jobs to its
+// rendezvous peers before the call returns.
+func (c *Client) DeregisterMember(ctx context.Context, memberURL string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/cluster/members/"+url.PathEscape(memberURL), nil, "", http.StatusNoContent, nil)
+}
+
+// Members fetches an hpgate gateway's cluster member table.
+func (c *Client) Members(ctx context.Context) (hyperpraw.MemberList, error) {
+	var list hyperpraw.MemberList
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/members", nil, "", http.StatusOK, &list)
+	return list, err
+}
+
 // roundTrip issues one request under the retry policy. body is a byte
 // slice (not a Reader) so retries can resend it.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {

@@ -1,17 +1,27 @@
 // Command hpgate is the routing tier in front of N hpserve backends
 // (internal/gateway): it routes each job to a backend chosen by rendezvous
 // hashing on the job's hypergraph fingerprint so resubmissions hit warm
-// caches, health-checks the backend set with automatic ejection and
-// re-admission, and fails jobs over to the next backend when one dies.
-// Backends running with a durable job store (hpserve -store) are instead
-// waited out for -recovery-window: a restarted durable backend recovers
-// its jobs from the store, which beats recomputing them elsewhere.
+// caches, reconciles the cluster member table against observed health with
+// automatic ejection and re-admission, and fails jobs over to the next
+// backend when one dies. Backends running with a durable job store
+// (hpserve -store) are instead waited out for -recovery-window: a
+// restarted durable backend recovers its jobs from the store, which beats
+// recomputing them elsewhere.
+//
+// Membership is declarative: backends register themselves with
+// POST /v1/cluster/members (hpserve -announce) and heartbeat to renew a
+// lease; a node that stops heartbeating is ejected when its lease lapses,
+// and a durable node that deregisters has its jobs drained to peers.
+// -backends still works and seeds the same table with static (non-leased)
+// members, so a gateway may boot with no backends at all and converge as
+// nodes announce.
 //
 // Usage:
 //
 //	hpgate -addr :8080 -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//	hpgate -addr :8080                  # empty table; members announce themselves
 //
-// API (the hpserve surface, gateway-routed, plus /v1/backends):
+// API (the hpserve surface, gateway-routed, plus cluster routes):
 //
 //	POST /v1/partition          submit a job (routed by fingerprint)
 //	POST /v1/partition/batch    submit many jobs, fanned out across backends
@@ -24,6 +34,9 @@
 //	                            rendezvous-chosen backend on first use
 //	GET  /v1/algorithms         supported algorithms
 //	GET  /v1/backends           backend set and health
+//	GET  /v1/cluster/members    member table with lease + breaker state
+//	POST /v1/cluster/members    register a member / renew its lease
+//	DELETE /v1/cluster/members/{url}  deregister + drain a member
 //	GET  /healthz               gateway + backend health
 //	GET  /metrics               Prometheus metrics
 package main
@@ -51,7 +64,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	backends := flag.String("backends", "", "comma-separated hpserve base URLs (required)")
+	backends := flag.String("backends", "", "comma-separated hpserve base URLs seeded as static members (optional; members may instead self-register via hpserve -announce)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "backend health probe period")
 	healthTimeout := flag.Duration("health-timeout", time.Second, "single health probe deadline")
 	failovers := flag.Int("failovers", 3, "max failover resubmissions per job")
@@ -60,14 +73,16 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 1, "consecutive failures before a backend's circuit breaker opens")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker withholds health probes before the half-open trial")
 	spillWatermark := flag.Float64("spill-watermark", 0.8, "queue-occupancy fraction beyond which routing spills past a saturated backend (negative disables)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "default membership lease granted to self-registered members that do not request one")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "gateway result cache byte budget; repeat submissions of an identical request are answered without touching a backend (0 = disabled)")
 	graphDir := flag.String("graph-store", "", "gateway hypergraph arena directory; uploaded graphs are mmap-backed and survive restarts (empty = memory-only)")
 	graphCacheBytes := flag.Int64("graph-cache-bytes", 0, "resident arena byte budget for the gateway's graph store (0 = unlimited)")
 	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "one hypergraph upload's byte limit (0 = 4GiB default)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
-	if flag.NArg() != 0 || *backends == "" {
-		fmt.Fprintln(os.Stderr, "usage: hpgate -backends URL[,URL...] [flags]")
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: hpgate [-backends URL[,URL...]] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -83,9 +98,6 @@ func main() {
 		if u = strings.TrimSpace(u); u != "" {
 			urls = append(urls, strings.TrimRight(u, "/"))
 		}
-	}
-	if len(urls) == 0 {
-		log.Fatal("hpgate: -backends lists no usable URLs")
 	}
 
 	reg := telemetry.NewRegistry()
@@ -115,6 +127,8 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		SpillWatermark:   *spillWatermark,
+		LeaseTTL:         *leaseTTL,
+		ResultCacheBytes: *resultCacheBytes,
 		Metrics:          reg,
 		Graphs:           graphs,
 	})
@@ -139,7 +153,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	log.Printf("hpgate: listening on %s, fronting %d backends: %s", *addr, len(urls), strings.Join(urls, ", "))
+	if len(urls) == 0 {
+		log.Printf("hpgate: listening on %s with an empty member table; waiting for members to announce", *addr)
+	} else {
+		log.Printf("hpgate: listening on %s, fronting %d seed backends: %s", *addr, len(urls), strings.Join(urls, ", "))
+	}
 
 	select {
 	case err := <-errc:

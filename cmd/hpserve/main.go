@@ -7,6 +7,7 @@
 //
 //	hpserve -addr :8080 -workers 8
 //	hpserve -addr :8080 -store /var/lib/hyperpraw/jobs   # jobs survive restarts
+//	hpserve -addr :8081 -announce http://gatehost:9090   # join an hpgate cluster
 //
 // API (see README.md for curl examples):
 //
@@ -24,7 +25,11 @@
 //	GET  /metrics               Prometheus metrics
 //
 // Several hpserve instances can be fronted by an hpgate gateway
-// (cmd/hpgate) for fingerprint-routed, failover-capable serving.
+// (cmd/hpgate) for fingerprint-routed, failover-capable serving. With
+// -announce the node registers itself in the gateway's member table and
+// keeps its lease alive by heartbeat — no -backends flag needed on the
+// gateway — and deregisters on graceful shutdown, at which point the
+// gateway drains its jobs to the remaining peers.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,6 +66,9 @@ func main() {
 	graphDir := flag.String("graph-store", "", "hypergraph arena directory; committed graphs are mmap-backed and survive restarts (empty = memory-only arenas)")
 	graphCacheBytes := flag.Int64("graph-cache-bytes", 0, "resident arena byte budget; over it unreferenced graphs are evicted LRU-first (0 = unlimited)")
 	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "one hypergraph upload's byte limit (0 = 4GiB default)")
+	announce := flag.String("announce", "", "hpgate base URL to register this node with (empty = no registration)")
+	advertise := flag.String("advertise", "", "base URL the gateway should dial this node at (default derived from -addr)")
+	announceTTL := flag.Duration("announce-ttl", 10*time.Second, "membership lease requested from the gateway; heartbeats renew it at a third of this")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline for the HTTP listener")
 	drainTimeout := flag.Duration("drain-timeout", 0, "separate deadline for draining in-flight jobs; still-queued jobs are journaled when it expires (0 = use -drain)")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
@@ -138,6 +147,26 @@ func main() {
 	go func() { errc <- server.ListenAndServe() }()
 	log.Printf("hpserve: listening on %s", *addr)
 
+	var announcer *service.Announcer
+	if *announce != "" {
+		self := *advertise
+		if self == "" {
+			if strings.HasPrefix(*addr, ":") {
+				self = "http://127.0.0.1" + *addr
+			} else {
+				self = "http://" + *addr
+			}
+		}
+		announcer = service.StartAnnouncer(service.AnnounceConfig{
+			Gateway: *announce,
+			Self:    self,
+			Durable: st != nil,
+			TTL:     *announceTTL,
+			Logf:    log.Printf,
+		})
+		log.Printf("hpserve: announcing %s to %s (lease %s)", self, *announce, *announceTTL)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("hpserve: %v", err)
@@ -145,6 +174,12 @@ func main() {
 	}
 
 	log.Printf("hpserve: draining (deadline %s)", *drain)
+	if announcer != nil {
+		// Deregister before anything else winds down: the gateway stops
+		// routing new work here immediately and synchronously drains this
+		// node's jobs to its peers.
+		announcer.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {

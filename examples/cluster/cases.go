@@ -43,6 +43,8 @@ var catalog = []chaosCase{
 	{"R009", "hot-fingerprint stampede collapses into one computation", true, caseCacheStampede},
 	{"R010", "saturation waterfall: spill to secondary, then shed with 429", true, caseSaturationWaterfall},
 	{"R011", "one giant graph, many tiny jobs: a single shared arena per tier", true, caseSharedArena},
+	{"R012", "gateway restart: announced fleet re-registers, serving resumes", true, caseGatewayRestartReregister},
+	{"R013", "rolling drain: deregistered durable backend's jobs land on peers", true, caseRollingDrain},
 }
 
 // caseBatchFanout is the serving-path baseline: a batch of distinct
@@ -760,6 +762,230 @@ func caseSharedArena(t *T) {
 		t.Fatalf("gateway holds %g arenas, want 1", n)
 	}
 	t.Logf("12 jobs over 2 waves shared one %d-byte arena per tier; one replication", info.Bytes)
+}
+
+// caseGatewayRestartReregister is the declarative-membership contract under
+// a control-plane crash. The cluster boots with zero -backends: the gateway
+// starts with an empty member table and both backends join purely via
+// -announce, which is the acceptance check for registration-driven boot.
+// A repeat submission is then served from the gateway's result cache with
+// zero backend requests; the gateway is SIGKILLed with jobs in flight on
+// the data plane, the backends finish that work undisturbed, and after the
+// restart the fleet re-registers by heartbeat and fresh submits and SSE
+// streams flow again — all of it visible in lint-clean /metrics.
+func caseGatewayRestartReregister(t *T) {
+	slow := []string{faultpoint.EnvVar + "=" + faultpoint.ServiceExecSlow + "=sleep(800ms)"}
+	cl := startCluster(t, clusterSpec{
+		backends:    []backendSpec{{env: slow}, {env: slow}},
+		announce:    true,
+		gatewayArgs: []string{"-result-cache-bytes", "1048576"},
+	})
+	defer cl.Close()
+	c := cl.Client()
+
+	// startCluster already waited for both self-registered members; pin the
+	// zero-seed boot in the health surface too.
+	gh, err := c.GatewayHealth(t.Ctx)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if gh.Epoch == 0 || len(gh.Members) != 2 {
+		t.Fatalf("announce-only boot: epoch %d with %d members, want a converged 2-member table", gh.Epoch, len(gh.Members))
+	}
+
+	// Result-cache acceptance: an identical resubmission must be answered by
+	// the gateway itself — no new backend submission anywhere in the fleet.
+	info, err := c.Submit(t.Ctx, wire(4))
+	if err != nil {
+		t.Fatalf("cache-prime submit: %v", err)
+	}
+	if _, err := c.Wait(t.Ctx, info.ID); err != nil {
+		t.Fatalf("cache-prime job: %v", err)
+	}
+	backendSubmitted := func() float64 {
+		var sum float64
+		for _, b := range cl.Backends {
+			sum += metricValue(t, scrapeMetrics(t, b.url), `hyperpraw_jobs_submitted_total`)
+		}
+		return sum
+	}
+	before := backendSubmitted()
+	rerun, err := c.Submit(t.Ctx, wire(4))
+	if err != nil {
+		t.Fatalf("cached resubmit: %v", err)
+	}
+	cached, err := c.Wait(t.Ctx, rerun.ID)
+	if err != nil {
+		t.Fatalf("cached job: %v", err)
+	}
+	if !cached.ResultCacheHit {
+		t.Fatalf("repeat fingerprint not flagged as a gateway result-cache hit")
+	}
+	if after := backendSubmitted(); after != before {
+		t.Fatalf("cached resubmit reached a backend: fleet submissions %g -> %g", before, after)
+	}
+	if hits := metricValue(t, scrapeMetrics(t, cl.GatewayURL), `hpgate_result_cache_hits_total`); hits < 1 {
+		t.Fatalf("hpgate_result_cache_hits_total = %g, want >= 1", hits)
+	}
+
+	// Put jobs in flight on the data plane (inside the injected 800ms
+	// execution delay), then kill the control plane under them.
+	for _, w := range []hyperpraw.PartitionRequest{wire(5), wire(6)} {
+		if _, err := c.Submit(t.Ctx, w); err != nil {
+			t.Fatalf("in-flight submit: %v", err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	cl.KillGateway()
+
+	// The backends never notice: their in-flight jobs run to done.
+	for _, b := range cl.Backends {
+		bc := client.New(b.url, nil)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			jobs, err := bc.Jobs(t.Ctx)
+			if err != nil {
+				t.Fatalf("backend %s during the gateway outage: %v", b.url, err)
+			}
+			done := 0
+			for _, j := range jobs {
+				if j.Status == hyperpraw.JobDone {
+					done++
+				}
+			}
+			if done == len(jobs) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("backend %s: %d/%d jobs done after the gateway died", b.url, done, len(jobs))
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// Restart: the member table starts empty again and must reconverge
+	// purely from the backends' lease heartbeats.
+	cl.RestartGateway()
+	cl.waitMembers(2)
+	gwBody := scrapeMetrics(t, cl.GatewayURL)
+	if n := metricValue(t, gwBody, `hpgate_member_transitions_total{event="registered"}`); n < 2 {
+		t.Fatalf("restarted gateway saw %g registrations, want >= 2 (one per backend)", n)
+	}
+
+	// Serving resumes end to end: a fresh submit streams to a done frame.
+	resumed, err := c.Submit(t.Ctx, wire(7))
+	if err != nil {
+		t.Fatalf("submit after the gateway restart: %v", err)
+	}
+	var events []hyperpraw.ProgressEvent
+	if err := c.StreamProgress(t.Ctx, resumed.ID, 0, func(ev hyperpraw.ProgressEvent) error {
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("sse after the gateway restart: %v", err)
+	}
+	if len(events) == 0 || !events[len(events)-1].Final || events[len(events)-1].Status != hyperpraw.JobDone {
+		t.Fatalf("post-restart stream delivered %d events without a final done frame", len(events))
+	}
+	for _, b := range cl.Backends {
+		scrapeMetrics(t, b.url) // lint the data plane too
+	}
+	t.Logf("fleet re-registered after a gateway crash; cached repeat served with zero backend requests")
+}
+
+// caseRollingDrain is the graceful-removal contract: SIGTERM a durable
+// backend with jobs in flight. Its announcer deregisters from the gateway,
+// which synchronously resubmits the stored jobs to the rendezvous-ranked
+// peer — each drained exactly once — and the drained results match what
+// the peer itself computes for the same request.
+func caseRollingDrain(t *T) {
+	storeDir, err := os.MkdirTemp("", "hpserve-drain-")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	defer os.RemoveAll(storeDir)
+
+	slow := []string{faultpoint.EnvVar + "=" + faultpoint.ServiceExecSlow + "=sleep(3s)"}
+	cl := startCluster(t, clusterSpec{
+		backends: []backendSpec{
+			{args: []string{"-store", storeDir}, env: slow},
+			{},
+		},
+		announce: true,
+	})
+	defer cl.Close()
+	c := cl.Client()
+	durURL := cl.Backends[0].url
+	peerURL := cl.Backends[1].url
+	urls := []string{durURL, peerURL}
+
+	// Registration itself declares durability (-store implies it); make sure
+	// the gateway's member record agrees before relying on drain semantics.
+	backendStatus(t, c, durURL, "durable", func(b hyperpraw.BackendStatus) bool {
+		return b.Durable
+	})
+
+	// Two jobs in flight on the durable node, held there by the injected 3s
+	// execution delay.
+	wires := primaryWires(t, urls, durURL, 2)
+	ids := make([]string, len(wires))
+	for i, w := range wires {
+		info, err := c.Submit(t.Ctx, w)
+		if err != nil {
+			t.Fatalf("drain submit %d: %v", i, err)
+		}
+		if info.Backend != durURL {
+			t.Fatalf("drain job %d routed to %s, want the durable %s", i, info.Backend, durURL)
+		}
+		ids[i] = info.ID
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	// Graceful shutdown: the announcer deregisters before the node winds
+	// down, and the gateway's drain runs synchronously inside that DELETE.
+	cl.Term(durURL)
+
+	results := make([]*hyperpraw.JobResult, len(ids))
+	for i, id := range ids {
+		res, err := c.Wait(t.Ctx, id)
+		if err != nil {
+			t.Fatalf("drained job %d: %v", i, err)
+		}
+		results[i] = res
+		after, err := c.Job(t.Ctx, id)
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if after.Backend != peerURL {
+			t.Fatalf("drained job %d finished on %s, want the peer %s", i, after.Backend, peerURL)
+		}
+	}
+	// Byte-identical with the peer's own answer: submitting the same wires
+	// straight to the peer must return the very results the drain produced.
+	pc := client.New(peerURL, nil)
+	for i, w := range wires {
+		ref, err := pc.Partition(t.Ctx, w)
+		if err != nil {
+			t.Fatalf("peer reference %d: %v", i, err)
+		}
+		assertSamePartition(t, results[i], ref)
+	}
+
+	// Exactly one drain per stored job, and the member is gone for good: a
+	// few reconcile cycles later the counter has not moved.
+	gwBody := scrapeMetrics(t, cl.GatewayURL)
+	if n := metricValue(t, gwBody, `hpgate_drains_total`); n != float64(len(ids)) {
+		t.Fatalf("hpgate_drains_total = %g, want exactly %d", n, len(ids))
+	}
+	if n := metricValue(t, gwBody, `hpgate_member_transitions_total{event="deregistered"}`); n < 1 {
+		t.Fatalf("no deregistration recorded for the terminated member")
+	}
+	cl.waitMembers(1)
+	time.Sleep(500 * time.Millisecond)
+	if n := metricValue(t, scrapeMetrics(t, cl.GatewayURL), `hpgate_drains_total`); n != float64(len(ids)) {
+		t.Fatalf("hpgate_drains_total moved to %g after the drain, want it pinned at %d", n, len(ids))
+	}
+	t.Logf("%d in-flight jobs drained to %s exactly once each, results identical to the peer's own", len(ids), peerURL)
 }
 
 // stringsJoinIDs renders the catalog for -list.

@@ -17,6 +17,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hyperpraw"
@@ -122,6 +123,7 @@ type clusterSpec struct {
 	backends    []backendSpec
 	gatewayArgs []string // extra hpgate flags
 	noGateway   bool     // cases that drive a backend directly
+	announce    bool     // boot the gateway with no -backends; backends self-register via -announce
 }
 
 // backendProc is one running (or killed) hpserve with everything needed to
@@ -140,6 +142,7 @@ type cluster struct {
 	GatewayURL string
 	Backends   []*backendProc
 	gwCmd      *exec.Cmd
+	gwArgs     []string // the gateway's full argv, for RestartGateway
 }
 
 func startProc(name string, env []string, args ...string) (*exec.Cmd, error) {
@@ -156,39 +159,110 @@ func startProc(name string, env []string, args ...string) (*exec.Cmd, error) {
 }
 
 // startCluster boots the spec's backends (and gateway, unless noGateway)
-// and waits for every tier to answer /healthz.
+// and waits for every tier to answer /healthz. In announce mode the
+// gateway boots first with an empty member table, every backend
+// self-registers against it (-announce/-advertise), and startCluster
+// additionally waits for the member table to converge on the full fleet.
 func startCluster(t *T, spec clusterSpec) *cluster {
 	c := &cluster{t: t}
-	var urls []string
+	if spec.announce && !spec.noGateway {
+		c.startGateway(nil, spec.gatewayArgs)
+	}
 	for _, bs := range spec.backends {
 		addr := fmt.Sprintf("127.0.0.1:%d", allocPort())
 		args := append([]string{"-addr", addr, "-workers", "2"}, bs.args...)
+		if spec.announce {
+			args = append(args,
+				"-announce", c.GatewayURL,
+				"-advertise", "http://"+addr,
+				"-announce-ttl", "2s",
+			)
+		}
 		cmd, err := startProc(*hpserveBin, bs.env, args...)
 		if err != nil {
 			t.Fatalf("%v", err)
 		}
 		b := &backendProc{url: "http://" + addr, addr: addr, args: args, env: bs.env, cmd: cmd}
 		c.Backends = append(c.Backends, b)
-		urls = append(urls, b.url)
 	}
-	if !spec.noGateway {
-		addr := fmt.Sprintf("127.0.0.1:%d", allocPort())
-		args := append([]string{
-			"-addr", addr,
-			"-backends", strings.Join(urls, ","),
-			"-health-interval", "150ms",
-		}, spec.gatewayArgs...)
-		cmd, err := startProc(*hpgateBin, nil, args...)
-		if err != nil {
-			t.Fatalf("%v", err)
+	if !spec.announce && !spec.noGateway {
+		var urls []string
+		for _, b := range c.Backends {
+			urls = append(urls, b.url)
 		}
-		c.gwCmd = cmd
-		c.GatewayURL = "http://" + addr
+		c.startGateway(urls, spec.gatewayArgs)
 	}
 	for _, u := range c.allURLs() {
 		c.waitHealthy(u)
 	}
+	if spec.announce && !spec.noGateway {
+		c.waitMembers(len(spec.backends))
+	}
 	return c
+}
+
+// startGateway boots the gateway fronting seeds (empty = announce mode)
+// and records its argv so RestartGateway can bring it back identically.
+func (c *cluster) startGateway(seeds, extra []string) {
+	addr := fmt.Sprintf("127.0.0.1:%d", allocPort())
+	args := []string{"-addr", addr, "-health-interval", "150ms"}
+	if len(seeds) > 0 {
+		args = append(args, "-backends", strings.Join(seeds, ","))
+	}
+	args = append(args, extra...)
+	cmd, err := startProc(*hpgateBin, nil, args...)
+	if err != nil {
+		c.t.Fatalf("%v", err)
+	}
+	c.gwCmd = cmd
+	c.gwArgs = args
+	c.GatewayURL = "http://" + addr
+}
+
+// KillGateway SIGKILLs the gateway — the control-plane crash primitive.
+func (c *cluster) KillGateway() {
+	if err := c.gwCmd.Process.Kill(); err != nil {
+		c.t.Fatalf("killing gateway: %v", err)
+	}
+	c.gwCmd.Wait() //nolint:errcheck
+	c.t.Logf("killed gateway %s", c.GatewayURL)
+}
+
+// RestartGateway boots the killed gateway again on its original address
+// with its original flags, then waits for it to answer /healthz.
+func (c *cluster) RestartGateway() {
+	cmd, err := startProc(*hpgateBin, nil, c.gwArgs...)
+	if err != nil {
+		c.t.Fatalf("restarting gateway: %v", err)
+	}
+	c.gwCmd = cmd
+	c.waitHealthy(c.GatewayURL)
+	c.t.Logf("restarted gateway %s", c.GatewayURL)
+}
+
+// waitMembers polls the gateway's member table until it holds exactly n
+// healthy members, failing the case on deadline.
+func (c *cluster) waitMembers(n int) {
+	cl := c.Client()
+	deadline := time.Now().Add(15 * time.Second)
+	var last hyperpraw.MemberList
+	for time.Now().Before(deadline) {
+		ml, err := cl.Members(c.t.Ctx)
+		if err == nil {
+			last = ml
+			healthy := 0
+			for _, m := range ml.Members {
+				if m.Healthy {
+					healthy++
+				}
+			}
+			if len(ml.Members) == n && healthy == n {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	c.t.Fatalf("member table never converged to %d healthy members; last %+v", n, last)
 }
 
 func (c *cluster) allURLs() []string {
@@ -231,6 +305,19 @@ func (c *cluster) backend(url string) *backendProc {
 	}
 	c.t.Fatalf("no backend %q in this cluster", url)
 	return nil
+}
+
+// Term SIGTERMs the backend serving url and waits for it to exit — the
+// graceful-shutdown primitive: the node's announcer deregisters from the
+// gateway, which synchronously drains its jobs to peers, before the
+// process finishes winding down.
+func (c *cluster) Term(url string) {
+	b := c.backend(url)
+	if err := b.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		c.t.Fatalf("terminating %s: %v", url, err)
+	}
+	b.cmd.Wait() //nolint:errcheck
+	c.t.Logf("terminated backend %s", url)
 }
 
 // Kill SIGKILLs the backend serving url — the crash primitive.

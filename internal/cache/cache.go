@@ -1,0 +1,216 @@
+// Package cache is the shared LRU + single-flight cache used by both
+// serving tiers: the service's environment and result memoisation and the
+// gateway's result cache are the same audited implementation. A cache is
+// bounded either by entry count (New) or by a byte budget with a
+// caller-supplied cost function (NewBytes); both variants share eviction,
+// single-flight, and panic-safety semantics.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"hyperpraw"
+)
+
+// Cache is a bounded LRU cache with single-flight semantics: concurrent
+// GetOrCompute calls for the same absent key run the compute function once
+// and share its outcome. Errors are not cached — a failed computation is
+// evicted so a later call retries.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int                      // entry budget; 0 in byte mode
+	maxBytes int64                    // byte budget; 0 in entry mode
+	cost     func(V) int64            // non-nil only in byte mode
+	bytes    int64                    // current cost of done entries (byte mode)
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key → element holding *centry[V]
+
+	hits, misses, evictions uint64
+}
+
+type centry[V any] struct {
+	key   string
+	ready chan struct{} // closed when val/err are final
+	done  bool          // guarded by Cache.mu; true once compute finished
+	cost  int64         // byte cost once done (byte mode)
+	val   V
+	err   error
+}
+
+// New returns a Cache holding at most capacity entries (minimum 1).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// NewBytes returns a Cache bounded by a byte budget instead of an entry
+// count: each entry's cost is measured by cost when its value is final,
+// and least-recently-used entries are evicted until the total fits. An
+// entry whose lone cost exceeds the whole budget is evicted immediately
+// after insertion, so the cache never pins an oversized value.
+func NewBytes[V any](maxBytes int64, cost func(V) int64) *Cache[V] {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &Cache[V]{
+		maxBytes: maxBytes,
+		cost:     cost,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// GetOrCompute returns the cached value for key, computing it with compute
+// on a miss. hit reports whether the value came from the cache (a caller
+// that piggybacks on another caller's in-flight computation counts as a
+// hit). compute runs outside the cache lock.
+func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (val V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*centry[V])
+		c.hits++
+		c.mu.Unlock()
+		<-ent.ready
+		return ent.val, true, ent.err
+	}
+	ent := &centry[V]{key: key, ready: make(chan struct{})}
+	el := c.ll.PushFront(ent)
+	c.items[key] = el
+	c.misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	// The deferred finalisation also runs if compute panics: the panic is
+	// converted into an error for this caller and any waiters, the entry
+	// is dropped, and ready is closed so nobody hangs on the key.
+	defer func() {
+		if r := recover(); r != nil {
+			ent.err = fmt.Errorf("cache: compute panicked: %v", r)
+			err = ent.err
+		}
+		c.mu.Lock()
+		ent.done = true
+		if ent.err != nil {
+			// Do not cache failures. The entry may already have been
+			// evicted (and the key possibly reinserted by someone else) —
+			// only remove our own element.
+			if cur, ok := c.items[key]; ok && cur == el {
+				c.removeLocked(el)
+			}
+		} else {
+			if c.cost != nil {
+				ent.cost = c.cost(ent.val)
+				c.bytes += ent.cost
+			}
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+		close(ent.ready)
+	}()
+	ent.val, ent.err = compute()
+	return ent.val, false, ent.err
+}
+
+// Get returns the cached value for key without computing on a miss. An
+// entry whose computation is still in flight counts as a miss — Get never
+// blocks.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*centry[V])
+		if ent.done && ent.err == nil {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return ent.val, true
+		}
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores val under key, replacing any existing entry (including an
+// in-flight one — its waiters still receive the computation's own outcome,
+// but the table slot now holds val).
+func (c *Cache[V]) Put(key string, val V) {
+	ent := &centry[V]{key: key, ready: make(chan struct{}), done: true, val: val}
+	close(ent.ready)
+	if c.cost != nil {
+		ent.cost = c.cost(val)
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.removeLocked(el)
+	}
+	el := c.ll.PushFront(ent)
+	c.items[key] = el
+	c.bytes += ent.cost
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// overLocked reports whether the cache exceeds its budget.
+func (c *Cache[V]) overLocked() bool {
+	if c.cost != nil {
+		return c.bytes > c.maxBytes
+	}
+	return c.ll.Len() > c.capacity
+}
+
+// evictLocked trims the cache to its budget, skipping entries whose
+// computation is still in flight (waiters hold references to them); the
+// cache may therefore transiently exceed the budget.
+func (c *Cache[V]) evictLocked() {
+	for c.overLocked() {
+		el := c.ll.Back()
+		for el != nil && !el.Value.(*centry[V]).done {
+			el = el.Prev()
+		}
+		if el == nil {
+			return // everything in flight
+		}
+		c.removeLocked(el)
+		c.evictions++
+	}
+}
+
+// removeLocked drops an element from the table and returns its cost to
+// the byte budget (done entries only carry cost).
+func (c *Cache[V]) removeLocked(el *list.Element) {
+	ent := el.Value.(*centry[V])
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= ent.cost
+}
+
+// Len returns the current number of entries (including in-flight ones).
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a point-in-time snapshot of the cache counters.
+func (c *Cache[V]) Stats() hyperpraw.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return hyperpraw.CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,4 +1,4 @@
-package service
+package cache
 
 import (
 	"errors"
@@ -11,7 +11,7 @@ import (
 )
 
 func TestCacheHitMiss(t *testing.T) {
-	c := NewCache[int](4)
+	c := New[int](4)
 	v, hit, err := c.GetOrCompute("a", func() (int, error) { return 1, nil })
 	if err != nil || hit || v != 1 {
 		t.Fatalf("first get: v=%d hit=%t err=%v", v, hit, err)
@@ -28,7 +28,7 @@ func TestCacheHitMiss(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache[int](2)
+	c := New[int](2)
 	for i, k := range []string{"a", "b", "c"} {
 		c.GetOrCompute(k, func() (int, error) { return i, nil })
 	}
@@ -51,7 +51,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheTouchOnGet(t *testing.T) {
-	c := NewCache[int](2)
+	c := New[int](2)
 	c.GetOrCompute("a", func() (int, error) { return 1, nil })
 	c.GetOrCompute("b", func() (int, error) { return 2, nil })
 	c.GetOrCompute("a", func() (int, error) { return 0, nil }) // touch "a"
@@ -67,7 +67,7 @@ func TestCacheTouchOnGet(t *testing.T) {
 }
 
 func TestCacheSingleFlight(t *testing.T) {
-	c := NewCache[int](4)
+	c := New[int](4)
 	var calls atomic.Int32
 	start := make(chan struct{})
 	var wg sync.WaitGroup
@@ -101,7 +101,7 @@ func TestCacheSingleFlight(t *testing.T) {
 }
 
 func TestCacheErrorsNotCached(t *testing.T) {
-	c := NewCache[int](4)
+	c := New[int](4)
 	boom := errors.New("boom")
 	_, _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom })
 	if !errors.Is(err, boom) {
@@ -117,7 +117,7 @@ func TestCacheErrorsNotCached(t *testing.T) {
 }
 
 func TestCachePanicSafe(t *testing.T) {
-	c := NewCache[int](4)
+	c := New[int](4)
 	_, _, err := c.GetOrCompute("k", func() (int, error) { panic("kaboom") })
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("panic not surfaced as error: %v", err)
@@ -133,7 +133,7 @@ func TestCachePanicSafe(t *testing.T) {
 }
 
 func TestCachePanicReleasesWaiters(t *testing.T) {
-	c := NewCache[int](4)
+	c := New[int](4)
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	go c.GetOrCompute("k", func() (int, error) { //nolint:errcheck
@@ -168,7 +168,7 @@ func TestCachePanicReleasesWaiters(t *testing.T) {
 }
 
 func TestCacheConcurrentDistinctKeys(t *testing.T) {
-	c := NewCache[string](8)
+	c := New[string](8)
 	var wg sync.WaitGroup
 	for i := 0; i < 64; i++ {
 		wg.Add(1)
@@ -184,5 +184,75 @@ func TestCacheConcurrentDistinctKeys(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 8+16 { // capacity plus transient in-flight overflow
 		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheBytesBudgetEvicts(t *testing.T) {
+	c := NewBytes[string](10, func(v string) int64 { return int64(len(v)) })
+	c.Put("a", "aaaa") // 4 bytes
+	c.Put("b", "bbbb") // 8 bytes
+	c.Put("c", "cccc") // 12 bytes → evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("LRU entry survived the byte budget")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %q evicted while under budget", k)
+		}
+	}
+	st := c.Stats()
+	if st.Bytes != 8 || st.MaxBytes != 10 || st.Evictions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheBytesOversizedEntryNotPinned(t *testing.T) {
+	c := NewBytes[string](4, func(v string) int64 { return int64(len(v)) })
+	c.Put("big", "oversized-value")
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("entry larger than the whole budget stayed cached")
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("bytes not returned to budget: %+v", st)
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewBytes[int](1024, func(int) int64 { return 8 })
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", 7)
+	v, ok := c.Get("k")
+	if !ok || v != 7 {
+		t.Fatalf("get after put: v=%d ok=%t", v, ok)
+	}
+	c.Put("k", 9) // replace
+	v, _ = c.Get("k")
+	if v != 9 {
+		t.Fatalf("replaced value not visible: %d", v)
+	}
+	st := c.Stats()
+	if st.Bytes != 8 || st.Size != 1 {
+		t.Fatalf("replacement double-counted: %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hit/miss accounting: %+v", st)
+	}
+}
+
+func TestCacheBytesGetOrCompute(t *testing.T) {
+	c := NewBytes[string](10, func(v string) int64 { return int64(len(v)) })
+	for _, k := range []string{"a", "b", "c"} {
+		v, _, err := c.GetOrCompute(k, func() (string, error) { return k + k + k + k, nil })
+		if err != nil || v != k+k+k+k {
+			t.Fatalf("compute %q: v=%q err=%v", k, v, err)
+		}
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("LRU computed entry survived the byte budget")
+	}
+	if st := c.Stats(); st.Bytes > 10 {
+		t.Fatalf("over budget at rest: %+v", st)
 	}
 }

@@ -1,11 +1,20 @@
 // Package gateway is the routing tier in front of N hpserve backends: it
 // routes each partition job to a backend chosen by rendezvous hashing on
 // the job's hypergraph fingerprint (so resubmissions of the same hypergraph
-// hit the backend whose LRU caches are warm), health-checks the backend set
-// with automatic ejection and re-admission, and fails a job over to the
+// hit the backend whose LRU caches are warm), fails a job over to the
 // next-ranked backend when its backend dies — on submission, on result
-// polling, and mid-SSE-stream alike. cmd/hpgate exposes it over HTTP with
-// the same API surface as hpserve plus batch fan-out.
+// polling, and mid-SSE-stream alike — and optionally serves repeat
+// submissions from its own result cache without touching a backend at all.
+//
+// The backend set is owned by an internal/membership table: backends join
+// by registration (hpserve -announce) with lease renewal, or as static
+// seeds from -backends, and a reconciler converges observed state (health
+// probes, breaker state, lease expiry) toward the declared set — ejecting
+// lease-expired members, re-admitting returners, and draining a lost
+// durable member's jobs to its rendezvous peers. Routing reads immutable
+// epoch-stamped membership snapshots, never a locked live map. cmd/hpgate
+// exposes it over HTTP with the same API surface as hpserve plus batch
+// fan-out and the /v1/cluster/members routes.
 package gateway
 
 import (
@@ -21,8 +30,10 @@ import (
 
 	"hyperpraw"
 	"hyperpraw/client"
+	"hyperpraw/internal/cache"
 	"hyperpraw/internal/faultpoint"
 	"hyperpraw/internal/graphstore"
+	"hyperpraw/internal/membership"
 	"hyperpraw/internal/service"
 	"hyperpraw/internal/telemetry"
 )
@@ -52,6 +63,9 @@ var (
 	// client must upload the graph (POST /v1/hypergraphs) first. Served
 	// as HTTP 404.
 	ErrUnknownGraph = errors.New("gateway: unknown hypergraph")
+	// ErrUnknownMember is returned when deregistration names a member the
+	// table does not hold. Served as HTTP 404.
+	ErrUnknownMember = errors.New("gateway: unknown member")
 )
 
 // SaturatedError carries the shed verdict's backoff hint: the largest
@@ -69,13 +83,17 @@ func (e *SaturatedError) Unwrap() error { return ErrSaturated }
 
 // Config tunes a Gateway; zero values select the defaults noted per field.
 type Config struct {
-	// Backends is the initial backend set (hpserve base URLs).
+	// Backends is the initial backend set (hpserve base URLs), compiled
+	// into the member table as static seed members: they never
+	// lease-expire and survive until removed explicitly. An empty set is
+	// valid — backends may join purely by registration (hpserve
+	// -announce).
 	Backends []string
 	// HTTPClient talks to the backends; nil selects a client without a
 	// global timeout (SSE streams are long-lived), health probes are
 	// bounded by HealthTimeout instead.
 	HTTPClient *http.Client
-	// HealthInterval is the period of the background health-check loop
+	// HealthInterval is the period of the background reconciler loop
 	// (default 2s). A negative interval disables the loop; tests drive
 	// CheckBackends directly.
 	HealthInterval time.Duration
@@ -101,6 +119,11 @@ type Config struct {
 	// before letting one through as the half-open trial (default 0: every
 	// probe is allowed, matching the original behaviour).
 	BreakerCooldown time.Duration
+	// LeaseTTL is the default lease granted to a member registration that
+	// does not request its own TTL (default 10s). A registered member
+	// whose lease lapses without a heartbeat is ejected by the reconciler
+	// and its jobs are drained to peers.
+	LeaseTTL time.Duration
 	// SpillWatermark is the queue-occupancy fraction beyond which a
 	// backend counts as saturated and rendezvous routing spills past it
 	// to the next-ranked backend: a backend whose last /healthz probe
@@ -115,12 +138,22 @@ type Config struct {
 	// recovers its jobs from the store — finished results served verbatim,
 	// unfinished work re-queued — which is strictly cheaper than a
 	// failover recomputation. Jobs on such a backend report their last
-	// known state while it is down. Storeless backends are unaffected and
-	// fail over immediately, as before (default 45s; negative disables).
+	// known state while it is down; once the window lapses the reconciler
+	// drains them to the remaining rendezvous peers in one pass.
+	// Storeless backends are unaffected and fail over immediately, as
+	// before (default 45s; negative disables).
 	RecoveryWindow time.Duration
+	// ResultCacheBytes, when positive, enables the gateway's own result
+	// cache: a repeat submission whose result key (hypergraph fingerprint
+	// plus option fingerprints) is cached is answered entirely at the
+	// gateway, with zero backend requests. The cache is LRU by resident
+	// bytes. Default 0: disabled — the backends' own result caches already
+	// deduplicate computation, so the gateway tier only spends memory on
+	// this when asked to.
+	ResultCacheBytes int64
 	// Metrics, when non-nil, receives the gateway's metric families
-	// (routing, failover, per-backend health and latency) and is served by
-	// NewHandler on GET /metrics. Nil disables collection.
+	// (routing, failover, membership, per-backend health and latency) and
+	// is served by NewHandler on GET /metrics. Nil disables collection.
 	Metrics *telemetry.Registry
 	// Graphs is the gateway's own hypergraph arena store: clients upload
 	// a graph once to the gateway (POST /v1/hypergraphs) and the gateway
@@ -164,121 +197,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// backend is one hpserve instance in the routing set. Its availability is
-// tracked by a per-backend circuit breaker (see breaker.go): healthy means
-// the breaker is closed; open and half-open backends route last.
+// backend pairs one membership record with the HTTP client that dials it.
+// Wrappers are built on the fly from a membership snapshot — the Member is
+// the live shared record, the wrapper just keeps the call sites terse.
 type backend struct {
 	url string
 	cli *client.Client
-	gm  *gatewayMetrics // owning gateway's instruments, for transition counters
-	br  *breaker
-
-	mu sync.Mutex
-	// durable is the backend's last advertised /healthz Durable flag: its
-	// jobs survive a restart, so a short outage is waited out instead of
-	// failed over (see Config.RecoveryWindow).
-	durable bool
-	// downSince is when the breaker last tripped closed -> open; the
-	// recovery window is measured from it.
-	downSince time.Time
-	// queued/queueCap mirror the backend's last /healthz queue occupancy;
-	// saturated is derived from them against the spill watermark, or set
-	// directly by an observed 429 until the next successful probe.
-	queued     int
-	queueCap   int
-	saturated  bool
-	retryAfter int // last Retry-After hint this backend attached to a 429
+	m   *membership.Member
 }
 
-func (b *backend) status() (healthy bool, fails int, durable bool) {
-	state, fails := b.br.snapshot()
-	b.mu.Lock()
-	durable = b.durable
-	b.mu.Unlock()
-	return state == breakerClosed, fails, durable
-}
-
-// noteTransition publishes one breaker transition: the per-state counters
-// and gauge, plus the legacy ejection/readmission counters (closed->open
-// and ->closed respectively) those dashboards already watch. downSince
-// starts on closed->open only — half-open->open is the same outage
-// continuing, not a new one.
-func (b *backend) noteTransition(from, to breakerState) {
-	if from == to {
-		return
-	}
-	if from == breakerClosed && to == breakerOpen {
-		b.mu.Lock()
-		b.downSince = time.Now()
-		b.mu.Unlock()
-	}
-	if b.gm == nil {
-		return
-	}
-	b.gm.breakerTransition(b.url, to)
-	if from == breakerClosed && to == breakerOpen {
-		b.gm.ejections.WithLabelValues(b.url).Inc()
-	}
-	if to == breakerClosed {
-		b.gm.readmissions.WithLabelValues(b.url).Inc()
-	}
-}
-
-// markDown records an observed failure against the breaker.
-func (b *backend) markDown() {
-	b.noteTransition(b.br.fail())
-}
-
-// markUp records a successful probe or call, closing the breaker.
-func (b *backend) markUp() {
-	b.noteTransition(b.br.success())
-}
-
-// markUpDurable re-admits the backend and records whether it advertises a
-// durable job store; only health probes carry that information.
-func (b *backend) markUpDurable(durable bool) {
-	b.mu.Lock()
-	b.durable = durable
-	b.mu.Unlock()
-	b.noteTransition(b.br.success())
-}
-
-// tickBreaker advances the breaker's open -> half-open timer; the health
-// loop calls it before each probe round.
-func (b *backend) tickBreaker() {
-	b.noteTransition(b.br.tick())
-}
-
-// noteQueue folds one successful health probe's queue occupancy into the
-// saturation verdict. It also clears any sticky 429-derived saturation:
-// the probe is fresher evidence than the rejection.
-func (b *backend) noteQueue(queued, capacity int, watermark float64) {
-	b.mu.Lock()
-	b.queued, b.queueCap = queued, capacity
-	b.saturated = watermark >= 0 && capacity > 0 &&
-		float64(queued) >= watermark*float64(capacity)
-	b.mu.Unlock()
-}
-
-// markSaturated records an observed 429: the backend is at its admission
-// limits regardless of what the last probe saw. Sticky until the next
-// successful probe re-derives the verdict.
-func (b *backend) markSaturated(retryAfter int) {
-	b.mu.Lock()
-	b.saturated = true
-	if retryAfter > 0 {
-		b.retryAfter = retryAfter
-	}
-	b.mu.Unlock()
-}
-
-// loadStatus reports the backend's saturation verdict and last observed
-// queue length.
-func (b *backend) loadStatus() (saturated bool, queued int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.saturated, b.queued
-}
+func (b *backend) status() (healthy bool, fails int, durable bool) { return b.m.Status() }
+func (b *backend) markDown()                                       { b.m.MarkDown() }
+func (b *backend) markUp()                                         { b.m.MarkUp() }
+func (b *backend) markUpDurable(durable bool)                      { b.m.MarkUpDurable(durable) }
+func (b *backend) markSaturated(retryAfter int)                    { b.m.MarkSaturated(retryAfter) }
+func (b *backend) loadStatus() (saturated bool, queued int)        { return b.m.LoadStatus() }
 
 // gwJob is the gateway-side state of one routed job. The original wire
 // request is retained until the job reaches a terminal state so a failover
@@ -292,12 +225,17 @@ type gwJob struct {
 	mu          sync.Mutex
 	id          string
 	fingerprint string
+	resultKey   string // gateway result-cache key; empty when the cache is off
 	wire        hyperpraw.PartitionRequest
 	backendURL  string
 	backendID   string // the job's id on that backend
 	info        hyperpraw.JobInfo
 	failovers   int
 	terminal    atomic.Bool
+	// cached is set when the submission was answered from the gateway's
+	// result cache: the job never touched a backend and serves this
+	// payload directly.
+	cached *hyperpraw.JobResult
 	// notRecoverable holds the sticky ErrNotRecoverable verdict so every
 	// result poll after the first — not just the one that triggered the
 	// failed failover — serves the actionable 410.
@@ -314,11 +252,19 @@ func (j *gwJob) snapshot() hyperpraw.JobInfo {
 type Gateway struct {
 	cfg Config
 
-	mu       sync.Mutex
-	backends map[string]*backend
-	jobs     map[string]*gwJob
-	order    []string // submission order, for listing and pruning
-	nextID   int
+	// members owns the backend set: desired state (registration, leases,
+	// static seeds) and observed state (breakers, queue occupancy), with
+	// routing reading epoch-stamped snapshots.
+	members *membership.Table
+	// clients caches one *client.Client per member URL. Entries outlive
+	// membership (a client is a base URL over the shared http.Client, so
+	// a departed member's entry costs nothing and is reused on return).
+	clients sync.Map
+
+	mu     sync.Mutex
+	jobs   map[string]*gwJob
+	order  []string // submission order, for listing and pruning
+	nextID int
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -330,21 +276,24 @@ type Gateway struct {
 	replMu sync.Mutex
 	repl   map[string]*replication // in-flight replications by backend+graph
 
+	// results is the gateway's own result cache (nil unless
+	// Config.ResultCacheBytes is positive).
+	results *cache.Cache[hyperpraw.JobResult]
+
 	metrics *gatewayMetrics
 }
 
-// New returns a Gateway over cfg.Backends with the health-check loop
+// New returns a Gateway over cfg.Backends with the reconciler loop
 // running (unless cfg.HealthInterval is negative). Backends start healthy
 // and are ejected by their first failed probe or proxied call.
 func New(cfg Config) *Gateway {
 	cfg = cfg.withDefaults()
 	g := &Gateway{
-		cfg:      cfg,
-		backends: make(map[string]*backend),
-		jobs:     make(map[string]*gwJob),
-		stop:     make(chan struct{}),
-		graphs:   cfg.Graphs,
-		repl:     make(map[string]*replication),
+		cfg:    cfg,
+		jobs:   make(map[string]*gwJob),
+		stop:   make(chan struct{}),
+		graphs: cfg.Graphs,
+		repl:   make(map[string]*replication),
 	}
 	if g.graphs == nil {
 		// A memory-only private store: Open without a directory cannot
@@ -352,9 +301,50 @@ func New(cfg Config) *Gateway {
 		g.graphs, _ = graphstore.Open(graphstore.Config{})
 		g.ownGraphs = true
 	}
-	// Metrics before the backend set: AddBackend hands each backend the
-	// instruments for its transition counters (and the graph gauges close
-	// over g.graphs, set above).
+	if cfg.ResultCacheBytes > 0 {
+		g.results = cache.NewBytes[hyperpraw.JobResult](cfg.ResultCacheBytes, resultCost)
+	}
+	// The member table's hooks close over g.metrics and fire lazily (no
+	// member exists before the seed loop below, which runs after the
+	// metrics are built), but they nil-guard anyway so table construction
+	// order can never panic a scrape.
+	g.members = membership.New(membership.Config{
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		LeaseTTL:         cfg.LeaseTTL,
+		RecoveryWindow:   cfg.RecoveryWindow,
+		SpillWatermark:   cfg.SpillWatermark,
+		OnTransition: func(url string, from, to membership.State) {
+			if g.metrics == nil {
+				return
+			}
+			g.metrics.breakerTransition(url, to)
+			if from == membership.StateClosed && to == membership.StateOpen {
+				g.metrics.ejections.WithLabelValues(url).Inc()
+			}
+			if to == membership.StateClosed {
+				g.metrics.readmissions.WithLabelValues(url).Inc()
+			}
+		},
+		OnEvent: func(url, event string) {
+			if g.metrics == nil {
+				return
+			}
+			g.metrics.memberTransitions.WithLabelValues(event).Inc()
+		},
+		Probe: func(ctx context.Context, url string) (membership.Observation, error) {
+			probeCtx, cancel := context.WithTimeout(ctx, cfg.HealthTimeout)
+			defer cancel()
+			start := time.Now()
+			h, err := g.clientFor(url).Health(probeCtx)
+			g.metrics.backendRequest(url, "health", err, time.Since(start))
+			if err != nil {
+				return membership.Observation{}, err
+			}
+			return membership.Observation{Durable: h.Durable, Queued: h.Queued, QueueCap: h.QueueDepth}, nil
+		},
+		Drain: g.drainMember,
+	})
 	g.metrics = newGatewayMetrics(cfg.Metrics, g)
 	for _, url := range cfg.Backends {
 		g.AddBackend(url)
@@ -366,7 +356,7 @@ func New(cfg Config) *Gateway {
 	return g
 }
 
-// Close stops the health-check loop and closes the gateway's graph store
+// Close stops the reconciler loop and closes the gateway's graph store
 // when it owns one. In-flight proxied requests are not interrupted.
 func (g *Gateway) Close() {
 	g.stopOnce.Do(func() { close(g.stop) })
@@ -376,37 +366,117 @@ func (g *Gateway) Close() {
 	}
 }
 
-// AddBackend adds (or re-adds) a backend by base URL; it starts healthy.
-func (g *Gateway) AddBackend(url string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.backends[url]; ok {
-		return
+// clientFor returns (building once) the client for a member URL.
+func (g *Gateway) clientFor(url string) *client.Client {
+	if c, ok := g.clients.Load(url); ok {
+		return c.(*client.Client)
 	}
-	g.backends[url] = &backend{
-		url: url,
-		cli: client.New(url, g.cfg.HTTPClient),
-		gm:  g.metrics,
-		br:  newBreaker(g.cfg.BreakerThreshold, g.cfg.BreakerCooldown),
-	}
-	g.metrics.breakerInit(url)
+	c, _ := g.clients.LoadOrStore(url, client.New(url, g.cfg.HTTPClient))
+	return c.(*client.Client)
 }
 
-// RemoveBackend drops a backend from the routing set. Jobs currently
-// routed to it fail over on their next status or result poll.
+func (g *Gateway) wrap(m *membership.Member) *backend {
+	return &backend{url: m.URL, cli: g.clientFor(m.URL), m: m}
+}
+
+// AddBackend seeds (or re-seeds) a static member by base URL; it starts
+// healthy and never lease-expires.
+func (g *Gateway) AddBackend(url string) {
+	if g.members.Add(url) {
+		g.metrics.breakerInit(url)
+	}
+}
+
+// RemoveBackend drops a backend from the routing set without draining it.
+// Jobs currently routed to it fail over on their next status or result
+// poll.
 func (g *Gateway) RemoveBackend(url string) {
+	g.members.Remove(url)
+}
+
+// RegisterMember records (or lease-renews) an announced member. hpserve
+// nodes started with -announce call this on startup and on every
+// heartbeat.
+func (g *Gateway) RegisterMember(spec hyperpraw.MemberSpec) (hyperpraw.MemberInfo, error) {
+	if spec.URL == "" {
+		return hyperpraw.MemberInfo{}, fmt.Errorf("%w: member url required", ErrBadRequest)
+	}
+	m, renewed := g.members.Register(spec.URL, spec.Durable, time.Duration(spec.TTLMS)*time.Millisecond)
+	if !renewed {
+		g.metrics.breakerInit(spec.URL)
+	}
+	return g.memberInfo(m), nil
+}
+
+// DeregisterMember removes a member and synchronously drains its jobs to
+// the remaining rendezvous peers: hpserve calls it on graceful shutdown,
+// operators call it to rotate a backend out.
+func (g *Gateway) DeregisterMember(url string) error {
+	if !g.members.Deregister(url) {
+		return ErrUnknownMember
+	}
+	return nil
+}
+
+// Members reports the cluster view: every member's record at the current
+// membership epoch.
+func (g *Gateway) Members() hyperpraw.MemberList {
+	snap := g.members.Snapshot()
+	out := hyperpraw.MemberList{Epoch: snap.Epoch, Members: make([]hyperpraw.MemberInfo, 0, len(snap.Members))}
+	for _, m := range snap.Members {
+		out.Members = append(out.Members, g.memberInfo(m))
+	}
+	return out
+}
+
+func (g *Gateway) memberInfo(m *membership.Member) hyperpraw.MemberInfo {
+	healthy, _, durable := m.Status()
+	state, _ := m.BreakerState()
+	saturated, queued := m.LoadStatus()
+	info := hyperpraw.MemberInfo{
+		URL: m.URL, Static: m.Static, Durable: durable, Healthy: healthy,
+		Breaker: state.String(), Saturated: saturated, Queued: queued,
+	}
+	if !m.Static {
+		if rem := m.LeaseRemaining(); rem > 0 {
+			info.LeaseRemainingMS = rem.Milliseconds()
+		}
+	}
+	return info
+}
+
+// drainMember resubmits every non-terminal job routed to url to the
+// remaining rendezvous-ranked peers, counting each successfully moved job
+// in hpgate_drains_total exactly once. The member table calls it — outside
+// its own lock — on deregistration, on lease expiry, and when a durable
+// member stays down past the recovery window.
+func (g *Gateway) drainMember(url string) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	delete(g.backends, url)
+	jobs := make([]*gwJob, 0, len(g.jobs))
+	for _, j := range g.jobs {
+		if !j.terminal.Load() {
+			jobs = append(jobs, j)
+		}
+	}
+	g.mu.Unlock()
+	// Deliberately not a caller's context: a drain triggered by an HTTP
+	// deregistration must finish even if that client disconnects.
+	ctx := context.Background()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.backendURL == url && !j.terminal.Load() {
+			if err := g.failoverLocked(ctx, j); err == nil {
+				g.metrics.drains.Inc()
+			}
+		}
+		j.mu.Unlock()
+	}
 }
 
 // Backends reports every backend's state, sorted by URL.
 func (g *Gateway) Backends() []hyperpraw.BackendStatus {
+	snap := g.members.Snapshot()
 	g.mu.Lock()
-	backends := make([]*backend, 0, len(g.backends))
-	for _, b := range g.backends {
-		backends = append(backends, b)
-	}
 	jobs := make([]*gwJob, 0, len(g.jobs))
 	for _, j := range g.jobs {
 		jobs = append(jobs, j)
@@ -420,17 +490,16 @@ func (g *Gateway) Backends() []hyperpraw.BackendStatus {
 		j.mu.Unlock()
 	}
 
-	out := make([]hyperpraw.BackendStatus, 0, len(backends))
-	for _, b := range backends {
-		healthy, fails, durable := b.status()
-		state, _ := b.br.snapshot()
-		saturated, queued := b.loadStatus()
+	out := make([]hyperpraw.BackendStatus, 0, len(snap.Members))
+	for _, m := range snap.Members { // snapshot members are URL-sorted
+		healthy, fails, durable := m.Status()
+		state, _ := m.BreakerState()
+		saturated, queued := m.LoadStatus()
 		out = append(out, hyperpraw.BackendStatus{
-			URL: b.url, Healthy: healthy, Fails: fails, Jobs: perBackend[b.url], Durable: durable,
+			URL: m.URL, Healthy: healthy, Fails: fails, Jobs: perBackend[m.URL], Durable: durable,
 			Breaker: state.String(), Saturated: saturated, Queued: queued,
 		})
 	}
-	sort.Slice(out, func(i, k int) bool { return out[i].URL < out[k].URL })
 	return out
 }
 
@@ -445,17 +514,25 @@ func (g *Gateway) Health() hyperpraw.GatewayHealth {
 			break
 		}
 	}
+	members := g.Members()
 	g.mu.Lock()
 	jobs := len(g.jobs)
 	g.mu.Unlock()
-	return hyperpraw.GatewayHealth{
+	gh := hyperpraw.GatewayHealth{
 		Status: status, Backends: backends, Jobs: jobs,
+		Epoch: members.Epoch, Members: members.Members,
 		Telemetry: g.metrics.snapshot(),
 	}
+	if g.results != nil {
+		st := g.results.Stats()
+		gh.ResultCache = &st
+	}
+	return gh
 }
 
-// healthLoop probes every backend each HealthInterval, ejecting backends
-// whose /healthz fails and re-admitting them when it recovers.
+// healthLoop runs one reconciler pass every HealthInterval: probing every
+// member, ejecting members whose lease lapsed, re-admitting returners,
+// and draining durable members down past the recovery window.
 func (g *Gateway) healthLoop() {
 	defer g.wg.Done()
 	ticker := time.NewTicker(g.cfg.HealthInterval)
@@ -470,43 +547,11 @@ func (g *Gateway) healthLoop() {
 	}
 }
 
-// CheckBackends probes every backend's /healthz once, concurrently,
-// updating the healthy set. The background loop calls it periodically;
-// tests call it directly.
+// CheckBackends runs one membership reconciliation pass (probes, lease
+// expiry, recovery-window drains). The background loop calls it
+// periodically; tests call it directly.
 func (g *Gateway) CheckBackends(ctx context.Context) {
-	g.mu.Lock()
-	backends := make([]*backend, 0, len(g.backends))
-	for _, b := range g.backends {
-		backends = append(backends, b)
-	}
-	g.mu.Unlock()
-
-	var wg sync.WaitGroup
-	for _, b := range backends {
-		wg.Add(1)
-		go func(b *backend) {
-			defer wg.Done()
-			// An open breaker withholds the probe until its cooldown has
-			// elapsed (tick flips it half-open); with the default zero
-			// cooldown every probe goes through, as before.
-			b.tickBreaker()
-			if !b.br.allowProbe() {
-				return
-			}
-			probeCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
-			defer cancel()
-			start := time.Now()
-			h, err := b.cli.Health(probeCtx)
-			g.metrics.backendRequest(b.url, "health", err, time.Since(start))
-			if err != nil {
-				b.markDown()
-			} else {
-				b.markUpDurable(h.Durable)
-				b.noteQueue(h.Queued, h.QueueDepth, g.cfg.SpillWatermark)
-			}
-		}(b)
-	}
-	wg.Wait()
+	g.members.Reconcile(ctx)
 }
 
 // rendezvousScore is the highest-random-weight score of (key, member):
@@ -549,27 +594,23 @@ type routePlan struct {
 // partitioned into healthy-and-unsaturated, then healthy-but-saturated
 // (the spill targets come before them), then unhealthy — each group
 // keeping its rendezvous rank, so an ejected primary is still reachable as
-// a last resort when every healthy backend has refused.
+// a last resort when every healthy backend has refused. The whole decision
+// reads one membership snapshot: a concurrent registration or ejection
+// lands in the next epoch's snapshot, never halfway through this plan.
 func (g *Gateway) route(fingerprint string) routePlan {
-	g.mu.Lock()
-	urls := make([]string, 0, len(g.backends))
-	for url := range g.backends {
-		urls = append(urls, url)
-	}
-	byURL := make(map[string]*backend, len(g.backends))
-	for url, b := range g.backends {
-		byURL[url] = b
-	}
-	g.mu.Unlock()
-
-	ranked := RendezvousOrder(urls, fingerprint)
+	snap := g.members.Snapshot()
+	ranked := RendezvousOrder(snap.URLs(), fingerprint)
 	plan := routePlan{cands: make([]*backend, 0, len(ranked))}
 	if len(ranked) > 0 {
 		plan.primary = ranked[0]
 	}
 	var saturated, down []*backend
 	for i, url := range ranked {
-		b := byURL[url]
+		m, ok := snap.Get(url)
+		if !ok {
+			continue
+		}
+		b := g.wrap(m)
 		healthy, _, _ := b.status()
 		sat, _ := b.loadStatus()
 		switch {
@@ -597,13 +638,7 @@ func (g *Gateway) route(fingerprint string) routePlan {
 // it the backend is presumed gone for good and failover proceeds as for
 // any other loss.
 func (g *Gateway) recoverable(b *backend) bool {
-	if g.cfg.RecoveryWindow <= 0 {
-		return false
-	}
-	state, _ := b.br.snapshot()
-	b.mu.Lock()
-	ok := b.durable && state != breakerClosed && time.Since(b.downSince) < g.cfg.RecoveryWindow
-	b.mu.Unlock()
+	ok := b.m.Recoverable(g.cfg.RecoveryWindow)
 	if ok {
 		g.metrics.recoveryWaits.Inc()
 	}
@@ -637,16 +672,42 @@ func retryableSubmit(err error) bool {
 	return true // transport-level failure: the backend, not the request
 }
 
+// resultCost estimates a cached JobResult's resident size for the result
+// cache's byte budget: the dominant slices, plus flat allowances for the
+// scalar fields and optional sections.
+func resultCost(res hyperpraw.JobResult) int64 {
+	cost := int64(512)
+	cost += int64(len(res.Parts)) * 4
+	cost += int64(len(res.History)) * 48
+	if res.Bench != nil {
+		cost += 256
+	}
+	if res.Kernel != nil {
+		cost += 256
+	}
+	return cost
+}
+
 // Submit validates wire, routes it by hypergraph fingerprint, and submits
 // it to the first backend that accepts it, ejecting backends that fail
-// along the way. The returned JobInfo carries the gateway's job id and the
-// chosen backend URL.
+// along the way. When the gateway's result cache is enabled and already
+// holds the request's result key, the submission is answered from it with
+// zero backend requests. The returned JobInfo carries the gateway's job id
+// and the chosen backend URL.
 func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (hyperpraw.JobInfo, error) {
 	parsed, err := service.ParseRequest(wire)
 	if err != nil {
 		return hyperpraw.JobInfo{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	fingerprint := parsed.FingerprintKey()
+
+	var resultKey string
+	if g.results != nil {
+		resultKey = parsed.ResultKey()
+		if res, ok := g.results.Get(resultKey); ok {
+			return g.registerCached(fingerprint, resultKey, res, telemetry.TraceFrom(ctx)), nil
+		}
+	}
 
 	plan := g.route(fingerprint)
 	var lastErr error = ErrNoBackends
@@ -697,7 +758,7 @@ func (g *Gateway) Submit(ctx context.Context, wire hyperpraw.PartitionRequest) (
 				g.metrics.spills.Inc()
 			}
 		}
-		return g.register(wire, fingerprint, b.url, info, telemetry.TraceFrom(ctx)), nil
+		return g.register(wire, fingerprint, resultKey, b.url, info, telemetry.TraceFrom(ctx)), nil
 	}
 	if allSaturated {
 		// Every backend refused with 429: shed upstream with the fleet's
@@ -744,13 +805,14 @@ func (g *Gateway) submitTo(ctx context.Context, b *backend, wire hyperpraw.Parti
 // register records a successfully routed job under a fresh gateway id.
 // trace is the submitting request's trace ID, kept as a fallback when the
 // backend's echoed JobInfo does not already carry it.
-func (g *Gateway) register(wire hyperpraw.PartitionRequest, fingerprint, backendURL string, info hyperpraw.JobInfo, trace string) hyperpraw.JobInfo {
+func (g *Gateway) register(wire hyperpraw.PartitionRequest, fingerprint, resultKey, backendURL string, info hyperpraw.JobInfo, trace string) hyperpraw.JobInfo {
 	g.mu.Lock()
 	g.nextID++
 	id := fmt.Sprintf("gw-%06d", g.nextID)
 	j := &gwJob{
 		id:          id,
 		fingerprint: fingerprint,
+		resultKey:   resultKey,
 		wire:        wire,
 		backendURL:  backendURL,
 		backendID:   info.ID,
@@ -765,13 +827,42 @@ func (g *Gateway) register(wire hyperpraw.PartitionRequest, fingerprint, backend
 	g.order = append(g.order, id)
 	strip := g.pruneLocked()
 	g.mu.Unlock()
+	g.stripJobs(strip)
+	return j.snapshot()
+}
+
+// registerCached records a submission answered wholly from the gateway's
+// result cache: the job is born terminal-done, carries the cached payload,
+// and never touches a backend. It still counts as a submitted and
+// completed job so the gateway's totals keep balancing.
+func (g *Gateway) registerCached(fingerprint, resultKey string, res hyperpraw.JobResult, trace string) hyperpraw.JobInfo {
+	res.ResultCacheHit = true
+	g.mu.Lock()
+	g.nextID++
+	id := fmt.Sprintf("gw-%06d", g.nextID)
+	j := &gwJob{id: id, fingerprint: fingerprint, resultKey: resultKey, cached: &res}
+	j.info = hyperpraw.JobInfo{
+		ID: id, Status: hyperpraw.JobDone, Fingerprint: fingerprint, Trace: trace,
+	}
+	g.jobs[id] = j
+	g.order = append(g.order, id)
+	strip := g.pruneLocked()
+	g.mu.Unlock()
+	g.metrics.jobsSubmitted.Inc()
+	g.markTerminal(j, hyperpraw.JobDone)
+	g.stripJobs(strip)
+	return j.snapshot()
+}
+
+// stripJobs drops the retained wire requests pruneLocked returned, outside
+// Gateway.mu (gwJob.mu must never be taken under it).
+func (g *Gateway) stripJobs(strip []*gwJob) {
 	for _, sj := range strip {
 		sj.mu.Lock()
 		sj.wire = hyperpraw.PartitionRequest{}
 		sj.info.Stripped = true
 		sj.mu.Unlock()
 	}
-	return j.snapshot()
 }
 
 // pruneLocked drops the oldest terminal jobs once the retention cap is
@@ -820,10 +911,11 @@ func (g *Gateway) job(id string) (*gwJob, bool) {
 }
 
 func (g *Gateway) backendFor(url string) (*backend, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b, ok := g.backends[url]
-	return b, ok
+	m, ok := g.members.Get(url)
+	if !ok {
+		return nil, false
+	}
+	return g.wrap(m), true
 }
 
 // Jobs lists the gateway's jobs (last known info) in submission order.
@@ -926,7 +1018,8 @@ func (g *Gateway) Job(ctx context.Context, id string) (hyperpraw.JobInfo, error)
 // after a failover resubmission. A backend that is unreachable or has
 // forgotten the job triggers a failover; a job the backend reports as
 // failed (a deterministic request failure, not a backend failure) is
-// terminal and not retried elsewhere.
+// terminal and not retried elsewhere. Jobs answered from the gateway's
+// result cache serve their payload directly, with no backend involved.
 func (g *Gateway) Result(ctx context.Context, id string) (*hyperpraw.JobResult, hyperpraw.JobInfo, error) {
 	j, ok := g.job(id)
 	if !ok {
@@ -939,10 +1032,21 @@ func (g *Gateway) Result(ctx context.Context, id string) (*hyperpraw.JobResult, 
 		// verdict stays a 410 on every poll, not just the first.
 		return nil, j.info, j.notRecoverable
 	}
+	if j.cached != nil {
+		res := *j.cached
+		return &res, j.info, nil
+	}
 	// wasDone: a result was fetched before, so the retained request is gone
 	// and failover is no longer possible — if the backend has since lost
 	// the payload too, the honest answer is an error, not an eternal 202.
 	wasDone := j.terminal.Load() && j.info.Status == hyperpraw.JobDone
+	if wasDone && g.results != nil && j.resultKey != "" {
+		// The backend may be gone, but the payload was cached on the first
+		// fetch; serve it without a round trip.
+		if res, ok := g.results.Get(j.resultKey); ok {
+			return &res, j.info, nil
+		}
+	}
 	b, ok := g.backendFor(j.backendURL)
 	if ok {
 		callCtx, cancel := context.WithTimeout(telemetry.WithTrace(ctx, j.info.Trace), g.cfg.ProxyTimeout)
@@ -957,6 +1061,9 @@ func (g *Gateway) Result(ctx context.Context, id string) (*hyperpraw.JobResult, 
 			j.info.Status = hyperpraw.JobDone
 			j.info.Error = ""
 			j.wire = hyperpraw.PartitionRequest{} // no more failovers: stop pinning the upload
+			if g.results != nil && j.resultKey != "" {
+				g.results.Put(j.resultKey, *res)
+			}
 			return res, j.info, nil
 		case errors.Is(err, client.ErrNotDone):
 			b.markUp()
@@ -1125,6 +1232,8 @@ func isJobFailed(err error) bool {
 // whose frames count from 1 again — so the proxy keeps its own monotone
 // output sequence and deduplicates replayed work by iteration number
 // (identical for deterministic re-runs) rather than by raw sequence.
+// A job answered from the gateway's result cache replays the cached run's
+// history and final frame without contacting any backend.
 // emit receives every forwarded event (final included) with the job id
 // rewritten to the gateway's; an emit error aborts the stream (the
 // consumer is gone) without ejecting the backend or failing the job over.
@@ -1132,6 +1241,12 @@ func (g *Gateway) StreamEvents(ctx context.Context, id string, after int, emit f
 	j, ok := g.job(id)
 	if !ok {
 		return ErrUnknownJob
+	}
+	j.mu.Lock()
+	cached := j.cached
+	j.mu.Unlock()
+	if cached != nil {
+		return streamCached(id, after, *cached, emit)
 	}
 	lastSeq := after // resume point on the current backend's stream
 	outSeq := after  // gateway-facing sequence, monotone across failovers
@@ -1254,4 +1369,25 @@ func (g *Gateway) StreamEvents(ctx context.Context, id string, after int, emit f
 			lastSeq = 0 // the replacement run numbers its frames from 1
 		}
 	}
+}
+
+// streamCached replays a cached result's iteration history as SSE frames
+// (honouring the after cursor) followed by the final done frame — the same
+// shape a backend's own cache-hit replay produces.
+func streamCached(id string, after int, res hyperpraw.JobResult, emit func(hyperpraw.ProgressEvent) error) error {
+	seq := 0
+	for _, pt := range res.History {
+		seq++
+		if seq <= after {
+			continue
+		}
+		if err := emit(hyperpraw.ProgressEvent{JobID: id, Seq: seq, IterationPoint: pt}); err != nil {
+			return err
+		}
+	}
+	seq++
+	if seq <= after {
+		return nil
+	}
+	return emit(hyperpraw.ProgressEvent{JobID: id, Seq: seq, Final: true, Status: hyperpraw.JobDone})
 }

@@ -3,6 +3,7 @@ package gateway
 import (
 	"errors"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,6 +29,9 @@ import (
 //	                            reference; DELETE fans out to the fleet)
 //	GET  /v1/algorithms         supported algorithm names
 //	GET  /v1/backends           backend set and health
+//	GET  /v1/cluster/members    cluster member table (epoch + leases)
+//	POST /v1/cluster/members    register a member / renew its lease
+//	DELETE /v1/cluster/members/{url}  deregister a member and drain its jobs
 //	GET  /healthz               gateway + backend health
 //	GET  /metrics               Prometheus exposition (with Config.Metrics)
 //
@@ -44,6 +48,9 @@ func NewHandler(g *Gateway) http.Handler {
 	})
 	mux.HandleFunc("/v1/backends", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, map[string]any{"backends": g.Backends()})
+	})
+	mux.HandleFunc("/v1/cluster/members", func(w http.ResponseWriter, r *http.Request) {
+		handleMembers(g, w, r)
 	})
 	mux.HandleFunc("/v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, map[string][]string{"algorithms": service.Algorithms()})
@@ -88,7 +95,61 @@ func NewHandler(g *Gateway) http.Handler {
 	if g.metrics != nil {
 		m = g.metrics.http
 	}
-	return telemetry.Instrument(m, mux)
+	// The member resource routes ahead of the mux: its final path segment is
+	// a path-escaped URL whose decoded slashes ServeMux would "clean" into a
+	// 301 — and clients turn a redirected DELETE into a GET.
+	return telemetry.Instrument(m, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.EscapedPath(), "/v1/cluster/members/") {
+			handleMember(g, w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+}
+
+// handleMembers serves the member-collection routes: GET lists the table
+// at its current epoch, POST registers a member (or renews its lease —
+// hpserve's heartbeat is the same request repeated).
+func handleMembers(g *Gateway, w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		service.WriteJSON(w, http.StatusOK, g.Members())
+	case http.MethodPost:
+		var spec hyperpraw.MemberSpec
+		if err := service.DecodeJSON(r, &spec); err != nil {
+			service.WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
+			return
+		}
+		info, err := g.RegisterMember(spec)
+		if err != nil {
+			service.WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, err.Error())
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, info)
+	default:
+		service.WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "GET or POST required")
+	}
+}
+
+// handleMember serves DELETE /v1/cluster/members/{url}: deregistration
+// with a synchronous drain of the member's jobs to its rendezvous peers.
+// The member URL is path-escaped into the final segment.
+func handleMember(g *Gateway, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		service.WriteError(w, r, http.StatusMethodNotAllowed, hyperpraw.ErrCodeMethodNotAllowed, "DELETE required")
+		return
+	}
+	escaped := strings.TrimPrefix(r.URL.EscapedPath(), "/v1/cluster/members/")
+	memberURL, err := url.PathUnescape(escaped)
+	if err != nil || memberURL == "" {
+		service.WriteError(w, r, http.StatusBadRequest, hyperpraw.ErrCodeInvalidRequest, "bad member url")
+		return
+	}
+	if err := g.DeregisterMember(memberURL); err != nil {
+		service.WriteError(w, r, http.StatusNotFound, hyperpraw.ErrCodeNotFound, "unknown member "+memberURL)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func handleSubmit(g *Gateway, w http.ResponseWriter, r *http.Request) {

@@ -158,12 +158,11 @@ func graphMissing(err error) bool {
 // gateway's copy intact. A backend that never held the graph answers
 // 404 and is simply not counted.
 func (g *Gateway) DeleteGraph(ctx context.Context, id string) error {
-	g.mu.Lock()
-	backends := make([]*backend, 0, len(g.backends))
-	for _, b := range g.backends {
-		backends = append(backends, b)
+	snap := g.members.Snapshot()
+	backends := make([]*backend, 0, len(snap.Members))
+	for _, m := range snap.Members {
+		backends = append(backends, g.wrap(m))
 	}
-	g.mu.Unlock()
 
 	_, localKnown := g.graphs.Get(id)
 	found := localKnown

@@ -11,9 +11,8 @@ import (
 // health loop) so prune behavior and cost can be probed in isolation.
 func newPruneFixture(maxJobs int, terminal []bool) *Gateway {
 	g := &Gateway{
-		cfg:      Config{MaxJobs: maxJobs, HealthInterval: -1}.withDefaults(),
-		backends: make(map[string]*backend),
-		jobs:     make(map[string]*gwJob, len(terminal)),
+		cfg:  Config{MaxJobs: maxJobs, HealthInterval: -1}.withDefaults(),
+		jobs: make(map[string]*gwJob, len(terminal)),
 	}
 	for i, term := range terminal {
 		id := fmt.Sprintf("gw-%06d", i+1)

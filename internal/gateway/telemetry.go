@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hyperpraw"
+	"hyperpraw/internal/membership"
 	"hyperpraw/internal/telemetry"
 )
 
@@ -29,6 +30,8 @@ type gatewayMetrics struct {
 	backendRequests    *telemetry.CounterVec   // backend, op, outcome
 	upstreamSeconds    *telemetry.HistogramVec // op
 	recoveryWaits      *telemetry.Counter      // recovery-window "wait it out" verdicts
+	memberTransitions  *telemetry.CounterVec   // event: registered | renewed | deregistered | lease_expired | drain
+	drains             *telemetry.Counter      // jobs resubmitted to peers by a member drain
 	graphReplications  *telemetry.Counter      // arenas replicated to backends on first reference
 	sseSubscribers     *telemetry.Gauge
 }
@@ -45,22 +48,23 @@ func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
 
 	reg.GaugeFunc("hpgate_backends", "Backends in the routing set.",
 		func() float64 {
-			g.mu.Lock()
-			n := len(g.backends)
-			g.mu.Unlock()
-			return float64(n)
+			return float64(len(g.members.Snapshot().Members))
+		})
+	reg.GaugeFunc("hpgate_members", "Members in the cluster table (same set "+
+		"as hpgate_backends; kept as the membership-facing name).",
+		func() float64 {
+			return float64(len(g.members.Snapshot().Members))
+		})
+	reg.GaugeFunc("hpgate_membership_epoch", "Current membership epoch; "+
+		"bumps on every registration, deregistration, or lease expiry.",
+		func() float64 {
+			return float64(g.members.Snapshot().Epoch)
 		})
 	reg.GaugeFunc("hpgate_backends_healthy", "Backends currently routable.",
 		func() float64 {
-			g.mu.Lock()
-			backends := make([]*backend, 0, len(g.backends))
-			for _, b := range g.backends {
-				backends = append(backends, b)
-			}
-			g.mu.Unlock()
 			n := 0
-			for _, b := range backends {
-				if healthy, _, _ := b.status(); healthy {
+			for _, m := range g.members.Snapshot().Members {
+				if healthy, _, _ := m.Status(); healthy {
 					n++
 				}
 			}
@@ -83,15 +87,9 @@ func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
 		"Backends currently marked saturated (queue occupancy beyond the "+
 			"spill watermark, or a 429 observed since the last probe).",
 		func() float64 {
-			g.mu.Lock()
-			backends := make([]*backend, 0, len(g.backends))
-			for _, b := range g.backends {
-				backends = append(backends, b)
-			}
-			g.mu.Unlock()
 			n := 0
-			for _, b := range backends {
-				if sat, _ := b.loadStatus(); sat {
+			for _, m := range g.members.Snapshot().Members {
+				if sat, _ := m.LoadStatus(); sat {
 					n++
 				}
 			}
@@ -128,6 +126,25 @@ func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
 	m.recoveryWaits = reg.Counter("hpgate_recovery_waits_total",
 		"Times a lost durable backend's outage was waited out (recovery "+
 			"window) instead of failing its job over.")
+	m.memberTransitions = reg.CounterVec("hpgate_member_transitions_total",
+		"Membership lifecycle events, by event: registered, renewed, "+
+			"deregistered, lease_expired, drain.", "event")
+	m.drains = reg.Counter("hpgate_drains_total",
+		"Jobs resubmitted to rendezvous peers by a member drain "+
+			"(deregistration, lease expiry, or a durable member down past "+
+			"the recovery window).")
+	if results := g.results; results != nil {
+		reg.CounterFunc("hpgate_result_cache_hits_total",
+			"Gateway result-cache hits: submissions answered with zero "+
+				"backend requests.",
+			func() float64 { return float64(results.Stats().Hits) })
+		reg.CounterFunc("hpgate_result_cache_misses_total",
+			"Gateway result-cache misses.",
+			func() float64 { return float64(results.Stats().Misses) })
+		reg.GaugeFunc("hpgate_result_cache_bytes",
+			"Resident bytes held by the gateway's result cache.",
+			func() float64 { return float64(results.Stats().Bytes) })
+	}
 
 	graphs := g.graphs
 	reg.GaugeFunc("hpgate_graph_bytes",
@@ -153,7 +170,7 @@ func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
 
 // breakerTransition publishes one breaker transition: the counter and the
 // per-backend state gauge.
-func (m *gatewayMetrics) breakerTransition(url string, to breakerState) {
+func (m *gatewayMetrics) breakerTransition(url string, to membership.State) {
 	if m == nil {
 		return
 	}
@@ -167,7 +184,7 @@ func (m *gatewayMetrics) breakerInit(url string) {
 	if m == nil {
 		return
 	}
-	m.breakerStates.WithLabelValues(url).Set(float64(breakerClosed))
+	m.breakerStates.WithLabelValues(url).Set(float64(membership.StateClosed))
 }
 
 // backendRequest records one proxied call's outcome and latency.

@@ -1,0 +1,126 @@
+package membership
+
+import (
+	"sync"
+	"time"
+)
+
+// State is one of the classic circuit-breaker states. The gateway keeps
+// the breaker advisory rather than blocking: an open member is routed
+// last (not never), because a backend of last resort still beats shedding
+// the job — the state machine's job is pacing probes and making the
+// member's trajectory observable, not fencing it off.
+type State int32
+
+const (
+	// StateClosed: the member is healthy and routed normally.
+	StateClosed State = iota
+	// StateOpen: consecutive failures reached the threshold; health
+	// probes are withheld until the cooldown elapses so a struggling
+	// member is not hammered back down every interval.
+	StateOpen
+	// StateHalfOpen: the cooldown elapsed; the next health probe (or
+	// any proxied call) is the trial. Success closes the breaker, failure
+	// reopens it and restarts the cooldown.
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-member circuit breaker. The default configuration
+// (threshold 1, cooldown 0) reproduces the gateway's original binary
+// eject/re-admit behaviour exactly: one failure ejects, the next probe is
+// always allowed, one success re-admits. Raising the threshold tolerates
+// blips; raising the cooldown paces probes against a flapping member.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    State
+	fails    int // consecutive failures since the last success
+	openedAt time.Time
+}
+
+// NewBreaker returns a Breaker tripping open after threshold consecutive
+// failures (minimum 1) and withholding probes for cooldown once open
+// (negative clamps to 0).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown < 0 {
+		cooldown = 0
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Fail records one observed failure. From closed, reaching the threshold
+// trips the breaker open; from half-open, the trial failed and the breaker
+// reopens (restarting the cooldown); from open it only counts.
+func (b *Breaker) Fail() (from, to State) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from = b.state
+	b.fails++
+	switch b.state {
+	case StateClosed:
+		if b.fails >= b.threshold {
+			b.state = StateOpen
+			b.openedAt = time.Now()
+		}
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.openedAt = time.Now()
+	}
+	return from, b.state
+}
+
+// Success records one observed success, closing the breaker from any
+// state. A real proxied call succeeding against an open member is
+// stronger evidence than any probe, so it closes the breaker too.
+func (b *Breaker) Success() (from, to State) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from = b.state
+	b.fails = 0
+	b.state = StateClosed
+	return from, b.state
+}
+
+// Tick advances open -> half-open once the cooldown has elapsed. The
+// reconciler calls it before each probe round, making the periodic probe
+// the breaker's trial request.
+func (b *Breaker) Tick() (from, to State) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from = b.state
+	if b.state == StateOpen && time.Since(b.openedAt) >= b.cooldown {
+		b.state = StateHalfOpen
+	}
+	return from, b.state
+}
+
+// AllowProbe reports whether a health probe should be sent: always, except
+// while the breaker is open and cooling down.
+func (b *Breaker) AllowProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != StateOpen
+}
+
+// Snapshot returns the current state and consecutive-failure count.
+func (b *Breaker) Snapshot() (State, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails
+}

@@ -1,4 +1,4 @@
-package gateway
+package membership
 
 import (
 	"testing"
@@ -6,61 +6,61 @@ import (
 )
 
 func TestBreakerThresholdAndTrial(t *testing.T) {
-	br := newBreaker(3, time.Hour)
+	br := NewBreaker(3, time.Hour)
 
 	// Two failures stay under the threshold: still closed.
 	for i := 0; i < 2; i++ {
-		if _, to := br.fail(); to != breakerClosed {
+		if _, to := br.Fail(); to != StateClosed {
 			t.Fatalf("failure %d tripped the breaker early (state %v)", i+1, to)
 		}
 	}
-	if from, to := br.fail(); from != breakerClosed || to != breakerOpen {
+	if from, to := br.Fail(); from != StateClosed || to != StateOpen {
 		t.Fatalf("threshold failure transitioned %v -> %v, want closed -> open", from, to)
 	}
-	if state, fails := br.snapshot(); state != breakerOpen || fails != 3 {
+	if state, fails := br.Snapshot(); state != StateOpen || fails != 3 {
 		t.Fatalf("state %v fails %d after tripping, want open/3", state, fails)
 	}
 
 	// The cooldown has not elapsed: tick holds it open, probes withheld.
-	if _, to := br.tick(); to != breakerOpen {
+	if _, to := br.Tick(); to != StateOpen {
 		t.Fatalf("tick before cooldown moved to %v", to)
 	}
-	if br.allowProbe() {
+	if br.AllowProbe() {
 		t.Fatal("probe allowed while open and cooling down")
 	}
 
 	// Success closes from any state and resets the failure run.
-	if from, to := br.success(); from != breakerOpen || to != breakerClosed {
+	if from, to := br.Success(); from != StateOpen || to != StateClosed {
 		t.Fatalf("success transitioned %v -> %v, want open -> closed", from, to)
 	}
-	if _, fails := br.snapshot(); fails != 0 {
+	if _, fails := br.Snapshot(); fails != 0 {
 		t.Fatalf("fails %d after success, want 0", fails)
 	}
 }
 
 func TestBreakerHalfOpenTrialFailureReopens(t *testing.T) {
-	br := newBreaker(1, 10*time.Millisecond)
-	br.fail()
+	br := NewBreaker(1, 10*time.Millisecond)
+	br.Fail()
 	time.Sleep(20 * time.Millisecond)
-	if from, to := br.tick(); from != breakerOpen || to != breakerHalfOpen {
+	if from, to := br.Tick(); from != StateOpen || to != StateHalfOpen {
 		t.Fatalf("tick after cooldown transitioned %v -> %v, want open -> half-open", from, to)
 	}
-	if !br.allowProbe() {
+	if !br.AllowProbe() {
 		t.Fatal("half-open breaker must allow the trial probe")
 	}
 	// The trial fails: back to open, cooldown restarted.
-	if from, to := br.fail(); from != breakerHalfOpen || to != breakerOpen {
+	if from, to := br.Fail(); from != StateHalfOpen || to != StateOpen {
 		t.Fatalf("trial failure transitioned %v -> %v, want half-open -> open", from, to)
 	}
-	if _, to := br.tick(); to != breakerHalfOpen {
+	if _, to := br.Tick(); to != StateHalfOpen {
 		// 10ms cooldown may elapse between fail and tick on a slow box;
 		// poll briefly instead of asserting the immediate state.
 		deadline := time.Now().Add(time.Second)
-		for to != breakerHalfOpen && time.Now().Before(deadline) {
+		for to != StateHalfOpen && time.Now().Before(deadline) {
 			time.Sleep(5 * time.Millisecond)
-			_, to = br.tick()
+			_, to = br.Tick()
 		}
-		if to != breakerHalfOpen {
+		if to != StateHalfOpen {
 			t.Fatalf("breaker never re-entered half-open after reopening")
 		}
 	}
@@ -70,17 +70,17 @@ func TestBreakerLegacyDefaultsSingleProbe(t *testing.T) {
 	// threshold 1, cooldown 0 must reproduce the original binary
 	// eject/re-admit behaviour: one failure ejects, the very next tick
 	// re-arms the probe, one success re-admits.
-	br := newBreaker(0, -time.Second) // clamped to 1 and 0
-	if _, to := br.fail(); to != breakerOpen {
+	br := NewBreaker(0, -time.Second) // clamped to 1 and 0
+	if _, to := br.Fail(); to != StateOpen {
 		t.Fatal("first failure did not eject")
 	}
-	if _, to := br.tick(); to != breakerHalfOpen {
+	if _, to := br.Tick(); to != StateHalfOpen {
 		t.Fatal("zero cooldown did not immediately allow the next probe")
 	}
-	if !br.allowProbe() {
+	if !br.AllowProbe() {
 		t.Fatal("probe withheld under legacy defaults")
 	}
-	if _, to := br.success(); to != breakerClosed {
+	if _, to := br.Success(); to != StateClosed {
 		t.Fatal("first success did not re-admit")
 	}
 }

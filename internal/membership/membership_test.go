@@ -1,0 +1,326 @@
+package membership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock injected via Config.Now so
+// lease expiry and recovery windows can be driven deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// healthMap is a shared up/down switchboard backing the injected probe.
+type healthMap struct {
+	mu sync.Mutex
+	up map[string]bool
+}
+
+func (h *healthMap) set(url string, up bool) {
+	h.mu.Lock()
+	h.up[url] = up
+	h.mu.Unlock()
+}
+
+func (h *healthMap) flip(url string) {
+	h.mu.Lock()
+	h.up[url] = !h.up[url]
+	h.mu.Unlock()
+}
+
+func (h *healthMap) probe(_ context.Context, url string) (Observation, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.up[url] {
+		return Observation{Durable: true}, nil
+	}
+	return Observation{}, errors.New("down")
+}
+
+// TestReconcileConvergesUnderChurn is the convergence property test: from
+// any random interleaving of register, deregister, probe-flap, clock
+// advance, and reconcile, the table must converge — once churn stops and
+// the desired set's leases are fresh — to exactly {static seeds} ∪
+// {desired announced members}, all healthy, with no further epoch drift.
+func TestReconcileConvergesUnderChurn(t *testing.T) {
+	ctx := context.Background()
+	const ttl = 10 * time.Second
+
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+			health := &healthMap{up: map[string]bool{}}
+
+			tbl := New(Config{
+				LeaseTTL: ttl,
+				Now:      clk.Now,
+				Probe:    health.probe,
+				Drain:    func(string) {}, // drains may fire mid-churn; they must not wedge anything
+			})
+
+			static := "http://static-seed"
+			health.set(static, true)
+			tbl.Add(static)
+
+			urls := make([]string, 5)
+			for i := range urls {
+				urls[i] = fmt.Sprintf("http://backend-%d", i)
+			}
+			pick := func() string { return urls[rng.Intn(len(urls))] }
+
+			// Churn phase: arbitrary interleaving.
+			for i := 0; i < 200; i++ {
+				switch rng.Intn(5) {
+				case 0:
+					u := pick()
+					tbl.Register(u, rng.Intn(2) == 0, ttl)
+					health.set(u, true)
+				case 1:
+					tbl.Deregister(pick())
+				case 2:
+					health.flip(pick())
+				case 3:
+					clk.Advance(time.Duration(rng.Intn(7000)) * time.Millisecond)
+				case 4:
+					tbl.Reconcile(ctx)
+				}
+			}
+
+			// Quiesce: everything reachable again, stale leases age out,
+			// and only the desired subset re-announces.
+			for _, u := range urls {
+				health.set(u, true)
+			}
+			clk.Advance(ttl + time.Second)
+			desired := map[string]bool{static: true}
+			for i, u := range urls {
+				if i%2 == 0 {
+					tbl.Register(u, true, ttl)
+					desired[u] = true
+				}
+			}
+			tbl.Reconcile(ctx)
+			tbl.Reconcile(ctx)
+
+			snap := tbl.Snapshot()
+			if len(snap.Members) != len(desired) {
+				t.Fatalf("converged to %v, want exactly %d members %v", snap.URLs(), len(desired), desired)
+			}
+			for _, m := range snap.Members {
+				if !desired[m.URL] {
+					t.Fatalf("undesired member %s survived convergence", m.URL)
+				}
+				if healthy, _, _ := m.Status(); !healthy {
+					t.Fatalf("member %s unhealthy after convergence", m.URL)
+				}
+			}
+
+			// Stability: further reconciles with fresh state change nothing.
+			epoch := snap.Epoch
+			tbl.Reconcile(ctx)
+			tbl.Reconcile(ctx)
+			if got := tbl.Snapshot().Epoch; got != epoch {
+				t.Fatalf("epoch drifted %d -> %d after convergence with no membership change", epoch, got)
+			}
+		})
+	}
+}
+
+func TestLeaseExpiryEjectsAndDrains(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var events, drains []string
+	tbl := New(Config{
+		LeaseTTL: 5 * time.Second,
+		Now:      clk.Now,
+		OnEvent:  func(url, ev string) { events = append(events, url+":"+ev) },
+		Drain:    func(url string) { drains = append(drains, url) },
+	})
+
+	tbl.Add("http://static")
+	tbl.Register("http://dyn", true, 0) // 0 selects LeaseTTL
+
+	if m, _ := tbl.Get("http://dyn"); m.LeaseRemaining() != 5*time.Second {
+		t.Fatalf("lease remaining %v, want 5s", m.LeaseRemaining())
+	}
+
+	// Heartbeat renews; nothing expires at the original deadline.
+	clk.Advance(4 * time.Second)
+	tbl.Register("http://dyn", true, 0)
+	clk.Advance(2 * time.Second)
+	tbl.Reconcile(context.Background())
+	if tbl.Len() != 2 {
+		t.Fatalf("renewed member expired early: %v", tbl.Snapshot().URLs())
+	}
+
+	// Missed heartbeats: the lease lapses, the member is ejected and
+	// drained; the static seed never expires.
+	clk.Advance(6 * time.Second)
+	tbl.Reconcile(context.Background())
+	snap := tbl.Snapshot()
+	if len(snap.Members) != 1 || snap.Members[0].URL != "http://static" {
+		t.Fatalf("post-expiry set %v, want only the static seed", snap.URLs())
+	}
+	if len(drains) != 1 || drains[0] != "http://dyn" {
+		t.Fatalf("drains %v, want exactly [http://dyn]", drains)
+	}
+	want := []string{
+		"http://static:registered",
+		"http://dyn:registered",
+		"http://dyn:renewed",
+		"http://dyn:lease_expired",
+		"http://dyn:drain",
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event[%d] = %q, want %q", i, events[i], want[i])
+		}
+	}
+}
+
+func TestRecoveryWindowDrainsOncePerOutage(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	health := &healthMap{up: map[string]bool{"http://durable": false}}
+	var drains int
+	tbl := New(Config{
+		RecoveryWindow: 10 * time.Second,
+		Now:            clk.Now,
+		Probe:          health.probe,
+		Drain:          func(string) { drains++ },
+	})
+	tbl.Add("http://durable")
+	m, _ := tbl.Get("http://durable")
+	m.setDurableHint(true)
+
+	// Down, but inside the window: no drain, however many passes run.
+	tbl.Reconcile(context.Background())
+	clk.Advance(5 * time.Second)
+	tbl.Reconcile(context.Background())
+	if drains != 0 {
+		t.Fatalf("drained %d times inside the recovery window", drains)
+	}
+
+	// Past the window: exactly one drain no matter how often we reconcile.
+	clk.Advance(6 * time.Second)
+	tbl.Reconcile(context.Background())
+	tbl.Reconcile(context.Background())
+	tbl.Reconcile(context.Background())
+	if drains != 1 {
+		t.Fatalf("drained %d times past the window, want exactly 1", drains)
+	}
+
+	// The member returns and goes down again: a fresh outage re-arms the
+	// drain, and the window restarts from the new trip.
+	health.set("http://durable", true)
+	tbl.Reconcile(context.Background())
+	health.set("http://durable", false)
+	tbl.Reconcile(context.Background())
+	clk.Advance(11 * time.Second)
+	tbl.Reconcile(context.Background())
+	if drains != 2 {
+		t.Fatalf("drained %d times across two outages, want 2", drains)
+	}
+
+	if tbl.Len() != 1 {
+		t.Fatal("recovery-window drain must not remove the member record")
+	}
+}
+
+// TestSnapshotReadersVsReconciler exercises the lock-free read path under
+// concurrent membership churn; run with -race.
+func TestSnapshotReadersVsReconciler(t *testing.T) {
+	health := &healthMap{up: map[string]bool{}}
+	tbl := New(Config{
+		LeaseTTL: 50 * time.Millisecond,
+		Probe:    health.probe,
+		Drain:    func(string) {},
+	})
+	for i := 0; i < 4; i++ {
+		health.set(fmt.Sprintf("http://seed-%d", i), true)
+		tbl.Add(fmt.Sprintf("http://seed-%d", i))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers: snapshot, iterate, and poke member state the way routing does.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := tbl.Snapshot()
+				for _, m := range snap.Members {
+					m.Status()
+					m.LoadStatus()
+					m.Recoverable(time.Second)
+				}
+				if len(snap.Members) > 0 {
+					snap.Get(snap.Members[0].URL)
+				}
+			}
+		}()
+	}
+
+	// Writers: registration churn and reconciliation racing the readers.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := fmt.Sprintf("http://dyn-%d", i%8)
+			health.set(u, i%3 != 0)
+			tbl.Register(u, i%2 == 0, 0)
+			if i%5 == 0 {
+				tbl.Deregister(u)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tbl.Reconcile(context.Background())
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"hyperpraw"
+	"hyperpraw/client"
+)
+
+// AnnounceConfig tunes an Announcer.
+type AnnounceConfig struct {
+	// Gateway is the hpgate base URL to register with.
+	Gateway string
+	// Self is this node's base URL as the gateway should dial it.
+	Self string
+	// Durable declares that this node journals jobs to a durable store,
+	// so the gateway waits out its restarts instead of failing jobs over.
+	Durable bool
+	// TTL is the requested lease duration (default 10s); heartbeats renew
+	// it at a third of the TTL so two may be lost before the lease lapses.
+	TTL time.Duration
+	// HTTPClient talks to the gateway; nil selects the client default.
+	HTTPClient *http.Client
+	// Logf receives registration failures (the gateway being down is an
+	// expected transient, not a fatal); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Announcer keeps one serving node registered in an hpgate gateway's
+// member table: it registers on start, heartbeats to renew the lease, and
+// deregisters on Close — which makes the gateway synchronously drain this
+// node's jobs to its peers. A node that dies without Close stops
+// heartbeating and is ejected when its lease lapses; either way the
+// gateway converges to the live fleet. hpserve wires an Announcer behind
+// its -announce flag.
+type Announcer struct {
+	cfg  AnnounceConfig
+	cli  *client.Client
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// StartAnnouncer registers cfg.Self with cfg.Gateway and starts the
+// heartbeat loop. The first registration failing is logged, not fatal:
+// the gateway may simply not be up yet, and the next heartbeat retries.
+func StartAnnouncer(cfg AnnounceConfig) *Announcer {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &Announcer{
+		cfg:  cfg,
+		cli:  client.New(cfg.Gateway, cfg.HTTPClient),
+		stop: make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a
+}
+
+func (a *Announcer) loop() {
+	defer a.wg.Done()
+	if err := a.register(); err != nil {
+		a.cfg.Logf("announce: registering %s with %s: %v", a.cfg.Self, a.cfg.Gateway, err)
+	}
+	interval := a.cfg.TTL / 3
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			if err := a.register(); err != nil {
+				a.cfg.Logf("announce: renewing %s with %s: %v", a.cfg.Self, a.cfg.Gateway, err)
+			}
+		}
+	}
+}
+
+func (a *Announcer) register() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := a.cli.RegisterMember(ctx, hyperpraw.MemberSpec{
+		URL:     a.cfg.Self,
+		Durable: a.cfg.Durable,
+		TTLMS:   a.cfg.TTL.Milliseconds(),
+	})
+	return err
+}
+
+// Close stops the heartbeat and deregisters from the gateway. It must run
+// before the node stops serving: the gateway's drain resubmits this
+// node's jobs to peers, and that is only safe once no new work can land
+// here. The deadline is generous because the drain is synchronous on the
+// gateway side.
+func (a *Announcer) Close() {
+	a.once.Do(func() {
+		close(a.stop)
+		a.wg.Wait()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := a.cli.DeregisterMember(ctx, a.cfg.Self); err != nil {
+			a.cfg.Logf("announce: deregistering %s from %s: %v", a.cfg.Self, a.cfg.Gateway, err)
+		}
+	})
+}

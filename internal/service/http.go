@@ -196,6 +196,19 @@ func DecodeSubmission(r *http.Request) (hyperpraw.PartitionRequest, error) {
 	return wire, nil
 }
 
+// DecodeJSON parses a bounded JSON request body into out, rejecting
+// unknown fields. Small control-plane bodies (the gateway's
+// cluster-membership routes) decode through it.
+func DecodeJSON(r *http.Request, out any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("bad JSON body: %w", err)
+	}
+	return nil
+}
+
 // DecodeBatch parses and bounds-checks a BatchRequest body; both serving
 // tiers (hpserve and hpgate) accept batches through it.
 func DecodeBatch(r *http.Request) (hyperpraw.BatchRequest, error) {

@@ -1,3 +1,8 @@
+// Package service is the serving layer of the repository: a bounded worker
+// pool draining a job queue of partition requests, with per-job status and
+// result tracking, LRU caches for profiled machine environments and finished
+// partition results, and graceful shutdown. cmd/hpserve exposes it over HTTP;
+// the client package talks to that API.
 package service
 
 import (
@@ -13,6 +18,7 @@ import (
 	"time"
 
 	"hyperpraw"
+	"hyperpraw/internal/cache"
 	"hyperpraw/internal/faultpoint"
 	"hyperpraw/internal/graphstore"
 	"hyperpraw/internal/hgen"
@@ -148,10 +154,11 @@ func (r Request) AlgorithmLabel() string {
 	return string(r.Algorithm)
 }
 
-// resultKey identifies the full computation for the result cache. Workers
+// ResultKey identifies the full computation for the result cache. Workers
 // changes the (nondeterministic) aware-parallel outcome, so it joins the
-// key for that algorithm only.
-func (r Request) resultKey() string {
+// key for that algorithm only. The gateway keys its own result cache on
+// the same string, so the two tiers memoise identical computations.
+func (r Request) ResultKey() string {
 	parts := []string{
 		r.fingerprint, r.AlgorithmLabel(), r.Machine.Key(), r.Options.Key(), r.Bench.Key(),
 	}
@@ -313,8 +320,8 @@ type Service struct {
 	waitLen int
 	waitIdx int
 
-	envs    *Cache[hyperpraw.Environment]
-	results *Cache[hyperpraw.JobResult]
+	envs    *cache.Cache[hyperpraw.Environment]
+	results *cache.Cache[hyperpraw.JobResult]
 
 	store     *store.Store
 	graphs    *graphstore.Store
@@ -348,8 +355,8 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		queue:   make(chan *job, queueCap),
 		jobs:    make(map[string]*job),
-		envs:    NewCache[hyperpraw.Environment](cfg.EnvCacheSize),
-		results: NewCache[hyperpraw.JobResult](cfg.ResultCacheSize),
+		envs:    cache.New[hyperpraw.Environment](cfg.EnvCacheSize),
+		results: cache.New[hyperpraw.JobResult](cfg.ResultCacheSize),
 		store:   cfg.Store,
 		graphs:  cfg.Graphs,
 	}
@@ -1046,7 +1053,7 @@ func (s *Service) execute(req Request, onIter func(hyperpraw.IterationStats), st
 	// Stage timing and kernel aggregation live inside the compute closure:
 	// a cache hit (or a job piggybacking on an in-flight computation) did
 	// no partitioning work and must not inflate the counters.
-	res, resHit, err := s.results.GetOrCompute(req.resultKey(), func() (hyperpraw.JobResult, error) {
+	res, resHit, err := s.results.GetOrCompute(req.ResultKey(), func() (hyperpraw.JobResult, error) {
 		h := req.Hypergraph
 		if h == nil {
 			spec := *req.Instance

@@ -89,8 +89,8 @@ func TestResultKeyIgnoresWorkersExceptParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plain.resultKey() != reqW.resultKey() {
-		t.Fatalf("workers changed the aware result key:\n%s\n%s", plain.resultKey(), reqW.resultKey())
+	if plain.ResultKey() != reqW.ResultKey() {
+		t.Fatalf("workers changed the aware result key:\n%s\n%s", plain.ResultKey(), reqW.ResultKey())
 	}
 	par, parW := base, withWorkers
 	par.Algorithm, parW.Algorithm = "aware-parallel", "aware-parallel"
@@ -102,7 +102,7 @@ func TestResultKeyIgnoresWorkersExceptParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reqP.resultKey() == reqPW.resultKey() {
+	if reqP.ResultKey() == reqPW.ResultKey() {
 		t.Fatal("workers ignored in the aware-parallel result key")
 	}
 }

@@ -487,11 +487,64 @@ type BackendStatus struct {
 	Durable bool `json:"durable,omitempty"`
 }
 
+// MemberSpec is the body of POST /v1/cluster/members: a backend
+// announcing itself to the gateway's member table. hpserve sends it on
+// startup (-announce) and again on every heartbeat to renew its lease.
+type MemberSpec struct {
+	// URL is the member's base URL as the gateway should dial it; it is
+	// the member's identity in the table.
+	URL string `json:"url"`
+	// Durable declares that the member journals jobs to a durable store;
+	// the gateway keys its restart-recovery behaviour off it until the
+	// first health probe confirms or corrects the claim.
+	Durable bool `json:"durable,omitempty"`
+	// TTLMS is the requested lease duration in milliseconds; 0 accepts
+	// the gateway's default. A member that misses every heartbeat within
+	// its lease is ejected and its jobs are drained to peers.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// MemberInfo is one member's record in the gateway's cluster view,
+// returned by the /v1/cluster/members routes.
+type MemberInfo struct {
+	URL string `json:"url"`
+	// Static marks a member seeded from the -backends flag: it has no
+	// lease and survives until removed explicitly.
+	Static  bool `json:"static,omitempty"`
+	Durable bool `json:"durable,omitempty"`
+	Healthy bool `json:"healthy"`
+	// Breaker is the member's circuit-breaker state ("closed", "open",
+	// "half-open").
+	Breaker   string `json:"breaker,omitempty"`
+	Saturated bool   `json:"saturated,omitempty"`
+	Queued    int    `json:"queued,omitempty"`
+	// LeaseRemainingMS is how long until the member's registration lapses
+	// without a heartbeat; omitted for static members.
+	LeaseRemainingMS int64 `json:"lease_remaining_ms,omitempty"`
+}
+
+// MemberList is the body of GET /v1/cluster/members: the gateway's
+// member table at one membership epoch.
+type MemberList struct {
+	// Epoch increments on every membership change (registration,
+	// deregistration, lease expiry); state changes on existing members do
+	// not bump it.
+	Epoch   uint64       `json:"epoch"`
+	Members []MemberInfo `json:"members"`
+}
+
 // GatewayHealth is the body of an hpgate GET /healthz.
 type GatewayHealth struct {
 	Status   string          `json:"status"`
 	Backends []BackendStatus `json:"backends"`
 	Jobs     int             `json:"jobs"`
+	// Epoch is the current membership epoch; Members is the cluster view
+	// behind the Backends report (lease and registration detail).
+	Epoch   uint64       `json:"epoch,omitempty"`
+	Members []MemberInfo `json:"members,omitempty"`
+	// ResultCache reports the gateway's own result cache (enabled by
+	// hpgate -result-cache-bytes); nil when disabled.
+	ResultCache *CacheStats `json:"result_cache,omitempty"`
 	// Telemetry is the tier's self-description snapshot (uptime, build,
 	// job totals); nil when the gateway runs without a metrics registry.
 	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
@@ -542,6 +595,8 @@ type JobResult struct {
 type CacheStats struct {
 	Size      int    `json:"size"`
 	Capacity  int    `json:"capacity"`
+	Bytes     int64  `json:"bytes,omitempty"`
+	MaxBytes  int64  `json:"max_bytes,omitempty"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
