@@ -21,21 +21,29 @@ vet:
 
 # bench runs the streaming-kernel benchmarks (exhaustive baseline vs
 # touched-only scan in the same run, uniform + profiled + hierarchical
-# matrices) with -benchmem and emits BENCH_core.json, the machine-readable
-# trajectory point future PRs compare against.
+# matrices) plus the parallel-superstep worker sweeps, all with -benchmem,
+# and emits BENCH_core.json — the machine-readable trajectory point future
+# PRs compare against. The parallel families run at 30x: their kernel is
+# zero-alloc, but the Go runtime occasionally re-allocates channel-park
+# sudogs after a GC clears its caches, and at 3x that one-time noise can
+# round up to 1 allocs/op; 30 iterations amortise it back below the
+# integer floor without inflating the job (a warm superstep is ~10^-1 s).
 bench:
 	set -o pipefail; \
-	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x -benchmem ./internal/core/ \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x -benchmem ./internal/core/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkParallel(Aware|Uniform)' -benchtime 30x -benchmem ./internal/core/; } \
 		| $(GO) run ./cmd/benchfmt -o BENCH_core.json
 
-# bench-compare re-runs the smoke benchmarks (same 3x sampling as the
-# committed baseline) and fails if any exhaustive/fast speedup family
-# collapsed by more than 1.5x against BENCH_core.json, or if a benchmark
-# the baseline records at zero allocs/op started allocating — the CI
-# guard against fast-path reverts.
+# bench-compare re-runs the smoke benchmarks (same sampling as the
+# committed baseline) and fails if any exhaustive/fast speedup family or
+# parallel_speedup curve collapsed by more than 1.5x against
+# BENCH_core.json, or if a benchmark the baseline records at zero
+# allocs/op started allocating — the CI guard against fast-path reverts
+# and worker pools that quietly serialise.
 bench-compare:
 	set -o pipefail; \
-	$(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x -benchmem ./internal/core/ \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkStream' -benchtime 3x -benchmem ./internal/core/ && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkParallel(Aware|Uniform)' -benchtime 30x -benchmem ./internal/core/; } \
 		| $(GO) run ./cmd/benchfmt -o BENCH_new.json -compare BENCH_core.json -threshold 1.5
 
 bins:

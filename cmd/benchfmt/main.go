@@ -3,7 +3,9 @@
 // (see README "Performance"): every benchmark line is recorded — with
 // B/op and allocs/op when the bench ran under -benchmem — and for each
 // BenchmarkStream* family the exhaustive/fast pairs at equal p are
-// folded into a speedup ratio.
+// folded into a speedup ratio. Worker-swept families (sub-benchmarks
+// named <family>/w=N/<variant>) are additionally folded into
+// parallel_speedup curves: ns/op at w=1 divided by ns/op at each w=N.
 //
 // Usage:
 //
@@ -52,9 +54,31 @@ type report struct {
 	CPU         string             `json:"cpu,omitempty"`
 	Benchmarks  []benchLine        `json:"benchmarks"`
 	Speedups    map[string]float64 `json:"speedups"`
+	// ParallelSpeedups maps Benchmark<Family>/<variant>/w=N to the
+	// within-run ratio ns/op(w=1) ÷ ns/op(w=N) for every worker-swept
+	// family (sub-benchmark names of the form <family>/w=N/<variant>).
+	// Like the exhaustive/fast speedups these are ratios of two timings
+	// from the same process on the same instance, so they survive slow or
+	// noisy runners; note that on a single-core runner they sit near 1.0
+	// by construction.
+	ParallelSpeedups map[string]float64 `json:"parallel_speedup,omitempty"`
 }
 
 var lineRE = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseWorkers recognises the "w=N" path segment of a worker-swept
+// sub-benchmark name.
+func parseWorkers(seg string) (int, bool) {
+	rest, ok := strings.CutPrefix(seg, "w=")
+	if !ok {
+		return 0, false
+	}
+	w, err := strconv.Atoi(rest)
+	if err != nil || w <= 0 {
+		return 0, false
+	}
+	return w, true
+}
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file (\"-\" for stdout)")
@@ -106,38 +130,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Pair Benchmark<Family>/exhaustive/<variant> with .../fast/<variant>.
-	type pair struct{ exhaustive, fast float64 }
-	pairs := map[string]*pair{}
-	for _, b := range rep.Benchmarks {
-		parts := strings.SplitN(b.Name, "/", 3)
-		if len(parts) != 3 {
-			continue
-		}
-		key := parts[0] + "/" + parts[2]
-		p := pairs[key]
-		if p == nil {
-			p = &pair{}
-			pairs[key] = p
-		}
-		switch parts[1] {
-		case "exhaustive":
-			p.exhaustive = b.NsPerOp
-		case "fast":
-			p.fast = b.NsPerOp
-		}
-	}
-	keys := make([]string, 0, len(pairs))
-	for k := range pairs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		p := pairs[k]
-		if p.exhaustive > 0 && p.fast > 0 {
-			rep.Speedups[k] = p.exhaustive / p.fast
-		}
-	}
+	foldSpeedups(&rep)
+	keys := sortedKeys(rep.Speedups)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -157,6 +151,9 @@ func main() {
 				fmt.Printf("%-40s %5.2fx\n", k, s)
 			}
 		}
+		for _, k := range sortedKeys(rep.ParallelSpeedups) {
+			fmt.Printf("%-40s %5.2fx (parallel)\n", k, rep.ParallelSpeedups[k])
+		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
 	}
 
@@ -174,13 +171,89 @@ func main() {
 	}
 }
 
+// foldSpeedups derives the two speedup views from the raw benchmark lines:
+// exhaustive/fast pairs at equal variant become Speedups, and worker sweeps
+// (<family>/w=N/<variant>) become ParallelSpeedups with the family's own
+// w=1 timing as the serial-schedule baseline.
+func foldSpeedups(rep *report) {
+	// Pair Benchmark<Family>/exhaustive/<variant> with .../fast/<variant>.
+	type pair struct{ exhaustive, fast float64 }
+	pairs := map[string]*pair{}
+	type sweep struct {
+		serial float64
+		multi  map[int]float64
+	}
+	sweeps := map[string]*sweep{}
+	for _, b := range rep.Benchmarks {
+		parts := strings.SplitN(b.Name, "/", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		key := parts[0] + "/" + parts[2]
+		if w, ok := parseWorkers(parts[1]); ok {
+			s := sweeps[key]
+			if s == nil {
+				s = &sweep{multi: map[int]float64{}}
+				sweeps[key] = s
+			}
+			if w == 1 {
+				s.serial = b.NsPerOp
+			} else {
+				s.multi[w] = b.NsPerOp
+			}
+			continue
+		}
+		p := pairs[key]
+		if p == nil {
+			p = &pair{}
+			pairs[key] = p
+		}
+		switch parts[1] {
+		case "exhaustive":
+			p.exhaustive = b.NsPerOp
+		case "fast":
+			p.fast = b.NsPerOp
+		}
+	}
+	for k, p := range pairs {
+		if p.exhaustive > 0 && p.fast > 0 {
+			rep.Speedups[k] = p.exhaustive / p.fast
+		}
+	}
+	for key, s := range sweeps {
+		if s.serial <= 0 {
+			continue
+		}
+		for w, ns := range s.multi {
+			if ns > 0 {
+				if rep.ParallelSpeedups == nil {
+					rep.ParallelSpeedups = map[string]float64{}
+				}
+				rep.ParallelSpeedups[fmt.Sprintf("%s/w=%d", key, w)] = s.serial / ns
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // compareBaseline fails when any speedup family present in the baseline is
 // missing from the new report, or has collapsed by more than threshold
-// (baseline/new > threshold). It also guards the allocation contract: a
-// benchmark that the baseline records at zero allocs/op must stay at zero
-// (alloc counts, unlike timings, are machine-independent and exact). New
-// families absent from the baseline pass: the guard rejects regressions,
-// not additions.
+// (baseline/new > threshold). The same guard covers the parallel_speedup
+// curves: a w=N point that collapses past the threshold against its
+// committed baseline (a worker pool serialising on a lock would drag every
+// multi-worker point toward the w=1 baseline) fails the run. It also guards
+// the allocation contract: a benchmark that the baseline records at zero
+// allocs/op must stay at zero (alloc counts, unlike timings, are
+// machine-independent and exact). New families absent from the baseline
+// pass: the guard rejects regressions, not additions.
 func compareBaseline(logw *os.File, path string, rep report, threshold float64) error {
 	if threshold <= 0 {
 		return fmt.Errorf("threshold must be positive, got %g", threshold)
@@ -222,6 +295,25 @@ func compareBaseline(logw *os.File, path string, rep report, threshold float64) 
 		}
 		fmt.Fprintf(logw, "compare %-40s base %5.2fx new %5.2fx  %s\n", k, baseS, newS, verdict)
 	}
+	for _, k := range sortedKeys(base.ParallelSpeedups) {
+		baseS := base.ParallelSpeedups[k]
+		if baseS <= 0 {
+			continue
+		}
+		newS, ok := rep.ParallelSpeedups[k]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: parallel speedup in baseline (%.2fx) but missing from this run", k, baseS))
+			continue
+		}
+		ratio := baseS / newS
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: parallel speedup %.2fx vs baseline %.2fx (ratio %.2f > %.2f)", k, newS, baseS, ratio, threshold))
+		}
+		fmt.Fprintf(logw, "compare %-40s base %5.2fx new %5.2fx  %s (parallel)\n", k, baseS, newS, verdict)
+	}
 	newAllocs := map[string]*int64{}
 	for _, b := range rep.Benchmarks {
 		newAllocs[b.Name] = b.AllocsPerOp
@@ -251,6 +343,7 @@ func compareBaseline(logw *os.File, path string, rep report, threshold float64) 
 		return fmt.Errorf("%d speedup regression(s) beyond %.2fx against %s:\n  %s",
 			len(regressions), threshold, path, strings.Join(regressions, "\n  "))
 	}
-	fmt.Fprintf(logw, "compare: %d speedup families within %.2fx of %s\n", len(keys), threshold, path)
+	fmt.Fprintf(logw, "compare: %d speedup families and %d parallel curves within %.2fx of %s\n",
+		len(keys), len(base.ParallelSpeedups), threshold, path)
 	return nil
 }

@@ -20,8 +20,15 @@ func MapToTopology(h *Hypergraph, parts []int32, m *Machine, env Environment) ([
 }
 
 // PartitionAwareParallel is PartitionAware using the parallel restreaming
-// variant (one concurrent stream per worker, GraSP-style). workers <= 0
-// selects GOMAXPROCS. Results are valid but not run-to-run deterministic.
+// variant (one concurrent stream per worker, GraSP-style: workers stream
+// against a slightly stale shared view, reconciled at superstep barriers).
+// workers <= 0 selects GOMAXPROCS. With one worker the result is
+// move-for-move identical to PartitionAware; with more the result is valid
+// but not run-to-run deterministic. At the core level the parallel kernel
+// honours Config.InitialParts (warm starts seed the shared assignment
+// exactly as in the serial path) but rejects Config.MigrationPenalty with
+// core.ErrParallelMigration rather than silently ignoring it — use
+// Repartition for migration-aware restreaming.
 func PartitionAwareParallel(h *Hypergraph, env Environment, opts *Options, workers int) ([]int32, PartitionResult, error) {
 	o := opts.orDefault()
 	res, err := core.PartitionParallel(h, prawConfig(env.PhysCost, env.physIndex, o), workers)

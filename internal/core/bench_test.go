@@ -169,6 +169,77 @@ func BenchmarkRunFrontier(b *testing.B) {
 	}
 }
 
+// benchParallelStream measures one warm parallel superstep — stream, barrier
+// reductions, ownership rebalance — on a persistent worker pool, the exact
+// unit the serial benchStream measures plus the convergence scan the serial
+// kernel pays outside its stream. The w=1 sub-benchmark is the serial-
+// schedule baseline of the family's parallel_speedup curve in
+// BENCH_core.json (ns/op at w=1 ÷ ns/op at w=N).
+func benchParallelStream(b *testing.B, name string, cost [][]float64, workers int) {
+	spec, _ := hgen.SpecByName(name)
+	h := hgen.Generate(spec.Scaled(0.05), 1)
+	cfg := DefaultConfig(cost)
+	pr, err := New(h, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg = pr.cfg
+	cidx := pr.cidx
+	pr.Release()
+	run := newParallelRun(h, cfg, cidx, workers)
+	defer run.close()
+	alpha := cfg.Alpha0
+	for i := 0; i < 10; i++ {
+		run.superstep(i+1, alpha, false)
+		alpha *= cfg.TemperFactor
+	}
+	// A few extra supersteps at the measured alpha push every lazily grown
+	// buffer (argmin heaps, scanner scratch, runtime channel-park caches) to
+	// its high-water mark before the timer starts, so short -benchtime runs
+	// report the steady-state 0 allocs/op instead of one-time growth.
+	for i := 0; i < 4; i++ {
+		run.superstep(1, alpha, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run.superstep(1, alpha, false)
+	}
+}
+
+// BenchmarkParallelAwareHier2 sweeps the block-aligned parallel kernel over
+// worker counts on the noiseless two-tier aware workload at p=256 (32 exact
+// blocks of 8): ownership is block-aligned, so each worker's candidate scan
+// and argmin caches stay within its own sockets' partitions.
+func BenchmarkParallelAwareHier2(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d/p=256", w), func(b *testing.B) {
+			benchParallelStream(b, "webbase-1M", hier2Cost(256), w)
+		})
+	}
+}
+
+// BenchmarkParallelAwareHier3 is the three-tier analogue (sockets inside
+// nodes), the shape of the paper's ARCHER machine without profiling noise.
+func BenchmarkParallelAwareHier3(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d/p=256", w), func(b *testing.B) {
+			benchParallelStream(b, "webbase-1M", hier3Cost(256), w)
+		})
+	}
+}
+
+// BenchmarkParallelUniform sweeps the uniform-matrix workload, which has no
+// block structure: ownership falls back to the round-robin stride and the
+// speedup isolates the contention-free counters + parallel convergence scan
+// from the block-alignment effect.
+func BenchmarkParallelUniform(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d/p=256", w), func(b *testing.B) {
+			benchParallelStream(b, "webbase-1M", profile.UniformCost(256), w)
+		})
+	}
+}
+
 // BenchmarkPartitionParallel4 measures the parallel variant at 4 workers.
 func BenchmarkPartitionParallel4(b *testing.B) {
 	spec, _ := hgen.SpecByName("2cubes_sphere")

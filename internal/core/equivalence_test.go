@@ -274,6 +274,97 @@ func TestTieredMatchesExhaustiveParallel(t *testing.T) {
 	}
 }
 
+// TestParallelSingleWorkerMatchesSerialRun is the single-worker parity
+// property test of the block-aligned parallel kernel: with one worker the
+// visit order is the natural order, the load view is exact at every visit,
+// and the driver loop mirrors Run — so PartitionParallel must reproduce the
+// serial result move for move (same iteration counts, per-pass move counts,
+// final assignment, and final cost) across every scan strategy, frontier
+// restreaming, capacities, and a seeded initial assignment.
+func TestParallelSingleWorkerMatchesSerialRun(t *testing.T) {
+	h := randomHG(7, 400, 500, 8)
+	p := 16
+	initial := make([]int32, h.NumVertices())
+	for v := range initial {
+		initial[v] = int32((v * 5) % p)
+	}
+	caps := make([]float64, p)
+	rng := stats.NewRNG(13)
+	for i := range caps {
+		caps[i] = 0.5 + 2*rng.Float64()
+	}
+	for _, tc := range []struct {
+		label string
+		mut   func(*Config)
+		cost  [][]float64
+	}{
+		{"hier2", nil, hier2Cost(p)},
+		{"hier3", nil, hier3Cost(32)},
+		{"profiled", nil, physCost(p, 4)},
+		{"uniform", nil, profile.UniformCost(p)},
+		{"frontier", func(c *Config) { c.FrontierRestreaming = true }, hier2Cost(p)},
+		{"initialparts", func(c *Config) { c.InitialParts = initial }, profile.UniformCost(p)},
+		{"capacities", func(c *Config) { c.Capacities = caps }, hier2Cost(p)},
+	} {
+		cfg := DefaultConfig(tc.cost)
+		cfg.MaxIterations = 25
+		cfg.RecordHistory = true
+		cfg.forceTouchedOnly = true // exercise the fast paths at small p
+		if tc.mut != nil {
+			tc.mut(&cfg)
+		}
+		pr, err := New(h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := pr.Run()
+		pr.Release()
+		par, err := PartitionParallel(h, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, tc.label, par, serial)
+	}
+}
+
+// TestParallelMultiWorkerQualityHier bounds the quality cost of the GraSP
+// staleness relaxation under block-aligned ownership: on the hierarchical
+// fixtures, a 4-worker run must stay close to the serial cut and respect
+// the balance tolerance.
+func TestParallelMultiWorkerQualityHier(t *testing.T) {
+	h := randomHG(9, 1500, 2200, 8)
+	for _, tc := range []struct {
+		label string
+		cost  [][]float64
+	}{
+		{"hier2", hier2Cost(64)},
+		{"hier3", hier3Cost(64)},
+	} {
+		cfg := DefaultConfig(tc.cost)
+		cfg.MaxIterations = 40
+		pr, err := New(h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := pr.Run()
+		pr.Release()
+		par, err := PartitionParallel(h, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.ValidatePartition(h, par.Parts, 64); err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		if par.FinalCommCost > serial.FinalCommCost*1.35 {
+			t.Fatalf("%s: parallel PC %g much worse than serial %g",
+				tc.label, par.FinalCommCost, serial.FinalCommCost)
+		}
+		if par.FinalImbalance > cfg.ImbalanceTolerance*1.2 {
+			t.Fatalf("%s: parallel imbalance %g", tc.label, par.FinalImbalance)
+		}
+	}
+}
+
 // TestTouchedOnlyMatchesExhaustiveVariants covers the config corners the
 // main property test fixes: shuffled order, heterogeneous capacities, and
 // repartitioning with a migration penalty.

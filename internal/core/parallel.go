@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -10,22 +14,80 @@ import (
 	"hyperpraw/internal/metrics"
 )
 
+// ErrParallelMigration is returned by PartitionParallel when
+// Config.MigrationPenalty is set: the parallel kernel's candidate scoring
+// does not implement the migration term, and silently ignoring it would
+// return partitions the caller believes migration-aware. Repartitioning
+// with a migration cost goes through the serial Run path.
+var ErrParallelMigration = errors.New("core: MigrationPenalty is not supported by PartitionParallel; use the serial Run path")
+
+// loadSyncEvery is the worker's load-view refresh cadence: after this many
+// visited vertices a worker flushes its batched load deltas to the shared
+// per-partition counters and re-reads them all into its local view. Between
+// refreshes every candidate score is a plain read of the view — the worker
+// sees its own moves immediately and its peers' moves with at most this much
+// lag, which is the GraSP staleness relaxation made explicit. 512 keeps the
+// lag well under one percent of any benchmark-sized stream while amortising
+// the O(p) flush+refresh to a fraction of a visit's scoring work.
+const loadSyncEvery = 512
+
+// paddedLoad is one shared per-partition load counter on its own cache line.
+// A plain []atomic.Int64 packs 8 counters per 64-byte line, so two workers
+// moving vertices into unrelated partitions still ping-pong the line between
+// cores on every flush; the padding makes cross-worker traffic proportional
+// to true sharing only.
+type paddedLoad struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// parallelPhase selects what one dispatched superstep command runs.
+type parallelPhase uint8
+
+const (
+	// phaseStream: greedily reassign the worker's owned vertices.
+	phaseStream parallelPhase = iota
+	// phaseCollect: copy the worker's vertex range of the shared assignment
+	// into the pass snapshot and census vertices per cost-tier block.
+	phaseCollect
+	// phaseScan: evaluate the worker's share of the comm-cost reduction
+	// over the pass snapshot.
+	phaseScan
+)
+
+// passCmd is one phase command, delivered to every worker through its
+// buffered channel; the shared WaitGroup is the phase barrier.
+type passCmd struct {
+	phase    parallelPhase
+	pass     int32
+	alpha    float64
+	frontier bool
+}
+
 // PartitionParallel is the parallel restreaming variant the paper's §8.2
-// identifies as future work, following Battaglino et al. (GraSP): the vertex
-// set is sharded across workers, every worker streams its shard concurrently
-// against a shared assignment, and workload/assignment state synchronises
-// through atomics after every move. Decisions read slightly stale peer
-// assignments — exactly the relaxation GraSP shows costs little quality —
-// so results are valid but not bit-for-bit deterministic across runs.
+// identifies as future work, following Battaglino et al. (GraSP): workers
+// stream disjoint vertex sets concurrently against a shared assignment.
+// Decisions read slightly stale peer state — exactly the relaxation GraSP
+// shows costs little quality — so multi-worker results are valid but not
+// bit-for-bit deterministic across runs. With a single worker the schedule,
+// arithmetic, and driver loop are identical to Run, move for move.
 //
-// The kernel optimisations of the serial Partitioner carry over: each worker
-// scratch holds its own touched-only scan state — the min-load index for
-// uniform/unstructured matrices, the per-block argmin caches of the
-// cost-tier index for hierarchical ones — going slightly stale under peer
-// moves exactly like the loads the scoring itself reads, and
-// Config.FrontierRestreaming shares one atomic dirty-stamp array across
-// the workers. MigrationPenalty and InitialParts are not honoured by this
-// variant (unchanged from its introduction).
+// Worker ownership is architecture-aligned: when the cost-tier index
+// classifies the matrix as blocked (hierarchical machine), each worker owns
+// a set of cost-tier blocks and streams the vertices whose start-of-pass
+// partition lies in its blocks, rebalanced every superstep from the
+// per-block vertex census — so a worker's candidate scan, block argmin
+// caches, and most of its moves stay block-local. Uniform or unstructured
+// matrices fall back to a round-robin vertex stride. Shared load counters
+// are cache-line padded and written only through per-worker deltas flushed
+// every loadSyncEvery visits; per-candidate load reads are plain reads of
+// the worker's epoch-refreshed view. The per-pass snapshot, load, and
+// comm-cost convergence scans run as parallel reductions across the
+// workers, merged at the barrier in worker order.
+//
+// Config.InitialParts seeds the assignment exactly as in Run. ShuffledOrder
+// is ignored (workers stream their owned vertices in natural order).
+// Config.MigrationPenalty is rejected with ErrParallelMigration.
 //
 // workers <= 0 selects GOMAXPROCS. The configuration semantics match Run.
 func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Result, error) {
@@ -34,7 +96,11 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		return Result{}, err
 	}
 	cfg = pr.cfg
+	cidx := pr.cidx // immutable; safe to keep after Release
 	pr.Release()
+	if cfg.MigrationPenalty > 0 {
+		return Result{}, ErrParallelMigration
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -45,39 +111,300 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 	if workers < 1 {
 		workers = 1
 	}
-	p := len(cfg.CostMatrix)
+	run := newParallelRun(h, cfg, cidx, workers)
+	defer run.close()
+	return run.run(), nil
+}
 
-	state := &parallelState{
-		h:     h,
-		cfg:   cfg,
-		p:     p,
-		parts: make([]atomic.Int32, nv),
-		loads: make([]atomic.Int64, p),
+// parallelState is the shared state of one parallel restreaming run.
+type parallelState struct {
+	h       *hypergraph.Hypergraph
+	cfg     Config
+	p       int
+	nv      int
+	workers int
+	parts   []atomic.Int32
+	loads   []paddedLoad
+	// dirty holds the frontier stamps (accessed with atomic loads/stores so
+	// concurrent same-pass marking is race-free); nil unless
+	// FrontierRestreaming is on.
+	dirty []int32
+
+	// cidx is the shared (immutable) cost-tier index; per-worker scan
+	// state — block argmin caches, scored stamps — lives in each worker
+	// scratch.
+	cidx         *CostIndex
+	fastEligible bool
+	expected     []float64
+
+	// snapshot is the start-of-pass assignment: collect fills it at every
+	// barrier, stream reads it for block ownership (so each vertex is
+	// processed exactly once per pass no matter where it moves), and the
+	// scan phase reduces over it.
+	snapshot []int32
+
+	// Block-aligned ownership (blockAligned == true): blockOwner maps each
+	// cost-tier block to the worker that streams its vertices this pass,
+	// reassigned every superstep by rebalanceBlocks from the census.
+	// Workers only read it during phaseStream; the driver only writes it
+	// between barriers.
+	blockAligned bool
+	blockOwner   []int32
+}
+
+// parallelRun is the driver side of one run: the persistent worker pool,
+// the phase barrier, and the merge buffers of the barrier reductions.
+type parallelRun struct {
+	s    *parallelState
+	pool []*parallelWorker
+	wg   sync.WaitGroup // phase barrier
+	exit sync.WaitGroup // worker goroutine lifetimes
+
+	loadsBuf    []int64 // exact barrier loads, for the imbalance check
+	blockVerts  []int64 // merged per-block vertex census
+	blockRank   []int32 // census-sorted block ids (rebalance scratch)
+	ownerBudget []int64 // per-worker vertex budget (rebalance scratch)
+}
+
+func newParallelRun(h *hypergraph.Hypergraph, cfg Config, cidx *CostIndex, workers int) *parallelRun {
+	nv := h.NumVertices()
+	p := len(cfg.CostMatrix)
+	s := &parallelState{
+		h: h, cfg: cfg, p: p, nv: nv, workers: workers,
+		parts:        make([]atomic.Int32, nv),
+		loads:        make([]paddedLoad, p),
+		cidx:         cidx,
+		fastEligible: fastScanEligible(cfg, cidx, p),
+		snapshot:     make([]int32, nv),
 	}
-	state.cidx = pr.cidx // immutable; safe to keep after Release
-	state.fastEligible = fastScanEligible(cfg, state.cidx, p)
 	if cfg.FrontierRestreaming {
-		state.dirty = make([]int32, nv)
+		s.dirty = make([]int32, nv)
 	}
 	var totalW int64
 	for v := 0; v < nv; v++ {
 		part := int32(v % p)
-		state.parts[v].Store(part)
+		if cfg.InitialParts != nil {
+			part = cfg.InitialParts[v]
+		}
+		s.parts[v].Store(part)
+		s.snapshot[v] = part
 		w := h.VertexWeight(v)
-		state.loads[part].Add(w)
+		s.loads[part].v.Add(w)
 		totalW += w
 	}
-	expected := expectedLoadsFor(cfg, p, totalW)
+	s.expected = expectedLoadsFor(cfg, p, totalW)
 
-	pool := make([]*parallelWorker, workers)
-	for w := range pool {
-		pool[w] = newParallelWorker(state, nv, p)
+	nb := len(cidx.blocks)
+	// Block-aligned ownership needs at least one block per worker; below
+	// that (or on uniform/unstructured matrices) the round-robin stride
+	// keeps every worker busy.
+	s.blockAligned = cidx.kind == costBlocked && nb >= workers
+	r := &parallelRun{s: s, loadsBuf: make([]int64, p)}
+	if s.blockAligned {
+		s.blockOwner = make([]int32, nb)
+		r.blockVerts = make([]int64, nb)
+		r.blockRank = make([]int32, nb)
+		r.ownerBudget = make([]int64, workers)
 	}
-	defer func() {
-		for _, w := range pool {
-			w.release()
+
+	scanKind := "exhaustive"
+	if s.fastEligible {
+		switch cidx.kind {
+		case costUniform:
+			scanKind = "uniform"
+		case costBlocked:
+			scanKind = "blocked"
+		default:
+			scanKind = "bounded"
 		}
-	}()
+	}
+	ownership := "round-robin"
+	if s.blockAligned {
+		ownership = "block-aligned"
+	}
+
+	vchunk := (nv + workers - 1) / workers
+	ne := h.NumEdges()
+	echunk := (ne + workers - 1) / workers
+	r.pool = make([]*parallelWorker, workers)
+	for id := 0; id < workers; id++ {
+		w := &parallelWorker{
+			run: r, s: s, id: id,
+			sc:   acquireScratch(nv, p),
+			cmds: make(chan passCmd, 1),
+		}
+		r.pool[id] = w
+		w.lo, w.hi = clampRange(id*vchunk, vchunk, nv)
+		w.elo, w.ehi = clampRange(id*echunk, echunk, ne)
+		// The worker's load view reuses the scratch's serial load buffer
+		// (parallel workers share assignment state, so it is otherwise
+		// idle). The delta buffer must be re-zeroed: a pooled scratch may
+		// carry another run's residue.
+		w.view = w.sc.loads
+		w.sc.delta = growI64(w.sc.delta, p)
+		w.delta = w.sc.delta
+		for i := range w.delta {
+			w.delta[i] = 0
+		}
+		if s.blockAligned {
+			w.sc.blockVerts = growI64(w.sc.blockVerts, nb)
+			w.blockVerts = w.sc.blockVerts
+		}
+		w.loadOf = func(i int32) int64 { return w.view[i] }
+		w.untouched = func(i int32) bool { return w.sc.pstamp[i] != w.sc.epoch }
+		r.exit.Add(1)
+		go func(w *parallelWorker, id int) {
+			defer r.exit.Done()
+			// Labels make `go tool pprof` attribute kernel time per worker
+			// and per pick path without symbol spelunking.
+			pprof.Do(context.Background(), pprof.Labels(
+				"hyperpraw_worker", strconv.Itoa(id),
+				"hyperpraw_scan", scanKind,
+				"hyperpraw_ownership", ownership,
+			), func(context.Context) { w.main() })
+		}(w, id)
+	}
+	if s.blockAligned {
+		// Seed ownership from the initial assignment so the first stream
+		// is already block-aligned.
+		r.censusSnapshot()
+		r.rebalanceBlocks()
+	}
+	return r
+}
+
+func clampRange(lo, chunk, n int) (int, int) {
+	if lo > n {
+		lo = n
+	}
+	hi := lo + chunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// close shuts the worker pool down and returns the pooled scratches.
+func (r *parallelRun) close() {
+	for _, w := range r.pool {
+		close(w.cmds)
+	}
+	r.exit.Wait()
+	for _, w := range r.pool {
+		releaseScratch(w.sc)
+		w.sc = nil
+	}
+}
+
+// dispatch runs one phase on every worker and blocks until all complete.
+func (r *parallelRun) dispatch(cmd passCmd) {
+	r.wg.Add(len(r.pool))
+	for _, w := range r.pool {
+		w.cmds <- cmd
+	}
+	r.wg.Wait()
+}
+
+// censusSnapshot recounts the per-block vertex census from the snapshot
+// serially; used only once at run start (per-pass censuses are taken by the
+// workers during phaseCollect).
+func (r *parallelRun) censusSnapshot() {
+	s := r.s
+	for b := range r.blockVerts {
+		r.blockVerts[b] = 0
+	}
+	for _, part := range s.snapshot {
+		r.blockVerts[s.cidx.blockOf[part]]++
+	}
+}
+
+// rebalanceBlocks reassigns cost-tier blocks to workers from the merged
+// vertex census: blocks sorted by descending vertex count (ties to the
+// lower id) are handed greedily to the least-budgeted worker (ties to the
+// lower id) — the classic LPT heuristic, deterministic and within 4/3 of
+// the optimal makespan. Runs between barriers, so workers never observe a
+// partial assignment.
+func (r *parallelRun) rebalanceBlocks() {
+	s := r.s
+	census := r.blockVerts
+	rank := r.blockRank
+	for b := range rank {
+		rank[b] = int32(b)
+	}
+	// Insertion sort: nb is at most p/8 and the census changes little
+	// between supersteps, so the nearly-sorted case is O(nb) — and unlike
+	// sort.Slice it never allocates, keeping supersteps at 0 allocs/op.
+	for i := 1; i < len(rank); i++ {
+		x := rank[i]
+		j := i - 1
+		for j >= 0 && (census[rank[j]] < census[x] ||
+			(census[rank[j]] == census[x] && rank[j] > x)) {
+			rank[j+1] = rank[j]
+			j--
+		}
+		rank[j+1] = x
+	}
+	for w := range r.ownerBudget {
+		r.ownerBudget[w] = 0
+	}
+	for _, b := range rank {
+		best := 0
+		for w := 1; w < len(r.ownerBudget); w++ {
+			if r.ownerBudget[w] < r.ownerBudget[best] {
+				best = w
+			}
+		}
+		s.blockOwner[b] = int32(best)
+		r.ownerBudget[best] += census[b]
+	}
+}
+
+// superstep runs one full pass — stream, barrier reductions, ownership
+// rebalance — and returns the pass's move count, imbalance, and monitored
+// comm cost. It allocates nothing.
+func (r *parallelRun) superstep(pass int, alpha float64, frontier bool) (moves int64, imb, cost float64) {
+	s := r.s
+	r.dispatch(passCmd{phase: phaseStream, pass: int32(pass), alpha: alpha, frontier: frontier})
+	for _, w := range r.pool {
+		moves += w.passMoves
+	}
+	// Every worker flushed its deltas before reaching the barrier, so the
+	// shared counters hold the exact end-of-pass loads.
+	for i := range r.loadsBuf {
+		r.loadsBuf[i] = s.loads[i].v.Load()
+	}
+	imb = imbalanceFor(s.cfg, r.loadsBuf, s.expected)
+
+	// Snapshot copy + block census as a parallel reduction over vertex
+	// ranges (the serial O(n) barrier section of the old kernel).
+	r.dispatch(passCmd{phase: phaseCollect})
+	if s.blockAligned {
+		for b := range r.blockVerts {
+			r.blockVerts[b] = 0
+		}
+		for _, w := range r.pool {
+			for b, c := range w.blockVerts {
+				r.blockVerts[b] += c
+			}
+		}
+		r.rebalanceBlocks()
+	}
+
+	// Comm-cost scan as a parallel reduction; partials summed in worker
+	// order, so a single worker reproduces the serial accumulation bitwise.
+	r.dispatch(passCmd{phase: phaseScan})
+	for _, w := range r.pool {
+		cost += w.partCost
+	}
+	return moves, imb, cost
+}
+
+// run executes the driver loop — structurally identical to the serial Run,
+// with the stream and the convergence scans dispatched to the pool.
+func (r *parallelRun) run() Result {
+	s := r.s
+	cfg := s.cfg
+	nv := s.nv
 
 	alpha := cfg.Alpha0
 	patience := cfg.Patience
@@ -89,8 +416,6 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 	bestCost := math.Inf(1)
 	haveBest := false
 	badStreak := 0
-	snapshot := make([]int32, nv)
-	comm := metrics.NewCommScanner()
 
 	lastInTol := false
 	consecFrontier := 0
@@ -111,37 +436,14 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		if frontier {
 			frontierPasses++
 		}
-		var wg sync.WaitGroup
-		chunk := (nv + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > nv {
-				hi = nv
-			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(lo, hi int, pw *parallelWorker) {
-				defer wg.Done()
-				pw.streamRange(lo, hi, alpha, expected, n, frontier)
-			}(lo, hi, pool[w])
-		}
-		wg.Wait()
+		moves, imb, cost := r.superstep(n, alpha, frontier)
 		res.Iterations = n
-
-		for v := 0; v < nv; v++ {
-			snapshot[v] = state.parts[v].Load()
-		}
-		loads := metrics.Loads(h, snapshot, p)
-		imb := imbalanceFor(cfg, loads, expected)
 		inTol := imb <= cfg.ImbalanceTolerance
 		lastInTol = inTol
-		cost := commCostScanned(comm, cfg, h, snapshot)
 
 		st := IterationStats{
-			Iteration: n, CommCost: cost, Imbalance: imb, Alpha: alpha, InTolerance: inTol,
+			Iteration: n, CommCost: cost, Imbalance: imb, Alpha: alpha,
+			Moves: int(moves), InTolerance: inTol,
 		}
 		if cfg.RecordHistory {
 			res.History = append(res.History, st)
@@ -160,7 +462,7 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		}
 		if !haveBest || cost < bestCost {
 			bestCost = cost
-			copy(bestParts, snapshot)
+			copy(bestParts, s.snapshot)
 			haveBest = true
 			badStreak = 0
 		} else {
@@ -173,23 +475,29 @@ func PartitionParallel(h *hypergraph.Hypergraph, cfg Config, workers int) (Resul
 		alpha *= cfg.RefinementFactor
 	}
 
-	final := snapshot
+	final := s.snapshot
 	if haveBest {
 		final = bestParts
 	}
 	res.Parts = append([]int32(nil), final...)
-	res.FinalCommCost = commCostScanned(comm, cfg, h, res.Parts)
-	res.FinalImbalance = metrics.Imbalance(metrics.Loads(h, res.Parts, p))
+	// The final comm cost reuses the scan reduction over the returned
+	// partition (which may be the best-seen one, not the last snapshot).
+	copy(s.snapshot, res.Parts)
+	r.dispatch(passCmd{phase: phaseScan})
+	for _, w := range r.pool {
+		res.FinalCommCost += w.partCost
+	}
+	res.FinalImbalance = metrics.Imbalance(metrics.Loads(s.h, res.Parts, s.p))
 	if cfg.Stats != nil {
-		// Workers are quiescent after the last wg.Wait, so merging their
+		// Workers are quiescent between dispatches, so merging their
 		// tallies here is race-free.
 		total := StreamStats{Passes: passes, FrontierPasses: frontierPasses}
-		for _, w := range pool {
+		for _, w := range r.pool {
 			total.Add(w.tally)
 		}
 		cfg.Stats.Add(total)
 	}
-	return res, nil
+	return res
 }
 
 func expectedLoadsFor(cfg Config, p int, totalW int64) []float64 {
@@ -231,76 +539,135 @@ func imbalanceFor(cfg Config, loads []int64, expected []float64) float64 {
 	return worst
 }
 
-// commCostScanned evaluates the monitored metric through a reusable scanner
-// so the per-iteration convergence check stops allocating.
-func commCostScanned(sc *metrics.CommScanner, cfg Config, h *hypergraph.Hypergraph, parts []int32) float64 {
-	if cfg.UseEdgeWeights {
-		return metrics.WeightedCommCost(h, parts, cfg.CostMatrix)
-	}
-	return sc.CommCost(h, parts, cfg.CostMatrix)
-}
-
-// parallelState is the shared state of one parallel restreaming run.
-type parallelState struct {
-	h     *hypergraph.Hypergraph
-	cfg   Config
-	p     int
-	parts []atomic.Int32
-	loads []atomic.Int64
-	// dirty holds the frontier stamps (accessed with atomic loads/stores so
-	// concurrent same-pass marking is race-free); nil unless
-	// FrontierRestreaming is on.
-	dirty []int32
-
-	// cidx is the shared (immutable) cost-tier index; per-worker scan
-	// state — block heaps, scored stamps — lives in each worker scratch.
-	cidx         *CostIndex
-	fastEligible bool
-}
-
-// parallelWorker is one worker's view of the run: the shared state plus a
-// pooled scratch (gather stamps and min-load index, same epoch-stamp scheme
-// as the serial Partitioner) and the hoisted closures the index needs.
+// parallelWorker is one worker of the pool: a pooled scratch (gather stamps,
+// min-load index, block argmin caches — same epoch-stamp scheme as the
+// serial Partitioner), a private load view with batched deltas, and the
+// barrier-phase outputs the driver merges.
 type parallelWorker struct {
-	s         *parallelState
-	sc        *scratch
+	run  *parallelRun
+	s    *parallelState
+	id   int
+	sc   *scratch
+	cmds chan passCmd
+
+	// view is the worker's load view: refreshed from the shared padded
+	// counters at stream start and every loadSyncEvery visits, updated in
+	// place by the worker's own moves. Candidate scoring reads it with
+	// plain loads — no atomics on the scoring path.
+	view []int64
+	// delta accumulates the worker's unflushed load changes against the
+	// shared counters; flushDeltas applies and clears it.
+	delta []int64
+
+	// blockVerts is this worker's share of the per-block vertex census,
+	// filled during phaseCollect (blockAligned runs only).
+	blockVerts []int64
+
+	// lo/hi and elo/ehi are the worker's vertex and edge ranges for the
+	// barrier reductions (collect and scan); stream ownership is by block
+	// or stride, not range.
+	lo, hi, elo, ehi int
+
+	// Per-pass outputs read by the driver at the barrier.
+	passMoves int64
+	partCost  float64
+
 	loadOf    func(int32) int64
 	untouched func(int32) bool
 
 	// tally accumulates this worker's kernel activity counters; the driver
-	// merges every worker's tally into Config.Stats after the final
-	// wg.Wait, so no synchronisation is needed here.
+	// merges every worker's tally into Config.Stats after the last barrier.
 	tally StreamStats
 }
 
-func newParallelWorker(s *parallelState, nv, p int) *parallelWorker {
-	w := &parallelWorker{s: s, sc: acquireScratch(nv, p)}
-	w.loadOf = func(i int32) int64 { return s.loads[i].Load() }
-	w.untouched = func(i int32) bool { return w.sc.pstamp[i] != w.sc.epoch }
-	return w
+func (w *parallelWorker) main() {
+	for cmd := range w.cmds {
+		switch cmd.phase {
+		case phaseStream:
+			w.streamPass(int(cmd.pass), cmd.alpha, cmd.frontier)
+		case phaseCollect:
+			w.collect()
+		case phaseScan:
+			w.scan()
+		}
+		w.run.wg.Done()
+	}
 }
 
-func (w *parallelWorker) release() {
-	releaseScratch(w.sc)
-	w.sc = nil
+// collect copies the worker's vertex range of the shared assignment into
+// the pass snapshot and counts its vertices per cost-tier block.
+func (w *parallelWorker) collect() {
+	s := w.s
+	snap := s.snapshot
+	for v := w.lo; v < w.hi; v++ {
+		snap[v] = s.parts[v].Load()
+	}
+	if s.blockAligned {
+		for b := range w.blockVerts {
+			w.blockVerts[b] = 0
+		}
+		blockOf := s.cidx.blockOf
+		for v := w.lo; v < w.hi; v++ {
+			w.blockVerts[blockOf[snap[v]]]++
+		}
+	}
 }
 
-// streamRange greedily reassigns vertices [lo, hi) against the live shared
-// state.
-func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float64, pass int, frontierOnly bool) {
+// scan evaluates the worker's share of the monitored comm cost over the
+// pass snapshot: a vertex range of PC(P), or an edge range of the
+// hyperedge-weighted variant.
+func (w *parallelWorker) scan() {
+	s := w.s
+	if s.cfg.UseEdgeWeights {
+		w.partCost = metrics.WeightedCommCostRange(s.h, s.snapshot, s.cfg.CostMatrix, w.elo, w.ehi)
+	} else {
+		w.partCost = w.sc.comm.CommCostRange(s.h, s.snapshot, s.cfg.CostMatrix, w.lo, w.hi)
+	}
+}
+
+// flushDeltas applies the worker's batched load changes to the shared
+// padded counters and clears them.
+func (w *parallelWorker) flushDeltas() {
+	loads := w.s.loads
+	for i, d := range w.delta {
+		if d != 0 {
+			loads[i].v.Add(d)
+			w.delta[i] = 0
+		}
+	}
+}
+
+// refreshView re-reads every shared counter into the worker's local view.
+func (w *parallelWorker) refreshView() {
+	loads := w.s.loads
+	for i := range w.view {
+		w.view[i] = loads[i].v.Load()
+	}
+}
+
+// streamPass greedily reassigns the worker's owned vertices for one pass.
+// Ownership is block-aligned (vertices whose start-of-pass partition lies
+// in the worker's cost-tier blocks) or a round-robin stride; either way
+// every vertex has exactly one owner per pass. With a single worker the
+// visit order is the natural order, the view is exact at every visit, and
+// every pick is move-for-move identical to the serial stream.
+func (w *parallelWorker) streamPass(pass int, alpha float64, frontierOnly bool) {
 	s, sc := w.s, w.sc
 	h := s.h
+	me := int32(w.id)
+	multi := s.workers > 1
 
+	w.refreshView()
 	fast := s.fastEligible && alpha > 0
 	kind := s.cidx.kind
 	if fast {
-		// Seeded from the loads as observed now; a peer's later moves leave
-		// the worker's view slightly stale, consistent with the GraSP
-		// relaxation.
+		// Seeded from the view just refreshed; a peer's later moves leave
+		// the worker's caches slightly stale until the next sync point,
+		// consistent with the GraSP relaxation.
 		if kind == costBlocked {
 			sc.resetBlockState(len(s.cidx.blocks))
 		} else {
-			sc.minIdx.reset(expected, w.loadOf)
+			sc.minIdx.reset(s.expected, w.loadOf)
 		}
 	}
 	scanOff := false
@@ -308,9 +675,25 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 	nb := len(s.cidx.blocks)
 	mark := s.cfg.FrontierRestreaming
 	next := int32(pass) + 1
+	expected := s.expected
+	blockAligned := s.blockAligned && multi
+	var owner []int32
+	var blockOf []int32
+	var snap []int32
+	if blockAligned {
+		owner, blockOf, snap = s.blockOwner, s.cidx.blockOf, s.snapshot
+	}
+	syncCountdown := loadSyncEvery
 	var nExh, nUni, nBlk, nBnd, nFallback, visited, moves int64
 
-	for v := lo; v < hi; v++ {
+	v0, stride := 0, 1
+	if !blockAligned && multi {
+		v0, stride = w.id, s.workers
+	}
+	for v := v0; v < s.nv; v += stride {
+		if blockAligned && owner[blockOf[snap[v]]] != me {
+			continue
+		}
 		// See the serial stream: >= pass so a same-pass overwrite to pass+1
 		// cannot cancel a pending visit.
 		if frontierOnly {
@@ -318,6 +701,25 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 				continue
 			}
 			visited++
+		}
+		if multi {
+			syncCountdown--
+			if syncCountdown == 0 {
+				syncCountdown = loadSyncEvery
+				w.flushDeltas()
+				w.refreshView()
+				if fast && !scanOff {
+					// The refreshed view invalidates every cached minimum
+					// keyed on the old one.
+					if kind == costBlocked {
+						for b := range sc.blockStale {
+							sc.blockStale[b] = true
+						}
+					} else {
+						sc.minIdx.reset(expected, w.loadOf)
+					}
+				}
+			}
 		}
 		w.gather(v)
 		cur := s.parts[v].Load()
@@ -356,16 +758,18 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 		if bestPart != cur {
 			moves++
 			wt := h.VertexWeight(v)
-			s.loads[cur].Add(-wt)
-			s.loads[bestPart].Add(wt)
+			w.view[cur] -= wt
+			w.view[bestPart] += wt
+			w.delta[cur] -= wt
+			w.delta[bestPart] += wt
 			s.parts[v].Store(bestPart)
 			if fast && !scanOff {
 				if kind == costBlocked {
 					sc.blockNoteMove(s.cidx, cur, bestPart,
-						float64(s.loads[cur].Load())/expected[cur])
+						float64(w.view[cur])/expected[cur])
 				} else {
-					sc.minIdx.update(cur, s.loads[cur].Load())
-					sc.minIdx.update(bestPart, s.loads[bestPart].Load())
+					sc.minIdx.update(cur, w.view[cur])
+					sc.minIdx.update(bestPart, w.view[bestPart])
 				}
 			}
 			if mark {
@@ -373,6 +777,8 @@ func (w *parallelWorker) streamRange(lo, hi int, alpha float64, expected []float
 			}
 		}
 	}
+	w.flushDeltas()
+	w.passMoves = moves
 
 	t := &w.tally
 	if frontierOnly {
@@ -426,18 +832,27 @@ func (w *parallelWorker) gather(v int) {
 	}
 }
 
+// markDirty stamps v and every neighbour as frontier members for the next
+// pass. The load-check avoids re-dirtying cache lines already stamped by a
+// peer (or by this worker via an earlier hot hyperedge) — on write-shared
+// hyperedges the unconditional store turned every mark into cross-core
+// invalidation traffic.
 func (w *parallelWorker) markDirty(v int, next int32) {
 	s := w.s
 	h := s.h
-	atomic.StoreInt32(&s.dirty[v], next)
+	if atomic.LoadInt32(&s.dirty[v]) != next {
+		atomic.StoreInt32(&s.dirty[v], next)
+	}
 	for _, e := range h.IncidentEdges(v) {
 		for _, u := range h.Pins(int(e)) {
-			atomic.StoreInt32(&s.dirty[u], next)
+			if atomic.LoadInt32(&s.dirty[u]) != next {
+				atomic.StoreInt32(&s.dirty[u], next)
+			}
 		}
 	}
 }
 
-// pickExhaustive is the O(p) reference scan against the live shared loads.
+// pickExhaustive is the O(p) reference scan against the worker's load view.
 func (w *parallelWorker) pickExhaustive(cur int32, alpha float64, expected []float64) int32 {
 	s, sc := w.s, w.sc
 	cost := s.cfg.CostMatrix
@@ -456,7 +871,7 @@ func (w *parallelWorker) pickExhaustive(cur int32, alpha float64, expected []flo
 			ni--
 		}
 		ni /= float64(p)
-		val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+		val := -ni*t - alpha*float64(w.view[i])/expected[i]
 		if val > bestVal || (val == bestVal && int32(i) == cur) {
 			bestVal = val
 			bestPart = int32(i)
@@ -467,8 +882,7 @@ func (w *parallelWorker) pickExhaustive(cur int32, alpha float64, expected []flo
 
 // pickUniform is the touched-only scan for uniform off-diagonal cost
 // matrices (see Partitioner.pickUniform for the full argument; this twin
-// differs only in reading loads atomically and skipping MigrationPenalty,
-// which the parallel variant has never honoured).
+// reads the worker's load view instead of the serial loads).
 func (w *parallelWorker) pickUniform(cur int32, alpha float64, expected []float64) int32 {
 	s, sc := w.s, w.sc
 	c := s.cidx.uniformC
@@ -488,17 +902,17 @@ func (w *parallelWorker) pickUniform(cur int32, alpha float64, expected []float6
 			}
 		}
 		ni := (nbrParts - 1) / p
-		val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+		val := -ni*t - alpha*float64(w.view[i])/expected[i]
 		considerCandidate(&bestVal, &bestPart, i, cur, val)
 	}
 	niU := nbrParts / p
 	if e, ok := sc.minIdx.popBestUntouched(w.untouched); ok {
-		val := -niU*tU - alpha*float64(s.loads[e.idx].Load())/expected[e.idx]
+		val := -niU*tU - alpha*float64(w.view[e.idx])/expected[e.idx]
 		considerCandidate(&bestVal, &bestPart, e.idx, cur, val)
 	}
 	sc.minIdx.restore()
 	if sc.pstamp[cur] != sc.epoch {
-		val := -niU*tU - alpha*float64(s.loads[cur].Load())/expected[cur]
+		val := -niU*tU - alpha*float64(w.view[cur])/expected[cur]
 		considerCandidate(&bestVal, &bestPart, cur, cur, val)
 	}
 	return bestPart
@@ -531,7 +945,7 @@ func (w *parallelWorker) pickBounded(cur int32, alpha float64, expected []float6
 			ni--
 		}
 		ni /= p
-		val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+		val := -ni*t - alpha*float64(w.view[i])/expected[i]
 		considerCandidate(&bestVal, &bestPart, i, cur, val)
 	}
 	for _, i := range sc.touched {
@@ -563,14 +977,14 @@ func (w *parallelWorker) pickBounded(cur int32, alpha float64, expected []float6
 }
 
 // pickBlocked is the tiered block walk for hierarchical cost matrices
-// (see Partitioner.pickBlocked for the full argument; this twin differs
-// in reading loads atomically and skipping MigrationPenalty, which the
-// parallel variant has never honoured). The per-block argmin caches are
-// per worker: a peer's concurrent moves can leave a cached minimum
-// slightly stale against the live loads, which — like the stale loads the
-// scoring itself reads — only mis-orders the candidate search, consistent
-// with the GraSP relaxation. With a single worker the caches are exact
-// and the walk is move-for-move identical to the exhaustive reference.
+// (see Partitioner.pickBlocked for the full argument; this twin reads the
+// worker's load view instead of the serial loads). The per-block argmin
+// caches are per worker and — under block-aligned ownership — cover mostly
+// the worker's own blocks' loads, so peer moves rarely invalidate them
+// between sync points; any residual staleness only mis-orders the
+// candidate search, consistent with the GraSP relaxation. With a single
+// worker the view is exact and the walk is move-for-move identical to the
+// exhaustive reference.
 func (w *parallelWorker) pickBlocked(cur int32, alpha float64, expected []float64) (best int32, work int) {
 	s, sc := w.s, w.sc
 	ci := s.cidx
@@ -603,7 +1017,7 @@ func (w *parallelWorker) pickBlocked(cur int32, alpha float64, expected []float6
 			ni--
 		}
 		ni /= p
-		val := -ni*t - alpha*float64(s.loads[i].Load())/expected[i]
+		val := -ni*t - alpha*float64(w.view[i])/expected[i]
 		sc.sstamp[i] = epoch
 		considerCandidate(&bestVal, &bestPart, i, cur, val)
 	}
@@ -691,12 +1105,12 @@ func (w *parallelWorker) pickBlocked(cur int32, alpha float64, expected []float6
 }
 
 // refreshBlockMin recomputes block b's cached (min load, argmin) from the
-// worker's view of the shared loads.
+// worker's load view.
 func (w *parallelWorker) refreshBlockMin(b int32, expected []float64) {
 	s, sc := w.s, w.sc
 	bq, bi := math.Inf(1), int32(-1)
 	for _, i := range s.cidx.blocks[b].members {
-		if q := float64(s.loads[i].Load()) / expected[i]; q < bq {
+		if q := float64(w.view[i]) / expected[i]; q < bq {
 			bq, bi = q, i
 		}
 	}
@@ -714,7 +1128,7 @@ func (w *parallelWorker) minAvailableInBlock(b int32, expected []float64) (idx i
 		if sc.pstamp[i] == epoch || sc.sstamp[i] == epoch {
 			continue
 		}
-		if qi := float64(s.loads[i].Load()) / expected[i]; qi < bq {
+		if qi := float64(w.view[i]) / expected[i]; qi < bq {
 			bq, bi = qi, i
 		}
 	}

@@ -1213,14 +1213,19 @@ func (pr *Partitioner) minAvailableInBlock(b int32, expected []float64) (idx int
 }
 
 // markDirty stamps v and every neighbour of v as frontier members for pass
-// `next`: a vertex must be re-streamed iff it or a neighbour moved.
+// `next`: a vertex must be re-streamed iff it or a neighbour moved. The
+// stamp is checked before the store: vertices on hot hyperedges are marked
+// once per moving neighbour, and skipping the redundant stores keeps their
+// cache lines clean instead of re-dirtying them on every mark.
 func (pr *Partitioner) markDirty(v int, next int32) {
 	h := pr.h
 	dirty := pr.sc.dirty
 	dirty[v] = next
 	for _, e := range h.IncidentEdges(v) {
 		for _, u := range h.Pins(int(e)) {
-			dirty[u] = next
+			if dirty[u] != next {
+				dirty[u] = next
+			}
 		}
 	}
 }

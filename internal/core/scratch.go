@@ -50,13 +50,22 @@ type scratch struct {
 	// which v must be re-streamed.
 	dirty []int32
 
-	// Assignment/load state for a serial Partitioner (unused by the
-	// per-worker scratches of the parallel kernel, which share theirs).
+	// Assignment/load state for a serial Partitioner. A parallel worker
+	// shares assignment state through parallelState instead and reuses
+	// loads as its private load view.
 	parts     []int32
 	loads     []int64
 	bestParts []int32
 	order     []int32
 	expected  []float64
+
+	// Parallel-worker state: delta batches the worker's unflushed load
+	// changes against the shared counters (must be re-zeroed on acquire —
+	// a pooled scratch may carry another run's residue); blockVerts is the
+	// worker's share of the per-block vertex census. Both are grown lazily
+	// by the parallel kernel only.
+	delta      []int64
+	blockVerts []int64
 
 	// Convergence-check scanner (PC(P) once per iteration).
 	comm *metrics.CommScanner
@@ -102,6 +111,13 @@ func releaseScratch(sc *scratch) {
 func growI32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
 	}
 	return s[:n]
 }

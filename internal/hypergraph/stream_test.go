@@ -183,8 +183,8 @@ func TestStreamParityDegenerate(t *testing.T) {
 		"0 5\n",
 		"0 5 10\n1\n2\n3\n4\n5\n",
 		"2 4\n1 1 1 2\n4 3 3\n",
-		"2 4 1\n9\n3 1 2\n",          // weighted edge with no pins
-		"1 3 1\n1 1 2 3\n",           // all-ones weights collapse to unweighted
+		"2 4 1\n9\n3 1 2\n",           // weighted edge with no pins
+		"1 3 1\n1 1 2 3\n",            // all-ones weights collapse to unweighted
 		"% lead\n\n1 2\n%x\n1 2\n%\n", // comment storm
 		"1 1\n1\n",
 		"2 3 11\n1 1\n1 2 3\n1\n1\n1\n", // all-ones vertex weights stay explicit
@@ -212,13 +212,13 @@ func TestStreamErrorsMatchReference(t *testing.T) {
 		"1 2 3 4 5\n",
 		"-1 3\n1\n",
 		"2 -3\n",
-		"2 4\n1 2\n",        // truncated: one edge missing
-		"1 4\n1 9\n",        // pin out of range
-		"1 4\n0 1\n",        // pin below range
-		"1 4 1\nx 1\n",      // bad weight
-		"1 4\n1 2x\n",       // bad pin token
-		"1 2 10\n1\n5\n",    // truncated vertex weights
-		"1 2 10\n1 2\n5 6\n", // two weights on one line
+		"2 4\n1 2\n",               // truncated: one edge missing
+		"1 4\n1 9\n",               // pin out of range
+		"1 4\n0 1\n",               // pin below range
+		"1 4 1\nx 1\n",             // bad weight
+		"1 4\n1 2x\n",              // bad pin token
+		"1 2 10\n1\n5\n",           // truncated vertex weights
+		"1 2 10\n1 2\n5 6\n",       // two weights on one line
 		"99999999999999999999 3\n", // header overflow
 	}
 	for i, doc := range bad {

@@ -174,6 +174,17 @@ func NewCommScanner() *CommScanner { return &CommScanner{} }
 
 // CommCost is the allocation-free equivalent of the package-level CommCost.
 func (s *CommScanner) CommCost(h *hypergraph.Hypergraph, parts []int32, cost [][]float64) float64 {
+	return s.CommCostRange(h, parts, cost, 0, h.NumVertices())
+}
+
+// CommCostRange returns the [lo, hi) vertex range's contribution to PC(P):
+// Σ_{v ∈ [lo,hi)} T_{part(v)}(v). PC(P) is a sum of per-vertex terms, so
+// partials over a disjoint cover of the vertex set sum to CommCost exactly
+// up to floating-point reassociation across range boundaries — and the full
+// range reproduces CommCost bit for bit. The parallel kernel's convergence
+// scan evaluates one range per worker (each with its own scanner) and merges
+// the partials at the superstep barrier.
+func (s *CommScanner) CommCostRange(h *hypergraph.Hypergraph, parts []int32, cost [][]float64, lo, hi int) float64 {
 	k := len(cost)
 	nv := h.NumVertices()
 	// The epoch counter persists across calls, so freshly grown (zeroed) or
@@ -192,7 +203,7 @@ func (s *CommScanner) CommCost(h *hypergraph.Hypergraph, parts []int32, cost [][
 	epoch := s.epoch
 
 	total := 0.0
-	for v := 0; v < nv; v++ {
+	for v := lo; v < hi; v++ {
 		epoch++
 		vstamp[v] = epoch // never count v as its own neighbour
 		touched = touched[:0]
@@ -228,8 +239,17 @@ func (s *CommScanner) CommCost(h *hypergraph.Hypergraph, parts []int32, cost [][
 // still differs from CommCost by counting a neighbour once per shared edge,
 // which models per-edge communication volume.
 func WeightedCommCost(h *hypergraph.Hypergraph, parts []int32, cost [][]float64) float64 {
+	return WeightedCommCostRange(h, parts, cost, 0, h.NumEdges())
+}
+
+// WeightedCommCostRange returns the [lo, hi) hyperedge range's contribution
+// to the weighted comm cost. The metric is a sum of per-edge terms, so
+// partials over a disjoint cover of the edge set sum to WeightedCommCost
+// (exactly so for the full range); the parallel kernel evaluates one edge
+// range per worker and merges at the barrier. It allocates nothing.
+func WeightedCommCostRange(h *hypergraph.Hypergraph, parts []int32, cost [][]float64, lo, hi int) float64 {
 	total := 0.0
-	for e := 0; e < h.NumEdges(); e++ {
+	for e := lo; e < hi; e++ {
 		w := float64(h.EdgeWeight(e))
 		pins := h.Pins(e)
 		for _, u := range pins {
